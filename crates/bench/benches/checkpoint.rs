@@ -1,0 +1,109 @@
+//! Criterion benchmarks of whole checkpoint operations: `make` for each
+//! protocol (encode + flush, the cost Table 3 charges per checkpoint)
+//! and group-parity recovery, across group sizes — the measured
+//! counterpart of Figure 13.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skt_cluster::{Cluster, ClusterConfig, Ranklist};
+use skt_core::{CkptConfig, Checkpointer, Method};
+use skt_mps::run_on_cluster;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const A1: usize = 1 << 17; // 1 MiB per rank
+
+/// Time `iters` checkpoint makes across a fresh group; returns rank 0's
+/// total duration (ranks are synchronized by the protocol's barriers).
+fn time_makes(method: Method, group: usize, iters: u64) -> Duration {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(group, 0)));
+    let rl = Ranklist::round_robin(group, group);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) =
+            Checkpointer::init(world, CkptConfig::new(format!("bench-{}", method.name()), method, A1, 0));
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].fill(1.5);
+        }
+        ck.make(&[])?; // warm-up
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(ck.make(&[])?);
+        }
+        Ok(t.elapsed())
+    })
+    .unwrap();
+    outs[0]
+}
+
+fn bench_make(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_make");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((A1 * 8) as u64));
+    for method in [Method::Single, Method::Double, Method::SelfCkpt] {
+        for group in [2usize, 4, 8] {
+            g.bench_function(BenchmarkId::new(method.name(), group), |b| {
+                b.iter_custom(|iters| time_makes(method, group, iters));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_recovery");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((A1 * 8) as u64));
+    for group in [4usize, 8] {
+        g.bench_function(BenchmarkId::from_parameter(group), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    // one full cycle: checkpoint, lose a node, recover
+                    let cluster = Arc::new(Cluster::new(ClusterConfig::new(group, 1)));
+                    let mut rl = Ranklist::round_robin(group, group);
+                    let cl = Arc::clone(&cluster);
+                    run_on_cluster(cl, &rl, |ctx| {
+                        let world = ctx.world();
+                        let (mut ck, _) = Checkpointer::init(
+                            world,
+                            CkptConfig::new("bench-rec", Method::SelfCkpt, A1, 0),
+                        );
+                        {
+                            let ws = ck.workspace();
+                            ws.write().as_f64_mut()[..A1].fill(2.5);
+                        }
+                        ck.make(&[])?;
+                        Ok(())
+                    })
+                    .unwrap();
+                    cluster.kill_node(1);
+                    cluster.reset_abort();
+                    rl.repair(&cluster).unwrap();
+                    let outs = run_on_cluster(cluster, &rl, |ctx| {
+                        let world = ctx.world();
+                        let (mut ck, _) = Checkpointer::init(
+                            world,
+                            CkptConfig::new("bench-rec", Method::SelfCkpt, A1, 0),
+                        );
+                        let t = Instant::now();
+                        black_box(ck.recover().map_err(|_| skt_mps::Fault::JobAborted)?);
+                        Ok(t.elapsed())
+                    })
+                    .unwrap();
+                    total += outs[0];
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_make, bench_recovery
+}
+criterion_main!(benches);

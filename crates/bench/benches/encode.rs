@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the encoding layer: XOR vs SUM parity
+//! accumulation (the paper's "on some platforms XOR is much faster than
+//! SUM", §2.2), GF(256) multiply-accumulate, and dual-parity encode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skt_encoding::{Code, DualParity};
+use std::hint::black_box;
+
+fn bench_codes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parity_accumulate");
+    for size in [4096usize, 65_536, 1_048_576] {
+        let data: Vec<f64> = (0..size).map(|i| (i as f64).sin()).collect();
+        g.throughput(Throughput::Bytes((size * 8) as u64));
+        for code in [Code::Xor, Code::Sum] {
+            g.bench_with_input(
+                BenchmarkId::new(code.name(), size),
+                &data,
+                |b, data| {
+                    let mut acc = code.zero(size);
+                    b.iter(|| code.accumulate(black_box(&mut acc), black_box(data)));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parity_reconstruct");
+    let size = 262_144usize;
+    let n = 8usize;
+    let stripes: Vec<Vec<f64>> = (0..n)
+        .map(|r| (0..size).map(|i| ((r * size + i) as f64).cos()).collect())
+        .collect();
+    g.throughput(Throughput::Bytes((size * 8 * (n - 1)) as u64));
+    for code in [Code::Xor, Code::Sum] {
+        let parity = code.parity(size, &stripes);
+        g.bench_function(BenchmarkId::new(code.name(), n), |b| {
+            b.iter(|| {
+                let survivors: Vec<&Vec<f64>> = stripes.iter().skip(1).collect();
+                black_box(code.reconstruct(black_box(&parity), survivors))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_dual_parity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dual_parity");
+    let (k, len) = (8usize, 32_768usize);
+    let data: Vec<Vec<f64>> = (0..k)
+        .map(|r| (0..len).map(|i| ((r + i) as f64).sqrt()).collect())
+        .collect();
+    let refs: Vec<&[f64]> = data.iter().map(|s| s.as_slice()).collect();
+    let dp = DualParity::new(k, len);
+    g.throughput(Throughput::Bytes((k * len * 8) as u64));
+    g.bench_function("encode_p_q", |b| b.iter(|| black_box(dp.encode(black_box(&refs)))));
+    let (p, q) = dp.encode(&refs);
+    g.bench_function("recover_two", |b| {
+        b.iter(|| {
+            let stripes: Vec<Option<&[f64]>> = data
+                .iter()
+                .enumerate()
+                .map(|(i, s)| if i < 2 { None } else { Some(s.as_slice()) })
+                .collect();
+            black_box(dp.recover(&stripes, Some(&p), Some(&q)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codes, bench_reconstruct, bench_dual_parity
+}
+criterion_main!(benches);

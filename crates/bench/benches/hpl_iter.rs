@@ -1,0 +1,50 @@
+//! Criterion benchmarks of HPL building blocks at job level: a full
+//! mini solve (plain vs SKT with checkpoints) and the ABFT variant —
+//! the per-method costs behind Table 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skt_hpl::{run_abft, run_plain, run_skt, HplConfig, SktConfig};
+use skt_mps::run_local;
+use std::hint::black_box;
+
+const N: usize = 256; // 8 blocks: divisible by the rank count (ABFT grouping)
+const NB: usize = 32;
+const RANKS: usize = 4;
+
+fn bench_plain(c: &mut Criterion) {
+    c.bench_function("hpl_plain_256", |b| {
+        b.iter(|| {
+            let outs = run_local(RANKS, |ctx| run_plain(ctx, &HplConfig::new(N, NB, 7))).unwrap();
+            assert!(outs[0].passed);
+            black_box(outs[0].gflops_compute)
+        });
+    });
+}
+
+fn bench_skt(c: &mut Criterion) {
+    c.bench_function("hpl_skt_256_ckpt2", |b| {
+        b.iter(|| {
+            let cfg = SktConfig::new(HplConfig::new(N, NB, 7), 2, 2);
+            let outs = run_local(RANKS, |ctx| run_skt(ctx, &cfg)).unwrap();
+            assert!(outs[0].hpl.passed);
+            black_box(outs[0].hpl.gflops_effective)
+        });
+    });
+}
+
+fn bench_abft(c: &mut Criterion) {
+    c.bench_function("hpl_abft_256", |b| {
+        b.iter(|| {
+            let outs = run_local(RANKS, |ctx| run_abft(ctx, &HplConfig::new(N, NB, 7))).unwrap();
+            assert!(outs[0].hpl.passed);
+            black_box(outs[0].hpl.gflops_effective)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_plain, bench_skt, bench_abft
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the dense kernels under HPL: dgemm
+//! (the runtime-dominant update), panel factorization, and triangular
+//! solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skt_linalg::{dgemm, dgetf2, dgetrf, dtrsm_llnu, MatGen, Trans};
+use std::hint::black_box;
+
+fn bench_dgemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dgemm");
+    for size in [64usize, 128, 256] {
+        let gen = MatGen::new(1);
+        let a: Vec<f64> = (0..size * size).map(|i| gen.entry(i as u64, 0)).collect();
+        let b: Vec<f64> = (0..size * size).map(|i| gen.entry(i as u64, 1)).collect();
+        let mut cm = vec![0.0; size * size];
+        g.throughput(Throughput::Elements((2 * size * size * size) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |bch, &s| {
+            bch.iter(|| {
+                dgemm(
+                    Trans::No,
+                    s,
+                    s,
+                    s,
+                    1.0,
+                    black_box(&a),
+                    s,
+                    black_box(&b),
+                    s,
+                    0.0,
+                    black_box(&mut cm),
+                    s,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_panel_factor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("panel_factor");
+    let (m, nb) = (1024usize, 32usize);
+    let gen = MatGen::new(2);
+    let orig: Vec<f64> = (0..m * nb).map(|i| gen.entry(i as u64, 7)).collect();
+    g.bench_function(format!("dgetf2_{m}x{nb}"), |b| {
+        b.iter(|| {
+            let mut a = orig.clone();
+            let mut piv = vec![0usize; nb];
+            dgetf2(m, nb, black_box(&mut a), m, &mut piv).unwrap();
+            black_box(piv)
+        });
+    });
+    g.finish();
+}
+
+fn bench_dgetrf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dgetrf");
+    g.sample_size(10);
+    let n = 256usize;
+    let gen = MatGen::new(3);
+    let orig: Vec<f64> = (0..n * n).map(|i| gen.entry(i as u64, 9)).collect();
+    for nb in [8usize, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |b, &nb| {
+            b.iter(|| {
+                let mut a = orig.clone();
+                let mut piv = vec![0usize; n];
+                dgetrf(n, n, black_box(&mut a), n, &mut piv, nb).unwrap();
+                black_box(piv)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let (k, ncols) = (32usize, 512usize);
+    let gen = MatGen::new(4);
+    let l: Vec<f64> = (0..k * k)
+        .map(|i| if i % (k + 1) == 0 { 1.0 } else { gen.entry(i as u64, 3) * 0.1 })
+        .collect();
+    let rhs: Vec<f64> = (0..k * ncols).map(|i| gen.entry(i as u64, 5)).collect();
+    c.bench_function("dtrsm_llnu_32x512", |b| {
+        b.iter(|| {
+            let mut x = rhs.clone();
+            dtrsm_llnu(k, ncols, black_box(&l), k, black_box(&mut x), k);
+            black_box(x)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dgemm, bench_panel_factor, bench_dgetrf, bench_trsm
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation: encoding design choices — XOR vs SUM codes (measured) and
+//! stripe-based vs root-gather encoding (the §2.1 motivation for the
+//! RAID-5-style layout, via the α-β model).
+//!
+//! Regenerate with: `cargo run --release -p skt-bench --bin ablation_encoding`
+
+use skt_bench::Table;
+use skt_cluster::{Cluster, ClusterConfig, NetModel, Ranklist};
+use skt_core::{CkptConfig, Checkpointer, Method};
+use skt_encoding::Code;
+use skt_models::TIANHE_1A;
+use skt_mps::run_on_cluster;
+use std::sync::Arc;
+
+fn measured_encode(code: Code, group: usize, a1: usize) -> f64 {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(group, 0)));
+    let rl = Ranklist::round_robin(group, group);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let mut cfg = CkptConfig::new(format!("abl-{}", code.name()), Method::SelfCkpt, a1, 0);
+        cfg.code = code;
+        let (mut ck, _) = Checkpointer::init(world, cfg);
+        ck.make(&[])?; // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let s = ck.make(&[])?;
+            best = best.min(s.encode.as_secs_f64());
+        }
+        Ok(best)
+    })
+    .unwrap();
+    outs[0]
+}
+
+fn main() {
+    let group = 4usize;
+    let a1 = 1 << 20; // 8 MiB per rank
+
+    println!("Ablation 1: XOR vs SUM checksum codes (measured, group {group}, 8 MiB/rank)\n");
+    let mut t = Table::new(vec!["code", "encode time (s)"]);
+    let xor = measured_encode(Code::Xor, group, a1);
+    let sum = measured_encode(Code::Sum, group, a1);
+    t.row(vec!["BXOR (default)".to_string(), format!("{xor:.4}")]);
+    t.row(vec!["SUM".to_string(), format!("{sum:.4}")]);
+    t.print();
+    println!(
+        "\n§2.2: \"On some platforms, the logical XOR operation is much faster than the\n\
+         numerical SUM\" — i.e. the ratio is platform-dependent; measured here\n\
+         SUM/XOR = {:.2}x. XOR stays the default regardless because its recovery is\n\
+         bit-exact (SUM reconstruction is subject to floating-point rounding).\n",
+        sum / xor
+    );
+
+    println!("Ablation 2: stripe-based vs root-gather encoding (α-β model, Tianhe-1A)\n");
+    let p = TIANHE_1A.net_model();
+    let net = NetModel::new(p.alpha, p.bandwidth, p.procs_per_port);
+    let data: usize = 1 << 30; // 1 GiB checkpoint per process
+    let mut t2 = Table::new(vec!["group size", "stripe-based (s)", "root-gather (s)", "speedup"]);
+    for g in [4usize, 8, 16, 32] {
+        let stripe = net.stripe_encode(data / (g - 1), g).as_secs_f64();
+        let root = net.root_gather_encode(data, g).as_secs_f64();
+        t2.row(vec![
+            format!("{g}"),
+            format!("{stripe:.2}"),
+            format!("{root:.2}"),
+            format!("{:.1}x", root / stripe),
+        ]);
+        assert!(root > stripe, "the rotating-parity layout must win");
+    }
+    t2.print();
+    println!("\n§2.1: the stripe layout \"can effectively avoid single-node network contention");
+    println!("during encoding\" — the root's port would otherwise carry (N-1)x the data.");
+}

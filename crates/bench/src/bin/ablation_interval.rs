@@ -1,0 +1,74 @@
+//! Ablation: checkpoint interval vs overhead and rollback exposure.
+//!
+//! The paper checkpoints "per 10 min" (Table 3) without exploring the
+//! trade-off; this ablation does: more frequent checkpoints cost more
+//! runtime but bound the recomputation lost to a failure.
+//!
+//! Regenerate with: `cargo run --release -p skt-bench --bin ablation_interval`
+
+use skt_bench::Table;
+use skt_hpl::{run_skt, HplConfig, SktConfig};
+use skt_mps::run_local;
+
+fn main() {
+    let (ranks, n, nb, group) = (4usize, 768usize, 32usize, 2usize);
+    let panels = n / nb;
+    println!("Ablation: SKT-HPL checkpoint interval sweep (n={n}, {panels} panels, {ranks} ranks)\n");
+
+    // baseline without checkpoints
+    let base_cfg = SktConfig::new(HplConfig::new(n, nb, 77), group, 0);
+    let base = run_local(ranks, |ctx| run_skt(ctx, &base_cfg)).unwrap()[0];
+    assert!(base.hpl.passed);
+
+    let mut t = Table::new(vec![
+        "interval (panels)",
+        "checkpoints",
+        "ckpt time (s)",
+        "overhead vs no-ckpt",
+        "max panels lost on failure",
+    ]);
+    t.row(vec![
+        "∞ (none)".to_string(),
+        "0".into(),
+        "0.000".into(),
+        "0.0%".into(),
+        format!("{panels} (everything)"),
+    ]);
+    let mut overheads = Vec::new();
+    for every in [12usize, 8, 4, 2, 1] {
+        let mut cfg = SktConfig::new(HplConfig::new(n, nb, 77), group, every);
+        cfg.name = format!("abl-{every}");
+        let out = run_local(ranks, |ctx| run_skt(ctx, &cfg)).unwrap()[0];
+        assert!(out.hpl.passed);
+        let total = out.hpl.compute_seconds + out.hpl.ckpt_seconds;
+        let overhead = total / base.hpl.compute_seconds - 1.0;
+        overheads.push((every, overhead));
+        t.row(vec![
+            format!("{every}"),
+            format!("{}", out.hpl.checkpoints),
+            format!("{:.4}", out.hpl.ckpt_seconds),
+            format!("{:+.1}%", 100.0 * overhead),
+            format!("{every}"),
+        ]);
+    }
+    t.print();
+
+    // shape: denser checkpoints cost more
+    let o1 = overheads.iter().find(|(e, _)| *e == 1).unwrap().1;
+    let o8 = overheads.iter().find(|(e, _)| *e == 8).unwrap().1;
+    assert!(o1 > o8, "per-panel checkpointing must cost more than every 8");
+    println!("\nOverhead scales with (checkpoint cost)/(compute per interval). At this");
+    println!("miniature scale an interval computes for milliseconds, so even one 8 MiB");
+    println!("checkpoint is a visible fraction; at the paper's scale an interval computes");
+    println!("for ~10 minutes against a ~16 s checkpoint (<3%). The *shape* is the point:");
+    println!("overhead grows steeply as the interval shrinks, so \"a few checkpoints per");
+    println!("run\" (the paper's choice) is the right operating point.");
+    println!(
+        "\nYoung/Daly at paper scale (C = 16 s checkpoint, MTBF = 1 day): optimal interval\n\
+         {:.0} s (Young) / {:.0} s (Daly) — i.e. roughly one checkpoint per half hour, and\n\
+         the paper's 10-minute pace corresponds to assuming a ~3 h MTBF (its exascale\n\
+         motivation).",
+        skt_models::young_interval(16.0, 86_400.0),
+        skt_models::daly_interval(16.0, 86_400.0),
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 12 — normalized efficiency vs memory utilization: run SKT-HPL
+//! with 10–50% of the memory a full-memory original-HPL run uses, and
+//! fit the `E(N) = N/(aN+b)` model through the measurements.
+//!
+//! Regenerate with: `cargo run --release -p skt-bench --bin fig12_mem_vs_eff`
+
+use skt_bench::Table;
+use skt_hpl::{run_plain, HplConfig};
+use skt_models::{fit_ab, problem_size_for_fraction};
+use skt_mps::run_local;
+
+fn main() {
+    let ranks = 4usize;
+    let nb = 32usize;
+    let n_full = 1024usize;
+
+    // full-memory baseline
+    let base = run_local(ranks, |ctx| run_plain(ctx, &HplConfig::new(n_full, nb, 3))).unwrap()[0];
+    assert!(base.passed);
+
+    println!("Figure 12: memory utilization vs normalized efficiency\n");
+    let mut t = Table::new(vec!["memory %", "N", "normalized eff (measured)", "model"]);
+    let mut points = vec![(n_full as f64, 1.0f64)];
+    let mut rows = Vec::new();
+    for pct in [10usize, 20, 30, 40, 50] {
+        let k = pct as f64 / 100.0;
+        let n_raw = problem_size_for_fraction(n_full as f64, k) as usize;
+        let n = (n_raw / nb).max(1) * nb;
+        let out = run_local(ranks, |ctx| run_plain(ctx, &HplConfig::new(n, nb, 3))).unwrap()[0];
+        assert!(out.passed, "n={n}");
+        let eff = out.gflops_compute / base.gflops_compute;
+        points.push((n as f64, eff));
+        rows.push((pct, n, eff));
+    }
+    // normalize the model fit on 1/E measured against the full run
+    let model = fit_ab(&points);
+    for (pct, n, eff) in &rows {
+        t.row(vec![
+            format!("{pct}%"),
+            format!("{n}"),
+            format!("{:.1}%", 100.0 * eff),
+            format!("{:.1}%", 100.0 * model.eval(*n as f64)),
+        ]);
+    }
+    t.row(vec![
+        "100% (baseline)".to_string(),
+        format!("{n_full}"),
+        "100.0%".into(),
+        format!("{:.1}%", 100.0 * model.eval(n_full as f64)),
+    ]);
+    t.print();
+    println!("\nfitted: E(N) = N / ({:.4} N + {:.1})", model.a, model.b);
+
+    // shape assertions matching the paper: efficiency rises with memory
+    let effs: Vec<f64> = rows.iter().map(|(_, _, e)| *e).collect();
+    for w in effs.windows(2) {
+        assert!(w[1] > w[0] * 0.9, "efficiency should broadly rise with memory");
+    }
+    println!("Paper: the impact of memory is nonlinear and fits the model on both Tianhe systems;");
+    println!("self-checkpoint (44% memory) gains ~5% over double-checkpoint (30%) on Tianhe-2.");
+}

@@ -1,0 +1,58 @@
+//! Figure 6 — available memory of the three in-memory checkpoint
+//! methods at group sizes {2, 3, 4, 8, 16, 32}, from Equations 2–4,
+//! cross-checked against live SHM segment accounting.
+//!
+//! Regenerate with: `cargo run -p skt-bench --bin fig6_memory`
+
+use skt_bench::Table;
+use skt_cluster::{Cluster, ClusterConfig, Ranklist};
+use skt_core::{available_fraction, CkptConfig, Checkpointer, Method};
+use skt_mps::run_on_cluster;
+use std::sync::Arc;
+
+fn measured_fraction(method: Method, n: usize, a1: usize) -> f64 {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(n, 0)));
+    let rl = Ranklist::round_robin(n, n);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (ck, _) = Checkpointer::init(world, CkptConfig::new("fig6", method, a1, 0));
+        Ok((ck.a1_len() * 8, ck.shm_bytes()))
+    })
+    .unwrap();
+    let (app, total) = outs[0];
+    app as f64 / total as f64
+}
+
+fn main() {
+    println!("Figure 6: available memory (%) vs group size\n");
+    let sizes = [2usize, 3, 4, 8, 16, 32];
+    let mut t = Table::new(vec!["Group Size", "single-checkpoint", "self-checkpoint", "double-checkpoint"]);
+    for &n in &sizes {
+        t.row(vec![
+            format!("{n}"),
+            format!("{:.2}%", 100.0 * available_fraction(Method::Single, n)),
+            format!("{:.2}%", 100.0 * available_fraction(Method::SelfCkpt, n)),
+            format!("{:.2}%", 100.0 * available_fraction(Method::Double, n)),
+        ]);
+    }
+    t.print();
+
+    println!("\nLive cross-check at group size 4 (a1 = 3000 elements):");
+    let mut t2 = Table::new(vec!["method", "analytic", "measured (SHM segments)"]);
+    for method in [Method::Single, Method::SelfCkpt, Method::Double] {
+        let analytic = available_fraction(method, 4);
+        let measured = measured_fraction(method, 4, 3000);
+        t2.row(vec![
+            method.name().to_string(),
+            format!("{:.4}", analytic),
+            format!("{:.4}", measured),
+        ]);
+        assert!(
+            (analytic - measured).abs() < 0.01,
+            "{}: live segments deviate from the equation",
+            method.name()
+        );
+    }
+    t2.print();
+    println!("\nPaper claims at N=16: self 47% (close to the 50% bound), double < 1/3.");
+}

@@ -1,0 +1,60 @@
+//! Table 1 — memory usage of the self-checkpoint mechanism per part
+//! (`A1+A2`, `B`, `C`, `D`, total `2MN/(N-1)`), validated against the
+//! live SHM segment sizes of a running checkpointer.
+//!
+//! Regenerate with: `cargo run -p skt-bench --bin table1_memory`
+
+use skt_bench::Table;
+use skt_cluster::{Cluster, ClusterConfig, Ranklist};
+use skt_core::{CkptConfig, Checkpointer, MemoryBreakdown, Method};
+use skt_mps::run_on_cluster;
+use std::sync::Arc;
+
+fn main() {
+    let n = 16usize; // group size, the paper's choice
+    let m = 15_000usize; // per-rank data elements (divisible by N-1)
+
+    println!("Table 1: memory usage of the self-checkpoint mechanism (group size N = {n})\n");
+    let b = MemoryBreakdown::new(Method::SelfCkpt, m, n);
+    let mut t = Table::new(vec!["Item", "A1+A2", "B", "C", "D", "Total"]);
+    t.row(vec![
+        "Size (analytic)".to_string(),
+        "M".into(),
+        "M".into(),
+        "M/(N-1)".into(),
+        "M/(N-1)".into(),
+        "2MN/(N-1)".into(),
+    ]);
+    t.row(vec![
+        format!("Elements (M = {m})"),
+        format!("{}", b.a),
+        format!("{}", b.checkpoints),
+        format!("{}", b.checksums / 2),
+        format!("{}", b.checksums / 2),
+        format!("{}", b.total()),
+    ]);
+    t.print();
+    assert_eq!(b.total(), 2 * m * n / (n - 1), "closed form check");
+
+    // live validation: run a group of 4 and measure actual SHM bytes
+    let live_n = 4usize;
+    let live_a1 = 3 * 1024usize;
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(live_n, 0)));
+    let rl = Ranklist::round_robin(live_n, live_n);
+    let bytes = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (ck, _) = Checkpointer::init(
+            world,
+            CkptConfig::new("table1", Method::SelfCkpt, live_a1, 0),
+        );
+        Ok((ck.shm_bytes(), ck.layout().padded_len(), ck.layout().stripe_len()))
+    })
+    .unwrap();
+    let (shm, padded, stripe) = bytes[0];
+    println!("\nLive validation (group {live_n}, a1 = {live_a1} elements):");
+    println!("  SHM bytes per rank      : {shm}");
+    println!("  expected (2M + 2M/(N-1)): {} + 32B header", (2 * padded + 2 * stripe) * 8);
+    let expect = (2 * padded + 2 * stripe) * 8 + 32;
+    assert_eq!(shm, expect, "live segments must match Table 1");
+    println!("  MATCH");
+}

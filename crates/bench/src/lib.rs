@@ -1,0 +1,9 @@
+//! # skt-bench
+//!
+//! Benchmark harness for the Self-Checkpoint / SKT-HPL reproduction: one
+//! binary per paper table/figure (see DESIGN.md §4) plus Criterion
+//! micro-benchmarks. Shared table-printing helpers live here.
+
+pub mod table;
+
+pub use table::Table;

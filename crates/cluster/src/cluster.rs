@@ -1,0 +1,415 @@
+//! The virtual cluster: node inventory, spare pool, rank placement, and
+//! MPI-style whole-job abort on node failure.
+
+use crate::failure::{FailureInjector, FailurePlan, Fault};
+use crate::net::NetModel;
+use crate::shm::ShmStore;
+use crate::storage::{Device, DeviceKind};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Node identifier (index into the cluster's node tables).
+pub type NodeId = usize;
+
+/// Cluster shape.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Compute nodes initially in the job's resource pool.
+    pub nodes: usize,
+    /// Additional spare nodes available to replace failures.
+    pub spares: usize,
+}
+
+impl ClusterConfig {
+    /// `nodes` compute nodes plus `spares` spares.
+    pub fn new(nodes: usize, spares: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        ClusterConfig { nodes, spares }
+    }
+
+    fn total(&self) -> usize {
+        self.nodes + self.spares
+    }
+}
+
+/// The virtual cluster. One instance outlives many job launches — that is
+/// the point: node SHM persists across job aborts.
+pub struct Cluster {
+    config: ClusterConfig,
+    shm: Vec<ShmStore>,
+    hdd: Vec<Device>,
+    ssd: Vec<Device>,
+    pfs: Device,
+    alive: Mutex<Vec<bool>>,
+    spare_pool: Mutex<Vec<NodeId>>,
+    job_abort: AtomicBool,
+    injector: FailureInjector,
+    net: NetModel,
+}
+
+impl Cluster {
+    /// Build a cluster. Node ids `0..nodes` start in the job pool; ids
+    /// `nodes..nodes+spares` start in the spare pool.
+    pub fn new(config: ClusterConfig) -> Self {
+        let total = config.total();
+        Cluster {
+            config,
+            shm: (0..total).map(|_| ShmStore::new()).collect(),
+            hdd: (0..total).map(|_| Device::new(DeviceKind::Hdd)).collect(),
+            ssd: (0..total).map(|_| Device::new(DeviceKind::Ssd)).collect(),
+            pfs: Device::new(DeviceKind::Pfs),
+            alive: Mutex::new(vec![true; total]),
+            spare_pool: Mutex::new((config.nodes..total).collect()),
+            job_abort: AtomicBool::new(false),
+            injector: FailureInjector::new(),
+            // Local-cluster-ish defaults; experiments override via
+            // platform models where it matters.
+            net: NetModel::new(2e-6, 12.5e9, 2),
+        }
+    }
+
+    /// Cluster shape.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// Total node count including spares.
+    pub fn total_nodes(&self) -> usize {
+        self.config.total()
+    }
+
+    /// Shared-memory store of a node.
+    pub fn shm(&self, node: NodeId) -> &ShmStore {
+        &self.shm[node]
+    }
+
+    /// Local spinning disk of a node. Contents survive node power-off
+    /// (platters keep their data; the paper's BLCR runs recover from them
+    /// after the node is replaced — see DESIGN.md substitutions).
+    pub fn hdd(&self, node: NodeId) -> &Device {
+        &self.hdd[node]
+    }
+
+    /// Local SSD of a node (same persistence semantics as [`Self::hdd`]).
+    pub fn ssd(&self, node: NodeId) -> &Device {
+        &self.ssd[node]
+    }
+
+    /// The shared parallel file system.
+    pub fn pfs(&self) -> &Device {
+        &self.pfs
+    }
+
+    /// Network model used for modeled-time estimates.
+    pub fn net(&self) -> NetModel {
+        self.net
+    }
+
+    /// Override the network model (e.g. Tianhe constants).
+    pub fn set_net(&mut self, net: NetModel) {
+        self.net = net;
+    }
+
+    /// Is the node alive?
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.alive.lock()[node]
+    }
+
+    /// Nodes currently dead.
+    pub fn dead_nodes(&self) -> Vec<NodeId> {
+        self.alive
+            .lock()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !**a)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Power off a node: its memory (SHM included) is destroyed and the
+    /// whole running job aborts, which is what every mainstream MPI
+    /// runtime does on a node loss (§1 of the paper).
+    pub fn kill_node(&self, node: NodeId) {
+        {
+            let mut alive = self.alive.lock();
+            if !alive[node] {
+                return;
+            }
+            alive[node] = false;
+        }
+        self.shm[node].wipe();
+        self.job_abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Take a spare node from the pool (daemon replacing a lost node).
+    pub fn take_spare(&self) -> Option<NodeId> {
+        let mut pool = self.spare_pool.lock();
+        while let Some(n) = pool.pop() {
+            if self.alive.lock()[n] {
+                return Some(n);
+            }
+        }
+        None
+    }
+
+    /// Spares remaining.
+    pub fn spares_left(&self) -> usize {
+        self.spare_pool.lock().len()
+    }
+
+    /// Has the current job been aborted?
+    pub fn aborted(&self) -> bool {
+        self.job_abort.load(Ordering::SeqCst)
+    }
+
+    /// Clear the abort flag before relaunching a job. Dead nodes stay
+    /// dead; their SHM stays wiped.
+    pub fn reset_abort(&self) {
+        self.job_abort.store(false, Ordering::SeqCst);
+    }
+
+    /// Arm a failure plan (see [`FailurePlan`]).
+    pub fn arm_failure(&self, plan: FailurePlan) {
+        self.injector.arm(plan);
+    }
+
+    /// Disarm all failure plans.
+    pub fn clear_failures(&self) {
+        self.injector.clear();
+    }
+
+    /// Named probe point, called from rank code with the rank's own
+    /// 1-based occurrence count for `label`. If an armed plan matches,
+    /// the node is killed and `Err(Fault::NodeDead)` is returned to the
+    /// dying rank. Otherwise this doubles as an abort check so every rank
+    /// notices a failure promptly.
+    pub fn failpoint(&self, node: NodeId, label: &str, count: u64) -> Result<(), Fault> {
+        if self.injector.fires(node, label, count) {
+            self.kill_node(node);
+            return Err(Fault::NodeDead(node));
+        }
+        self.check_abort()?;
+        if !self.node_alive(node) {
+            return Err(Fault::NodeDead(node));
+        }
+        Ok(())
+    }
+
+    /// Abort the running job without killing a node (used by the runtime
+    /// when a rank thread panics, so its peers unblock promptly).
+    pub fn job_abort_for_panic(&self) {
+        self.job_abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Return `Err(Fault::JobAborted)` if the job has been aborted.
+    pub fn check_abort(&self) -> Result<(), Fault> {
+        if self.aborted() {
+            Err(Fault::JobAborted)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Rank-to-node placement, the paper's `ranklist` file (§5.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ranklist {
+    node_of_rank: Vec<NodeId>,
+}
+
+impl Ranklist {
+    /// Explicit placement.
+    pub fn explicit(node_of_rank: Vec<NodeId>) -> Self {
+        assert!(!node_of_rank.is_empty());
+        Ranklist { node_of_rank }
+    }
+
+    /// Block placement: ranks `0..k` on node 0, next `k` on node 1, …
+    /// (`k = ceil(nranks / nodes)`).
+    pub fn block(nranks: usize, nodes: usize) -> Self {
+        assert!(nranks >= 1 && nodes >= 1);
+        let per = nranks.div_ceil(nodes);
+        Ranklist {
+            node_of_rank: (0..nranks).map(|r| r / per).collect(),
+        }
+    }
+
+    /// Round-robin placement: rank `r` on node `r % nodes`. With group
+    /// size dividing the node count this puts every member of a
+    /// checkpoint group on a distinct node — the property §3.3 requires
+    /// to survive a node loss.
+    pub fn round_robin(nranks: usize, nodes: usize) -> Self {
+        assert!(nranks >= 1 && nodes >= 1);
+        Ranklist {
+            node_of_rank: (0..nranks).map(|r| r % nodes).collect(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.node_of_rank.len()
+    }
+
+    /// True if empty (never constructed so; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.node_of_rank.is_empty()
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.node_of_rank[rank]
+    }
+
+    /// Ranks hosted on `node`.
+    pub fn ranks_on(&self, node: NodeId) -> Vec<usize> {
+        self.node_of_rank
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n == node)
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// Number of ranks sharing the node of `rank` (device/port sharers).
+    pub fn sharers_of(&self, rank: usize) -> usize {
+        let node = self.node_of(rank);
+        self.node_of_rank.iter().filter(|n| **n == node).count()
+    }
+
+    /// Replace every dead node with a spare, in place. Returns
+    /// `(rank, old_node, new_node)` for each migrated rank. Errors with
+    /// the unreplaceable node if the spare pool runs dry.
+    pub fn repair(&mut self, cluster: &Cluster) -> Result<Vec<(usize, NodeId, NodeId)>, NodeId> {
+        let mut moved = Vec::new();
+        let dead: Vec<NodeId> = self
+            .node_of_rank
+            .iter()
+            .copied()
+            .filter(|n| !cluster.node_alive(*n))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for old in dead {
+            let new = cluster.take_spare().ok_or(old)?;
+            for (r, n) in self.node_of_rank.iter_mut().enumerate() {
+                if *n == old {
+                    *n = new;
+                    moved.push((r, old, new));
+                }
+            }
+        }
+        Ok(moved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_node_wipes_shm_and_aborts_job() {
+        let c = Cluster::new(ClusterConfig::new(2, 1));
+        c.shm(0).get_or_create("seg", || crate::shm::SegmentData::F64(vec![1.0; 4]));
+        c.shm(1).get_or_create("seg", || crate::shm::SegmentData::F64(vec![2.0; 4]));
+        c.kill_node(1);
+        assert!(c.aborted());
+        assert!(!c.node_alive(1));
+        assert_eq!(c.dead_nodes(), vec![1]);
+        assert!(c.shm(1).is_empty(), "dead node memory wiped");
+        assert_eq!(c.shm(0).total_bytes(), 32, "healthy node memory intact");
+    }
+
+    #[test]
+    fn reset_abort_keeps_node_dead() {
+        let c = Cluster::new(ClusterConfig::new(2, 0));
+        c.kill_node(0);
+        c.reset_abort();
+        assert!(!c.aborted());
+        assert!(!c.node_alive(0));
+    }
+
+    #[test]
+    fn spares_come_from_the_tail() {
+        let c = Cluster::new(ClusterConfig::new(3, 2));
+        let s1 = c.take_spare().unwrap();
+        let s2 = c.take_spare().unwrap();
+        assert!(s1 >= 3 && s2 >= 3 && s1 != s2);
+        assert!(c.take_spare().is_none());
+    }
+
+    #[test]
+    fn dead_spare_is_skipped() {
+        let c = Cluster::new(ClusterConfig::new(1, 2));
+        c.kill_node(2);
+        c.reset_abort();
+        assert_eq!(c.take_spare(), Some(1));
+        assert!(c.take_spare().is_none());
+    }
+
+    #[test]
+    fn failpoint_kills_at_armed_plan() {
+        let c = Cluster::new(ClusterConfig::new(2, 0));
+        c.arm_failure(FailurePlan::new("encode", 2, 1));
+        assert!(c.failpoint(1, "encode", 1).is_ok());
+        assert_eq!(c.failpoint(1, "encode", 2), Err(Fault::NodeDead(1)));
+        // other ranks now see the abort
+        assert_eq!(c.failpoint(0, "anything", 1), Err(Fault::JobAborted));
+    }
+
+    #[test]
+    fn failpoint_on_dead_node_reports_dead() {
+        let c = Cluster::new(ClusterConfig::new(2, 0));
+        c.kill_node(1);
+        c.reset_abort();
+        assert_eq!(c.failpoint(1, "x", 1), Err(Fault::NodeDead(1)));
+    }
+
+    #[test]
+    fn ranklist_block_and_round_robin() {
+        let b = Ranklist::block(8, 4);
+        assert_eq!(b.node_of(0), 0);
+        assert_eq!(b.node_of(1), 0);
+        assert_eq!(b.node_of(7), 3);
+        let rr = Ranklist::round_robin(8, 4);
+        assert_eq!(rr.node_of(0), 0);
+        assert_eq!(rr.node_of(4), 0);
+        assert_eq!(rr.node_of(5), 1);
+        assert_eq!(rr.ranks_on(1), vec![1, 5]);
+        assert_eq!(rr.sharers_of(1), 2);
+    }
+
+    #[test]
+    fn repair_moves_ranks_to_spares() {
+        let c = Cluster::new(ClusterConfig::new(2, 1));
+        let mut rl = Ranklist::round_robin(4, 2);
+        c.kill_node(1);
+        c.reset_abort();
+        let moved = rl.repair(&c).unwrap();
+        assert_eq!(moved.len(), 2, "two ranks lived on node 1");
+        for (_, old, new) in &moved {
+            assert_eq!(*old, 1);
+            assert_eq!(*new, 2);
+        }
+        assert_eq!(rl.node_of(1), 2);
+        assert_eq!(rl.node_of(3), 2);
+        // nothing dead now, repair is a no-op
+        assert!(rl.repair(&c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repair_fails_without_spares() {
+        let c = Cluster::new(ClusterConfig::new(2, 0));
+        let mut rl = Ranklist::round_robin(2, 2);
+        c.kill_node(0);
+        c.reset_abort();
+        assert_eq!(rl.repair(&c), Err(0));
+    }
+
+    #[test]
+    fn local_disk_survives_node_loss() {
+        let c = Cluster::new(ClusterConfig::new(1, 0));
+        c.hdd(0).write("ckpt", vec![1, 2, 3], 1);
+        c.kill_node(0);
+        assert!(c.hdd(0).read("ckpt", 1).is_some(), "platters keep data");
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic failure injection.
+//!
+//! The paper validates SKT-HPL by powering off nodes during the run (§6.2,
+//! §6.3) and analyses recoverability by *when* the failure lands relative
+//! to the protocol (Figures 2–5: during computing, during checksum
+//! calculation, during checkpoint flush). Random power-offs can only sample
+//! those windows; the injector here kills a chosen node the *n-th time it
+//! passes a named probe point*, so every window is exercised exactly and
+//! reproducibly.
+
+use crate::cluster::NodeId;
+use parking_lot::Mutex;
+
+/// Error type threaded through the whole stack when the job dies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The job was aborted (MPI semantics: any node failure kills every
+    /// rank of the job).
+    JobAborted,
+    /// This specific node just died (returned to the rank that was killed).
+    NodeDead(NodeId),
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::JobAborted => write!(f, "job aborted after a node failure"),
+            Fault::NodeDead(n) => write!(f, "node {n} failed (powered off)"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// One-shot plan: kill `node` the `nth` time (1-based) any of its ranks
+/// passes the probe labeled `label`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailurePlan {
+    /// Probe label, e.g. `"elimination-iter"`, `"encode"`, `"flush"`.
+    pub label: String,
+    /// 1-based occurrence count at which to fire.
+    pub nth: u64,
+    /// Victim node.
+    pub node: NodeId,
+}
+
+impl FailurePlan {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, nth: u64, node: NodeId) -> Self {
+        let nth = nth.max(1);
+        FailurePlan { label: label.into(), nth, node }
+    }
+}
+
+/// Holds armed plans; consulted by [`crate::Cluster::failpoint`].
+#[derive(Default)]
+pub struct FailureInjector {
+    plans: Mutex<Vec<FailurePlan>>,
+}
+
+impl FailureInjector {
+    /// No plans armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a plan. Multiple plans may be armed at once (e.g. to kill two
+    /// nodes in different groups).
+    pub fn arm(&self, plan: FailurePlan) {
+        self.plans.lock().push(plan);
+    }
+
+    /// Drop all plans.
+    pub fn clear(&self) {
+        self.plans.lock().clear();
+    }
+
+    /// Number of armed plans.
+    pub fn armed(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// Check whether a probe hit fires a plan. `count` is the caller's
+    /// 1-based per-rank occurrence count for `label`; per-rank counting
+    /// keeps multi-threaded runs deterministic. The fired plan is removed.
+    pub fn fires(&self, node: NodeId, label: &str, count: u64) -> bool {
+        let mut plans = self.plans.lock();
+        if let Some(pos) = plans
+            .iter()
+            .position(|p| p.node == node && p.label == label && p.nth == count)
+        {
+            plans.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fires_exactly_once_at_nth_hit() {
+        let inj = FailureInjector::new();
+        inj.arm(FailurePlan::new("encode", 3, 5));
+        assert!(!inj.fires(5, "encode", 1));
+        assert!(!inj.fires(5, "encode", 2));
+        assert!(inj.fires(5, "encode", 3));
+        assert!(!inj.fires(5, "encode", 3), "one-shot");
+        assert_eq!(inj.armed(), 0);
+    }
+
+    #[test]
+    fn plan_only_matches_its_node_and_label() {
+        let inj = FailureInjector::new();
+        inj.arm(FailurePlan::new("flush", 1, 2));
+        assert!(!inj.fires(3, "flush", 1));
+        assert!(!inj.fires(2, "encode", 1));
+        assert!(inj.fires(2, "flush", 1));
+    }
+
+    #[test]
+    fn nth_zero_clamps_to_one() {
+        let p = FailurePlan::new("x", 0, 0);
+        assert_eq!(p.nth, 1);
+    }
+
+    #[test]
+    fn clear_disarms() {
+        let inj = FailureInjector::new();
+        inj.arm(FailurePlan::new("x", 1, 0));
+        inj.clear();
+        assert!(!inj.fires(0, "x", 1));
+    }
+}

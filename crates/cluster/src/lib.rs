@@ -1,0 +1,35 @@
+//! # skt-cluster
+//!
+//! The virtual cluster substrate underneath the Self-Checkpoint / SKT-HPL
+//! reproduction. The paper runs on real HPC machines (Tianhe-1A/2, a local
+//! Infiniband cluster); this crate provides a deterministic, in-process
+//! stand-in with the properties the paper's protocol actually depends on:
+//!
+//! * **Nodes with persistent shared memory** ([`shm`]): a SHM segment
+//!   survives the death of the *process* (thread) that created it — exactly
+//!   Linux `shmget` semantics — but is wiped when its *node* fails (power
+//!   off). Checkpoints of healthy nodes therefore outlive an aborted job.
+//! * **Storage devices** ([`storage`]): bandwidth/latency-modeled HDD, SSD
+//!   and ramfs block stores for the BLCR/SCR baselines of Table 3.
+//! * **A network model** ([`net`]): α-β (latency + inverse bandwidth) cost
+//!   model with per-node port sharing, used to extrapolate encoding times
+//!   to Tianhe-scale (Figure 13) without pretending the laptop is a
+//!   supercomputer.
+//! * **Failure injection** ([`failure`]): deterministic "kill node X the
+//!   n-th time it passes probe L" plans, so the protocol's CASE 1 / CASE 2
+//!   failure windows (paper Figures 2–5) can each be exercised exactly.
+//! * **The cluster itself** ([`cluster`]): node inventory, spare pool,
+//!   rank-to-node mapping (the `ranklist` of §5.2), and MPI-style
+//!   whole-job abort on node failure.
+
+pub mod cluster;
+pub mod failure;
+pub mod net;
+pub mod shm;
+pub mod storage;
+
+pub use cluster::{Cluster, ClusterConfig, NodeId, Ranklist};
+pub use failure::{FailureInjector, FailurePlan, Fault};
+pub use net::NetModel;
+pub use shm::{SegmentData, ShmSegment, ShmStore};
+pub use storage::{Device, DeviceKind};

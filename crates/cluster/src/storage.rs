@@ -1,0 +1,162 @@
+//! Bandwidth/latency-modeled block storage devices.
+//!
+//! Table 3 of the paper compares checkpoint methods whose cost is dominated
+//! by where the checkpoint bytes go: HDD (~100 MB/s), SSD (~500 MB/s), or
+//! memory. The devices here *really store* the bytes (so BLCR-style
+//! recovery actually restores data) and additionally report the modeled
+//! transfer time so experiments can charge realistic I/O cost without
+//! wall-clock sleeping.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Device technology, with the paper-calibrated default speeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Spinning disk: ~100 MB/s sequential, ~8 ms seek.
+    Hdd,
+    /// SATA/NVMe flash: ~500 MB/s, ~0.1 ms.
+    Ssd,
+    /// RAM-backed file system: ~8 GB/s, ~1 µs.
+    Ramfs,
+    /// Shared parallel file system: per-client ~200 MB/s, ~1 ms, and
+    /// heavily contended when many clients write at once.
+    Pfs,
+}
+
+impl DeviceKind {
+    /// Default sequential bandwidth in bytes/second.
+    pub fn bandwidth(self) -> f64 {
+        match self {
+            DeviceKind::Hdd => 100.0e6,
+            DeviceKind::Ssd => 500.0e6,
+            DeviceKind::Ramfs => 8.0e9,
+            DeviceKind::Pfs => 200.0e6,
+        }
+    }
+
+    /// Default access latency in seconds.
+    pub fn latency(self) -> f64 {
+        match self {
+            DeviceKind::Hdd => 8.0e-3,
+            DeviceKind::Ssd => 1.0e-4,
+            DeviceKind::Ramfs => 1.0e-6,
+            DeviceKind::Pfs => 1.0e-3,
+        }
+    }
+}
+
+/// A block store holding named blobs, with a transfer-time model.
+pub struct Device {
+    kind: DeviceKind,
+    bandwidth: f64,
+    latency: f64,
+    blobs: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl Device {
+    /// Device with the default speed for its kind.
+    pub fn new(kind: DeviceKind) -> Self {
+        Device {
+            kind,
+            bandwidth: kind.bandwidth(),
+            latency: kind.latency(),
+            blobs: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Device with custom speeds (for calibration experiments).
+    pub fn with_speeds(kind: DeviceKind, bandwidth: f64, latency: f64) -> Self {
+        assert!(bandwidth > 0.0 && latency >= 0.0);
+        Device { kind, bandwidth, latency, blobs: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The device technology.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Modeled time to move `bytes` through this device with `sharers`
+    /// concurrent clients on the same device (ranks of one node writing
+    /// their checkpoints together divide the bandwidth).
+    pub fn transfer_time(&self, bytes: usize, sharers: usize) -> Duration {
+        let sharers = sharers.max(1) as f64;
+        let secs = self.latency + bytes as f64 * sharers / self.bandwidth;
+        Duration::from_secs_f64(secs)
+    }
+
+    /// Store a blob; returns the modeled write time.
+    pub fn write(&self, name: &str, data: Vec<u8>, sharers: usize) -> Duration {
+        let t = self.transfer_time(data.len(), sharers);
+        self.blobs.lock().insert(name.to_string(), data);
+        t
+    }
+
+    /// Read a blob back, with its modeled read time.
+    pub fn read(&self, name: &str, sharers: usize) -> Option<(Vec<u8>, Duration)> {
+        let blobs = self.blobs.lock();
+        let data = blobs.get(name)?.clone();
+        let t = self.transfer_time(data.len(), sharers);
+        Some((data, t))
+    }
+
+    /// Remove a blob.
+    pub fn remove(&self, name: &str) -> bool {
+        self.blobs.lock().remove(name).is_some()
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> usize {
+        self.blobs.lock().values().map(|v| v.len()).sum()
+    }
+
+    /// Drop everything (device reformat / node reprovision).
+    pub fn clear(&self) {
+        self.blobs.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdd_is_slower_than_ssd_than_ramfs() {
+        let b = 1 << 30; // 1 GiB
+        let hdd = Device::new(DeviceKind::Hdd).transfer_time(b, 1);
+        let ssd = Device::new(DeviceKind::Ssd).transfer_time(b, 1);
+        let ram = Device::new(DeviceKind::Ramfs).transfer_time(b, 1);
+        assert!(hdd > ssd && ssd > ram);
+        // 1 GiB over 100 MB/s ≈ 10.7 s
+        assert!((hdd.as_secs_f64() - 10.74).abs() < 0.2, "hdd time {hdd:?}");
+    }
+
+    #[test]
+    fn sharers_divide_bandwidth() {
+        let d = Device::new(DeviceKind::Ssd);
+        let alone = d.transfer_time(1 << 20, 1).as_secs_f64();
+        let shared = d.transfer_time(1 << 20, 4).as_secs_f64();
+        assert!(shared > alone * 3.5, "4 sharers should ~4x the time");
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let d = Device::new(DeviceKind::Hdd);
+        let data = vec![7u8; 1000];
+        let tw = d.write("ckpt", data.clone(), 2);
+        assert!(tw > Duration::ZERO);
+        let (back, tr) = d.read("ckpt", 2).unwrap();
+        assert_eq!(back, data);
+        assert!(tr > Duration::ZERO);
+        assert_eq!(d.used_bytes(), 1000);
+        assert!(d.remove("ckpt"));
+        assert!(d.read("ckpt", 1).is_none());
+    }
+
+    #[test]
+    fn zero_byte_transfer_still_pays_latency() {
+        let d = Device::new(DeviceKind::Hdd);
+        assert!(d.transfer_time(0, 1) >= Duration::from_millis(7));
+    }
+}

@@ -1,0 +1,201 @@
+//! Memory accounting (§3.2 of the paper: Table 1 and Equations 2–4).
+//!
+//! With group size `N` and per-rank application data `M`:
+//!
+//! | method  | in-memory parts                        | available fraction |
+//! |---------|----------------------------------------|--------------------|
+//! | single  | `A=M, B=M, C=M/(N-1)`                  | `(N-1)/(2N-1)`     |
+//! | double  | `A=M, 2×(B=M, C=M/(N-1))`              | `(N-1)/(3N-1)`     |
+//! | self    | `A=M, B=M, C=M/(N-1), D=M/(N-1)`       | `(N-1)/(2N)`       |
+//!
+//! Only the self-checkpoint is both fully fault tolerant *and* close to
+//! the 50% upper bound.
+
+/// Checkpoint method selector, shared across the workspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// One checkpoint + one checksum. Cheapest, but cannot recover from a
+    /// failure during checkpoint update (paper Figure 2).
+    Single,
+    /// Two full checkpoint copies + two checksums (SCR-in-RAM / buddy
+    /// style). Fully fault tolerant, wastes most memory (Figure 3).
+    Double,
+    /// The paper's contribution: one checkpoint + two checksums, with
+    /// the workspace itself doubling as a checkpoint (Figures 4–5).
+    SelfCkpt,
+}
+
+impl Method {
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Single => "single-checkpoint",
+            Method::Double => "double-checkpoint",
+            Method::SelfCkpt => "self-checkpoint",
+        }
+    }
+
+    /// Whether the method tolerates a node failure *during* checkpoint
+    /// updating.
+    pub fn fully_fault_tolerant(self) -> bool {
+        !matches!(self, Method::Single)
+    }
+}
+
+/// Fraction of total memory left for the application (Equations 2–4).
+pub fn available_fraction(method: Method, n: usize) -> f64 {
+    assert!(n >= 2, "group size must be >= 2");
+    let n = n as f64;
+    match method {
+        Method::SelfCkpt => (n - 1.0) / (2.0 * n),
+        Method::Double => (n - 1.0) / (3.0 * n - 1.0),
+        Method::Single => (n - 1.0) / (2.0 * n - 1.0),
+    }
+}
+
+/// Per-part memory of one rank, in `f64` elements (Table 1 uses abstract
+/// units `M`; we use element counts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    /// Application data `A1+A2` (`= M`).
+    pub a: usize,
+    /// Full checkpoint copies (`B`, or `B+b` for double).
+    pub checkpoints: usize,
+    /// Checksum copies (`C`, `D`, or `C+c`).
+    pub checksums: usize,
+}
+
+impl MemoryBreakdown {
+    /// Breakdown for a given method, workspace size `m` (elements) and
+    /// group size `n`. Checksums are `ceil(m/(n-1))` as in the stripe
+    /// layout.
+    pub fn new(method: Method, m: usize, n: usize) -> Self {
+        assert!(n >= 2);
+        let cs = m.div_ceil(n - 1);
+        match method {
+            Method::Single => MemoryBreakdown { a: m, checkpoints: m, checksums: cs },
+            Method::Double => MemoryBreakdown { a: m, checkpoints: 2 * m, checksums: 2 * cs },
+            Method::SelfCkpt => MemoryBreakdown { a: m, checkpoints: m, checksums: 2 * cs },
+        }
+    }
+
+    /// Total elements consumed.
+    pub fn total(&self) -> usize {
+        self.a + self.checkpoints + self.checksums
+    }
+
+    /// Fraction of the total that the application can use.
+    pub fn available(&self) -> f64 {
+        self.a as f64 / self.total() as f64
+    }
+}
+
+/// Largest workspace (in `f64` elements) that fits a per-rank memory
+/// budget of `budget_bytes` under `method` with group size `n` — i.e.
+/// invert [`MemoryBreakdown::total`]. This is how Table 3 sizes each
+/// method's HPL problem for a fair comparison.
+pub fn max_workspace_len(method: Method, n: usize, budget_bytes: usize) -> usize {
+    let budget = budget_bytes / std::mem::size_of::<f64>();
+    // total(m) is monotone in m; binary search the largest fitting m.
+    let (mut lo, mut hi) = (0usize, budget);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if MemoryBreakdown::new(method, mid, n).total() <= budget {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equations_at_group_16_match_the_paper() {
+        // §3.3: "The available memory of a group with 16 processes is 47%".
+        let f = available_fraction(Method::SelfCkpt, 16);
+        assert!((f - 0.46875).abs() < 1e-12, "self@16 = {f}");
+        // double checkpoint is below 1/3 + eps (paper: "only 1/3 of memory left")
+        let d = available_fraction(Method::Double, 16);
+        assert!((d - 15.0 / 47.0).abs() < 1e-12);
+        assert!(d < 0.32);
+        let s = available_fraction(Method::Single, 16);
+        assert!((s - 15.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_single_above_self_above_double() {
+        for n in [2, 3, 4, 8, 16, 32] {
+            let single = available_fraction(Method::Single, n);
+            let selfc = available_fraction(Method::SelfCkpt, n);
+            let double = available_fraction(Method::Double, n);
+            assert!(single > selfc, "n={n}");
+            assert!(selfc > double, "n={n}");
+        }
+    }
+
+    #[test]
+    fn self_checkpoint_approaches_half() {
+        assert!(available_fraction(Method::SelfCkpt, 1024) > 0.499);
+        assert!(available_fraction(Method::SelfCkpt, 2) == 0.25);
+    }
+
+    #[test]
+    fn breakdown_total_matches_closed_form() {
+        // Table 1: total = 2MN/(N-1) for the self-checkpoint.
+        let (m, n) = (1500, 16); // m divisible by n-1
+        let b = MemoryBreakdown::new(Method::SelfCkpt, m, n);
+        assert_eq!(b.total(), 2 * m * n / (n - 1));
+        assert_eq!(b.checksums, 2 * m / (n - 1));
+        assert!((b.available() - available_fraction(Method::SelfCkpt, n)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_available_matches_equations_for_all_methods() {
+        let (m, n) = (3000, 4); // divisible by n-1
+        for method in [Method::Single, Method::Double, Method::SelfCkpt] {
+            let b = MemoryBreakdown::new(method, m, n);
+            let expect = available_fraction(method, n);
+            assert!(
+                (b.available() - expect).abs() < 1e-12,
+                "{}: {} vs {}",
+                method.name(),
+                b.available(),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn max_workspace_len_is_tight() {
+        let budget = 64 << 20; // 64 MiB
+        for method in [Method::Single, Method::Double, Method::SelfCkpt] {
+            for n in [2, 8, 16] {
+                let m = max_workspace_len(method, n, budget);
+                let fits = MemoryBreakdown::new(method, m, n).total() * 8;
+                let over = MemoryBreakdown::new(method, m + 1, n).total() * 8;
+                assert!(fits <= budget, "{} n={n}", method.name());
+                assert!(over > budget, "{} n={n} not tight", method.name());
+            }
+        }
+    }
+
+    #[test]
+    fn self_beats_double_by_about_47_percent_at_group_16() {
+        // Abstract claim: 47% more memory than the state of the art.
+        let selfc = available_fraction(Method::SelfCkpt, 16);
+        let double = available_fraction(Method::Double, 16);
+        let gain = selfc / double - 1.0;
+        assert!(gain > 0.4 && gain < 0.55, "gain = {gain}");
+    }
+
+    #[test]
+    fn fault_tolerance_flags() {
+        assert!(!Method::Single.fully_fault_tolerant());
+        assert!(Method::Double.fully_fault_tolerant());
+        assert!(Method::SelfCkpt.fully_fault_tolerant());
+    }
+}

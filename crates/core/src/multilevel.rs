@@ -1,0 +1,278 @@
+//! Multi-level checkpointing: self-checkpoint in memory, periodically
+//! flushed to the parallel file system.
+//!
+//! The paper (§2.1): "For a higher degree of fault tolerance, in-memory
+//! checkpoint methods can be also combined with a multi-level checkpoint
+//! framework [SCR, 3D-PCRAM, FTI]". This module is that combination: the
+//! fast level is the plain [`Checkpointer`] (every interval), the slow
+//! level writes the whole protected state to the cluster's PFS device
+//! every `flush_every`-th checkpoint. When the in-memory level cannot
+//! recover — e.g. **two nodes of one group** lost, beyond single parity —
+//! recovery falls back to the newest PFS epoch held by every rank
+//! (two-slot discipline, like the BLCR baseline).
+
+use crate::protocol::{CkptStats, Checkpointer, RecoverError, Recovery, RestoreSource};
+use skt_mps::{Fault, Payload, ReduceOp};
+use std::time::{Duration, Instant};
+
+/// Result of a multi-level `make`.
+#[derive(Clone, Copy, Debug)]
+pub struct MlStats {
+    /// The in-memory level's stats.
+    pub mem: CkptStats,
+    /// Whether this checkpoint was also flushed to the PFS.
+    pub flushed: bool,
+    /// Cost of the flush (real serialize + modeled PFS transfer).
+    pub flush_time: Duration,
+}
+
+/// A checkpointer with a disk level underneath the in-memory level.
+pub struct MultiLevel<'c> {
+    ck: Checkpointer<'c>,
+    flush_every: u64,
+    mem_ckpts: u64,
+}
+
+impl<'c> MultiLevel<'c> {
+    /// Wrap an initialized [`Checkpointer`]; every `flush_every`-th
+    /// in-memory checkpoint is also written to the PFS (`flush_every = 0`
+    /// disables the disk level, degenerating to plain self-checkpoint).
+    pub fn new(ck: Checkpointer<'c>, flush_every: u64) -> Self {
+        MultiLevel { ck, flush_every, mem_ckpts: 0 }
+    }
+
+    /// The wrapped in-memory checkpointer.
+    pub fn inner(&self) -> &Checkpointer<'c> {
+        &self.ck
+    }
+
+    /// Mutable access to the in-memory checkpointer.
+    pub fn inner_mut(&mut self) -> &mut Checkpointer<'c> {
+        &mut self.ck
+    }
+
+    fn blob_name(&self, slot: u64) -> String {
+        let ctx = self.ck.comm().ctx();
+        format!("ml/{}/r{}/slot{}", self.ck.config_name(), ctx.world_rank(), slot)
+    }
+
+    fn serialize(&self, a2: &[u8]) -> Vec<u8> {
+        let ws = self.ck.workspace();
+        let g = ws.read();
+        let data = g.as_f64();
+        let mut out = Vec::with_capacity(16 + a2.len() + data.len() * 8);
+        out.extend_from_slice(&self.ck.epoch().to_le_bytes());
+        out.extend_from_slice(&(a2.len() as u64).to_le_bytes());
+        out.extend_from_slice(a2);
+        for v in data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// In-memory checkpoint, plus a PFS flush on schedule.
+    pub fn make(&mut self, a2: &[u8]) -> Result<MlStats, Fault> {
+        let mem = self.ck.make(a2)?;
+        self.mem_ckpts += 1;
+        let mut flushed = false;
+        let mut flush_time = Duration::ZERO;
+        if self.flush_every > 0 && self.mem_ckpts.is_multiple_of(self.flush_every) {
+            let ctx = self.ck.comm().ctx();
+            let t = Instant::now();
+            let blob = self.serialize(a2);
+            let sharers = ctx.node_sharers();
+            let slot = (self.mem_ckpts / self.flush_every) % 2;
+            let t_io = ctx.cluster().pfs().write(&self.blob_name(slot), blob, sharers);
+            self.ck.comm().barrier()?; // coordinated disk commit
+            flush_time = t.elapsed() + t_io;
+            flushed = true;
+        }
+        Ok(MlStats { mem, flushed, flush_time })
+    }
+
+    /// Recover: in-memory first; if that level is beyond repair (more
+    /// than one group member lost), fall back to the newest PFS epoch
+    /// every rank holds.
+    pub fn recover(&mut self) -> Result<Recovery, RecoverError> {
+        match self.ck.recover() {
+            Err(RecoverError::Unrecoverable(_)) => self.recover_from_pfs(),
+            other => other,
+        }
+    }
+
+    fn recover_from_pfs(&mut self) -> Result<Recovery, RecoverError> {
+        let ctx = self.ck.comm().ctx();
+        let pfs = ctx.cluster().pfs();
+        let sharers = ctx.node_sharers();
+        // newest epoch I hold on disk
+        let mut local: Vec<(u64, u64)> = Vec::new();
+        for slot in 0..2u64 {
+            if let Some((blob, _)) = pfs.read(&self.blob_name(slot), sharers) {
+                local.push((u64::from_le_bytes(blob[..8].try_into().unwrap()), slot));
+            }
+        }
+        let my_best = local.iter().map(|(e, _)| *e).max().unwrap_or(0) as i64;
+        // newest epoch EVERYONE holds (the disk level is job-wide: use
+        // the group comm; with init_synced the sync comm is authoritative)
+        let common = self
+            .ck
+            .agree_min(my_best)
+            .map_err(RecoverError::Fault)?;
+        if common == 0 {
+            self.ck.reset();
+            self.ck.comm().barrier().map_err(RecoverError::Fault)?;
+            return Ok(Recovery::NoCheckpoint);
+        }
+        let slot = local
+            .iter()
+            .find(|(e, _)| *e == common as u64)
+            .map(|(_, s)| *s)
+            .expect("two-slot discipline guarantees the common epoch is held");
+        let (blob, _t_io) = pfs.read(&self.blob_name(slot), sharers).expect("slot just probed");
+        let a2_len = u64::from_le_bytes(blob[8..16].try_into().unwrap()) as usize;
+        let a2 = blob[16..16 + a2_len].to_vec();
+        let data: Vec<f64> = blob[16 + a2_len..]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        {
+            let ws = self.ck.workspace();
+            let mut g = ws.write();
+            g.as_f64_mut().copy_from_slice(&data);
+        }
+        // the in-memory level restarts from this state; keep the epoch
+        // counter monotonic so later PFS blobs never regress in freshness
+        self.ck.reset();
+        self.ck.set_epoch(common as u64);
+        self.ck.comm().barrier().map_err(RecoverError::Fault)?;
+        Ok(Recovery::Restored {
+            epoch: common as u64,
+            a2,
+            source: RestoreSource::MultiLevelDisk,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Method;
+    use crate::protocol::CkptConfig;
+    use skt_cluster::{Cluster, ClusterConfig, Ranklist};
+    use skt_mps::run_on_cluster;
+    use std::sync::Arc;
+
+    const N: usize = 4;
+    const A1: usize = 64;
+
+    fn app(
+        ctx: &skt_mps::Ctx,
+        flush_every: u64,
+        steps: u64,
+    ) -> Result<(Recovery, Vec<f64>, usize), Fault> {
+        let world = ctx.world();
+        let cfg = CkptConfig::new("ml", Method::SelfCkpt, A1, 16);
+        let (ck, _) = Checkpointer::init(world, cfg);
+        let mut ml = MultiLevel::new(ck, flush_every);
+        let rec = ml.recover().map_err(|e| match e {
+            RecoverError::Fault(f) => f,
+            RecoverError::Unrecoverable(m) => panic!("unexpected: {m}"),
+        })?;
+        let start = match &rec {
+            Recovery::Restored { a2, .. } => u64::from_le_bytes(a2.clone().try_into().unwrap()),
+            Recovery::NoCheckpoint => 0,
+        };
+        let mut flushes = 0usize;
+        let ws = ml.inner().workspace();
+        for s in start..steps {
+            {
+                let mut g = ws.write();
+                g.as_f64_mut()[..A1].fill(ctx.world_rank() as f64 * 100.0 + (s + 1) as f64);
+            }
+            ctx.failpoint("ml-step")?;
+            let st = ml.make(&(s + 1).to_le_bytes())?;
+            if st.flushed {
+                flushes += 1;
+                assert!(st.flush_time > Duration::ZERO);
+            }
+        }
+        let data = ws.read().as_f64()[..A1].to_vec();
+        Ok((rec, data, flushes))
+    }
+
+    #[test]
+    fn flush_schedule_is_respected() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+        let rl = Ranklist::round_robin(N, N);
+        let outs = run_on_cluster(Arc::clone(&cluster), &rl, |ctx| app(ctx, 2, 6)).unwrap();
+        for (_, _, flushes) in outs {
+            assert_eq!(flushes, 3, "6 checkpoints / flush_every 2");
+        }
+        assert!(cluster.pfs().used_bytes() > 0);
+    }
+
+    #[test]
+    fn single_node_loss_uses_the_memory_level() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 1)));
+        let mut rl = Ranklist::round_robin(N, N);
+        cluster.arm_failure(skt_cluster::FailurePlan::new("ml-step", 4, 1));
+        assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| app(ctx, 2, 6)).is_err());
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        let outs = run_on_cluster(cluster, &rl, |ctx| app(ctx, 2, 6)).unwrap();
+        for (rec, _, _) in &outs {
+            assert!(
+                matches!(rec, Recovery::Restored { epoch: 3, source, .. }
+                    if *source != RestoreSource::MultiLevelDisk),
+                "memory level must handle a single loss: {rec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_node_loss_falls_back_to_pfs() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 2)));
+        let mut rl = Ranklist::round_robin(N, N);
+        cluster.arm_failure(skt_cluster::FailurePlan::new("ml-step", 4, 1));
+        assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| app(ctx, 2, 6)).is_err());
+        // a second node dies before the restart: memory level is dead
+        cluster.kill_node(2);
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        let outs = run_on_cluster(cluster, &rl, |ctx| app(ctx, 2, 6)).unwrap();
+        for (rank, (rec, data, _)) in outs.iter().enumerate() {
+            match rec {
+                Recovery::Restored { epoch, source, .. } => {
+                    assert_eq!(*source, RestoreSource::MultiLevelDisk, "rank {rank}");
+                    assert_eq!(*epoch, 2, "newest flushed epoch (flush at 2; ckpt 3 was memory-only)");
+                }
+                other => panic!("rank {rank}: {other:?}"),
+            }
+            // final state after finishing the remaining steps
+            assert!(data.iter().all(|v| *v == rank as f64 * 100.0 + 6.0));
+        }
+    }
+
+    #[test]
+    fn double_loss_without_disk_level_is_fatal() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 2)));
+        let mut rl = Ranklist::round_robin(N, N);
+        cluster.arm_failure(skt_cluster::FailurePlan::new("ml-step", 4, 1));
+        assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| app(ctx, 0, 6)).is_err());
+        cluster.kill_node(2);
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        let outs = run_on_cluster(cluster, &rl, |ctx| {
+            let world = ctx.world();
+            let (ck, _) = Checkpointer::init(world, CkptConfig::new("ml", Method::SelfCkpt, A1, 16));
+            let mut ml = MultiLevel::new(ck, 0);
+            match ml.recover() {
+                // without a disk level, no PFS blob exists -> NoCheckpoint
+                Ok(Recovery::NoCheckpoint) => Ok(true),
+                other => panic!("{other:?}"),
+            }
+        })
+        .unwrap();
+        assert!(outs.into_iter().all(|b| b));
+    }
+}

@@ -1,0 +1,1038 @@
+//! The checkpoint protocols: **self-checkpoint** (the paper's
+//! contribution, Figures 4–5) and the **single** / **double** checkpoint
+//! baselines (Figures 2–3), behind one [`Checkpointer`] interface.
+//!
+//! ## Segments (all in node-persistent SHM, names scoped per rank)
+//!
+//! | segment  | size (f64)        | role |
+//! |----------|-------------------|------|
+//! | `work`   | padded `A1 + B2`  | application workspace `A1` plus the mirrored small-state area `B2`; *is itself a checkpoint* while `B` is overwritten |
+//! | `b`      | same as `work`    | checkpoint copy `B` (double method: `b0`,`b1`) |
+//! | `c`      | one stripe        | committed checksum `C` (double: `c0`,`c1`) |
+//! | `d`      | one stripe        | fresh checksum `D` (self method only) |
+//! | `header` | 32 bytes          | epochs + commit markers |
+//!
+//! ## Commit discipline (self-checkpoint, epoch `e`)
+//!
+//! 1. serialize app state into `B2`;
+//! 2. group-encode parity of `work` into `D` (`N` stripe reduces);
+//! 3. **barrier**, then mark `d_epoch = e`;
+//! 4. copy `work → B`, `D → C`;
+//! 5. **barrier**, then mark `bc_epoch = e`.
+//!
+//! Recovery takes the group minimum of the survivors' headers: if
+//! `min(d_epoch) > min(bc_epoch)` the encode completed group-wide and the
+//! flush may be torn — restore from `(work, D)`; otherwise restore from
+//! `(B, C)` at `min(bc_epoch)`. A lost rank's stripes are rebuilt from
+//! the survivors via [`reconstruct_lost`]. The invariant — at least one
+//! of `(work, D)`, `(B, C)` is a committed consistent pair at every
+//! instant — is exercised by failure injection at every probe label in
+//! the integration tests.
+
+use crate::engine::{encode_parity, reconstruct_lost};
+use crate::memory::Method;
+use skt_cluster::{SegmentData, ShmSegment};
+use skt_encoding::{Code, GroupLayout};
+use skt_mps::{Comm, Fault, Payload, ReduceOp};
+use std::time::{Duration, Instant};
+
+/// Probe labels fired by [`Checkpointer::make`], in order. Arm a
+/// [`FailurePlan`](skt_cluster::FailurePlan) on one of these to land a
+/// failure in the corresponding protocol window.
+pub mod probes {
+    /// After serializing app state into `B2`.
+    pub const A2: &str = "ckpt-a2";
+    /// Between the per-slot parity reduces of the encode (CASE 1 window).
+    pub const ENCODE: &str = "ckpt-encode";
+    /// After the encode barrier, before/after the `d_epoch` commit.
+    pub const D_COMMIT: &str = "ckpt-d-commit";
+    /// After `work → B` was copied, before `D → C` (CASE 2 window).
+    pub const FLUSH_B: &str = "ckpt-flush-b";
+    /// After `D → C` was copied, before the final commit.
+    pub const FLUSH_C: &str = "ckpt-flush-c";
+    /// After the checkpoint fully committed.
+    pub const DONE: &str = "ckpt-done";
+    /// Baselines: after `work → B` copy (their inconsistency window).
+    pub const COPY_B: &str = "ckpt-copy-b";
+}
+
+/// Static configuration of a [`Checkpointer`].
+#[derive(Clone, Debug)]
+pub struct CkptConfig {
+    /// Namespace for SHM segment names (one protected application).
+    pub name: String,
+    /// Which protocol to run.
+    pub method: Method,
+    /// Parity code (paper default: XOR).
+    pub code: Code,
+    /// Application workspace length in `f64` elements (`A1`).
+    pub a1_len: usize,
+    /// Capacity reserved for serialized small state (`A2`), bytes.
+    pub a2_capacity: usize,
+}
+
+impl CkptConfig {
+    /// Convenience constructor with XOR code.
+    pub fn new(name: impl Into<String>, method: Method, a1_len: usize, a2_capacity: usize) -> Self {
+        CkptConfig { name: name.into(), method, code: Code::Xor, a1_len, a2_capacity }
+    }
+}
+
+/// Timing/size record of one checkpoint (feeds Figure 13 and Table 3).
+#[derive(Clone, Copy, Debug)]
+pub struct CkptStats {
+    /// Epoch just committed.
+    pub epoch: u64,
+    /// Time spent in the parity encode (communication phase).
+    pub encode: Duration,
+    /// Time spent copying `work → B`, `D → C` (local memory phase).
+    pub flush: Duration,
+    /// Bytes of checkpoint data this rank protects (size of `B`).
+    pub checkpoint_bytes: usize,
+    /// Bytes of checksum this rank stores.
+    pub checksum_bytes: usize,
+}
+
+/// What recovery found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Recovery {
+    /// No checkpoint was ever committed — start from scratch.
+    NoCheckpoint,
+    /// State restored; the workspace segment holds epoch `epoch`'s data
+    /// and `a2` is the application's serialized small state.
+    Restored {
+        /// Epoch the state corresponds to.
+        epoch: u64,
+        /// Serialized `A2` returned to the application.
+        a2: Vec<u8>,
+        /// Which consistent pair recovery used.
+        source: RestoreSource,
+    },
+}
+
+/// Which pair recovery restored from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestoreSource {
+    /// `(B, C)` — the committed checkpoint (CASE 1 / normal rollback).
+    CheckpointAndChecksum,
+    /// `(work, D)` — the workspace acting as its own checkpoint (CASE 2;
+    /// unique to the self-checkpoint method).
+    WorkspaceAndChecksum,
+    /// The parallel-file-system level of a multi-level setup
+    /// ([`crate::multilevel::MultiLevel`]) — used when the in-memory
+    /// level was beyond repair.
+    MultiLevelDisk,
+}
+
+/// Recovery failure.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The runtime faulted (another node died during recovery).
+    Fault(Fault),
+    /// The protocol cannot recover (e.g. two members of one group lost,
+    /// or the single-checkpoint method caught mid-update).
+    Unrecoverable(String),
+}
+
+impl From<Fault> for RecoverError {
+    fn from(f: Fault) -> Self {
+        RecoverError::Fault(f)
+    }
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Fault(e) => write!(f, "fault during recovery: {e}"),
+            RecoverError::Unrecoverable(s) => write!(f, "unrecoverable: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+// header words
+const H_D_EPOCH: usize = 0; // self: d commit; double: pair-0 epoch lives in H_BC
+const H_BC_EPOCH: usize = 1; // self/single: bc commit; double: pair-0 epoch
+const H_PAIR1: usize = 2; // double: pair-1 epoch
+const H_DIRTY: usize = 3; // single: update-in-progress marker
+
+/// One rank's checkpointer, bound to its group communicator.
+///
+/// When the application runs **multiple groups**, commits must be
+/// *globally* consistent: all groups checkpoint the same epoch, and after
+/// a failure every group must restore the *same* epoch. Pass the job-wide
+/// communicator via [`Checkpointer::init_synced`]; it adds a cross-group
+/// barrier between the checksum commit and the flush (so no group starts
+/// overwriting its old checkpoint while another could still force a
+/// rollback past it), and recovery agrees on the global minimum of the
+/// groups' restorable epochs.
+pub struct Checkpointer<'c> {
+    comm: Comm<'c>,
+    sync: Option<Comm<'c>>,
+    cfg: CkptConfig,
+    layout: GroupLayout,
+    b2_words: usize,
+    work: ShmSegment,
+    b: ShmSegment,
+    c: ShmSegment,
+    d: Option<ShmSegment>,
+    b1: Option<ShmSegment>,
+    c1: Option<ShmSegment>,
+    header: ShmSegment,
+    attached: bool,
+    epoch: u64,
+}
+
+fn read_header(seg: &ShmSegment) -> [u64; 4] {
+    let g = seg.read();
+    let b = g.as_bytes();
+    let mut h = [0u64; 4];
+    for (i, hw) in h.iter_mut().enumerate() {
+        *hw = u64::from_le_bytes(b[i * 8..(i + 1) * 8].try_into().unwrap());
+    }
+    h
+}
+
+fn write_header_word(seg: &ShmSegment, idx: usize, val: u64) {
+    let mut g = seg.write();
+    let b = g.as_bytes_mut();
+    b[idx * 8..(idx + 1) * 8].copy_from_slice(&val.to_le_bytes());
+}
+
+impl<'c> Checkpointer<'c> {
+    /// Create or re-attach this rank's segments. Returns the checkpointer
+    /// and whether existing segments were found (i.e. this is a restart
+    /// of a surviving rank). Single-group form; for multi-group jobs use
+    /// [`Self::init_synced`].
+    pub fn init(comm: Comm<'c>, cfg: CkptConfig) -> (Self, bool) {
+        Self::init_inner(comm, None, cfg)
+    }
+
+    /// Like [`Self::init`], with a job-wide communicator for cross-group
+    /// commit synchronization and recovery agreement. Every rank of the
+    /// job must use the same `sync` communicator and issue `make`/
+    /// `recover` collectively across the whole job.
+    pub fn init_synced(comm: Comm<'c>, sync: Comm<'c>, cfg: CkptConfig) -> (Self, bool) {
+        Self::init_inner(comm, Some(sync), cfg)
+    }
+
+    fn init_inner(comm: Comm<'c>, sync: Option<Comm<'c>>, cfg: CkptConfig) -> (Self, bool) {
+        assert!(cfg.a1_len > 0, "workspace must be non-empty");
+        let n = comm.size();
+        let b2_words = 1 + cfg.a2_capacity.div_ceil(8);
+        let layout = GroupLayout::new(n, cfg.a1_len + b2_words);
+        let padded = layout.padded_len();
+        let stripe = layout.stripe_len();
+        let ctx = comm.ctx();
+        let me = ctx.world_rank();
+        let shm = ctx.shm();
+        let seg_name = |part: &str| format!("{}/r{}/{}", cfg.name, me, part);
+        let zeros_f64 = |len: usize| move || SegmentData::F64(vec![0.0; len]);
+
+        let (work, attached) = shm.get_or_create(&seg_name("work"), zeros_f64(padded));
+        let (b, _) = shm.get_or_create(&seg_name("b"), zeros_f64(padded));
+        let (c, _) = shm.get_or_create(&seg_name("c"), zeros_f64(stripe));
+        let d = matches!(cfg.method, Method::SelfCkpt)
+            .then(|| shm.get_or_create(&seg_name("d"), zeros_f64(stripe)).0);
+        let b1 = matches!(cfg.method, Method::Double)
+            .then(|| shm.get_or_create(&seg_name("b1"), zeros_f64(padded)).0);
+        let c1 = matches!(cfg.method, Method::Double)
+            .then(|| shm.get_or_create(&seg_name("c1"), zeros_f64(stripe)).0);
+        let (header, _) = shm.get_or_create(&seg_name("header"), || SegmentData::Bytes(vec![0u8; 32]));
+
+        let h = read_header(&header);
+        let epoch = match cfg.method {
+            Method::SelfCkpt | Method::Single => h[H_BC_EPOCH],
+            Method::Double => h[H_BC_EPOCH].max(h[H_PAIR1]),
+        };
+        (
+            Checkpointer {
+                comm,
+                sync,
+                cfg,
+                layout,
+                b2_words,
+                work,
+                b,
+                c,
+                d,
+                b1,
+                c1,
+                header,
+                attached,
+                epoch,
+            },
+            attached,
+        )
+    }
+
+    /// Handle to the workspace segment. The application reads/writes the
+    /// first [`Self::a1_len`] elements; the tail is protocol-owned (`B2`).
+    pub fn workspace(&self) -> ShmSegment {
+        ShmSegment::clone(&self.work)
+    }
+
+    /// Application-visible workspace length (elements).
+    pub fn a1_len(&self) -> usize {
+        self.cfg.a1_len
+    }
+
+    /// The stripe geometry in use.
+    pub fn layout(&self) -> &GroupLayout {
+        &self.layout
+    }
+
+    /// Group communicator.
+    pub fn comm(&self) -> &Comm<'c> {
+        &self.comm
+    }
+
+    /// Last committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// SHM namespace this checkpointer was configured with.
+    pub fn config_name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Force the epoch counter (used by the multi-level layer after a
+    /// disk restore so epoch numbering stays monotonic across a reset).
+    pub fn set_epoch(&mut self, e: u64) {
+        self.epoch = e;
+    }
+
+    /// Job-wide minimum agreement (sync communicator when present,
+    /// group otherwise) — exposed for layered protocols like
+    /// [`crate::multilevel::MultiLevel`].
+    pub fn agree_min(&self, v: i64) -> Result<i64, Fault> {
+        let comm = self.sync.as_ref().unwrap_or(&self.comm);
+        Ok(comm.allreduce(ReduceOp::Min, Payload::I64(vec![v]))?.into_i64()[0])
+    }
+
+    /// Whether init re-attached to pre-existing segments.
+    pub fn attached(&self) -> bool {
+        self.attached
+    }
+
+    /// Total SHM bytes this rank's protocol state occupies (workspace
+    /// included) — compared against Table 1 in tests.
+    pub fn shm_bytes(&self) -> usize {
+        let seg_bytes = |s: &ShmSegment| s.read().size_bytes();
+        seg_bytes(&self.work)
+            + seg_bytes(&self.b)
+            + seg_bytes(&self.c)
+            + self.d.as_ref().map_or(0, seg_bytes)
+            + self.b1.as_ref().map_or(0, seg_bytes)
+            + self.c1.as_ref().map_or(0, seg_bytes)
+            + seg_bytes(&self.header)
+    }
+
+    fn write_b2(&self, a2: &[u8]) {
+        assert!(
+            a2.len() <= self.cfg.a2_capacity,
+            "a2 ({} bytes) exceeds capacity ({})",
+            a2.len(),
+            self.cfg.a2_capacity
+        );
+        debug_assert!(a2.len().div_ceil(8) < self.b2_words, "B2 region overflow");
+        let mut g = self.work.write();
+        let v = g.as_f64_mut();
+        let base = self.cfg.a1_len;
+        v[base] = f64::from_bits(a2.len() as u64);
+        for (w, chunk) in a2.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            v[base + 1 + w] = f64::from_bits(u64::from_le_bytes(word));
+        }
+    }
+
+    fn read_b2(data: &[f64], a1_len: usize, a2_capacity: usize) -> Vec<u8> {
+        let len = data[a1_len].to_bits() as usize;
+        assert!(len <= a2_capacity, "corrupt B2 length {len}");
+        let mut out = Vec::with_capacity(len);
+        let mut w = 0;
+        while out.len() < len {
+            let word = data[a1_len + 1 + w].to_bits().to_le_bytes();
+            let take = (len - out.len()).min(8);
+            out.extend_from_slice(&word[..take]);
+            w += 1;
+        }
+        out
+    }
+
+    fn copy_seg(dst: &ShmSegment, src: &ShmSegment) {
+        let s = src.read();
+        let mut d = dst.write();
+        d.as_f64_mut().copy_from_slice(s.as_f64());
+    }
+
+    /// Make a checkpoint of the current workspace plus the serialized
+    /// small state `a2`. Collective over the group.
+    pub fn make(&mut self, a2: &[u8]) -> Result<CkptStats, Fault> {
+        let e = self.epoch + 1;
+        let ctx = self.comm.ctx();
+        // Entry barrier: no rank may start dirtying protocol state until
+        // the whole job reached the checkpoint. This pins the "failure
+        // during computation" case to a state where every rank's segments
+        // are quiescent, and keeps the epoch counter job-wide.
+        self.sync_barrier()?;
+        self.write_b2(a2);
+        ctx.failpoint(probes::A2)?;
+        let stats = match self.cfg.method {
+            Method::SelfCkpt => self.make_self(e)?,
+            Method::Single => self.make_single(e)?,
+            Method::Double => self.make_double(e)?,
+        };
+        self.epoch = e;
+        ctx.failpoint(probes::DONE)?;
+        Ok(stats)
+    }
+
+    fn stats(&self, e: u64, encode: Duration, flush: Duration) -> CkptStats {
+        CkptStats {
+            epoch: e,
+            encode,
+            flush,
+            checkpoint_bytes: self.layout.padded_len() * 8,
+            checksum_bytes: self.layout.stripe_len() * 8,
+        }
+    }
+
+    fn make_self(&mut self, e: u64) -> Result<CkptStats, Fault> {
+        let ctx = self.comm.ctx();
+        let d_seg = self.d.as_ref().expect("self method has D");
+
+        // (2) encode parity of `work` into D
+        let t0 = Instant::now();
+        let parity = {
+            let g = self.work.read();
+            encode_parity(&self.comm, &self.layout, self.cfg.code, g.as_f64(), Some(probes::ENCODE))?
+        };
+        d_seg.write().as_f64_mut().copy_from_slice(&parity);
+        // (3) group-wide commit of D
+        self.comm.barrier()?;
+        let encode = t0.elapsed();
+        write_header_word(&self.header, H_D_EPOCH, e);
+        ctx.failpoint(probes::D_COMMIT)?;
+        // Cross-group gate: no group may start overwriting (B, C) until
+        // *every* group has committed D@e — otherwise a failure could
+        // force one group back to e-1 while another has already
+        // destroyed its e-1 checkpoint.
+        self.sync_barrier()?;
+
+        // (4) flush: the old checkpoint is overwritten while `work`+D
+        // stand in as the consistent pair.
+        let t1 = Instant::now();
+        Self::copy_seg(&self.b, &self.work);
+        ctx.failpoint(probes::FLUSH_B)?;
+        Self::copy_seg(&self.c, d_seg);
+        ctx.failpoint(probes::FLUSH_C)?;
+        // (5) group-wide commit of (B, C)
+        self.comm.barrier()?;
+        let flush = t1.elapsed();
+        write_header_word(&self.header, H_BC_EPOCH, e);
+        Ok(self.stats(e, encode, flush))
+    }
+
+    fn make_single(&mut self, e: u64) -> Result<CkptStats, Fault> {
+        let ctx = self.comm.ctx();
+        // Mark the attempt: if epoch `e` never commits anywhere, (B, C)
+        // may be torn and recovery must give up — the method's documented
+        // flaw (paper Figure 2, CASE 2).
+        write_header_word(&self.header, H_DIRTY, e);
+        let t1 = Instant::now();
+        Self::copy_seg(&self.b, &self.work);
+        ctx.failpoint(probes::COPY_B)?;
+        let flush = t1.elapsed();
+        let t0 = Instant::now();
+        let parity = {
+            let g = self.b.read();
+            encode_parity(&self.comm, &self.layout, self.cfg.code, g.as_f64(), Some(probes::ENCODE))?
+        };
+        self.c.write().as_f64_mut().copy_from_slice(&parity);
+        self.comm.barrier()?;
+        let encode = t0.elapsed();
+        write_header_word(&self.header, H_BC_EPOCH, e);
+        Ok(self.stats(e, encode, flush))
+    }
+
+    fn make_double(&mut self, e: u64) -> Result<CkptStats, Fault> {
+        let ctx = self.comm.ctx();
+        // overwrite the *older* pair; the newer pair stays consistent.
+        let (b_t, c_t, h_t) = if e.is_multiple_of(2) {
+            (self.b1.as_ref().unwrap(), self.c1.as_ref().unwrap(), H_PAIR1)
+        } else {
+            (&self.b, &self.c, H_BC_EPOCH)
+        };
+        let t1 = Instant::now();
+        Self::copy_seg(b_t, &self.work);
+        ctx.failpoint(probes::COPY_B)?;
+        let flush = t1.elapsed();
+        let t0 = Instant::now();
+        let parity = {
+            let g = b_t.read();
+            encode_parity(&self.comm, &self.layout, self.cfg.code, g.as_f64(), Some(probes::ENCODE))?
+        };
+        c_t.write().as_f64_mut().copy_from_slice(&parity);
+        self.comm.barrier()?;
+        let encode = t0.elapsed();
+        write_header_word(&self.header, h_t, e);
+        Ok(self.stats(e, encode, flush))
+    }
+
+    /// Collective recovery after a restart. At most one group member may
+    /// have lost its segments (fresh node). On success the workspace
+    /// segment holds the restored data.
+    pub fn recover(&mut self) -> Result<Recovery, RecoverError> {
+        // Exchange (fresh, h0, h1, h2, h3) across the group.
+        let h = read_header(&self.header);
+        let fresh = !self.attached;
+        let mine = Payload::I64(vec![
+            fresh as i64,
+            h[0] as i64,
+            h[1] as i64,
+            h[2] as i64,
+            h[3] as i64,
+        ]);
+        let infos: Vec<Vec<i64>> = self
+            .comm
+            .allgather(mine)?
+            .into_iter()
+            .map(Payload::into_i64)
+            .collect();
+        let lost_list: Vec<usize> =
+            infos.iter().enumerate().filter(|(_, v)| v[0] != 0).map(|(i, _)| i).collect();
+        let all_fresh = lost_list.len() == self.comm.size();
+        let group_unrec = !all_fresh && lost_list.len() > 1;
+        let lost = if all_fresh { None } else { lost_list.first().copied() };
+        let survivors = || infos.iter().filter(|v| v[0] == 0);
+        // Group MAX of the committed epochs. Every commit marker is
+        // written only after a group barrier, so "any survivor committed
+        // phase X of epoch e" proves every rank's *data* for that phase
+        // is complete — even on ranks whose header write was cut short by
+        // the abort.
+        let max_of =
+            |idx: usize| if all_fresh { 0 } else { survivors().map(|v| v[idx] as u64).max().unwrap() };
+
+        // This group's restorable epoch ("proposal") and whether it is
+        // beyond repair.
+        let d_max = max_of(1 + H_D_EPOCH);
+        let bc_max = max_of(1 + H_BC_EPOCH);
+        let pair1_max = max_of(1 + H_PAIR1);
+        let attempt_max = max_of(1 + H_DIRTY);
+        let (proposal, torn) = match self.cfg.method {
+            Method::SelfCkpt => (d_max.max(bc_max), false),
+            Method::Single => (bc_max, attempt_max > bc_max),
+            Method::Double => (bc_max.max(pair1_max), false),
+        };
+
+        // Job-wide agreement: any torn / doubly-failed group dooms the
+        // whole job; otherwise every group restores the global MINIMUM of
+        // the proposals (the cross-group gate in `make` guarantees the
+        // minimum is restorable by everyone — see init_synced docs).
+        let (unrec, target) = self.global_agree(group_unrec || torn, proposal)?;
+        if unrec {
+            return Err(RecoverError::Unrecoverable(if torn {
+                "single-checkpoint: failure during checkpoint update left (B, C) inconsistent".into()
+            } else {
+                "a group lost more than one member (or a peer group is unrecoverable)".into()
+            }));
+        }
+        if target == 0 {
+            // no epoch ever committed job-wide (or a whole group's state
+            // vanished): start over from scratch
+            self.reset();
+            self.sync_barrier().map_err(RecoverError::Fault)?;
+            return Ok(Recovery::NoCheckpoint);
+        }
+
+        match self.cfg.method {
+            Method::SelfCkpt => self.recover_self(lost, target, d_max, bc_max),
+            Method::Single => self.recover_single(lost, target),
+            Method::Double => self.recover_double(lost, target, bc_max, pair1_max),
+        }
+    }
+
+    fn sync_barrier(&self) -> Result<(), Fault> {
+        match &self.sync {
+            Some(s) => s.barrier(),
+            None => self.comm.barrier(),
+        }
+    }
+
+    /// One job-wide allreduce combining the unrecoverable flag (Min of
+    /// its negation) and the restore epoch (Min).
+    fn global_agree(&self, unrec: bool, proposal: u64) -> Result<(bool, u64), RecoverError> {
+        match &self.sync {
+            None => Ok((unrec, proposal)),
+            Some(s) => {
+                let v = s
+                    .allreduce(
+                        ReduceOp::Min,
+                        Payload::I64(vec![-(unrec as i64), proposal as i64]),
+                    )?
+                    .into_i64();
+                Ok((v[0] < 0, v[1] as u64))
+            }
+        }
+    }
+
+    fn finish_restore(&mut self, epoch: u64, source: RestoreSource) -> Result<Recovery, RecoverError> {
+        let a2 = {
+            let g = self.work.read();
+            Self::read_b2(g.as_f64(), self.cfg.a1_len, self.cfg.a2_capacity)
+        };
+        self.epoch = epoch;
+        self.attached = true;
+        self.comm.barrier()?;
+        // keep all groups aligned before the application resumes
+        self.sync_barrier()?;
+        Ok(Recovery::Restored { epoch, a2, source })
+    }
+
+    fn recover_self(
+        &mut self,
+        lost: Option<usize>,
+        target: u64,
+        d_max: u64,
+        bc_max: u64,
+    ) -> Result<Recovery, RecoverError> {
+        let me = self.comm.rank();
+        if target == bc_max {
+            // Normal rollback to the committed checkpoint (CASE 1) — also
+            // the cross-group case "another group proposed e-1": the
+            // pre-flush sync gate guarantees our (B, C)@e-1 is then still
+            // intact.
+            if let Some(f) = lost {
+                let (bd, pc) = {
+                    let b = self.b.read();
+                    let c = self.c.read();
+                    (b.as_f64().to_vec(), c.as_f64().to_vec())
+                };
+                if let Some((data, parity)) =
+                    reconstruct_lost(&self.comm, &self.layout, self.cfg.code, f, &bd, &pc)?
+                {
+                    debug_assert_eq!(me, f);
+                    self.b.write().as_f64_mut().copy_from_slice(&data);
+                    self.c.write().as_f64_mut().copy_from_slice(&parity);
+                }
+            }
+            Self::copy_seg(&self.work, &self.b);
+            // restore the invariant: D mirrors C after a rollback
+            Self::copy_seg(self.d.as_ref().unwrap(), &self.c);
+            self.comm.barrier()?;
+            write_header_word(&self.header, H_D_EPOCH, target);
+            write_header_word(&self.header, H_BC_EPOCH, target);
+            self.finish_restore(target, RestoreSource::CheckpointAndChecksum)
+        } else if target == d_max {
+            // Encode of epoch `d_max` committed job-wide; the flush may
+            // be torn. The workspace itself is the checkpoint (CASE 2).
+            if let Some(f) = lost {
+                let (wd, pd) = {
+                    let w = self.work.read();
+                    let d = self.d.as_ref().unwrap().read();
+                    (w.as_f64().to_vec(), d.as_f64().to_vec())
+                };
+                if let Some((data, parity)) =
+                    reconstruct_lost(&self.comm, &self.layout, self.cfg.code, f, &wd, &pd)?
+                {
+                    debug_assert_eq!(me, f);
+                    self.work.write().as_f64_mut().copy_from_slice(&data);
+                    self.d.as_ref().unwrap().write().as_f64_mut().copy_from_slice(&parity);
+                }
+            }
+            // complete the interrupted flush so (B, C) is consistent again
+            Self::copy_seg(&self.b, &self.work);
+            Self::copy_seg(&self.c, self.d.as_ref().unwrap());
+            self.comm.barrier()?;
+            write_header_word(&self.header, H_D_EPOCH, target);
+            write_header_word(&self.header, H_BC_EPOCH, target);
+            self.finish_restore(target, RestoreSource::WorkspaceAndChecksum)
+        } else {
+            unreachable!(
+                "self-checkpoint: agreed epoch {target} matches neither d ({d_max}) nor bc ({bc_max}) — protocol invariant broken"
+            );
+        }
+    }
+
+    fn recover_single(&mut self, lost: Option<usize>, target: u64) -> Result<Recovery, RecoverError> {
+        if let Some(f) = lost {
+            let (bd, pc) = {
+                let b = self.b.read();
+                let c = self.c.read();
+                (b.as_f64().to_vec(), c.as_f64().to_vec())
+            };
+            if let Some((data, parity)) =
+                reconstruct_lost(&self.comm, &self.layout, self.cfg.code, f, &bd, &pc)?
+            {
+                self.b.write().as_f64_mut().copy_from_slice(&data);
+                self.c.write().as_f64_mut().copy_from_slice(&parity);
+            }
+        }
+        Self::copy_seg(&self.work, &self.b);
+        self.comm.barrier()?;
+        write_header_word(&self.header, H_BC_EPOCH, target);
+        write_header_word(&self.header, H_DIRTY, target);
+        self.finish_restore(target, RestoreSource::CheckpointAndChecksum)
+    }
+
+    fn recover_double(
+        &mut self,
+        lost: Option<usize>,
+        target: u64,
+        pair0_max: u64,
+        pair1_max: u64,
+    ) -> Result<Recovery, RecoverError> {
+        // Restore from the pair holding the agreed epoch. A pair commit
+        // implies the group barrier passed, so every survivor's data for
+        // that pair is complete; the other pair may hold a torn write and
+        // is only ever trusted at its own committed epoch.
+        let (epoch, b_t, c_t, h_t) = if pair0_max == target {
+            (target, self.b.clone(), self.c.clone(), H_BC_EPOCH)
+        } else if pair1_max == target {
+            (
+                target,
+                self.b1.as_ref().unwrap().clone(),
+                self.c1.as_ref().unwrap().clone(),
+                H_PAIR1,
+            )
+        } else {
+            unreachable!(
+                "double-checkpoint: agreed epoch {target} not held by either pair ({pair0_max}, {pair1_max})"
+            );
+        };
+        if let Some(f) = lost {
+            let (bd, pc) = {
+                let b = b_t.read();
+                let c = c_t.read();
+                (b.as_f64().to_vec(), c.as_f64().to_vec())
+            };
+            if let Some((data, parity)) =
+                reconstruct_lost(&self.comm, &self.layout, self.cfg.code, f, &bd, &pc)?
+            {
+                b_t.write().as_f64_mut().copy_from_slice(&data);
+                c_t.write().as_f64_mut().copy_from_slice(&parity);
+            }
+        }
+        Self::copy_seg(&self.work, &b_t);
+        self.comm.barrier()?;
+        write_header_word(&self.header, h_t, epoch);
+        self.finish_restore(epoch, RestoreSource::CheckpointAndChecksum)
+    }
+
+    /// Abandon all checkpoint state: zero the commit markers so future
+    /// recoveries see "no checkpoint" and the application regenerates
+    /// from scratch. Used when recovery reports
+    /// [`RecoverError::Unrecoverable`] (e.g. the single-checkpoint
+    /// baseline torn mid-update) and the caller restarts the computation.
+    pub fn reset(&mut self) {
+        for idx in [H_D_EPOCH, H_BC_EPOCH, H_PAIR1, H_DIRTY] {
+            write_header_word(&self.header, idx, 0);
+        }
+        self.epoch = 0;
+        self.attached = true;
+    }
+
+    /// Collective integrity check: recompute the parity of `B` and
+    /// compare it with `C` bit-exactly. Returns the group-wide verdict.
+    pub fn verify_integrity(&self) -> Result<bool, Fault> {
+        let parity = {
+            let g = self.b.read();
+            encode_parity(&self.comm, &self.layout, self.cfg.code, g.as_f64(), None)?
+        };
+        let ok = {
+            let c = self.c.read();
+            parity
+                .iter()
+                .zip(c.as_f64())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        };
+        let verdict = self
+            .comm
+            .allreduce(ReduceOp::Min, Payload::I64(vec![ok as i64]))?
+            .into_i64()[0];
+        Ok(verdict == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skt_cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
+    use skt_mps::run_on_cluster;
+    use std::sync::Arc;
+
+    const N: usize = 4;
+    const A1: usize = 64;
+
+    fn cfg(method: Method) -> CkptConfig {
+        CkptConfig::new("test", method, A1, 64)
+    }
+
+    fn pattern(rank: usize, epoch: u64) -> Vec<f64> {
+        (0..A1).map(|i| (rank * 10_000 + i) as f64 + epoch as f64 * 0.5).collect()
+    }
+
+    /// Run a full work→checkpoint→fail→repair→recover cycle with the
+    /// failure armed at `(label, nth)` on node `victim`; return the
+    /// recovery outcomes observed on the relaunch.
+    fn cycle(
+        method: Method,
+        label: &str,
+        nth: u64,
+        victim: usize,
+        epochs_before_fail: u64,
+    ) -> Vec<(Recovery, Vec<f64>)> {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 1)));
+        let mut rl = Ranklist::round_robin(N, N);
+        cluster.arm_failure(FailurePlan::new(label, nth, victim));
+
+        // First run: write a pattern per epoch, checkpoint, keep going
+        // until the injected failure kills the job.
+        let res = run_on_cluster(cluster.clone(), &rl, |ctx| {
+            let world = ctx.world();
+            let (mut ck, _) = Checkpointer::init(world, cfg(method));
+            for e in 1..=epochs_before_fail + 2 {
+                {
+                    let ws = ck.workspace();
+                    let mut g = ws.write();
+                    g.as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), e));
+                }
+                ck.make(&e.to_le_bytes())?;
+            }
+            Ok(())
+        });
+        assert!(res.is_err(), "failure must abort the first run");
+
+        // Daemon: repair and relaunch; each rank recovers.
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        run_on_cluster(cluster, &rl, |ctx| {
+            let world = ctx.world();
+            let (mut ck, _) = Checkpointer::init(world, cfg(method));
+            let rec = ck.recover().map_err(|e| match e {
+                RecoverError::Fault(f) => f,
+                RecoverError::Unrecoverable(msg) => panic!("unrecoverable: {msg}"),
+            })?;
+            let ws = ck.workspace();
+            let data = ws.read().as_f64()[..A1].to_vec();
+            Ok((rec, data))
+        })
+        .unwrap()
+    }
+
+    fn assert_restored_epoch(outs: &[(Recovery, Vec<f64>)], expect_epoch: u64) {
+        for (rank, (rec, data)) in outs.iter().enumerate() {
+            match rec {
+                Recovery::Restored { epoch, a2, .. } => {
+                    assert_eq!(*epoch, expect_epoch, "rank {rank}");
+                    assert_eq!(a2.as_slice(), &expect_epoch.to_le_bytes(), "rank {rank} a2");
+                }
+                other => panic!("rank {rank}: expected restore, got {other:?}"),
+            }
+            assert_eq!(data, &pattern(rank, expect_epoch), "rank {rank} data");
+        }
+    }
+
+    #[test]
+    fn self_recovers_from_failure_during_computation() {
+        // Victim dies right after its 2nd completed checkpoint (DONE
+        // probe) — the "failure in computing" CASE 1 of Figure 4.
+        let outs = cycle(Method::SelfCkpt, probes::DONE, 2, 1, 2);
+        assert_restored_epoch(&outs, 2);
+        assert!(matches!(
+            outs[0].0,
+            Recovery::Restored { source: RestoreSource::CheckpointAndChecksum, .. }
+        ));
+    }
+
+    #[test]
+    fn self_recovers_from_failure_during_encode() {
+        // Failure in the middle of computing checksum D of epoch 3 →
+        // roll back to (B, C) of epoch 2 (CASE 1 of Figure 4).
+        let outs = cycle(Method::SelfCkpt, probes::ENCODE, 2 * N as u64 + 1, 2, 2);
+        assert_restored_epoch(&outs, 2);
+    }
+
+    #[test]
+    fn self_recovers_from_failure_during_flush() {
+        // D of epoch 3 committed, failure while overwriting B → recover
+        // forward from (work, D) at epoch 3 (CASE 2 of Figure 4).
+        let outs = cycle(Method::SelfCkpt, probes::FLUSH_B, 3, 1, 2);
+        assert_restored_epoch(&outs, 3);
+        assert!(matches!(
+            outs[0].0,
+            Recovery::Restored { source: RestoreSource::WorkspaceAndChecksum, .. }
+        ));
+    }
+
+    #[test]
+    fn self_recovers_from_failure_at_d_commit() {
+        let outs = cycle(Method::SelfCkpt, probes::D_COMMIT, 3, 3, 2);
+        // all survivors committed D@3? The victim died *after* its own
+        // d-commit probe fired, i.e. after writing d=3; min over
+        // survivors decides. Either way the data must be a consistent
+        // epoch (2 or 3).
+        let epoch = match &outs[0].0 {
+            Recovery::Restored { epoch, .. } => *epoch,
+            o => panic!("{o:?}"),
+        };
+        assert!(epoch == 2 || epoch == 3, "epoch {epoch}");
+        assert_restored_epoch(&outs, epoch);
+    }
+
+    #[test]
+    fn double_recovers_from_failure_during_update() {
+        // double checkpoint survives a failure during checkpoint update
+        // (overwrites the older pair) — Figure 3.
+        let outs = cycle(Method::Double, probes::COPY_B, 3, 1, 2);
+        assert_restored_epoch(&outs, 2);
+    }
+
+    #[test]
+    fn double_recovers_from_failure_during_computation() {
+        let outs = cycle(Method::Double, probes::DONE, 2, 2, 2);
+        assert_restored_epoch(&outs, 2);
+    }
+
+    #[test]
+    fn single_recovers_from_failure_during_computation() {
+        let outs = cycle(Method::Single, probes::DONE, 2, 1, 2);
+        assert_restored_epoch(&outs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecoverable")]
+    fn single_cannot_recover_from_failure_during_update() {
+        // the defining weakness (Figure 2 CASE 2): failure between B copy
+        // and C encode leaves the only checkpoint torn.
+        let _ = cycle(Method::Single, probes::COPY_B, 3, 1, 2);
+    }
+
+    #[test]
+    fn fresh_start_reports_no_checkpoint() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+        let rl = Ranklist::round_robin(N, N);
+        let outs = run_on_cluster(cluster, &rl, |ctx| {
+            let world = ctx.world();
+            let (mut ck, attached) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+            assert!(!attached);
+            ck.recover().map_err(|_| Fault::JobAborted)
+        })
+        .unwrap();
+        assert!(outs.iter().all(|r| *r == Recovery::NoCheckpoint));
+    }
+
+    #[test]
+    fn checkpoint_integrity_verifies_after_make() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+        let rl = Ranklist::round_robin(N, N);
+        let outs = run_on_cluster(cluster, &rl, |ctx| {
+            let world = ctx.world();
+            let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+            {
+                let ws = ck.workspace();
+                ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), 1));
+            }
+            ck.make(b"state")?;
+            let ok = ck.verify_integrity()?;
+            // corrupt one byte of B on rank 2 and re-verify
+            if ctx.world_rank() == 2 {
+                let name = format!("test/r{}/b", ctx.world_rank());
+                let seg = ctx.shm().attach(&name).unwrap();
+                seg.write().as_f64_mut()[5] += 1.0;
+            }
+            ctx.world().barrier()?;
+            let world2 = ctx.world();
+            let (ck2, _) = Checkpointer::init(world2, cfg(Method::SelfCkpt));
+            let ok2 = ck2.verify_integrity()?;
+            Ok((ok, ok2))
+        })
+        .unwrap();
+        for (ok, ok2) in outs {
+            assert!(ok, "fresh checkpoint must verify");
+            assert!(!ok2, "corruption must be detected group-wide");
+        }
+    }
+
+    #[test]
+    fn shm_usage_matches_table1() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+        let rl = Ranklist::round_robin(N, N);
+        let outs = run_on_cluster(cluster, &rl, |ctx| {
+            let world = ctx.world();
+            let (ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+            Ok((ck.shm_bytes(), ck.layout().padded_len(), ck.layout().stripe_len()))
+        })
+        .unwrap();
+        for (bytes, padded, stripe) in outs {
+            // work + B + C + D + 32-byte header
+            let expect = (2 * padded + 2 * stripe) * 8 + 32;
+            assert_eq!(bytes, expect);
+            // Table 1 total 2MN/(N-1): with M = padded elements
+            let table1 = 2 * padded * N / (N - 1);
+            assert_eq!(2 * padded + 2 * stripe, table1);
+        }
+    }
+
+    #[test]
+    fn stats_report_sizes() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+        let rl = Ranklist::round_robin(N, N);
+        let outs = run_on_cluster(cluster, &rl, |ctx| {
+            let world = ctx.world();
+            let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+            let s = ck.make(&[])?;
+            Ok(s)
+        })
+        .unwrap();
+        for s in outs {
+            assert_eq!(s.epoch, 1);
+            assert_eq!(s.checkpoint_bytes, s.checksum_bytes * (N - 1));
+        }
+    }
+
+    #[test]
+    fn sum_code_round_trips_through_recovery() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 1)));
+        let mut rl = Ranklist::round_robin(N, N);
+        cluster.arm_failure(FailurePlan::new(probes::DONE, 1, 0));
+        let mut sum_cfg = cfg(Method::SelfCkpt);
+        sum_cfg.code = Code::Sum;
+        let c2 = sum_cfg.clone();
+        let res: Result<Vec<()>, Fault> = run_on_cluster(cluster.clone(), &rl, |ctx| {
+            let world = ctx.world();
+            let (mut ck, _) = Checkpointer::init(world, c2.clone());
+            {
+                let ws = ck.workspace();
+                ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), 7));
+            }
+            ck.make(b"seven")?;
+            loop {
+                ctx.failpoint("spin")?;
+            }
+        });
+        assert!(res.is_err());
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        let outs = run_on_cluster(cluster, &rl, |ctx| {
+            let world = ctx.world();
+            let (mut ck, _) = Checkpointer::init(world, sum_cfg.clone());
+            let rec = ck.recover().map_err(|_| Fault::JobAborted)?;
+            let ws = ck.workspace();
+            let data = ws.read().as_f64()[..A1].to_vec();
+            Ok((rec, data))
+        })
+        .unwrap();
+        for (rank, (rec, data)) in outs.iter().enumerate() {
+            assert!(matches!(rec, Recovery::Restored { epoch: 1, .. }));
+            let expect = pattern(rank, 7);
+            for (a, b) in data.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-6, "rank {rank}: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Single-failure parity codecs.
+//!
+//! The paper's general encoding is `X_S = X_1 + X_2 + … + X_{N-1}` where
+//! `+` is "either a numerical sum or a logical exclusive-or" (§2.1),
+//! computed with `MPI_Reduce(MPI_BXOR)` / `MPI_Reduce(MPI_SUM)` (§2.2).
+//! XOR is the default — it is exact (operates on the `f64` *bit
+//! patterns*) and often faster; SUM is supported for completeness and for
+//! platforms where a numeric reduce is preferable.
+
+/// Parity code over `f64` stripes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Code {
+    /// Bitwise XOR of the IEEE-754 bit patterns. Exact; self-inverse.
+    #[default]
+    Xor,
+    /// Numeric addition. Recovery subtracts, so reconstructed values can
+    /// differ from the originals by floating-point rounding.
+    Sum,
+}
+
+impl Code {
+    /// The identity element buffer (all zero bits / all `0.0`).
+    pub fn zero(self, len: usize) -> Vec<f64> {
+        vec![0.0; len]
+    }
+
+    /// `acc := acc ⊕ x` element-wise.
+    pub fn accumulate(self, acc: &mut [f64], x: &[f64]) {
+        assert_eq!(acc.len(), x.len(), "accumulate: length mismatch");
+        match self {
+            Code::Xor => {
+                for (a, b) in acc.iter_mut().zip(x) {
+                    *a = f64::from_bits(a.to_bits() ^ b.to_bits());
+                }
+            }
+            Code::Sum => {
+                for (a, b) in acc.iter_mut().zip(x) {
+                    *a += *b;
+                }
+            }
+        }
+    }
+
+    /// `acc := acc ⊖ x` element-wise (the recovery direction). For XOR
+    /// this is the same operation; for SUM it subtracts.
+    pub fn cancel(self, acc: &mut [f64], x: &[f64]) {
+        assert_eq!(acc.len(), x.len(), "cancel: length mismatch");
+        match self {
+            Code::Xor => self.accumulate(acc, x),
+            Code::Sum => {
+                for (a, b) in acc.iter_mut().zip(x) {
+                    *a -= *b;
+                }
+            }
+        }
+    }
+
+    /// Parity of a set of stripes: `⊕_i stripes[i]`.
+    pub fn parity(self, len: usize, stripes: impl IntoIterator<Item = impl AsRef<[f64]>>) -> Vec<f64> {
+        let mut acc = self.zero(len);
+        for s in stripes {
+            self.accumulate(&mut acc, s.as_ref());
+        }
+        acc
+    }
+
+    /// Reconstruct the missing stripe from the parity and every surviving
+    /// stripe: `missing = parity ⊖ ⊕_i survivors[i]`.
+    pub fn reconstruct(
+        self,
+        parity: &[f64],
+        survivors: impl IntoIterator<Item = impl AsRef<[f64]>>,
+    ) -> Vec<f64> {
+        let mut out = parity.to_vec();
+        for s in survivors {
+            self.cancel(&mut out, s.as_ref());
+        }
+        out
+    }
+
+    /// The `MPI_Op`-style name the paper uses for this code.
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::Xor => "BXOR",
+            Code::Sum => "SUM",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripes() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.5, -2.25, 1e300, 0.0],
+            vec![3.0, 0.5, -1e-300, -0.0],
+            vec![-7.125, 42.0, 1.0, 123.456],
+        ]
+    }
+
+    #[test]
+    fn xor_reconstruction_is_bit_exact() {
+        let s = stripes();
+        let parity = Code::Xor.parity(4, &s);
+        for missing in 0..3 {
+            let survivors: Vec<&Vec<f64>> = s.iter().enumerate().filter(|(i, _)| *i != missing).map(|(_, v)| v).collect();
+            let rec = Code::Xor.reconstruct(&parity, survivors);
+            for (a, b) in rec.iter().zip(&s[missing]) {
+                assert_eq!(a.to_bits(), b.to_bits(), "XOR must be bit-exact");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_reconstruction_is_close() {
+        let s = stripes();
+        let parity = Code::Sum.parity(4, &s);
+        for missing in 0..3 {
+            let survivors: Vec<&Vec<f64>> = s.iter().enumerate().filter(|(i, _)| *i != missing).map(|(_, v)| v).collect();
+            let rec = Code::Sum.reconstruct(&parity, survivors);
+            for (a, b) in rec.iter().zip(&s[missing]) {
+                let tol = 1e-9 * b.abs().max(1.0) + 1e300 * 1e-15; // catastrophic-cancel headroom
+                assert!((a - b).abs() <= tol, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_handles_nan_bit_patterns() {
+        // XOR of valid floats can produce NaN bit patterns; they must
+        // round-trip as bits.
+        let a = vec![f64::from_bits(0x7FF8_0000_0000_0001)]; // a NaN
+        let b = vec![1.0];
+        let parity = Code::Xor.parity(1, [&a, &b]);
+        let rec = Code::Xor.reconstruct(&parity, [&b]);
+        assert_eq!(rec[0].to_bits(), a[0].to_bits());
+    }
+
+    #[test]
+    fn parity_of_nothing_is_zero() {
+        let p = Code::Xor.parity(3, Vec::<Vec<f64>>::new());
+        assert_eq!(p, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn accumulate_is_associative_for_xor() {
+        let s = stripes();
+        let mut left = s[0].clone();
+        Code::Xor.accumulate(&mut left, &s[1]);
+        Code::Xor.accumulate(&mut left, &s[2]);
+        let mut right = s[1].clone();
+        Code::Xor.accumulate(&mut right, &s[2]);
+        Code::Xor.accumulate(&mut right, &s[0]);
+        for (a, b) in left.iter().zip(&right) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn names_match_mpi_ops() {
+        assert_eq!(Code::Xor.name(), "BXOR");
+        assert_eq!(Code::Sum.name(), "SUM");
+        assert_eq!(Code::default(), Code::Xor, "paper: XOR by default");
+    }
+}

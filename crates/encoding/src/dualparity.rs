@@ -1,0 +1,275 @@
+//! Dual parity (RAID-6 / Reed-Solomon P+Q) — the "more complex encoding
+//! methods … to tolerate more node failures" extension the paper names in
+//! §2.1.
+//!
+//! For stripes `D_0 … D_{k-1}` (byte-wise over GF(2^8)):
+//!
+//! * `P = D_0 ⊕ D_1 ⊕ … ⊕ D_{k-1}`
+//! * `Q = g^0·D_0 ⊕ g^1·D_1 ⊕ … ⊕ g^{k-1}·D_{k-1}`
+//!
+//! Any two erasures among `{D_i} ∪ {P, Q}` are recoverable. Data here is
+//! `f64`, viewed as little-endian bytes — recovery is bit-exact.
+
+use crate::gf256;
+
+/// Encoder/decoder for one group of `k` data stripes.
+#[derive(Clone, Copy, Debug)]
+pub struct DualParity {
+    k: usize,
+    stripe_len: usize,
+}
+
+/// What was lost, for [`DualParity::recover`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Erasure {
+    /// Data stripe `i` lost.
+    Data(usize),
+    /// P parity lost.
+    P,
+    /// Q parity lost.
+    Q,
+}
+
+impl DualParity {
+    /// Code over `k >= 1` stripes of `stripe_len` f64 elements
+    /// (`k <= 255`, the GF(256) limit).
+    pub fn new(k: usize, stripe_len: usize) -> Self {
+        assert!((1..=255).contains(&k), "k must be in 1..=255");
+        DualParity { k, stripe_len }
+    }
+
+    /// Number of data stripes.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn stripe_to_bytes(&self, s: &[f64]) -> Vec<u8> {
+        assert_eq!(s.len(), self.stripe_len, "stripe length mismatch");
+        let mut out = Vec::with_capacity(s.len() * 8);
+        for v in s {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn bytes_to_stripe(&self, b: &[u8]) -> Vec<f64> {
+        assert_eq!(b.len(), self.stripe_len * 8);
+        b.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Compute `(P, Q)` for the stripes.
+    pub fn encode(&self, stripes: &[&[f64]]) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(stripes.len(), self.k, "need exactly k stripes");
+        let nbytes = self.stripe_len * 8;
+        let mut p = vec![0u8; nbytes];
+        let mut q = vec![0u8; nbytes];
+        for (i, s) in stripes.iter().enumerate() {
+            let b = self.stripe_to_bytes(s);
+            for (pp, bb) in p.iter_mut().zip(&b) {
+                *pp ^= *bb;
+            }
+            gf256::mac_slice(&mut q, &b, gf256::gpow(i));
+        }
+        (self.bytes_to_stripe(&p), self.bytes_to_stripe(&q))
+    }
+
+    /// Recover up to two erasures. `stripes[i]` is `None` when lost;
+    /// `p`/`q` are `None` when the corresponding parity is lost. Returns
+    /// the fully restored stripe set (parities are not returned — re-run
+    /// [`Self::encode`] if needed).
+    ///
+    /// Panics if more than two things are missing (beyond the code's
+    /// correction capability) — callers detect that case from group
+    /// membership before recovery.
+    pub fn recover(
+        &self,
+        stripes: &[Option<&[f64]>],
+        p: Option<&[f64]>,
+        q: Option<&[f64]>,
+    ) -> Vec<Vec<f64>> {
+        assert_eq!(stripes.len(), self.k, "need exactly k stripe slots");
+        let missing: Vec<usize> = (0..self.k).filter(|&i| stripes[i].is_none()).collect();
+        let lost = missing.len() + usize::from(p.is_none()) + usize::from(q.is_none());
+        assert!(lost <= 2, "dual parity corrects at most two erasures, got {lost}");
+
+        let nbytes = self.stripe_len * 8;
+        let byte_stripes: Vec<Option<Vec<u8>>> =
+            stripes.iter().map(|s| s.map(|v| self.stripe_to_bytes(v))).collect();
+
+        let restored: Vec<Vec<u8>> = match (missing.as_slice(), p, q) {
+            // Nothing lost among data.
+            ([], _, _) => byte_stripes.into_iter().map(|s| s.unwrap()).collect(),
+            // One data stripe lost, P available: XOR reconstruction.
+            ([x], Some(p), _) => {
+                let mut d = self.stripe_to_bytes(p);
+                for (i, s) in byte_stripes.iter().enumerate() {
+                    if i != *x {
+                        for (a, b) in d.iter_mut().zip(s.as_ref().unwrap()) {
+                            *a ^= *b;
+                        }
+                    }
+                }
+                self.place(byte_stripes, &[(*x, d)])
+            }
+            // One data stripe lost, P lost too: solve with Q.
+            ([x], None, Some(q)) => {
+                // q_partial = Q ⊕ Σ_{i≠x} g^i D_i ; D_x = q_partial / g^x
+                let mut qp = self.stripe_to_bytes(q);
+                for (i, s) in byte_stripes.iter().enumerate() {
+                    if i != *x {
+                        gf256::mac_slice(&mut qp, s.as_ref().unwrap(), gf256::gpow(i));
+                    }
+                }
+                let c = gf256::inv(gf256::gpow(*x));
+                gf256::scale_slice(&mut qp, c);
+                self.place(byte_stripes, &[(*x, qp)])
+            }
+            // Two data stripes lost: solve the 2x2 system with P and Q.
+            ([x, y], Some(p), Some(q)) => {
+                let (x, y) = (*x, *y);
+                let mut pp = self.stripe_to_bytes(p);
+                let mut qp = self.stripe_to_bytes(q);
+                for (i, s) in byte_stripes.iter().enumerate() {
+                    if i != x && i != y {
+                        let s = s.as_ref().unwrap();
+                        for (a, b) in pp.iter_mut().zip(s) {
+                            *a ^= *b;
+                        }
+                        gf256::mac_slice(&mut qp, s, gf256::gpow(i));
+                    }
+                }
+                // pp = Dx ⊕ Dy ; qp = g^x Dx ⊕ g^y Dy
+                // => Dy = (qp ⊕ g^x·pp) / (g^x ⊕ g^y); Dx = pp ⊕ Dy
+                let gx = gf256::gpow(x);
+                let gy = gf256::gpow(y);
+                let denom_inv = gf256::inv(gx ^ gy);
+                let mut dy = qp;
+                gf256::mac_slice(&mut dy, &pp, gx);
+                gf256::scale_slice(&mut dy, denom_inv);
+                let mut dx = vec![0u8; nbytes];
+                for i in 0..nbytes {
+                    dx[i] = pp[i] ^ dy[i];
+                }
+                self.place(byte_stripes, &[(x, dx), (y, dy)])
+            }
+            _ => panic!("unrecoverable erasure pattern"),
+        };
+        restored.iter().map(|b| self.bytes_to_stripe(b)).collect()
+    }
+
+    fn place(&self, stripes: Vec<Option<Vec<u8>>>, fills: &[(usize, Vec<u8>)]) -> Vec<Vec<u8>> {
+        let mut out: Vec<Option<Vec<u8>>> = stripes;
+        for (i, d) in fills {
+            out[*i] = Some(d.clone());
+        }
+        out.into_iter().map(|s| s.expect("all stripes placed")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(k: usize, len: usize) -> Vec<Vec<f64>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 31 + j * 7) as f64).sin() * 1e3).collect())
+            .collect()
+    }
+
+    fn refs(v: &[Vec<f64>]) -> Vec<&[f64]> {
+        v.iter().map(|s| s.as_slice()).collect()
+    }
+
+    #[test]
+    fn recovers_single_data_loss_via_p() {
+        let data = sample(5, 16);
+        let dp = DualParity::new(5, 16);
+        let (p, q) = dp.encode(&refs(&data));
+        for lost in 0..5 {
+            let stripes: Vec<Option<&[f64]>> = data
+                .iter()
+                .enumerate()
+                .map(|(i, s)| if i == lost { None } else { Some(s.as_slice()) })
+                .collect();
+            let rec = dp.recover(&stripes, Some(&p), Some(&q));
+            assert_eq!(rec[lost], data[lost], "stripe {lost}");
+        }
+    }
+
+    #[test]
+    fn recovers_data_plus_p_loss_via_q() {
+        let data = sample(4, 8);
+        let dp = DualParity::new(4, 8);
+        let (_p, q) = dp.encode(&refs(&data));
+        for lost in 0..4 {
+            let stripes: Vec<Option<&[f64]>> = data
+                .iter()
+                .enumerate()
+                .map(|(i, s)| if i == lost { None } else { Some(s.as_slice()) })
+                .collect();
+            let rec = dp.recover(&stripes, None, Some(&q));
+            for (a, b) in rec[lost].iter().zip(&data[lost]) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bit-exact recovery");
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_two_data_losses() {
+        let data = sample(6, 12);
+        let dp = DualParity::new(6, 12);
+        let (p, q) = dp.encode(&refs(&data));
+        for x in 0..6 {
+            for y in x + 1..6 {
+                let stripes: Vec<Option<&[f64]>> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| if i == x || i == y { None } else { Some(s.as_slice()) })
+                    .collect();
+                let rec = dp.recover(&stripes, Some(&p), Some(&q));
+                assert_eq!(rec[x], data[x], "({x},{y})");
+                assert_eq!(rec[y], data[y], "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_only_loss_is_trivial() {
+        let data = sample(3, 4);
+        let dp = DualParity::new(3, 4);
+        let stripes: Vec<Option<&[f64]>> = data.iter().map(|s| Some(s.as_slice())).collect();
+        let rec = dp.recover(&stripes, None, None);
+        assert_eq!(rec, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn three_erasures_rejected() {
+        let data = sample(4, 4);
+        let dp = DualParity::new(4, 4);
+        let (p, _q) = dp.encode(&refs(&data));
+        let stripes: Vec<Option<&[f64]>> = data
+            .iter()
+            .enumerate()
+            .map(|(i, s)| if i < 2 { None } else { Some(s.as_slice()) })
+            .collect();
+        dp.recover(&stripes, Some(&p), None);
+    }
+
+    #[test]
+    fn special_float_values_round_trip() {
+        let data = vec![
+            vec![f64::INFINITY, f64::NEG_INFINITY, 0.0],
+            vec![f64::NAN, -0.0, f64::MIN_POSITIVE],
+        ];
+        let dp = DualParity::new(2, 3);
+        let (p, q) = dp.encode(&refs(&data));
+        let stripes: Vec<Option<&[f64]>> = vec![None, Some(data[1].as_slice())];
+        let rec = dp.recover(&stripes, Some(&p), Some(&q));
+        for (a, b) in rec[0].iter().zip(&data[0]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

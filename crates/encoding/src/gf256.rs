@@ -1,0 +1,174 @@
+//! GF(2^8) arithmetic for the dual-parity (RAID-6-style) extension.
+//!
+//! Field: polynomials over GF(2) modulo `x^8 + x^4 + x^3 + x^2 + 1`
+//! (0x11D), the conventional RAID-6 field; `g = 2` generates the
+//! multiplicative group.
+
+use std::sync::OnceLock;
+
+const POLY: u16 = 0x11D;
+
+/// The generator element used for the Q parity coefficients.
+pub const GENERATOR: u8 = 2;
+
+struct Tables {
+    exp: [u8; 512], // doubled so exp[(a+b) mod 255] reads need no modulo
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static T: OnceLock<Tables> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Field addition (= subtraction): XOR.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication via log/exp tables.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse; panics on zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "gf256: zero has no inverse");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Field division `a / b`; panics when `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// `g^i` for the Q-parity coefficient of stripe `i`.
+#[inline]
+pub fn gpow(i: usize) -> u8 {
+    tables().exp[i % 255]
+}
+
+/// Multiply every byte of `data` by the scalar `c`, in place.
+pub fn scale_slice(data: &mut [u8], c: u8) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        data.fill(0);
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize] as usize;
+    for b in data.iter_mut() {
+        *b = if *b == 0 { 0 } else { t.exp[t.log[*b as usize] as usize + lc] };
+    }
+}
+
+/// `acc[i] ^= mul(c, x[i])` — the fused multiply-accumulate of RS coding.
+pub fn mac_slice(acc: &mut [u8], x: &[u8], c: u8) {
+    assert_eq!(acc.len(), x.len(), "mac_slice: length mismatch");
+    if c == 0 {
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize] as usize;
+    for (a, b) in acc.iter_mut().zip(x) {
+        if *b != 0 {
+            *a ^= t.exp[t.log[*b as usize] as usize + lc];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_is_commutative_and_distributes() {
+        for a in [0u8, 1, 2, 7, 123, 255] {
+            for b in [0u8, 1, 3, 99, 200, 255] {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in [5u8, 17] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+            assert_eq!(div(mul(a, 77), 77), a);
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = gpow(i);
+            assert!(!seen[v as usize], "g^{i} repeats");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0], "powers of g are never zero");
+        assert_eq!(gpow(0), 1);
+        assert_eq!(gpow(1), GENERATOR);
+        assert_eq!(gpow(255), 1);
+    }
+
+    #[test]
+    fn scale_and_mac_match_scalar_ops() {
+        let x: Vec<u8> = (0..=255).collect();
+        let mut scaled = x.clone();
+        scale_slice(&mut scaled, 29);
+        for (i, v) in scaled.iter().enumerate() {
+            assert_eq!(*v, mul(x[i], 29));
+        }
+        let mut acc = vec![0xAB; 256];
+        mac_slice(&mut acc, &x, 29);
+        for (i, v) in acc.iter().enumerate() {
+            assert_eq!(*v, 0xAB ^ mul(x[i], 29));
+        }
+    }
+
+    #[test]
+    fn scale_by_zero_and_one() {
+        let mut a = vec![1, 2, 3];
+        scale_slice(&mut a, 1);
+        assert_eq!(a, vec![1, 2, 3]);
+        scale_slice(&mut a, 0);
+        assert_eq!(a, vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        inv(0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Stripe/slot geometry of the group encoding (paper Figure 1).
+//!
+//! A group has `N` ranks and `N` *slots*. Rank `r`'s local data is split
+//! into `N-1` stripes, assigned to the slots `{0..N} \ {r}`; slot `r` is
+//! where the *parity* guarded by rank `r` lives. The parity of slot `s`
+//! is the codec-combination of stripe-at-slot-`s` from every rank except
+//! `s` — exactly the rotating-parity placement of RAID-5, which spreads
+//! encoding traffic over all ranks instead of one root.
+
+use std::ops::Range;
+
+/// Geometry for one group member's data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupLayout {
+    n: usize,
+    data_len: usize,
+    stripe_len: usize,
+}
+
+impl GroupLayout {
+    /// Layout for a group of `n >= 2` ranks each holding `data_len`
+    /// elements. Data is padded (conceptually with zeros) to a multiple
+    /// of `n - 1`.
+    pub fn new(n: usize, data_len: usize) -> Self {
+        assert!(n >= 2, "group must have at least 2 ranks");
+        let stripe_len = data_len.div_ceil(n - 1);
+        GroupLayout { n, data_len, stripe_len }
+    }
+
+    /// Group size `N`.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Unpadded per-rank data length.
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// Stripe length (= checksum length): `ceil(data_len / (N-1))`.
+    pub fn stripe_len(&self) -> usize {
+        self.stripe_len
+    }
+
+    /// Padded data length every rank must allocate: `stripe_len * (N-1)`.
+    pub fn padded_len(&self) -> usize {
+        self.stripe_len * (self.n - 1)
+    }
+
+    /// Number of data stripes per rank.
+    pub fn stripes_per_rank(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Slot that rank `r`'s data stripe `k` (`k < N-1`) occupies.
+    pub fn slot_of_stripe(&self, r: usize, k: usize) -> usize {
+        assert!(r < self.n && k < self.n - 1);
+        if k < r {
+            k
+        } else {
+            k + 1
+        }
+    }
+
+    /// Data stripe of rank `r` living in slot `s`, or `None` when `s == r`
+    /// (that slot holds rank `r`'s parity, not data).
+    pub fn stripe_of_slot(&self, r: usize, s: usize) -> Option<usize> {
+        assert!(r < self.n && s < self.n);
+        if s == r {
+            None
+        } else if s < r {
+            Some(s)
+        } else {
+            Some(s - 1)
+        }
+    }
+
+    /// Element range of stripe `k` within the padded data buffer.
+    pub fn stripe_range(&self, k: usize) -> Range<usize> {
+        assert!(k < self.n - 1);
+        k * self.stripe_len..(k + 1) * self.stripe_len
+    }
+
+    /// Borrow stripe `k` from a padded data buffer.
+    pub fn stripe<'a>(&self, data: &'a [f64], k: usize) -> &'a [f64] {
+        assert_eq!(data.len(), self.padded_len(), "data must be padded");
+        &data[self.stripe_range(k)]
+    }
+
+    /// The ranks contributing data to slot `s` (everyone but the slot
+    /// owner).
+    pub fn contributors(&self, s: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(s < self.n);
+        (0..self.n).filter(move |&r| r != s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_len_is_ceil() {
+        let l = GroupLayout::new(4, 10);
+        assert_eq!(l.stripe_len(), 4); // ceil(10/3)
+        assert_eq!(l.padded_len(), 12);
+        let exact = GroupLayout::new(4, 9);
+        assert_eq!(exact.stripe_len(), 3);
+        assert_eq!(exact.padded_len(), 9);
+    }
+
+    #[test]
+    fn checksum_is_fraction_of_data() {
+        // A checksum is 1/(N-1) of the (padded) data — the memory claim
+        // behind Table 1.
+        let l = GroupLayout::new(16, 15 * 1000);
+        assert_eq!(l.stripe_len() * 15, l.padded_len());
+        assert_eq!(l.stripe_len(), 1000);
+    }
+
+    #[test]
+    fn slot_assignment_skips_own_rank() {
+        let l = GroupLayout::new(4, 9);
+        // rank 1's stripes occupy slots 0, 2, 3
+        assert_eq!(l.slot_of_stripe(1, 0), 0);
+        assert_eq!(l.slot_of_stripe(1, 1), 2);
+        assert_eq!(l.slot_of_stripe(1, 2), 3);
+        // inverse
+        assert_eq!(l.stripe_of_slot(1, 0), Some(0));
+        assert_eq!(l.stripe_of_slot(1, 1), None);
+        assert_eq!(l.stripe_of_slot(1, 2), Some(1));
+        assert_eq!(l.stripe_of_slot(1, 3), Some(2));
+    }
+
+    #[test]
+    fn slot_and_stripe_are_inverse_bijections() {
+        for n in 2..=8 {
+            let l = GroupLayout::new(n, 21);
+            for r in 0..n {
+                for k in 0..n - 1 {
+                    let s = l.slot_of_stripe(r, k);
+                    assert_ne!(s, r, "a rank never stores data in its parity slot");
+                    assert_eq!(l.stripe_of_slot(r, s), Some(k));
+                }
+                assert_eq!(l.stripe_of_slot(r, r), None);
+            }
+        }
+    }
+
+    #[test]
+    fn every_slot_has_n_minus_1_contributors() {
+        let l = GroupLayout::new(5, 8);
+        for s in 0..5 {
+            let c: Vec<usize> = l.contributors(s).collect();
+            assert_eq!(c.len(), 4);
+            assert!(!c.contains(&s));
+        }
+    }
+
+    #[test]
+    fn stripe_slices_partition_padded_data() {
+        let l = GroupLayout::new(3, 5); // stripe_len 3, padded 6
+        let data: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        assert_eq!(l.stripe(&data, 0), &[0.0, 1.0, 2.0]);
+        assert_eq!(l.stripe(&data, 1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "padded")]
+    fn unpadded_data_rejected() {
+        let l = GroupLayout::new(3, 5);
+        let data = vec![0.0; 5];
+        l.stripe(&data, 0);
+    }
+}

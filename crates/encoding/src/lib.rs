@@ -1,0 +1,31 @@
+#![allow(clippy::needless_range_loop)] // index loops over coupled arrays are the clearest form for BLAS-style kernels
+//! # skt-encoding
+//!
+//! Stripe-based group parity encoding — the error-correcting layer of the
+//! self-checkpoint method (paper §2.1).
+//!
+//! Processes are partitioned into groups of `N`. Each process splits its
+//! local data into `N-1` equal stripes; the group computes one parity
+//! stripe per *slot* and stores it on the slot's owner, RAID-5 style, so
+//! no single node becomes an encoding hot spot. A checksum is therefore
+//! only `1/(N-1)` of the data size — the observation the self-checkpoint
+//! protocol exploits to replace a second full checkpoint copy with a
+//! second checksum.
+//!
+//! * [`layout`] — the stripe/slot geometry (who stores which parity,
+//!   which stripe of which rank belongs to which slot).
+//! * [`code`] — the two single-failure codecs the paper supports through
+//!   `MPI_Reduce`: bitwise XOR on `f64` bit patterns (`MPI_BXOR`, exact)
+//!   and numeric SUM (`MPI_SUM`, subject to rounding).
+//! * [`gf256`] + [`dualparity`] — a RAID-6-style P+Q code over GF(2^8)
+//!   tolerating **two** failures per group; the paper names RAID-6 /
+//!   Reed-Solomon as the extension path (§2.1), implemented here.
+
+pub mod code;
+pub mod dualparity;
+pub mod gf256;
+pub mod layout;
+
+pub use code::Code;
+pub use dualparity::DualParity;
+pub use layout::GroupLayout;

@@ -1,0 +1,182 @@
+//! The master daemon (§5.2 of the paper).
+//!
+//! A daemon on a reliable master node watches the job. When the job
+//! aborts (any node loss kills every rank — MPI semantics), the daemon:
+//! detects the failure, checks node health against the ranklist,
+//! replaces lost nodes with spares, and resubmits the job. Surviving
+//! ranks re-attach to their SHM checkpoints; the replacement rank's
+//! shard is rebuilt from group parity inside `run_skt`'s recovery.
+//!
+//! Figure 10 timing: *detect* is modeled (it is a property of the job
+//! manager — ~63 s on Tianhe-2, ~30 s on Tianhe-1A); *replace*,
+//! *restart*, *recover*, and *checkpoint* are measured on the virtual
+//! cluster.
+
+use skt_cluster::{Cluster, Fault, Ranklist};
+use skt_hpl::{run_skt, SktConfig, SktOutput};
+use skt_mps::run_on_cluster;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-phase durations of one work-fail-detect-restart cycle (the bars
+/// of Figure 10).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Failure detection (modeled; job-manager property).
+    pub detect: Duration,
+    /// Replacing lost nodes by spares (measured: ranklist repair).
+    pub replace: Duration,
+    /// Relaunching the job (measured: spawn to first rank running).
+    pub restart: Duration,
+    /// Restoring data from checkpoints (measured inside the job).
+    pub recover: Duration,
+    /// Making one checkpoint (measured, average over the run).
+    pub checkpoint: Duration,
+}
+
+/// Outcome of a daemon-supervised run.
+#[derive(Clone, Debug)]
+pub struct CycleReport {
+    /// Number of job launches (1 = no failure).
+    pub launches: usize,
+    /// Failures survived.
+    pub failures: usize,
+    /// Result of the run that completed.
+    pub output: SktOutput,
+    /// Phase timings for each failure cycle, in order.
+    pub cycles: Vec<PhaseTimes>,
+}
+
+/// Why the daemon gave up.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// No spare node left to replace a failure.
+    OutOfSpares,
+    /// More failures than the configured budget.
+    TooManyFailures(usize),
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::OutOfSpares => write!(f, "spare-node pool exhausted"),
+            DaemonError::TooManyFailures(n) => write!(f, "gave up after {n} failures"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+/// Supervise a fault-tolerant HPL run to completion, restarting through
+/// up to `max_failures` node losses. `detect_model` is the modeled
+/// failure-detection latency of the platform's job manager.
+pub fn run_with_daemon(
+    cluster: Arc<Cluster>,
+    ranklist: &Ranklist,
+    cfg: &SktConfig,
+    max_failures: usize,
+    detect_model: Duration,
+) -> Result<CycleReport, DaemonError> {
+    let mut rl = ranklist.clone();
+    let mut cycles: Vec<PhaseTimes> = Vec::new();
+    let mut launches = 0usize;
+    loop {
+        launches += 1;
+        cluster.reset_abort();
+        let t_launch = Instant::now();
+        let result: Result<Vec<SktOutput>, Fault> =
+            run_on_cluster(Arc::clone(&cluster), &rl, |ctx| run_skt(ctx, cfg));
+        match result {
+            Ok(outs) => {
+                let out = outs[0];
+                // attribute restart/recover timings of a resumed run to
+                // the cycle that triggered it
+                if let Some(cycle) = cycles.last_mut() {
+                    cycle.recover = Duration::from_secs_f64(out.recover_seconds);
+                    if out.hpl.checkpoints > 0 {
+                        cycle.checkpoint =
+                            Duration::from_secs_f64(out.hpl.ckpt_seconds / out.hpl.checkpoints as f64);
+                    }
+                }
+                return Ok(CycleReport { launches, failures: launches - 1, output: out, cycles });
+            }
+            Err(_fault) => {
+                if launches > max_failures {
+                    return Err(DaemonError::TooManyFailures(launches));
+                }
+                // detect: the daemon learns of the abort from the launcher
+                let mut phase = PhaseTimes { detect: detect_model, ..Default::default() };
+                // replace: node-health check + ranklist repair
+                let t_rep = Instant::now();
+                cluster.reset_abort();
+                match rl.repair(&cluster) {
+                    Ok(_moved) => {}
+                    Err(_node) => return Err(DaemonError::OutOfSpares),
+                }
+                phase.replace = t_rep.elapsed();
+                // restart: accounted as launcher overhead of this attempt
+                phase.restart = t_launch.elapsed().min(Duration::from_secs(1));
+                cycles.push(phase);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skt_cluster::{ClusterConfig, FailurePlan};
+    use skt_hpl::HplConfig;
+
+    fn cfg() -> SktConfig {
+        SktConfig::new(HplConfig::new(48, 4, 11), 2, 2)
+    }
+
+    #[test]
+    fn daemon_completes_without_failures() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 0)));
+        let rl = Ranklist::round_robin(4, 4);
+        let rep = run_with_daemon(cluster, &rl, &cfg(), 3, Duration::from_secs(5)).unwrap();
+        assert_eq!(rep.launches, 1);
+        assert_eq!(rep.failures, 0);
+        assert!(rep.cycles.is_empty());
+        assert!(rep.output.hpl.passed);
+    }
+
+    #[test]
+    fn daemon_survives_one_node_loss() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
+        let rl = Ranklist::round_robin(4, 4);
+        cluster.arm_failure(FailurePlan::new("hpl-iter", 5, 1));
+        let rep = run_with_daemon(cluster.clone(), &rl, &cfg(), 3, Duration::from_secs(63)).unwrap();
+        assert_eq!(rep.launches, 2);
+        assert_eq!(rep.failures, 1);
+        assert!(rep.output.hpl.passed);
+        assert_eq!(rep.output.resumed_from_panel, 4);
+        assert_eq!(rep.cycles.len(), 1);
+        let c = &rep.cycles[0];
+        assert_eq!(c.detect, Duration::from_secs(63), "modeled detection");
+        assert!(c.recover > Duration::ZERO, "recovery must be timed");
+        assert_eq!(cluster.spares_left(), 0);
+    }
+
+    #[test]
+    fn daemon_survives_two_sequential_losses() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 2)));
+        let rl = Ranklist::round_robin(4, 4);
+        cluster.arm_failure(FailurePlan::new("hpl-iter", 3, 0));
+        cluster.arm_failure(FailurePlan::new("hpl-iter", 3, 2));
+        let rep = run_with_daemon(cluster, &rl, &cfg(), 5, Duration::from_secs(30)).unwrap();
+        assert_eq!(rep.failures, 2);
+        assert!(rep.output.hpl.passed);
+    }
+
+    #[test]
+    fn daemon_gives_up_without_spares() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 0)));
+        let rl = Ranklist::round_robin(4, 4);
+        cluster.arm_failure(FailurePlan::new("hpl-iter", 2, 1));
+        let err = run_with_daemon(cluster, &rl, &cfg(), 3, Duration::ZERO).unwrap_err();
+        assert!(matches!(err, DaemonError::OutOfSpares));
+    }
+}

@@ -1,0 +1,28 @@
+//! # skt-ftsim
+//!
+//! The fault-tolerance harness around SKT-HPL:
+//!
+//! * [`daemon`] — the master daemon of §5.2: launch the job, detect a
+//!   failure (from the launcher's exit status), replace lost nodes with
+//!   spares, rewrite the ranklist, and relaunch — the
+//!   work-fail-detect-restart cycle of Figure 10, with per-phase timing.
+//! * [`blcr`] — the BLCR baseline: transparent process-level
+//!   checkpointing of the whole rank state to a (bandwidth-modeled)
+//!   HDD/SSD block device, with restart from disk (Table 3's
+//!   `BLCR+HDD` / `BLCR+SSD` rows).
+//! * [`table3`] — the end-to-end comparison driver that produces the
+//!   rows of Table 3: each method sized to the memory its protocol
+//!   leaves available, run for performance, then subjected to a
+//!   power-off to test recovery.
+//!
+//! The SCR-in-RAM baseline needs no module of its own: it is
+//! [`skt_hpl::run_skt`] with [`Method::Double`](skt_core::Method), which
+//! is exactly what SCR's in-memory level does (two buddy copies).
+
+pub mod blcr;
+pub mod daemon;
+pub mod table3;
+
+pub use blcr::{run_blcr, BlcrConfig, BlcrStore};
+pub use daemon::{run_with_daemon, CycleReport, DaemonError, PhaseTimes};
+pub use table3::{run_table3, MethodRow, Table3Config};

@@ -1,0 +1,54 @@
+//! Peak-rate calibration.
+//!
+//! Paper figures report *efficiency* — measured GFLOPS over machine peak.
+//! On the virtual cluster the honest analogue of "theoretical peak" is
+//! the best dgemm rate one rank thread achieves; HPL efficiency is then
+//! measured against that, giving curves with the right shape without
+//! pretending a laptop has Tianhe's peak.
+
+use skt_linalg::{dgemm, Trans};
+use std::time::Instant;
+
+/// Measure the sustained dgemm rate of one thread in GFLOPS: repeated
+/// `size³` multiplies, best of `reps`.
+pub fn peak_gflops(size: usize, reps: usize) -> f64 {
+    assert!(size >= 16 && reps >= 1);
+    let a = vec![1.000_000_1f64; size * size];
+    let b = vec![0.999_999_9f64; size * size];
+    let mut c = vec![0.0f64; size * size];
+    let flops = 2.0 * (size as f64).powi(3);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        dgemm(Trans::No, size, size, size, 1.0, &a, size, &b, size, 0.0, &mut c, size);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    // keep the result observable so the multiply is not optimized out
+    assert!(c[0].is_finite());
+    flops / best / 1e9
+}
+
+/// Efficiency of a measured rate against the calibrated peak, clamped to
+/// `[0, 1]`.
+pub fn efficiency(gflops: f64, peak: f64) -> f64 {
+    assert!(peak > 0.0);
+    (gflops / peak).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_positive_and_repeatable_order() {
+        let p = peak_gflops(96, 2);
+        assert!(p > 0.05, "even a debug build beats 50 MFLOPS: {p}");
+    }
+
+    #[test]
+    fn efficiency_clamps() {
+        assert_eq!(efficiency(5.0, 10.0), 0.5);
+        assert_eq!(efficiency(20.0, 10.0), 1.0);
+        assert_eq!(efficiency(-1.0, 10.0), 0.0);
+    }
+}

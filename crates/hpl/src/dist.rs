@@ -1,0 +1,244 @@
+//! 1-D block-cyclic column distribution.
+//!
+//! The global system is the `n x (n+1)` augmented matrix `[A | b]`
+//! (HPL's own trick: the right-hand side rides along as the last column
+//! so the elimination transforms it in place). Columns are grouped into
+//! blocks of `nb`; block `k` belongs to rank `k % nranks`; each rank
+//! packs its blocks contiguously in column-major storage with leading
+//! dimension `n`.
+//!
+//! `n % nb == 0` is required, so `b` always sits alone in the final
+//! block — the usual way HPL runs are configured.
+
+/// Geometry of one rank's shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockCyclic1D {
+    n: usize,
+    nb: usize,
+    aux: usize,
+    nranks: usize,
+    me: usize,
+}
+
+impl BlockCyclic1D {
+    /// Distribution of `[A | b]` with `A` being `n x n`, block size `nb`,
+    /// over `nranks` ranks, for rank `me`.
+    pub fn new(n: usize, nb: usize, nranks: usize, me: usize) -> Self {
+        Self::with_aux(n, nb, 0, nranks, me)
+    }
+
+    /// Distribution of `[A | S | b]` where `S` is `aux` extra columns of
+    /// ABFT checksums riding between `A` and `b` (they receive the same
+    /// trailing updates as `b`). `aux` must be a multiple of `nb`.
+    pub fn with_aux(n: usize, nb: usize, aux: usize, nranks: usize, me: usize) -> Self {
+        assert!(n >= nb && nb >= 1, "need n >= nb >= 1");
+        assert_eq!(n % nb, 0, "n must be a multiple of nb");
+        assert_eq!(aux % nb, 0, "aux must be a multiple of nb");
+        assert!(me < nranks, "rank out of range");
+        BlockCyclic1D { n, nb, aux, nranks, me }
+    }
+
+    /// Problem size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Block size.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// This rank.
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Auxiliary (ABFT checksum) columns between `A` and `b`.
+    pub fn aux_cols(&self) -> usize {
+        self.aux
+    }
+
+    /// Global column index of `b` (`n + aux`).
+    pub fn b_col(&self) -> usize {
+        self.n + self.aux
+    }
+
+    /// Number of `A` blocks (excluding aux and `b` blocks).
+    pub fn nblocks_a(&self) -> usize {
+        self.n / self.nb
+    }
+
+    /// Total blocks: `A` blocks, aux blocks, and the single-column `b`
+    /// block.
+    pub fn nblocks_total(&self) -> usize {
+        self.nblocks_a() + self.aux / self.nb + 1
+    }
+
+    /// Owner rank of block `k`.
+    pub fn owner(&self, k: usize) -> usize {
+        k % self.nranks
+    }
+
+    /// Width (columns) of block `k`: `nb` for `A` and aux blocks, 1 for
+    /// the final `b` block.
+    pub fn block_width(&self, k: usize) -> usize {
+        assert!(k < self.nblocks_total());
+        if k + 1 < self.nblocks_total() {
+            self.nb
+        } else {
+            1
+        }
+    }
+
+    /// First global column of block `k`.
+    pub fn block_col0(&self, k: usize) -> usize {
+        k * self.nb
+    }
+
+    /// Does this rank own block `k`?
+    pub fn mine(&self, k: usize) -> bool {
+        self.owner(k) == self.me
+    }
+
+    /// Local column index of the first column of block `k` (must be
+    /// owned by this rank): the packed position after all my earlier
+    /// blocks.
+    pub fn local_col0(&self, k: usize) -> usize {
+        assert!(self.mine(k), "block {k} not owned by rank {}", self.me);
+        // my earlier blocks all have width nb (only the final b block can
+        // be ragged, and nothing comes after it)
+        (k / self.nranks) * self.nb
+    }
+
+    /// Number of local columns this rank stores.
+    pub fn local_cols(&self) -> usize {
+        (0..self.nblocks_total())
+            .filter(|&k| self.mine(k))
+            .map(|k| self.block_width(k))
+            .sum()
+    }
+
+    /// Upper bound of local columns over all ranks — every rank allocates
+    /// this much so that checkpoint groups see a uniform workspace size.
+    pub fn local_cols_max(&self) -> usize {
+        (0..self.nranks)
+            .map(|r| BlockCyclic1D { me: r, ..*self }.local_cols())
+            .max()
+            .unwrap()
+    }
+
+    /// Elements of local storage actually used (`n * local_cols`).
+    pub fn local_len(&self) -> usize {
+        self.n * self.local_cols()
+    }
+
+    /// Uniform per-rank allocation length (`n * local_cols_max`).
+    pub fn alloc_len(&self) -> usize {
+        self.n * self.local_cols_max()
+    }
+
+    /// Iterator over `(local_col, global_col)` pairs owned by this rank,
+    /// in increasing global order.
+    pub fn owned_cols(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.nblocks_total())
+            .filter(|&k| self.mine(k))
+            .flat_map(move |k| {
+                let lc0 = self.local_col0(k);
+                let gc0 = self.block_col0(k);
+                (0..self.block_width(k)).map(move |j| (lc0 + j, gc0 + j))
+            })
+    }
+
+    /// First local column whose global index is `>= gcol` (the start of
+    /// this rank's trailing-update region for a panel ending at `gcol`).
+    pub fn local_cols_from(&self, gcol: usize) -> usize {
+        self.owned_cols()
+            .find(|&(_, g)| g >= gcol)
+            .map(|(l, _)| l)
+            .unwrap_or_else(|| self.local_cols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_cyclic() {
+        let d = BlockCyclic1D::new(12, 4, 3, 1);
+        // blocks: 0,1,2 (A) + 3 (b); owners 0,1,2,0
+        assert_eq!(d.nblocks_a(), 3);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(1), 1);
+        assert_eq!(d.owner(3), 0);
+        assert!(d.mine(1));
+        assert_eq!(d.block_width(1), 4);
+        assert_eq!(d.block_width(3), 1, "b block is one column");
+    }
+
+    #[test]
+    fn local_packing_is_contiguous() {
+        let d = BlockCyclic1D::new(16, 4, 2, 0);
+        // blocks 0..4 (A) + 4 (b); rank 0 owns 0, 2, 4
+        assert_eq!(d.local_col0(0), 0);
+        assert_eq!(d.local_col0(2), 4);
+        assert_eq!(d.local_col0(4), 8);
+        assert_eq!(d.local_cols(), 9); // 4 + 4 + 1
+        let owned: Vec<(usize, usize)> = d.owned_cols().collect();
+        assert_eq!(owned[0], (0, 0));
+        assert_eq!(owned[4], (4, 8));
+        assert_eq!(owned[8], (8, 16), "b column is global col 16");
+    }
+
+    #[test]
+    fn all_columns_covered_exactly_once() {
+        let (n, nb, p) = (24, 4, 5);
+        let mut seen = vec![0usize; n + 1];
+        for r in 0..p {
+            let d = BlockCyclic1D::new(n, nb, p, r);
+            for (_, g) in d.owned_cols() {
+                seen[g] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn local_cols_max_bounds_all_ranks() {
+        let (n, nb, p) = (40, 8, 3);
+        let max = BlockCyclic1D::new(n, nb, p, 0).local_cols_max();
+        for r in 0..p {
+            let d = BlockCyclic1D::new(n, nb, p, r);
+            assert!(d.local_cols() <= max, "rank {r}");
+            assert_eq!(d.local_cols_max(), max, "max must be rank-independent");
+        }
+    }
+
+    #[test]
+    fn trailing_start_is_correct() {
+        let d = BlockCyclic1D::new(16, 4, 2, 0);
+        // rank 0 owns blocks 0 (cols 0-3), 2 (cols 8-11), 4 (col 16)
+        assert_eq!(d.local_cols_from(0), 0);
+        assert_eq!(d.local_cols_from(4), 4, "first local col with g >= 4 is block 2");
+        assert_eq!(d.local_cols_from(12), 8, "skips to b column");
+        assert_eq!(d.local_cols_from(17), 9, "past everything");
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let d = BlockCyclic1D::new(8, 4, 1, 0);
+        assert_eq!(d.local_cols(), 9);
+        assert_eq!(d.alloc_len(), 8 * 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn ragged_n_rejected() {
+        BlockCyclic1D::new(10, 4, 2, 0);
+    }
+}

@@ -1,0 +1,36 @@
+#![allow(clippy::needless_range_loop)] // index loops over coupled arrays are the clearest form for BLAS-style kernels
+//! # skt-hpl
+//!
+//! A from-scratch distributed High-Performance Linpack over the
+//! [`skt_mps`] message-passing substrate, plus the fault-tolerant
+//! variants the paper evaluates:
+//!
+//! * [`plain`] — the original HPL (generate → eliminate →
+//!   back-substitute → verify, §5.1); no fault tolerance.
+//! * [`skt`] — **SKT-HPL**: the matrix shard lives in the
+//!   self-checkpoint workspace, checkpoints land at panel boundaries,
+//!   and a permanent node loss is survived via group parity (§5).
+//!   Running it with [`Method::Double`](skt_core::Method) reproduces the
+//!   SCR-in-RAM baseline; with `Method::Single` the fragile
+//!   single-checkpoint baseline.
+//! * [`abft`] — ABFT-HPL: checksum-column algebra that tolerates data
+//!   loss only while the runtime survives — it cannot outlive a real
+//!   node power-off (Table 3's "NO").
+//! * [`elim`]/[`dist`] — the shared elimination engine and the 1-D
+//!   block-cyclic layout.
+//! * [`calibrate`] — dgemm peak measurement, the "theoretical peak" of
+//!   the virtual cluster for efficiency reporting.
+
+pub mod abft;
+pub mod calibrate;
+pub mod dist;
+pub mod elim;
+pub mod plain;
+pub mod skt;
+
+pub use abft::{run_abft, AbftOutput};
+pub use calibrate::{efficiency, peak_gflops};
+pub use dist::BlockCyclic1D;
+pub use elim::{back_substitute, eliminate, generate, panel_step, verify, Verification};
+pub use plain::{run_plain, HplConfig, HplOutput};
+pub use skt::{run_skt, SktConfig, SktOutput};

@@ -1,0 +1,264 @@
+//! SKT-HPL: HPL made node-failure tolerant with the self-checkpoint
+//! protocol (paper §5).
+//!
+//! The local matrix shard lives directly in the checkpointer's SHM
+//! workspace — the defining move of the self-checkpoint method: the
+//! working memory *is* the checkpoint while the old copy is being
+//! overwritten. Checkpoints are taken at panel-loop boundaries; the
+//! iteration counter rides along as the small `A2` state. On restart,
+//! survivors re-attach to their SHM shards, the replacement rank's shard
+//! is rebuilt from group parity, and the elimination resumes from the
+//! checkpointed panel.
+
+use crate::dist::BlockCyclic1D;
+use crate::elim::{back_substitute, generate, panel_step, verify};
+use crate::plain::{assemble_output, HplConfig, HplOutput};
+use skt_core::{group_color, CkptConfig, Checkpointer, GroupStrategy, Method, RecoverError, Recovery};
+use skt_encoding::Code;
+use skt_linalg::MatGen;
+use skt_mps::{Ctx, Fault};
+use std::time::Instant;
+
+/// Configuration of a fault-tolerant HPL run.
+#[derive(Clone, Debug)]
+pub struct SktConfig {
+    /// The HPL problem.
+    pub hpl: HplConfig,
+    /// Checkpoint protocol (SKT-HPL proper uses [`Method::SelfCkpt`];
+    /// `Double` reproduces the SCR-in-RAM baseline).
+    pub method: Method,
+    /// Parity code.
+    pub code: Code,
+    /// Checkpoint group size (§3.3; the paper uses 16, or 8 on the local
+    /// cluster).
+    pub group_size: usize,
+    /// Group formation strategy.
+    pub strategy: GroupStrategy,
+    /// Panels between checkpoints (0 disables checkpointing — used for
+    /// the "SKT-HPL without checkpoints" measurement of Figure 11).
+    pub ckpt_every: usize,
+    /// SHM namespace; reuse the same name across restarts of one run.
+    pub name: String,
+}
+
+impl SktConfig {
+    /// SKT-HPL with paper defaults (XOR code, contiguous groups).
+    pub fn new(hpl: HplConfig, group_size: usize, ckpt_every: usize) -> Self {
+        SktConfig {
+            hpl,
+            method: Method::SelfCkpt,
+            code: Code::Xor,
+            group_size,
+            strategy: GroupStrategy::Contiguous,
+            ckpt_every,
+            name: "skt-hpl".to_string(),
+        }
+    }
+}
+
+/// [`HplOutput`] plus restart bookkeeping.
+#[derive(Clone, Copy, Debug)]
+pub struct SktOutput {
+    /// The HPL result of this (possibly resumed) run.
+    pub hpl: HplOutput,
+    /// Panel index this run started from (0 = fresh or from-scratch).
+    pub resumed_from_panel: usize,
+    /// True when recovery failed and the run had to regenerate from
+    /// scratch (only the single-checkpoint baseline does this).
+    pub restarted_from_scratch: bool,
+    /// Time spent in checkpoint recovery / data (re)generation before
+    /// the elimination could proceed (the "recover data" phase of the
+    /// paper's Figure 10).
+    pub recover_seconds: f64,
+}
+
+/// Run SKT-HPL (or a baseline protocol) once: recover if checkpoints
+/// exist, then eliminate / back-substitute / verify. Returns when the
+/// solve completes; a node failure aborts with `Err`, after which the
+/// daemon repairs the ranklist and calls this again on the same cluster.
+pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
+    let world = ctx.world();
+    let nranks = world.size();
+    let me = world.rank();
+    let dist = BlockCyclic1D::new(cfg.hpl.n, cfg.hpl.nb, nranks, me);
+    let gen = MatGen::new(cfg.hpl.seed);
+
+    // checkpoint group
+    let color = group_color(cfg.strategy, me, nranks, cfg.group_size);
+    let gcomm = world.split(color, me)?;
+    let ck_cfg = CkptConfig {
+        name: cfg.name.clone(),
+        method: cfg.method,
+        code: cfg.code,
+        a1_len: dist.alloc_len(),
+        a2_capacity: 16,
+    };
+    // job-wide sync communicator: keeps every group's commits and the
+    // recovery epoch globally consistent
+    let (mut ck, _) = Checkpointer::init_synced(gcomm, world.clone(), ck_cfg);
+
+    // recover or generate
+    let mut start_panel = 0usize;
+    let mut from_scratch = false;
+    let t_rec = Instant::now();
+    match ck.recover() {
+        Ok(Recovery::Restored { a2, .. }) => {
+            start_panel = u64::from_le_bytes(a2.as_slice().try_into().expect("panel counter")) as usize;
+        }
+        Ok(Recovery::NoCheckpoint) => {
+            let ws = ck.workspace();
+            let mut g = ws.write();
+            generate(&dist, &gen, &mut g.as_f64_mut()[..dist.alloc_len()]);
+        }
+        Err(RecoverError::Unrecoverable(_)) => {
+            // the single-checkpoint flaw: checkpoint torn mid-update.
+            // Restart the whole computation from generated data.
+            ck.reset();
+            from_scratch = true;
+            let ws = ck.workspace();
+            let mut g = ws.write();
+            generate(&dist, &gen, &mut g.as_f64_mut()[..dist.alloc_len()]);
+        }
+        Err(RecoverError::Fault(f)) => return Err(f),
+    }
+    let recover_seconds = t_rec.elapsed().as_secs_f64();
+    world.barrier()?;
+
+    // elimination with checkpoint hook
+    let ws = ck.workspace();
+    let mut ckpt_secs = 0.0f64;
+    let mut encode_secs = 0.0f64;
+    let mut checkpoints = 0usize;
+    let nba = dist.nblocks_a();
+    let t0 = Instant::now();
+    for k in start_panel..nba {
+        {
+            let mut g = ws.write();
+            panel_step(&world, &dist, &mut g.as_f64_mut()[..], k)?;
+        }
+        ctx.failpoint("hpl-iter")?;
+        let done = k + 1;
+        if cfg.ckpt_every > 0 && done % cfg.ckpt_every == 0 && done < nba {
+            let tc = Instant::now();
+            let stats = ck.make(&(done as u64).to_le_bytes())?;
+            ckpt_secs += tc.elapsed().as_secs_f64();
+            encode_secs += stats.encode.as_secs_f64();
+            checkpoints += 1;
+        }
+    }
+    let x = {
+        let g = ws.read();
+        back_substitute(&world, &dist, g.as_f64())?
+    };
+    let mut compute = t0.elapsed().as_secs_f64();
+    compute -= ckpt_secs; // checkpoint time reported separately
+
+    let v = verify(&world, &dist, &gen, &x)?;
+    let hpl = assemble_output(ctx, cfg.hpl.n, compute, ckpt_secs, encode_secs, checkpoints, v.residual, v.passed)?;
+    Ok(SktOutput {
+        hpl,
+        resumed_from_panel: start_panel,
+        restarted_from_scratch: from_scratch,
+        recover_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skt_cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
+    use skt_mps::run_on_cluster;
+    use std::sync::Arc;
+
+    fn base_cfg(n: usize) -> SktConfig {
+        SktConfig::new(HplConfig::new(n, 4, 11), 2, 2)
+    }
+
+    #[test]
+    fn skt_hpl_without_failure_passes() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 0)));
+        let rl = Ranklist::round_robin(4, 4);
+        let outs = run_on_cluster(cluster, &rl, |ctx| run_skt(ctx, &base_cfg(32))).unwrap();
+        for o in outs {
+            assert!(o.hpl.passed, "residual {}", o.hpl.residual);
+            assert!(o.hpl.checkpoints > 0, "checkpoints must be taken");
+            assert_eq!(o.resumed_from_panel, 0);
+            assert!(!o.restarted_from_scratch);
+        }
+    }
+
+    #[test]
+    fn skt_hpl_survives_node_loss_and_resumes() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
+        let mut rl = Ranklist::round_robin(4, 4);
+        // node 2 dies at its 5th completed panel (after checkpoint at 4)
+        cluster.arm_failure(FailurePlan::new("hpl-iter", 5, 2));
+        let cfg = base_cfg(48); // 12 panels
+        let res = run_on_cluster(cluster.clone(), &rl, |ctx| run_skt(ctx, &cfg));
+        assert!(res.is_err(), "first run must abort");
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        let outs = run_on_cluster(cluster, &rl, |ctx| run_skt(ctx, &cfg)).unwrap();
+        for o in &outs {
+            assert!(o.hpl.passed, "residual {} after recovery", o.hpl.residual);
+            assert_eq!(o.resumed_from_panel, 4, "resume from the last checkpoint");
+            assert!(!o.restarted_from_scratch);
+        }
+    }
+
+    #[test]
+    fn skt_hpl_survives_failure_during_checkpoint_flush() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
+        let mut rl = Ranklist::round_robin(4, 4);
+        // die inside the 2nd checkpoint's flush (CASE 2): recover forward
+        cluster.arm_failure(FailurePlan::new(skt_core::protocol::probes::FLUSH_B, 2, 1));
+        let cfg = base_cfg(48);
+        let res = run_on_cluster(cluster.clone(), &rl, |ctx| run_skt(ctx, &cfg));
+        assert!(res.is_err());
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        let outs = run_on_cluster(cluster, &rl, |ctx| run_skt(ctx, &cfg)).unwrap();
+        for o in &outs {
+            assert!(o.hpl.passed, "residual {}", o.hpl.residual);
+            assert_eq!(o.resumed_from_panel, 4, "epoch 2 covers panels 1..=4");
+        }
+    }
+
+    #[test]
+    fn double_checkpoint_variant_also_recovers() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
+        let mut rl = Ranklist::round_robin(4, 4);
+        cluster.arm_failure(FailurePlan::new("hpl-iter", 5, 3));
+        let mut cfg = base_cfg(48);
+        cfg.method = Method::Double;
+        let res = run_on_cluster(cluster.clone(), &rl, |ctx| run_skt(ctx, &cfg));
+        assert!(res.is_err());
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        let outs = run_on_cluster(cluster, &rl, |ctx| run_skt(ctx, &cfg)).unwrap();
+        for o in &outs {
+            assert!(o.hpl.passed);
+            assert_eq!(o.resumed_from_panel, 4);
+        }
+    }
+
+    #[test]
+    fn single_checkpoint_restarts_from_scratch_when_torn() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
+        let mut rl = Ranklist::round_robin(4, 4);
+        // die inside the checkpoint update: single method cannot recover
+        cluster.arm_failure(FailurePlan::new(skt_core::protocol::probes::COPY_B, 2, 1));
+        let mut cfg = base_cfg(48);
+        cfg.method = Method::Single;
+        let res = run_on_cluster(cluster.clone(), &rl, |ctx| run_skt(ctx, &cfg));
+        assert!(res.is_err());
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        let outs = run_on_cluster(cluster, &rl, |ctx| run_skt(ctx, &cfg)).unwrap();
+        for o in &outs {
+            assert!(o.hpl.passed, "still solves correctly after full restart");
+            assert!(o.restarted_from_scratch, "must have lost all progress");
+            assert_eq!(o.resumed_from_panel, 0);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Triangular solves against packed LU factors, and a single-node
+//! reference solver used to validate the distributed HPL.
+
+use crate::lu::{dgetrf, Singular};
+use crate::matrix::Matrix;
+
+/// Forward substitution `x := L^{-1} x` where `L` is the unit lower
+/// triangle packed in the `n x n` LU factor `a` (column-major, leading
+/// dimension `lda`).
+pub fn forward_sub_unit(n: usize, a: &[f64], lda: usize, x: &mut [f64]) {
+    assert!(x.len() >= n, "forward_sub_unit: x too short");
+    for j in 0..n {
+        let xj = x[j];
+        if xj == 0.0 {
+            continue;
+        }
+        let col = &a[j * lda..j * lda + n];
+        for i in j + 1..n {
+            x[i] -= xj * col[i];
+        }
+    }
+}
+
+/// Backward substitution `x := U^{-1} x` where `U` is the non-unit upper
+/// triangle packed in the `n x n` LU factor `a`.
+pub fn backward_sub(n: usize, a: &[f64], lda: usize, x: &mut [f64]) {
+    assert!(x.len() >= n, "backward_sub: x too short");
+    for j in (0..n).rev() {
+        let diag = a[j + j * lda];
+        assert!(diag != 0.0, "backward_sub: zero diagonal at {j}");
+        let xj = x[j] / diag;
+        x[j] = xj;
+        if xj == 0.0 {
+            continue;
+        }
+        let col = &a[j * lda..j * lda + j];
+        for i in 0..j {
+            x[i] -= xj * col[i];
+        }
+    }
+}
+
+/// Single-node reference `A x = b` solver via blocked LU with partial
+/// pivoting. Consumes copies; returns `x`.
+///
+/// Used by tests and by the verification step of small HPL runs.
+pub fn solve_ref(a: &Matrix, b: &[f64], nb: usize) -> Result<Vec<f64>, Singular> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve_ref: matrix must be square");
+    assert_eq!(b.len(), n, "solve_ref: rhs length mismatch");
+    let mut f = a.clone();
+    let mut ipiv = vec![0usize; n];
+    let lda = f.ld();
+    dgetrf(n, n, f.as_mut_slice(), lda, &mut ipiv, nb)?;
+    let mut x = b.to_vec();
+    for j in 0..n {
+        x.swap(j, ipiv[j]);
+    }
+    forward_sub_unit(n, f.as_slice(), lda, &mut x);
+    backward_sub(n, f.as_slice(), lda, &mut x);
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::MatGen;
+
+    #[test]
+    fn solve_ref_recovers_known_solution() {
+        let n = 25;
+        let a = Matrix::from_gen(n, n, &MatGen::new(77));
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let b = a.matvec(&x_true);
+        let x = solve_ref(&a, &b, 6).unwrap();
+        let err = x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-8, "error {err}");
+    }
+
+    #[test]
+    fn solve_ref_identity() {
+        let a = Matrix::identity(5);
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(solve_ref(&a, &b, 2).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_ref_detects_singular() {
+        let a = Matrix::zeros(3, 3);
+        assert!(solve_ref(&a, &[1.0, 1.0, 1.0], 2).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! The HPL efficiency model of §4.
+//!
+//! HPL's work is `O(N³)` compute over `O(N²)` communication/memory
+//! traffic, so its efficiency against machine peak follows
+//!
+//! ```text
+//! E(N) = γN³ / (αN³ + βN²) = N / (aN + b),   a = α/γ > 1, b = β/γ
+//! ```
+//!
+//! which rises monotonically with problem size `N` and saturates at
+//! `1/a`. Since available memory bounds `N` (an `N×N` matrix must fit),
+//! more available memory means higher efficiency — the reason an
+//! in-memory checkpoint should occupy as little space as possible.
+
+/// The fitted model `E(N) = N / (aN + b)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EffModel {
+    /// Asymptotic loss factor (`E(∞) = 1/a`); `a > 1` on real machines.
+    pub a: f64,
+    /// Finite-size penalty (communication/memory-bound term).
+    pub b: f64,
+}
+
+impl EffModel {
+    /// Evaluate the model at problem size `n`.
+    pub fn eval(&self, n: f64) -> f64 {
+        assert!(n > 0.0);
+        n / (self.a * n + self.b)
+    }
+}
+
+/// `E(N) = N / (aN + b)` (Equation 5).
+pub fn hpl_efficiency(n: f64, a: f64, b: f64) -> f64 {
+    EffModel { a, b }.eval(n)
+}
+
+/// Least-squares fit of `(a, b)` from measured `(n, efficiency)` points.
+///
+/// The model linearizes exactly: `1/E = a + b·(1/N)`, so an ordinary
+/// linear regression of `y = 1/E` on `x = 1/N` recovers the parameters.
+pub fn fit_ab(points: &[(f64, f64)]) -> EffModel {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let m = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(n, e) in points {
+        assert!(n > 0.0 && e > 0.0, "invalid point ({n}, {e})");
+        let x = 1.0 / n;
+        let y = 1.0 / e;
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = m * sxx - sx * sx;
+    assert!(denom.abs() > 1e-30, "degenerate fit: all N equal");
+    let b = (m * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / m;
+    EffModel { a, b }
+}
+
+/// Problem size achievable with a fraction `k` of the memory that allowed
+/// problem size `n1`: the matrix is `N²` elements, so `N₂ = √k·N₁`.
+pub fn problem_size_for_fraction(n1: f64, k: f64) -> f64 {
+    assert!(k > 0.0 && k <= 1.0, "fraction out of range");
+    k.sqrt() * n1
+}
+
+/// Lower bound on the efficiency when only a fraction `k` of memory is
+/// available (Equation 8 with `a → 1`, which the paper uses for Figure 8):
+///
+/// ```text
+/// e₂ ≥ √k·e₁ / (1 − (1 − √k)·e₁)
+/// ```
+pub fn scaled_efficiency_bound(e1: f64, k: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&e1), "efficiency out of range");
+    assert!(k > 0.0 && k <= 1.0, "fraction out of range");
+    let sk = k.sqrt();
+    sk * e1 / (1.0 - (1.0 - sk) * e1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_increases_with_problem_size() {
+        let m = EffModel { a: 1.1, b: 5000.0 };
+        let mut last = 0.0;
+        for n in [1_000.0, 10_000.0, 100_000.0, 1_000_000.0] {
+            let e = m.eval(n);
+            assert!(e > last, "E must rise with N");
+            last = e;
+        }
+        assert!(last < 1.0 / 1.1 + 1e-9, "saturates at 1/a");
+    }
+
+    #[test]
+    fn fit_recovers_exact_model() {
+        let truth = EffModel { a: 1.18, b: 2345.0 };
+        let pts: Vec<(f64, f64)> = [2_000.0, 5_000.0, 9_000.0, 20_000.0, 60_000.0]
+            .iter()
+            .map(|&n| (n, truth.eval(n)))
+            .collect();
+        let fit = fit_ab(&pts);
+        assert!((fit.a - truth.a).abs() < 1e-9, "a: {} vs {}", fit.a, truth.a);
+        assert!((fit.b - truth.b).abs() < 1e-6, "b: {} vs {}", fit.b, truth.b);
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let truth = EffModel { a: 1.25, b: 800.0 };
+        let pts: Vec<(f64, f64)> = (1..=12)
+            .map(|i| {
+                let n = 1000.0 * i as f64;
+                let noise = 1.0 + 0.01 * ((i * 37 % 7) as f64 - 3.0) / 3.0;
+                (n, truth.eval(n) * noise)
+            })
+            .collect();
+        let fit = fit_ab(&pts);
+        assert!((fit.a - truth.a).abs() < 0.05, "a: {}", fit.a);
+        assert!((fit.b - truth.b).abs() / truth.b < 0.4, "b: {}", fit.b);
+    }
+
+    #[test]
+    fn half_memory_shrinks_problem_by_sqrt2() {
+        let n2 = problem_size_for_fraction(100_000.0, 0.5);
+        assert!((n2 - 70_710.678).abs() < 0.01);
+        assert_eq!(problem_size_for_fraction(5.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn scaled_bound_matches_hand_computation() {
+        // e1 = 0.8, k = 1/2: √k ≈ 0.70711
+        // e2 = 0.70711*0.8 / (1 - 0.29289*0.8) = 0.56569 / 0.76569
+        let e2 = scaled_efficiency_bound(0.8, 0.5);
+        assert!((e2 - 0.565_685 / 0.765_685).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_bound_is_monotone_in_k() {
+        for e1 in [0.5, 0.75, 0.93] {
+            let full = scaled_efficiency_bound(e1, 1.0);
+            let half = scaled_efficiency_bound(e1, 0.5);
+            let third = scaled_efficiency_bound(e1, 1.0 / 3.0);
+            assert!((full - e1).abs() < 1e-12, "k=1 is identity");
+            assert!(third < half && half < full, "e1={e1}");
+        }
+    }
+
+    #[test]
+    fn bound_is_below_true_model_value() {
+        // Equation 8 is a *lower* bound because a > 1 strengthens the
+        // denominator; verify against the exact model.
+        let m = EffModel { a: 1.3, b: 4000.0 };
+        let n1 = 50_000.0;
+        let e1 = m.eval(n1);
+        for k in [0.5, 1.0 / 3.0, 0.25] {
+            let exact = m.eval(problem_size_for_fraction(n1, k));
+            let bound = scaled_efficiency_bound(e1, k);
+            assert!(bound <= exact + 1e-12, "k={k}: bound {bound} > exact {exact}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # skt-models
+//!
+//! Analytic models from the paper, separated from the executable system so
+//! the figure harnesses can compare *measured* against *modeled* curves:
+//!
+//! * [`efficiency`] — the HPL efficiency model `E(N) = N / (aN + b)` (§4,
+//!   Equation 5), least-squares fitting of `(a, b)` to measurements
+//!   (Figures 7 and 12), and the reduced-memory lower bound `e₂ ≥
+//!   √k·e₁ / (1 − (1−√k)·a·e₁)` (Equation 8).
+//! * [`top500`] — the November 2016 TOP500 top-10 systems with their
+//!   official HPL results, the inputs to Figure 8.
+//! * [`platform`] — node-level constants of Tianhe-1A and Tianhe-2
+//!   (paper Table 2) plus the local-cluster testbed, including the
+//!   network parameters that explain Figure 13's encoding times.
+
+pub mod efficiency;
+pub mod interval;
+pub mod platform;
+pub mod top500;
+
+pub use efficiency::{fit_ab, hpl_efficiency, problem_size_for_fraction, scaled_efficiency_bound, EffModel};
+pub use interval::{daly_interval, expected_overhead, young_interval};
+pub use platform::{Platform, LOCAL_CLUSTER, TIANHE_1A, TIANHE_2};
+pub use top500::{top10_nov2016, Top500System};

@@ -1,0 +1,85 @@
+//! The TOP500 top-10 (November 2016, the list contemporary with the
+//! paper's camera-ready), inputs to Figure 8: modeled HPL efficiency of
+//! each system when only 1/2 or 1/3 of its memory is available.
+
+/// One system's official HPL result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Top500System {
+    /// System name as listed.
+    pub name: &'static str,
+    /// Measured HPL performance, TFLOPS (Rmax).
+    pub rmax_tflops: f64,
+    /// Theoretical peak, TFLOPS (Rpeak).
+    pub rpeak_tflops: f64,
+}
+
+impl Top500System {
+    /// Official HPL efficiency `Rmax / Rpeak`.
+    pub fn efficiency(&self) -> f64 {
+        self.rmax_tflops / self.rpeak_tflops
+    }
+}
+
+/// The ten systems of Figure 8, in rank order.
+pub fn top10_nov2016() -> [Top500System; 10] {
+    [
+        Top500System { name: "TaihuLight", rmax_tflops: 93_014.6, rpeak_tflops: 125_435.9 },
+        Top500System { name: "Tianhe-2", rmax_tflops: 33_862.7, rpeak_tflops: 54_902.4 },
+        Top500System { name: "Titan", rmax_tflops: 17_590.0, rpeak_tflops: 27_112.5 },
+        Top500System { name: "Sequoia", rmax_tflops: 17_173.2, rpeak_tflops: 20_132.7 },
+        Top500System { name: "Cori", rmax_tflops: 14_014.7, rpeak_tflops: 27_880.7 },
+        Top500System { name: "Oakforest-PACS", rmax_tflops: 13_554.6, rpeak_tflops: 24_913.5 },
+        Top500System { name: "K", rmax_tflops: 10_510.0, rpeak_tflops: 11_280.4 },
+        Top500System { name: "Piz Daint", rmax_tflops: 9_779.0, rpeak_tflops: 15_988.0 },
+        Top500System { name: "Mira", rmax_tflops: 8_586.6, rpeak_tflops: 10_066.3 },
+        Top500System { name: "Trinity", rmax_tflops: 8_100.9, rpeak_tflops: 11_078.9 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efficiency::scaled_efficiency_bound;
+
+    #[test]
+    fn efficiencies_are_plausible() {
+        for s in top10_nov2016() {
+            let e = s.efficiency();
+            assert!((0.4..1.0).contains(&e), "{}: {e}", s.name);
+        }
+        // spot checks against the published list
+        let t = top10_nov2016();
+        assert!((t[0].efficiency() - 0.7415).abs() < 0.001, "TaihuLight");
+        assert!((t[6].efficiency() - 0.9317).abs() < 0.001, "K computer");
+    }
+
+    #[test]
+    fn list_is_descending_by_rmax() {
+        let t = top10_nov2016();
+        for w in t.windows(2) {
+            assert!(w[0].rmax_tflops > w[1].rmax_tflops);
+        }
+    }
+
+    #[test]
+    fn average_gain_half_vs_third_memory_is_near_paper_claim() {
+        // §4: "improve 11.96% of the efficiency on average from one third
+        // of the memory to half of the memory". With the a→1 bound the
+        // average relative gain lands in the same band.
+        let systems = top10_nov2016();
+        let mean_gain: f64 = systems
+            .iter()
+            .map(|s| {
+                let e1 = s.efficiency();
+                let half = scaled_efficiency_bound(e1, 0.5);
+                let third = scaled_efficiency_bound(e1, 1.0 / 3.0);
+                half / third - 1.0
+            })
+            .sum::<f64>()
+            / systems.len() as f64;
+        assert!(
+            (0.05..0.20).contains(&mean_gain),
+            "mean relative gain {mean_gain} out of the paper's band"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # skt-mps
+//!
+//! A thread-based message-passing substrate with MPI semantics — the
+//! runtime under the Self-Checkpoint / SKT-HPL reproduction.
+//!
+//! The paper's protocol needs exactly these properties of MPI:
+//!
+//! * ranks with point-to-point `send`/`recv` and tags,
+//! * collectives — in particular `MPI_Reduce` with `BXOR`/`SUM` operators,
+//!   which is how checksums are built (§2.2),
+//! * sub-communicators (`MPI_Comm_split`) for checkpoint groups and the
+//!   HPL process grid,
+//! * the failure model of mainstream MPI: **a node failure aborts the
+//!   whole job** (§1), after which a daemon restarts it.
+//!
+//! Ranks here are OS threads placed on virtual [`skt_cluster`] nodes by a
+//! [`Ranklist`](skt_cluster::Ranklist); every blocking operation polls the
+//! cluster's abort flag, so a node death anywhere unblocks every rank with
+//! [`Fault::JobAborted`](skt_cluster::Fault). Real Rust MPI bindings are
+//! immature and a laptop has no 24,576 cores anyway; thread ranks preserve
+//! the semantics while staying deterministic and testable.
+
+pub mod comm;
+pub mod payload;
+pub mod world;
+
+pub use comm::Comm;
+pub use payload::{Payload, ReduceOp};
+pub use world::{run_local, run_on_cluster, Ctx};
+
+pub use skt_cluster::Fault;

@@ -1,0 +1,339 @@
+//! World launch: spawn one thread per rank on a virtual cluster and run a
+//! rank function to completion or whole-job abort.
+
+use crate::comm::{Comm, Envelope};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use skt_cluster::{Cluster, ClusterConfig, Fault, NodeId, Ranklist};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking receive waits between abort-flag polls. Short
+/// enough that a job abort propagates promptly, long enough not to burn
+/// CPU.
+pub(crate) const POLL: Duration = Duration::from_micros(500);
+
+/// Per-rank execution context. One per rank thread; not shared.
+pub struct Ctx {
+    world_rank: usize,
+    nranks: usize,
+    node: NodeId,
+    cluster: Arc<Cluster>,
+    ranklist: Ranklist,
+    rx: Receiver<Envelope>,
+    txs: Arc<Vec<Sender<Envelope>>>,
+    pub(crate) pending: RefCell<Vec<Envelope>>,
+    fail_counts: RefCell<HashMap<String, u64>>,
+    pub(crate) next_comm_salt: Cell<u64>,
+    pub(crate) coll_seqs: RefCell<HashMap<u64, u64>>,
+}
+
+impl Ctx {
+    /// This rank's world rank.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Total ranks in the world.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The node hosting this rank.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The cluster this job runs on.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The rank placement of this job.
+    pub fn ranklist(&self) -> &Ranklist {
+        &self.ranklist
+    }
+
+    /// This node's shared-memory store (survives job abort).
+    pub fn shm(&self) -> &skt_cluster::ShmStore {
+        self.cluster.shm(self.node)
+    }
+
+    /// Ranks sharing this rank's node (for device/port contention).
+    pub fn node_sharers(&self) -> usize {
+        self.ranklist.sharers_of(self.world_rank)
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> Comm<'_> {
+        Comm::world(self)
+    }
+
+    /// Named failure probe: increments this rank's counter for `label`
+    /// and consults the cluster's armed plans. Returns `Err` if this node
+    /// just died or the job is aborted.
+    pub fn failpoint(&self, label: &str) -> Result<(), Fault> {
+        let count = {
+            let mut counts = self.fail_counts.borrow_mut();
+            let c = counts.entry(label.to_string()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        self.cluster.failpoint(self.node, label, count)
+    }
+
+    /// Abort check without a probe (used inside blocking loops).
+    pub fn check_abort(&self) -> Result<(), Fault> {
+        self.cluster.check_abort()?;
+        if !self.cluster.node_alive(self.node) {
+            return Err(Fault::NodeDead(self.node));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn raw_send(&self, dst_world: usize, env: Envelope) -> Result<(), Fault> {
+        self.check_abort()?;
+        // Sending to a dead node's mailbox is allowed (the message is
+        // simply never consumed) — like a NIC buffering for a dead peer.
+        // The abort flag unblocks the sender's future operations.
+        self.txs[dst_world]
+            .send(env)
+            .map_err(|_| Fault::JobAborted)
+    }
+
+    /// Receive the next envelope matching `pred`, buffering mismatches.
+    pub(crate) fn recv_match(
+        &self,
+        mut pred: impl FnMut(&Envelope) -> bool,
+    ) -> Result<Envelope, Fault> {
+        // Check the out-of-order buffer first.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(&mut pred) {
+                return Ok(pending.remove(pos));
+            }
+        }
+        loop {
+            self.check_abort()?;
+            match self.rx.recv_timeout(POLL) {
+                Ok(env) => {
+                    if pred(&env) {
+                        return Ok(env);
+                    }
+                    self.pending.borrow_mut().push(env);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(Fault::JobAborted)
+                }
+            }
+        }
+    }
+}
+
+/// Launch `ranklist.len()` ranks on `cluster` and run `f` in each. Returns
+/// the per-rank results in rank order, or the first fault if any rank
+/// failed (MPI semantics: one failure fails the job).
+///
+/// Rank threads are real OS threads, so rank bodies run genuinely in
+/// parallel (the HPL update is compute-bound in each rank).
+pub fn run_on_cluster<T, F>(
+    cluster: Arc<Cluster>,
+    ranklist: &Ranklist,
+    f: F,
+) -> Result<Vec<T>, Fault>
+where
+    T: Send,
+    F: Fn(&Ctx) -> Result<T, Fault> + Send + Sync,
+{
+    let n = ranklist.len();
+    for r in 0..n {
+        assert!(
+            cluster.node_alive(ranklist.node_of(r)),
+            "rank {r} placed on dead node {}; repair the ranklist first",
+            ranklist.node_of(r)
+        );
+    }
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Envelope>()).unzip();
+    let txs = Arc::new(txs);
+    let mut results: Vec<Option<Result<T, Fault>>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (rank, rx) in rxs.into_iter().enumerate() {
+            let ctx = Ctx {
+                world_rank: rank,
+                nranks: n,
+                node: ranklist.node_of(rank),
+                cluster: Arc::clone(&cluster),
+                ranklist: ranklist.clone(),
+                rx,
+                txs: Arc::clone(&txs),
+                pending: RefCell::new(Vec::new()),
+                fail_counts: RefCell::new(HashMap::new()),
+                next_comm_salt: Cell::new(1),
+                coll_seqs: RefCell::new(HashMap::new()),
+            };
+            let fref = &f;
+            let cl = Arc::clone(&cluster);
+            handles.push(scope.spawn(move || {
+                // A panicking rank must not leave its peers blocked in
+                // recv forever: flag the job aborted, then unwind.
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fref(&ctx)));
+                match out {
+                    Ok(res) => res,
+                    Err(p) => {
+                        cl.job_abort_for_panic();
+                        std::panic::resume_unwind(p);
+                    }
+                }
+            }));
+        }
+        let mut first_panic = None;
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(res) => results[rank] = Some(res),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    let mut fault = None;
+    for r in results {
+        match r.expect("every rank joined") {
+            Ok(v) => out.push(v),
+            Err(e) => fault = Some(fault.unwrap_or(e)),
+        }
+    }
+    match fault {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Convenience: run `n` ranks on a throwaway cluster with one node per
+/// rank (pure message-passing tests and examples that do not care about
+/// placement).
+pub fn run_local<T, F>(n: usize, f: F) -> Result<Vec<T>, Fault>
+where
+    T: Send,
+    F: Fn(&Ctx) -> Result<T, Fault> + Send + Sync,
+{
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(n, 0)));
+    let ranklist = Ranklist::round_robin(n, n);
+    run_on_cluster(cluster, &ranklist, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Payload;
+    use skt_cluster::FailurePlan;
+
+    #[test]
+    fn ranks_see_their_ids_and_nodes() {
+        let out = run_local(4, |ctx| Ok((ctx.world_rank(), ctx.node(), ctx.nranks()))).unwrap();
+        assert_eq!(out, vec![(0, 0, 4), (1, 1, 4), (2, 2, 4), (3, 3, 4)]);
+    }
+
+    #[test]
+    fn ping_pong_between_two_ranks() {
+        let out = run_local(2, |ctx| {
+            let w = ctx.world();
+            if ctx.world_rank() == 0 {
+                w.send(1, 7, Payload::F64(vec![3.5]))?;
+                Ok(w.recv(1, 8)?.into_f64()[0])
+            } else {
+                let v = w.recv(0, 7)?.into_f64()[0];
+                w.send(0, 8, Payload::F64(vec![v * 2.0]))?;
+                Ok(v)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![7.0, 3.5]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = run_local(2, |ctx| {
+            let w = ctx.world();
+            if ctx.world_rank() == 0 {
+                w.send(1, 1, Payload::I64(vec![10]))?;
+                w.send(1, 2, Payload::I64(vec![20]))?;
+                Ok(0)
+            } else {
+                // receive in reverse tag order
+                let b = w.recv(0, 2)?.into_i64()[0];
+                let a = w.recv(0, 1)?.into_i64()[0];
+                Ok(b * 100 + a)
+            }
+        })
+        .unwrap();
+        assert_eq!(out[1], 2010);
+    }
+
+    #[test]
+    fn failpoint_aborts_whole_job() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 0)));
+        cluster.arm_failure(FailurePlan::new("step", 3, 2));
+        let ranklist = Ranklist::round_robin(4, 4);
+        let res: Result<Vec<()>, Fault> = run_on_cluster(cluster.clone(), &ranklist, |ctx| {
+            loop {
+                ctx.failpoint("step")?;
+                // ranks also talk so non-dying ranks block in recv
+                let w = ctx.world();
+                let peer = ctx.world_rank() ^ 1;
+                w.send(peer, 0, Payload::Empty)?;
+                w.recv(peer, 0)?;
+            }
+        });
+        assert!(res.is_err());
+        assert_eq!(cluster.dead_nodes(), vec![2]);
+        assert!(cluster.shm(2).is_empty());
+    }
+
+    #[test]
+    fn results_are_rank_ordered() {
+        let out = run_local(8, |ctx| Ok(ctx.world_rank() * 10)).unwrap();
+        assert_eq!(out, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shm_persists_across_runs_on_same_cluster() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(2, 0)));
+        let ranklist = Ranklist::round_robin(2, 2);
+        run_on_cluster(cluster.clone(), &ranklist, |ctx| {
+            ctx.shm().get_or_create("state", || {
+                skt_cluster::SegmentData::F64(vec![ctx.world_rank() as f64])
+            });
+            Ok(())
+        })
+        .unwrap();
+        let out = run_on_cluster(cluster, &ranklist, |ctx| {
+            let seg = ctx.shm().attach("state").expect("persisted");
+            let v = seg.read().as_f64()[0];
+            Ok(v)
+        })
+        .unwrap();
+        assert_eq!(out, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead node")]
+    fn launching_on_dead_node_is_rejected() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(2, 0)));
+        cluster.kill_node(1);
+        cluster.reset_abort();
+        let ranklist = Ranklist::round_robin(2, 2);
+        let _ = run_on_cluster(cluster, &ranklist, |_| Ok(()));
+    }
+}

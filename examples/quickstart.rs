@@ -1,0 +1,75 @@
+//! Quickstart: protect an application's memory with the self-checkpoint
+//! protocol, power a node off, and restore.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
+use self_checkpoint::core::{CkptConfig, Checkpointer, Method, Recovery};
+use self_checkpoint::mps::{run_on_cluster, Fault};
+use std::sync::Arc;
+
+fn main() {
+    // A virtual cluster: 4 nodes + 1 spare. Node memory (SHM) survives a
+    // job abort; a powered-off node loses everything.
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
+    let mut ranklist = Ranklist::round_robin(4, 4);
+
+    // The application: each rank fills a workspace, checkpoints it, then
+    // keeps "computing" until node 2 is powered off (armed below: the
+    // third time rank-on-node-2 passes the "compute" probe).
+    cluster.arm_failure(FailurePlan::new("compute", 3, 2));
+
+    let app = |ctx: &self_checkpoint::mps::Ctx| -> Result<(), Fault> {
+        let world = ctx.world();
+        let cfg = CkptConfig::new("quickstart", Method::SelfCkpt, 1024, 64);
+        let (mut ck, _) = Checkpointer::init(world, cfg);
+
+        // recover if an earlier incarnation left a checkpoint
+        let start = match ck.recover() {
+            Ok(Recovery::Restored { epoch, a2, .. }) => {
+                let step = u64::from_le_bytes(a2.try_into().unwrap());
+                println!(
+                    "rank {}: restored epoch {epoch}, resuming from step {step}",
+                    ctx.world_rank()
+                );
+                step
+            }
+            Ok(Recovery::NoCheckpoint) => {
+                println!("rank {}: fresh start", ctx.world_rank());
+                0
+            }
+            Err(e) => panic!("recovery failed: {e}"),
+        };
+
+        let ws = ck.workspace();
+        for step in start..6 {
+            {
+                // compute: the workspace is ordinary memory — write at will
+                let mut g = ws.write();
+                for (i, v) in g.as_f64_mut()[..1024].iter_mut().enumerate() {
+                    *v = (step * 1000) as f64 + i as f64;
+                }
+            }
+            ctx.failpoint("compute")?; // <- the armed power-off lands here
+            ck.make(&(step + 1).to_le_bytes())?; // checkpoint after each step
+        }
+        println!("rank {}: finished all steps", ctx.world_rank());
+        Ok(())
+    };
+
+    // First launch: dies when node 2 is powered off.
+    match run_on_cluster(Arc::clone(&cluster), &ranklist, app) {
+        Err(fault) => println!("job aborted: {fault}"),
+        Ok(_) => unreachable!("the armed failure must fire"),
+    }
+
+    // The daemon's job: clear the abort, replace the dead node with the
+    // spare, relaunch. Survivors re-attach to their SHM; the replacement
+    // rank's data is rebuilt from group parity.
+    cluster.reset_abort();
+    let moved = ranklist.repair(&cluster).expect("a spare is available");
+    println!("daemon: moved ranks {:?} to spare nodes", moved.iter().map(|m| m.0).collect::<Vec<_>>());
+
+    run_on_cluster(cluster, &ranklist, app).expect("second run completes");
+    println!("done: the computation survived a permanent node loss.");
+}

@@ -1,0 +1,129 @@
+//! Self-checkpoint protecting a different application: a distributed 2-D
+//! Jacobi heat-diffusion stencil with halo exchange.
+//!
+//! The paper stresses the method "is a general method and not tied to any
+//! specified application" (§6.1). Here each rank owns a strip of rows of
+//! a temperature field, exchanges halos every sweep, and checkpoints the
+//! strip (plus the sweep counter) with the self-checkpoint protocol.
+//! A node dies mid-run; the restarted job reproduces the exact field the
+//! fault-free run would have produced.
+//!
+//! Run with: `cargo run --release --example stencil_heat`
+
+use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
+use self_checkpoint::core::{CkptConfig, Checkpointer, Method, Recovery};
+use self_checkpoint::mps::{run_on_cluster, Ctx, Fault, Payload};
+use std::sync::Arc;
+
+const COLS: usize = 64;
+const ROWS_PER_RANK: usize = 16;
+const SWEEPS: u64 = 40;
+const CKPT_EVERY: u64 = 8;
+
+/// One Jacobi sweep on this rank's strip, with halos from the neighbours.
+fn sweep(strip: &mut [f64], top: &[f64], bottom: &[f64]) {
+    let rows = strip.len() / COLS;
+    let old = strip.to_vec();
+    let at = |r: isize, c: usize, old: &[f64]| -> f64 {
+        if r < 0 {
+            top.get(c).copied().unwrap_or(0.0)
+        } else if r as usize >= rows {
+            bottom.get(c).copied().unwrap_or(0.0)
+        } else {
+            old[r as usize * COLS + c]
+        }
+    };
+    for r in 0..rows {
+        for c in 0..COLS {
+            let left = if c > 0 { old[r * COLS + c - 1] } else { 0.0 };
+            let right = if c + 1 < COLS { old[r * COLS + c + 1] } else { 0.0 };
+            strip[r * COLS + c] =
+                0.25 * (at(r as isize - 1, c, &old) + at(r as isize + 1, c, &old) + left + right);
+        }
+    }
+}
+
+fn heat_app(ctx: &Ctx) -> Result<Vec<f64>, Fault> {
+    let world = ctx.world();
+    let me = world.rank();
+    let n = world.size();
+    let strip_len = ROWS_PER_RANK * COLS;
+
+    let cfg = CkptConfig::new("heat", Method::SelfCkpt, strip_len, 16);
+    let (mut ck, _) = Checkpointer::init(world, cfg);
+    let world = ctx.world();
+
+    let start = match ck.recover() {
+        Ok(Recovery::Restored { a2, .. }) => u64::from_le_bytes(a2.try_into().unwrap()),
+        Ok(Recovery::NoCheckpoint) => {
+            // hot plate on the top boundary of rank 0's strip
+            let ws = ck.workspace();
+            let mut g = ws.write();
+            let f = g.as_f64_mut();
+            f[..strip_len].fill(0.0);
+            if me == 0 {
+                f[..COLS].fill(100.0);
+            }
+            0
+        }
+        Err(e) => panic!("recovery failed: {e}"),
+    };
+
+    let ws = ck.workspace();
+    for s in start..SWEEPS {
+        // halo exchange with neighbours (boundary ranks exchange nothing)
+        let (first_row, last_row) = {
+            let g = ws.read();
+            let f = g.as_f64();
+            (f[..COLS].to_vec(), f[strip_len - COLS..strip_len].to_vec())
+        };
+        if me > 0 {
+            world.send(me - 1, 1, Payload::F64(first_row))?;
+        }
+        if me + 1 < n {
+            world.send(me + 1, 2, Payload::F64(last_row))?;
+        }
+        let top = if me > 0 { world.recv(me - 1, 2)?.into_f64() } else { vec![100.0; COLS] };
+        let bottom = if me + 1 < n { world.recv(me + 1, 1)?.into_f64() } else { vec![0.0; COLS] };
+
+        {
+            let mut g = ws.write();
+            sweep(&mut g.as_f64_mut()[..strip_len], &top, &bottom);
+        }
+        ctx.failpoint("sweep")?;
+        if (s + 1) % CKPT_EVERY == 0 && s + 1 < SWEEPS {
+            ck.make(&(s + 1).to_le_bytes())?;
+        }
+    }
+    let g = ws.read();
+    Ok(g.as_f64()[..strip_len].to_vec())
+}
+
+fn main() {
+    let ranks = 4;
+
+    // fault-free reference run
+    let reference = {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(ranks, 0)));
+        let rl = Ranklist::round_robin(ranks, ranks);
+        run_on_cluster(cluster, &rl, heat_app).expect("reference run")
+    };
+
+    // faulty run: node 2 dies at sweep 20 (after the checkpoint at 16)
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(ranks, 1)));
+    let mut rl = Ranklist::round_robin(ranks, ranks);
+    cluster.arm_failure(FailurePlan::new("sweep", 20, 2));
+    assert!(run_on_cluster(Arc::clone(&cluster), &rl, heat_app).is_err(), "node loss aborts");
+    println!("node 2 powered off at sweep 20; restarting from the in-memory checkpoint…");
+    cluster.reset_abort();
+    rl.repair(&cluster).expect("spare available");
+    let recovered = run_on_cluster(cluster, &rl, heat_app).expect("restarted run");
+
+    // the recovered simulation must match the fault-free one bit-for-bit
+    for (rank, (a, b)) in reference.iter().zip(&recovered).enumerate() {
+        assert_eq!(a, b, "rank {rank} field diverged after recovery");
+    }
+    let avg: f64 = recovered.iter().flatten().sum::<f64>() / (ranks * ROWS_PER_RANK * COLS) as f64;
+    println!("fields identical after recovery; mean temperature {avg:.3} after {SWEEPS} sweeps");
+    println!("self-checkpoint protected a stencil code with zero algorithm changes.");
+}

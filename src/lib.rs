@@ -1,0 +1,77 @@
+//! # self-checkpoint
+//!
+//! Facade crate for the Self-Checkpoint / SKT-HPL reproduction (PPoPP'17,
+//! Tang et al., Tsinghua). Re-exports every workspace crate under one
+//! namespace so examples and downstream users can depend on a single
+//! package.
+//!
+//! * [`core`] — the paper's contribution: the self-checkpoint protocol and
+//!   its single/double-checkpoint baselines.
+//! * [`encoding`] — stripe-based RAID-5/6-style group parity codecs.
+//! * [`mps`] — thread-based message-passing substrate (MPI stand-in).
+//! * [`cluster`] — virtual cluster: nodes, persistent SHM, devices,
+//!   failure injection.
+//! * [`hpl`] — distributed High-Performance Linpack and SKT-HPL.
+//! * [`ftsim`] — master daemon, fail-detect-restart cycle, disk-based
+//!   baselines.
+//! * [`linalg`] — dense kernels (dgemm, LU, solves).
+//! * [`models`] — analytic models (memory equations, HPL efficiency
+//!   model, TOP500 data).
+//!
+//! # Example: protect, fail, recover
+//!
+//! ```
+//! use self_checkpoint::cluster::{Cluster, ClusterConfig, Ranklist};
+//! use self_checkpoint::core::{CkptConfig, Checkpointer, Method, Recovery};
+//! use self_checkpoint::mps::run_on_cluster;
+//! use std::sync::Arc;
+//!
+//! let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
+//! let mut ranklist = Ranklist::round_robin(4, 4);
+//!
+//! // run once: every rank fills its workspace and checkpoints it
+//! run_on_cluster(Arc::clone(&cluster), &ranklist, |ctx| {
+//!     let (mut ck, _) = Checkpointer::init(
+//!         ctx.world(),
+//!         CkptConfig::new("demo", Method::SelfCkpt, 256, 16),
+//!     );
+//!     {
+//!         let ws = ck.workspace();
+//!         ws.write().as_f64_mut()[..256].fill(ctx.world_rank() as f64);
+//!     }
+//!     ck.make(b"state")?;
+//!     Ok(())
+//! })
+//! .unwrap();
+//!
+//! // a node is lost: its memory (checkpoints included) is gone
+//! cluster.kill_node(2);
+//! cluster.reset_abort();
+//! ranklist.repair(&cluster).unwrap();
+//!
+//! // relaunch: survivors re-attach, the lost shard is rebuilt from parity
+//! let outs = run_on_cluster(cluster, &ranklist, |ctx| {
+//!     let (mut ck, _) = Checkpointer::init(
+//!         ctx.world(),
+//!         CkptConfig::new("demo", Method::SelfCkpt, 256, 16),
+//!     );
+//!     let rec = ck.recover().expect("single loss is recoverable");
+//!     let ws = ck.workspace();
+//!     let v = ws.read().as_f64()[0];
+//!     Ok((rec, v))
+//! })
+//! .unwrap();
+//! for (rank, (rec, v)) in outs.iter().enumerate() {
+//!     assert!(matches!(rec, Recovery::Restored { epoch: 1, .. }));
+//!     assert_eq!(*v, rank as f64, "rank {rank}'s data restored");
+//! }
+//! ```
+
+pub use skt_cluster as cluster;
+pub use skt_core as core;
+pub use skt_encoding as encoding;
+pub use skt_ftsim as ftsim;
+pub use skt_hpl as hpl;
+pub use skt_linalg as linalg;
+pub use skt_models as models;
+pub use skt_mps as mps;

@@ -1,0 +1,153 @@
+//! Cross-group consistency: with several checkpoint groups, a failure
+//! must never leave different groups restored to different epochs —
+//! the global commit discipline (sync barrier before the flush, global
+//! minimum at recovery) holds for every failure window.
+
+use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
+use self_checkpoint::core::{
+    group_color, protocol::probes, CkptConfig, Checkpointer, GroupStrategy, Method, Recovery,
+};
+use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
+use std::sync::Arc;
+
+const RANKS: usize = 8;
+const GROUP: usize = 4;
+const A1: usize = 128;
+
+fn writer(ctx: &Ctx, epochs: u64) -> Result<(), Fault> {
+    let world = ctx.world();
+    let me = world.rank();
+    let color = group_color(GroupStrategy::Contiguous, me, RANKS, GROUP);
+    let gcomm = world.split(color, me)?;
+    let (mut ck, _) =
+        Checkpointer::init_synced(gcomm, ctx.world(), CkptConfig::new("mg", Method::SelfCkpt, A1, 16));
+    for e in 1..=epochs {
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].fill(me as f64 * 1e6 + e as f64);
+        }
+        ctx.failpoint("computing")?;
+        ck.make(&e.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn recover_all(cluster: Arc<Cluster>, rl: &Ranklist) -> Vec<(u64, Vec<f64>)> {
+    run_on_cluster(cluster, rl, |ctx| {
+        let world = ctx.world();
+        let me = world.rank();
+        let color = group_color(GroupStrategy::Contiguous, me, RANKS, GROUP);
+        let gcomm = world.split(color, me)?;
+        let (mut ck, _) = Checkpointer::init_synced(
+            gcomm,
+            ctx.world(),
+            CkptConfig::new("mg", Method::SelfCkpt, A1, 16),
+        );
+        match ck.recover() {
+            Ok(Recovery::Restored { epoch, .. }) => {
+                let ws = ck.workspace();
+                let data = ws.read().as_f64()[..A1].to_vec();
+                Ok((epoch, data))
+            }
+            other => panic!("rank {me}: {other:?}"),
+        }
+    })
+    .unwrap()
+}
+
+fn case(label: &str, nth: u64, victim: usize) -> Vec<u64> {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(RANKS, 1)));
+    let mut rl = Ranklist::round_robin(RANKS, RANKS);
+    cluster.arm_failure(FailurePlan::new(label, nth, victim));
+    assert!(
+        run_on_cluster(Arc::clone(&cluster), &rl, |ctx| writer(ctx, 4)).is_err(),
+        "{label}@{nth} must fire"
+    );
+    cluster.reset_abort();
+    rl.repair(&cluster).unwrap();
+    let outs = recover_all(cluster, &rl);
+    let epochs: Vec<u64> = outs.iter().map(|(e, _)| *e).collect();
+    // every rank must agree on the restored epoch and hold matching data
+    for (rank, (e, data)) in outs.iter().enumerate() {
+        assert_eq!(*e, epochs[0], "rank {rank} restored a different epoch");
+        assert!(
+            data.iter().all(|v| *v == rank as f64 * 1e6 + *e as f64),
+            "rank {rank}: workspace does not match epoch {e}"
+        );
+    }
+    epochs
+}
+
+#[test]
+fn groups_agree_after_failure_during_computation() {
+    let e = case("computing", 3, 1);
+    assert_eq!(e[0], 2);
+}
+
+#[test]
+fn groups_agree_after_failure_during_encode() {
+    // mid-encode of epoch 3: nobody flushed, so everyone must be at 2
+    let e = case(probes::ENCODE, 2 * GROUP as u64 + 1, 2);
+    assert_eq!(e[0], 2);
+}
+
+#[test]
+fn groups_agree_after_failure_during_flush() {
+    // the victim's group was flushing epoch 3; the cross-group gate
+    // guarantees every other group had already committed D@3, so the
+    // whole job rolls *forward* to 3
+    let e = case(probes::FLUSH_B, 3, 1);
+    assert_eq!(e[0], 3);
+}
+
+#[test]
+fn groups_agree_after_failure_at_d_commit() {
+    let e = case(probes::D_COMMIT, 3, 5);
+    assert!(e[0] == 2 || e[0] == 3, "consistent epoch, got {}", e[0]);
+}
+
+#[test]
+fn victim_in_second_group_behaves_identically() {
+    let e = case(probes::FLUSH_B, 3, 6); // node 6 hosts a group-1 rank
+    assert_eq!(e[0], 3);
+}
+
+#[test]
+fn strided_groups_also_stay_consistent() {
+    // same scenario, strided group formation
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(RANKS, 1)));
+    let mut rl = Ranklist::round_robin(RANKS, RANKS);
+    cluster.arm_failure(FailurePlan::new(probes::FLUSH_B, 2, 3));
+    let writer = |ctx: &Ctx| -> Result<Option<u64>, Fault> {
+        let world = ctx.world();
+        let me = world.rank();
+        let color = group_color(GroupStrategy::Strided, me, RANKS, GROUP);
+        let gcomm = world.split(color, me)?;
+        let (mut ck, _) = Checkpointer::init_synced(
+            gcomm,
+            ctx.world(),
+            CkptConfig::new("mgs", Method::SelfCkpt, A1, 16),
+        );
+        let start = match ck.recover() {
+            Ok(Recovery::Restored { epoch, .. }) => epoch,
+            Ok(Recovery::NoCheckpoint) => 0,
+            Err(e) => panic!("{e}"),
+        };
+        for e in start + 1..=3 {
+            {
+                let ws = ck.workspace();
+                ws.write().as_f64_mut()[..A1].fill(e as f64);
+            }
+            ctx.failpoint("step")?;
+            ck.make(&e.to_le_bytes())?;
+        }
+        Ok(Some(ck.epoch()))
+    };
+    assert!(run_on_cluster(Arc::clone(&cluster), &rl, writer).is_err());
+    cluster.reset_abort();
+    rl.repair(&cluster).unwrap();
+    let outs = run_on_cluster(cluster, &rl, writer).unwrap();
+    for o in outs {
+        assert_eq!(o, Some(3), "all groups complete epoch 3 after recovery");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: stripe geometry, parity codes, dual parity, the
+//! deterministic generator, memory equations, and the efficiency model.
+
+use proptest::prelude::*;
+use self_checkpoint::core::{available_fraction, MemoryBreakdown, Method};
+use self_checkpoint::encoding::{Code, DualParity, GroupLayout};
+use self_checkpoint::linalg::{dgemm, solve_ref, MatGen, Matrix, Trans};
+use self_checkpoint::models::{fit_ab, hpl_efficiency, scaled_efficiency_bound};
+
+proptest! {
+    #[test]
+    fn layout_slots_partition_everything(n in 2usize..12, len in 1usize..500) {
+        let l = GroupLayout::new(n, len);
+        prop_assert!(l.padded_len() >= len);
+        prop_assert!(l.padded_len() < len + n); // minimal padding
+        prop_assert_eq!(l.stripe_len() * (n - 1), l.padded_len());
+        for r in 0..n {
+            let mut slots: Vec<usize> = (0..n - 1).map(|k| l.slot_of_stripe(r, k)).collect();
+            slots.sort_unstable();
+            let expect: Vec<usize> = (0..n).filter(|&s| s != r).collect();
+            prop_assert_eq!(slots, expect, "rank {}'s stripes fill exactly the non-parity slots", r);
+        }
+    }
+
+    #[test]
+    fn xor_parity_reconstructs_any_lost_stripe(
+        n in 2usize..8,
+        len in 1usize..64,
+        seed in any::<u64>(),
+        lost in 0usize..8,
+    ) {
+        let lost = lost % n;
+        let gen = MatGen::new(seed);
+        let stripes: Vec<Vec<f64>> = (0..n)
+            .map(|r| (0..len).map(|i| gen.entry(r as u64, i as u64) * 1e6).collect())
+            .collect();
+        let parity = Code::Xor.parity(len, &stripes);
+        let survivors: Vec<&Vec<f64>> =
+            stripes.iter().enumerate().filter(|(i, _)| *i != lost).map(|(_, s)| s).collect();
+        let rec = Code::Xor.reconstruct(&parity, survivors);
+        for (a, b) in rec.iter().zip(&stripes[lost]) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sum_parity_reconstructs_within_tolerance(
+        n in 2usize..8,
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let gen = MatGen::new(seed);
+        let stripes: Vec<Vec<f64>> = (0..n)
+            .map(|r| (0..len).map(|i| gen.entry(r as u64, i as u64) * 100.0).collect())
+            .collect();
+        let parity = Code::Sum.parity(len, &stripes);
+        let survivors: Vec<&Vec<f64>> = stripes.iter().skip(1).collect();
+        let rec = Code::Sum.reconstruct(&parity, survivors);
+        for (a, b) in rec.iter().zip(&stripes[0]) {
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn dual_parity_fixes_any_two_erasures(
+        k in 2usize..7,
+        len in 1usize..32,
+        seed in any::<u64>(),
+        x in 0usize..7,
+        y in 0usize..7,
+    ) {
+        let (x, y) = (x % k, y % k);
+        prop_assume!(x != y);
+        let gen = MatGen::new(seed);
+        let data: Vec<Vec<f64>> = (0..k)
+            .map(|r| (0..len).map(|i| gen.entry(r as u64, i as u64)).collect())
+            .collect();
+        let dp = DualParity::new(k, len);
+        let refs: Vec<&[f64]> = data.iter().map(|s| s.as_slice()).collect();
+        let (p, q) = dp.encode(&refs);
+        let stripes: Vec<Option<&[f64]>> = data
+            .iter()
+            .enumerate()
+            .map(|(i, s)| if i == x || i == y { None } else { Some(s.as_slice()) })
+            .collect();
+        let rec = dp.recover(&stripes, Some(&p), Some(&q));
+        prop_assert_eq!(&rec[x], &data[x]);
+        prop_assert_eq!(&rec[y], &data[y]);
+    }
+
+    #[test]
+    fn memory_equations_match_breakdowns(m in 100usize..100_000, n in 2usize..64) {
+        // round m to a stripe multiple so the closed forms are exact
+        let m = m.div_ceil(n - 1) * (n - 1);
+        for method in [Method::Single, Method::Double, Method::SelfCkpt] {
+            let b = MemoryBreakdown::new(method, m, n);
+            let expect = available_fraction(method, n);
+            prop_assert!((b.available() - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn availability_is_monotone_in_group_size(n in 2usize..100) {
+        for method in [Method::Single, Method::Double, Method::SelfCkpt] {
+            prop_assert!(available_fraction(method, n + 1) > available_fraction(method, n));
+        }
+    }
+
+    #[test]
+    fn efficiency_model_fit_roundtrips(
+        a in 1.01f64..3.0,
+        b in 1.0f64..1e5,
+        n0 in 100.0f64..10_000.0,
+    ) {
+        let pts: Vec<(f64, f64)> =
+            (1..=6).map(|i| { let n = n0 * i as f64; (n, hpl_efficiency(n, a, b)) }).collect();
+        let fit = fit_ab(&pts);
+        prop_assert!((fit.a - a).abs() < 1e-6 * a, "a: {} vs {}", fit.a, a);
+        prop_assert!((fit.b - b).abs() < 1e-4 * b.max(1.0), "b: {} vs {}", fit.b, b);
+    }
+
+    #[test]
+    fn scaled_bound_never_exceeds_original(e1 in 0.01f64..0.99, k in 0.05f64..1.0) {
+        let e2 = scaled_efficiency_bound(e1, k);
+        prop_assert!(e2 <= e1 + 1e-12);
+        prop_assert!(e2 > 0.0);
+    }
+
+    #[test]
+    fn generator_is_pure_and_bounded(seed in any::<u64>(), i in any::<u32>(), j in any::<u32>()) {
+        let g = MatGen::new(seed);
+        let v = g.entry(i as u64, j as u64);
+        prop_assert!((-0.5..0.5).contains(&v));
+        prop_assert_eq!(v, MatGen::new(seed).entry(i as u64, j as u64));
+    }
+
+    #[test]
+    fn dgemm_agrees_with_reference(m in 1usize..24, n in 1usize..24, k in 1usize..24, seed in any::<u64>()) {
+        let g = MatGen::new(seed);
+        let a = Matrix::from_gen(m, k, &g);
+        let b = Matrix::from_gen(k, n, &MatGen::new(seed ^ 1));
+        let mut c = Matrix::zeros(m, n);
+        let (lda, ldb, ldc) = (a.ld(), b.ld(), c.ld());
+        dgemm(Trans::No, m, n, k, 1.0, a.as_slice(), lda, b.as_slice(), ldb, 0.0, c.as_mut_slice(), ldc);
+        let r = a.matmul_ref(&b);
+        prop_assert!(c.max_abs_diff(&r) < 1e-12 * k as f64);
+    }
+
+    #[test]
+    fn lu_solve_has_small_residual(n in 2usize..40, seed in any::<u64>()) {
+        let g = MatGen::new(seed);
+        let a = Matrix::from_gen(n, n, &g);
+        let b: Vec<f64> = (0..n).map(|i| g.rhs(i as u64)).collect();
+        // random matrices are almost surely nonsingular; skip the rest
+        if let Ok(x) = solve_ref(&a, &b, 8) {
+            let r = self_checkpoint::linalg::norms::hpl_residual(&a, &x, &b);
+            prop_assert!(r < 16.0, "residual {}", r);
+        }
+    }
+}

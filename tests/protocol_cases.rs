@@ -1,0 +1,192 @@
+//! Integration matrix for the paper's Figures 2–5: every checkpoint
+//! method is hit by a node failure in every protocol window, and the
+//! outcome must match the paper's case analysis.
+//!
+//! | method  | failure window        | expected outcome                |
+//! |---------|-----------------------|---------------------------------|
+//! | single  | during computation    | roll back to last checkpoint    |
+//! | single  | during update         | **unrecoverable** (Fig. 2 CASE 2)|
+//! | double  | during computation    | roll back                       |
+//! | double  | during update         | roll back to the intact pair    |
+//! | self    | during computation    | roll back (CASE 1)              |
+//! | self    | during encode         | roll back (CASE 1)              |
+//! | self    | during flush          | **roll forward** from (A, D)    |
+
+use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
+use self_checkpoint::core::{
+    protocol::probes, CkptConfig, Checkpointer, Method, RecoverError, Recovery,
+};
+use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
+use std::sync::Arc;
+
+const N: usize = 4;
+const A1: usize = 256;
+const TOTAL_EPOCHS: u64 = 4;
+
+fn pattern(rank: usize, epoch: u64) -> Vec<f64> {
+    (0..A1).map(|i| (rank * 7919 + i) as f64 * 0.25 + epoch as f64).collect()
+}
+
+fn writer(ctx: &Ctx, method: Method) -> Result<(), Fault> {
+    let world = ctx.world();
+    let (mut ck, _) = Checkpointer::init(world, CkptConfig::new("case", method, A1, 16));
+    for e in 1..=TOTAL_EPOCHS {
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), e));
+        }
+        ctx.failpoint("computing")?;
+        ck.make(&e.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Run until the armed failure, repair, recover; return per-rank
+/// (recovery outcome or unrecoverable-flag, workspace contents).
+fn run_case(
+    method: Method,
+    label: &str,
+    nth: u64,
+) -> Result<Vec<(Recovery, Vec<f64>)>, String> {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 1)));
+    let mut rl = Ranklist::round_robin(N, N);
+    cluster.arm_failure(FailurePlan::new(label, nth, 1));
+    let first = run_on_cluster(Arc::clone(&cluster), &rl, |ctx| writer(ctx, method));
+    assert!(first.is_err(), "armed failure must abort the run");
+    cluster.reset_abort();
+    rl.repair(&cluster).unwrap();
+
+    let err = std::sync::Mutex::new(None);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, CkptConfig::new("case", method, A1, 16));
+        match ck.recover() {
+            Ok(rec) => {
+                let ws = ck.workspace();
+                let data = ws.read().as_f64()[..A1].to_vec();
+                Ok(Some((rec, data)))
+            }
+            Err(RecoverError::Unrecoverable(msg)) => {
+                *err.lock().unwrap() = Some(msg);
+                Ok(None)
+            }
+            Err(RecoverError::Fault(f)) => Err(f),
+        }
+    })
+    .unwrap();
+    if let Some(msg) = err.into_inner().unwrap() {
+        return Err(msg);
+    }
+    Ok(outs.into_iter().map(|o| o.expect("consistent verdicts")).collect())
+}
+
+fn assert_epoch(outs: &[(Recovery, Vec<f64>)], epoch: u64) {
+    for (rank, (rec, data)) in outs.iter().enumerate() {
+        match rec {
+            Recovery::Restored { epoch: e, a2, .. } => {
+                assert_eq!(*e, epoch, "rank {rank} epoch");
+                assert_eq!(a2.as_slice(), epoch.to_le_bytes());
+            }
+            other => panic!("rank {rank}: {other:?}"),
+        }
+        assert_eq!(data, &pattern(rank, epoch), "rank {rank} workspace");
+    }
+}
+
+#[test]
+fn single_failure_during_computation_rolls_back() {
+    let outs = run_case(Method::Single, "computing", 3).unwrap();
+    assert_epoch(&outs, 2);
+}
+
+#[test]
+fn single_failure_during_update_is_unrecoverable() {
+    let msg = run_case(Method::Single, probes::COPY_B, 3).unwrap_err();
+    assert!(msg.contains("inconsistent"), "{msg}");
+}
+
+#[test]
+fn single_failure_during_encode_is_unrecoverable() {
+    // checksum being recomputed while B already overwritten: same flaw
+    let msg = run_case(Method::Single, probes::ENCODE, 2 * N as u64 + 1).unwrap_err();
+    assert!(msg.contains("inconsistent"), "{msg}");
+}
+
+#[test]
+fn double_failure_during_computation_rolls_back() {
+    let outs = run_case(Method::Double, "computing", 3).unwrap();
+    assert_epoch(&outs, 2);
+}
+
+#[test]
+fn double_failure_during_update_restores_intact_pair() {
+    let outs = run_case(Method::Double, probes::COPY_B, 3).unwrap();
+    assert_epoch(&outs, 2);
+}
+
+#[test]
+fn self_failure_during_computation_rolls_back() {
+    let outs = run_case(Method::SelfCkpt, "computing", 3).unwrap();
+    assert_epoch(&outs, 2);
+}
+
+#[test]
+fn self_failure_during_encode_uses_old_checkpoint() {
+    // CASE 1 of Figure 4: failure while calculating the new checksum D
+    let outs = run_case(Method::SelfCkpt, probes::ENCODE, 2 * N as u64 + 1).unwrap();
+    assert_epoch(&outs, 2);
+}
+
+#[test]
+fn self_failure_during_flush_rolls_forward() {
+    // CASE 2 of Figure 4: D committed, flush torn -> recover from (A, D)
+    // at the *new* epoch, losing no progress.
+    let outs = run_case(Method::SelfCkpt, probes::FLUSH_B, 3).unwrap();
+    assert_epoch(&outs, 3);
+    assert!(outs
+        .iter()
+        .all(|(r, _)| matches!(r, Recovery::Restored { source, .. }
+            if *source == self_checkpoint::core::protocol::RestoreSource::WorkspaceAndChecksum)));
+}
+
+#[test]
+fn self_failure_between_flush_copies_rolls_forward() {
+    let outs = run_case(Method::SelfCkpt, probes::FLUSH_C, 3).unwrap();
+    assert_epoch(&outs, 3);
+}
+
+#[test]
+fn self_failure_right_after_a2_write_uses_old_checkpoint() {
+    let outs = run_case(Method::SelfCkpt, probes::A2, 3).unwrap();
+    assert_epoch(&outs, 2);
+}
+
+#[test]
+fn every_method_survives_failure_after_full_commit() {
+    for method in [Method::Single, Method::Double, Method::SelfCkpt] {
+        let outs = run_case(method, probes::DONE, 3).unwrap();
+        assert_epoch(&outs, 3);
+    }
+}
+
+#[test]
+fn two_lost_nodes_in_one_group_are_unrecoverable() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 2)));
+    let mut rl = Ranklist::round_robin(N, N);
+    cluster.arm_failure(FailurePlan::new("computing", 3, 1));
+    assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| writer(ctx, Method::SelfCkpt)).is_err());
+    // second node dies while the job is already down (double fault)
+    cluster.kill_node(2);
+    cluster.reset_abort();
+    rl.repair(&cluster).unwrap();
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, CkptConfig::new("case", Method::SelfCkpt, A1, 16));
+        match ck.recover() {
+            Err(RecoverError::Unrecoverable(_)) => Ok(true),
+            other => panic!("expected unrecoverable, got {other:?}"),
+        }
+    })
+    .unwrap();
+    assert!(outs.into_iter().all(|b| b), "single parity cannot fix two losses");
+}
