@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use skt_cluster::{Cluster, ClusterConfig, Ranklist};
-use skt_core::{CkptConfig, Checkpointer, Method};
+use skt_core::{Checkpointer, CkptConfig, Method};
+use skt_encoding::{kernels, KernelConfig};
 use skt_mps::run_on_cluster;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -20,8 +21,10 @@ fn time_makes(method: Method, group: usize, iters: u64) -> Duration {
     let rl = Ranklist::round_robin(group, group);
     let outs = run_on_cluster(cluster, &rl, |ctx| {
         let world = ctx.world();
-        let (mut ck, _) =
-            Checkpointer::init(world, CkptConfig::new(format!("bench-{}", method.name()), method, A1, 0));
+        let (mut ck, _) = Checkpointer::init(
+            world,
+            CkptConfig::new(format!("bench-{}", method.name()), method, A1, 0),
+        );
         {
             let ws = ck.workspace();
             ws.write().as_f64_mut()[..A1].fill(1.5);
@@ -48,6 +51,38 @@ fn bench_make(c: &mut Criterion) {
             });
         }
     }
+    g.finish();
+}
+
+/// The same `make` loop with the process-wide kernel policy pinned to
+/// serial vs all-cores parallel — the end-to-end effect of the kernel
+/// layer on a whole checkpoint (encode reduces + flush copies). Restores
+/// the ambient policy afterwards so other benches are unaffected.
+fn bench_make_kernel_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_make_kernels");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((A1 * 8) as u64));
+    let ambient = KernelConfig::global();
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let variants = [
+        ("serial", KernelConfig::serial()),
+        (
+            "parallel",
+            KernelConfig::new(host_threads, kernels::DEFAULT_CHUNK_LEN),
+        ),
+    ];
+    for (variant, cfg) in variants {
+        cfg.set_global();
+        for method in [Method::Single, Method::SelfCkpt] {
+            g.bench_function(
+                BenchmarkId::new(format!("{}-{variant}", method.name()), 4),
+                |b| {
+                    b.iter_custom(|iters| time_makes(method, 4, iters));
+                },
+            );
+        }
+    }
+    ambient.set_global();
     g.finish();
 }
 
@@ -104,6 +139,6 @@ fn bench_recovery(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_make, bench_recovery
+    targets = bench_make, bench_make_kernel_variants, bench_recovery
 }
 criterion_main!(benches);

@@ -1,9 +1,13 @@
 //! Criterion micro-benchmarks of the encoding layer: XOR vs SUM parity
 //! accumulation (the paper's "on some platforms XOR is much faster than
-//! SUM", §2.2), GF(256) multiply-accumulate, and dual-parity encode.
+//! SUM", §2.2), serial vs multi-threaded kernel variants at checkpoint
+//! sizes, GF(256) multiply-accumulate, and dual-parity encode.
+//!
+//! `CRITERION_JSON_OUT=BENCH_encode.json cargo bench --bench encode`
+//! dumps the numbers (plus host parallelism) for the committed baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use skt_encoding::{Code, DualParity};
+use skt_encoding::{kernels, Code, DualParity, KernelConfig};
 use std::hint::black_box;
 
 fn bench_codes(c: &mut Criterion) {
@@ -12,12 +16,55 @@ fn bench_codes(c: &mut Criterion) {
         let data: Vec<f64> = (0..size).map(|i| (i as f64).sin()).collect();
         g.throughput(Throughput::Bytes((size * 8) as u64));
         for code in [Code::Xor, Code::Sum] {
+            g.bench_with_input(BenchmarkId::new(code.name(), size), &data, |b, data| {
+                let mut acc = code.zero(size);
+                b.iter(|| code.accumulate(black_box(&mut acc), black_box(data)));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Serial vs multi-threaded kernels at realistic checkpoint sizes
+/// (1 MiB – 256 MiB of `f64`). The `parallel` variant uses every host
+/// core with the default cache block; on a single-core host the two
+/// variants collapse to the same serial walk.
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_accumulate");
+    g.sample_size(10);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let variants = [
+        ("serial", KernelConfig::serial()),
+        (
+            "parallel",
+            KernelConfig::new(host_threads, kernels::DEFAULT_CHUNK_LEN),
+        ),
+    ];
+    for mib in [1usize, 16, 64, 256] {
+        let len = mib << 17; // MiB of f64
+        let data: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+        g.throughput(Throughput::Bytes((len * 8) as u64));
+        for (variant, cfg) in variants {
+            let mut acc = kernels::zeroed(len);
             g.bench_with_input(
-                BenchmarkId::new(code.name(), size),
+                BenchmarkId::new(format!("XOR-{variant}"), format!("{mib}MiB")),
                 &data,
                 |b, data| {
-                    let mut acc = code.zero(size);
-                    b.iter(|| code.accumulate(black_box(&mut acc), black_box(data)));
+                    b.iter(|| kernels::xor_accumulate(black_box(&mut acc), black_box(data), cfg));
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("SUM-{variant}"), format!("{mib}MiB")),
+                &data,
+                |b, data| {
+                    b.iter(|| kernels::sum_accumulate(black_box(&mut acc), black_box(data), cfg));
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("COPY-{variant}"), format!("{mib}MiB")),
+                &data,
+                |b, data| {
+                    b.iter(|| kernels::copy(black_box(&mut acc), black_box(data), cfg));
                 },
             );
         }
@@ -54,7 +101,9 @@ fn bench_dual_parity(c: &mut Criterion) {
     let refs: Vec<&[f64]> = data.iter().map(|s| s.as_slice()).collect();
     let dp = DualParity::new(k, len);
     g.throughput(Throughput::Bytes((k * len * 8) as u64));
-    g.bench_function("encode_p_q", |b| b.iter(|| black_box(dp.encode(black_box(&refs)))));
+    g.bench_function("encode_p_q", |b| {
+        b.iter(|| black_box(dp.encode(black_box(&refs))))
+    });
     let (p, q) = dp.encode(&refs);
     g.bench_function("recover_two", |b| {
         b.iter(|| {
@@ -72,6 +121,6 @@ fn bench_dual_parity(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_codes, bench_reconstruct, bench_dual_parity
+    targets = bench_codes, bench_kernels, bench_reconstruct, bench_dual_parity
 }
 criterion_main!(benches);

@@ -75,7 +75,13 @@ fn bench_trsm(c: &mut Criterion) {
     let (k, ncols) = (32usize, 512usize);
     let gen = MatGen::new(4);
     let l: Vec<f64> = (0..k * k)
-        .map(|i| if i % (k + 1) == 0 { 1.0 } else { gen.entry(i as u64, 3) * 0.1 })
+        .map(|i| {
+            if i % (k + 1) == 0 {
+                1.0
+            } else {
+                gen.entry(i as u64, 3) * 0.1
+            }
+        })
         .collect();
     let rhs: Vec<f64> = (0..k * ncols).map(|i| gen.entry(i as u64, 5)).collect();
     c.bench_function("dtrsm_llnu_32x512", |b| {

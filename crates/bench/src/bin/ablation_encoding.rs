@@ -6,7 +6,7 @@
 
 use skt_bench::Table;
 use skt_cluster::{Cluster, ClusterConfig, NetModel, Ranklist};
-use skt_core::{CkptConfig, Checkpointer, Method};
+use skt_core::{Checkpointer, CkptConfig, Method};
 use skt_encoding::Code;
 use skt_models::TIANHE_1A;
 use skt_mps::run_on_cluster;
@@ -55,7 +55,12 @@ fn main() {
     let p = TIANHE_1A.net_model();
     let net = NetModel::new(p.alpha, p.bandwidth, p.procs_per_port);
     let data: usize = 1 << 30; // 1 GiB checkpoint per process
-    let mut t2 = Table::new(vec!["group size", "stripe-based (s)", "root-gather (s)", "speedup"]);
+    let mut t2 = Table::new(vec![
+        "group size",
+        "stripe-based (s)",
+        "root-gather (s)",
+        "speedup",
+    ]);
     for g in [4usize, 8, 16, 32] {
         let stripe = net.stripe_encode(data / (g - 1), g).as_secs_f64();
         let root = net.root_gather_encode(data, g).as_secs_f64();

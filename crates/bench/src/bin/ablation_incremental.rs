@@ -52,8 +52,8 @@ fn stencil_dirty_fraction() -> f64 {
     // localized activity: a moving hot spot
     for step in 0..64 {
         let base = step * 8;
-        for i in base..base + 16 {
-            field[i] += 1.0;
+        for v in &mut field[base..base + 16] {
+            *v += 1.0;
         }
     }
     tracker.dirty_fraction(&field)
@@ -84,8 +84,7 @@ fn main() {
 
     // the paper's claim, quantified
     let fr = hpl_dirty_fractions(n, nb, 4);
-    let early_mean =
-        fr[..fr.len() / 2].iter().sum::<f64>() / (fr.len() / 2) as f64;
+    let early_mean = fr[..fr.len() / 2].iter().sum::<f64>() / (fr.len() / 2) as f64;
     assert!(
         early_mean > 0.8,
         "HPL must dirty most of memory between checkpoints (got {early_mean})"

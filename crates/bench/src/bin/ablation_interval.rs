@@ -13,7 +13,9 @@ use skt_mps::run_local;
 fn main() {
     let (ranks, n, nb, group) = (4usize, 768usize, 32usize, 2usize);
     let panels = n / nb;
-    println!("Ablation: SKT-HPL checkpoint interval sweep (n={n}, {panels} panels, {ranks} ranks)\n");
+    println!(
+        "Ablation: SKT-HPL checkpoint interval sweep (n={n}, {panels} panels, {ranks} ranks)\n"
+    );
 
     // baseline without checkpoints
     let base_cfg = SktConfig::new(HplConfig::new(n, nb, 77), group, 0);
@@ -56,7 +58,10 @@ fn main() {
     // shape: denser checkpoints cost more
     let o1 = overheads.iter().find(|(e, _)| *e == 1).unwrap().1;
     let o8 = overheads.iter().find(|(e, _)| *e == 8).unwrap().1;
-    assert!(o1 > o8, "per-panel checkpointing must cost more than every 8");
+    assert!(
+        o1 > o8,
+        "per-panel checkpointing must cost more than every 8"
+    );
     println!("\nOverhead scales with (checkpoint cost)/(compute per interval). At this");
     println!("miniature scale an interval computes for milliseconds, so even one 8 MiB");
     println!("checkpoint is a visible fraction; at the paper's scale an interval computes");

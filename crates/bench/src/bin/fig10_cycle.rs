@@ -35,7 +35,11 @@ fn main() {
     let c = rep.cycles[0];
 
     println!("Figure 10: work-fail-detect-restart cycle phases\n");
-    let mut t = Table::new(vec!["Phase", "measured (virtual cluster)", "paper (Tianhe-2, 24,576 procs)"]);
+    let mut t = Table::new(vec![
+        "Phase",
+        "measured (virtual cluster)",
+        "paper (Tianhe-2, 24,576 procs)",
+    ]);
     t.row(vec![
         "detect the failure and kill the job".to_string(),
         format!("{:.2} s (modeled, job manager)", c.detect.as_secs_f64()),

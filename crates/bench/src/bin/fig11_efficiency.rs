@@ -51,7 +51,10 @@ fn main() {
         "100.0%".into(),
     ]);
     t.row(vec![
-        format!("SKT-HPL ({:.0}% memory, no ckpt)", 100.0 * available_fraction(Method::SelfCkpt, group)),
+        format!(
+            "SKT-HPL ({:.0}% memory, no ckpt)",
+            100.0 * available_fraction(Method::SelfCkpt, group)
+        ),
         format!("{n_skt}"),
         format!("{:.2}", skt.hpl.gflops_compute),
         format!("{:.1}%", 100.0 * (skt.hpl.gflops_compute / peak).min(1.0)),
@@ -59,5 +62,8 @@ fn main() {
     ]);
     t.print();
     println!("\nPaper: Tianhe-1A 97.81%, Tianhe-2 95.79% of the original HPL.");
-    println!("Measured ratio here: {:.1}% (shape target: ≳ 85% at miniature scale).", 100.0 * ratio);
+    println!(
+        "Measured ratio here: {:.1}% (shape target: ≳ 85% at miniature scale).",
+        100.0 * ratio
+    );
 }

@@ -54,7 +54,10 @@ fn main() {
     // shape assertions matching the paper: efficiency rises with memory
     let effs: Vec<f64> = rows.iter().map(|(_, _, e)| *e).collect();
     for w in effs.windows(2) {
-        assert!(w[1] > w[0] * 0.9, "efficiency should broadly rise with memory");
+        assert!(
+            w[1] > w[0] * 0.9,
+            "efficiency should broadly rise with memory"
+        );
     }
     println!("Paper: the impact of memory is nonlinear and fits the model on both Tianhe systems;");
     println!("self-checkpoint (44% memory) gains ~5% over double-checkpoint (30%) on Tianhe-2.");

@@ -11,7 +11,7 @@
 
 use skt_bench::Table;
 use skt_cluster::{Cluster, ClusterConfig, NetModel, Ranklist};
-use skt_core::{available_fraction, CkptConfig, Checkpointer, Method};
+use skt_core::{available_fraction, Checkpointer, CkptConfig, Method};
 use skt_models::{Platform, TIANHE_1A, TIANHE_2};
 use skt_mps::run_on_cluster;
 use std::sync::Arc;
@@ -20,7 +20,8 @@ use std::sync::Arc;
 /// one stripe each.
 fn modeled_encode(p: &Platform, group: usize) -> (f64, f64) {
     // checkpoint = the self-checkpoint's share of per-process memory
-    let ckpt_bytes = (p.mem_per_process() as f64 * available_fraction(Method::SelfCkpt, group)) as usize;
+    let ckpt_bytes =
+        (p.mem_per_process() as f64 * available_fraction(Method::SelfCkpt, group)) as usize;
     let stripe = ckpt_bytes / (group - 1);
     let params = p.net_model();
     let net = NetModel::new(params.alpha, params.bandwidth, params.procs_per_port);
@@ -52,12 +53,20 @@ fn main() {
     let a1 = 1 << 20; // 1 Mi elements = 8 MiB per rank, fixed across groups
 
     println!("Figure 13 (measured, virtual cluster, 8 MiB/process workspace):\n");
-    let mut t = Table::new(vec!["Group size", "Checkpoint size (MiB/proc)", "Encoding time (s)"]);
+    let mut t = Table::new(vec![
+        "Group size",
+        "Checkpoint size (MiB/proc)",
+        "Encoding time (s)",
+    ]);
     let mut meas = Vec::new();
     for &g in &groups {
         let (mb, secs) = measured_encode(g, a1);
         meas.push((g, mb, secs));
-        t.row(vec![format!("{g}"), format!("{mb:.2}"), format!("{secs:.4}")]);
+        t.row(vec![
+            format!("{g}"),
+            format!("{mb:.2}"),
+            format!("{secs:.4}"),
+        ]);
     }
     t.print();
 
@@ -86,7 +95,10 @@ fn main() {
 
     // shape assertions from the paper
     for w in th.windows(2) {
-        assert!(w[1].1 >= w[0].1 * 0.8, "encode time grows (slowly) with group size");
+        assert!(
+            w[1].1 >= w[0].1 * 0.8,
+            "encode time grows (slowly) with group size"
+        );
     }
     for &(g, t1, t2v) in &th {
         assert!(
@@ -95,6 +107,8 @@ fn main() {
         );
     }
     println!("\nShape checks passed: encoding grows slowly with group size; checkpoint size is");
-    println!("insensitive to group size; Tianhe-2 is slower than Tianhe-1A despite the faster link.");
+    println!(
+        "insensitive to group size; Tianhe-2 is slower than Tianhe-1A despite the faster link."
+    );
     let _ = meas;
 }

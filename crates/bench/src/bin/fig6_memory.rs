@@ -6,7 +6,7 @@
 
 use skt_bench::Table;
 use skt_cluster::{Cluster, ClusterConfig, Ranklist};
-use skt_core::{available_fraction, CkptConfig, Checkpointer, Method};
+use skt_core::{available_fraction, Checkpointer, CkptConfig, Method};
 use skt_mps::run_on_cluster;
 use std::sync::Arc;
 
@@ -26,7 +26,12 @@ fn measured_fraction(method: Method, n: usize, a1: usize) -> f64 {
 fn main() {
     println!("Figure 6: available memory (%) vs group size\n");
     let sizes = [2usize, 3, 4, 8, 16, 32];
-    let mut t = Table::new(vec!["Group Size", "single-checkpoint", "self-checkpoint", "double-checkpoint"]);
+    let mut t = Table::new(vec![
+        "Group Size",
+        "single-checkpoint",
+        "self-checkpoint",
+        "double-checkpoint",
+    ]);
     for &n in &sizes {
         t.row(vec![
             format!("{n}"),

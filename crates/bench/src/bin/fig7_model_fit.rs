@@ -19,7 +19,10 @@ fn main() {
 
     println!("Figure 7: HPL efficiency model fit ({ranks} ranks, nb = {nb})\n");
     let peak = peak_gflops(256, 3) * ranks as f64;
-    println!("calibrated peak: {peak:.2} GFLOPS ({} rank-threads)\n", ranks);
+    println!(
+        "calibrated peak: {peak:.2} GFLOPS ({} rank-threads)\n",
+        ranks
+    );
 
     let mut points = Vec::new();
     let mut rows = Vec::new();
@@ -34,7 +37,10 @@ fn main() {
         rows.push((n, mem, eff));
     }
     let model = fit_ab(&points);
-    println!("fitted model: E(N) = N / ({:.4} N + {:.1})\n", model.a, model.b);
+    println!(
+        "fitted model: E(N) = N / ({:.4} N + {:.1})\n",
+        model.a, model.b
+    );
 
     let mut t = Table::new(vec!["N", "Mem/core (MiB)", "measured eff", "model eff"]);
     let mut max_err: f64 = 0.0;

@@ -6,7 +6,7 @@
 
 use skt_bench::Table;
 use skt_cluster::{Cluster, ClusterConfig, Ranklist};
-use skt_core::{CkptConfig, Checkpointer, MemoryBreakdown, Method};
+use skt_core::{Checkpointer, CkptConfig, MemoryBreakdown, Method};
 use skt_mps::run_on_cluster;
 use std::sync::Arc;
 
@@ -47,13 +47,20 @@ fn main() {
             world,
             CkptConfig::new("table1", Method::SelfCkpt, live_a1, 0),
         );
-        Ok((ck.shm_bytes(), ck.layout().padded_len(), ck.layout().stripe_len()))
+        Ok((
+            ck.shm_bytes(),
+            ck.layout().padded_len(),
+            ck.layout().stripe_len(),
+        ))
     })
     .unwrap();
     let (shm, padded, stripe) = bytes[0];
     println!("\nLive validation (group {live_n}, a1 = {live_a1} elements):");
     println!("  SHM bytes per rank      : {shm}");
-    println!("  expected (2M + 2M/(N-1)): {} + 32B header", (2 * padded + 2 * stripe) * 8);
+    println!(
+        "  expected (2M + 2M/(N-1)): {} + 32B header",
+        (2 * padded + 2 * stripe) * 8
+    );
     let expect = (2 * padded + 2 * stripe) * 8 + 32;
     assert_eq!(shm, expect, "live segments must match Table 1");
     println!("  MATCH");

@@ -45,13 +45,21 @@ fn main() {
             format!("{:.3}", r.gflops),
             format!("{}", r.avail_elems * 8 / 1024),
             format!("{:.2}%", 100.0 * r.normalized_eff),
-            if r.recovered { "YES".into() } else { "NO".to_string() },
+            if r.recovered {
+                "YES".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     t.print();
 
-    println!("\nPaper (128 procs, 4 GB/proc): Original 100%/NO, ABFT 78.61%/NO, BLCR+HDD 72.53%/YES,");
-    println!("BLCR+SSD 87.45%/YES, SCR+Memory 92.10%/YES, SKT-HPL 94.49%/YES — SKT-HPL best of the");
+    println!(
+        "\nPaper (128 procs, 4 GB/proc): Original 100%/NO, ABFT 78.61%/NO, BLCR+HDD 72.53%/YES,"
+    );
+    println!(
+        "BLCR+SSD 87.45%/YES, SCR+Memory 92.10%/YES, SKT-HPL 94.49%/YES — SKT-HPL best of the"
+    );
     println!("recoverable methods, with 43% more memory than SCR.");
     let skt = rows.iter().find(|r| r.name == "SKT-HPL").unwrap();
     let scr = rows.iter().find(|r| r.name == "SCR+Memory").unwrap();

@@ -309,8 +309,10 @@ mod tests {
     #[test]
     fn kill_node_wipes_shm_and_aborts_job() {
         let c = Cluster::new(ClusterConfig::new(2, 1));
-        c.shm(0).get_or_create("seg", || crate::shm::SegmentData::F64(vec![1.0; 4]));
-        c.shm(1).get_or_create("seg", || crate::shm::SegmentData::F64(vec![2.0; 4]));
+        c.shm(0)
+            .get_or_create("seg", || crate::shm::SegmentData::F64(vec![1.0; 4]));
+        c.shm(1)
+            .get_or_create("seg", || crate::shm::SegmentData::F64(vec![2.0; 4]));
         c.kill_node(1);
         assert!(c.aborted());
         assert!(!c.node_alive(1));

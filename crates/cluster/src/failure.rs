@@ -48,7 +48,11 @@ impl FailurePlan {
     /// Convenience constructor.
     pub fn new(label: impl Into<String>, nth: u64, node: NodeId) -> Self {
         let nth = nth.max(1);
-        FailurePlan { label: label.into(), nth, node }
+        FailurePlan {
+            label: label.into(),
+            nth,
+            node,
+        }
     }
 }
 

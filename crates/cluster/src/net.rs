@@ -26,7 +26,11 @@ impl NetModel {
     /// paper's Table 2.
     pub fn new(alpha: f64, bandwidth: f64, procs_per_port: usize) -> Self {
         assert!(bandwidth > 0.0 && alpha >= 0.0 && procs_per_port >= 1);
-        NetModel { alpha, bandwidth, procs_per_port }
+        NetModel {
+            alpha,
+            bandwidth,
+            procs_per_port,
+        }
     }
 
     /// Effective per-process bandwidth once every process on the node is
@@ -134,7 +138,10 @@ mod tests {
         let t4 = m.stripe_encode(data / 3, 4).as_secs_f64();
         let t16 = m.stripe_encode(data / 15, 16).as_secs_f64();
         let ratio = t16 / t4;
-        assert!(ratio < 2.0, "group 16 should not be 2x slower than group 4 (ratio {ratio})");
+        assert!(
+            ratio < 2.0,
+            "group 16 should not be 2x slower than group 4 (ratio {ratio})"
+        );
     }
 
     #[test]

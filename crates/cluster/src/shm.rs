@@ -88,7 +88,11 @@ impl ShmStore {
     /// `shmget(key, IPC_CREAT)`: return the existing segment named `name`
     /// or create it by calling `init`. The boolean is `true` when the
     /// segment already existed (a restarted rank re-attaching).
-    pub fn get_or_create(&self, name: &str, init: impl FnOnce() -> SegmentData) -> (ShmSegment, bool) {
+    pub fn get_or_create(
+        &self,
+        name: &str,
+        init: impl FnOnce() -> SegmentData,
+    ) -> (ShmSegment, bool) {
         let mut map = self.segments.lock();
         if let Some(seg) = map.get(name) {
             (Arc::clone(seg), true)
@@ -218,7 +222,10 @@ mod tests {
         let (seg, _) = store.get_or_create("m", || SegmentData::F64(vec![1.0; 4]));
         store.wipe();
         assert!(store.is_empty());
-        assert!(seg.read().as_f64().is_empty(), "power-off must destroy data");
+        assert!(
+            seg.read().as_f64().is_empty(),
+            "power-off must destroy data"
+        );
     }
 
     #[test]
@@ -240,6 +247,9 @@ mod tests {
             }));
         }
         let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "all attaches must share storage");
+        assert!(
+            ptrs.windows(2).all(|w| w[0] == w[1]),
+            "all attaches must share storage"
+        );
     }
 }

@@ -69,7 +69,12 @@ impl Device {
     /// Device with custom speeds (for calibration experiments).
     pub fn with_speeds(kind: DeviceKind, bandwidth: f64, latency: f64) -> Self {
         assert!(bandwidth > 0.0 && latency >= 0.0);
-        Device { kind, bandwidth, latency, blobs: Mutex::new(BTreeMap::new()) }
+        Device {
+            kind,
+            bandwidth,
+            latency,
+            blobs: Mutex::new(BTreeMap::new()),
+        }
     }
 
     /// The device technology.

@@ -6,7 +6,7 @@
 //! the group — the stripe-based scheme of Figure 1 that avoids a
 //! single-node encoding bottleneck.
 
-use skt_encoding::{Code, GroupLayout};
+use skt_encoding::{kernels, Code, GroupLayout, KernelConfig};
 use skt_mps::{Comm, Fault, Payload, ReduceOp};
 
 /// Rebuilt `(padded data, parity stripe)` of a lost rank.
@@ -14,14 +14,14 @@ pub type Rebuilt = (Vec<f64>, Vec<f64>);
 
 fn to_payload(code: Code, s: &[f64]) -> Payload {
     match code {
-        Code::Xor => Payload::U64(s.iter().map(|v| v.to_bits()).collect()),
+        Code::Xor => Payload::U64(kernels::bits_of(s, KernelConfig::global())),
         Code::Sum => Payload::F64(s.to_vec()),
     }
 }
 
 fn from_payload(code: Code, p: Payload) -> Vec<f64> {
     match code {
-        Code::Xor => p.into_u64().into_iter().map(f64::from_bits).collect(),
+        Code::Xor => kernels::floats_of(&p.into_u64(), KernelConfig::global()),
         Code::Sum => p.into_f64(),
     }
 }
@@ -87,11 +87,19 @@ pub fn reconstruct_lost(
     assert_eq!(n, layout.group_size(), "comm/layout size mismatch");
     assert!(lost < n, "lost rank out of range");
     assert_eq!(data.len(), layout.padded_len(), "data must be padded");
-    assert_eq!(my_parity.len(), layout.stripe_len(), "parity length mismatch");
+    assert_eq!(
+        my_parity.len(),
+        layout.stripe_len(),
+        "parity length mismatch"
+    );
     let me = comm.rank();
     let zeros = code.zero(layout.stripe_len());
 
-    let mut rebuilt_data = if me == lost { Some(code.zero(layout.padded_len())) } else { None };
+    let mut rebuilt_data = if me == lost {
+        Some(code.zero(layout.padded_len()))
+    } else {
+        None
+    };
     let mut rebuilt_parity = None;
 
     for s in 0..n {
@@ -111,7 +119,7 @@ pub fn reconstruct_lost(
             let k = layout.stripe_of_slot(me, s).expect("me != s here");
             let stripe = layout.stripe(data, k);
             if code == Code::Sum && s != lost {
-                to_payload(code, &stripe.iter().map(|v| -v).collect::<Vec<f64>>())
+                to_payload(code, &kernels::negated(stripe, KernelConfig::global()))
             } else {
                 to_payload(code, stripe)
             }
@@ -136,10 +144,17 @@ mod tests {
     use skt_mps::run_local;
 
     fn rank_data(rank: usize, len: usize) -> Vec<f64> {
-        (0..len).map(|i| ((rank * 1000 + i) as f64).sin() * 100.0).collect()
+        (0..len)
+            .map(|i| ((rank * 1000 + i) as f64).sin() * 100.0)
+            .collect()
     }
 
-    fn sequential_parity(code: Code, layout: &GroupLayout, slot: usize, datasets: &[Vec<f64>]) -> Vec<f64> {
+    fn sequential_parity(
+        code: Code,
+        layout: &GroupLayout,
+        slot: usize,
+        datasets: &[Vec<f64>],
+    ) -> Vec<f64> {
         let mut acc = code.zero(layout.stripe_len());
         for (r, d) in datasets.iter().enumerate() {
             if let Some(k) = layout.stripe_of_slot(r, slot) {
@@ -160,7 +175,8 @@ mod tests {
                 encode_parity(&w, &layout, code, &data, None)
             })
             .unwrap();
-            let datasets: Vec<Vec<f64>> = (0..n).map(|r| rank_data(r, layout.padded_len())).collect();
+            let datasets: Vec<Vec<f64>> =
+                (0..n).map(|r| rank_data(r, layout.padded_len())).collect();
             for (slot, parity) in out.iter().enumerate() {
                 let expect = sequential_parity(code, &layout, slot, &datasets);
                 for (a, b) in parity.iter().zip(&expect) {
@@ -185,7 +201,10 @@ mod tests {
                 let parity = encode_parity(&w, &layout, Code::Xor, &data, None)?;
                 // lost rank forgets everything
                 let (d, p) = if me == lost {
-                    (Code::Xor.zero(layout.padded_len()), Code::Xor.zero(layout.stripe_len()))
+                    (
+                        Code::Xor.zero(layout.padded_len()),
+                        Code::Xor.zero(layout.stripe_len()),
+                    )
                 } else {
                     (data, parity)
                 };
@@ -224,7 +243,10 @@ mod tests {
             let data = rank_data(me, layout.padded_len());
             let parity = encode_parity(&w, &layout, Code::Sum, &data, None)?;
             let (d, p) = if me == lost {
-                (vec![0.0; layout.padded_len()], vec![0.0; layout.stripe_len()])
+                (
+                    vec![0.0; layout.padded_len()],
+                    vec![0.0; layout.stripe_len()],
+                )
             } else {
                 (data, parity)
             };

@@ -40,7 +40,11 @@ impl DirtyTracker {
     /// (the analogue of the OS page size; 512 elements = one 4 KiB page).
     pub fn new(len: usize, chunk: usize) -> Self {
         assert!(chunk >= 1 && len >= 1);
-        DirtyTracker { chunk, hashes: vec![0; len.div_ceil(chunk)], len }
+        DirtyTracker {
+            chunk,
+            hashes: vec![0; len.div_ceil(chunk)],
+            len,
+        }
     }
 
     /// Number of chunks tracked.
@@ -109,7 +113,11 @@ mod tests {
         let mut t = DirtyTracker::new(1024, 128);
         t.snapshot(&data);
         data[300] = 5.0;
-        assert_eq!(t.dirty_chunks(&data), vec![2], "element 300 lives in chunk 2");
+        assert_eq!(
+            t.dirty_chunks(&data),
+            vec![2],
+            "element 300 lives in chunk 2"
+        );
         assert!((t.dirty_fraction(&data) - 1.0 / 8.0).abs() < 1e-12);
     }
 

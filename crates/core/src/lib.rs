@@ -41,8 +41,8 @@ pub mod multilevel;
 pub mod protocol;
 
 pub use engine::{encode_parity, reconstruct_lost};
-pub use incremental::DirtyTracker;
 pub use group::{group_color, validate_node_distinct, GroupStrategy};
+pub use incremental::DirtyTracker;
 pub use memory::{available_fraction, max_workspace_len, MemoryBreakdown, Method};
 pub use multilevel::{MlStats, MultiLevel};
 pub use protocol::{Checkpointer, CkptConfig, CkptStats, RecoverError, Recovery};

@@ -73,9 +73,21 @@ impl MemoryBreakdown {
         assert!(n >= 2);
         let cs = m.div_ceil(n - 1);
         match method {
-            Method::Single => MemoryBreakdown { a: m, checkpoints: m, checksums: cs },
-            Method::Double => MemoryBreakdown { a: m, checkpoints: 2 * m, checksums: 2 * cs },
-            Method::SelfCkpt => MemoryBreakdown { a: m, checkpoints: m, checksums: 2 * cs },
+            Method::Single => MemoryBreakdown {
+                a: m,
+                checkpoints: m,
+                checksums: cs,
+            },
+            Method::Double => MemoryBreakdown {
+                a: m,
+                checkpoints: 2 * m,
+                checksums: 2 * cs,
+            },
+            Method::SelfCkpt => MemoryBreakdown {
+                a: m,
+                checkpoints: m,
+                checksums: 2 * cs,
+            },
         }
     }
 

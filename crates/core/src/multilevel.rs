@@ -11,8 +11,8 @@
 //! recovery falls back to the newest PFS epoch held by every rank
 //! (two-slot discipline, like the BLCR baseline).
 
-use crate::protocol::{CkptStats, Checkpointer, RecoverError, Recovery, RestoreSource};
-use skt_mps::{Fault, Payload, ReduceOp};
+use crate::protocol::{Checkpointer, CkptStats, RecoverError, Recovery, RestoreSource};
+use skt_mps::Fault;
 use std::time::{Duration, Instant};
 
 /// Result of a multi-level `make`.
@@ -38,7 +38,11 @@ impl<'c> MultiLevel<'c> {
     /// in-memory checkpoint is also written to the PFS (`flush_every = 0`
     /// disables the disk level, degenerating to plain self-checkpoint).
     pub fn new(ck: Checkpointer<'c>, flush_every: u64) -> Self {
-        MultiLevel { ck, flush_every, mem_ckpts: 0 }
+        MultiLevel {
+            ck,
+            flush_every,
+            mem_ckpts: 0,
+        }
     }
 
     /// The wrapped in-memory checkpointer.
@@ -53,7 +57,12 @@ impl<'c> MultiLevel<'c> {
 
     fn blob_name(&self, slot: u64) -> String {
         let ctx = self.ck.comm().ctx();
-        format!("ml/{}/r{}/slot{}", self.ck.config_name(), ctx.world_rank(), slot)
+        format!(
+            "ml/{}/r{}/slot{}",
+            self.ck.config_name(),
+            ctx.world_rank(),
+            slot
+        )
     }
 
     fn serialize(&self, a2: &[u8]) -> Vec<u8> {
@@ -82,12 +91,19 @@ impl<'c> MultiLevel<'c> {
             let blob = self.serialize(a2);
             let sharers = ctx.node_sharers();
             let slot = (self.mem_ckpts / self.flush_every) % 2;
-            let t_io = ctx.cluster().pfs().write(&self.blob_name(slot), blob, sharers);
+            let t_io = ctx
+                .cluster()
+                .pfs()
+                .write(&self.blob_name(slot), blob, sharers);
             self.ck.comm().barrier()?; // coordinated disk commit
             flush_time = t.elapsed() + t_io;
             flushed = true;
         }
-        Ok(MlStats { mem, flushed, flush_time })
+        Ok(MlStats {
+            mem,
+            flushed,
+            flush_time,
+        })
     }
 
     /// Recover: in-memory first; if that level is beyond repair (more
@@ -114,10 +130,7 @@ impl<'c> MultiLevel<'c> {
         let my_best = local.iter().map(|(e, _)| *e).max().unwrap_or(0) as i64;
         // newest epoch EVERYONE holds (the disk level is job-wide: use
         // the group comm; with init_synced the sync comm is authoritative)
-        let common = self
-            .ck
-            .agree_min(my_best)
-            .map_err(RecoverError::Fault)?;
+        let common = self.ck.agree_min(my_best).map_err(RecoverError::Fault)?;
         if common == 0 {
             self.ck.reset();
             self.ck.comm().barrier().map_err(RecoverError::Fault)?;
@@ -128,7 +141,9 @@ impl<'c> MultiLevel<'c> {
             .find(|(e, _)| *e == common as u64)
             .map(|(_, s)| *s)
             .expect("two-slot discipline guarantees the common epoch is held");
-        let (blob, _t_io) = pfs.read(&self.blob_name(slot), sharers).expect("slot just probed");
+        let (blob, _t_io) = pfs
+            .read(&self.blob_name(slot), sharers)
+            .expect("slot just probed");
         let a2_len = u64::from_le_bytes(blob[8..16].try_into().unwrap()) as usize;
         let a2 = blob[16..16 + a2_len].to_vec();
         let data: Vec<f64> = blob[16 + a2_len..]
@@ -244,7 +259,10 @@ mod tests {
             match rec {
                 Recovery::Restored { epoch, source, .. } => {
                     assert_eq!(*source, RestoreSource::MultiLevelDisk, "rank {rank}");
-                    assert_eq!(*epoch, 2, "newest flushed epoch (flush at 2; ckpt 3 was memory-only)");
+                    assert_eq!(
+                        *epoch, 2,
+                        "newest flushed epoch (flush at 2; ckpt 3 was memory-only)"
+                    );
                 }
                 other => panic!("rank {rank}: {other:?}"),
             }
@@ -264,7 +282,8 @@ mod tests {
         rl.repair(&cluster).unwrap();
         let outs = run_on_cluster(cluster, &rl, |ctx| {
             let world = ctx.world();
-            let (ck, _) = Checkpointer::init(world, CkptConfig::new("ml", Method::SelfCkpt, A1, 16));
+            let (ck, _) =
+                Checkpointer::init(world, CkptConfig::new("ml", Method::SelfCkpt, A1, 16));
             let mut ml = MultiLevel::new(ck, 0);
             match ml.recover() {
                 // without a disk level, no PFS blob exists -> NoCheckpoint

@@ -32,7 +32,7 @@
 use crate::engine::{encode_parity, reconstruct_lost};
 use crate::memory::Method;
 use skt_cluster::{SegmentData, ShmSegment};
-use skt_encoding::{Code, GroupLayout};
+use skt_encoding::{Code, GroupLayout, KernelConfig};
 use skt_mps::{Comm, Fault, Payload, ReduceOp};
 use std::time::{Duration, Instant};
 
@@ -74,7 +74,13 @@ pub struct CkptConfig {
 impl CkptConfig {
     /// Convenience constructor with XOR code.
     pub fn new(name: impl Into<String>, method: Method, a1_len: usize, a2_capacity: usize) -> Self {
-        CkptConfig { name: name.into(), method, code: Code::Xor, a1_len, a2_capacity }
+        CkptConfig {
+            name: name.into(),
+            method,
+            code: Code::Xor,
+            a1_len,
+            a2_capacity,
+        }
     }
 }
 
@@ -239,7 +245,8 @@ impl<'c> Checkpointer<'c> {
             .then(|| shm.get_or_create(&seg_name("b1"), zeros_f64(padded)).0);
         let c1 = matches!(cfg.method, Method::Double)
             .then(|| shm.get_or_create(&seg_name("c1"), zeros_f64(stripe)).0);
-        let (header, _) = shm.get_or_create(&seg_name("header"), || SegmentData::Bytes(vec![0u8; 32]));
+        let (header, _) =
+            shm.get_or_create(&seg_name("header"), || SegmentData::Bytes(vec![0u8; 32]));
 
         let h = read_header(&header);
         let epoch = match cfg.method {
@@ -309,7 +316,9 @@ impl<'c> Checkpointer<'c> {
     /// [`crate::multilevel::MultiLevel`].
     pub fn agree_min(&self, v: i64) -> Result<i64, Fault> {
         let comm = self.sync.as_ref().unwrap_or(&self.comm);
-        Ok(comm.allreduce(ReduceOp::Min, Payload::I64(vec![v]))?.into_i64()[0])
+        Ok(comm
+            .allreduce(ReduceOp::Min, Payload::I64(vec![v]))?
+            .into_i64()[0])
     }
 
     /// Whether init re-attached to pre-existing segments.
@@ -366,7 +375,9 @@ impl<'c> Checkpointer<'c> {
     fn copy_seg(dst: &ShmSegment, src: &ShmSegment) {
         let s = src.read();
         let mut d = dst.write();
-        d.as_f64_mut().copy_from_slice(s.as_f64());
+        // The flush copies (`work → B`, `D → C`) move whole checkpoints;
+        // run them on the blocked multi-threaded copy kernel.
+        skt_encoding::kernels::copy(d.as_f64_mut(), s.as_f64(), KernelConfig::global());
     }
 
     /// Make a checkpoint of the current workspace plus the serialized
@@ -409,7 +420,13 @@ impl<'c> Checkpointer<'c> {
         let t0 = Instant::now();
         let parity = {
             let g = self.work.read();
-            encode_parity(&self.comm, &self.layout, self.cfg.code, g.as_f64(), Some(probes::ENCODE))?
+            encode_parity(
+                &self.comm,
+                &self.layout,
+                self.cfg.code,
+                g.as_f64(),
+                Some(probes::ENCODE),
+            )?
         };
         d_seg.write().as_f64_mut().copy_from_slice(&parity);
         // (3) group-wide commit of D
@@ -439,6 +456,12 @@ impl<'c> Checkpointer<'c> {
 
     fn make_single(&mut self, e: u64) -> Result<CkptStats, Fault> {
         let ctx = self.comm.ctx();
+        // Gate the update window: past this barrier every rank runs the
+        // straight-line dirty-mark + copy with no intervening failpoint,
+        // so "any rank reached COPY_B" implies "every rank marked
+        // H_DIRTY". Without it, recovery's torn-update verdict depends on
+        // where the scheduler parked the survivors.
+        self.comm.barrier()?;
         // Mark the attempt: if epoch `e` never commits anywhere, (B, C)
         // may be torn and recovery must give up — the method's documented
         // flaw (paper Figure 2, CASE 2).
@@ -450,7 +473,13 @@ impl<'c> Checkpointer<'c> {
         let t0 = Instant::now();
         let parity = {
             let g = self.b.read();
-            encode_parity(&self.comm, &self.layout, self.cfg.code, g.as_f64(), Some(probes::ENCODE))?
+            encode_parity(
+                &self.comm,
+                &self.layout,
+                self.cfg.code,
+                g.as_f64(),
+                Some(probes::ENCODE),
+            )?
         };
         self.c.write().as_f64_mut().copy_from_slice(&parity);
         self.comm.barrier()?;
@@ -463,7 +492,11 @@ impl<'c> Checkpointer<'c> {
         let ctx = self.comm.ctx();
         // overwrite the *older* pair; the newer pair stays consistent.
         let (b_t, c_t, h_t) = if e.is_multiple_of(2) {
-            (self.b1.as_ref().unwrap(), self.c1.as_ref().unwrap(), H_PAIR1)
+            (
+                self.b1.as_ref().unwrap(),
+                self.c1.as_ref().unwrap(),
+                H_PAIR1,
+            )
         } else {
             (&self.b, &self.c, H_BC_EPOCH)
         };
@@ -474,7 +507,13 @@ impl<'c> Checkpointer<'c> {
         let t0 = Instant::now();
         let parity = {
             let g = b_t.read();
-            encode_parity(&self.comm, &self.layout, self.cfg.code, g.as_f64(), Some(probes::ENCODE))?
+            encode_parity(
+                &self.comm,
+                &self.layout,
+                self.cfg.code,
+                g.as_f64(),
+                Some(probes::ENCODE),
+            )?
         };
         c_t.write().as_f64_mut().copy_from_slice(&parity);
         self.comm.barrier()?;
@@ -503,19 +542,32 @@ impl<'c> Checkpointer<'c> {
             .into_iter()
             .map(Payload::into_i64)
             .collect();
-        let lost_list: Vec<usize> =
-            infos.iter().enumerate().filter(|(_, v)| v[0] != 0).map(|(i, _)| i).collect();
+        let lost_list: Vec<usize> = infos
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v[0] != 0)
+            .map(|(i, _)| i)
+            .collect();
         let all_fresh = lost_list.len() == self.comm.size();
         let group_unrec = !all_fresh && lost_list.len() > 1;
-        let lost = if all_fresh { None } else { lost_list.first().copied() };
+        let lost = if all_fresh {
+            None
+        } else {
+            lost_list.first().copied()
+        };
         let survivors = || infos.iter().filter(|v| v[0] == 0);
         // Group MAX of the committed epochs. Every commit marker is
         // written only after a group barrier, so "any survivor committed
         // phase X of epoch e" proves every rank's *data* for that phase
         // is complete — even on ranks whose header write was cut short by
         // the abort.
-        let max_of =
-            |idx: usize| if all_fresh { 0 } else { survivors().map(|v| v[idx] as u64).max().unwrap() };
+        let max_of = |idx: usize| {
+            if all_fresh {
+                0
+            } else {
+                survivors().map(|v| v[idx] as u64).max().unwrap()
+            }
+        };
 
         // This group's restorable epoch ("proposal") and whether it is
         // beyond repair.
@@ -536,7 +588,8 @@ impl<'c> Checkpointer<'c> {
         let (unrec, target) = self.global_agree(group_unrec || torn, proposal)?;
         if unrec {
             return Err(RecoverError::Unrecoverable(if torn {
-                "single-checkpoint: failure during checkpoint update left (B, C) inconsistent".into()
+                "single-checkpoint: failure during checkpoint update left (B, C) inconsistent"
+                    .into()
             } else {
                 "a group lost more than one member (or a peer group is unrecoverable)".into()
             }));
@@ -580,7 +633,11 @@ impl<'c> Checkpointer<'c> {
         }
     }
 
-    fn finish_restore(&mut self, epoch: u64, source: RestoreSource) -> Result<Recovery, RecoverError> {
+    fn finish_restore(
+        &mut self,
+        epoch: u64,
+        source: RestoreSource,
+    ) -> Result<Recovery, RecoverError> {
         let a2 = {
             let g = self.work.read();
             Self::read_b2(g.as_f64(), self.cfg.a1_len, self.cfg.a2_capacity)
@@ -641,7 +698,12 @@ impl<'c> Checkpointer<'c> {
                 {
                     debug_assert_eq!(me, f);
                     self.work.write().as_f64_mut().copy_from_slice(&data);
-                    self.d.as_ref().unwrap().write().as_f64_mut().copy_from_slice(&parity);
+                    self.d
+                        .as_ref()
+                        .unwrap()
+                        .write()
+                        .as_f64_mut()
+                        .copy_from_slice(&parity);
                 }
             }
             // complete the interrupted flush so (B, C) is consistent again
@@ -658,7 +720,11 @@ impl<'c> Checkpointer<'c> {
         }
     }
 
-    fn recover_single(&mut self, lost: Option<usize>, target: u64) -> Result<Recovery, RecoverError> {
+    fn recover_single(
+        &mut self,
+        lost: Option<usize>,
+        target: u64,
+    ) -> Result<Recovery, RecoverError> {
         if let Some(f) = lost {
             let (bd, pc) = {
                 let b = self.b.read();
@@ -736,15 +802,24 @@ impl<'c> Checkpointer<'c> {
         self.attached = true;
     }
 
-    /// Collective integrity check: recompute the parity of `B` and
-    /// compare it with `C` bit-exactly. Returns the group-wide verdict.
+    /// Collective integrity check: recompute the parity of the committed
+    /// checkpoint copy and compare it with its checksum bit-exactly.
+    /// Returns the group-wide verdict.
+    ///
+    /// For the double-checkpoint baseline the pairs alternate by epoch
+    /// parity and the *off* pair may legally hold a torn write, so the
+    /// check targets the pair holding the current epoch.
     pub fn verify_integrity(&self) -> Result<bool, Fault> {
+        let (b_t, c_t) = match (self.cfg.method, self.epoch.is_multiple_of(2)) {
+            (Method::Double, true) => (self.b1.as_ref().unwrap(), self.c1.as_ref().unwrap()),
+            _ => (&self.b, &self.c),
+        };
         let parity = {
-            let g = self.b.read();
+            let g = b_t.read();
             encode_parity(&self.comm, &self.layout, self.cfg.code, g.as_f64(), None)?
         };
         let ok = {
-            let c = self.c.read();
+            let c = c_t.read();
             parity
                 .iter()
                 .zip(c.as_f64())
@@ -773,7 +848,9 @@ mod tests {
     }
 
     fn pattern(rank: usize, epoch: u64) -> Vec<f64> {
-        (0..A1).map(|i| (rank * 10_000 + i) as f64 + epoch as f64 * 0.5).collect()
+        (0..A1)
+            .map(|i| (rank * 10_000 + i) as f64 + epoch as f64 * 0.5)
+            .collect()
     }
 
     /// Run a full work→checkpoint→fail→repair→recover cycle with the
@@ -845,7 +922,10 @@ mod tests {
         assert_restored_epoch(&outs, 2);
         assert!(matches!(
             outs[0].0,
-            Recovery::Restored { source: RestoreSource::CheckpointAndChecksum, .. }
+            Recovery::Restored {
+                source: RestoreSource::CheckpointAndChecksum,
+                ..
+            }
         ));
     }
 
@@ -865,7 +945,10 @@ mod tests {
         assert_restored_epoch(&outs, 3);
         assert!(matches!(
             outs[0].0,
-            Recovery::Restored { source: RestoreSource::WorkspaceAndChecksum, .. }
+            Recovery::Restored {
+                source: RestoreSource::WorkspaceAndChecksum,
+                ..
+            }
         ));
     }
 
@@ -965,7 +1048,11 @@ mod tests {
         let outs = run_on_cluster(cluster, &rl, |ctx| {
             let world = ctx.world();
             let (ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
-            Ok((ck.shm_bytes(), ck.layout().padded_len(), ck.layout().stripe_len()))
+            Ok((
+                ck.shm_bytes(),
+                ck.layout().padded_len(),
+                ck.layout().stripe_len(),
+            ))
         })
         .unwrap();
         for (bytes, padded, stripe) in outs {

@@ -6,6 +6,12 @@
 //! XOR is the default — it is exact (operates on the `f64` *bit
 //! patterns*) and often faster; SUM is supported for completeness and for
 //! platforms where a numeric reduce is preferable.
+//!
+//! The element loops run on the [`crate::kernels`] engine: the plain
+//! methods use the process-wide [`KernelConfig`], the `_with` variants
+//! take an explicit policy.
+
+use crate::kernels::{self, KernelConfig};
 
 /// Parity code over `f64` stripes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -20,43 +26,48 @@ pub enum Code {
 
 impl Code {
     /// The identity element buffer (all zero bits / all `0.0`).
+    #[must_use]
     pub fn zero(self, len: usize) -> Vec<f64> {
-        vec![0.0; len]
+        kernels::zeroed(len)
     }
 
-    /// `acc := acc ⊕ x` element-wise.
+    /// `acc := acc ⊕ x` element-wise, under the process-wide
+    /// [`KernelConfig`].
     pub fn accumulate(self, acc: &mut [f64], x: &[f64]) {
+        self.accumulate_with(acc, x, KernelConfig::global());
+    }
+
+    /// `acc := acc ⊕ x` element-wise under an explicit kernel policy.
+    pub fn accumulate_with(self, acc: &mut [f64], x: &[f64], cfg: KernelConfig) {
         assert_eq!(acc.len(), x.len(), "accumulate: length mismatch");
         match self {
-            Code::Xor => {
-                for (a, b) in acc.iter_mut().zip(x) {
-                    *a = f64::from_bits(a.to_bits() ^ b.to_bits());
-                }
-            }
-            Code::Sum => {
-                for (a, b) in acc.iter_mut().zip(x) {
-                    *a += *b;
-                }
-            }
+            Code::Xor => kernels::xor_accumulate(acc, x, cfg),
+            Code::Sum => kernels::sum_accumulate(acc, x, cfg),
         }
     }
 
     /// `acc := acc ⊖ x` element-wise (the recovery direction). For XOR
     /// this is the same operation; for SUM it subtracts.
     pub fn cancel(self, acc: &mut [f64], x: &[f64]) {
+        self.cancel_with(acc, x, KernelConfig::global());
+    }
+
+    /// `acc := acc ⊖ x` element-wise under an explicit kernel policy.
+    pub fn cancel_with(self, acc: &mut [f64], x: &[f64], cfg: KernelConfig) {
         assert_eq!(acc.len(), x.len(), "cancel: length mismatch");
         match self {
-            Code::Xor => self.accumulate(acc, x),
-            Code::Sum => {
-                for (a, b) in acc.iter_mut().zip(x) {
-                    *a -= *b;
-                }
-            }
+            Code::Xor => kernels::xor_accumulate(acc, x, cfg),
+            Code::Sum => kernels::sub_accumulate(acc, x, cfg),
         }
     }
 
     /// Parity of a set of stripes: `⊕_i stripes[i]`.
-    pub fn parity(self, len: usize, stripes: impl IntoIterator<Item = impl AsRef<[f64]>>) -> Vec<f64> {
+    #[must_use]
+    pub fn parity(
+        self,
+        len: usize,
+        stripes: impl IntoIterator<Item = impl AsRef<[f64]>>,
+    ) -> Vec<f64> {
         let mut acc = self.zero(len);
         for s in stripes {
             self.accumulate(&mut acc, s.as_ref());
@@ -66,6 +77,7 @@ impl Code {
 
     /// Reconstruct the missing stripe from the parity and every surviving
     /// stripe: `missing = parity ⊖ ⊕_i survivors[i]`.
+    #[must_use]
     pub fn reconstruct(
         self,
         parity: &[f64],
@@ -79,6 +91,7 @@ impl Code {
     }
 
     /// The `MPI_Op`-style name the paper uses for this code.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Code::Xor => "BXOR",
@@ -104,7 +117,12 @@ mod tests {
         let s = stripes();
         let parity = Code::Xor.parity(4, &s);
         for missing in 0..3 {
-            let survivors: Vec<&Vec<f64>> = s.iter().enumerate().filter(|(i, _)| *i != missing).map(|(_, v)| v).collect();
+            let survivors: Vec<&Vec<f64>> = s
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != missing)
+                .map(|(_, v)| v)
+                .collect();
             let rec = Code::Xor.reconstruct(&parity, survivors);
             for (a, b) in rec.iter().zip(&s[missing]) {
                 assert_eq!(a.to_bits(), b.to_bits(), "XOR must be bit-exact");
@@ -117,7 +135,12 @@ mod tests {
         let s = stripes();
         let parity = Code::Sum.parity(4, &s);
         for missing in 0..3 {
-            let survivors: Vec<&Vec<f64>> = s.iter().enumerate().filter(|(i, _)| *i != missing).map(|(_, v)| v).collect();
+            let survivors: Vec<&Vec<f64>> = s
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != missing)
+                .map(|(_, v)| v)
+                .collect();
             let rec = Code::Sum.reconstruct(&parity, survivors);
             for (a, b) in rec.iter().zip(&s[missing]) {
                 let tol = 1e-9 * b.abs().max(1.0) + 1e300 * 1e-15; // catastrophic-cancel headroom

@@ -92,11 +92,16 @@ impl DualParity {
         assert_eq!(stripes.len(), self.k, "need exactly k stripe slots");
         let missing: Vec<usize> = (0..self.k).filter(|&i| stripes[i].is_none()).collect();
         let lost = missing.len() + usize::from(p.is_none()) + usize::from(q.is_none());
-        assert!(lost <= 2, "dual parity corrects at most two erasures, got {lost}");
+        assert!(
+            lost <= 2,
+            "dual parity corrects at most two erasures, got {lost}"
+        );
 
         let nbytes = self.stripe_len * 8;
-        let byte_stripes: Vec<Option<Vec<u8>>> =
-            stripes.iter().map(|s| s.map(|v| self.stripe_to_bytes(v))).collect();
+        let byte_stripes: Vec<Option<Vec<u8>>> = stripes
+            .iter()
+            .map(|s| s.map(|v| self.stripe_to_bytes(v)))
+            .collect();
 
         let restored: Vec<Vec<u8>> = match (missing.as_slice(), p, q) {
             // Nothing lost among data.
@@ -164,7 +169,9 @@ impl DualParity {
         for (i, d) in fills {
             out[*i] = Some(d.clone());
         }
-        out.into_iter().map(|s| s.expect("all stripes placed")).collect()
+        out.into_iter()
+            .map(|s| s.expect("all stripes placed"))
+            .collect()
     }
 }
 
@@ -174,7 +181,11 @@ mod tests {
 
     fn sample(k: usize, len: usize) -> Vec<Vec<f64>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 31 + j * 7) as f64).sin() * 1e3).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 31 + j * 7) as f64).sin() * 1e3)
+                    .collect()
+            })
             .collect()
     }
 
@@ -226,7 +237,13 @@ mod tests {
                 let stripes: Vec<Option<&[f64]>> = data
                     .iter()
                     .enumerate()
-                    .map(|(i, s)| if i == x || i == y { None } else { Some(s.as_slice()) })
+                    .map(|(i, s)| {
+                        if i == x || i == y {
+                            None
+                        } else {
+                            Some(s.as_slice())
+                        }
+                    })
                     .collect();
                 let rec = dp.recover(&stripes, Some(&p), Some(&q));
                 assert_eq!(rec[x], data[x], "({x},{y})");

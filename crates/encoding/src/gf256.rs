@@ -85,7 +85,11 @@ pub fn scale_slice(data: &mut [u8], c: u8) {
     let t = tables();
     let lc = t.log[c as usize] as usize;
     for b in data.iter_mut() {
-        *b = if *b == 0 { 0 } else { t.exp[t.log[*b as usize] as usize + lc] };
+        *b = if *b == 0 {
+            0
+        } else {
+            t.exp[t.log[*b as usize] as usize + lc]
+        };
     }
 }
 

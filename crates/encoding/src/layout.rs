@@ -21,38 +21,49 @@ impl GroupLayout {
     /// Layout for a group of `n >= 2` ranks each holding `data_len`
     /// elements. Data is padded (conceptually with zeros) to a multiple
     /// of `n - 1`.
+    #[must_use]
     pub fn new(n: usize, data_len: usize) -> Self {
         assert!(n >= 2, "group must have at least 2 ranks");
         let stripe_len = data_len.div_ceil(n - 1);
-        GroupLayout { n, data_len, stripe_len }
+        GroupLayout {
+            n,
+            data_len,
+            stripe_len,
+        }
     }
 
     /// Group size `N`.
+    #[must_use]
     pub fn group_size(&self) -> usize {
         self.n
     }
 
     /// Unpadded per-rank data length.
+    #[must_use]
     pub fn data_len(&self) -> usize {
         self.data_len
     }
 
     /// Stripe length (= checksum length): `ceil(data_len / (N-1))`.
+    #[must_use]
     pub fn stripe_len(&self) -> usize {
         self.stripe_len
     }
 
     /// Padded data length every rank must allocate: `stripe_len * (N-1)`.
+    #[must_use]
     pub fn padded_len(&self) -> usize {
         self.stripe_len * (self.n - 1)
     }
 
     /// Number of data stripes per rank.
+    #[must_use]
     pub fn stripes_per_rank(&self) -> usize {
         self.n - 1
     }
 
     /// Slot that rank `r`'s data stripe `k` (`k < N-1`) occupies.
+    #[must_use]
     pub fn slot_of_stripe(&self, r: usize, k: usize) -> usize {
         assert!(r < self.n && k < self.n - 1);
         if k < r {
@@ -64,6 +75,7 @@ impl GroupLayout {
 
     /// Data stripe of rank `r` living in slot `s`, or `None` when `s == r`
     /// (that slot holds rank `r`'s parity, not data).
+    #[must_use]
     pub fn stripe_of_slot(&self, r: usize, s: usize) -> Option<usize> {
         assert!(r < self.n && s < self.n);
         if s == r {
@@ -76,6 +88,7 @@ impl GroupLayout {
     }
 
     /// Element range of stripe `k` within the padded data buffer.
+    #[must_use]
     pub fn stripe_range(&self, k: usize) -> Range<usize> {
         assert!(k < self.n - 1);
         k * self.stripe_len..(k + 1) * self.stripe_len

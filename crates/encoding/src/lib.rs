@@ -20,12 +20,17 @@
 //! * [`gf256`] + [`dualparity`] — a RAID-6-style P+Q code over GF(2^8)
 //!   tolerating **two** failures per group; the paper names RAID-6 /
 //!   Reed-Solomon as the extension path (§2.1), implemented here.
+//! * [`kernels`] — the cache-blocked, multi-threaded accumulate / copy
+//!   engine under the codecs, the reduce operators, and the protocol's
+//!   flush copies, selected through [`kernels::KernelConfig`].
 
 pub mod code;
 pub mod dualparity;
 pub mod gf256;
+pub mod kernels;
 pub mod layout;
 
 pub use code::Code;
 pub use dualparity::DualParity;
+pub use kernels::KernelConfig;
 pub use layout::GroupLayout;

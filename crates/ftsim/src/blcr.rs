@@ -33,7 +33,9 @@ pub struct BlcrStore {
 impl BlcrStore {
     /// One device of `kind` per rank.
     pub fn new(nranks: usize, kind: DeviceKind) -> Arc<Self> {
-        Arc::new(BlcrStore { devices: (0..nranks).map(|_| Device::new(kind)).collect() })
+        Arc::new(BlcrStore {
+            devices: (0..nranks).map(|_| Device::new(kind)).collect(),
+        })
     }
 
     /// Rank `r`'s disk.
@@ -133,7 +135,10 @@ pub fn run_blcr(ctx: &Ctx, cfg: &BlcrConfig, store: &BlcrStore) -> Result<SktOut
         panel_step(&comm, &dist, &mut storage, k)?;
         ctx.failpoint("hpl-iter")?;
         let done = (k + 1) as u64;
-        if cfg.ckpt_every > 0 && (done as usize).is_multiple_of(cfg.ckpt_every) && (done as usize) < nba {
+        if cfg.ckpt_every > 0
+            && (done as usize).is_multiple_of(cfg.ckpt_every)
+            && (done as usize) < nba
+        {
             let t = Instant::now();
             let blob = serialize(done, &storage);
             ctx.failpoint("blcr-write")?;
@@ -152,7 +157,16 @@ pub fn run_blcr(ctx: &Ctx, cfg: &BlcrConfig, store: &BlcrStore) -> Result<SktOut
     let compute = (t0.elapsed().as_secs_f64() - ckpt_wall).max(1e-9);
 
     let v = verify(&comm, &dist, &gen, &x)?;
-    let hpl = assemble_output(ctx, cfg.hpl.n, compute, ckpt_secs, 0.0, checkpoints, v.residual, v.passed)?;
+    let hpl = assemble_output(
+        ctx,
+        cfg.hpl.n,
+        compute,
+        ckpt_secs,
+        0.0,
+        checkpoints,
+        v.residual,
+        v.passed,
+    )?;
     Ok(SktOutput {
         hpl,
         resumed_from_panel: start_panel,
@@ -168,7 +182,11 @@ mod tests {
     use skt_mps::run_on_cluster;
 
     fn cfg() -> BlcrConfig {
-        BlcrConfig { hpl: HplConfig::new(48, 4, 17), ckpt_every: 2, name: "blcr".into() }
+        BlcrConfig {
+            hpl: HplConfig::new(48, 4, 17),
+            ckpt_every: 2,
+            name: "blcr".into(),
+        }
     }
 
     #[test]
@@ -217,7 +235,10 @@ mod tests {
         let outs = run_on_cluster(cluster, &rl, |ctx| run_blcr(ctx, &cfg(), &store)).unwrap();
         for o in outs {
             assert!(o.hpl.passed);
-            assert!(o.resumed_from_panel <= 4, "at most the last committed epoch");
+            assert!(
+                o.resumed_from_panel <= 4,
+                "at most the last committed epoch"
+            );
             assert!(o.resumed_from_panel >= 2, "first checkpoint was committed");
         }
     }
@@ -229,7 +250,15 @@ mod tests {
             let rl = Ranklist::round_robin(2, 2);
             let store = BlcrStore::new(2, kind);
             let outs = run_on_cluster(cluster, &rl, |ctx| {
-                run_blcr(ctx, &BlcrConfig { hpl: HplConfig::new(64, 8, 3), ckpt_every: 2, name: "d".into() }, &store)
+                run_blcr(
+                    ctx,
+                    &BlcrConfig {
+                        hpl: HplConfig::new(64, 8, 3),
+                        ckpt_every: 2,
+                        name: "d".into(),
+                    },
+                    &store,
+                )
             })
             .unwrap();
             outs[0].hpl.ckpt_seconds

@@ -94,18 +94,27 @@ pub fn run_with_daemon(
                 if let Some(cycle) = cycles.last_mut() {
                     cycle.recover = Duration::from_secs_f64(out.recover_seconds);
                     if out.hpl.checkpoints > 0 {
-                        cycle.checkpoint =
-                            Duration::from_secs_f64(out.hpl.ckpt_seconds / out.hpl.checkpoints as f64);
+                        cycle.checkpoint = Duration::from_secs_f64(
+                            out.hpl.ckpt_seconds / out.hpl.checkpoints as f64,
+                        );
                     }
                 }
-                return Ok(CycleReport { launches, failures: launches - 1, output: out, cycles });
+                return Ok(CycleReport {
+                    launches,
+                    failures: launches - 1,
+                    output: out,
+                    cycles,
+                });
             }
             Err(_fault) => {
                 if launches > max_failures {
                     return Err(DaemonError::TooManyFailures(launches));
                 }
                 // detect: the daemon learns of the abort from the launcher
-                let mut phase = PhaseTimes { detect: detect_model, ..Default::default() };
+                let mut phase = PhaseTimes {
+                    detect: detect_model,
+                    ..Default::default()
+                };
                 // replace: node-health check + ranklist repair
                 let t_rep = Instant::now();
                 cluster.reset_abort();
@@ -148,7 +157,8 @@ mod tests {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
         let rl = Ranklist::round_robin(4, 4);
         cluster.arm_failure(FailurePlan::new("hpl-iter", 5, 1));
-        let rep = run_with_daemon(cluster.clone(), &rl, &cfg(), 3, Duration::from_secs(63)).unwrap();
+        let rep =
+            run_with_daemon(cluster.clone(), &rl, &cfg(), 3, Duration::from_secs(63)).unwrap();
         assert_eq!(rep.launches, 2);
         assert_eq!(rep.failures, 1);
         assert!(rep.output.hpl.passed);

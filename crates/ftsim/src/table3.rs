@@ -117,7 +117,10 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<MethodRow> {
     let hpl_abft = HplConfig::new(n_abft, cfg.nb, cfg.seed);
     let (cl, rl) = fresh_cluster(cfg, 0);
     let abft = run_on_cluster(cl, &rl, |ctx| run_abft(ctx, &hpl_abft)).unwrap()[0];
-    assert!(abft.checksum_ok, "ABFT invariant must hold in the clean run");
+    assert!(
+        abft.checksum_ok,
+        "ABFT invariant must hold in the clean run"
+    );
     let (cl, rl) = fresh_cluster(cfg, 1);
     cl.arm_failure(FailurePlan::new("hpl-iter", 2, victim));
     assert!(run_on_cluster(cl, &rl, |ctx| run_abft(ctx, &hpl_abft)).is_err());
@@ -170,7 +173,10 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<MethodRow> {
     }
 
     // --- SCR in RAM (double checkpoint) and SKT-HPL (self checkpoint) ---
-    for (label, method) in [("SCR+Memory", Method::Double), ("SKT-HPL", Method::SelfCkpt)] {
+    for (label, method) in [
+        ("SCR+Memory", Method::Double),
+        ("SKT-HPL", Method::SelfCkpt),
+    ] {
         let avail = max_workspace_len(method, cfg.group_size, budget_bytes);
         let n = HplConfig::max_n_for_budget(avail, cfg.nb, cfg.nranks);
         let mut scfg = SktConfig::new(HplConfig::new(n, cfg.nb, cfg.seed), cfg.group_size, 0);
@@ -182,7 +188,11 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<MethodRow> {
         let perf = run_on_cluster(cl, &rl, |ctx| run_skt(ctx, &scfg)).unwrap()[0];
         // power-off + in-memory recovery
         let (cl, mut rl) = fresh_cluster(cfg, 1);
-        cl.arm_failure(FailurePlan::new("hpl-iter", (scfg.ckpt_every + 1) as u64, victim));
+        cl.arm_failure(FailurePlan::new(
+            "hpl-iter",
+            (scfg.ckpt_every + 1) as u64,
+            victim,
+        ));
         assert!(run_on_cluster(cl.clone(), &rl, |ctx| run_skt(ctx, &scfg)).is_err());
         cl.reset_abort();
         rl.repair(&cl).unwrap();
@@ -196,7 +206,9 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<MethodRow> {
             gflops: perf.hpl.gflops_effective,
             avail_elems: avail,
             normalized_eff: perf.hpl.gflops_effective / base_gflops,
-            recovered: rec.iter().all(|o| o.hpl.passed && !o.restarted_from_scratch),
+            recovered: rec
+                .iter()
+                .all(|o| o.hpl.passed && !o.restarted_from_scratch),
         });
     }
     rows
@@ -230,17 +242,26 @@ mod tests {
         let skt = get("SKT-HPL");
 
         // recovery verdicts (the paper's last column)
-        assert!(!orig.recovered && !abft.recovered, "no persistence, no recovery");
+        assert!(
+            !orig.recovered && !abft.recovered,
+            "no persistence, no recovery"
+        );
         assert!(hdd.recovered && ssd.recovered && scr.recovered && skt.recovered);
 
         // memory: SKT-HPL fits a larger problem than SCR (more available
         // memory), both smaller than the original
-        assert!(skt.avail_elems > scr.avail_elems, "self > double available memory");
+        assert!(
+            skt.avail_elems > scr.avail_elems,
+            "self > double available memory"
+        );
         assert!(skt.n >= scr.n, "larger problem affordable");
         assert!(orig.n >= skt.n);
 
         // checkpoint cost: disk methods pay more than in-memory
-        assert!(hdd.ckpt_time > skt.ckpt_time, "HDD must cost more than in-memory");
+        assert!(
+            hdd.ckpt_time > skt.ckpt_time,
+            "HDD must cost more than in-memory"
+        );
         assert!(hdd.ckpt_time > ssd.ckpt_time, "HDD slower than SSD");
 
         // every method that solves must verify

@@ -139,7 +139,9 @@ pub fn run_abft(ctx: &Ctx, cfg: &HplConfig) -> Result<AbftOutput, Fault> {
     comm.barrier()?;
 
     let t0 = Instant::now();
-    eliminate(&comm, &dist, &mut storage, 0, |_, _| ctx.failpoint("hpl-iter"))?;
+    eliminate(&comm, &dist, &mut storage, 0, |_, _| {
+        ctx.failpoint("hpl-iter")
+    })?;
     let x = back_substitute(&comm, &dist, &storage)?;
     let compute = t0.elapsed().as_secs_f64();
 
@@ -164,7 +166,10 @@ mod tests {
         for o in outs {
             assert!(o.hpl.passed, "residual {}", o.hpl.residual);
             assert!(o.checksum_ok, "checksum invariant must survive elimination");
-            assert!((o.overhead_cols - 0.5).abs() < 1e-12, "8 blocks / 2 ranks -> 4 aux blocks");
+            assert!(
+                (o.overhead_cols - 0.5).abs() < 1e-12,
+                "8 blocks / 2 ranks -> 4 aux blocks"
+            );
         }
     }
 
@@ -172,7 +177,10 @@ mod tests {
     fn abft_overhead_shrinks_with_more_ranks() {
         let two = run_local(2, |ctx| run_abft(ctx, &HplConfig::new(32, 4, 3))).unwrap();
         let four = run_local(4, |ctx| run_abft(ctx, &HplConfig::new(32, 4, 3))).unwrap();
-        assert!(four[0].overhead_cols < two[0].overhead_cols, "1/nranks scaling");
+        assert!(
+            four[0].overhead_cols < two[0].overhead_cols,
+            "1/nranks scaling"
+        );
     }
 
     #[test]

@@ -20,7 +20,20 @@ pub fn peak_gflops(size: usize, reps: usize) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t = Instant::now();
-        dgemm(Trans::No, size, size, size, 1.0, &a, size, &b, size, 0.0, &mut c, size);
+        dgemm(
+            Trans::No,
+            size,
+            size,
+            size,
+            1.0,
+            &a,
+            size,
+            &b,
+            size,
+            0.0,
+            &mut c,
+            size,
+        );
         best = best.min(t.elapsed().as_secs_f64());
     }
     // keep the result observable so the multiply is not optimized out

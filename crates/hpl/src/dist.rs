@@ -35,7 +35,13 @@ impl BlockCyclic1D {
         assert_eq!(n % nb, 0, "n must be a multiple of nb");
         assert_eq!(aux % nb, 0, "aux must be a multiple of nb");
         assert!(me < nranks, "rank out of range");
-        BlockCyclic1D { n, nb, aux, nranks, me }
+        BlockCyclic1D {
+            n,
+            nb,
+            aux,
+            nranks,
+            me,
+        }
     }
 
     /// Problem size `n`.
@@ -224,7 +230,11 @@ mod tests {
         let d = BlockCyclic1D::new(16, 4, 2, 0);
         // rank 0 owns blocks 0 (cols 0-3), 2 (cols 8-11), 4 (col 16)
         assert_eq!(d.local_cols_from(0), 0);
-        assert_eq!(d.local_cols_from(4), 4, "first local col with g >= 4 is block 2");
+        assert_eq!(
+            d.local_cols_from(4),
+            4,
+            "first local col with g >= 4 is block 2"
+        );
         assert_eq!(d.local_cols_from(12), 8, "skips to b column");
         assert_eq!(d.local_cols_from(17), 9, "past everything");
     }

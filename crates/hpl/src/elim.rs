@@ -88,7 +88,14 @@ pub fn panel_step(
     // --- trailing update: U12 := L11^{-1} A12;  A22 -= L21 * U12 ---
     let ncols_t = lcols - lt0;
     if ncols_t > 0 {
-        dtrsm_llnu(jb, ncols_t, &panel, m_panel, &mut storage[lt0 * ld + j0..], ld);
+        dtrsm_llnu(
+            jb,
+            ncols_t,
+            &panel,
+            m_panel,
+            &mut storage[lt0 * ld + j0..],
+            ld,
+        );
         let m22 = n - j0 - jb;
         if m22 > 0 {
             // U12 must be copied out: dgemm reads it while writing the
@@ -221,8 +228,12 @@ pub fn verify(
             rowsum_part[i] += a.abs();
         }
     }
-    let ax = comm.allreduce(ReduceOp::Sum, Payload::F64(ax_part))?.into_f64();
-    let rowsum = comm.allreduce(ReduceOp::Sum, Payload::F64(rowsum_part))?.into_f64();
+    let ax = comm
+        .allreduce(ReduceOp::Sum, Payload::F64(ax_part))?
+        .into_f64();
+    let rowsum = comm
+        .allreduce(ReduceOp::Sum, Payload::F64(rowsum_part))?
+        .into_f64();
 
     let mut rinf: f64 = 0.0;
     let mut binf: f64 = 0.0;
@@ -234,7 +245,10 @@ pub fn verify(
     let ainf = rowsum.iter().fold(0.0f64, |m, v| m.max(*v));
     let xinf = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
     let residual = rinf / (EPS * (ainf * xinf + binf) * n as f64);
-    Ok(Verification { residual, passed: residual < 16.0 })
+    Ok(Verification {
+        residual,
+        passed: residual < 16.0,
+    })
 }
 
 #[cfg(test)]

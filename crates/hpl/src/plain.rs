@@ -114,7 +114,9 @@ pub fn run_plain(ctx: &Ctx, cfg: &HplConfig) -> Result<HplOutput, Fault> {
     comm.barrier()?;
 
     let t0 = Instant::now();
-    eliminate(&comm, &dist, &mut storage, 0, |_, _| ctx.failpoint("hpl-iter"))?;
+    eliminate(&comm, &dist, &mut storage, 0, |_, _| {
+        ctx.failpoint("hpl-iter")
+    })?;
     let x = back_substitute(&comm, &dist, &storage)?;
     let compute = t0.elapsed().as_secs_f64();
 
@@ -143,7 +145,10 @@ mod tests {
     fn ranks_agree_on_reported_times() {
         let outs = run_local(3, |ctx| run_plain(ctx, &HplConfig::new(24, 4, 1))).unwrap();
         for w in outs.windows(2) {
-            assert_eq!(w[0].compute_seconds, w[1].compute_seconds, "allreduce(Max) must agree");
+            assert_eq!(
+                w[0].compute_seconds, w[1].compute_seconds,
+                "allreduce(Max) must agree"
+            );
         }
     }
 

@@ -13,7 +13,9 @@
 use crate::dist::BlockCyclic1D;
 use crate::elim::{back_substitute, generate, panel_step, verify};
 use crate::plain::{assemble_output, HplConfig, HplOutput};
-use skt_core::{group_color, CkptConfig, Checkpointer, GroupStrategy, Method, RecoverError, Recovery};
+use skt_core::{
+    group_color, Checkpointer, CkptConfig, GroupStrategy, Method, RecoverError, Recovery,
+};
 use skt_encoding::Code;
 use skt_linalg::MatGen;
 use skt_mps::{Ctx, Fault};
@@ -103,7 +105,8 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
     let t_rec = Instant::now();
     match ck.recover() {
         Ok(Recovery::Restored { a2, .. }) => {
-            start_panel = u64::from_le_bytes(a2.as_slice().try_into().expect("panel counter")) as usize;
+            start_panel =
+                u64::from_le_bytes(a2.as_slice().try_into().expect("panel counter")) as usize;
         }
         Ok(Recovery::NoCheckpoint) => {
             let ws = ck.workspace();
@@ -154,7 +157,16 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
     compute -= ckpt_secs; // checkpoint time reported separately
 
     let v = verify(&world, &dist, &gen, &x)?;
-    let hpl = assemble_output(ctx, cfg.hpl.n, compute, ckpt_secs, encode_secs, checkpoints, v.residual, v.passed)?;
+    let hpl = assemble_output(
+        ctx,
+        cfg.hpl.n,
+        compute,
+        ckpt_secs,
+        encode_secs,
+        checkpoints,
+        v.residual,
+        v.passed,
+    )?;
     Ok(SktOutput {
         hpl,
         resumed_from_panel: start_panel,

@@ -105,7 +105,21 @@ fn dgemm_nn(
             }
             // Remainder rows for this column tile.
             if m_tiles * MR < m {
-                edge_block(m_tiles * MR, m, j, j + NR, p0, kb, alpha, a, lda, b, ldb, c, ldc);
+                edge_block(
+                    m_tiles * MR,
+                    m,
+                    j,
+                    j + NR,
+                    p0,
+                    kb,
+                    alpha,
+                    a,
+                    lda,
+                    b,
+                    ldb,
+                    c,
+                    ldc,
+                );
             }
         }
         // Remainder columns (all rows).
@@ -228,8 +242,14 @@ fn dgemm_tn(
 pub fn dtrsm_llnu(k: usize, n: usize, a: &[f64], lda: usize, b: &mut [f64], ldb: usize) {
     assert!(lda >= k.max(1), "dtrsm_llnu: lda < k");
     assert!(ldb >= k.max(1), "dtrsm_llnu: ldb < k");
-    assert!(k == 0 || a.len() >= (k - 1) * lda + k, "dtrsm_llnu: a too small");
-    assert!(n == 0 || b.len() >= (n - 1) * ldb + k, "dtrsm_llnu: b too small");
+    assert!(
+        k == 0 || a.len() >= (k - 1) * lda + k,
+        "dtrsm_llnu: a too small"
+    );
+    assert!(
+        n == 0 || b.len() >= (n - 1) * ldb + k,
+        "dtrsm_llnu: b too small"
+    );
     for j in 0..n {
         let col = &mut b[j * ldb..j * ldb + k];
         // Forward substitution with unit diagonal.
@@ -301,7 +321,14 @@ mod tests {
 
     #[test]
     fn dgemm_matches_reference_on_odd_sizes() {
-        for &(m, n, k) in &[(1, 1, 1), (4, 4, 4), (5, 7, 3), (17, 13, 9), (64, 64, 64), (33, 65, 129)] {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (4, 4, 4),
+            (5, 7, 3),
+            (17, 13, 9),
+            (64, 64, 64),
+            (33, 65, 129),
+        ] {
             let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
             let b = Matrix::from_fn(k, n, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
             let c = dgemm_owned(&a, &b);
@@ -320,7 +347,20 @@ mod tests {
         let b = Matrix::identity(3);
         let mut c = Matrix::from_fn(3, 3, |_, _| 1.0);
         let (lda, ldb, ldc) = (a.ld(), b.ld(), c.ld());
-        dgemm(Trans::No, 3, 3, 3, 2.0, a.as_slice(), lda, b.as_slice(), ldb, 3.0, c.as_mut_slice(), ldc);
+        dgemm(
+            Trans::No,
+            3,
+            3,
+            3,
+            2.0,
+            a.as_slice(),
+            lda,
+            b.as_slice(),
+            ldb,
+            3.0,
+            c.as_mut_slice(),
+            ldc,
+        );
         // C = 2*A + 3*ones
         let expect = Matrix::from_fn(3, 3, |i, j| 2.0 * (i + j) as f64 + 3.0);
         assert!(c.max_abs_diff(&expect) < 1e-12);
@@ -333,7 +373,20 @@ mod tests {
         let b = Matrix::identity(2);
         let mut c = Matrix::from_fn(2, 2, |_, _| f64::NAN);
         let ldc = c.ld();
-        dgemm(Trans::No, 2, 2, 2, 1.0, a.as_slice(), 2, b.as_slice(), 2, 0.0, c.as_mut_slice(), ldc);
+        dgemm(
+            Trans::No,
+            2,
+            2,
+            2,
+            1.0,
+            a.as_slice(),
+            2,
+            b.as_slice(),
+            2,
+            0.0,
+            c.as_mut_slice(),
+            ldc,
+        );
         assert!(c.max_abs_diff(&Matrix::identity(2)) < 1e-15);
     }
 
@@ -343,7 +396,20 @@ mod tests {
         let b = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64);
         let mut c = Matrix::zeros(6, 3);
         let ldc = c.ld();
-        dgemm(Trans::Yes, 6, 3, 4, 1.0, a.as_slice(), a.ld(), b.as_slice(), b.ld(), 0.0, c.as_mut_slice(), ldc);
+        dgemm(
+            Trans::Yes,
+            6,
+            3,
+            4,
+            1.0,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
+            0.0,
+            c.as_mut_slice(),
+            ldc,
+        );
         // reference: build A^T explicitly
         let at = Matrix::from_fn(6, 4, |i, j| a[(j, i)]);
         let r = at.matmul_ref(&b);

@@ -75,7 +75,10 @@ impl MatGen {
         col0: u64,
     ) {
         assert!(ld >= rows, "fill_block: ld < rows");
-        assert!(buf.len() >= ld * cols.max(1) - (ld - rows), "fill_block: buffer too small");
+        assert!(
+            buf.len() >= ld * cols.max(1) - (ld - rows),
+            "fill_block: buffer too small"
+        );
         for j in 0..cols {
             let col = &mut buf[j * ld..j * ld + rows];
             for (i, v) in col.iter_mut().enumerate() {
@@ -146,7 +149,9 @@ mod tests {
     fn different_seeds_decorrelate() {
         let a = MatGen::new(1);
         let b = MatGen::new(2);
-        let same = (0..1000).filter(|&i| a.entry(i, 0) == b.entry(i, 0)).count();
+        let same = (0..1000)
+            .filter(|&i| a.entry(i, 0) == b.entry(i, 0))
+            .count();
         assert_eq!(same, 0);
     }
 }

@@ -27,7 +27,13 @@ impl std::error::Error for Singular {}
 /// On return, `a` holds `L` (unit lower, below the diagonal) and `U` (upper
 /// including the diagonal); `ipiv[j] = i` records that row `j` was swapped
 /// with row `i >= j` at step `j` (LAPACK convention, 0-based).
-pub fn dgetf2(m: usize, n: usize, a: &mut [f64], lda: usize, ipiv: &mut [usize]) -> Result<(), Singular> {
+pub fn dgetf2(
+    m: usize,
+    n: usize,
+    a: &mut [f64],
+    lda: usize,
+    ipiv: &mut [usize],
+) -> Result<(), Singular> {
     assert!(lda >= m.max(1), "dgetf2: lda < m");
     assert!(ipiv.len() >= n.min(m), "dgetf2: ipiv too short");
     let steps = m.min(n);
@@ -63,15 +69,7 @@ pub fn dgetf2(m: usize, n: usize, a: &mut [f64], lda: usize, ipiv: &mut [usize])
             }
             // trailing block base: column j+1, row j+1 -> within `rest`,
             // offset j+1 in each column.
-            dger(
-                m - j - 1,
-                n - j - 1,
-                -1.0,
-                &x,
-                &y,
-                &mut rest[j + 1..],
-                lda,
-            );
+            dger(m - j - 1, n - j - 1, -1.0, &x, &y, &mut rest[j + 1..], lda);
         }
     }
     Ok(())
@@ -96,7 +94,14 @@ pub fn dlaswp(n: usize, a: &mut [f64], lda: usize, k0: usize, k1: usize, ipiv: &
 
 /// Blocked right-looking LU with partial pivoting of an `m x n` matrix with
 /// block size `nb`, in place. Equivalent to LAPACK `dgetrf`.
-pub fn dgetrf(m: usize, n: usize, a: &mut [f64], lda: usize, ipiv: &mut [usize], nb: usize) -> Result<(), Singular> {
+pub fn dgetrf(
+    m: usize,
+    n: usize,
+    a: &mut [f64],
+    lda: usize,
+    ipiv: &mut [usize],
+    nb: usize,
+) -> Result<(), Singular> {
     assert!(nb >= 1, "dgetrf: nb must be >= 1");
     assert!(ipiv.len() >= m.min(n), "dgetrf: ipiv too short");
     let steps = m.min(n);
@@ -107,7 +112,8 @@ pub fn dgetrf(m: usize, n: usize, a: &mut [f64], lda: usize, ipiv: &mut [usize],
         {
             let panel = &mut a[j * lda..];
             let mut piv = vec![0usize; jb];
-            dgetf2(m - j, jb, &mut panel[j..], lda, &mut piv).map_err(|e| Singular { col: j + e.col })?;
+            dgetf2(m - j, jb, &mut panel[j..], lda, &mut piv)
+                .map_err(|e| Singular { col: j + e.col })?;
             for (t, p) in piv.iter().enumerate() {
                 ipiv[j + t] = j + p;
             }
@@ -227,7 +233,13 @@ mod tests {
 
     #[test]
     fn dgetrf_various_blocks_and_rectangular() {
-        for &(m, n, nb) in &[(16, 16, 4), (20, 12, 5), (12, 20, 7), (31, 31, 31), (31, 31, 64)] {
+        for &(m, n, nb) in &[
+            (16, 16, 4),
+            (20, 12, 5),
+            (12, 20, 7),
+            (31, 31, 31),
+            (31, 31, 64),
+        ] {
             let g = MatGen::new((m * n * nb) as u64);
             let orig = Matrix::from_gen(m, n, &g);
             let mut a = orig.clone();
@@ -241,7 +253,10 @@ mod tests {
             let mut p2 = vec![0usize; m.min(n)];
             dgetf2(m, n, a2.as_mut_slice(), lda, &mut p2).unwrap();
             assert_eq!(ipiv, p2, "pivots differ for ({m},{n},{nb})");
-            assert!(a.max_abs_diff(&a2) < 1e-9, "factors differ for ({m},{n},{nb})");
+            assert!(
+                a.max_abs_diff(&a2) < 1e-9,
+                "factors differ for ({m},{n},{nb})"
+            );
         }
     }
 
@@ -262,7 +277,11 @@ mod tests {
         }
         forward_sub_unit(n, a.as_slice(), lda, &mut b);
         backward_sub(n, a.as_slice(), lda, &mut b);
-        let err: f64 = b.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err: f64 = b
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-8, "solve error {err}");
     }
 

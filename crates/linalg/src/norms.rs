@@ -78,6 +78,9 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| MatGen::new(1).rhs(i as u64)).collect();
         let x = vec![1.0; n];
         let r = hpl_residual(&a, &x, &b);
-        assert!(r > HPL_RESIDUAL_THRESHOLD, "residual {r} unexpectedly small");
+        assert!(
+            r > HPL_RESIDUAL_THRESHOLD,
+            "residual {r} unexpectedly small"
+        );
     }
 }

@@ -73,7 +73,11 @@ mod tests {
         let x_true: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
         let b = a.matvec(&x_true);
         let x = solve_ref(&a, &b, 6).unwrap();
-        let err = x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-8, "error {err}");
     }
 

@@ -102,8 +102,18 @@ mod tests {
             .map(|&n| (n, truth.eval(n)))
             .collect();
         let fit = fit_ab(&pts);
-        assert!((fit.a - truth.a).abs() < 1e-9, "a: {} vs {}", fit.a, truth.a);
-        assert!((fit.b - truth.b).abs() < 1e-6, "b: {} vs {}", fit.b, truth.b);
+        assert!(
+            (fit.a - truth.a).abs() < 1e-9,
+            "a: {} vs {}",
+            fit.a,
+            truth.a
+        );
+        assert!(
+            (fit.b - truth.b).abs() < 1e-6,
+            "b: {} vs {}",
+            fit.b,
+            truth.b
+        );
     }
 
     #[test]
@@ -157,7 +167,10 @@ mod tests {
         for k in [0.5, 1.0 / 3.0, 0.25] {
             let exact = m.eval(problem_size_for_fraction(n1, k));
             let bound = scaled_efficiency_bound(e1, k);
-            assert!(bound <= exact + 1e-12, "k={k}: bound {bound} > exact {exact}");
+            assert!(
+                bound <= exact + 1e-12,
+                "k={k}: bound {bound} > exact {exact}"
+            );
         }
     }
 }

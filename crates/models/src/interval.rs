@@ -57,7 +57,10 @@ mod tests {
         let y = young_interval(c, m);
         let d = daly_interval(c, m);
         assert!(d < y, "Daly subtracts the checkpoint cost");
-        assert!((d - y).abs() < c + y * 0.05, "refinement is small when C << M");
+        assert!(
+            (d - y).abs() < c + y * 0.05,
+            "refinement is small when C << M"
+        );
     }
 
     #[test]
@@ -72,7 +75,10 @@ mod tests {
         let at_opt = expected_overhead(tau_opt, c, m, r);
         for factor in [0.25, 0.5, 2.0, 4.0] {
             let other = expected_overhead(tau_opt * factor, c, m, r);
-            assert!(other >= at_opt - 1e-12, "factor {factor}: {other} < {at_opt}");
+            assert!(
+                other >= at_opt - 1e-12,
+                "factor {factor}: {other} < {at_opt}"
+            );
         }
     }
 

@@ -18,7 +18,9 @@ pub mod interval;
 pub mod platform;
 pub mod top500;
 
-pub use efficiency::{fit_ab, hpl_efficiency, problem_size_for_fraction, scaled_efficiency_bound, EffModel};
+pub use efficiency::{
+    fit_ab, hpl_efficiency, problem_size_for_fraction, scaled_efficiency_bound, EffModel,
+};
 pub use interval::{daly_interval, expected_overhead, young_interval};
 pub use platform::{Platform, LOCAL_CLUSTER, TIANHE_1A, TIANHE_2};
 pub use top500::{top10_nov2016, Top500System};

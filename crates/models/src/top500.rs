@@ -23,16 +23,56 @@ impl Top500System {
 /// The ten systems of Figure 8, in rank order.
 pub fn top10_nov2016() -> [Top500System; 10] {
     [
-        Top500System { name: "TaihuLight", rmax_tflops: 93_014.6, rpeak_tflops: 125_435.9 },
-        Top500System { name: "Tianhe-2", rmax_tflops: 33_862.7, rpeak_tflops: 54_902.4 },
-        Top500System { name: "Titan", rmax_tflops: 17_590.0, rpeak_tflops: 27_112.5 },
-        Top500System { name: "Sequoia", rmax_tflops: 17_173.2, rpeak_tflops: 20_132.7 },
-        Top500System { name: "Cori", rmax_tflops: 14_014.7, rpeak_tflops: 27_880.7 },
-        Top500System { name: "Oakforest-PACS", rmax_tflops: 13_554.6, rpeak_tflops: 24_913.5 },
-        Top500System { name: "K", rmax_tflops: 10_510.0, rpeak_tflops: 11_280.4 },
-        Top500System { name: "Piz Daint", rmax_tflops: 9_779.0, rpeak_tflops: 15_988.0 },
-        Top500System { name: "Mira", rmax_tflops: 8_586.6, rpeak_tflops: 10_066.3 },
-        Top500System { name: "Trinity", rmax_tflops: 8_100.9, rpeak_tflops: 11_078.9 },
+        Top500System {
+            name: "TaihuLight",
+            rmax_tflops: 93_014.6,
+            rpeak_tflops: 125_435.9,
+        },
+        Top500System {
+            name: "Tianhe-2",
+            rmax_tflops: 33_862.7,
+            rpeak_tflops: 54_902.4,
+        },
+        Top500System {
+            name: "Titan",
+            rmax_tflops: 17_590.0,
+            rpeak_tflops: 27_112.5,
+        },
+        Top500System {
+            name: "Sequoia",
+            rmax_tflops: 17_173.2,
+            rpeak_tflops: 20_132.7,
+        },
+        Top500System {
+            name: "Cori",
+            rmax_tflops: 14_014.7,
+            rpeak_tflops: 27_880.7,
+        },
+        Top500System {
+            name: "Oakforest-PACS",
+            rmax_tflops: 13_554.6,
+            rpeak_tflops: 24_913.5,
+        },
+        Top500System {
+            name: "K",
+            rmax_tflops: 10_510.0,
+            rpeak_tflops: 11_280.4,
+        },
+        Top500System {
+            name: "Piz Daint",
+            rmax_tflops: 9_779.0,
+            rpeak_tflops: 15_988.0,
+        },
+        Top500System {
+            name: "Mira",
+            rmax_tflops: 8_586.6,
+            rpeak_tflops: 10_066.3,
+        },
+        Top500System {
+            name: "Trinity",
+            rmax_tflops: 8_100.9,
+            rpeak_tflops: 11_078.9,
+        },
     ]
 }
 

@@ -58,7 +58,12 @@ impl Clone for Comm<'_> {
     /// collective tag sequence lives in the rank's [`Ctx`] keyed by the
     /// id, so collectives issued through either handle stay ordered.
     fn clone(&self) -> Self {
-        Comm { ctx: self.ctx, id: self.id, ranks: self.ranks.clone(), me: self.me }
+        Comm {
+            ctx: self.ctx,
+            id: self.id,
+            ranks: self.ranks.clone(),
+            me: self.me,
+        }
     }
 }
 
@@ -100,7 +105,11 @@ impl<'c> Comm<'c> {
 
     /// Shape snapshot (for tests).
     pub fn shape(&self) -> CommShape {
-        CommShape { id: self.id, ranks: self.ranks.clone(), me: self.me }
+        CommShape {
+            id: self.id,
+            ranks: self.ranks.clone(),
+            me: self.me,
+        }
     }
 
     /// The context this communicator is bound to.
@@ -116,7 +125,12 @@ impl<'c> Comm<'c> {
     }
 
     fn send_tagged(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), Fault> {
-        let env = Envelope { comm: self.id, src: self.me, tag, payload };
+        let env = Envelope {
+            comm: self.id,
+            src: self.me,
+            tag,
+            payload,
+        };
         self.ctx.raw_send(self.ranks[dst], env)
     }
 
@@ -184,7 +198,12 @@ impl<'c> Comm<'c> {
     /// `Some(result)`, everyone else `None`. Matches `MPI_Reduce` with the
     /// operators of [`ReduceOp`] — including `Xor` on `U64`, the encoding
     /// primitive of the paper (§2.2).
-    pub fn reduce(&self, op: ReduceOp, root: usize, payload: Payload) -> Result<Option<Payload>, Fault> {
+    pub fn reduce(
+        &self,
+        op: ReduceOp,
+        root: usize,
+        payload: Payload,
+    ) -> Result<Option<Payload>, Fault> {
         let size = self.size();
         let tag = self.alloc_tags(1);
         if size == 1 {
@@ -235,7 +254,11 @@ impl<'c> Comm<'c> {
                 assert!(out[env.src].is_none(), "gather: duplicate from {}", env.src);
                 out[env.src] = Some(env.payload);
             }
-            Ok(Some(out.into_iter().map(|p| p.expect("gather: missing rank")).collect()))
+            Ok(Some(
+                out.into_iter()
+                    .map(|p| p.expect("gather: missing rank"))
+                    .collect(),
+            ))
         } else {
             self.send_tagged(root, tag, payload)?;
             Ok(None)
@@ -307,9 +330,17 @@ impl<'c> Comm<'c> {
         members.sort_unstable();
         let ranks: Vec<usize> = members.iter().map(|(_, wr)| *wr).collect();
         let my_world = self.ranks[self.me];
-        let me = ranks.iter().position(|&r| r == my_world).expect("split: self in group");
+        let me = ranks
+            .iter()
+            .position(|&r| r == my_world)
+            .expect("split: self in group");
         let id = mix(self.id ^ mix(salt) ^ mix(color.wrapping_mul(0x9E37_79B9)));
-        Ok(Comm { ctx: self.ctx, id, ranks, me })
+        Ok(Comm {
+            ctx: self.ctx,
+            id,
+            ranks,
+            me,
+        })
     }
 }
 
@@ -357,7 +388,11 @@ mod tests {
     fn reduce_sum_collects_everything() {
         let out = run_local(7, |ctx| {
             let w = ctx.world();
-            let r = w.reduce(ReduceOp::Sum, 2, Payload::F64(vec![ctx.world_rank() as f64]))?;
+            let r = w.reduce(
+                ReduceOp::Sum,
+                2,
+                Payload::F64(vec![ctx.world_rank() as f64]),
+            )?;
             Ok(r.map(|p| p.into_f64()[0]))
         })
         .unwrap();
@@ -387,7 +422,10 @@ mod tests {
     fn allreduce_gives_everyone_the_result() {
         let out = run_local(4, |ctx| {
             let w = ctx.world();
-            let r = w.allreduce(ReduceOp::Max, Payload::I64(vec![(ctx.world_rank() as i64) * 7]))?;
+            let r = w.allreduce(
+                ReduceOp::Max,
+                Payload::I64(vec![(ctx.world_rank() as i64) * 7]),
+            )?;
             Ok(r.into_i64()[0])
         })
         .unwrap();
@@ -485,8 +523,12 @@ mod tests {
             let w = ctx.world();
             let row = w.split((ctx.world_rank() / 4) as u64, ctx.world_rank())?;
             let col = w.split((ctx.world_rank() % 4) as u64, ctx.world_rank())?;
-            let rs = row.allreduce(ReduceOp::Sum, Payload::I64(vec![1]))?.into_i64()[0];
-            let cs = col.allreduce(ReduceOp::Sum, Payload::I64(vec![1]))?.into_i64()[0];
+            let rs = row
+                .allreduce(ReduceOp::Sum, Payload::I64(vec![1]))?
+                .into_i64()[0];
+            let cs = col
+                .allreduce(ReduceOp::Sum, Payload::I64(vec![1]))?
+                .into_i64()[0];
             Ok((rs, cs))
         })
         .unwrap();

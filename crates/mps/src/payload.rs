@@ -4,6 +4,13 @@
 //! process, so moving a `Vec<f64>` is free of serialization cost, and the
 //! reduce operators (`MPI_BXOR` on integer words, `MPI_SUM` on doubles —
 //! §2.2 of the paper) stay type-safe.
+//!
+//! The two hot reduce arms — SUM over `F64` and XOR over `U64`, the ones
+//! that carry whole checkpoint stripes — run on the cache-blocked
+//! multi-threaded kernels from `skt_encoding::kernels`, under the
+//! process-wide [`KernelConfig`](skt_encoding::KernelConfig).
+
+use skt_encoding::{kernels, KernelConfig};
 
 /// A message body.
 #[derive(Clone, Debug, PartialEq)]
@@ -116,9 +123,7 @@ impl ReduceOp {
             // Empty payloads reduce trivially under any op (barriers).
             (_, Payload::Empty, Payload::Empty) => {}
             (ReduceOp::Sum, Payload::F64(a), Payload::F64(b)) => {
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += *y;
-                }
+                kernels::sum_accumulate(a, b, KernelConfig::global());
             }
             (ReduceOp::Sum, Payload::U64(a), Payload::U64(b)) => {
                 for (x, y) in a.iter_mut().zip(b) {
@@ -131,9 +136,7 @@ impl ReduceOp {
                 }
             }
             (ReduceOp::Xor, Payload::U64(a), Payload::U64(b)) => {
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x ^= *y;
-                }
+                kernels::xor_accumulate_u64(a, b, KernelConfig::global());
             }
             (ReduceOp::Xor, Payload::Bytes(a), Payload::Bytes(b)) => {
                 for (x, y) in a.iter_mut().zip(b) {
@@ -160,7 +163,12 @@ impl ReduceOp {
                     *x = (*x).min(*y);
                 }
             }
-            (op, a, b) => panic!("reduce op {:?} unsupported on ({}, {})", op, a.kind(), b.kind()),
+            (op, a, b) => panic!(
+                "reduce op {:?} unsupported on ({}, {})",
+                op,
+                a.kind(),
+                b.kind()
+            ),
         }
     }
 }

@@ -97,9 +97,7 @@ impl Ctx {
         // Sending to a dead node's mailbox is allowed (the message is
         // simply never consumed) — like a NIC buffering for a dead peer.
         // The abort flag unblocks the sender's future operations.
-        self.txs[dst_world]
-            .send(env)
-            .map_err(|_| Fault::JobAborted)
+        self.txs[dst_world].send(env).map_err(|_| Fault::JobAborted)
     }
 
     /// Receive the next envelope matching `pred`, buffering mismatches.

@@ -35,7 +35,14 @@ fn main() {
     println!("failures survived  : {}", report.failures);
     println!("resumed from panel : {}", report.output.resumed_from_panel);
     println!("residual           : {:.4e}", report.output.hpl.residual);
-    println!("verification       : {}", if report.output.hpl.passed { "PASSED" } else { "FAILED" });
+    println!(
+        "verification       : {}",
+        if report.output.hpl.passed {
+            "PASSED"
+        } else {
+            "FAILED"
+        }
+    );
     println!(
         "performance        : {:.2} GFLOPS ({} checkpoints, {:.3}s checkpoint time)",
         report.output.hpl.gflops_effective,

@@ -10,7 +10,7 @@
 
 use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
 use self_checkpoint::core::{
-    available_fraction, protocol::probes, CkptConfig, Checkpointer, Method, RecoverError, Recovery,
+    available_fraction, protocol::probes, Checkpointer, CkptConfig, Method, RecoverError, Recovery,
 };
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
 use std::sync::Arc;
@@ -33,7 +33,9 @@ fn app(ctx: &Ctx, method: Method) -> Result<(Recovery, usize), Fault> {
         Err(RecoverError::Fault(f)) => return Err(f),
     };
     let start = match &rec {
-        Recovery::Restored { a2, .. } => u64::from_le_bytes(a2.clone().try_into().unwrap()) as usize,
+        Recovery::Restored { a2, .. } => {
+            u64::from_le_bytes(a2.clone().try_into().unwrap()) as usize
+        }
         Recovery::NoCheckpoint => 0,
     };
     let ws = ck.workspace();
@@ -84,7 +86,10 @@ fn main() {
     println!("Only double- and self-checkpoint survive; self-checkpoint does it with");
     println!(
         "{:.0}% more application memory than double ({:.1}% vs {:.1}% at group {GROUP}).",
-        100.0 * (available_fraction(Method::SelfCkpt, GROUP) / available_fraction(Method::Double, GROUP) - 1.0),
+        100.0
+            * (available_fraction(Method::SelfCkpt, GROUP)
+                / available_fraction(Method::Double, GROUP)
+                - 1.0),
         100.0 * available_fraction(Method::SelfCkpt, GROUP),
         100.0 * available_fraction(Method::Double, GROUP),
     );

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
-use self_checkpoint::core::{CkptConfig, Checkpointer, Method, Recovery};
+use self_checkpoint::core::{Checkpointer, CkptConfig, Method, Recovery};
 use self_checkpoint::mps::{run_on_cluster, Fault};
 use std::sync::Arc;
 
@@ -68,7 +68,10 @@ fn main() {
     // rank's data is rebuilt from group parity.
     cluster.reset_abort();
     let moved = ranklist.repair(&cluster).expect("a spare is available");
-    println!("daemon: moved ranks {:?} to spare nodes", moved.iter().map(|m| m.0).collect::<Vec<_>>());
+    println!(
+        "daemon: moved ranks {:?} to spare nodes",
+        moved.iter().map(|m| m.0).collect::<Vec<_>>()
+    );
 
     run_on_cluster(cluster, &ranklist, app).expect("second run completes");
     println!("done: the computation survived a permanent node loss.");

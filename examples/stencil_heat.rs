@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release --example stencil_heat`
 
 use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
-use self_checkpoint::core::{CkptConfig, Checkpointer, Method, Recovery};
+use self_checkpoint::core::{Checkpointer, CkptConfig, Method, Recovery};
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault, Payload};
 use std::sync::Arc;
 
@@ -36,7 +36,11 @@ fn sweep(strip: &mut [f64], top: &[f64], bottom: &[f64]) {
     for r in 0..rows {
         for c in 0..COLS {
             let left = if c > 0 { old[r * COLS + c - 1] } else { 0.0 };
-            let right = if c + 1 < COLS { old[r * COLS + c + 1] } else { 0.0 };
+            let right = if c + 1 < COLS {
+                old[r * COLS + c + 1]
+            } else {
+                0.0
+            };
             strip[r * COLS + c] =
                 0.25 * (at(r as isize - 1, c, &old) + at(r as isize + 1, c, &old) + left + right);
         }
@@ -83,8 +87,16 @@ fn heat_app(ctx: &Ctx) -> Result<Vec<f64>, Fault> {
         if me + 1 < n {
             world.send(me + 1, 2, Payload::F64(last_row))?;
         }
-        let top = if me > 0 { world.recv(me - 1, 2)?.into_f64() } else { vec![100.0; COLS] };
-        let bottom = if me + 1 < n { world.recv(me + 1, 1)?.into_f64() } else { vec![0.0; COLS] };
+        let top = if me > 0 {
+            world.recv(me - 1, 2)?.into_f64()
+        } else {
+            vec![100.0; COLS]
+        };
+        let bottom = if me + 1 < n {
+            world.recv(me + 1, 1)?.into_f64()
+        } else {
+            vec![0.0; COLS]
+        };
 
         {
             let mut g = ws.write();
@@ -113,7 +125,10 @@ fn main() {
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(ranks, 1)));
     let mut rl = Ranklist::round_robin(ranks, ranks);
     cluster.arm_failure(FailurePlan::new("sweep", 20, 2));
-    assert!(run_on_cluster(Arc::clone(&cluster), &rl, heat_app).is_err(), "node loss aborts");
+    assert!(
+        run_on_cluster(Arc::clone(&cluster), &rl, heat_app).is_err(),
+        "node loss aborts"
+    );
     println!("node 2 powered off at sweep 20; restarting from the in-memory checkpoint…");
     cluster.reset_abort();
     rl.repair(&cluster).expect("spare available");

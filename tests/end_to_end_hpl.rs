@@ -56,7 +56,10 @@ fn recovery_preserves_the_exact_solution() {
         let outs = run_on_cluster(cluster, &rl, |ctx| run_skt(ctx, &skt_cfg())).unwrap();
         for o in &outs {
             assert!(o.hpl.passed, "nth={nth}");
-            assert_eq!(o.hpl.residual, clean, "nth={nth}: recovery changed the arithmetic");
+            assert_eq!(
+                o.hpl.residual, clean,
+                "nth={nth}: recovery changed the arithmetic"
+            );
         }
     }
 }
@@ -101,7 +104,11 @@ fn blcr_and_skt_agree_on_the_solution() {
     let outs = run_on_cluster(cluster, &rl, |ctx| {
         let b = run_blcr(
             ctx,
-            &BlcrConfig { hpl: skt_cfg().hpl, ckpt_every: 2, name: "e2e-blcr".into() },
+            &BlcrConfig {
+                hpl: skt_cfg().hpl,
+                ckpt_every: 2,
+                name: "e2e-blcr".into(),
+            },
             &store,
         )?;
         let s = run_skt(ctx, &skt_cfg())?;

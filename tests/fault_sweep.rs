@@ -1,0 +1,281 @@
+//! Probe-sweep recoverability matrix: every checkpoint method is hit by
+//! a node failure at **every** probe label in
+//! `skt_core::protocol::probes`, and recovery must land exactly where
+//! the paper's case analysis says (Figures 2–5):
+//!
+//! * self-checkpoint never loses the job — it rolls back (CASE 1) or
+//!   rolls forward from `(work, D)` (CASE 2), whatever the window;
+//! * single-checkpoint is unrecoverable exactly in its update window
+//!   (`COPY_B`, `ENCODE` — Figure 2 CASE 2) and recoverable elsewhere;
+//! * double-checkpoint always has an intact pair to fall back to.
+//!
+//! Labels a method's `make` never reaches (e.g. `FLUSH_B` for the
+//! baselines) are asserted to never fire: the armed plan stays cold and
+//! the run completes.
+//!
+//! After every successful recovery the sweep asserts the full recovery
+//! invariant: all ranks agree on the epoch, `A2` round-trips, the
+//! workspace holds that epoch's data bit-for-bit, and
+//! `verify_integrity` (a fresh parity check of `(B, C)`) passes.
+
+use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
+use self_checkpoint::core::{
+    protocol::{probes, RestoreSource},
+    Checkpointer, CkptConfig, Method, RecoverError, Recovery,
+};
+use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
+use std::sync::Arc;
+
+const N: usize = 4;
+const A1: usize = 128;
+const TOTAL_EPOCHS: u64 = 5;
+
+/// Every label the protocol can fire, in protocol order.
+const ALL_LABELS: [&str; 7] = [
+    probes::A2,
+    probes::ENCODE,
+    probes::D_COMMIT,
+    probes::FLUSH_B,
+    probes::FLUSH_C,
+    probes::DONE,
+    probes::COPY_B,
+];
+
+fn pattern(rank: usize, epoch: u64) -> Vec<f64> {
+    (0..A1)
+        .map(|i| (rank * 7919 + i) as f64 * 0.25 + epoch as f64)
+        .collect()
+}
+
+fn writer(ctx: &Ctx, method: Method) -> Result<(), Fault> {
+    let world = ctx.world();
+    let (mut ck, _) = Checkpointer::init(world, CkptConfig::new("sweep", method, A1, 16));
+    for e in 1..=TOTAL_EPOCHS {
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), e));
+        }
+        ctx.failpoint("computing")?;
+        ck.make(&e.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+enum Outcome {
+    /// The armed label never fired; the job ran to completion.
+    NeverFired,
+    /// Recovery gave up job-wide with this message.
+    Unrecoverable(String),
+    /// Per-rank (recovery result, workspace data, integrity verdict).
+    Recovered(Vec<(Recovery, Vec<f64>, bool)>),
+}
+
+impl Outcome {
+    fn describe(&self) -> String {
+        match self {
+            Outcome::NeverFired => "never fired".into(),
+            Outcome::Unrecoverable(m) => format!("unrecoverable: {m}"),
+            Outcome::Recovered(outs) => format!("recovered: {:?}", outs[0].0),
+        }
+    }
+}
+
+/// Arm `label`/`nth` on node `victim`, run until the failure (or
+/// completion), then repair and collectively recover.
+fn sweep(method: Method, label: &'static str, nth: u64, victim: usize) -> Outcome {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 1)));
+    let mut rl = Ranklist::round_robin(N, N);
+    cluster.arm_failure(FailurePlan::new(label, nth, victim));
+    let first = run_on_cluster(Arc::clone(&cluster), &rl, |ctx| writer(ctx, method));
+    if first.is_ok() {
+        return Outcome::NeverFired;
+    }
+    assert_eq!(cluster.dead_nodes(), vec![victim], "only the victim dies");
+    cluster.reset_abort();
+    rl.repair(&cluster).unwrap();
+
+    let unrec = std::sync::Mutex::new(None);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, CkptConfig::new("sweep", method, A1, 16));
+        match ck.recover() {
+            Ok(rec) => {
+                let ok = ck.verify_integrity()?;
+                let data = {
+                    let ws = ck.workspace();
+                    let g = ws.read();
+                    g.as_f64()[..A1].to_vec()
+                };
+                Ok(Some((rec, data, ok)))
+            }
+            Err(RecoverError::Unrecoverable(msg)) => {
+                *unrec.lock().unwrap() = Some(msg);
+                Ok(None)
+            }
+            Err(RecoverError::Fault(f)) => Err(f),
+        }
+    })
+    .unwrap();
+    if let Some(msg) = unrec.into_inner().unwrap() {
+        return Outcome::Unrecoverable(msg);
+    }
+    Outcome::Recovered(
+        outs.into_iter()
+            .map(|o| o.expect("all ranks must agree"))
+            .collect(),
+    )
+}
+
+#[derive(Debug)]
+enum Expect {
+    /// Recovery succeeds at one of `epochs`, from `source` when pinned.
+    Restored {
+        epochs: &'static [u64],
+        source: Option<RestoreSource>,
+    },
+    /// Recovery must refuse (single-checkpoint torn update).
+    Unrec,
+    /// The method's `make` never reaches this label.
+    NeverFires,
+}
+
+/// The paper's case analysis. The failure lands in epoch 3's `make`
+/// (epoch 2 committed, epoch 3 in flight), except `DONE`, which fires
+/// after epoch 3 committed.
+fn expectation(method: Method, label: &str) -> Expect {
+    let cc = Some(RestoreSource::CheckpointAndChecksum);
+    let wd = Some(RestoreSource::WorkspaceAndChecksum);
+    match (method, label) {
+        // CASE 1: D not yet committed anywhere -> roll back to (B, C)@2.
+        (Method::SelfCkpt, probes::A2 | probes::ENCODE) => Expect::Restored {
+            epochs: &[2],
+            source: cc,
+        },
+        // On the commit edge: depending on which side of the barrier the
+        // survivors were parked, D@3 is committed (roll forward) or not
+        // (roll back). Both are consistent states; either is sound.
+        (Method::SelfCkpt, probes::D_COMMIT) => Expect::Restored {
+            epochs: &[2, 3],
+            source: None,
+        },
+        // CASE 2: D@3 committed, flush torn -> roll FORWARD from
+        // (work, D), losing no progress.
+        (Method::SelfCkpt, probes::FLUSH_B | probes::FLUSH_C) => Expect::Restored {
+            epochs: &[3],
+            source: wd,
+        },
+        (Method::SelfCkpt, probes::DONE) => Expect::Restored {
+            epochs: &[3],
+            source: cc,
+        },
+        // COPY_B (and anything else): self-checkpoint has no blind
+        // full-copy window — its flush is covered by FLUSH_B/FLUSH_C.
+        (Method::SelfCkpt, _) => Expect::NeverFires,
+
+        // Before the update window opens the old pair is intact...
+        (Method::Single, probes::A2) => Expect::Restored {
+            epochs: &[2],
+            source: cc,
+        },
+        // ...inside it, B is overwritten while C still matches the old B:
+        // the method's documented flaw (Figure 2 CASE 2).
+        (Method::Single, probes::COPY_B | probes::ENCODE) => Expect::Unrec,
+        (Method::Single, probes::DONE) => Expect::Restored {
+            epochs: &[3],
+            source: cc,
+        },
+        (Method::Single, _) => Expect::NeverFires,
+
+        // Double always keeps the previous pair untouched.
+        (Method::Double, probes::A2 | probes::COPY_B | probes::ENCODE) => Expect::Restored {
+            epochs: &[2],
+            source: cc,
+        },
+        (Method::Double, probes::DONE) => Expect::Restored {
+            epochs: &[3],
+            source: cc,
+        },
+        (Method::Double, _) => Expect::NeverFires,
+    }
+}
+
+fn check(method: Method, label: &'static str, victim: usize) {
+    // ENCODE fires once per slot reduce (N per make): first probe of the
+    // third make is 2N+1. Every other label fires once per make.
+    let nth = if label == probes::ENCODE {
+        2 * N as u64 + 1
+    } else {
+        3
+    };
+    let out = sweep(method, label, nth, victim);
+    let tag = format!("{method:?}/{label}/victim{victim}");
+    match (expectation(method, label), out) {
+        (Expect::NeverFires, Outcome::NeverFired) => {}
+        (Expect::Unrec, Outcome::Unrecoverable(msg)) => {
+            assert!(msg.contains("inconsistent"), "{tag}: wrong reason: {msg}");
+        }
+        (Expect::Restored { epochs, source }, Outcome::Recovered(outs)) => {
+            assert_eq!(outs.len(), N, "{tag}: all ranks report");
+            let e0 = match &outs[0].0 {
+                Recovery::Restored { epoch, .. } => *epoch,
+                other => panic!("{tag}: rank 0 got {other:?}"),
+            };
+            assert!(
+                epochs.contains(&e0),
+                "{tag}: restored epoch {e0}, allowed {epochs:?}"
+            );
+            for (rank, (rec, data, intact)) in outs.iter().enumerate() {
+                match rec {
+                    Recovery::Restored {
+                        epoch,
+                        a2,
+                        source: got,
+                    } => {
+                        assert_eq!(*epoch, e0, "{tag}: rank {rank} disagrees on epoch");
+                        assert_eq!(a2.as_slice(), e0.to_le_bytes(), "{tag}: rank {rank} A2");
+                        if let Some(want) = source {
+                            assert_eq!(*got, want, "{tag}: rank {rank} restore source");
+                        }
+                    }
+                    other => panic!("{tag}: rank {rank} got {other:?}"),
+                }
+                assert!(
+                    *intact,
+                    "{tag}: rank {rank} failed the post-recovery parity check"
+                );
+                assert_eq!(data, &pattern(rank, e0), "{tag}: rank {rank} workspace");
+            }
+        }
+        (want, got) => panic!("{tag}: expected {want:?}, got {}", got.describe()),
+    }
+}
+
+#[test]
+fn self_checkpoint_recovers_across_every_probe_window() {
+    for label in ALL_LABELS {
+        check(Method::SelfCkpt, label, 1);
+    }
+}
+
+#[test]
+fn single_checkpoint_matrix_matches_paper_case_analysis() {
+    for label in ALL_LABELS {
+        check(Method::Single, label, 1);
+    }
+}
+
+#[test]
+fn double_checkpoint_matrix_rolls_back_to_intact_pair() {
+    for label in ALL_LABELS {
+        check(Method::Double, label, 1);
+    }
+}
+
+#[test]
+fn self_checkpoint_matrix_is_victim_independent() {
+    for victim in [0, 2, 3] {
+        for label in ALL_LABELS {
+            check(Method::SelfCkpt, label, victim);
+        }
+    }
+}

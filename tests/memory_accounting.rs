@@ -3,7 +3,7 @@
 //! method and group size, and the cluster-level totals must add up.
 
 use self_checkpoint::cluster::{Cluster, ClusterConfig, Ranklist};
-use self_checkpoint::core::{available_fraction, CkptConfig, Checkpointer, Method};
+use self_checkpoint::core::{available_fraction, Checkpointer, CkptConfig, Method};
 use self_checkpoint::mps::run_on_cluster;
 use std::sync::Arc;
 
@@ -60,11 +60,20 @@ fn self_checkpoint_uses_less_memory_than_double_for_same_workspace() {
     let (_, self_total) = live_fraction(Method::SelfCkpt, 8, 20_000);
     let (_, double_total) = live_fraction(Method::Double, 8, 20_000);
     let (_, single_total) = live_fraction(Method::Single, 8, 20_000);
-    assert!(self_total < double_total, "self ({self_total}) must beat double ({double_total})");
-    assert!(single_total < self_total, "single ({single_total}) is the floor");
+    assert!(
+        self_total < double_total,
+        "self ({self_total}) must beat double ({double_total})"
+    );
+    assert!(
+        single_total < self_total,
+        "single ({single_total}) is the floor"
+    );
     // for the same workspace, double needs ~(3N-1)/(2N) times the memory
     let ratio = double_total as f64 / self_total as f64;
-    assert!((ratio - 23.0 / 16.0).abs() < 0.02, "ratio {ratio} (expected (3*8-1)/(2*8))");
+    assert!(
+        (ratio - 23.0 / 16.0).abs() < 0.02,
+        "ratio {ratio} (expected (3*8-1)/(2*8))"
+    );
 }
 
 #[test]
@@ -74,7 +83,8 @@ fn dead_node_frees_all_its_checkpoint_memory() {
     let rl = Ranklist::round_robin(n, n);
     run_on_cluster(Arc::clone(&cluster), &rl, |ctx| {
         let world = ctx.world();
-        let (mut ck, _) = Checkpointer::init(world, CkptConfig::new("acct2", Method::SelfCkpt, 5000, 0));
+        let (mut ck, _) =
+            Checkpointer::init(world, CkptConfig::new("acct2", Method::SelfCkpt, 5000, 0));
         ck.make(&[])?;
         Ok(())
     })
@@ -82,6 +92,13 @@ fn dead_node_frees_all_its_checkpoint_memory() {
     let before = cluster.shm(2).total_bytes();
     assert!(before > 0);
     cluster.kill_node(2);
-    assert_eq!(cluster.shm(2).total_bytes(), 0, "power-off must free the node's memory");
-    assert!(cluster.shm(1).total_bytes() > 0, "healthy nodes keep theirs");
+    assert_eq!(
+        cluster.shm(2).total_bytes(),
+        0,
+        "power-off must free the node's memory"
+    );
+    assert!(
+        cluster.shm(1).total_bytes() > 0,
+        "healthy nodes keep theirs"
+    );
 }

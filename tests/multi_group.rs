@@ -5,7 +5,7 @@
 
 use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
 use self_checkpoint::core::{
-    group_color, protocol::probes, CkptConfig, Checkpointer, GroupStrategy, Method, Recovery,
+    group_color, protocol::probes, Checkpointer, CkptConfig, GroupStrategy, Method, Recovery,
 };
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
 use std::sync::Arc;
@@ -19,8 +19,11 @@ fn writer(ctx: &Ctx, epochs: u64) -> Result<(), Fault> {
     let me = world.rank();
     let color = group_color(GroupStrategy::Contiguous, me, RANKS, GROUP);
     let gcomm = world.split(color, me)?;
-    let (mut ck, _) =
-        Checkpointer::init_synced(gcomm, ctx.world(), CkptConfig::new("mg", Method::SelfCkpt, A1, 16));
+    let (mut ck, _) = Checkpointer::init_synced(
+        gcomm,
+        ctx.world(),
+        CkptConfig::new("mg", Method::SelfCkpt, A1, 16),
+    );
     for e in 1..=epochs {
         {
             let ws = ck.workspace();

@@ -1,10 +1,11 @@
 //! Property-based tests (proptest) on the core data structures and
-//! invariants: stripe geometry, parity codes, dual parity, the
-//! deterministic generator, memory equations, and the efficiency model.
+//! invariants: stripe geometry, parity codes, dual parity, the parallel
+//! kernels, the deterministic generator, memory equations, and the
+//! efficiency model.
 
 use proptest::prelude::*;
 use self_checkpoint::core::{available_fraction, MemoryBreakdown, Method};
-use self_checkpoint::encoding::{Code, DualParity, GroupLayout};
+use self_checkpoint::encoding::{kernels, Code, DualParity, GroupLayout, KernelConfig};
 use self_checkpoint::linalg::{dgemm, solve_ref, MatGen, Matrix, Trans};
 use self_checkpoint::models::{fit_ab, hpl_efficiency, scaled_efficiency_bound};
 
@@ -87,6 +88,117 @@ proptest! {
         let rec = dp.recover(&stripes, Some(&p), Some(&q));
         prop_assert_eq!(&rec[x], &data[x]);
         prop_assert_eq!(&rec[y], &data[y]);
+    }
+
+    #[test]
+    fn parallel_xor_kernel_is_bit_identical_to_scalar(
+        len in 0usize..20_000,
+        chunk in 1usize..40_000,   // deliberately allows chunk_len > len
+        threads in 1usize..9,      // includes the serial threads=1 case
+        seed in any::<u64>(),
+    ) {
+        let gen = MatGen::new(seed);
+        let base: Vec<f64> = (0..len).map(|i| gen.entry(0, i as u64) * 1e9).collect();
+        let x: Vec<f64> = (0..len).map(|i| gen.entry(1, i as u64) * 1e-9).collect();
+        let mut reference = base.clone();
+        for (a, b) in reference.iter_mut().zip(&x) {
+            *a = f64::from_bits(a.to_bits() ^ b.to_bits());
+        }
+        let cfg = KernelConfig::new(threads, chunk);
+        let mut acc = base.clone();
+        kernels::xor_accumulate(&mut acc, &x, cfg);
+        for (a, r) in acc.iter().zip(&reference) {
+            prop_assert_eq!(a.to_bits(), r.to_bits());
+        }
+        // and the raw-word variant used by the U64 reduce path
+        let mut w: Vec<u64> = base.iter().map(|v| v.to_bits()).collect();
+        let key: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+        kernels::xor_accumulate_u64(&mut w, &key, cfg);
+        for (a, r) in w.iter().zip(&reference) {
+            prop_assert_eq!(*a, r.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_sum_kernel_stays_within_an_ulp_of_serial(
+        len in 0usize..20_000,
+        chunk in 1usize..40_000,
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let gen = MatGen::new(seed);
+        let base: Vec<f64> = (0..len).map(|i| gen.entry(2, i as u64) * 1e6).collect();
+        let x: Vec<f64> = (0..len).map(|i| gen.entry(3, i as u64)).collect();
+        let cfg = KernelConfig::new(threads, chunk);
+        let mut serial_add = base.clone();
+        kernels::sum_accumulate(&mut serial_add, &x, KernelConfig::serial());
+        let mut par_add = base.clone();
+        kernels::sum_accumulate(&mut par_add, &x, cfg);
+        // The partitioning never reorders additions *within* an element,
+        // so the tolerance (≤ 1 ulp per addend) is met with equality.
+        for (a, r) in par_add.iter().zip(&serial_add) {
+            prop_assert!(
+                a.to_bits() == r.to_bits()
+                    || a.to_bits().abs_diff(r.to_bits()) <= 1,
+                "{} vs {}", a, r
+            );
+        }
+        let mut serial_sub = par_add.clone();
+        kernels::sub_accumulate(&mut serial_sub, &x, KernelConfig::serial());
+        let mut par_sub = par_add;
+        kernels::sub_accumulate(&mut par_sub, &x, cfg);
+        for (a, r) in par_sub.iter().zip(&serial_sub) {
+            prop_assert_eq!(a.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_copy_and_conversions_round_trip(
+        len in 0usize..20_000,
+        chunk in 1usize..40_000,
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let gen = MatGen::new(seed);
+        let src: Vec<f64> = (0..len).map(|i| gen.entry(4, i as u64) * 1e12).collect();
+        let cfg = KernelConfig::new(threads, chunk);
+        let mut dst = kernels::zeroed(len);
+        kernels::copy(&mut dst, &src, cfg);
+        for (a, b) in dst.iter().zip(&src) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let back = kernels::floats_of(&kernels::bits_of(&src, cfg), cfg);
+        for (a, b) in back.iter().zip(&src) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let neg = kernels::negated(&src, cfg);
+        for (a, b) in neg.iter().zip(&src) {
+            prop_assert_eq!(a.to_bits(), (-b).to_bits());
+        }
+    }
+
+    #[test]
+    fn code_accumulate_with_any_policy_matches_global(
+        len in 0usize..10_000,
+        chunk in 1usize..20_000,
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let gen = MatGen::new(seed);
+        let base: Vec<f64> = (0..len).map(|i| gen.entry(5, i as u64)).collect();
+        let x: Vec<f64> = (0..len).map(|i| gen.entry(6, i as u64)).collect();
+        let cfg = KernelConfig::new(threads, chunk);
+        for code in [Code::Xor, Code::Sum] {
+            let mut serial = base.clone();
+            code.accumulate_with(&mut serial, &x, KernelConfig::serial());
+            code.cancel_with(&mut serial, &x, KernelConfig::serial());
+            let mut par = base.clone();
+            code.accumulate_with(&mut par, &x, cfg);
+            code.cancel_with(&mut par, &x, cfg);
+            for (a, r) in par.iter().zip(&serial) {
+                prop_assert_eq!(a.to_bits(), r.to_bits());
+            }
+        }
     }
 
     #[test]

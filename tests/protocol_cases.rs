@@ -14,7 +14,7 @@
 
 use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
 use self_checkpoint::core::{
-    protocol::probes, CkptConfig, Checkpointer, Method, RecoverError, Recovery,
+    protocol::probes, Checkpointer, CkptConfig, Method, RecoverError, Recovery,
 };
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
 use std::sync::Arc;
@@ -24,7 +24,9 @@ const A1: usize = 256;
 const TOTAL_EPOCHS: u64 = 4;
 
 fn pattern(rank: usize, epoch: u64) -> Vec<f64> {
-    (0..A1).map(|i| (rank * 7919 + i) as f64 * 0.25 + epoch as f64).collect()
+    (0..A1)
+        .map(|i| (rank * 7919 + i) as f64 * 0.25 + epoch as f64)
+        .collect()
 }
 
 fn writer(ctx: &Ctx, method: Method) -> Result<(), Fault> {
@@ -43,11 +45,7 @@ fn writer(ctx: &Ctx, method: Method) -> Result<(), Fault> {
 
 /// Run until the armed failure, repair, recover; return per-rank
 /// (recovery outcome or unrecoverable-flag, workspace contents).
-fn run_case(
-    method: Method,
-    label: &str,
-    nth: u64,
-) -> Result<Vec<(Recovery, Vec<f64>)>, String> {
+fn run_case(method: Method, label: &str, nth: u64) -> Result<Vec<(Recovery, Vec<f64>)>, String> {
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 1)));
     let mut rl = Ranklist::round_robin(N, N);
     cluster.arm_failure(FailurePlan::new(label, nth, 1));
@@ -77,7 +75,10 @@ fn run_case(
     if let Some(msg) = err.into_inner().unwrap() {
         return Err(msg);
     }
-    Ok(outs.into_iter().map(|o| o.expect("consistent verdicts")).collect())
+    Ok(outs
+        .into_iter()
+        .map(|o| o.expect("consistent verdicts"))
+        .collect())
 }
 
 fn assert_epoch(outs: &[(Recovery, Vec<f64>)], epoch: u64) {
@@ -174,19 +175,27 @@ fn two_lost_nodes_in_one_group_are_unrecoverable() {
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 2)));
     let mut rl = Ranklist::round_robin(N, N);
     cluster.arm_failure(FailurePlan::new("computing", 3, 1));
-    assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| writer(ctx, Method::SelfCkpt)).is_err());
+    assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| writer(
+        ctx,
+        Method::SelfCkpt
+    ))
+    .is_err());
     // second node dies while the job is already down (double fault)
     cluster.kill_node(2);
     cluster.reset_abort();
     rl.repair(&cluster).unwrap();
     let outs = run_on_cluster(cluster, &rl, |ctx| {
         let world = ctx.world();
-        let (mut ck, _) = Checkpointer::init(world, CkptConfig::new("case", Method::SelfCkpt, A1, 16));
+        let (mut ck, _) =
+            Checkpointer::init(world, CkptConfig::new("case", Method::SelfCkpt, A1, 16));
         match ck.recover() {
             Err(RecoverError::Unrecoverable(_)) => Ok(true),
             other => panic!("expected unrecoverable, got {other:?}"),
         }
     })
     .unwrap();
-    assert!(outs.into_iter().all(|b| b), "single parity cannot fix two losses");
+    assert!(
+        outs.into_iter().all(|b| b),
+        "single parity cannot fix two losses"
+    );
 }

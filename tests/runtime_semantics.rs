@@ -47,7 +47,8 @@ fn float_sum_reduce_is_deterministic_across_runs() {
         run_local(7, |ctx| {
             let w = ctx.world();
             let v = (ctx.world_rank() as f64 + 1.0).recip();
-            Ok(w.allreduce(ReduceOp::Sum, Payload::F64(vec![v]))?.into_f64()[0])
+            Ok(w.allreduce(ReduceOp::Sum, Payload::F64(vec![v]))?
+                .into_f64()[0])
         })
         .unwrap()
     };
@@ -109,7 +110,9 @@ fn shm_segments_survive_many_launch_cycles() {
     let rl = Ranklist::round_robin(3, 3);
     for round in 0..5u64 {
         let outs = run_on_cluster(Arc::clone(&cluster), &rl, move |ctx| {
-            let (seg, existed) = ctx.shm().get_or_create("counter", || SegmentData::F64(vec![0.0]));
+            let (seg, existed) = ctx
+                .shm()
+                .get_or_create("counter", || SegmentData::F64(vec![0.0]));
             let prev = seg.read().as_f64()[0];
             seg.write().as_f64_mut()[0] = prev + 1.0;
             Ok((existed, prev))
@@ -129,9 +132,13 @@ fn collectives_interleave_with_p2p_without_crosstalk() {
         let me = w.rank();
         // p2p ring while collectives run in between
         w.send((me + 1) % 4, 5, Payload::I64(vec![me as i64]))?;
-        let s1 = w.allreduce(ReduceOp::Sum, Payload::I64(vec![1]))?.into_i64()[0];
+        let s1 = w
+            .allreduce(ReduceOp::Sum, Payload::I64(vec![1]))?
+            .into_i64()[0];
         let from = w.recv((me + 3) % 4, 5)?.into_i64()[0];
-        let s2 = w.allreduce(ReduceOp::Max, Payload::I64(vec![from]))?.into_i64()[0];
+        let s2 = w
+            .allreduce(ReduceOp::Max, Payload::I64(vec![from]))?
+            .into_i64()[0];
         Ok((s1, from, s2))
     })
     .unwrap();
@@ -152,7 +159,8 @@ fn ranks_sharing_nodes_see_the_same_shm() {
         let me = w.rank();
         // even ranks (node 0) write; everyone barriers; odd ranks read
         if ctx.node() == 0 && me == 0 {
-            ctx.shm().get_or_create("shared", || SegmentData::Bytes(vec![42]));
+            ctx.shm()
+                .get_or_create("shared", || SegmentData::Bytes(vec![42]));
         }
         w.barrier()?;
         Ok((ctx.node(), ctx.shm().attach("shared").is_some()))

@@ -1,0 +1,384 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the criterion API its benches use:
+//! `Criterion`, `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::{iter, iter_custom}` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: one warm-up call estimates the per-iteration cost,
+//! then `sample_size` samples of a batch size targeting
+//! [`TARGET_SAMPLE_NANOS`] each are timed; the reported figure is the
+//! median sample's mean nanoseconds per iteration (robust against
+//! one-off scheduling noise without criterion's full bootstrap).
+//!
+//! Extras over upstream: set `CRITERION_JSON_OUT=/path/file.json` to dump
+//! every result (plus host metadata) as JSON — used to commit benchmark
+//! baselines like `BENCH_encode.json`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time of a single measured sample.
+pub const TARGET_SAMPLE_NANOS: u64 = 60_000_000; // 60 ms
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Throughput of one iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+struct BenchResult {
+    group: String,
+    name: String,
+    ns_per_iter: f64,
+    iters_total: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    fn rate(&self) -> Option<String> {
+        match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                let gib = b as f64 / self.ns_per_iter; // bytes/ns == GB/s
+                Some(format!("{:8.3} GiB/s", gib * 1e9 / (1u64 << 30) as f64))
+            }
+            Some(Throughput::Elements(e)) => {
+                Some(format!("{:8.3} Melem/s", e as f64 / self.ns_per_iter * 1e3))
+            }
+            None => None,
+        }
+    }
+
+    fn json(&self) -> String {
+        let (tp_kind, tp_val) = match self.throughput {
+            Some(Throughput::Bytes(b)) => ("bytes", b),
+            Some(Throughput::Elements(e)) => ("elements", e),
+            None => ("none", 0),
+        };
+        format!(
+            concat!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{:.1},",
+                "\"iters\":{},\"throughput_kind\":\"{}\",\"throughput_per_iter\":{}}}"
+            ),
+            self.group, self.name, self.ns_per_iter, self.iters_total, tp_kind, tp_val
+        )
+    }
+}
+
+/// The benchmark harness: collects results from every registered target.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            filter: filter_from_args(),
+            results: Vec::new(),
+        }
+    }
+}
+
+fn filter_from_args() -> Option<String> {
+    // cargo passes `--bench` (and test-harness flags) to harness=false
+    // binaries; the first free-standing argument is a name filter.
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+impl Criterion {
+    /// Default number of samples per benchmark (builder form, used by
+    /// `criterion_group!`'s `config = ...`).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a closure under a bare name (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(String::new(), id.name, None, self.sample_size, f);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        group: String,
+        name: String,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let full = if group.is_empty() {
+            name.clone()
+        } else {
+            format!("{group}/{name}")
+        };
+        if let Some(filt) = &self.filter {
+            if !full.contains(filt.as_str()) {
+                return;
+            }
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        let mut iters_total = 0u64;
+        // warm-up + calibration sample
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = (b.elapsed.as_nanos() as u64).max(1);
+        let batch = (TARGET_SAMPLE_NANOS / per_iter).clamp(1, 1_000_000);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                iters: batch,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / batch as f64);
+            iters_total += batch;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ns_per_iter = samples[samples.len() / 2];
+        let res = BenchResult {
+            group,
+            name,
+            ns_per_iter,
+            iters_total,
+            throughput,
+        };
+        let mut line = format!("{full:<48} {:>12.1} ns/iter", res.ns_per_iter);
+        if let Some(rate) = res.rate() {
+            let _ = write!(line, "   {rate}");
+        }
+        println!("{line}");
+        self.results.push(res);
+    }
+
+    /// Print the closing summary; write the JSON dump when requested.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+        if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+            let mut out = String::from("{\n");
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let _ = write!(
+                out,
+                "  \"host\": {{\"available_parallelism\": {threads}, \"os\": \"{}\", \"arch\": \"{}\"}},\n  \"results\": [\n",
+                std::env::consts::OS,
+                std::env::consts::ARCH
+            );
+            for (i, r) in self.results.iter().enumerate() {
+                let sep = if i + 1 == self.results.len() { "" } else { "," };
+                let _ = writeln!(out, "    {}{}", r.json(), sep);
+            }
+            out.push_str("  ]\n}\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("criterion: cannot write {path}: {e}");
+            } else {
+                println!("results written to {path}");
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion
+            .run_one(self.name.clone(), id.name, self.throughput, samples, f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (upstream flushes reports here; we report eagerly).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hand the iteration count to `routine`, which returns the elapsed
+    /// time it measured itself.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+            criterion
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Run every group and print/export the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                let criterion = $group();
+                criterion.final_summary();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("XOR", 4096).name, "XOR/4096");
+        assert_eq!(BenchmarkId::from_parameter(8).name, "8");
+    }
+
+    #[test]
+    fn measurement_produces_sane_numbers() {
+        let mut c = Criterion::default().sample_size(3);
+        c.filter = None;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].ns_per_iter > 0.0);
+        assert!(c.results[0].json().contains("\"group\":\"g\""));
+    }
+
+    #[test]
+    fn iter_custom_is_respected() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filter = None;
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(100 * iters))
+        });
+        let r = &c.results[0];
+        assert!((r.ns_per_iter - 100.0).abs() < 1.0, "{}", r.ns_per_iter);
+    }
+}

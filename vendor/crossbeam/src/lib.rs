@@ -1,0 +1,57 @@
+//! Vendored stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the tiny API subset it actually uses:
+//! `crossbeam::channel::{unbounded, Sender, Receiver, RecvTimeoutError}`.
+//! Backed by `std::sync::mpsc`, whose `Sender` has been `Sync` (and thus a
+//! drop-in for crossbeam's multi-producer handle) since Rust 1.72.
+
+/// Multi-producer channels (std-backed subset of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+
+    /// Create an unbounded channel, crossbeam-style.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = unbounded();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

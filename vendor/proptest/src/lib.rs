@@ -1,0 +1,284 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the proptest API its tests use:
+//!
+//! * the `proptest! { #[test] fn name(arg in strategy, ...) { body } }`
+//!   macro,
+//! * range strategies (`2usize..12`, `1.01f64..3.0`, ...) and
+//!   `any::<T>()` for the integer/float primitives,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Inputs are drawn from a deterministic splitmix64 generator seeded per
+//! case, so every run replays the same case sequence (failures print the
+//! case number and the sampled inputs; shrinking is not implemented — the
+//! printed inputs are the reproducer). The case count defaults to 64 and
+//! can be raised with the `PROPTEST_CASES` environment variable.
+
+use std::ops::Range;
+
+/// Number of cases each property runs (override: `PROPTEST_CASES`).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic splitmix64 stream used to sample inputs.
+pub struct Prng(u64);
+
+impl Prng {
+    /// One stream per (property, case) pair.
+    pub fn from_case(case: u64) -> Self {
+        Prng(case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDEAD_BEEF_CAFE_F00D)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How a sampled case ended when it did not simply pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message is the reproducer.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; the case is skipped.
+    Reject(String),
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut Prng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Prng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Prng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Prng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let v = self.start + rng.next_unit_f64() as $t * (self.end - self.start);
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Strategy over a type's full value range; see [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the whole value range of a primitive type.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Prng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut Prng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut Prng) -> f64 {
+        // finite doubles spanning many magnitudes
+        let m = rng.next_unit_f64() * 2.0 - 1.0;
+        let e = (rng.next_u64() % 613) as i32 - 306;
+        m * 10f64.powi(e)
+    }
+}
+
+/// Everything a `proptest!` test body needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Define `#[test]` functions whose arguments are sampled from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    let mut prng = $crate::Prng::from_case(case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut prng);)*
+                    let mut inputs = String::new();
+                    $(inputs.push_str(&format!("{} = {:?}, ", stringify!($arg), $arg));)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(msg)) => panic!(
+                            "proptest case {case}/{cases} failed: {msg}\n  inputs: {inputs}"
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fallible assertion: fails the current case (with inputs) instead of
+/// panicking the whole process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assert_eq failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assert_eq failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fallible inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assert_ne failed: both {:?}", l);
+    }};
+}
+
+/// Skip the current case when its sampled inputs are not interesting.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..17, x in -2.5f64..4.0) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.5..4.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u64..10, b in 0u64..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn any_is_deterministic_per_case(seed in any::<u64>()) {
+            // same case index must resample the same value
+            prop_assert_eq!(seed, seed);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a: u64 = Strategy::sample(&(0u64..1000), &mut crate::Prng::from_case(5));
+        let b: u64 = Strategy::sample(&(0u64..1000), &mut crate::Prng::from_case(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failure_reports_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(v in 0usize..4) {
+                prop_assert!(v > 100, "v too small: {}", v);
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("v too small"), "{msg}");
+        assert!(msg.contains("inputs: v ="), "{msg}");
+    }
+}
