@@ -11,11 +11,23 @@
 
 use skt_bench::Table;
 use skt_cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
-use skt_ftsim::run_with_daemon;
-use skt_hpl::{HplConfig, SktConfig};
+use skt_ftsim::{run_with_daemon, CyclePhase};
+use skt_hpl::{HplConfig, SktConfig, ITER_PROBE};
 use skt_models::TIANHE_2;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Figure 10's caption for each bar, with the paper's Tianhe-2 value.
+fn paper_row(phase: CyclePhase) -> (&'static str, &'static str) {
+    match phase {
+        CyclePhase::Detect => ("detect the failure and kill the job", "63 s"),
+        CyclePhase::Replace => ("replace lost nodes by spare nodes", "10 s"),
+        CyclePhase::Restart => ("restart SKT-HPL", "9 s"),
+        CyclePhase::Recover => ("recover data", "20 s"),
+        CyclePhase::Checkpoint => ("checkpoint", "16 s"),
+        _ => (phase.label(), "-"),
+    }
+}
 
 fn main() {
     let (ranks, nodes, spares) = (8usize, 8usize, 1usize);
@@ -26,7 +38,7 @@ fn main() {
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(nodes, spares)));
     let rl = Ranklist::round_robin(ranks, nodes);
     // power off node 3 after its 8th panel (past two checkpoints)
-    cluster.arm_failure(FailurePlan::new("hpl-iter", 8, 3));
+    cluster.arm_failure(FailurePlan::new(ITER_PROBE, 8, 3));
 
     let detect = Duration::from_secs_f64(TIANHE_2.detect_seconds);
     let rep = run_with_daemon(cluster, &rl, &cfg, 3, detect).expect("daemon must finish the run");
@@ -40,38 +52,34 @@ fn main() {
         "measured (virtual cluster)",
         "paper (Tianhe-2, 24,576 procs)",
     ]);
-    t.row(vec![
-        "detect the failure and kill the job".to_string(),
-        format!("{:.2} s (modeled, job manager)", c.detect.as_secs_f64()),
-        "63 s".into(),
-    ]);
-    t.row(vec![
-        "replace lost nodes by spare nodes".to_string(),
-        format!("{:.4} s", c.replace.as_secs_f64()),
-        "10 s".into(),
-    ]);
-    t.row(vec![
-        "restart SKT-HPL".to_string(),
-        format!("{:.4} s", c.restart.as_secs_f64()),
-        "9 s".into(),
-    ]);
-    t.row(vec![
-        "recover data".to_string(),
-        format!("{:.4} s", c.recover.as_secs_f64()),
-        "20 s".into(),
-    ]);
-    t.row(vec![
-        "checkpoint".to_string(),
-        format!("{:.4} s", c.checkpoint.as_secs_f64()),
-        "16 s".into(),
-    ]);
+    for (phase, measured) in c.iter() {
+        let (caption, paper) = paper_row(phase);
+        let note = if phase == CyclePhase::Detect {
+            " (modeled, job manager)"
+        } else {
+            ""
+        };
+        t.row(vec![
+            caption.to_string(),
+            format!("{:.4} s{note}", measured.as_secs_f64()),
+            paper.into(),
+        ]);
+    }
     t.print();
     println!(
         "\nShape check: recovery ({:.4} s) is somewhat longer than a checkpoint ({:.4} s), \
          as in the paper (20 s vs 16 s): recovery does the same reduces plus reassembly.",
-        c.recover.as_secs_f64(),
-        c.checkpoint.as_secs_f64()
+        c.get(CyclePhase::Recover).as_secs_f64(),
+        c.get(CyclePhase::Checkpoint).as_secs_f64()
     );
+    println!(
+        "Cycle total: {:.2} s across all phases.",
+        c.total().as_secs_f64()
+    );
+    match rep.output.recovery {
+        Some(report) => println!("Protocol report: {report}"),
+        None => println!("Protocol report: none (run was never restored)"),
+    }
     println!(
         "Run resumed from panel {} and passed verification (residual {:.3}).",
         rep.output.resumed_from_panel, rep.output.hpl.residual

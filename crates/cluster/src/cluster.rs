@@ -1,6 +1,7 @@
 //! The virtual cluster: node inventory, spare pool, rank placement, and
 //! MPI-style whole-job abort on node failure.
 
+use crate::events::EventBus;
 use crate::failure::{FailureInjector, FailurePlan, Fault};
 use crate::net::NetModel;
 use crate::shm::ShmStore;
@@ -45,6 +46,7 @@ pub struct Cluster {
     job_abort: AtomicBool,
     injector: FailureInjector,
     net: NetModel,
+    events: EventBus,
 }
 
 impl Cluster {
@@ -52,12 +54,17 @@ impl Cluster {
     /// `nodes..nodes+spares` start in the spare pool.
     pub fn new(config: ClusterConfig) -> Self {
         let total = config.total();
+        let events = EventBus::new();
         Cluster {
             config,
             shm: (0..total).map(|_| ShmStore::new()).collect(),
-            hdd: (0..total).map(|_| Device::new(DeviceKind::Hdd)).collect(),
-            ssd: (0..total).map(|_| Device::new(DeviceKind::Ssd)).collect(),
-            pfs: Device::new(DeviceKind::Pfs),
+            hdd: (0..total)
+                .map(|_| Device::new(DeviceKind::Hdd).with_bus(events.clone()))
+                .collect(),
+            ssd: (0..total)
+                .map(|_| Device::new(DeviceKind::Ssd).with_bus(events.clone()))
+                .collect(),
+            pfs: Device::new(DeviceKind::Pfs).with_bus(events.clone()),
             alive: Mutex::new(vec![true; total]),
             spare_pool: Mutex::new((config.nodes..total).collect()),
             job_abort: AtomicBool::new(false),
@@ -65,6 +72,7 @@ impl Cluster {
             // Local-cluster-ish defaults; experiments override via
             // platform models where it matters.
             net: NetModel::new(2e-6, 12.5e9, 2),
+            events,
         }
     }
 
@@ -103,6 +111,12 @@ impl Cluster {
     /// Network model used for modeled-time estimates.
     pub fn net(&self) -> NetModel {
         self.net
+    }
+
+    /// The cluster-wide observation bus. Protocol layers emit into it;
+    /// harnesses subscribe [`Observer`](crate::events::Observer)s.
+    pub fn events(&self) -> &EventBus {
+        &self.events
     }
 
     /// Override the network model (e.g. Tianhe constants).

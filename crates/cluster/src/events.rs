@@ -1,0 +1,267 @@
+//! Cross-crate observation bus.
+//!
+//! The checkpoint protocol is a state machine whose interesting behaviour —
+//! which phase ran, how long the encode reduce took, how many bytes a flush
+//! copied, which restore source a recovery picked — happens three crates
+//! above this one. Rather than have every layer keep its own ad-hoc timing
+//! fields, the layers *emit* [`Event`]s into an [`EventBus`] owned by the
+//! [`Cluster`](crate::Cluster), and anyone interested (bench binaries, the
+//! fault-tolerance daemon, tests) registers an [`Observer`].
+//!
+//! The bus sits in `skt-cluster` because it is the bottom of the crate
+//! stack: `skt-mps` collectives and `skt-core`'s `Checkpointer` can both
+//! reach it without a dependency cycle. Emission is cheap when nobody is
+//! listening — a single relaxed atomic load guards every `emit`.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Something worth observing happened in the stack.
+///
+/// Labels are `&'static str` on purpose: phase identity lives in typed
+/// enums upstream (`skt-core`'s `Phase`), and events carry that enum's
+/// canonical label so observers never allocate on the hot path.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A protocol phase began (label is the phase's canonical probe name).
+    PhaseEnter {
+        /// Canonical phase label, e.g. `"ckpt-encode"`.
+        label: &'static str,
+        /// Checkpoint epoch the phase works toward.
+        epoch: u64,
+    },
+    /// A protocol phase finished.
+    PhaseExit {
+        /// Canonical phase label.
+        label: &'static str,
+        /// Checkpoint epoch the phase worked toward.
+        epoch: u64,
+        /// Wall-clock time spent inside the phase.
+        elapsed: Duration,
+    },
+    /// A bulk copy moved checkpoint bytes between segments.
+    BytesMoved {
+        /// Phase label the copy belongs to.
+        label: &'static str,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// A collective (reduce/bcast/…) completed on some communicator.
+    Collective {
+        /// Operation name, e.g. `"reduce"`.
+        op: &'static str,
+        /// Payload size contributed by this rank, in bytes.
+        bytes: u64,
+        /// Wall-clock time this rank spent in the collective.
+        elapsed: Duration,
+    },
+    /// A storage device accepted a blob.
+    StorageWrite {
+        /// Device kind name, e.g. `"hdd"`.
+        device: &'static str,
+        /// Blob size in bytes.
+        bytes: u64,
+        /// Modeled transfer time (not wall clock).
+        modeled: Duration,
+    },
+    /// A storage device served a blob.
+    StorageRead {
+        /// Device kind name.
+        device: &'static str,
+        /// Blob size in bytes.
+        bytes: u64,
+        /// Modeled transfer time (not wall clock).
+        modeled: Duration,
+    },
+    /// A recovery chose its restore source (one event per recovering rank).
+    RecoveryDecision {
+        /// Restore-source name, e.g. `"checkpoint+checksum"`.
+        source: &'static str,
+        /// Epoch the job was restored to.
+        epoch: u64,
+        /// Bytes reconstructed from parity for the lost rank (0 when no
+        /// rank was lost, i.e. a plain rollback).
+        rebuilt_bytes: u64,
+    },
+}
+
+/// A sink for [`Event`]s. All methods default to no-ops so observers
+/// implement only what they care about.
+pub trait Observer: Send + Sync {
+    /// Called synchronously, on the emitting thread, for every event.
+    fn on_event(&self, _event: &Event) {}
+}
+
+struct BusInner {
+    /// Number of subscribed observers, readable without the lock so that
+    /// `emit` on an idle bus costs one atomic load.
+    active: AtomicUsize,
+    sinks: Mutex<Vec<Arc<dyn Observer>>>,
+}
+
+/// Shared, clonable handle to the observation bus.
+///
+/// Cloning is cheap (an `Arc` bump); every layer that wants to emit holds
+/// its own handle.
+#[derive(Clone)]
+pub struct EventBus {
+    inner: Arc<BusInner>,
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventBus {
+    /// A bus with no observers.
+    pub fn new() -> Self {
+        EventBus {
+            inner: Arc::new(BusInner {
+                active: AtomicUsize::new(0),
+                sinks: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Register an observer; it receives every subsequent event.
+    pub fn subscribe(&self, observer: Arc<dyn Observer>) {
+        let mut sinks = self.inner.sinks.lock();
+        sinks.push(observer);
+        self.inner.active.store(sinks.len(), Ordering::Release);
+    }
+
+    /// Drop all observers.
+    pub fn clear(&self) {
+        let mut sinks = self.inner.sinks.lock();
+        sinks.clear();
+        self.inner.active.store(0, Ordering::Release);
+    }
+
+    /// True when at least one observer is subscribed. Emitters may use
+    /// this to skip building expensive events.
+    pub fn is_active(&self) -> bool {
+        self.inner.active.load(Ordering::Acquire) != 0
+    }
+
+    /// Deliver an event to every observer (no-op when none subscribed).
+    pub fn emit(&self, event: Event) {
+        if !self.is_active() {
+            return;
+        }
+        for sink in self.inner.sinks.lock().iter() {
+            sink.on_event(&event);
+        }
+    }
+}
+
+/// An [`Observer`] that records every event, for tests and harness output.
+#[derive(Default)]
+pub struct Recorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Recorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Sum of [`Event::PhaseExit`] durations for one phase label.
+    pub fn phase_total(&self, label: &str) -> Duration {
+        self.events
+            .lock()
+            .iter()
+            .filter_map(|e| match e {
+                Event::PhaseExit {
+                    label: l, elapsed, ..
+                } if *l == label => Some(*elapsed),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of recorded events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.events.lock().iter().filter(|e| pred(e)).count()
+    }
+}
+
+impl Observer for Recorder {
+    fn on_event(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_bus_drops_events() {
+        let bus = EventBus::new();
+        assert!(!bus.is_active());
+        // must not panic or store anything
+        bus.emit(Event::BytesMoved {
+            label: "x",
+            bytes: 1,
+        });
+    }
+
+    #[test]
+    fn subscribed_recorder_sees_events_in_order() {
+        let bus = EventBus::new();
+        let rec = Arc::new(Recorder::new());
+        bus.subscribe(Arc::clone(&rec) as Arc<dyn Observer>);
+        assert!(bus.is_active());
+        bus.emit(Event::PhaseEnter {
+            label: "p",
+            epoch: 3,
+        });
+        bus.emit(Event::PhaseExit {
+            label: "p",
+            epoch: 3,
+            elapsed: Duration::from_millis(2),
+        });
+        let evs = rec.events();
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(evs[0], Event::PhaseEnter { epoch: 3, .. }));
+        assert_eq!(rec.phase_total("p"), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn clear_unsubscribes_everyone() {
+        let bus = EventBus::new();
+        let rec = Arc::new(Recorder::new());
+        bus.subscribe(Arc::clone(&rec) as Arc<dyn Observer>);
+        bus.clear();
+        assert!(!bus.is_active());
+        bus.emit(Event::BytesMoved {
+            label: "x",
+            bytes: 1,
+        });
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn clones_share_subscriptions() {
+        let bus = EventBus::new();
+        let handle = bus.clone();
+        let rec = Arc::new(Recorder::new());
+        bus.subscribe(Arc::clone(&rec) as Arc<dyn Observer>);
+        handle.emit(Event::BytesMoved {
+            label: "copy",
+            bytes: 64,
+        });
+        assert_eq!(rec.count(|e| matches!(e, Event::BytesMoved { .. })), 1);
+    }
+}

@@ -12,6 +12,7 @@ use crate::cluster::NodeId;
 use parking_lot::Mutex;
 
 /// Error type threaded through the whole stack when the job dies.
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Fault {
     /// The job was aborted (MPI semantics: any node failure kills every
@@ -19,6 +20,11 @@ pub enum Fault {
     JobAborted,
     /// This specific node just died (returned to the rank that was killed).
     NodeDead(NodeId),
+    /// A protocol invariant was violated (wrong payload type, missing
+    /// collective contribution, mistyped SHM segment). Carries a static
+    /// description; the job-abort path treats it like any other fault
+    /// instead of panicking the rank thread.
+    Protocol(&'static str),
 }
 
 impl std::fmt::Display for Fault {
@@ -26,6 +32,7 @@ impl std::fmt::Display for Fault {
         match self {
             Fault::JobAborted => write!(f, "job aborted after a node failure"),
             Fault::NodeDead(n) => write!(f, "node {n} failed (powered off)"),
+            Fault::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
     }
 }

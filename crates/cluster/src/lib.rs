@@ -18,17 +18,24 @@
 //! * **Failure injection** ([`failure`]): deterministic "kill node X the
 //!   n-th time it passes probe L" plans, so the protocol's CASE 1 / CASE 2
 //!   failure windows (paper Figures 2–5) can each be exercised exactly.
+//! * **An observation bus** ([`events`]): upper layers (collectives, the
+//!   checkpoint protocol, storage) emit typed [`events::Event`]s into the
+//!   cluster-wide [`events::EventBus`]; harnesses subscribe
+//!   [`events::Observer`]s to collect phase timings and recovery
+//!   decisions without any layer keeping private timing state.
 //! * **The cluster itself** ([`cluster`]): node inventory, spare pool,
 //!   rank-to-node mapping (the `ranklist` of §5.2), and MPI-style
 //!   whole-job abort on node failure.
 
 pub mod cluster;
+pub mod events;
 pub mod failure;
 pub mod net;
 pub mod shm;
 pub mod storage;
 
 pub use cluster::{Cluster, ClusterConfig, NodeId, Ranklist};
+pub use events::{Event, EventBus, Observer, Recorder};
 pub use failure::{FailureInjector, FailurePlan, Fault};
 pub use net::NetModel;
 pub use shm::{SegmentData, ShmSegment, ShmStore};

@@ -11,6 +11,7 @@
 //! directly — the workspace *is* the checkpoint, per the self-checkpoint
 //! design.
 
+use crate::failure::Fault;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -35,10 +36,7 @@ impl SegmentData {
 
     /// Borrow as `f64` slice; panics if the segment holds bytes.
     pub fn as_f64(&self) -> &[f64] {
-        match self {
-            SegmentData::F64(v) => v,
-            SegmentData::Bytes(_) => panic!("segment holds bytes, not f64"),
-        }
+        self.try_as_f64().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Borrow as mutable `f64` slice; panics if the segment holds bytes.
@@ -51,10 +49,7 @@ impl SegmentData {
 
     /// Borrow as byte slice; panics if the segment holds f64 data.
     pub fn as_bytes(&self) -> &[u8] {
-        match self {
-            SegmentData::Bytes(v) => v,
-            SegmentData::F64(_) => panic!("segment holds f64, not bytes"),
-        }
+        self.try_as_bytes().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Borrow as mutable byte vec; panics if the segment holds f64 data.
@@ -62,6 +57,40 @@ impl SegmentData {
         match self {
             SegmentData::Bytes(v) => v,
             SegmentData::F64(_) => panic!("segment holds f64, not bytes"),
+        }
+    }
+
+    /// Borrow as `f64` slice, reporting a mistyped segment as a
+    /// [`Fault`] instead of panicking (for the protocol hot path, where
+    /// a wiped or mistyped segment must abort the job as an error value).
+    pub fn try_as_f64(&self) -> Result<&[f64], Fault> {
+        match self {
+            SegmentData::F64(v) => Ok(v),
+            SegmentData::Bytes(_) => Err(Fault::Protocol("segment holds bytes, not f64")),
+        }
+    }
+
+    /// Fallible mutable counterpart of [`Self::try_as_f64`].
+    pub fn try_as_f64_mut(&mut self) -> Result<&mut Vec<f64>, Fault> {
+        match self {
+            SegmentData::F64(v) => Ok(v),
+            SegmentData::Bytes(_) => Err(Fault::Protocol("segment holds bytes, not f64")),
+        }
+    }
+
+    /// Borrow as byte slice, reporting a mistyped segment as a [`Fault`].
+    pub fn try_as_bytes(&self) -> Result<&[u8], Fault> {
+        match self {
+            SegmentData::Bytes(v) => Ok(v),
+            SegmentData::F64(_) => Err(Fault::Protocol("segment holds f64, not bytes")),
+        }
+    }
+
+    /// Fallible mutable counterpart of [`Self::try_as_bytes`].
+    pub fn try_as_bytes_mut(&mut self) -> Result<&mut Vec<u8>, Fault> {
+        match self {
+            SegmentData::Bytes(v) => Ok(v),
+            SegmentData::F64(_) => Err(Fault::Protocol("segment holds f64, not bytes")),
         }
     }
 }
@@ -233,6 +262,23 @@ mod tests {
     fn typed_access_is_enforced() {
         let d = SegmentData::Bytes(vec![1]);
         d.as_f64();
+    }
+
+    #[test]
+    fn fallible_typed_access_returns_fault() {
+        let mut d = SegmentData::Bytes(vec![1]);
+        assert_eq!(
+            d.try_as_f64(),
+            Err(Fault::Protocol("segment holds bytes, not f64"))
+        );
+        assert!(d.try_as_bytes().is_ok());
+        assert!(d.try_as_bytes_mut().is_ok());
+        let mut f = SegmentData::F64(vec![0.5]);
+        assert!(f.try_as_f64_mut().is_ok());
+        assert_eq!(
+            f.try_as_bytes(),
+            Err(Fault::Protocol("segment holds f64, not bytes"))
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! transfer time so experiments can charge realistic I/O cost without
 //! wall-clock sleeping.
 
+use crate::events::{Event, EventBus};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -45,6 +46,17 @@ impl DeviceKind {
             DeviceKind::Pfs => 1.0e-3,
         }
     }
+
+    /// Canonical lowercase name, used as the `device` field of storage
+    /// [`Event`]s.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Hdd => "hdd",
+            DeviceKind::Ssd => "ssd",
+            DeviceKind::Ramfs => "ramfs",
+            DeviceKind::Pfs => "pfs",
+        }
+    }
 }
 
 /// A block store holding named blobs, with a transfer-time model.
@@ -53,6 +65,7 @@ pub struct Device {
     bandwidth: f64,
     latency: f64,
     blobs: Mutex<BTreeMap<String, Vec<u8>>>,
+    bus: Option<EventBus>,
 }
 
 impl Device {
@@ -63,6 +76,7 @@ impl Device {
             bandwidth: kind.bandwidth(),
             latency: kind.latency(),
             blobs: Mutex::new(BTreeMap::new()),
+            bus: None,
         }
     }
 
@@ -74,7 +88,15 @@ impl Device {
             bandwidth,
             latency,
             blobs: Mutex::new(BTreeMap::new()),
+            bus: None,
         }
+    }
+
+    /// Attach an [`EventBus`]; subsequent reads/writes emit storage events.
+    #[must_use]
+    pub fn with_bus(mut self, bus: EventBus) -> Self {
+        self.bus = Some(bus);
+        self
     }
 
     /// The device technology.
@@ -94,6 +116,13 @@ impl Device {
     /// Store a blob; returns the modeled write time.
     pub fn write(&self, name: &str, data: Vec<u8>, sharers: usize) -> Duration {
         let t = self.transfer_time(data.len(), sharers);
+        if let Some(bus) = &self.bus {
+            bus.emit(Event::StorageWrite {
+                device: self.kind.name(),
+                bytes: data.len() as u64,
+                modeled: t,
+            });
+        }
         self.blobs.lock().insert(name.to_string(), data);
         t
     }
@@ -103,6 +132,13 @@ impl Device {
         let blobs = self.blobs.lock();
         let data = blobs.get(name)?.clone();
         let t = self.transfer_time(data.len(), sharers);
+        if let Some(bus) = &self.bus {
+            bus.emit(Event::StorageRead {
+                device: self.kind.name(),
+                bytes: data.len() as u64,
+                modeled: t,
+            });
+        }
         Some((data, t))
     }
 
@@ -163,5 +199,29 @@ mod tests {
     fn zero_byte_transfer_still_pays_latency() {
         let d = Device::new(DeviceKind::Hdd);
         assert!(d.transfer_time(0, 1) >= Duration::from_millis(7));
+    }
+
+    #[test]
+    fn storage_events_reach_subscribed_observer() {
+        use crate::events::{EventBus, Recorder};
+        use std::sync::Arc;
+        let bus = EventBus::new();
+        let rec = Arc::new(Recorder::new());
+        bus.subscribe(Arc::clone(&rec) as _);
+        let d = Device::new(DeviceKind::Ssd).with_bus(bus);
+        d.write("blob", vec![0u8; 128], 1);
+        d.read("blob", 1).unwrap();
+        assert_eq!(
+            rec.count(|e| matches!(
+                e,
+                Event::StorageWrite {
+                    device: "ssd",
+                    bytes: 128,
+                    ..
+                }
+            )),
+            1
+        );
+        assert_eq!(rec.count(|e| matches!(e, Event::StorageRead { .. })), 1);
     }
 }

@@ -16,9 +16,12 @@
 //! * [`engine`] — the communication kernels shared by all protocols:
 //!   stripe-parity encoding via group reduces and lost-rank
 //!   reconstruction.
-//! * [`protocol`] — the [`Checkpointer`]: the self-checkpoint state
-//!   machine plus the single- and double-checkpoint baselines it is
-//!   compared against (Figures 2–5).
+//! * [`protocol`] — the protocol layer: a `Protocol` trait with one
+//!   implementation per method (self-checkpoint plus the single- and
+//!   double-checkpoint baselines, Figures 2–5), the typed
+//!   [`Phase`] machine shared with failure injection and observation,
+//!   the pure recovery [`protocol::planner`], and the [`Checkpointer`]
+//!   front end.
 //!
 //! ## The protocol in one paragraph
 //!
@@ -45,4 +48,7 @@ pub use group::{group_color, validate_node_distinct, GroupStrategy};
 pub use incremental::DirtyTracker;
 pub use memory::{available_fraction, max_workspace_len, MemoryBreakdown, Method};
 pub use multilevel::{MlStats, MultiLevel};
-pub use protocol::{Checkpointer, CkptConfig, CkptStats, RecoverError, Recovery};
+pub use protocol::{
+    Checkpointer, CkptConfig, CkptStats, Phase, RecoverError, Recovery, RecoveryReport,
+    RestoreSource,
+};

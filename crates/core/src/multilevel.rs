@@ -11,7 +11,9 @@
 //! recovery falls back to the newest PFS epoch held by every rank
 //! (two-slot discipline, like the BLCR baseline).
 
-use crate::protocol::{Checkpointer, CkptStats, RecoverError, Recovery, RestoreSource};
+use crate::protocol::{
+    Checkpointer, CkptStats, HeaderMaxima, RecoverError, Recovery, RecoveryReport, RestoreSource,
+};
 use skt_mps::Fault;
 use std::time::{Duration, Instant};
 
@@ -117,6 +119,7 @@ impl<'c> MultiLevel<'c> {
     }
 
     fn recover_from_pfs(&mut self) -> Result<Recovery, RecoverError> {
+        let t0 = Instant::now();
         let ctx = self.ck.comm().ctx();
         let pfs = ctx.cluster().pfs();
         let sharers = ctx.node_sharers();
@@ -160,6 +163,15 @@ impl<'c> MultiLevel<'c> {
         self.ck.reset();
         self.ck.set_epoch(common as u64);
         self.ck.comm().barrier().map_err(RecoverError::Fault)?;
+        self.ck.record_report(RecoveryReport {
+            method: self.ck.method(),
+            source: RestoreSource::MultiLevelDisk,
+            epoch: common as u64,
+            lost_rank: None,
+            epochs_seen: HeaderMaxima::default(),
+            rebuilt_bytes: blob.len() as u64,
+            elapsed: t0.elapsed(),
+        });
         Ok(Recovery::Restored {
             epoch: common as u64,
             a2,

@@ -1,0 +1,96 @@
+//! The double-checkpoint baseline (paper Figure 3): two full checkpoint
+//! copies plus two checksums, alternating by epoch parity — fully fault
+//! tolerant, at the cost of most of the node's memory.
+
+use super::header::{Header, HeaderWord};
+use super::planner::{choose_double_pair, HeaderMaxima, PairSlot};
+use super::{Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource};
+use crate::memory::Method;
+use skt_cluster::ShmSegment;
+use skt_mps::Fault;
+use std::time::Instant;
+
+pub(crate) struct Double;
+
+impl Protocol for Double {
+    fn method(&self) -> Method {
+        Method::Double
+    }
+
+    fn initial_epoch(&self, h: &Header) -> u64 {
+        h.bc_epoch.max(h.pair1_epoch)
+    }
+
+    fn make_phases<'c>(&self, ck: &mut Checkpointer<'c>, e: u64) -> Result<CkptStats, Fault> {
+        // overwrite the *older* pair; the newer pair stays consistent.
+        let (b_t, c_t, h_t) = if e.is_multiple_of(2) {
+            (
+                ck.b1.clone().expect("double method has pair 1"),
+                ck.c1.clone().expect("double method has pair 1"),
+                HeaderWord::Pair1,
+            )
+        } else {
+            (ck.b.clone(), ck.c.clone(), HeaderWord::BcEpoch)
+        };
+        let t1 = Instant::now();
+        let sp = ck.span(Phase::CopyB, e);
+        ck.copy_seg(&b_t, &ck.work, Phase::CopyB.label())?;
+        sp.end();
+        ck.phase_point(Phase::CopyB)?;
+        let flush = t1.elapsed();
+        let t0 = Instant::now();
+        let sp = ck.span(Phase::Encode, e);
+        let parity = ck.encode_of(&b_t, Some(Phase::Encode.label()))?;
+        ck.fill_seg(&c_t, &parity)?;
+        ck.comm.barrier()?;
+        sp.end();
+        let encode = t0.elapsed();
+        ck.commit(h_t, e)?;
+        Ok(ck.stats(e, encode, flush))
+    }
+
+    fn restore<'c>(
+        &self,
+        ck: &mut Checkpointer<'c>,
+        lost: Option<usize>,
+        target: u64,
+        maxima: &HeaderMaxima,
+    ) -> Result<Recovery, RecoverError> {
+        // Restore from the pair holding the agreed epoch. A pair commit
+        // implies the group barrier passed, so every survivor's data for
+        // that pair is complete; the other pair may hold a torn write and
+        // is only ever trusted at its own committed epoch.
+        let (b_t, c_t, h_t) = match choose_double_pair(target, maxima) {
+            Some(PairSlot::Primary) => (ck.b.clone(), ck.c.clone(), HeaderWord::BcEpoch),
+            Some(PairSlot::Secondary) => (
+                ck.b1.clone().expect("double method has pair 1"),
+                ck.c1.clone().expect("double method has pair 1"),
+                HeaderWord::Pair1,
+            ),
+            None => unreachable!(
+                "double-checkpoint: agreed epoch {target} not held by either pair ({}, {})",
+                maxima.bc, maxima.pair1
+            ),
+        };
+        if let Some(f) = lost {
+            ck.rebuild_pair(f, &b_t, &c_t)?;
+        }
+        ck.copy_seg(&ck.work, &b_t, "recover-restore")?;
+        ck.comm.barrier()?;
+        ck.commit(h_t, target)?;
+        ck.finish_restore(target, RestoreSource::CheckpointAndChecksum)
+    }
+
+    fn verify_pair<'a>(&self, ck: &'a Checkpointer<'_>) -> (&'a ShmSegment, &'a ShmSegment) {
+        // the pairs alternate by epoch parity; the off pair may legally
+        // hold a torn write, so the check targets the current epoch's pair
+        if ck.epoch.is_multiple_of(2) {
+            (
+                ck.b1.as_ref().expect("double method has pair 1"),
+                ck.c1.as_ref().expect("double method has pair 1"),
+            )
+        } else {
+            (&ck.b, &ck.c)
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The 32-byte commit header shared by every protocol.
+//!
+//! Four little-endian `u64` words in a node-persistent `Bytes` segment.
+//! Each word is a *commit marker*: it is written only after a group
+//! barrier, so a survivor advertising `word = e` proves every group
+//! member's data for that phase of epoch `e` is complete — the property
+//! the recovery planner's group-MAX consensus rests on.
+
+use skt_cluster::{Fault, ShmSegment};
+
+/// Header size in bytes (what `shmget` reserves for it).
+pub const HEADER_BYTES: usize = 32;
+
+/// Which commit marker a write targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum HeaderWord {
+    /// Self method: the fresh checksum `D` committed this epoch.
+    DEpoch = 0,
+    /// Self/single: `(B, C)` committed this epoch; double: pair-0 epoch.
+    BcEpoch = 1,
+    /// Double method: pair-1 epoch.
+    Pair1 = 2,
+    /// Single method: an update *attempt* started for this epoch (the
+    /// torn-update detector).
+    Dirty = 3,
+}
+
+impl HeaderWord {
+    pub(crate) const ALL: [HeaderWord; 4] = [
+        HeaderWord::DEpoch,
+        HeaderWord::BcEpoch,
+        HeaderWord::Pair1,
+        HeaderWord::Dirty,
+    ];
+}
+
+/// A decoded header: one rank's view of what committed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Header {
+    /// Epoch of the last committed fresh checksum `D` (self method).
+    pub d_epoch: u64,
+    /// Epoch of the last committed `(B, C)` pair (pair 0 for double).
+    pub bc_epoch: u64,
+    /// Epoch of the last committed pair 1 (double method).
+    pub pair1_epoch: u64,
+    /// Epoch of the last *attempted* update (single method).
+    pub dirty_epoch: u64,
+}
+
+impl Header {
+    /// Decode a header segment. A wiped or mistyped segment (a stale
+    /// handle on a powered-off node) is a [`Fault`], not a panic: the
+    /// caller propagates it as the job-abort path.
+    pub fn read(seg: &ShmSegment) -> Result<Header, Fault> {
+        let g = seg.read();
+        let b = g.try_as_bytes()?;
+        if b.len() < HEADER_BYTES {
+            return Err(Fault::Protocol("header segment wiped or truncated"));
+        }
+        let word = |i: usize| u64::from_le_bytes(b[i * 8..(i + 1) * 8].try_into().unwrap());
+        Ok(Header {
+            d_epoch: word(0),
+            bc_epoch: word(1),
+            pair1_epoch: word(2),
+            dirty_epoch: word(3),
+        })
+    }
+
+    /// The words as a fixed array, in `HeaderWord` order.
+    pub fn words(&self) -> [u64; 4] {
+        [
+            self.d_epoch,
+            self.bc_epoch,
+            self.pair1_epoch,
+            self.dirty_epoch,
+        ]
+    }
+}
+
+/// Write one commit marker. Same fault semantics as [`Header::read`].
+pub(crate) fn write_word(seg: &ShmSegment, word: HeaderWord, val: u64) -> Result<(), Fault> {
+    let mut g = seg.write();
+    let b = g.try_as_bytes_mut()?;
+    if b.len() < HEADER_BYTES {
+        return Err(Fault::Protocol("header segment wiped or truncated"));
+    }
+    let idx = word as usize;
+    b[idx * 8..(idx + 1) * 8].copy_from_slice(&val.to_le_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skt_cluster::{SegmentData, ShmStore};
+
+    fn seg(data: SegmentData) -> ShmSegment {
+        ShmStore::new().get_or_create("h", move || data).0
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let s = seg(SegmentData::Bytes(vec![0u8; HEADER_BYTES]));
+        write_word(&s, HeaderWord::BcEpoch, 7).unwrap();
+        write_word(&s, HeaderWord::Dirty, 9).unwrap();
+        let h = Header::read(&s).unwrap();
+        assert_eq!(
+            h,
+            Header {
+                d_epoch: 0,
+                bc_epoch: 7,
+                pair1_epoch: 0,
+                dirty_epoch: 9,
+            }
+        );
+        assert_eq!(h.words(), [0, 7, 0, 9]);
+    }
+
+    #[test]
+    fn wiped_segment_is_a_fault_not_a_panic() {
+        // power-off clears the payload but stale handles survive
+        let s = seg(SegmentData::Bytes(Vec::new()));
+        assert!(matches!(Header::read(&s), Err(Fault::Protocol(_))));
+        assert!(matches!(
+            write_word(&s, HeaderWord::DEpoch, 1),
+            Err(Fault::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn mistyped_segment_is_a_fault() {
+        let s = seg(SegmentData::F64(vec![0.0; 4]));
+        assert!(matches!(Header::read(&s), Err(Fault::Protocol(_))));
+    }
+}

@@ -1,0 +1,799 @@
+//! The checkpoint protocol layer: **self-checkpoint** (the paper's
+//! contribution, Figures 4–5) and the **single** / **double** checkpoint
+//! baselines (Figures 2–3), behind one [`Checkpointer`] interface.
+//!
+//! ## Layout
+//!
+//! * [`phase`] — the typed [`Phase`] machine; phase labels are the shared
+//!   identity for failure injection and observation events.
+//! * [`header`] — the 32-byte commit header every method stores its
+//!   commit markers in.
+//! * [`planner`] — group-consensus restore-source selection as pure,
+//!   unit-testable functions of survivor headers.
+//! * [`report`] — the [`RecoveryReport`] a successful recovery leaves
+//!   behind.
+//! * `self_ckpt` / `single` / `double` — one `Protocol` implementation
+//!   per method. The `Checkpointer` resolves its implementation **once at
+//!   init** and never branches on [`Method`] in `make`/`recover` again.
+//!
+//! ## Segments (all in node-persistent SHM, names scoped per rank)
+//!
+//! | segment  | size (f64)        | role |
+//! |----------|-------------------|------|
+//! | `work`   | padded `A1 + B2`  | application workspace `A1` plus the mirrored small-state area `B2`; *is itself a checkpoint* while `B` is overwritten |
+//! | `b`      | same as `work`    | checkpoint copy `B` (double method: `b0`,`b1`) |
+//! | `c`      | one stripe        | committed checksum `C` (double: `c0`,`c1`) |
+//! | `d`      | one stripe        | fresh checksum `D` (self method only) |
+//! | `header` | 32 bytes          | epochs + commit markers |
+//!
+//! ## Commit discipline (self-checkpoint, epoch `e`)
+//!
+//! 1. serialize app state into `B2` ([`Phase::Serialize`]);
+//! 2. group-encode parity of `work` into `D` ([`Phase::Encode`]);
+//! 3. **barrier**, then mark `d_epoch = e` ([`Phase::CommitD`]);
+//! 4. copy `work → B`, `D → C` ([`Phase::FlushB`], [`Phase::FlushC`]);
+//! 5. **barrier**, then mark `bc_epoch = e` ([`Phase::Done`]).
+//!
+//! Recovery gathers every member's header, runs the pure
+//! [`planner::plan_recovery`] consensus, agrees job-wide on the minimum
+//! restorable epoch, and lets the method's `Protocol` implementation
+//! rebuild the lost rank from parity. The invariant — at least one of
+//! `(work, D)`, `(B, C)` is a committed consistent pair at every instant —
+//! is exercised by failure injection at every [`Phase`] in the
+//! integration tests.
+
+pub mod header;
+pub mod phase;
+pub mod planner;
+pub mod report;
+
+mod double;
+mod self_ckpt;
+mod single;
+#[cfg(test)]
+mod tests;
+
+pub use header::{Header, HEADER_BYTES};
+pub use phase::Phase;
+pub use planner::{
+    choose_double_pair, choose_self_source, GroupPlan, HeaderMaxima, PairSlot, SurvivorView,
+};
+pub use report::RecoveryReport;
+
+use crate::engine::{encode_parity, reconstruct_lost};
+use crate::memory::Method;
+use header::HeaderWord;
+use skt_cluster::{Event, EventBus, SegmentData, ShmSegment};
+use skt_encoding::{Code, GroupLayout, KernelConfig};
+use skt_mps::{Comm, Fault, Payload, ReduceOp};
+use std::time::{Duration, Instant};
+
+/// Static configuration of a [`Checkpointer`].
+#[derive(Clone, Debug)]
+pub struct CkptConfig {
+    /// Namespace for SHM segment names (one protected application).
+    pub name: String,
+    /// Which protocol to run.
+    pub method: Method,
+    /// Parity code (paper default: XOR).
+    pub code: Code,
+    /// Application workspace length in `f64` elements (`A1`).
+    pub a1_len: usize,
+    /// Capacity reserved for serialized small state (`A2`), bytes.
+    pub a2_capacity: usize,
+}
+
+impl CkptConfig {
+    /// Convenience constructor with XOR code.
+    pub fn new(name: impl Into<String>, method: Method, a1_len: usize, a2_capacity: usize) -> Self {
+        CkptConfig {
+            name: name.into(),
+            method,
+            code: Code::Xor,
+            a1_len,
+            a2_capacity,
+        }
+    }
+
+    /// Switch the protocol method.
+    #[must_use]
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Switch the parity code.
+    #[must_use]
+    pub fn with_code(mut self, code: Code) -> Self {
+        self.code = code;
+        self
+    }
+
+    /// Change the workspace length (`A1`, in `f64` elements).
+    #[must_use]
+    pub fn with_a1_len(mut self, a1_len: usize) -> Self {
+        self.a1_len = a1_len;
+        self
+    }
+
+    /// Change the reserved small-state capacity (`A2`, in bytes).
+    #[must_use]
+    pub fn with_a2_capacity(mut self, a2_capacity: usize) -> Self {
+        self.a2_capacity = a2_capacity;
+        self
+    }
+}
+
+/// Timing/size record of one checkpoint (feeds Figure 13 and Table 3).
+#[derive(Clone, Copy, Debug)]
+pub struct CkptStats {
+    /// Epoch just committed.
+    pub epoch: u64,
+    /// Time spent in the parity encode (communication phase).
+    pub encode: Duration,
+    /// Time spent copying `work → B`, `D → C` (local memory phase).
+    pub flush: Duration,
+    /// Bytes of checkpoint data this rank protects (size of `B`).
+    pub checkpoint_bytes: usize,
+    /// Bytes of checksum this rank stores.
+    pub checksum_bytes: usize,
+}
+
+/// What recovery found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Recovery {
+    /// No checkpoint was ever committed — start from scratch.
+    NoCheckpoint,
+    /// State restored; the workspace segment holds epoch `epoch`'s data
+    /// and `a2` is the application's serialized small state.
+    Restored {
+        /// Epoch the state corresponds to.
+        epoch: u64,
+        /// Serialized `A2` returned to the application.
+        a2: Vec<u8>,
+        /// Which consistent pair recovery used.
+        source: RestoreSource,
+    },
+}
+
+/// Which pair recovery restored from.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestoreSource {
+    /// `(B, C)` — the committed checkpoint (CASE 1 / normal rollback).
+    CheckpointAndChecksum,
+    /// `(work, D)` — the workspace acting as its own checkpoint (CASE 2;
+    /// unique to the self-checkpoint method).
+    WorkspaceAndChecksum,
+    /// The parallel-file-system level of a multi-level setup
+    /// ([`crate::multilevel::MultiLevel`]) — used when the in-memory
+    /// level was beyond repair.
+    MultiLevelDisk,
+}
+
+impl RestoreSource {
+    /// Stable name, used in [`Event::RecoveryDecision`] and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RestoreSource::CheckpointAndChecksum => "checkpoint+checksum",
+            RestoreSource::WorkspaceAndChecksum => "workspace+checksum",
+            RestoreSource::MultiLevelDisk => "multilevel-disk",
+        }
+    }
+}
+
+/// Recovery failure.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The runtime faulted (another node died during recovery).
+    Fault(Fault),
+    /// The protocol cannot recover (e.g. two members of one group lost,
+    /// or the single-checkpoint method caught mid-update).
+    Unrecoverable(String),
+}
+
+impl From<Fault> for RecoverError {
+    fn from(f: Fault) -> Self {
+        RecoverError::Fault(f)
+    }
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Fault(e) => write!(f, "fault during recovery: {e}"),
+            RecoverError::Unrecoverable(s) => write!(f, "unrecoverable: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// One checkpoint method's protocol logic.
+///
+/// Implementations are stateless unit structs (`SelfCkpt`, `Single`,
+/// `Double`); all state lives in the [`Checkpointer`] they receive. The
+/// `Checkpointer` resolves its implementation once in [`protocol_impl`]
+/// at init — `make`/`recover` never branch on [`Method`] again.
+///
+/// To add a method: implement this trait in a sibling module, add the
+/// [`Method`] variant, and register it in [`protocol_impl`]. The shared
+/// helpers on `Checkpointer` (`copy_seg`, `encode_of`, `rebuild_pair`,
+/// `commit`, `span`, `finish_restore`) cover the common mechanics.
+pub(crate) trait Protocol: Sync {
+    /// The [`Method`] this implements.
+    fn method(&self) -> Method;
+
+    /// Epoch to resume at when re-attaching to existing segments.
+    fn initial_epoch(&self, h: &Header) -> u64 {
+        h.bc_epoch
+    }
+
+    /// Run the method's protocol phases for epoch `e` (the shared
+    /// serialize step already happened). Must leave the commit markers
+    /// describing a consistent state on success.
+    fn make_phases<'c>(&self, ck: &mut Checkpointer<'c>, e: u64) -> Result<CkptStats, Fault>;
+
+    /// Group-consensus restore planning over the gathered survivor views.
+    fn plan_recovery(&self, views: &[SurvivorView]) -> GroupPlan {
+        planner::plan_recovery(self.method(), views)
+    }
+
+    /// Restore the workspace to the job-wide agreed `target` epoch,
+    /// rebuilding `lost`'s state from parity if needed. `maxima` are the
+    /// survivor-header maxima the planner derived the proposal from.
+    fn restore<'c>(
+        &self,
+        ck: &mut Checkpointer<'c>,
+        lost: Option<usize>,
+        target: u64,
+        maxima: &HeaderMaxima,
+    ) -> Result<Recovery, RecoverError>;
+
+    /// Which committed `(checkpoint, checksum)` pair an integrity check
+    /// must target (the double method alternates pairs by epoch parity).
+    fn verify_pair<'a>(&self, ck: &'a Checkpointer<'_>) -> (&'a ShmSegment, &'a ShmSegment) {
+        (&ck.b, &ck.c)
+    }
+}
+
+/// The one place a [`Method`] maps to its `Protocol` implementation.
+fn protocol_impl(method: Method) -> &'static dyn Protocol {
+    match method {
+        Method::SelfCkpt => &self_ckpt::SelfCkpt,
+        Method::Single => &single::Single,
+        Method::Double => &double::Double,
+    }
+}
+
+/// An in-flight phase observation; [`PhaseSpan::end`] emits the matching
+/// [`Event::PhaseExit`].
+pub(crate) struct PhaseSpan {
+    bus: EventBus,
+    label: &'static str,
+    epoch: u64,
+    t0: Instant,
+}
+
+impl PhaseSpan {
+    pub(crate) fn end(self) {
+        self.bus.emit(Event::PhaseExit {
+            label: self.label,
+            epoch: self.epoch,
+            elapsed: self.t0.elapsed(),
+        });
+    }
+}
+
+/// One rank's checkpointer, bound to its group communicator.
+///
+/// When the application runs **multiple groups**, commits must be
+/// *globally* consistent: all groups checkpoint the same epoch, and after
+/// a failure every group must restore the *same* epoch. Pass the job-wide
+/// communicator via [`Checkpointer::init_synced`]; it adds a cross-group
+/// barrier between the checksum commit and the flush (so no group starts
+/// overwriting its old checkpoint while another could still force a
+/// rollback past it), and recovery agrees on the global minimum of the
+/// groups' restorable epochs.
+pub struct Checkpointer<'c> {
+    comm: Comm<'c>,
+    sync: Option<Comm<'c>>,
+    cfg: CkptConfig,
+    proto: &'static dyn Protocol,
+    bus: EventBus,
+    layout: GroupLayout,
+    b2_words: usize,
+    work: ShmSegment,
+    b: ShmSegment,
+    c: ShmSegment,
+    d: Option<ShmSegment>,
+    b1: Option<ShmSegment>,
+    c1: Option<ShmSegment>,
+    header: ShmSegment,
+    attached: bool,
+    epoch: u64,
+    last_report: Option<RecoveryReport>,
+}
+
+impl<'c> Checkpointer<'c> {
+    /// Create or re-attach this rank's segments. Returns the checkpointer
+    /// and whether existing segments were found (i.e. this is a restart
+    /// of a surviving rank). Single-group form; for multi-group jobs use
+    /// [`Self::init_synced`].
+    pub fn init(comm: Comm<'c>, cfg: CkptConfig) -> (Self, bool) {
+        Self::init_inner(comm, None, cfg)
+    }
+
+    /// Like [`Self::init`], with a job-wide communicator for cross-group
+    /// commit synchronization and recovery agreement. Every rank of the
+    /// job must use the same `sync` communicator and issue `make`/
+    /// `recover` collectively across the whole job.
+    pub fn init_synced(comm: Comm<'c>, sync: Comm<'c>, cfg: CkptConfig) -> (Self, bool) {
+        Self::init_inner(comm, Some(sync), cfg)
+    }
+
+    fn init_inner(comm: Comm<'c>, sync: Option<Comm<'c>>, cfg: CkptConfig) -> (Self, bool) {
+        assert!(cfg.a1_len > 0, "workspace must be non-empty");
+        let proto = protocol_impl(cfg.method);
+        let n = comm.size();
+        let b2_words = 1 + cfg.a2_capacity.div_ceil(8);
+        let layout = GroupLayout::new(n, cfg.a1_len + b2_words);
+        let padded = layout.padded_len();
+        let stripe = layout.stripe_len();
+        let ctx = comm.ctx();
+        let bus = ctx.cluster().events().clone();
+        let me = ctx.world_rank();
+        let shm = ctx.shm();
+        let seg_name = |part: &str| format!("{}/r{}/{}", cfg.name, me, part);
+        let zeros_f64 = |len: usize| move || SegmentData::F64(vec![0.0; len]);
+
+        let (work, attached) = shm.get_or_create(&seg_name("work"), zeros_f64(padded));
+        let (b, _) = shm.get_or_create(&seg_name("b"), zeros_f64(padded));
+        let (c, _) = shm.get_or_create(&seg_name("c"), zeros_f64(stripe));
+        let d = matches!(cfg.method, Method::SelfCkpt)
+            .then(|| shm.get_or_create(&seg_name("d"), zeros_f64(stripe)).0);
+        let b1 = matches!(cfg.method, Method::Double)
+            .then(|| shm.get_or_create(&seg_name("b1"), zeros_f64(padded)).0);
+        let c1 = matches!(cfg.method, Method::Double)
+            .then(|| shm.get_or_create(&seg_name("c1"), zeros_f64(stripe)).0);
+        let (header, _) = shm.get_or_create(&seg_name("header"), || {
+            SegmentData::Bytes(vec![0u8; HEADER_BYTES])
+        });
+
+        let h = Header::read(&header).expect("header segment just created");
+        let epoch = proto.initial_epoch(&h);
+        (
+            Checkpointer {
+                comm,
+                sync,
+                cfg,
+                proto,
+                bus,
+                layout,
+                b2_words,
+                work,
+                b,
+                c,
+                d,
+                b1,
+                c1,
+                header,
+                attached,
+                epoch,
+                last_report: None,
+            },
+            attached,
+        )
+    }
+
+    /// Handle to the workspace segment. The application reads/writes the
+    /// first [`Self::a1_len`] elements; the tail is protocol-owned (`B2`).
+    pub fn workspace(&self) -> ShmSegment {
+        ShmSegment::clone(&self.work)
+    }
+
+    /// Application-visible workspace length (elements).
+    pub fn a1_len(&self) -> usize {
+        self.cfg.a1_len
+    }
+
+    /// The stripe geometry in use.
+    pub fn layout(&self) -> &GroupLayout {
+        &self.layout
+    }
+
+    /// Group communicator.
+    pub fn comm(&self) -> &Comm<'c> {
+        &self.comm
+    }
+
+    /// Last committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// SHM namespace this checkpointer was configured with.
+    pub fn config_name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// The protocol method in use.
+    pub fn method(&self) -> Method {
+        self.cfg.method
+    }
+
+    /// Force the epoch counter (used by the multi-level layer after a
+    /// disk restore so epoch numbering stays monotonic across a reset).
+    pub fn set_epoch(&mut self, e: u64) {
+        self.epoch = e;
+    }
+
+    /// Job-wide minimum agreement (sync communicator when present,
+    /// group otherwise) — exposed for layered protocols like
+    /// [`crate::multilevel::MultiLevel`].
+    pub fn agree_min(&self, v: i64) -> Result<i64, Fault> {
+        let comm = self.sync.as_ref().unwrap_or(&self.comm);
+        Ok(comm
+            .allreduce(ReduceOp::Min, Payload::I64(vec![v]))?
+            .into_i64()[0])
+    }
+
+    /// Whether init re-attached to pre-existing segments.
+    pub fn attached(&self) -> bool {
+        self.attached
+    }
+
+    /// The report of the last successful [`Self::recover`] restore, if
+    /// any ([`Recovery::NoCheckpoint`] leaves none).
+    pub fn last_report(&self) -> Option<RecoveryReport> {
+        self.last_report
+    }
+
+    /// Total SHM bytes this rank's protocol state occupies (workspace
+    /// included) — compared against Table 1 in tests.
+    pub fn shm_bytes(&self) -> usize {
+        let seg_bytes = |s: &ShmSegment| s.read().size_bytes();
+        seg_bytes(&self.work)
+            + seg_bytes(&self.b)
+            + seg_bytes(&self.c)
+            + self.d.as_ref().map_or(0, seg_bytes)
+            + self.b1.as_ref().map_or(0, seg_bytes)
+            + self.c1.as_ref().map_or(0, seg_bytes)
+            + seg_bytes(&self.header)
+    }
+
+    // ---- shared mechanics used by the Protocol implementations ----
+
+    /// Emit a phase-enter event and start its clock.
+    fn span(&self, p: Phase, e: u64) -> PhaseSpan {
+        self.bus.emit(Event::PhaseEnter {
+            label: p.label(),
+            epoch: e,
+        });
+        PhaseSpan {
+            bus: self.bus.clone(),
+            label: p.label(),
+            epoch: e,
+            t0: Instant::now(),
+        }
+    }
+
+    /// Fire the failure-injection probe of a phase.
+    fn phase_point(&self, p: Phase) -> Result<(), Fault> {
+        self.comm.ctx().failpoint(p.label())
+    }
+
+    /// Write one commit marker.
+    fn commit(&self, word: HeaderWord, e: u64) -> Result<(), Fault> {
+        header::write_word(&self.header, word, e)
+    }
+
+    /// Whole-segment copy on the blocked multi-threaded kernel, with a
+    /// [`Event::BytesMoved`] record. A wiped or resized segment (stale
+    /// handle on a powered-off node) is a [`Fault`], not a panic.
+    fn copy_seg(
+        &self,
+        dst: &ShmSegment,
+        src: &ShmSegment,
+        label: &'static str,
+    ) -> Result<(), Fault> {
+        let s = src.read();
+        let mut d = dst.write();
+        let sv = s.try_as_f64()?;
+        let dv = d.try_as_f64_mut()?;
+        if sv.len() != dv.len() {
+            return Err(Fault::Protocol("checkpoint copy: segment length mismatch"));
+        }
+        skt_encoding::kernels::copy(dv, sv, KernelConfig::global());
+        self.bus.emit(Event::BytesMoved {
+            label,
+            bytes: (sv.len() * 8) as u64,
+        });
+        Ok(())
+    }
+
+    /// Overwrite a segment with `data` (same fault semantics as
+    /// [`Self::copy_seg`]).
+    fn fill_seg(&self, seg: &ShmSegment, data: &[f64]) -> Result<(), Fault> {
+        let mut g = seg.write();
+        let v = g.try_as_f64_mut()?;
+        if v.len() != data.len() {
+            return Err(Fault::Protocol(
+                "segment wiped or resized under the protocol",
+            ));
+        }
+        v.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// This group's parity of `seg`'s contents (N stripe reduces). When
+    /// `probe` is set the failure probe fires between slot reduces.
+    fn encode_of(&self, seg: &ShmSegment, probe: Option<&str>) -> Result<Vec<f64>, Fault> {
+        let g = seg.read();
+        encode_parity(
+            &self.comm,
+            &self.layout,
+            self.cfg.code,
+            g.try_as_f64()?,
+            probe,
+        )
+    }
+
+    /// Rebuild the `lost` rank's `(data, parity)` pair from the
+    /// survivors. Collective; only the lost rank's segments are written.
+    fn rebuild_pair(
+        &self,
+        lost: usize,
+        data_seg: &ShmSegment,
+        parity_seg: &ShmSegment,
+    ) -> Result<(), Fault> {
+        let (bd, pc) = {
+            let b = data_seg.read();
+            let c = parity_seg.read();
+            (b.try_as_f64()?.to_vec(), c.try_as_f64()?.to_vec())
+        };
+        if let Some((data, parity)) =
+            reconstruct_lost(&self.comm, &self.layout, self.cfg.code, lost, &bd, &pc)?
+        {
+            self.fill_seg(data_seg, &data)?;
+            self.fill_seg(parity_seg, &parity)?;
+        }
+        Ok(())
+    }
+
+    fn write_b2(&self, a2: &[u8]) -> Result<(), Fault> {
+        assert!(
+            a2.len() <= self.cfg.a2_capacity,
+            "a2 ({} bytes) exceeds capacity ({})",
+            a2.len(),
+            self.cfg.a2_capacity
+        );
+        debug_assert!(a2.len().div_ceil(8) < self.b2_words, "B2 region overflow");
+        let mut g = self.work.write();
+        let v = g.try_as_f64_mut()?;
+        if v.len() < self.cfg.a1_len + self.b2_words {
+            return Err(Fault::Protocol("workspace segment wiped or truncated"));
+        }
+        let base = self.cfg.a1_len;
+        v[base] = f64::from_bits(a2.len() as u64);
+        for (w, chunk) in a2.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            v[base + 1 + w] = f64::from_bits(u64::from_le_bytes(word));
+        }
+        Ok(())
+    }
+
+    fn read_b2(data: &[f64], a1_len: usize, a2_capacity: usize) -> Vec<u8> {
+        let len = data[a1_len].to_bits() as usize;
+        assert!(len <= a2_capacity, "corrupt B2 length {len}");
+        let mut out = Vec::with_capacity(len);
+        let mut w = 0;
+        while out.len() < len {
+            let word = data[a1_len + 1 + w].to_bits().to_le_bytes();
+            let take = (len - out.len()).min(8);
+            out.extend_from_slice(&word[..take]);
+            w += 1;
+        }
+        out
+    }
+
+    fn stats(&self, e: u64, encode: Duration, flush: Duration) -> CkptStats {
+        CkptStats {
+            epoch: e,
+            encode,
+            flush,
+            checkpoint_bytes: self.layout.padded_len() * 8,
+            checksum_bytes: self.layout.stripe_len() * 8,
+        }
+    }
+
+    fn sync_barrier(&self) -> Result<(), Fault> {
+        match &self.sync {
+            Some(s) => s.barrier(),
+            None => self.comm.barrier(),
+        }
+    }
+
+    /// One job-wide allreduce combining the unrecoverable flag (Min of
+    /// its negation) and the restore epoch (Min).
+    fn global_agree(&self, unrec: bool, proposal: u64) -> Result<(bool, u64), RecoverError> {
+        match &self.sync {
+            None => Ok((unrec, proposal)),
+            Some(s) => {
+                let v = s
+                    .allreduce(
+                        ReduceOp::Min,
+                        Payload::I64(vec![-(unrec as i64), proposal as i64]),
+                    )?
+                    .into_i64();
+                Ok((v[0] < 0, v[1] as u64))
+            }
+        }
+    }
+
+    fn finish_restore(
+        &mut self,
+        epoch: u64,
+        source: RestoreSource,
+    ) -> Result<Recovery, RecoverError> {
+        let a2 = {
+            let g = self.work.read();
+            Self::read_b2(g.try_as_f64()?, self.cfg.a1_len, self.cfg.a2_capacity)
+        };
+        self.epoch = epoch;
+        self.attached = true;
+        self.comm.barrier()?;
+        // keep all groups aligned before the application resumes
+        self.sync_barrier()?;
+        Ok(Recovery::Restored { epoch, a2, source })
+    }
+
+    /// Record the report of a restore performed by an outer layer (the
+    /// multi-level checkpointer's PFS fallback).
+    pub(crate) fn record_report(&mut self, report: RecoveryReport) {
+        self.bus.emit(Event::RecoveryDecision {
+            source: report.source.name(),
+            epoch: report.epoch,
+            rebuilt_bytes: report.rebuilt_bytes,
+        });
+        self.last_report = Some(report);
+    }
+
+    // ---- the collective protocol entry points ----
+
+    /// Make a checkpoint of the current workspace plus the serialized
+    /// small state `a2`. Collective over the group.
+    pub fn make(&mut self, a2: &[u8]) -> Result<CkptStats, Fault> {
+        let e = self.epoch + 1;
+        // Entry barrier: no rank may start dirtying protocol state until
+        // the whole job reached the checkpoint. This pins the "failure
+        // during computation" case to a state where every rank's segments
+        // are quiescent, and keeps the epoch counter job-wide.
+        self.sync_barrier()?;
+        let sp = self.span(Phase::Serialize, e);
+        self.write_b2(a2)?;
+        sp.end();
+        self.phase_point(Phase::Serialize)?;
+        let proto = self.proto;
+        let stats = proto.make_phases(self, e)?;
+        self.epoch = e;
+        self.phase_point(Phase::Done)?;
+        Ok(stats)
+    }
+
+    /// Collective recovery after a restart. At most one group member may
+    /// have lost its segments (fresh node). On success the workspace
+    /// segment holds the restored data and [`Self::last_report`] the
+    /// decision trail.
+    pub fn recover(&mut self) -> Result<Recovery, RecoverError> {
+        let t0 = Instant::now();
+        self.last_report = None;
+        // Exchange (fresh, header words) across the group.
+        let h = Header::read(&self.header)?;
+        let fresh = !self.attached;
+        let w = h.words();
+        let mine = Payload::I64(vec![
+            fresh as i64,
+            w[0] as i64,
+            w[1] as i64,
+            w[2] as i64,
+            w[3] as i64,
+        ]);
+        let views: Vec<SurvivorView> = self
+            .comm
+            .allgather(mine)?
+            .into_iter()
+            .map(Payload::into_i64)
+            .map(|v| SurvivorView {
+                fresh: v[0] != 0,
+                header: Header {
+                    d_epoch: v[1] as u64,
+                    bc_epoch: v[2] as u64,
+                    pair1_epoch: v[3] as u64,
+                    dirty_epoch: v[4] as u64,
+                },
+            })
+            .collect();
+        let proto = self.proto;
+        let plan = proto.plan_recovery(&views);
+
+        // Job-wide agreement: any torn / doubly-failed group dooms the
+        // whole job; otherwise every group restores the global MINIMUM of
+        // the proposals (the cross-group gate in `make` guarantees the
+        // minimum is restorable by everyone — see init_synced docs).
+        let (unrec, target) = self.global_agree(plan.multi_loss || plan.torn, plan.proposal)?;
+        if unrec {
+            return Err(RecoverError::Unrecoverable(if plan.torn {
+                "single-checkpoint: failure during checkpoint update left (B, C) inconsistent"
+                    .into()
+            } else {
+                "a group lost more than one member (or a peer group is unrecoverable)".into()
+            }));
+        }
+        if target == 0 {
+            // no epoch ever committed job-wide (or a whole group's state
+            // vanished): start over from scratch
+            self.reset();
+            self.sync_barrier().map_err(RecoverError::Fault)?;
+            return Ok(Recovery::NoCheckpoint);
+        }
+
+        let rec = proto.restore(self, plan.lost, target, &plan.maxima)?;
+        if let Recovery::Restored { epoch, source, .. } = &rec {
+            let rebuilt_bytes = if plan.lost.is_some() {
+                ((self.layout.padded_len() + self.layout.stripe_len()) * 8) as u64
+            } else {
+                0
+            };
+            self.record_report(RecoveryReport {
+                method: self.cfg.method,
+                source: *source,
+                epoch: *epoch,
+                lost_rank: plan.lost,
+                epochs_seen: plan.maxima,
+                rebuilt_bytes,
+                elapsed: t0.elapsed(),
+            });
+        }
+        Ok(rec)
+    }
+
+    /// Abandon all checkpoint state: zero the commit markers so future
+    /// recoveries see "no checkpoint" and the application regenerates
+    /// from scratch. Used when recovery reports
+    /// [`RecoverError::Unrecoverable`] (e.g. the single-checkpoint
+    /// baseline torn mid-update) and the caller restarts the computation.
+    pub fn reset(&mut self) {
+        for word in HeaderWord::ALL {
+            header::write_word(&self.header, word, 0).expect("header segment exists after init");
+        }
+        self.epoch = 0;
+        self.attached = true;
+    }
+
+    /// Collective integrity check: recompute the parity of the committed
+    /// checkpoint copy and compare it with its checksum bit-exactly.
+    /// Returns the group-wide verdict.
+    ///
+    /// Which pair is checked is the method's call (`Protocol::verify_pair`):
+    /// for the double-checkpoint baseline the pairs alternate by epoch
+    /// parity and the *off* pair may legally hold a torn write.
+    pub fn verify_integrity(&self) -> Result<bool, Fault> {
+        let (b_t, c_t) = self.proto.verify_pair(self);
+        let parity = self.encode_of(b_t, None)?;
+        let ok = {
+            let c = c_t.read();
+            parity
+                .iter()
+                .zip(c.try_as_f64()?)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        };
+        let verdict = self
+            .comm
+            .allreduce(ReduceOp::Min, Payload::I64(vec![ok as i64]))?
+            .into_i64()[0];
+        Ok(verdict == 1)
+    }
+}

@@ -1,0 +1,137 @@
+//! The typed protocol phase machine.
+//!
+//! Every checkpoint method steps through a subset of these phases in a
+//! fixed order; the phase is the single source of identity for
+//! * **failure injection** — [`Phase::label`] is the probe name a
+//!   [`FailurePlan`](skt_cluster::FailurePlan) is armed on (`FailurePlan::new`
+//!   accepts a `Phase` directly via `From<Phase> for String`),
+//! * **observation** — phase enter/exit [`Event`](skt_cluster::Event)s
+//!   carry the same label, and
+//! * **tests** — the fault-sweep matrix iterates [`Phase::ALL`] instead of
+//!   keeping a private label list.
+
+use crate::memory::Method;
+
+/// One window of the checkpoint protocol, in `make` order.
+///
+/// The self-checkpoint method (paper Figure 4) runs
+/// `Serialize → Encode → CommitD → FlushB → FlushC → Done`;
+/// the single/double baselines (Figures 2–3) run
+/// `Serialize → CopyB → Encode → Done`.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Application small state (`A2`) serialized into the `B2` mirror.
+    Serialize,
+    /// Parity of the checkpoint data being group-encoded (the CASE 1
+    /// window: one stripe reduce per group member).
+    Encode,
+    /// The fresh checksum `D` committed (`d_epoch` written) — self method.
+    CommitD,
+    /// `work → B` flushed, `D → C` still pending (the CASE 2 window) —
+    /// self method.
+    FlushB,
+    /// `D → C` flushed, final commit still pending — self method.
+    FlushC,
+    /// `work → B` copied over the live checkpoint — the baselines'
+    /// inconsistency window (single: the *only* copy; double: the older
+    /// pair).
+    CopyB,
+    /// The checkpoint fully committed.
+    Done,
+}
+
+impl Phase {
+    /// Every phase, in protocol order. The fault-sweep tests iterate this
+    /// to land a failure in each window.
+    pub const ALL: [Phase; 7] = [
+        Phase::Serialize,
+        Phase::Encode,
+        Phase::CommitD,
+        Phase::FlushB,
+        Phase::FlushC,
+        Phase::CopyB,
+        Phase::Done,
+    ];
+
+    /// Canonical probe label. These strings are the wire format shared
+    /// with the failure injector and the event bus; they are stable.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Serialize => "ckpt-a2",
+            Phase::Encode => "ckpt-encode",
+            Phase::CommitD => "ckpt-d-commit",
+            Phase::FlushB => "ckpt-flush-b",
+            Phase::FlushC => "ckpt-flush-c",
+            Phase::CopyB => "ckpt-copy-b",
+            Phase::Done => "ckpt-done",
+        }
+    }
+
+    /// Inverse of [`Self::label`].
+    pub fn from_label(label: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.label() == label)
+    }
+
+    /// Whether `method`'s `make` ever passes through this phase.
+    pub fn fires_in(self, method: Method) -> bool {
+        match method {
+            Method::SelfCkpt => !matches!(self, Phase::CopyB),
+            Method::Single | Method::Double => {
+                !matches!(self, Phase::CommitD | Phase::FlushB | Phase::FlushC)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Lets a `Phase` be armed directly:
+/// `FailurePlan::new(Phase::FlushB, 3, node)`.
+impl From<Phase> for String {
+    fn from(p: Phase) -> String {
+        p.label().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Phase::from_label("computing"), None);
+    }
+
+    #[test]
+    fn phase_arms_a_failure_plan() {
+        let plan = skt_cluster::FailurePlan::new(Phase::FlushB, 3, 1);
+        assert_eq!(plan.label, "ckpt-flush-b");
+    }
+
+    #[test]
+    fn method_phase_sets_match_the_paper() {
+        // self: no baseline-style in-place copy window
+        assert!(!Phase::CopyB.fires_in(Method::SelfCkpt));
+        assert!(Phase::FlushB.fires_in(Method::SelfCkpt));
+        // baselines: no D commit / flush windows
+        for m in [Method::Single, Method::Double] {
+            assert!(Phase::CopyB.fires_in(m));
+            assert!(!Phase::CommitD.fires_in(m));
+            assert!(!Phase::FlushB.fires_in(m));
+        }
+        // shared windows
+        for m in [Method::SelfCkpt, Method::Single, Method::Double] {
+            assert!(Phase::Serialize.fires_in(m));
+            assert!(Phase::Encode.fires_in(m));
+            assert!(Phase::Done.fires_in(m));
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Pure recovery planning: group consensus over survivor headers.
+//!
+//! Everything here is a plain function of data — no communicators, no
+//! threads, no SHM — so the paper's CASE 1 / CASE 2 verdicts (Figures
+//! 2–5) can be unit-tested against synthetic header sets directly. The
+//! [`Checkpointer`](super::Checkpointer) gathers one [`SurvivorView`] per
+//! group member, calls [`plan_recovery`], and then lets the method impl
+//! act on the [`GroupPlan`].
+//!
+//! Consensus rule: take the group **MAX** of each commit marker over
+//! survivors. Every marker is written only after a group barrier, so "any
+//! survivor committed phase X of epoch `e`" proves every rank's *data*
+//! for that phase is complete — even on ranks whose own header write was
+//! cut short by the abort.
+
+use super::header::Header;
+use super::RestoreSource;
+use crate::memory::Method;
+
+/// One group member's contribution to the recovery consensus.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SurvivorView {
+    /// True when the rank re-attached to nothing — a fresh or replaced
+    /// node whose header words are all zero and whose data is gone.
+    pub fresh: bool,
+    /// The rank's header as gathered over the group.
+    pub header: Header,
+}
+
+impl SurvivorView {
+    /// A surviving rank advertising `header`.
+    pub fn survivor(header: Header) -> Self {
+        SurvivorView {
+            fresh: false,
+            header,
+        }
+    }
+
+    /// A rank on a fresh (replaced) node.
+    pub fn lost() -> Self {
+        SurvivorView {
+            fresh: true,
+            header: Header::default(),
+        }
+    }
+}
+
+/// Component-wise MAX of the survivors' commit markers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeaderMaxima {
+    /// Highest committed `d_epoch` (self method).
+    pub d: u64,
+    /// Highest committed `bc_epoch` (pair 0 for double).
+    pub bc: u64,
+    /// Highest committed pair-1 epoch (double method).
+    pub pair1: u64,
+    /// Highest *attempted* update epoch (single method's dirty marker).
+    pub attempt: u64,
+}
+
+/// What one group concludes from its survivors' headers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupPlan {
+    /// The single lost rank, if any (group-comm rank index).
+    pub lost: Option<usize>,
+    /// Every member is fresh — nothing to restore, start from scratch.
+    pub all_fresh: bool,
+    /// More than one member lost: beyond a single parity's repair power.
+    pub multi_loss: bool,
+    /// Single method only: an update attempt outran the last commit, so
+    /// `(B, C)` may be torn (paper Figure 2, CASE 2).
+    pub torn: bool,
+    /// The epoch this group proposes to restore (job-wide MIN of the
+    /// proposals is the final target).
+    pub proposal: u64,
+    /// The header maxima the proposal was derived from.
+    pub maxima: HeaderMaxima,
+}
+
+/// Derive a group's recovery plan from its members' views.
+pub fn plan_recovery(method: Method, views: &[SurvivorView]) -> GroupPlan {
+    let lost_list: Vec<usize> = views
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.fresh)
+        .map(|(i, _)| i)
+        .collect();
+    let all_fresh = lost_list.len() == views.len();
+    let multi_loss = !all_fresh && lost_list.len() > 1;
+    let lost = if all_fresh {
+        None
+    } else {
+        lost_list.first().copied()
+    };
+    let max_of = |f: fn(&Header) -> u64| {
+        views
+            .iter()
+            .filter(|v| !v.fresh)
+            .map(|v| f(&v.header))
+            .max()
+            .unwrap_or(0)
+    };
+    let maxima = HeaderMaxima {
+        d: max_of(|h| h.d_epoch),
+        bc: max_of(|h| h.bc_epoch),
+        pair1: max_of(|h| h.pair1_epoch),
+        attempt: max_of(|h| h.dirty_epoch),
+    };
+    let (proposal, torn) = match method {
+        // CASE 2 roll-forward: a committed D can outrank the committed
+        // (B, C) and the workspace then stands in as the checkpoint.
+        Method::SelfCkpt => (maxima.d.max(maxima.bc), false),
+        // An attempt beyond the last commit means the only checkpoint may
+        // be torn — the method's documented flaw.
+        Method::Single => (maxima.bc, maxima.attempt > maxima.bc),
+        // Whichever pair committed later is intact.
+        Method::Double => (maxima.bc.max(maxima.pair1), false),
+    };
+    GroupPlan {
+        lost,
+        all_fresh,
+        multi_loss,
+        torn,
+        proposal,
+        maxima,
+    }
+}
+
+/// Self method: which consistent pair serves the agreed target epoch.
+/// `(B, C)` is preferred when both pairs hold the target (they are then
+/// identical); `None` means the target is held by neither pair — a broken
+/// protocol invariant.
+pub fn choose_self_source(target: u64, maxima: &HeaderMaxima) -> Option<RestoreSource> {
+    if target == maxima.bc {
+        Some(RestoreSource::CheckpointAndChecksum)
+    } else if target == maxima.d {
+        Some(RestoreSource::WorkspaceAndChecksum)
+    } else {
+        None
+    }
+}
+
+/// Double method: which pair slot holds the agreed target epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairSlot {
+    /// Pair 0 (`b`, `c`) — odd epochs.
+    Primary,
+    /// Pair 1 (`b1`, `c1`) — even epochs.
+    Secondary,
+}
+
+/// Double method: select the pair committed at `target`.
+pub fn choose_double_pair(target: u64, maxima: &HeaderMaxima) -> Option<PairSlot> {
+    if maxima.bc == target {
+        Some(PairSlot::Primary)
+    } else if maxima.pair1 == target {
+        Some(PairSlot::Secondary)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr(d: u64, bc: u64, pair1: u64, dirty: u64) -> Header {
+        Header {
+            d_epoch: d,
+            bc_epoch: bc,
+            pair1_epoch: pair1,
+            dirty_epoch: dirty,
+        }
+    }
+
+    /// A group of `n` identical survivors plus an optional lost rank at
+    /// index `lost_at`.
+    fn group(n: usize, h: Header, lost_at: Option<usize>) -> Vec<SurvivorView> {
+        (0..n)
+            .map(|i| {
+                if Some(i) == lost_at {
+                    SurvivorView::lost()
+                } else {
+                    SurvivorView::survivor(h)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_commit_rolls_back_to_bc() {
+        // everyone at (d=3, bc=3): plain CASE 1 rollback
+        let plan = plan_recovery(Method::SelfCkpt, &group(4, hdr(3, 3, 0, 0), Some(1)));
+        assert_eq!(plan.lost, Some(1));
+        assert!(!plan.multi_loss && !plan.torn && !plan.all_fresh);
+        assert_eq!(plan.proposal, 3);
+        assert_eq!(
+            choose_self_source(plan.proposal, &plan.maxima),
+            Some(RestoreSource::CheckpointAndChecksum)
+        );
+    }
+
+    #[test]
+    fn committed_d_rolls_forward_from_workspace() {
+        // D@3 committed group-wide, flush torn: recover from (work, D)
+        let plan = plan_recovery(Method::SelfCkpt, &group(4, hdr(3, 2, 0, 0), Some(2)));
+        assert_eq!(plan.proposal, 3);
+        assert_eq!(
+            choose_self_source(plan.proposal, &plan.maxima),
+            Some(RestoreSource::WorkspaceAndChecksum)
+        );
+    }
+
+    #[test]
+    fn cross_group_minimum_falls_back_to_bc_at_previous_epoch() {
+        // (B,C)@e-1 fallback: our group committed D@3, but a peer group
+        // only proposed 2 — the job-wide MIN forces target 2, which our
+        // intact (B, C)@2 must serve (the pre-flush sync gate guarantees
+        // it still exists).
+        let plan = plan_recovery(Method::SelfCkpt, &group(4, hdr(3, 2, 0, 0), None));
+        assert_eq!(plan.proposal, 3);
+        let cross_group_target = 2; // MIN with the slower peer group
+        assert_eq!(
+            choose_self_source(cross_group_target, &plan.maxima),
+            Some(RestoreSource::CheckpointAndChecksum)
+        );
+    }
+
+    #[test]
+    fn mixed_epoch_headers_take_the_group_max() {
+        // The victim died after *its* commit fired but a peer's header
+        // write was cut short: commit markers differ across survivors.
+        // The barrier-before-commit discipline makes the MAX safe.
+        let views = vec![
+            SurvivorView::survivor(hdr(3, 2, 0, 0)),
+            SurvivorView::survivor(hdr(2, 2, 0, 0)), // stale header word
+            SurvivorView::lost(),
+            SurvivorView::survivor(hdr(3, 2, 0, 0)),
+        ];
+        let plan = plan_recovery(Method::SelfCkpt, &views);
+        assert_eq!(plan.maxima.d, 3);
+        assert_eq!(plan.maxima.bc, 2);
+        assert_eq!(plan.proposal, 3);
+        assert_eq!(plan.lost, Some(2));
+    }
+
+    #[test]
+    fn single_torn_update_is_flagged() {
+        // dirty=3 but bc=2: the update attempt outran the commit, so the
+        // only checkpoint may be torn (Figure 2 CASE 2)
+        let plan = plan_recovery(Method::Single, &group(4, hdr(0, 2, 0, 3), Some(0)));
+        assert!(plan.torn);
+        assert_eq!(plan.proposal, 2);
+    }
+
+    #[test]
+    fn single_clean_commit_is_not_torn() {
+        let plan = plan_recovery(Method::Single, &group(4, hdr(0, 3, 0, 3), Some(3)));
+        assert!(!plan.torn);
+        assert_eq!(plan.proposal, 3);
+    }
+
+    #[test]
+    fn double_restores_from_the_newer_pair() {
+        // pair0@3, pair1@2: target 3 lives in the primary pair
+        let plan = plan_recovery(Method::Double, &group(4, hdr(0, 3, 2, 0), Some(1)));
+        assert_eq!(plan.proposal, 3);
+        assert_eq!(
+            choose_double_pair(plan.proposal, &plan.maxima),
+            Some(PairSlot::Primary)
+        );
+        // a cross-group MIN of 2 would pick the other pair
+        assert_eq!(
+            choose_double_pair(2, &plan.maxima),
+            Some(PairSlot::Secondary)
+        );
+    }
+
+    #[test]
+    fn two_losses_are_beyond_repair() {
+        let mut views = group(4, hdr(3, 3, 0, 0), Some(0));
+        views[2] = SurvivorView::lost();
+        let plan = plan_recovery(Method::SelfCkpt, &views);
+        assert!(plan.multi_loss);
+        assert_eq!(plan.lost, Some(0), "first lost rank reported");
+    }
+
+    #[test]
+    fn all_fresh_group_proposes_nothing() {
+        let views: Vec<SurvivorView> = (0..4).map(|_| SurvivorView::lost()).collect();
+        let plan = plan_recovery(Method::SelfCkpt, &views);
+        assert!(plan.all_fresh);
+        assert!(!plan.multi_loss, "all-fresh is a restart, not a repair");
+        assert_eq!(plan.lost, None);
+        assert_eq!(plan.proposal, 0);
+    }
+
+    #[test]
+    fn invariant_breakage_yields_no_source() {
+        let maxima = HeaderMaxima {
+            d: 3,
+            bc: 2,
+            ..Default::default()
+        };
+        assert_eq!(choose_self_source(5, &maxima), None);
+        assert_eq!(choose_double_pair(5, &maxima), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! The paper's self-checkpoint protocol (Figures 4–5): one checkpoint
+//! copy `B`, a committed checksum `C`, and a fresh checksum `D`, with the
+//! workspace itself doubling as a checkpoint while `B` is overwritten.
+
+use super::header::HeaderWord;
+use super::planner::{choose_self_source, HeaderMaxima};
+use super::{Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource};
+use crate::memory::Method;
+use skt_mps::Fault;
+use std::time::Instant;
+
+pub(crate) struct SelfCkpt;
+
+impl Protocol for SelfCkpt {
+    fn method(&self) -> Method {
+        Method::SelfCkpt
+    }
+
+    fn make_phases<'c>(&self, ck: &mut Checkpointer<'c>, e: u64) -> Result<CkptStats, Fault> {
+        let d_seg = ck.d.clone().expect("self method has D");
+
+        // (2) encode parity of `work` into D
+        let t0 = Instant::now();
+        let sp = ck.span(Phase::Encode, e);
+        let parity = ck.encode_of(&ck.work, Some(Phase::Encode.label()))?;
+        ck.fill_seg(&d_seg, &parity)?;
+        // (3) group-wide commit of D
+        ck.comm.barrier()?;
+        sp.end();
+        let encode = t0.elapsed();
+        ck.commit(HeaderWord::DEpoch, e)?;
+        ck.phase_point(Phase::CommitD)?;
+        // Cross-group gate: no group may start overwriting (B, C) until
+        // *every* group has committed D@e — otherwise a failure could
+        // force one group back to e-1 while another has already
+        // destroyed its e-1 checkpoint.
+        ck.sync_barrier()?;
+
+        // (4) flush: the old checkpoint is overwritten while `work`+D
+        // stand in as the consistent pair.
+        let t1 = Instant::now();
+        let sp = ck.span(Phase::FlushB, e);
+        ck.copy_seg(&ck.b, &ck.work, Phase::FlushB.label())?;
+        sp.end();
+        ck.phase_point(Phase::FlushB)?;
+        let sp = ck.span(Phase::FlushC, e);
+        ck.copy_seg(&ck.c, &d_seg, Phase::FlushC.label())?;
+        sp.end();
+        ck.phase_point(Phase::FlushC)?;
+        // (5) group-wide commit of (B, C)
+        ck.comm.barrier()?;
+        let flush = t1.elapsed();
+        ck.commit(HeaderWord::BcEpoch, e)?;
+        Ok(ck.stats(e, encode, flush))
+    }
+
+    fn restore<'c>(
+        &self,
+        ck: &mut Checkpointer<'c>,
+        lost: Option<usize>,
+        target: u64,
+        maxima: &HeaderMaxima,
+    ) -> Result<Recovery, RecoverError> {
+        let d_seg = ck.d.clone().expect("self method has D");
+        match choose_self_source(target, maxima) {
+            Some(RestoreSource::CheckpointAndChecksum) => {
+                // Normal rollback to the committed checkpoint (CASE 1) —
+                // also the cross-group case "another group proposed e-1":
+                // the pre-flush sync gate guarantees our (B, C)@e-1 is
+                // then still intact.
+                if let Some(f) = lost {
+                    ck.rebuild_pair(f, &ck.b, &ck.c)?;
+                }
+                ck.copy_seg(&ck.work, &ck.b, "recover-restore")?;
+                // restore the invariant: D mirrors C after a rollback
+                ck.copy_seg(&d_seg, &ck.c, "recover-restore")?;
+                ck.comm.barrier()?;
+                ck.commit(HeaderWord::DEpoch, target)?;
+                ck.commit(HeaderWord::BcEpoch, target)?;
+                ck.finish_restore(target, RestoreSource::CheckpointAndChecksum)
+            }
+            Some(RestoreSource::WorkspaceAndChecksum) => {
+                // Encode of the target epoch committed job-wide; the flush
+                // may be torn. The workspace itself is the checkpoint
+                // (CASE 2).
+                if let Some(f) = lost {
+                    ck.rebuild_pair(f, &ck.work, &d_seg)?;
+                }
+                // complete the interrupted flush so (B, C) is consistent
+                // again
+                ck.copy_seg(&ck.b, &ck.work, "recover-flush")?;
+                ck.copy_seg(&ck.c, &d_seg, "recover-flush")?;
+                ck.comm.barrier()?;
+                ck.commit(HeaderWord::DEpoch, target)?;
+                ck.commit(HeaderWord::BcEpoch, target)?;
+                ck.finish_restore(target, RestoreSource::WorkspaceAndChecksum)
+            }
+            _ => unreachable!(
+                "self-checkpoint: agreed epoch {target} matches neither d ({}) nor bc ({}) — protocol invariant broken",
+                maxima.d, maxima.bc
+            ),
+        }
+    }
+}

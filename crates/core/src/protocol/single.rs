@@ -1,0 +1,64 @@
+//! The single-checkpoint baseline (paper Figure 2): one checkpoint copy
+//! `B` plus one checksum `C`, updated **in place** — cheap, but a failure
+//! during the update leaves the only checkpoint torn (its documented
+//! flaw, flagged by the planner's torn-update detector).
+
+use super::header::HeaderWord;
+use super::planner::HeaderMaxima;
+use super::{Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource};
+use crate::memory::Method;
+use skt_mps::Fault;
+use std::time::Instant;
+
+pub(crate) struct Single;
+
+impl Protocol for Single {
+    fn method(&self) -> Method {
+        Method::Single
+    }
+
+    fn make_phases<'c>(&self, ck: &mut Checkpointer<'c>, e: u64) -> Result<CkptStats, Fault> {
+        // Gate the update window: past this barrier every rank runs the
+        // straight-line dirty-mark + copy with no intervening failpoint,
+        // so "any rank reached CopyB" implies "every rank marked the
+        // dirty word". Without it, recovery's torn-update verdict depends
+        // on where the scheduler parked the survivors.
+        ck.comm.barrier()?;
+        // Mark the attempt: if epoch `e` never commits anywhere, (B, C)
+        // may be torn and recovery must give up — the method's documented
+        // flaw (paper Figure 2, CASE 2).
+        ck.commit(HeaderWord::Dirty, e)?;
+        let t1 = Instant::now();
+        let sp = ck.span(Phase::CopyB, e);
+        ck.copy_seg(&ck.b, &ck.work, Phase::CopyB.label())?;
+        sp.end();
+        ck.phase_point(Phase::CopyB)?;
+        let flush = t1.elapsed();
+        let t0 = Instant::now();
+        let sp = ck.span(Phase::Encode, e);
+        let parity = ck.encode_of(&ck.b, Some(Phase::Encode.label()))?;
+        ck.fill_seg(&ck.c, &parity)?;
+        ck.comm.barrier()?;
+        sp.end();
+        let encode = t0.elapsed();
+        ck.commit(HeaderWord::BcEpoch, e)?;
+        Ok(ck.stats(e, encode, flush))
+    }
+
+    fn restore<'c>(
+        &self,
+        ck: &mut Checkpointer<'c>,
+        lost: Option<usize>,
+        target: u64,
+        _maxima: &HeaderMaxima,
+    ) -> Result<Recovery, RecoverError> {
+        if let Some(f) = lost {
+            ck.rebuild_pair(f, &ck.b, &ck.c)?;
+        }
+        ck.copy_seg(&ck.work, &ck.b, "recover-restore")?;
+        ck.comm.barrier()?;
+        ck.commit(HeaderWord::BcEpoch, target)?;
+        ck.commit(HeaderWord::Dirty, target)?;
+        ck.finish_restore(target, RestoreSource::CheckpointAndChecksum)
+    }
+}

@@ -1,0 +1,360 @@
+use super::*;
+use skt_cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist, Recorder};
+use skt_mps::run_on_cluster;
+use std::sync::Arc;
+
+const N: usize = 4;
+const A1: usize = 64;
+
+fn cfg(method: Method) -> CkptConfig {
+    CkptConfig::new("test", method, A1, 64)
+}
+
+fn pattern(rank: usize, epoch: u64) -> Vec<f64> {
+    (0..A1)
+        .map(|i| (rank * 10_000 + i) as f64 + epoch as f64 * 0.5)
+        .collect()
+}
+
+/// Run a full work→checkpoint→fail→repair→recover cycle with the
+/// failure armed at `(phase, nth)` on node `victim`; return the
+/// recovery outcomes (and per-rank reports) observed on the relaunch.
+fn cycle(
+    method: Method,
+    phase: Phase,
+    nth: u64,
+    victim: usize,
+    epochs_before_fail: u64,
+) -> Vec<(Recovery, Vec<f64>, Option<RecoveryReport>)> {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 1)));
+    let mut rl = Ranklist::round_robin(N, N);
+    cluster.arm_failure(FailurePlan::new(phase, nth, victim));
+
+    // First run: write a pattern per epoch, checkpoint, keep going
+    // until the injected failure kills the job.
+    let res = run_on_cluster(cluster.clone(), &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(method));
+        for e in 1..=epochs_before_fail + 2 {
+            {
+                let ws = ck.workspace();
+                let mut g = ws.write();
+                g.as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), e));
+            }
+            ck.make(&e.to_le_bytes())?;
+        }
+        Ok(())
+    });
+    assert!(res.is_err(), "failure must abort the first run");
+
+    // Daemon: repair and relaunch; each rank recovers.
+    cluster.reset_abort();
+    rl.repair(&cluster).unwrap();
+    run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(method));
+        let rec = ck.recover().map_err(|e| match e {
+            RecoverError::Fault(f) => f,
+            RecoverError::Unrecoverable(msg) => panic!("unrecoverable: {msg}"),
+        })?;
+        let ws = ck.workspace();
+        let data = ws.read().as_f64()[..A1].to_vec();
+        Ok((rec, data, ck.last_report()))
+    })
+    .unwrap()
+}
+
+fn assert_restored_epoch(outs: &[(Recovery, Vec<f64>, Option<RecoveryReport>)], expect_epoch: u64) {
+    for (rank, (rec, data, _)) in outs.iter().enumerate() {
+        match rec {
+            Recovery::Restored { epoch, a2, .. } => {
+                assert_eq!(*epoch, expect_epoch, "rank {rank}");
+                assert_eq!(a2.as_slice(), &expect_epoch.to_le_bytes(), "rank {rank} a2");
+            }
+            other => panic!("rank {rank}: expected restore, got {other:?}"),
+        }
+        assert_eq!(data, &pattern(rank, expect_epoch), "rank {rank} data");
+    }
+}
+
+#[test]
+fn self_recovers_from_failure_during_computation() {
+    // Victim dies right after its 2nd completed checkpoint (Done
+    // probe) — the "failure in computing" CASE 1 of Figure 4.
+    let outs = cycle(Method::SelfCkpt, Phase::Done, 2, 1, 2);
+    assert_restored_epoch(&outs, 2);
+    assert!(matches!(
+        outs[0].0,
+        Recovery::Restored {
+            source: RestoreSource::CheckpointAndChecksum,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn self_recovers_from_failure_during_encode() {
+    // Failure in the middle of computing checksum D of epoch 3 →
+    // roll back to (B, C) of epoch 2 (CASE 1 of Figure 4).
+    let outs = cycle(Method::SelfCkpt, Phase::Encode, 2 * N as u64 + 1, 2, 2);
+    assert_restored_epoch(&outs, 2);
+}
+
+#[test]
+fn self_recovers_from_failure_during_flush() {
+    // D of epoch 3 committed, failure while overwriting B → recover
+    // forward from (work, D) at epoch 3 (CASE 2 of Figure 4).
+    let outs = cycle(Method::SelfCkpt, Phase::FlushB, 3, 1, 2);
+    assert_restored_epoch(&outs, 3);
+    assert!(matches!(
+        outs[0].0,
+        Recovery::Restored {
+            source: RestoreSource::WorkspaceAndChecksum,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn self_recovers_from_failure_at_d_commit() {
+    let outs = cycle(Method::SelfCkpt, Phase::CommitD, 3, 3, 2);
+    // all survivors committed D@3? The victim died *after* its own
+    // d-commit probe fired, i.e. after writing d=3; min over
+    // survivors decides. Either way the data must be a consistent
+    // epoch (2 or 3).
+    let epoch = match &outs[0].0 {
+        Recovery::Restored { epoch, .. } => *epoch,
+        o => panic!("{o:?}"),
+    };
+    assert!(epoch == 2 || epoch == 3, "epoch {epoch}");
+    assert_restored_epoch(&outs, epoch);
+}
+
+#[test]
+fn double_recovers_from_failure_during_update() {
+    // double checkpoint survives a failure during checkpoint update
+    // (overwrites the older pair) — Figure 3.
+    let outs = cycle(Method::Double, Phase::CopyB, 3, 1, 2);
+    assert_restored_epoch(&outs, 2);
+}
+
+#[test]
+fn double_recovers_from_failure_during_computation() {
+    let outs = cycle(Method::Double, Phase::Done, 2, 2, 2);
+    assert_restored_epoch(&outs, 2);
+}
+
+#[test]
+fn single_recovers_from_failure_during_computation() {
+    let outs = cycle(Method::Single, Phase::Done, 2, 1, 2);
+    assert_restored_epoch(&outs, 2);
+}
+
+#[test]
+#[should_panic(expected = "unrecoverable")]
+fn single_cannot_recover_from_failure_during_update() {
+    // the defining weakness (Figure 2 CASE 2): failure between B copy
+    // and C encode leaves the only checkpoint torn.
+    let _ = cycle(Method::Single, Phase::CopyB, 3, 1, 2);
+}
+
+#[test]
+fn recovery_report_describes_the_roll_forward() {
+    // Same CASE 2 setup as `self_recovers_from_failure_during_flush`;
+    // the report must name the workspace source, the lost rank, and the
+    // header maxima that led there (d=3 outran bc=2).
+    let outs = cycle(Method::SelfCkpt, Phase::FlushB, 3, 1, 2);
+    for (rank, (_, _, report)) in outs.iter().enumerate() {
+        let r = report.expect("restore must leave a report");
+        assert_eq!(r.epoch, 3, "rank {rank}");
+        assert_eq!(r.source, RestoreSource::WorkspaceAndChecksum, "rank {rank}");
+        assert_eq!(r.method, Method::SelfCkpt);
+        assert_eq!(r.lost_rank, Some(1), "rank {rank}");
+        assert_eq!((r.epochs_seen.d, r.epochs_seen.bc), (3, 2), "rank {rank}");
+        assert!(r.rebuilt_bytes > 0, "a lost rank was rebuilt");
+        let shown = r.to_string();
+        assert!(shown.contains("workspace+checksum"), "{shown}");
+    }
+}
+
+#[test]
+fn make_emits_observable_phase_events() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    let rec = Arc::new(Recorder::new());
+    cluster.events().subscribe(rec.clone());
+    run_on_cluster(cluster.clone(), &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        ck.make(b"x")?;
+        Ok(())
+    })
+    .unwrap();
+    // every rank enters every self-method phase once per make
+    for phase in [
+        Phase::Serialize,
+        Phase::Encode,
+        Phase::FlushB,
+        Phase::FlushC,
+    ] {
+        let enters =
+            rec.count(|e| matches!(e, Event::PhaseEnter { label, .. } if *label == phase.label()));
+        assert_eq!(enters, N, "{phase} enters");
+    }
+    // the encode spans the barrier, so its total is measurably nonzero
+    assert!(rec.phase_total(Phase::Encode.label()) > Duration::ZERO);
+    // the flush copies report their traffic: one padded checkpoint per rank
+    let copied: u64 = rec
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::BytesMoved { label, bytes } if *label == Phase::FlushB.label() => Some(*bytes),
+            _ => None,
+        })
+        .sum();
+    let padded = GroupLayout::new(N, A1 + 1 + 64usize.div_ceil(8)).padded_len();
+    assert_eq!(copied, (N * padded * 8) as u64);
+}
+
+#[test]
+fn fresh_start_reports_no_checkpoint() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, attached) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        assert!(!attached);
+        let rec = ck.recover().map_err(|_| Fault::JobAborted)?;
+        assert!(ck.last_report().is_none(), "no restore, no report");
+        Ok(rec)
+    })
+    .unwrap();
+    assert!(outs.iter().all(|r| *r == Recovery::NoCheckpoint));
+}
+
+#[test]
+fn checkpoint_integrity_verifies_after_make() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), 1));
+        }
+        ck.make(b"state")?;
+        let ok = ck.verify_integrity()?;
+        // corrupt one byte of B on rank 2 and re-verify
+        if ctx.world_rank() == 2 {
+            let name = format!("test/r{}/b", ctx.world_rank());
+            let seg = ctx.shm().attach(&name).unwrap();
+            seg.write().as_f64_mut()[5] += 1.0;
+        }
+        ctx.world().barrier()?;
+        let world2 = ctx.world();
+        let (ck2, _) = Checkpointer::init(world2, cfg(Method::SelfCkpt));
+        let ok2 = ck2.verify_integrity()?;
+        Ok((ok, ok2))
+    })
+    .unwrap();
+    for (ok, ok2) in outs {
+        assert!(ok, "fresh checkpoint must verify");
+        assert!(!ok2, "corruption must be detected group-wide");
+    }
+}
+
+#[test]
+fn shm_usage_matches_table1() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        Ok((
+            ck.shm_bytes(),
+            ck.layout().padded_len(),
+            ck.layout().stripe_len(),
+        ))
+    })
+    .unwrap();
+    for (bytes, padded, stripe) in outs {
+        // work + B + C + D + 32-byte header
+        let expect = (2 * padded + 2 * stripe) * 8 + 32;
+        assert_eq!(bytes, expect);
+        // Table 1 total 2MN/(N-1): with M = padded elements
+        let table1 = 2 * padded * N / (N - 1);
+        assert_eq!(2 * padded + 2 * stripe, table1);
+    }
+}
+
+#[test]
+fn stats_report_sizes() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        let s = ck.make(&[])?;
+        Ok(s)
+    })
+    .unwrap();
+    for s in outs {
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.checkpoint_bytes, s.checksum_bytes * (N - 1));
+    }
+}
+
+#[test]
+fn config_builder_round_trips() {
+    let c = CkptConfig::new("b", Method::Single, 8, 16)
+        .with_method(Method::SelfCkpt)
+        .with_code(Code::Sum)
+        .with_a1_len(32)
+        .with_a2_capacity(24);
+    assert_eq!(c.method, Method::SelfCkpt);
+    assert_eq!(c.code, Code::Sum);
+    assert_eq!(c.a1_len, 32);
+    assert_eq!(c.a2_capacity, 24);
+    assert_eq!(c.name, "b");
+}
+
+#[test]
+fn sum_code_round_trips_through_recovery() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 1)));
+    let mut rl = Ranklist::round_robin(N, N);
+    cluster.arm_failure(FailurePlan::new(Phase::Done, 1, 0));
+    let sum_cfg = cfg(Method::SelfCkpt).with_code(Code::Sum);
+    let c2 = sum_cfg.clone();
+    let res: Result<Vec<()>, Fault> = run_on_cluster(cluster.clone(), &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, c2.clone());
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), 7));
+        }
+        ck.make(b"seven")?;
+        loop {
+            ctx.failpoint("spin")?;
+        }
+    });
+    assert!(res.is_err());
+    cluster.reset_abort();
+    rl.repair(&cluster).unwrap();
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, sum_cfg.clone());
+        let rec = ck.recover().map_err(|_| Fault::JobAborted)?;
+        let ws = ck.workspace();
+        let data = ws.read().as_f64()[..A1].to_vec();
+        Ok((rec, data))
+    })
+    .unwrap();
+    for (rank, (rec, data)) in outs.iter().enumerate() {
+        assert!(matches!(rec, Recovery::Restored { epoch: 1, .. }));
+        let expect = pattern(rank, 7);
+        for (a, b) in data.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-6, "rank {rank}: {a} vs {b}");
+        }
+    }
+}

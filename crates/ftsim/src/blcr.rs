@@ -18,7 +18,7 @@ use skt_cluster::{Device, DeviceKind};
 use skt_hpl::dist::BlockCyclic1D;
 use skt_hpl::elim::{back_substitute, generate, panel_step, verify};
 use skt_hpl::plain::{assemble_output, HplConfig};
-use skt_hpl::SktOutput;
+use skt_hpl::{SktOutput, ITER_PROBE};
 use skt_linalg::MatGen;
 use skt_mps::{Ctx, Fault, Payload, ReduceOp};
 use std::sync::Arc;
@@ -133,7 +133,7 @@ pub fn run_blcr(ctx: &Ctx, cfg: &BlcrConfig, store: &BlcrStore) -> Result<SktOut
     let t0 = Instant::now();
     for k in start_panel..nba {
         panel_step(&comm, &dist, &mut storage, k)?;
-        ctx.failpoint("hpl-iter")?;
+        ctx.failpoint(ITER_PROBE)?;
         let done = (k + 1) as u64;
         if cfg.ckpt_every > 0
             && (done as usize).is_multiple_of(cfg.ckpt_every)
@@ -172,6 +172,8 @@ pub fn run_blcr(ctx: &Ctx, cfg: &BlcrConfig, store: &BlcrStore) -> Result<SktOut
         resumed_from_panel: start_panel,
         restarted_from_scratch: false,
         recover_seconds,
+        // BLCR restores from disk blobs, outside the protocol layer
+        recovery: None,
     })
 }
 
@@ -208,7 +210,7 @@ mod tests {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
         let mut rl = Ranklist::round_robin(4, 4);
         let store = BlcrStore::new(4, DeviceKind::Ssd);
-        cluster.arm_failure(FailurePlan::new("hpl-iter", 5, 2));
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 5, 2));
         let res = run_on_cluster(cluster.clone(), &rl, |ctx| run_blcr(ctx, &cfg(), &store));
         assert!(res.is_err());
         cluster.reset_abort();

@@ -18,20 +18,77 @@ use skt_mps::run_on_cluster;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Per-phase durations of one work-fail-detect-restart cycle (the bars
-/// of Figure 10).
+/// The phases of one work-fail-detect-restart cycle — the bars of
+/// Figure 10, in the order they occur.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CyclePhase {
+    /// Failure detection (modeled; job-manager property).
+    Detect,
+    /// Replacing lost nodes by spares (measured: ranklist repair).
+    Replace,
+    /// Relaunching the job (measured: spawn to first rank running).
+    Restart,
+    /// Restoring data from checkpoints (measured inside the job).
+    Recover,
+    /// Making one checkpoint (measured, average over the run).
+    Checkpoint,
+}
+
+impl CyclePhase {
+    /// Every phase, in cycle order.
+    pub const ALL: [CyclePhase; 5] = [
+        CyclePhase::Detect,
+        CyclePhase::Replace,
+        CyclePhase::Restart,
+        CyclePhase::Recover,
+        CyclePhase::Checkpoint,
+    ];
+
+    /// The bar label used in Figure 10.
+    pub fn label(self) -> &'static str {
+        match self {
+            CyclePhase::Detect => "detect",
+            CyclePhase::Replace => "replace",
+            CyclePhase::Restart => "restart",
+            CyclePhase::Recover => "recover data",
+            CyclePhase::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+impl std::fmt::Display for CyclePhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-phase durations of one cycle, keyed by [`CyclePhase`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimes {
-    /// Failure detection (modeled; job-manager property).
-    pub detect: Duration,
-    /// Replacing lost nodes by spares (measured: ranklist repair).
-    pub replace: Duration,
-    /// Relaunching the job (measured: spawn to first rank running).
-    pub restart: Duration,
-    /// Restoring data from checkpoints (measured inside the job).
-    pub recover: Duration,
-    /// Making one checkpoint (measured, average over the run).
-    pub checkpoint: Duration,
+    times: [Duration; CyclePhase::ALL.len()],
+}
+
+impl PhaseTimes {
+    /// Duration of `phase`.
+    pub fn get(&self, phase: CyclePhase) -> Duration {
+        self.times[phase as usize]
+    }
+
+    /// Record the duration of `phase`.
+    pub fn set(&mut self, phase: CyclePhase, d: Duration) {
+        self.times[phase as usize] = d;
+    }
+
+    /// `(phase, duration)` pairs in cycle order.
+    pub fn iter(&self) -> impl Iterator<Item = (CyclePhase, Duration)> + '_ {
+        CyclePhase::ALL.iter().map(move |&p| (p, self.get(p)))
+    }
+
+    /// Sum of all phases: the cycle's contribution to lost wall time.
+    pub fn total(&self) -> Duration {
+        self.times.iter().sum()
+    }
 }
 
 /// Outcome of a daemon-supervised run.
@@ -49,6 +106,7 @@ pub struct CycleReport {
 
 /// Why the daemon gave up.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DaemonError {
     /// No spare node left to replace a failure.
     OutOfSpares,
@@ -92,10 +150,16 @@ pub fn run_with_daemon(
                 // attribute restart/recover timings of a resumed run to
                 // the cycle that triggered it
                 if let Some(cycle) = cycles.last_mut() {
-                    cycle.recover = Duration::from_secs_f64(out.recover_seconds);
+                    cycle.set(
+                        CyclePhase::Recover,
+                        Duration::from_secs_f64(out.recover_seconds),
+                    );
                     if out.hpl.checkpoints > 0 {
-                        cycle.checkpoint = Duration::from_secs_f64(
-                            out.hpl.ckpt_seconds / out.hpl.checkpoints as f64,
+                        cycle.set(
+                            CyclePhase::Checkpoint,
+                            Duration::from_secs_f64(
+                                out.hpl.ckpt_seconds / out.hpl.checkpoints as f64,
+                            ),
                         );
                     }
                 }
@@ -111,10 +175,8 @@ pub fn run_with_daemon(
                     return Err(DaemonError::TooManyFailures(launches));
                 }
                 // detect: the daemon learns of the abort from the launcher
-                let mut phase = PhaseTimes {
-                    detect: detect_model,
-                    ..Default::default()
-                };
+                let mut phase = PhaseTimes::default();
+                phase.set(CyclePhase::Detect, detect_model);
                 // replace: node-health check + ranklist repair
                 let t_rep = Instant::now();
                 cluster.reset_abort();
@@ -122,9 +184,12 @@ pub fn run_with_daemon(
                     Ok(_moved) => {}
                     Err(_node) => return Err(DaemonError::OutOfSpares),
                 }
-                phase.replace = t_rep.elapsed();
+                phase.set(CyclePhase::Replace, t_rep.elapsed());
                 // restart: accounted as launcher overhead of this attempt
-                phase.restart = t_launch.elapsed().min(Duration::from_secs(1));
+                phase.set(
+                    CyclePhase::Restart,
+                    t_launch.elapsed().min(Duration::from_secs(1)),
+                );
                 cycles.push(phase);
             }
         }
@@ -135,7 +200,7 @@ pub fn run_with_daemon(
 mod tests {
     use super::*;
     use skt_cluster::{ClusterConfig, FailurePlan};
-    use skt_hpl::HplConfig;
+    use skt_hpl::{HplConfig, ITER_PROBE};
 
     fn cfg() -> SktConfig {
         SktConfig::new(HplConfig::new(48, 4, 11), 2, 2)
@@ -156,7 +221,7 @@ mod tests {
     fn daemon_survives_one_node_loss() {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
         let rl = Ranklist::round_robin(4, 4);
-        cluster.arm_failure(FailurePlan::new("hpl-iter", 5, 1));
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 5, 1));
         let rep =
             run_with_daemon(cluster.clone(), &rl, &cfg(), 3, Duration::from_secs(63)).unwrap();
         assert_eq!(rep.launches, 2);
@@ -165,8 +230,16 @@ mod tests {
         assert_eq!(rep.output.resumed_from_panel, 4);
         assert_eq!(rep.cycles.len(), 1);
         let c = &rep.cycles[0];
-        assert_eq!(c.detect, Duration::from_secs(63), "modeled detection");
-        assert!(c.recover > Duration::ZERO, "recovery must be timed");
+        assert_eq!(
+            c.get(CyclePhase::Detect),
+            Duration::from_secs(63),
+            "modeled detection"
+        );
+        assert!(
+            c.get(CyclePhase::Recover) > Duration::ZERO,
+            "recovery must be timed"
+        );
+        assert!(c.total() >= Duration::from_secs(63), "total spans all bars");
         assert_eq!(cluster.spares_left(), 0);
     }
 
@@ -174,8 +247,8 @@ mod tests {
     fn daemon_survives_two_sequential_losses() {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 2)));
         let rl = Ranklist::round_robin(4, 4);
-        cluster.arm_failure(FailurePlan::new("hpl-iter", 3, 0));
-        cluster.arm_failure(FailurePlan::new("hpl-iter", 3, 2));
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 3, 0));
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 3, 2));
         let rep = run_with_daemon(cluster, &rl, &cfg(), 5, Duration::from_secs(30)).unwrap();
         assert_eq!(rep.failures, 2);
         assert!(rep.output.hpl.passed);
@@ -185,7 +258,7 @@ mod tests {
     fn daemon_gives_up_without_spares() {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 0)));
         let rl = Ranklist::round_robin(4, 4);
-        cluster.arm_failure(FailurePlan::new("hpl-iter", 2, 1));
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 2, 1));
         let err = run_with_daemon(cluster, &rl, &cfg(), 3, Duration::ZERO).unwrap_err();
         assert!(matches!(err, DaemonError::OutOfSpares));
     }

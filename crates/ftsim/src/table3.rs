@@ -97,7 +97,7 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<MethodRow> {
     let base_gflops = out.gflops_effective;
     // power-off: the job dies and nothing persists — unrecoverable
     let (cl, rl) = fresh_cluster(cfg, 1);
-    cl.arm_failure(FailurePlan::new("hpl-iter", 2, victim));
+    cl.arm_failure(FailurePlan::new(skt_hpl::ITER_PROBE, 2, victim));
     let crash = run_on_cluster(cl, &rl, |ctx| run_plain(ctx, &hpl_full));
     assert!(crash.is_err(), "power-off must abort the original HPL");
     rows.push(MethodRow {
@@ -122,7 +122,7 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<MethodRow> {
         "ABFT invariant must hold in the clean run"
     );
     let (cl, rl) = fresh_cluster(cfg, 1);
-    cl.arm_failure(FailurePlan::new("hpl-iter", 2, victim));
+    cl.arm_failure(FailurePlan::new(skt_hpl::ITER_PROBE, 2, victim));
     assert!(run_on_cluster(cl, &rl, |ctx| run_abft(ctx, &hpl_abft)).is_err());
     rows.push(MethodRow {
         name: "ABFT".into(),
@@ -151,7 +151,7 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<MethodRow> {
         let (cl, mut rl) = fresh_cluster(cfg, 1);
         let store = BlcrStore::new(cfg.nranks, kind);
         cl.arm_failure(FailurePlan::new(
-            "hpl-iter",
+            skt_hpl::ITER_PROBE,
             (bl_cfg.ckpt_every + 1) as u64,
             victim,
         ));
@@ -189,7 +189,7 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<MethodRow> {
         // power-off + in-memory recovery
         let (cl, mut rl) = fresh_cluster(cfg, 1);
         cl.arm_failure(FailurePlan::new(
-            "hpl-iter",
+            skt_hpl::ITER_PROBE,
             (scfg.ckpt_every + 1) as u64,
             victim,
         ));

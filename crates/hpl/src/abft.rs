@@ -140,7 +140,7 @@ pub fn run_abft(ctx: &Ctx, cfg: &HplConfig) -> Result<AbftOutput, Fault> {
 
     let t0 = Instant::now();
     eliminate(&comm, &dist, &mut storage, 0, |_, _| {
-        ctx.failpoint("hpl-iter")
+        ctx.failpoint(crate::ITER_PROBE)
     })?;
     let x = back_substitute(&comm, &dist, &storage)?;
     let compute = t0.elapsed().as_secs_f64();

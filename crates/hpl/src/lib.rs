@@ -28,6 +28,12 @@ pub mod elim;
 pub mod plain;
 pub mod skt;
 
+/// Probe label fired once per completed elimination panel by every HPL
+/// variant — the canonical place to arm a
+/// [`FailurePlan`](skt_cluster::FailurePlan) that lands "during
+/// computation".
+pub const ITER_PROBE: &str = "hpl-iter";
+
 pub use abft::{run_abft, AbftOutput};
 pub use calibrate::{efficiency, peak_gflops};
 pub use dist::BlockCyclic1D;

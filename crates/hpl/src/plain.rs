@@ -115,7 +115,7 @@ pub fn run_plain(ctx: &Ctx, cfg: &HplConfig) -> Result<HplOutput, Fault> {
 
     let t0 = Instant::now();
     eliminate(&comm, &dist, &mut storage, 0, |_, _| {
-        ctx.failpoint("hpl-iter")
+        ctx.failpoint(crate::ITER_PROBE)
     })?;
     let x = back_substitute(&comm, &dist, &storage)?;
     let compute = t0.elapsed().as_secs_f64();

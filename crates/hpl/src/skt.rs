@@ -13,8 +13,10 @@
 use crate::dist::BlockCyclic1D;
 use crate::elim::{back_substitute, generate, panel_step, verify};
 use crate::plain::{assemble_output, HplConfig, HplOutput};
+use crate::ITER_PROBE;
 use skt_core::{
     group_color, Checkpointer, CkptConfig, GroupStrategy, Method, RecoverError, Recovery,
+    RecoveryReport,
 };
 use skt_encoding::Code;
 use skt_linalg::MatGen;
@@ -72,6 +74,9 @@ pub struct SktOutput {
     /// the elimination could proceed (the "recover data" phase of the
     /// paper's Figure 10).
     pub recover_seconds: f64,
+    /// The protocol's account of the restore, when one happened (restore
+    /// source, header maxima, rebuilt bytes — see [`RecoveryReport`]).
+    pub recovery: Option<RecoveryReport>,
 }
 
 /// Run SKT-HPL (or a baseline protocol) once: recover if checkpoints
@@ -88,13 +93,8 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
     // checkpoint group
     let color = group_color(cfg.strategy, me, nranks, cfg.group_size);
     let gcomm = world.split(color, me)?;
-    let ck_cfg = CkptConfig {
-        name: cfg.name.clone(),
-        method: cfg.method,
-        code: cfg.code,
-        a1_len: dist.alloc_len(),
-        a2_capacity: 16,
-    };
+    let ck_cfg =
+        CkptConfig::new(cfg.name.clone(), cfg.method, dist.alloc_len(), 16).with_code(cfg.code);
     // job-wide sync communicator: keeps every group's commits and the
     // recovery epoch globally consistent
     let (mut ck, _) = Checkpointer::init_synced(gcomm, world.clone(), ck_cfg);
@@ -123,6 +123,9 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
             generate(&dist, &gen, &mut g.as_f64_mut()[..dist.alloc_len()]);
         }
         Err(RecoverError::Fault(f)) => return Err(f),
+        // `RecoverError` is non-exhaustive; future variants are protocol
+        // outcomes this harness does not know how to continue from.
+        Err(other) => panic!("unexpected recovery error: {other}"),
     }
     let recover_seconds = t_rec.elapsed().as_secs_f64();
     world.barrier()?;
@@ -139,7 +142,7 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
             let mut g = ws.write();
             panel_step(&world, &dist, &mut g.as_f64_mut()[..], k)?;
         }
-        ctx.failpoint("hpl-iter")?;
+        ctx.failpoint(ITER_PROBE)?;
         let done = k + 1;
         if cfg.ckpt_every > 0 && done % cfg.ckpt_every == 0 && done < nba {
             let tc = Instant::now();
@@ -172,6 +175,7 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
         resumed_from_panel: start_panel,
         restarted_from_scratch: from_scratch,
         recover_seconds,
+        recovery: ck.last_report(),
     })
 }
 
@@ -204,7 +208,7 @@ mod tests {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
         let mut rl = Ranklist::round_robin(4, 4);
         // node 2 dies at its 5th completed panel (after checkpoint at 4)
-        cluster.arm_failure(FailurePlan::new("hpl-iter", 5, 2));
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 5, 2));
         let cfg = base_cfg(48); // 12 panels
         let res = run_on_cluster(cluster.clone(), &rl, |ctx| run_skt(ctx, &cfg));
         assert!(res.is_err(), "first run must abort");
@@ -223,7 +227,7 @@ mod tests {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
         let mut rl = Ranklist::round_robin(4, 4);
         // die inside the 2nd checkpoint's flush (CASE 2): recover forward
-        cluster.arm_failure(FailurePlan::new(skt_core::protocol::probes::FLUSH_B, 2, 1));
+        cluster.arm_failure(FailurePlan::new(skt_core::Phase::FlushB, 2, 1));
         let cfg = base_cfg(48);
         let res = run_on_cluster(cluster.clone(), &rl, |ctx| run_skt(ctx, &cfg));
         assert!(res.is_err());
@@ -233,6 +237,12 @@ mod tests {
         for o in &outs {
             assert!(o.hpl.passed, "residual {}", o.hpl.residual);
             assert_eq!(o.resumed_from_panel, 4, "epoch 2 covers panels 1..=4");
+            let report = o.recovery.expect("restore must leave a report");
+            assert_eq!(
+                report.source,
+                skt_core::RestoreSource::WorkspaceAndChecksum,
+                "CASE 2 rolls forward from the workspace"
+            );
         }
     }
 
@@ -240,7 +250,7 @@ mod tests {
     fn double_checkpoint_variant_also_recovers() {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
         let mut rl = Ranklist::round_robin(4, 4);
-        cluster.arm_failure(FailurePlan::new("hpl-iter", 5, 3));
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 5, 3));
         let mut cfg = base_cfg(48);
         cfg.method = Method::Double;
         let res = run_on_cluster(cluster.clone(), &rl, |ctx| run_skt(ctx, &cfg));
@@ -259,7 +269,7 @@ mod tests {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
         let mut rl = Ranklist::round_robin(4, 4);
         // die inside the checkpoint update: single method cannot recover
-        cluster.arm_failure(FailurePlan::new(skt_core::protocol::probes::COPY_B, 2, 1));
+        cluster.arm_failure(FailurePlan::new(skt_core::Phase::CopyB, 2, 1));
         let mut cfg = base_cfg(48);
         cfg.method = Method::Single;
         let res = run_on_cluster(cluster.clone(), &rl, |ctx| run_skt(ctx, &cfg));

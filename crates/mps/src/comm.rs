@@ -4,7 +4,8 @@
 
 use crate::payload::{Payload, ReduceOp};
 use crate::world::Ctx;
-use skt_cluster::Fault;
+use skt_cluster::{Event, Fault};
+use std::time::Instant;
 
 /// A message in flight.
 #[derive(Debug)]
@@ -163,10 +164,38 @@ impl<'c> Comm<'c> {
         USER_TAG_LIMIT + seq
     }
 
+    /// Time a collective body and emit a [`Event::Collective`] when an
+    /// observer is listening; free (one atomic load) otherwise.
+    fn observed<T>(
+        &self,
+        op: &'static str,
+        bytes: usize,
+        body: impl FnOnce() -> Result<T, Fault>,
+    ) -> Result<T, Fault> {
+        let bus = self.ctx.cluster().events();
+        if !bus.is_active() {
+            return body();
+        }
+        let t = Instant::now();
+        let out = body()?;
+        bus.emit(Event::Collective {
+            op,
+            bytes: bytes as u64,
+            elapsed: t.elapsed(),
+        });
+        Ok(out)
+    }
+
     /// Broadcast from comm rank `root` over a binomial tree. Every rank
     /// passes its (cheap, possibly empty) `payload`; non-roots get the
     /// root's payload back.
     pub fn bcast(&self, root: usize, payload: Payload) -> Result<Payload, Fault> {
+        self.observed("bcast", payload.size_bytes(), || {
+            self.bcast_inner(root, payload)
+        })
+    }
+
+    fn bcast_inner(&self, root: usize, payload: Payload) -> Result<Payload, Fault> {
         let size = self.size();
         let tag = self.alloc_tags(1);
         if size == 1 {
@@ -184,7 +213,7 @@ impl<'c> Comm<'c> {
             mask <<= 1;
         }
         mask >>= 1;
-        let data = data.expect("bcast: no data at send phase");
+        let data = data.ok_or(Fault::Protocol("bcast: no data at send phase"))?;
         while mask > 0 {
             if vr + mask < size {
                 self.send_tagged(actual(vr + mask), tag, data.clone())?;
@@ -199,6 +228,17 @@ impl<'c> Comm<'c> {
     /// operators of [`ReduceOp`] — including `Xor` on `U64`, the encoding
     /// primitive of the paper (§2.2).
     pub fn reduce(
+        &self,
+        op: ReduceOp,
+        root: usize,
+        payload: Payload,
+    ) -> Result<Option<Payload>, Fault> {
+        self.observed("reduce", payload.size_bytes(), || {
+            self.reduce_inner(op, root, payload)
+        })
+    }
+
+    fn reduce_inner(
         &self,
         op: ReduceOp,
         root: usize,
@@ -251,14 +291,15 @@ impl<'c> Comm<'c> {
             for _ in 0..size - 1 {
                 let id = self.id;
                 let env = self.ctx.recv_match(|e| e.comm == id && e.tag == tag)?;
-                assert!(out[env.src].is_none(), "gather: duplicate from {}", env.src);
+                if out[env.src].is_some() {
+                    return Err(Fault::Protocol("gather: duplicate contribution"));
+                }
                 out[env.src] = Some(env.payload);
             }
-            Ok(Some(
-                out.into_iter()
-                    .map(|p| p.expect("gather: missing rank"))
-                    .collect(),
-            ))
+            out.into_iter()
+                .map(|p| p.ok_or(Fault::Protocol("gather: missing rank")))
+                .collect::<Result<Vec<_>, Fault>>()
+                .map(Some)
         } else {
             self.send_tagged(root, tag, payload)?;
             Ok(None)
@@ -294,8 +335,10 @@ impl<'c> Comm<'c> {
         let size = self.size();
         let tag = self.alloc_tags(1);
         if self.me == root {
-            let parts = parts.expect("scatter: root must supply parts");
-            assert_eq!(parts.len(), size, "scatter: need one part per rank");
+            let parts = parts.ok_or(Fault::Protocol("scatter: root must supply parts"))?;
+            if parts.len() != size {
+                return Err(Fault::Protocol("scatter: need one part per rank"));
+            }
             let mut mine = Payload::Empty;
             for (dst, p) in parts.into_iter().enumerate() {
                 if dst == root {
@@ -321,7 +364,7 @@ impl<'c> Comm<'c> {
         for (r, p) in all.iter().enumerate() {
             let v = match p {
                 Payload::I64(v) => v,
-                _ => unreachable!("split payload type"),
+                _ => return Err(Fault::Protocol("split: unexpected payload type")),
             };
             if v[0] as u64 == color {
                 members.push((v[1] as usize, self.ranks[r]));
@@ -333,7 +376,9 @@ impl<'c> Comm<'c> {
         let me = ranks
             .iter()
             .position(|&r| r == my_world)
-            .expect("split: self in group");
+            .ok_or(Fault::Protocol(
+                "split: calling rank missing from its group",
+            ))?;
         let id = mix(self.id ^ mix(salt) ^ mix(color.wrapping_mul(0x9E37_79B9)));
         Ok(Comm {
             ctx: self.ctx,
@@ -552,6 +597,55 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out, vec![42, 42, 20, 20]);
+    }
+
+    #[test]
+    fn scatter_misuse_is_a_typed_fault_not_a_panic() {
+        let out = run_local(2, |ctx| {
+            let w = ctx.world();
+            if w.rank() == 0 {
+                // root fails to supply parts: must surface as a Fault value
+                match w.scatter(0, None) {
+                    Err(Fault::Protocol(msg)) => Ok(msg.contains("root must supply")),
+                    other => panic!("expected protocol fault, got {other:?}"),
+                }
+            } else {
+                Ok(true) // non-root never enters the failed collective
+            }
+        })
+        .unwrap();
+        assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn collectives_emit_events_when_observed() {
+        use skt_cluster::Recorder;
+        use std::sync::Arc;
+        let rec = Arc::new(Recorder::new());
+        let rec2 = Arc::clone(&rec);
+        run_local(4, move |ctx| {
+            if ctx.world_rank() == 0 {
+                ctx.cluster().events().subscribe(Arc::clone(&rec2) as _);
+            }
+            let w = ctx.world();
+            w.barrier()?; // ensure subscription ordered before the timed op
+            w.allreduce(ReduceOp::Sum, Payload::F64(vec![1.0; 8]))?;
+            Ok(())
+        })
+        .unwrap();
+        assert!(
+            rec.count(|e| matches!(
+                e,
+                Event::Collective {
+                    op: "reduce",
+                    bytes: 64,
+                    ..
+                }
+            )) >= 1,
+            "allreduce must surface reduce events: {:?}",
+            rec.events()
+        );
+        assert!(rec.count(|e| matches!(e, Event::Collective { op: "bcast", .. })) >= 1);
     }
 
     #[test]

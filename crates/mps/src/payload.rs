@@ -8,7 +8,7 @@
 //! The two hot reduce arms — SUM over `F64` and XOR over `U64`, the ones
 //! that carry whole checkpoint stripes — run on the cache-blocked
 //! multi-threaded kernels from `skt_encoding::kernels`, under the
-//! process-wide [`KernelConfig`](skt_encoding::KernelConfig).
+//! process-wide [`KernelConfig`].
 
 use skt_encoding::{kernels, KernelConfig};
 

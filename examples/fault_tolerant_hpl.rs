@@ -6,7 +6,7 @@
 
 use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
 use self_checkpoint::ftsim::run_with_daemon;
-use self_checkpoint::hpl::{HplConfig, SktConfig};
+use self_checkpoint::hpl::{HplConfig, SktConfig, ITER_PROBE};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -24,7 +24,7 @@ fn main() {
     let ranklist = Ranklist::round_robin(ranks, nodes);
 
     // power off node 5 after its 10th eliminated panel
-    cluster.arm_failure(FailurePlan::new("hpl-iter", 10, 5));
+    cluster.arm_failure(FailurePlan::new(ITER_PROBE, 10, 5));
     println!("armed: node 5 powers off at its 10th panel\n");
 
     let cfg = SktConfig::new(HplConfig::new(n, nb, 42), group, ckpt_every);
@@ -50,10 +50,14 @@ fn main() {
         report.output.hpl.ckpt_seconds
     );
     for (i, c) in report.cycles.iter().enumerate() {
-        println!(
-            "cycle {i}: detect {:.0?}  replace {:.2?}  restart {:.2?}  recover {:.3?}  checkpoint {:.3?}",
-            c.detect, c.replace, c.restart, c.recover, c.checkpoint
-        );
+        let bars: Vec<String> = c
+            .iter()
+            .map(|(phase, d)| format!("{phase} {:.3?}", d))
+            .collect();
+        println!("cycle {i}: {}", bars.join("  "));
+    }
+    if let Some(protocol_report) = report.output.recovery {
+        println!("protocol           : {protocol_report}");
     }
     assert!(report.output.hpl.passed);
     println!("\nSKT-HPL tolerated a permanent node loss and still passed HPL verification.");

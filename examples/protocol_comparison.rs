@@ -10,7 +10,7 @@
 
 use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
 use self_checkpoint::core::{
-    available_fraction, protocol::probes, Checkpointer, CkptConfig, Method, RecoverError, Recovery,
+    available_fraction, Checkpointer, CkptConfig, Method, Phase, RecoverError, Recovery,
 };
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
 use std::sync::Arc;
@@ -31,6 +31,7 @@ fn app(ctx: &Ctx, method: Method) -> Result<(Recovery, usize), Fault> {
             return Ok((Recovery::NoCheckpoint, usize::MAX)); // marker: lost everything
         }
         Err(RecoverError::Fault(f)) => return Err(f),
+        Err(other) => panic!("unexpected recovery error: {other}"),
     };
     let start = match &rec {
         Recovery::Restored { a2, .. } => {
@@ -61,8 +62,8 @@ fn trial(method: Method) {
     // kill node 1 in the middle of the 3rd checkpoint update: for
     // single/double that is the B-copy window; for self it is the flush.
     let probe = match method {
-        Method::SelfCkpt => probes::FLUSH_B,
-        _ => probes::COPY_B,
+        Method::SelfCkpt => Phase::FlushB,
+        _ => Phase::CopyB,
     };
     cluster.arm_failure(FailurePlan::new(probe, 3, 1));
     assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| app(ctx, method)).is_err());

@@ -5,7 +5,7 @@
 use self_checkpoint::cluster::{Cluster, ClusterConfig, DeviceKind, FailurePlan, Ranklist};
 use self_checkpoint::encoding::Code;
 use self_checkpoint::ftsim::{run_blcr, run_with_daemon, BlcrConfig, BlcrStore};
-use self_checkpoint::hpl::{run_plain, run_skt, HplConfig, SktConfig};
+use self_checkpoint::hpl::{run_plain, run_skt, HplConfig, SktConfig, ITER_PROBE};
 use self_checkpoint::mps::run_on_cluster;
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,7 +49,7 @@ fn recovery_preserves_the_exact_solution() {
     for nth in [1u64, 3, 5, 7] {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(RANKS, 1)));
         let mut rl = Ranklist::round_robin(RANKS, RANKS);
-        cluster.arm_failure(FailurePlan::new("hpl-iter", nth, 1));
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, nth, 1));
         assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| run_skt(ctx, &skt_cfg())).is_err());
         cluster.reset_abort();
         rl.repair(&cluster).unwrap();
@@ -71,7 +71,7 @@ fn sum_code_variant_also_recovers() {
     cfg.name = "e2e-sum".into();
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(RANKS, 1)));
     let mut rl = Ranklist::round_robin(RANKS, RANKS);
-    cluster.arm_failure(FailurePlan::new("hpl-iter", 5, 2));
+    cluster.arm_failure(FailurePlan::new(ITER_PROBE, 5, 2));
     assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| run_skt(ctx, &cfg)).is_err());
     cluster.reset_abort();
     rl.repair(&cluster).unwrap();
@@ -89,7 +89,7 @@ fn daemon_survives_three_sequential_node_losses() {
     // resumes from the last checkpoint) reaches exactly one plan:
     // run 1 dies at panel 3, run 2 at panel 4, run 3 at panel 6
     for (nth, node) in [(3, 0), (2, 1), (4, 3)] {
-        cluster.arm_failure(FailurePlan::new("hpl-iter", nth, node));
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, nth, node));
     }
     let rep = run_with_daemon(cluster, &rl, &skt_cfg(), 5, Duration::from_millis(10)).unwrap();
     assert_eq!(rep.failures, 3);
@@ -127,7 +127,7 @@ fn failure_during_backsub_window_is_survived_by_last_checkpoint() {
     let cfg = skt_cfg(); // 8 panels, checkpoints at 2,4,6
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(RANKS, 1)));
     let mut rl = Ranklist::round_robin(RANKS, RANKS);
-    cluster.arm_failure(FailurePlan::new("hpl-iter", 8, 0));
+    cluster.arm_failure(FailurePlan::new(ITER_PROBE, 8, 0));
     assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| run_skt(ctx, &cfg)).is_err());
     cluster.reset_abort();
     rl.repair(&cluster).unwrap();
@@ -145,7 +145,7 @@ fn larger_grid_with_uneven_block_ownership() {
     let cfg = SktConfig::new(HplConfig::new(80, 8, 5), 3, 3);
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(3, 1)));
     let mut rl = Ranklist::round_robin(3, 3);
-    cluster.arm_failure(FailurePlan::new("hpl-iter", 7, 2));
+    cluster.arm_failure(FailurePlan::new(ITER_PROBE, 7, 2));
     assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| run_skt(ctx, &cfg)).is_err());
     cluster.reset_abort();
     rl.repair(&cluster).unwrap();

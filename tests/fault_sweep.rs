@@ -1,15 +1,14 @@
 //! Probe-sweep recoverability matrix: every checkpoint method is hit by
-//! a node failure at **every** probe label in
-//! `skt_core::protocol::probes`, and recovery must land exactly where
-//! the paper's case analysis says (Figures 2–5):
+//! a node failure at **every** [`skt_core::Phase`], and recovery must
+//! land exactly where the paper's case analysis says (Figures 2–5):
 //!
 //! * self-checkpoint never loses the job — it rolls back (CASE 1) or
 //!   rolls forward from `(work, D)` (CASE 2), whatever the window;
 //! * single-checkpoint is unrecoverable exactly in its update window
-//!   (`COPY_B`, `ENCODE` — Figure 2 CASE 2) and recoverable elsewhere;
+//!   (`CopyB`, `Encode` — Figure 2 CASE 2) and recoverable elsewhere;
 //! * double-checkpoint always has an intact pair to fall back to.
 //!
-//! Labels a method's `make` never reaches (e.g. `FLUSH_B` for the
+//! Phases a method's `make` never reaches (e.g. `FlushB` for the
 //! baselines) are asserted to never fire: the armed plan stays cold and
 //! the run completes.
 //!
@@ -20,8 +19,7 @@
 
 use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
 use self_checkpoint::core::{
-    protocol::{probes, RestoreSource},
-    Checkpointer, CkptConfig, Method, RecoverError, Recovery,
+    Checkpointer, CkptConfig, Method, Phase, RecoverError, Recovery, RestoreSource,
 };
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
 use std::sync::Arc;
@@ -29,17 +27,6 @@ use std::sync::Arc;
 const N: usize = 4;
 const A1: usize = 128;
 const TOTAL_EPOCHS: u64 = 5;
-
-/// Every label the protocol can fire, in protocol order.
-const ALL_LABELS: [&str; 7] = [
-    probes::A2,
-    probes::ENCODE,
-    probes::D_COMMIT,
-    probes::FLUSH_B,
-    probes::FLUSH_C,
-    probes::DONE,
-    probes::COPY_B,
-];
 
 fn pattern(rank: usize, epoch: u64) -> Vec<f64> {
     (0..A1)
@@ -62,7 +49,7 @@ fn writer(ctx: &Ctx, method: Method) -> Result<(), Fault> {
 }
 
 enum Outcome {
-    /// The armed label never fired; the job ran to completion.
+    /// The armed phase never fired; the job ran to completion.
     NeverFired,
     /// Recovery gave up job-wide with this message.
     Unrecoverable(String),
@@ -80,12 +67,12 @@ impl Outcome {
     }
 }
 
-/// Arm `label`/`nth` on node `victim`, run until the failure (or
+/// Arm `phase`/`nth` on node `victim`, run until the failure (or
 /// completion), then repair and collectively recover.
-fn sweep(method: Method, label: &'static str, nth: u64, victim: usize) -> Outcome {
+fn sweep(method: Method, phase: Phase, nth: u64, victim: usize) -> Outcome {
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 1)));
     let mut rl = Ranklist::round_robin(N, N);
-    cluster.arm_failure(FailurePlan::new(label, nth, victim));
+    cluster.arm_failure(FailurePlan::new(phase, nth, victim));
     let first = run_on_cluster(Arc::clone(&cluster), &rl, |ctx| writer(ctx, method));
     if first.is_ok() {
         return Outcome::NeverFired;
@@ -113,6 +100,7 @@ fn sweep(method: Method, label: &'static str, nth: u64, victim: usize) -> Outcom
                 Ok(None)
             }
             Err(RecoverError::Fault(f)) => Err(f),
+            Err(other) => panic!("unexpected recovery error: {other}"),
         }
     })
     .unwrap();
@@ -135,63 +123,63 @@ enum Expect {
     },
     /// Recovery must refuse (single-checkpoint torn update).
     Unrec,
-    /// The method's `make` never reaches this label.
+    /// The method's `make` never reaches this phase.
     NeverFires,
 }
 
 /// The paper's case analysis. The failure lands in epoch 3's `make`
-/// (epoch 2 committed, epoch 3 in flight), except `DONE`, which fires
+/// (epoch 2 committed, epoch 3 in flight), except `Done`, which fires
 /// after epoch 3 committed.
-fn expectation(method: Method, label: &str) -> Expect {
+fn expectation(method: Method, phase: Phase) -> Expect {
     let cc = Some(RestoreSource::CheckpointAndChecksum);
     let wd = Some(RestoreSource::WorkspaceAndChecksum);
-    match (method, label) {
+    match (method, phase) {
         // CASE 1: D not yet committed anywhere -> roll back to (B, C)@2.
-        (Method::SelfCkpt, probes::A2 | probes::ENCODE) => Expect::Restored {
+        (Method::SelfCkpt, Phase::Serialize | Phase::Encode) => Expect::Restored {
             epochs: &[2],
             source: cc,
         },
         // On the commit edge: depending on which side of the barrier the
         // survivors were parked, D@3 is committed (roll forward) or not
         // (roll back). Both are consistent states; either is sound.
-        (Method::SelfCkpt, probes::D_COMMIT) => Expect::Restored {
+        (Method::SelfCkpt, Phase::CommitD) => Expect::Restored {
             epochs: &[2, 3],
             source: None,
         },
         // CASE 2: D@3 committed, flush torn -> roll FORWARD from
         // (work, D), losing no progress.
-        (Method::SelfCkpt, probes::FLUSH_B | probes::FLUSH_C) => Expect::Restored {
+        (Method::SelfCkpt, Phase::FlushB | Phase::FlushC) => Expect::Restored {
             epochs: &[3],
             source: wd,
         },
-        (Method::SelfCkpt, probes::DONE) => Expect::Restored {
+        (Method::SelfCkpt, Phase::Done) => Expect::Restored {
             epochs: &[3],
             source: cc,
         },
-        // COPY_B (and anything else): self-checkpoint has no blind
-        // full-copy window — its flush is covered by FLUSH_B/FLUSH_C.
+        // CopyB (and anything else): self-checkpoint has no blind
+        // full-copy window — its flush is covered by FlushB/FlushC.
         (Method::SelfCkpt, _) => Expect::NeverFires,
 
         // Before the update window opens the old pair is intact...
-        (Method::Single, probes::A2) => Expect::Restored {
+        (Method::Single, Phase::Serialize) => Expect::Restored {
             epochs: &[2],
             source: cc,
         },
         // ...inside it, B is overwritten while C still matches the old B:
         // the method's documented flaw (Figure 2 CASE 2).
-        (Method::Single, probes::COPY_B | probes::ENCODE) => Expect::Unrec,
-        (Method::Single, probes::DONE) => Expect::Restored {
+        (Method::Single, Phase::CopyB | Phase::Encode) => Expect::Unrec,
+        (Method::Single, Phase::Done) => Expect::Restored {
             epochs: &[3],
             source: cc,
         },
         (Method::Single, _) => Expect::NeverFires,
 
         // Double always keeps the previous pair untouched.
-        (Method::Double, probes::A2 | probes::COPY_B | probes::ENCODE) => Expect::Restored {
+        (Method::Double, Phase::Serialize | Phase::CopyB | Phase::Encode) => Expect::Restored {
             epochs: &[2],
             source: cc,
         },
-        (Method::Double, probes::DONE) => Expect::Restored {
+        (Method::Double, Phase::Done) => Expect::Restored {
             epochs: &[3],
             source: cc,
         },
@@ -199,17 +187,17 @@ fn expectation(method: Method, label: &str) -> Expect {
     }
 }
 
-fn check(method: Method, label: &'static str, victim: usize) {
-    // ENCODE fires once per slot reduce (N per make): first probe of the
-    // third make is 2N+1. Every other label fires once per make.
-    let nth = if label == probes::ENCODE {
+fn check(method: Method, phase: Phase, victim: usize) {
+    // Encode fires once per slot reduce (N per make): first probe of the
+    // third make is 2N+1. Every other phase fires once per make.
+    let nth = if phase == Phase::Encode {
         2 * N as u64 + 1
     } else {
         3
     };
-    let out = sweep(method, label, nth, victim);
-    let tag = format!("{method:?}/{label}/victim{victim}");
-    match (expectation(method, label), out) {
+    let out = sweep(method, phase, nth, victim);
+    let tag = format!("{method:?}/{phase}/victim{victim}");
+    match (expectation(method, phase), out) {
         (Expect::NeverFires, Outcome::NeverFired) => {}
         (Expect::Unrec, Outcome::Unrecoverable(msg)) => {
             assert!(msg.contains("inconsistent"), "{tag}: wrong reason: {msg}");
@@ -252,30 +240,30 @@ fn check(method: Method, label: &'static str, victim: usize) {
 
 #[test]
 fn self_checkpoint_recovers_across_every_probe_window() {
-    for label in ALL_LABELS {
-        check(Method::SelfCkpt, label, 1);
+    for phase in Phase::ALL {
+        check(Method::SelfCkpt, phase, 1);
     }
 }
 
 #[test]
 fn single_checkpoint_matrix_matches_paper_case_analysis() {
-    for label in ALL_LABELS {
-        check(Method::Single, label, 1);
+    for phase in Phase::ALL {
+        check(Method::Single, phase, 1);
     }
 }
 
 #[test]
 fn double_checkpoint_matrix_rolls_back_to_intact_pair() {
-    for label in ALL_LABELS {
-        check(Method::Double, label, 1);
+    for phase in Phase::ALL {
+        check(Method::Double, phase, 1);
     }
 }
 
 #[test]
 fn self_checkpoint_matrix_is_victim_independent() {
     for victim in [0, 2, 3] {
-        for label in ALL_LABELS {
-            check(Method::SelfCkpt, label, victim);
+        for phase in Phase::ALL {
+            check(Method::SelfCkpt, phase, victim);
         }
     }
 }

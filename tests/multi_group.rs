@@ -5,7 +5,7 @@
 
 use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
 use self_checkpoint::core::{
-    group_color, protocol::probes, Checkpointer, CkptConfig, GroupStrategy, Method, Recovery,
+    group_color, Checkpointer, CkptConfig, GroupStrategy, Method, Phase, Recovery,
 };
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
 use std::sync::Arc;
@@ -58,10 +58,11 @@ fn recover_all(cluster: Arc<Cluster>, rl: &Ranklist) -> Vec<(u64, Vec<f64>)> {
     .unwrap()
 }
 
-fn case(label: &str, nth: u64, victim: usize) -> Vec<u64> {
+fn case(label: impl Into<String>, nth: u64, victim: usize) -> Vec<u64> {
+    let label: String = label.into();
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(RANKS, 1)));
     let mut rl = Ranklist::round_robin(RANKS, RANKS);
-    cluster.arm_failure(FailurePlan::new(label, nth, victim));
+    cluster.arm_failure(FailurePlan::new(label.as_str(), nth, victim));
     assert!(
         run_on_cluster(Arc::clone(&cluster), &rl, |ctx| writer(ctx, 4)).is_err(),
         "{label}@{nth} must fire"
@@ -90,7 +91,7 @@ fn groups_agree_after_failure_during_computation() {
 #[test]
 fn groups_agree_after_failure_during_encode() {
     // mid-encode of epoch 3: nobody flushed, so everyone must be at 2
-    let e = case(probes::ENCODE, 2 * GROUP as u64 + 1, 2);
+    let e = case(Phase::Encode, 2 * GROUP as u64 + 1, 2);
     assert_eq!(e[0], 2);
 }
 
@@ -99,19 +100,19 @@ fn groups_agree_after_failure_during_flush() {
     // the victim's group was flushing epoch 3; the cross-group gate
     // guarantees every other group had already committed D@3, so the
     // whole job rolls *forward* to 3
-    let e = case(probes::FLUSH_B, 3, 1);
+    let e = case(Phase::FlushB, 3, 1);
     assert_eq!(e[0], 3);
 }
 
 #[test]
 fn groups_agree_after_failure_at_d_commit() {
-    let e = case(probes::D_COMMIT, 3, 5);
+    let e = case(Phase::CommitD, 3, 5);
     assert!(e[0] == 2 || e[0] == 3, "consistent epoch, got {}", e[0]);
 }
 
 #[test]
 fn victim_in_second_group_behaves_identically() {
-    let e = case(probes::FLUSH_B, 3, 6); // node 6 hosts a group-1 rank
+    let e = case(Phase::FlushB, 3, 6); // node 6 hosts a group-1 rank
     assert_eq!(e[0], 3);
 }
 
@@ -120,7 +121,7 @@ fn strided_groups_also_stay_consistent() {
     // same scenario, strided group formation
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(RANKS, 1)));
     let mut rl = Ranklist::round_robin(RANKS, RANKS);
-    cluster.arm_failure(FailurePlan::new(probes::FLUSH_B, 2, 3));
+    cluster.arm_failure(FailurePlan::new(Phase::FlushB, 2, 3));
     let writer = |ctx: &Ctx| -> Result<Option<u64>, Fault> {
         let world = ctx.world();
         let me = world.rank();

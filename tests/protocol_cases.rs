@@ -14,7 +14,7 @@
 
 use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist};
 use self_checkpoint::core::{
-    protocol::probes, Checkpointer, CkptConfig, Method, RecoverError, Recovery,
+    Checkpointer, CkptConfig, Method, Phase, RecoverError, Recovery, RestoreSource,
 };
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
 use std::sync::Arc;
@@ -45,7 +45,11 @@ fn writer(ctx: &Ctx, method: Method) -> Result<(), Fault> {
 
 /// Run until the armed failure, repair, recover; return per-rank
 /// (recovery outcome or unrecoverable-flag, workspace contents).
-fn run_case(method: Method, label: &str, nth: u64) -> Result<Vec<(Recovery, Vec<f64>)>, String> {
+fn run_case(
+    method: Method,
+    label: impl Into<String>,
+    nth: u64,
+) -> Result<Vec<(Recovery, Vec<f64>)>, String> {
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 1)));
     let mut rl = Ranklist::round_robin(N, N);
     cluster.arm_failure(FailurePlan::new(label, nth, 1));
@@ -69,6 +73,7 @@ fn run_case(method: Method, label: &str, nth: u64) -> Result<Vec<(Recovery, Vec<
                 Ok(None)
             }
             Err(RecoverError::Fault(f)) => Err(f),
+            Err(other) => panic!("unexpected recovery error: {other}"),
         }
     })
     .unwrap();
@@ -102,14 +107,14 @@ fn single_failure_during_computation_rolls_back() {
 
 #[test]
 fn single_failure_during_update_is_unrecoverable() {
-    let msg = run_case(Method::Single, probes::COPY_B, 3).unwrap_err();
+    let msg = run_case(Method::Single, Phase::CopyB, 3).unwrap_err();
     assert!(msg.contains("inconsistent"), "{msg}");
 }
 
 #[test]
 fn single_failure_during_encode_is_unrecoverable() {
     // checksum being recomputed while B already overwritten: same flaw
-    let msg = run_case(Method::Single, probes::ENCODE, 2 * N as u64 + 1).unwrap_err();
+    let msg = run_case(Method::Single, Phase::Encode, 2 * N as u64 + 1).unwrap_err();
     assert!(msg.contains("inconsistent"), "{msg}");
 }
 
@@ -121,7 +126,7 @@ fn double_failure_during_computation_rolls_back() {
 
 #[test]
 fn double_failure_during_update_restores_intact_pair() {
-    let outs = run_case(Method::Double, probes::COPY_B, 3).unwrap();
+    let outs = run_case(Method::Double, Phase::CopyB, 3).unwrap();
     assert_epoch(&outs, 2);
 }
 
@@ -134,7 +139,7 @@ fn self_failure_during_computation_rolls_back() {
 #[test]
 fn self_failure_during_encode_uses_old_checkpoint() {
     // CASE 1 of Figure 4: failure while calculating the new checksum D
-    let outs = run_case(Method::SelfCkpt, probes::ENCODE, 2 * N as u64 + 1).unwrap();
+    let outs = run_case(Method::SelfCkpt, Phase::Encode, 2 * N as u64 + 1).unwrap();
     assert_epoch(&outs, 2);
 }
 
@@ -142,30 +147,30 @@ fn self_failure_during_encode_uses_old_checkpoint() {
 fn self_failure_during_flush_rolls_forward() {
     // CASE 2 of Figure 4: D committed, flush torn -> recover from (A, D)
     // at the *new* epoch, losing no progress.
-    let outs = run_case(Method::SelfCkpt, probes::FLUSH_B, 3).unwrap();
+    let outs = run_case(Method::SelfCkpt, Phase::FlushB, 3).unwrap();
     assert_epoch(&outs, 3);
     assert!(outs
         .iter()
         .all(|(r, _)| matches!(r, Recovery::Restored { source, .. }
-            if *source == self_checkpoint::core::protocol::RestoreSource::WorkspaceAndChecksum)));
+            if *source == RestoreSource::WorkspaceAndChecksum)));
 }
 
 #[test]
 fn self_failure_between_flush_copies_rolls_forward() {
-    let outs = run_case(Method::SelfCkpt, probes::FLUSH_C, 3).unwrap();
+    let outs = run_case(Method::SelfCkpt, Phase::FlushC, 3).unwrap();
     assert_epoch(&outs, 3);
 }
 
 #[test]
 fn self_failure_right_after_a2_write_uses_old_checkpoint() {
-    let outs = run_case(Method::SelfCkpt, probes::A2, 3).unwrap();
+    let outs = run_case(Method::SelfCkpt, Phase::Serialize, 3).unwrap();
     assert_epoch(&outs, 2);
 }
 
 #[test]
 fn every_method_survives_failure_after_full_commit() {
     for method in [Method::Single, Method::Double, Method::SelfCkpt] {
-        let outs = run_case(method, probes::DONE, 3).unwrap();
+        let outs = run_case(method, Phase::Done, 3).unwrap();
         assert_epoch(&outs, 3);
     }
 }
