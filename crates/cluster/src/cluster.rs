@@ -1,13 +1,16 @@
 //! The virtual cluster: node inventory, spare pool, rank placement, and
 //! MPI-style whole-job abort on node failure.
 
-use crate::events::EventBus;
+use crate::events::{Event, EventBus, Observer};
 use crate::failure::{FailureInjector, FailurePlan, Fault};
 use crate::net::NetModel;
 use crate::shm::ShmStore;
 use crate::storage::{Device, DeviceKind};
 use parking_lot::Mutex;
+use skt_sim::{RealRuntime, Runtime, Stopwatch};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Node identifier (index into the cluster's node tables).
 pub type NodeId = usize;
@@ -47,14 +50,45 @@ pub struct Cluster {
     injector: FailureInjector,
     net: NetModel,
     events: EventBus,
+    runtime: Arc<dyn Runtime>,
+}
+
+/// Bus observer that forwards protocol phase boundaries to the runtime,
+/// giving the simulation scheduler its per-task phase windows (what
+/// "kill the victim inside `FlushB`" targets).
+struct SimPhaseTracker {
+    rt: Arc<dyn Runtime>,
+}
+
+impl Observer for SimPhaseTracker {
+    fn on_event(&self, event: &Event) {
+        match *event {
+            Event::PhaseEnter { label, .. } => self.rt.phase_mark(label, true),
+            Event::PhaseExit { label, .. } => self.rt.phase_mark(label, false),
+            _ => {}
+        }
+    }
 }
 
 impl Cluster {
-    /// Build a cluster. Node ids `0..nodes` start in the job pool; ids
-    /// `nodes..nodes+spares` start in the spare pool.
+    /// Build a cluster on real threads and the wall clock. Node ids
+    /// `0..nodes` start in the job pool; ids `nodes..nodes+spares` start
+    /// in the spare pool.
     pub fn new(config: ClusterConfig) -> Self {
+        Self::new_with_runtime(config, RealRuntime::new())
+    }
+
+    /// Build a cluster on an explicit [`Runtime`] — pass a
+    /// [`SimRuntime`](skt_sim::SimRuntime) to make every job on this
+    /// cluster a deterministic function of `(config, seed)`.
+    pub fn new_with_runtime(config: ClusterConfig, runtime: Arc<dyn Runtime>) -> Self {
         let total = config.total();
         let events = EventBus::new();
+        if runtime.is_sim() {
+            events.subscribe(Arc::new(SimPhaseTracker {
+                rt: Arc::clone(&runtime),
+            }));
+        }
         Cluster {
             config,
             shm: (0..total).map(|_| ShmStore::new()).collect(),
@@ -73,6 +107,35 @@ impl Cluster {
             // platform models where it matters.
             net: NetModel::new(2e-6, 12.5e9, 2),
             events,
+            runtime,
+        }
+    }
+
+    /// The runtime this cluster's jobs are scheduled and timed by.
+    pub fn runtime(&self) -> &Arc<dyn Runtime> {
+        &self.runtime
+    }
+
+    /// Current time on the cluster's clock (wall under [`RealRuntime`],
+    /// virtual under simulation).
+    pub fn now(&self) -> Duration {
+        self.runtime.now()
+    }
+
+    /// Start a [`Stopwatch`] on the cluster's clock. Every layer that
+    /// reports a duration measures with this rather than `Instant::now()`
+    /// so reports are bit-identical for a fixed `(config, seed)` under
+    /// simulation.
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch::start(&self.runtime)
+    }
+
+    /// Charge the modeled network cost of moving `bytes` point-to-point
+    /// to the virtual clock. Under real time this is a no-op: modeled
+    /// costs there are reported, never waited out.
+    pub fn charge_send(&self, bytes: usize) {
+        if self.runtime.is_sim() {
+            self.runtime.advance(self.net.p2p(bytes));
         }
     }
 
@@ -153,6 +216,8 @@ impl Cluster {
         }
         self.shm[node].wipe();
         self.job_abort.store(true, Ordering::SeqCst);
+        // parked peers must wake to observe the abort
+        self.runtime.notify();
     }
 
     /// Take a spare node from the pool (daemon replacing a lost node).
@@ -213,6 +278,7 @@ impl Cluster {
     /// when a rank thread panics, so its peers unblock promptly).
     pub fn job_abort_for_panic(&self) {
         self.job_abort.store(true, Ordering::SeqCst);
+        self.runtime.notify();
     }
 
     /// Return `Err(Fault::JobAborted)` if the job has been aborted.

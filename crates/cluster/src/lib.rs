@@ -40,3 +40,9 @@ pub use failure::{FailureInjector, FailurePlan, Fault};
 pub use net::NetModel;
 pub use shm::{SegmentData, ShmSegment, ShmStore};
 pub use storage::{Device, DeviceKind};
+// The runtime seam lives in `skt-sim`; re-export it here so upper layers
+// (mps, core, ftsim) reach it through their existing cluster dependency.
+pub use skt_sim::{
+    explore, explore_yield_kills, RealRuntime, Runtime, SimRuntime, Stopwatch, YieldKillReport,
+    YieldOutcome,
+};

@@ -50,5 +50,5 @@ pub use memory::{available_fraction, max_workspace_len, MemoryBreakdown, Method}
 pub use multilevel::{MlStats, MultiLevel};
 pub use protocol::{
     Checkpointer, CkptConfig, CkptStats, Phase, RecoverError, Recovery, RecoveryReport,
-    RestoreSource,
+    RestoreSource, COPY_PROBE,
 };

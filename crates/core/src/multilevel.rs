@@ -15,7 +15,7 @@ use crate::protocol::{
     Checkpointer, CkptStats, HeaderMaxima, RecoverError, Recovery, RecoveryReport, RestoreSource,
 };
 use skt_mps::Fault;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Result of a multi-level `make`.
 #[derive(Clone, Copy, Debug)]
@@ -89,7 +89,7 @@ impl<'c> MultiLevel<'c> {
         let mut flush_time = Duration::ZERO;
         if self.flush_every > 0 && self.mem_ckpts.is_multiple_of(self.flush_every) {
             let ctx = self.ck.comm().ctx();
-            let t = Instant::now();
+            let t = ctx.stopwatch();
             let blob = self.serialize(a2);
             let sharers = ctx.node_sharers();
             let slot = (self.mem_ckpts / self.flush_every) % 2;
@@ -119,8 +119,8 @@ impl<'c> MultiLevel<'c> {
     }
 
     fn recover_from_pfs(&mut self) -> Result<Recovery, RecoverError> {
-        let t0 = Instant::now();
         let ctx = self.ck.comm().ctx();
+        let t0 = ctx.stopwatch();
         let pfs = ctx.cluster().pfs();
         let sharers = ctx.node_sharers();
         // newest epoch I hold on disk

@@ -8,7 +8,6 @@ use super::{Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, Re
 use crate::memory::Method;
 use skt_cluster::ShmSegment;
 use skt_mps::Fault;
-use std::time::Instant;
 
 pub(crate) struct Double;
 
@@ -32,13 +31,13 @@ impl Protocol for Double {
         } else {
             (ck.b.clone(), ck.c.clone(), HeaderWord::BcEpoch)
         };
-        let t1 = Instant::now();
+        let t1 = ck.clock();
         let sp = ck.span(Phase::CopyB, e);
         ck.copy_seg(&b_t, &ck.work, Phase::CopyB.label())?;
         sp.end();
         ck.phase_point(Phase::CopyB)?;
         let flush = t1.elapsed();
-        let t0 = Instant::now();
+        let t0 = ck.clock();
         let sp = ck.span(Phase::Encode, e);
         let parity = ck.encode_of(&b_t, Some(Phase::Encode.label()))?;
         ck.fill_seg(&c_t, &parity)?;

@@ -63,10 +63,17 @@ pub use report::RecoveryReport;
 use crate::engine::{encode_parity, reconstruct_lost};
 use crate::memory::Method;
 use header::HeaderWord;
-use skt_cluster::{Event, EventBus, SegmentData, ShmSegment};
+use skt_cluster::{Event, EventBus, SegmentData, ShmSegment, Stopwatch};
 use skt_encoding::{Code, GroupLayout, KernelConfig};
 use skt_mps::{Comm, Fault, Payload, ReduceOp};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// Probe label fired at the start of every protocol segment copy
+/// (`copy_seg`). Gives the simulation a kill-capable yield point *inside*
+/// each copy window (`FlushB`, `FlushC`, `CopyB`, and the restore
+/// copies), so the targeted explorer can take a node down mid-flush, not
+/// just at the phase-boundary probes.
+pub const COPY_PROBE: &str = "ckpt-copy";
 
 /// Static configuration of a [`Checkpointer`].
 #[derive(Clone, Debug)]
@@ -273,7 +280,7 @@ pub(crate) struct PhaseSpan {
     bus: EventBus,
     label: &'static str,
     epoch: u64,
-    t0: Instant,
+    t0: Stopwatch,
 }
 
 impl PhaseSpan {
@@ -465,6 +472,12 @@ impl<'c> Checkpointer<'c> {
 
     // ---- shared mechanics used by the Protocol implementations ----
 
+    /// A [`Stopwatch`] on the cluster's clock — all protocol timing goes
+    /// through this so reports reproduce bit-for-bit under simulation.
+    pub(crate) fn clock(&self) -> Stopwatch {
+        self.comm.ctx().stopwatch()
+    }
+
     /// Emit a phase-enter event and start its clock.
     fn span(&self, p: Phase, e: u64) -> PhaseSpan {
         self.bus.emit(Event::PhaseEnter {
@@ -475,7 +488,7 @@ impl<'c> Checkpointer<'c> {
             bus: self.bus.clone(),
             label: p.label(),
             epoch: e,
-            t0: Instant::now(),
+            t0: self.clock(),
         }
     }
 
@@ -498,6 +511,7 @@ impl<'c> Checkpointer<'c> {
         src: &ShmSegment,
         label: &'static str,
     ) -> Result<(), Fault> {
+        self.comm.ctx().failpoint(COPY_PROBE)?;
         let s = src.read();
         let mut d = dst.write();
         let sv = s.try_as_f64()?;
@@ -688,7 +702,7 @@ impl<'c> Checkpointer<'c> {
     /// segment holds the restored data and [`Self::last_report`] the
     /// decision trail.
     pub fn recover(&mut self) -> Result<Recovery, RecoverError> {
-        let t0 = Instant::now();
+        let t0 = self.clock();
         self.last_report = None;
         // Exchange (fresh, header words) across the group.
         let h = Header::read(&self.header)?;

@@ -7,7 +7,6 @@ use super::planner::{choose_self_source, HeaderMaxima};
 use super::{Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource};
 use crate::memory::Method;
 use skt_mps::Fault;
-use std::time::Instant;
 
 pub(crate) struct SelfCkpt;
 
@@ -20,7 +19,7 @@ impl Protocol for SelfCkpt {
         let d_seg = ck.d.clone().expect("self method has D");
 
         // (2) encode parity of `work` into D
-        let t0 = Instant::now();
+        let t0 = ck.clock();
         let sp = ck.span(Phase::Encode, e);
         let parity = ck.encode_of(&ck.work, Some(Phase::Encode.label()))?;
         ck.fill_seg(&d_seg, &parity)?;
@@ -38,7 +37,7 @@ impl Protocol for SelfCkpt {
 
         // (4) flush: the old checkpoint is overwritten while `work`+D
         // stand in as the consistent pair.
-        let t1 = Instant::now();
+        let t1 = ck.clock();
         let sp = ck.span(Phase::FlushB, e);
         ck.copy_seg(&ck.b, &ck.work, Phase::FlushB.label())?;
         sp.end();

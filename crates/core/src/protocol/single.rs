@@ -8,7 +8,6 @@ use super::planner::HeaderMaxima;
 use super::{Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource};
 use crate::memory::Method;
 use skt_mps::Fault;
-use std::time::Instant;
 
 pub(crate) struct Single;
 
@@ -28,13 +27,13 @@ impl Protocol for Single {
         // may be torn and recovery must give up — the method's documented
         // flaw (paper Figure 2, CASE 2).
         ck.commit(HeaderWord::Dirty, e)?;
-        let t1 = Instant::now();
+        let t1 = ck.clock();
         let sp = ck.span(Phase::CopyB, e);
         ck.copy_seg(&ck.b, &ck.work, Phase::CopyB.label())?;
         sp.end();
         ck.phase_point(Phase::CopyB)?;
         let flush = t1.elapsed();
-        let t0 = Instant::now();
+        let t0 = ck.clock();
         let sp = ck.span(Phase::Encode, e);
         let parity = ck.encode_of(&ck.b, Some(Phase::Encode.label()))?;
         ck.fill_seg(&ck.c, &parity)?;

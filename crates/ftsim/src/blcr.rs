@@ -22,7 +22,6 @@ use skt_hpl::{SktOutput, ITER_PROBE};
 use skt_linalg::MatGen;
 use skt_mps::{Ctx, Fault, Payload, ReduceOp};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Per-rank persistent disks, owned by the driver so they outlive job
 /// launches (a rank's disk follows it to a replacement node).
@@ -90,7 +89,7 @@ pub fn run_blcr(ctx: &Ctx, cfg: &BlcrConfig, store: &BlcrStore) -> Result<SktOut
     let slot_name = |s: u64| format!("{}/r{me}/slot{s}", cfg.name);
 
     // --- restore: newest epoch available on EVERY rank ---
-    let t_rec = Instant::now();
+    let t_rec = ctx.stopwatch();
     let mut local: Vec<(u64, u64)> = Vec::new(); // (k, slot)
     for s in 0..2u64 {
         if let Some((blob, _)) = dev.read(&slot_name(s), sharers) {
@@ -130,7 +129,7 @@ pub fn run_blcr(ctx: &Ctx, cfg: &BlcrConfig, store: &BlcrStore) -> Result<SktOut
     let mut ckpt_wall = 0.0f64; // real wall time actually spent, to subtract
     let mut checkpoints = 0usize;
     let nba = dist.nblocks_a();
-    let t0 = Instant::now();
+    let t0 = ctx.stopwatch();
     for k in start_panel..nba {
         panel_step(&comm, &dist, &mut storage, k)?;
         ctx.failpoint(ITER_PROBE)?;
@@ -139,7 +138,7 @@ pub fn run_blcr(ctx: &Ctx, cfg: &BlcrConfig, store: &BlcrStore) -> Result<SktOut
             && (done as usize).is_multiple_of(cfg.ckpt_every)
             && (done as usize) < nba
         {
-            let t = Instant::now();
+            let t = ctx.stopwatch();
             let blob = serialize(done, &storage);
             ctx.failpoint("blcr-write")?;
             // alternate slots by checkpoint ordinal so the previous

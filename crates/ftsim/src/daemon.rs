@@ -16,7 +16,7 @@ use skt_cluster::{Cluster, Fault, Ranklist};
 use skt_hpl::{run_skt, SktConfig, SktOutput};
 use skt_mps::run_on_cluster;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The phases of one work-fail-detect-restart cycle — the bars of
 /// Figure 10, in the order they occur.
@@ -141,7 +141,7 @@ pub fn run_with_daemon(
     loop {
         launches += 1;
         cluster.reset_abort();
-        let t_launch = Instant::now();
+        let t_launch = cluster.stopwatch();
         let result: Result<Vec<SktOutput>, Fault> =
             run_on_cluster(Arc::clone(&cluster), &rl, |ctx| run_skt(ctx, cfg));
         match result {
@@ -174,11 +174,14 @@ pub fn run_with_daemon(
                 if launches > max_failures {
                     return Err(DaemonError::TooManyFailures(launches));
                 }
-                // detect: the daemon learns of the abort from the launcher
+                // detect: the daemon learns of the abort from the launcher.
+                // The modeled latency is charged to the virtual clock under
+                // simulation (a no-op in real time).
                 let mut phase = PhaseTimes::default();
                 phase.set(CyclePhase::Detect, detect_model);
+                cluster.runtime().advance(detect_model);
                 // replace: node-health check + ranklist repair
-                let t_rep = Instant::now();
+                let t_rep = cluster.stopwatch();
                 cluster.reset_abort();
                 match rl.repair(&cluster) {
                     Ok(_moved) => {}

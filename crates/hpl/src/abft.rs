@@ -18,7 +18,6 @@ use crate::elim::{back_substitute, eliminate, generate, verify};
 use crate::plain::{assemble_output, HplConfig, HplOutput};
 use skt_linalg::MatGen;
 use skt_mps::{Ctx, Fault, Payload, ReduceOp};
-use std::time::Instant;
 
 /// Result of an ABFT-HPL run.
 #[derive(Clone, Copy, Debug)]
@@ -138,7 +137,7 @@ pub fn run_abft(ctx: &Ctx, cfg: &HplConfig) -> Result<AbftOutput, Fault> {
     generate_checksums(&dist, &gen, &mut storage);
     comm.barrier()?;
 
-    let t0 = Instant::now();
+    let t0 = ctx.stopwatch();
     eliminate(&comm, &dist, &mut storage, 0, |_, _| {
         ctx.failpoint(crate::ITER_PROBE)
     })?;

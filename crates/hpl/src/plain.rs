@@ -5,7 +5,6 @@ use crate::dist::BlockCyclic1D;
 use crate::elim::{back_substitute, eliminate, generate, verify};
 use skt_linalg::{hpl_flops, MatGen};
 use skt_mps::{Ctx, Fault, Payload, ReduceOp};
-use std::time::Instant;
 
 /// Problem configuration shared by all HPL variants.
 #[derive(Clone, Copy, Debug)]
@@ -113,7 +112,7 @@ pub fn run_plain(ctx: &Ctx, cfg: &HplConfig) -> Result<HplOutput, Fault> {
     generate(&dist, &gen, &mut storage);
     comm.barrier()?;
 
-    let t0 = Instant::now();
+    let t0 = ctx.stopwatch();
     eliminate(&comm, &dist, &mut storage, 0, |_, _| {
         ctx.failpoint(crate::ITER_PROBE)
     })?;

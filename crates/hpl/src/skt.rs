@@ -21,7 +21,6 @@ use skt_core::{
 use skt_encoding::Code;
 use skt_linalg::MatGen;
 use skt_mps::{Ctx, Fault};
-use std::time::Instant;
 
 /// Configuration of a fault-tolerant HPL run.
 #[derive(Clone, Debug)]
@@ -102,7 +101,7 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
     // recover or generate
     let mut start_panel = 0usize;
     let mut from_scratch = false;
-    let t_rec = Instant::now();
+    let t_rec = ctx.stopwatch();
     match ck.recover() {
         Ok(Recovery::Restored { a2, .. }) => {
             start_panel =
@@ -136,7 +135,7 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
     let mut encode_secs = 0.0f64;
     let mut checkpoints = 0usize;
     let nba = dist.nblocks_a();
-    let t0 = Instant::now();
+    let t0 = ctx.stopwatch();
     for k in start_panel..nba {
         {
             let mut g = ws.write();
@@ -145,7 +144,7 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
         ctx.failpoint(ITER_PROBE)?;
         let done = k + 1;
         if cfg.ckpt_every > 0 && done % cfg.ckpt_every == 0 && done < nba {
-            let tc = Instant::now();
+            let tc = ctx.stopwatch();
             let stats = ck.make(&(done as u64).to_le_bytes())?;
             ckpt_secs += tc.elapsed().as_secs_f64();
             encode_secs += stats.encode.as_secs_f64();

@@ -5,7 +5,6 @@
 use crate::payload::{Payload, ReduceOp};
 use crate::world::Ctx;
 use skt_cluster::{Event, Fault};
-use std::time::Instant;
 
 /// A message in flight.
 #[derive(Debug)]
@@ -176,7 +175,7 @@ impl<'c> Comm<'c> {
         if !bus.is_active() {
             return body();
         }
-        let t = Instant::now();
+        let t = self.ctx.stopwatch();
         let out = body()?;
         bus.emit(Event::Collective {
             op,

@@ -2,8 +2,8 @@
 //! rank function to completion or whole-job abort.
 
 use crate::comm::{Comm, Envelope};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use skt_cluster::{Cluster, ClusterConfig, Fault, NodeId, Ranklist};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use skt_cluster::{Cluster, ClusterConfig, Fault, NodeId, Ranklist, Runtime, YieldOutcome};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -70,10 +70,32 @@ impl Ctx {
         Comm::world(self)
     }
 
+    /// A [`Stopwatch`](skt_cluster::Stopwatch) on the cluster's clock —
+    /// what rank code uses instead of `Instant::now()` so measured
+    /// durations are reproducible under simulation.
+    pub fn stopwatch(&self) -> skt_cluster::Stopwatch {
+        self.cluster.stopwatch()
+    }
+
+    /// Kill-capable simulation yield point. Under the real runtime this is
+    /// free; under [`SimRuntime`](skt_cluster::SimRuntime) the rank gives
+    /// up its time slice here, and an armed yield kill can choose this
+    /// exact point to take the node down — same death path as an armed
+    /// [`FailurePlan`](skt_cluster::FailurePlan) firing at a probe.
+    pub(crate) fn sim_yield(&self, label: &str) -> Result<(), Fault> {
+        if self.cluster.runtime().yield_now(label) == YieldOutcome::Killed {
+            self.cluster.kill_node(self.node);
+            return Err(Fault::NodeDead(self.node));
+        }
+        Ok(())
+    }
+
     /// Named failure probe: increments this rank's counter for `label`
     /// and consults the cluster's armed plans. Returns `Err` if this node
-    /// just died or the job is aborted.
+    /// just died or the job is aborted. Doubles as a simulation yield
+    /// point, so every probe is also a schedulable (and killable) instant.
     pub fn failpoint(&self, label: &str) -> Result<(), Fault> {
+        self.sim_yield(label)?;
         let count = {
             let mut counts = self.fail_counts.borrow_mut();
             let c = counts.entry(label.to_string()).or_insert(0);
@@ -93,11 +115,20 @@ impl Ctx {
     }
 
     pub(crate) fn raw_send(&self, dst_world: usize, env: Envelope) -> Result<(), Fault> {
+        self.sim_yield("send")?;
         self.check_abort()?;
+        let bytes = env.payload.size_bytes();
         // Sending to a dead node's mailbox is allowed (the message is
         // simply never consumed) — like a NIC buffering for a dead peer.
         // The abort flag unblocks the sender's future operations.
-        self.txs[dst_world].send(env).map_err(|_| Fault::JobAborted)
+        self.txs[dst_world]
+            .send(env)
+            .map_err(|_| Fault::JobAborted)?;
+        // Under simulation: charge the modeled transfer to the virtual
+        // clock and wake any peer parked in a receive.
+        self.cluster.charge_send(bytes);
+        self.cluster.runtime().notify();
+        Ok(())
     }
 
     /// Receive the next envelope matching `pred`, buffering mismatches.
@@ -114,17 +145,40 @@ impl Ctx {
         }
         loop {
             self.check_abort()?;
-            match self.rx.recv_timeout(POLL) {
-                Ok(env) => {
-                    if pred(&env) {
-                        return Ok(env);
+            // Drain everything already delivered without blocking.
+            loop {
+                match self.rx.try_recv() {
+                    Ok(env) => {
+                        if pred(&env) {
+                            return Ok(env);
+                        }
+                        self.pending.borrow_mut().push(env);
                     }
-                    self.pending.borrow_mut().push(env);
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return Err(Fault::JobAborted),
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    return Err(Fault::JobAborted)
+            }
+            // Nothing matched. Under simulation, park until a send or an
+            // abort wakes us (a timed poll would be a hidden wall-clock
+            // dependency); in real time, fall back to the timed poll.
+            match self.cluster.runtime().park_blocked() {
+                Some(YieldOutcome::Continue) => continue,
+                Some(YieldOutcome::Killed) => {
+                    self.cluster.kill_node(self.node);
+                    return Err(Fault::NodeDead(self.node));
                 }
+                None => match self.rx.recv_timeout(POLL) {
+                    Ok(env) => {
+                        if pred(&env) {
+                            return Ok(env);
+                        }
+                        self.pending.borrow_mut().push(env);
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        return Err(Fault::JobAborted)
+                    }
+                },
             }
         }
     }
@@ -156,6 +210,8 @@ where
     let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Envelope>()).unzip();
     let txs = Arc::new(txs);
     let mut results: Vec<Option<Result<T, Fault>>> = (0..n).map(|_| None).collect();
+    let rt = Arc::clone(cluster.runtime());
+    rt.begin_world(&(0..n).map(|r| ranklist.node_of(r)).collect::<Vec<_>>());
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
@@ -175,7 +231,13 @@ where
             };
             let fref = &f;
             let cl = Arc::clone(&cluster);
+            let trt = Arc::clone(&rt);
             handles.push(scope.spawn(move || {
+                // Register with the runtime; the guard deregisters even on
+                // an unwinding panic so the sim scheduler never waits on a
+                // dead thread.
+                trt.task_enter(rank);
+                let _task = TaskGuard { rt: &trt, rank };
                 // A panicking rank must not leave its peers blocked in
                 // recv forever: flag the job aborted, then unwind.
                 let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fref(&ctx)));
@@ -188,6 +250,9 @@ where
                 }
             }));
         }
+        // Lend the launching thread to the scheduler until every rank task
+        // is done (no-op under the real runtime).
+        rt.drive();
         let mut first_panic = None;
         for (rank, h) in handles.into_iter().enumerate() {
             match h.join() {
@@ -215,6 +280,19 @@ where
     match fault {
         Some(e) => Err(e),
         None => Ok(out),
+    }
+}
+
+/// Deregisters a rank task from the runtime on scope exit, unwinding or
+/// not.
+struct TaskGuard<'a> {
+    rt: &'a Arc<dyn Runtime>,
+    rank: usize,
+}
+
+impl Drop for TaskGuard<'_> {
+    fn drop(&mut self) {
+        self.rt.task_exit(self.rank);
     }
 }
 

@@ -1,0 +1,32 @@
+//! # skt-sim — deterministic simulation for the rank world
+//!
+//! The paper claims self-checkpoint survives a node failure at *any*
+//! instant. Real threads only sample the instants the host scheduler
+//! happens to produce; this crate makes "any instant" a finite, seeded,
+//! replayable space.
+//!
+//! * [`Runtime`] — the scheduling/time seam the mps world, cluster
+//!   failure injector, and ftsim daemon run on. [`RealRuntime`] is
+//!   today's behavior (preemptive threads, wall clock, every hook a
+//!   no-op). [`SimRuntime`] serializes the same rank threads into
+//!   cooperative tasks under a seeded RNG and a virtual clock, so a
+//!   whole checkpoint/fail/recover cycle is a pure function of
+//!   `(config, seed)`.
+//! * [`Stopwatch`] — duration measurement on the runtime's clock, used
+//!   by every report-producing layer instead of `Instant::now()`.
+//! * [`explore`] / [`explore_yield_kills`] — the interleaving
+//!   exploration harness: seed sweeps for breadth, kill-at-every-yield-
+//!   point-of-a-phase for depth.
+//!
+//! This crate sits below `skt-cluster` (which re-exports the types upper
+//! layers need) and depends on nothing but std.
+
+mod explore;
+mod rng;
+mod runtime;
+mod sim;
+
+pub use explore::{explore, explore_yield_kills, YieldKillReport};
+pub use rng::SplitMix64;
+pub use runtime::{RealRuntime, Runtime, Stopwatch, YieldOutcome};
+pub use sim::{SimRuntime, QUANTUM};

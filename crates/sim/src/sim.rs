@@ -1,0 +1,551 @@
+//! The deterministic simulation runtime.
+//!
+//! One OS thread still backs each rank, but only one runs at a time: a
+//! task executes until its next yield point (probe, send, blocking
+//! receive), hands the token back, and a seeded RNG picks the next
+//! runnable task. The interleaving — and with it every race the protocol
+//! could see — is therefore a pure function of the seed.
+//!
+//! ## Virtual time
+//!
+//! The clock advances by a fixed [`QUANTUM`] per scheduling step, plus
+//! whatever modeled costs the stack charges through
+//! [`Runtime::advance`] (network transfer per send, the daemon's modeled
+//! detection latency). No duration anywhere in a simulated run comes
+//! from the wall clock, which is what makes reports byte-identical
+//! across runs.
+//!
+//! ## Yield-point kills
+//!
+//! [`SimRuntime::arm_yield_kill`] kills a node's task at the `nth`
+//! kill-capable yield inside a label's window — where a yield is "inside"
+//! when either the task's current phase span (tracked from
+//! `PhaseEnter`/`PhaseExit` marks) or the yield's own probe label matches.
+//! Counts are also recorded on unarmed runs, so an explorer can first
+//! measure how many yield points a phase has, then kill at each in turn
+//! (see [`crate::explore_yield_kills`]).
+
+use crate::rng::SplitMix64;
+use crate::runtime::{Runtime, YieldOutcome};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Virtual time charged per scheduling step. Big enough that every
+/// simulated duration is visibly nonzero, small enough that simulated
+/// runs stay in the milliseconds.
+pub const QUANTUM: Duration = Duration::from_micros(1);
+
+thread_local! {
+    /// The rank whose task the current thread is running, if any.
+    static CURRENT_RANK: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TaskState {
+    /// Thread not yet registered via `task_enter`.
+    Spawned,
+    /// Runnable, waiting for the token.
+    Ready,
+    /// Holds the token.
+    Running,
+    /// Blocked in a receive; needs `notify` to become runnable.
+    Parked,
+    /// Returned or unwound.
+    Done,
+}
+
+struct Task {
+    state: TaskState,
+    node: usize,
+    /// Current phase window (label of the innermost `PhaseEnter` not yet
+    /// exited), used for targeted kills.
+    phase: Option<&'static str>,
+    /// Label of the most recent yield — the deadlock report's best clue.
+    last_yield: String,
+}
+
+struct YieldKill {
+    node: usize,
+    label: String,
+    nth: u64,
+}
+
+struct Sched {
+    rng: SplitMix64,
+    tasks: Vec<Task>,
+    kill: Option<YieldKill>,
+    /// Kill-capable yields seen, keyed label → node → count. Every yield
+    /// is recorded under its own probe label and (when different) under
+    /// the enclosing phase window's label.
+    yields: HashMap<String, HashMap<usize, u64>>,
+    steps: u64,
+    /// Set when the scheduler panics (deadlock): parked tasks must wake
+    /// and bail out instead of waiting forever.
+    poisoned: bool,
+}
+
+/// The deterministic cooperative scheduler. Construct with
+/// [`SimRuntime::new`], hand to
+/// `Cluster::new_with_runtime`, and run the world exactly as under real
+/// threads — `run_on_cluster` routes spawning, receives, probes, and the
+/// clock through here.
+pub struct SimRuntime {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    clock_ns: AtomicU64,
+    seed: u64,
+}
+
+impl SimRuntime {
+    /// A simulation scheduled by `seed`.
+    pub fn new(seed: u64) -> Arc<Self> {
+        Arc::new(SimRuntime {
+            sched: Mutex::new(Sched {
+                rng: SplitMix64::new(seed),
+                tasks: Vec::new(),
+                kill: None,
+                yields: HashMap::new(),
+                steps: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            clock_ns: AtomicU64::new(0),
+            seed,
+        })
+    }
+
+    /// The seed this simulation runs under.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Scheduling steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.lock().steps
+    }
+
+    /// Kill `node`'s task at the `nth` kill-capable yield whose probe
+    /// label or enclosing phase window matches `label` (1-based, counted
+    /// over the runtime's whole life, across relaunches). One-shot.
+    pub fn arm_yield_kill(&self, node: usize, label: impl Into<String>, nth: u64) {
+        let mut s = self.lock();
+        s.kill = Some(YieldKill {
+            node,
+            label: label.into(),
+            nth: nth.max(1),
+        });
+    }
+
+    /// How many kill-capable yields `node`'s tasks have hit inside
+    /// `label`'s window so far. Run the scenario once unarmed, read this,
+    /// and you know the exact number of kill candidates a targeted
+    /// explorer must cover.
+    pub fn yield_count(&self, node: usize, label: &str) -> u64 {
+        self.lock()
+            .yields
+            .get(label)
+            .and_then(|per| per.get(&node))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().expect("sim scheduler lock poisoned")
+    }
+
+    fn tick(&self) {
+        self.clock_ns
+            .fetch_add(QUANTUM.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Record a kill-capable yield of `rank` and decide whether the armed
+    /// kill (if any) fires on it.
+    fn note_yield(s: &mut Sched, rank: usize, label: &str) -> bool {
+        let node = s.tasks[rank].node;
+        let phase = s.tasks[rank].phase;
+        if !s.yields.contains_key(label) {
+            s.yields.insert(label.to_string(), HashMap::new());
+        }
+        let c_label = {
+            let c = s
+                .yields
+                .get_mut(label)
+                .expect("just inserted")
+                .entry(node)
+                .or_insert(0);
+            *c += 1;
+            *c
+        };
+        let c_phase = match phase {
+            Some(p) if p != label => {
+                if !s.yields.contains_key(p) {
+                    s.yields.insert(p.to_string(), HashMap::new());
+                }
+                let c = s
+                    .yields
+                    .get_mut(p)
+                    .expect("just inserted")
+                    .entry(node)
+                    .or_insert(0);
+                *c += 1;
+                Some(*c)
+            }
+            _ => None,
+        };
+        if let Some(k) = &s.kill {
+            if k.node == node {
+                let count = if k.label == label {
+                    Some(c_label)
+                } else if phase == Some(k.label.as_str()) {
+                    c_phase
+                } else {
+                    None
+                };
+                if count == Some(k.nth) {
+                    s.kill = None;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Block the calling task until the scheduler hands it the token.
+    fn wait_for_token<'a>(
+        &'a self,
+        mut s: MutexGuard<'a, Sched>,
+        rank: usize,
+    ) -> MutexGuard<'a, Sched> {
+        self.cv.notify_all();
+        while s.tasks[rank].state != TaskState::Running {
+            assert!(!s.poisoned, "sim scheduler poisoned (deadlock elsewhere)");
+            s = self.cv.wait(s).expect("sim scheduler lock poisoned");
+        }
+        s
+    }
+
+    fn dump(s: &Sched) -> String {
+        s.tasks
+            .iter()
+            .enumerate()
+            .map(|(r, t)| {
+                format!(
+                    "  rank {r} (node {}): {:?}, phase {:?}, last yield '{}'",
+                    t.node, t.state, t.phase, t.last_yield
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl Runtime for SimRuntime {
+    fn is_sim(&self) -> bool {
+        true
+    }
+
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.clock_ns.load(Ordering::SeqCst))
+    }
+
+    fn advance(&self, d: Duration) {
+        self.clock_ns.fetch_add(
+            d.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::SeqCst,
+        );
+    }
+
+    fn begin_world(&self, nodes: &[usize]) {
+        let mut s = self.lock();
+        assert!(
+            s.tasks.iter().all(|t| t.state == TaskState::Done),
+            "begin_world while a previous world still has live tasks"
+        );
+        s.tasks = nodes
+            .iter()
+            .map(|&node| Task {
+                state: TaskState::Spawned,
+                node,
+                phase: None,
+                last_yield: String::new(),
+            })
+            .collect();
+    }
+
+    fn task_enter(&self, rank: usize) {
+        CURRENT_RANK.with(|c| c.set(Some(rank)));
+        let mut s = self.lock();
+        assert_eq!(s.tasks[rank].state, TaskState::Spawned, "double task_enter");
+        s.tasks[rank].state = TaskState::Ready;
+        let _s = self.wait_for_token(s, rank);
+    }
+
+    fn task_exit(&self, rank: usize) {
+        CURRENT_RANK.with(|c| c.set(None));
+        let mut s = self.lock();
+        s.tasks[rank].state = TaskState::Done;
+        self.cv.notify_all();
+    }
+
+    fn drive(&self) {
+        let mut s = self.lock();
+        loop {
+            if s.tasks.iter().all(|t| t.state == TaskState::Done) {
+                return;
+            }
+            if s.tasks.iter().any(|t| t.state == TaskState::Running) {
+                s = self.cv.wait(s).expect("sim scheduler lock poisoned");
+                continue;
+            }
+            if s.tasks.iter().any(|t| t.state == TaskState::Spawned) {
+                // don't pick until every thread has checked in: the set of
+                // arrived tasks is timing-dependent, the full world is not
+                s = self.cv.wait(s).expect("sim scheduler lock poisoned");
+                continue;
+            }
+            let ready: Vec<usize> = s
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state == TaskState::Ready)
+                .map(|(r, _)| r)
+                .collect();
+            if ready.is_empty() {
+                // every live task is parked and nothing can wake them
+                s.poisoned = true;
+                self.cv.notify_all();
+                panic!(
+                    "sim deadlock (seed {}): all tasks parked\n{}",
+                    self.seed,
+                    Self::dump(&s)
+                );
+            }
+            let pick = ready[s.rng.below(ready.len() as u64) as usize];
+            s.tasks[pick].state = TaskState::Running;
+            s.steps += 1;
+            self.tick();
+            self.cv.notify_all();
+        }
+    }
+
+    fn yield_now(&self, label: &str) -> YieldOutcome {
+        let Some(rank) = CURRENT_RANK.with(|c| c.get()) else {
+            return YieldOutcome::Continue;
+        };
+        let mut s = self.lock();
+        if Self::note_yield(&mut s, rank, label) {
+            // keep the token: the dying task must kill its node and
+            // unwind atomically, exactly like a probe kill
+            return YieldOutcome::Killed;
+        }
+        s.tasks[rank].state = TaskState::Ready;
+        s.tasks[rank].last_yield.clear();
+        s.tasks[rank].last_yield.push_str(label);
+        let _s = self.wait_for_token(s, rank);
+        YieldOutcome::Continue
+    }
+
+    fn park_blocked(&self) -> Option<YieldOutcome> {
+        let rank = CURRENT_RANK.with(|c| c.get())?;
+        let mut s = self.lock();
+        if Self::note_yield(&mut s, rank, "recv-park") {
+            return Some(YieldOutcome::Killed);
+        }
+        s.tasks[rank].state = TaskState::Parked;
+        s.tasks[rank].last_yield.clear();
+        s.tasks[rank].last_yield.push_str("recv-park");
+        let _s = self.wait_for_token(s, rank);
+        Some(YieldOutcome::Continue)
+    }
+
+    fn notify(&self) {
+        let mut s = self.lock();
+        for t in &mut s.tasks {
+            if t.state == TaskState::Parked {
+                t.state = TaskState::Ready;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn phase_mark(&self, label: &'static str, enter: bool) {
+        let Some(rank) = CURRENT_RANK.with(|c| c.get()) else {
+            return;
+        };
+        let mut s = self.lock();
+        if enter {
+            s.tasks[rank].phase = Some(label);
+        } else if s.tasks[rank].phase == Some(label) {
+            s.tasks[rank].phase = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive `n` tasks that yield `label` a few times each; returns the
+    /// order in which (rank, yield-index) pairs were granted the token.
+    fn run_world(seed: u64, n: usize, yields: usize) -> Vec<(usize, usize)> {
+        let rt = SimRuntime::new(seed);
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            rt.begin_world(&(0..n).collect::<Vec<_>>());
+            for rank in 0..n {
+                let rt = Arc::clone(&rt);
+                let order = &order;
+                scope.spawn(move || {
+                    rt.task_enter(rank);
+                    for i in 0..yields {
+                        order.lock().unwrap().push((rank, i));
+                        assert_eq!(rt.yield_now("step"), YieldOutcome::Continue);
+                    }
+                    rt.task_exit(rank);
+                });
+            }
+            rt.drive();
+        });
+        order.into_inner().unwrap()
+    }
+
+    #[test]
+    fn same_seed_same_interleaving() {
+        assert_eq!(run_world(3, 4, 8), run_world(3, 4, 8));
+    }
+
+    #[test]
+    fn different_seeds_interleave_differently() {
+        let runs: Vec<_> = (0..16).map(|s| run_world(s, 4, 8)).collect();
+        assert!(
+            runs.windows(2).any(|w| w[0] != w[1]),
+            "16 seeds, 4 tasks, 8 yields: some pair must differ"
+        );
+    }
+
+    #[test]
+    fn virtual_clock_advances_per_step_and_by_advance() {
+        let rt = SimRuntime::new(0);
+        assert_eq!(rt.now(), Duration::ZERO);
+        rt.advance(Duration::from_millis(5));
+        assert_eq!(rt.now(), Duration::from_millis(5));
+        std::thread::scope(|scope| {
+            rt.begin_world(&[0]);
+            let r = Arc::clone(&rt);
+            scope.spawn(move || {
+                r.task_enter(0);
+                r.yield_now("a");
+                r.task_exit(0);
+            });
+            rt.drive();
+        });
+        // two grants (enter + one yield) -> two quanta on top
+        assert_eq!(rt.now(), Duration::from_millis(5) + 2 * QUANTUM);
+    }
+
+    #[test]
+    fn armed_kill_fires_at_exact_yield() {
+        let rt = SimRuntime::new(9);
+        rt.arm_yield_kill(0, "probe", 3);
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            rt.begin_world(&[0]);
+            let r = Arc::clone(&rt);
+            let seen = &seen;
+            scope.spawn(move || {
+                r.task_enter(0);
+                for i in 1..=10 {
+                    let out = r.yield_now("probe");
+                    seen.lock().unwrap().push((i, out));
+                    if out == YieldOutcome::Killed {
+                        break;
+                    }
+                }
+                r.task_exit(0);
+            });
+            rt.drive();
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[2], (3, YieldOutcome::Killed));
+        assert_eq!(rt.yield_count(0, "probe"), 3);
+    }
+
+    #[test]
+    fn phase_window_attributes_yields_to_enclosing_phase() {
+        let rt = SimRuntime::new(1);
+        std::thread::scope(|scope| {
+            rt.begin_world(&[7]);
+            let r = Arc::clone(&rt);
+            scope.spawn(move || {
+                r.task_enter(0);
+                r.yield_now("outside");
+                r.phase_mark("win", true);
+                r.yield_now("inner-a");
+                r.yield_now("inner-b");
+                r.phase_mark("win", false);
+                r.yield_now("outside");
+                r.task_exit(0);
+            });
+            rt.drive();
+        });
+        assert_eq!(rt.yield_count(7, "win"), 2, "two yields inside the window");
+        assert_eq!(rt.yield_count(7, "inner-a"), 1);
+        assert_eq!(rt.yield_count(7, "outside"), 2);
+    }
+
+    #[test]
+    fn parked_task_wakes_on_notify() {
+        let rt = SimRuntime::new(5);
+        let got = Mutex::new(None);
+        std::thread::scope(|scope| {
+            rt.begin_world(&[0, 1]);
+            let r0 = Arc::clone(&rt);
+            let got = &got;
+            scope.spawn(move || {
+                r0.task_enter(0);
+                // park until rank 1 notifies
+                assert_eq!(r0.park_blocked(), Some(YieldOutcome::Continue));
+                *got.lock().unwrap() = Some("woke");
+                r0.task_exit(0);
+            });
+            let r1 = Arc::clone(&rt);
+            scope.spawn(move || {
+                r1.task_enter(1);
+                r1.yield_now("spin");
+                r1.notify();
+                r1.task_exit(1);
+            });
+            rt.drive();
+        });
+        assert_eq!(got.into_inner().unwrap(), Some("woke"));
+    }
+
+    #[test]
+    fn deadlock_panics_with_task_dump() {
+        let err = std::panic::catch_unwind(|| {
+            let rt = SimRuntime::new(0);
+            std::thread::scope(|scope| {
+                rt.begin_world(&[0]);
+                let r = Arc::clone(&rt);
+                scope.spawn(move || {
+                    r.task_enter(0);
+                    // park with nobody left to notify
+                    let _ =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.park_blocked()));
+                    r.task_exit(0);
+                });
+                rt.drive();
+            });
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "?".into());
+        assert!(msg.contains("sim deadlock"), "{msg}");
+    }
+}

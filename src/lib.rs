@@ -75,3 +75,4 @@ pub use skt_hpl as hpl;
 pub use skt_linalg as linalg;
 pub use skt_models as models;
 pub use skt_mps as mps;
+pub use skt_sim as sim;

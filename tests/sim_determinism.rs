@@ -1,0 +1,243 @@
+//! Acceptance tests for the deterministic sim runtime (`skt-sim`):
+//!
+//! * a full checkpoint / fail / recover cycle — including daemon-driven
+//!   restarts and every virtual-clock duration — is bit-for-bit
+//!   reproducible for a fixed `(config, seed)`;
+//! * the targeted explorer kills the victim at **every** kill-capable
+//!   yield point inside `Phase::FlushB` and each outcome matches the
+//!   paper's CASE 2 roll-forward (Figure 5);
+//! * a canonical report over a seed sweep is byte-identical across
+//!   independent in-process runs, and is written to `$SKT_SIM_REPORT`
+//!   so the CI `sim-determinism` job can diff it across *process* runs.
+
+use self_checkpoint::cluster::{
+    explore_yield_kills, Cluster, ClusterConfig, FailurePlan, Ranklist, Runtime, SimRuntime,
+};
+use self_checkpoint::core::{
+    Checkpointer, CkptConfig, Method, Phase, RecoverError, Recovery, RestoreSource,
+};
+use self_checkpoint::ftsim::run_with_daemon;
+use self_checkpoint::hpl::{HplConfig, SktConfig, ITER_PROBE};
+use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 4;
+const A1: usize = 128;
+const EPOCHS: u64 = 5;
+
+fn pattern(rank: usize, epoch: u64) -> Vec<f64> {
+    (0..A1)
+        .map(|i| (rank * 7919 + i) as f64 * 0.25 + epoch as f64)
+        .collect()
+}
+
+fn writer(ctx: &Ctx) -> Result<(), Fault> {
+    let (mut ck, _) = Checkpointer::init(
+        ctx.world(),
+        CkptConfig::new("sim-det", Method::SelfCkpt, A1, 16),
+    );
+    for e in 1..=EPOCHS {
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), e));
+        }
+        ctx.failpoint("computing")?;
+        ck.make(&e.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// One armed checkpoint/fail/recover cycle on `rt`, canonically
+/// serialized: per-rank [`Recovery`], the full [`RecoveryReport`]
+/// (including its virtual-clock `elapsed`), and the workspace bits.
+fn cycle_report(rt: Arc<SimRuntime>) -> String {
+    let cluster = Arc::new(Cluster::new_with_runtime(ClusterConfig::new(N, 1), rt));
+    let mut rl = Ranklist::round_robin(N, N);
+    cluster.arm_failure(FailurePlan::new(Phase::FlushB, 3, 1));
+    let first = run_on_cluster(Arc::clone(&cluster), &rl, writer);
+    assert!(first.is_err(), "the armed FlushB plan must fire");
+    cluster.reset_abort();
+    rl.repair(&cluster).unwrap();
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let (mut ck, _) = Checkpointer::init(
+            ctx.world(),
+            CkptConfig::new("sim-det", Method::SelfCkpt, A1, 16),
+        );
+        let rec = ck.recover().map_err(|e| match e {
+            RecoverError::Fault(f) => f,
+            other => panic!("unexpected recovery error: {other}"),
+        })?;
+        let report = ck.last_report().expect("a restore leaves a report");
+        let bits = {
+            let ws = ck.workspace();
+            let g = ws.read();
+            g.as_f64()[..A1]
+                .iter()
+                .fold(0u64, |h, v| h.rotate_left(7) ^ v.to_bits())
+        };
+        Ok(format!("{rec:?} | {report:?} | bits={bits:016x}"))
+    })
+    .unwrap();
+    let mut s = String::new();
+    for (rank, line) in outs.iter().enumerate() {
+        writeln!(s, "rank{rank}: {line}").unwrap();
+    }
+    s
+}
+
+/// A daemon-supervised double-failure run, canonically serialized with
+/// every per-cycle phase duration off the virtual clock.
+fn daemon_report(seed: u64) -> String {
+    let rt = SimRuntime::new(seed);
+    let cluster = Arc::new(Cluster::new_with_runtime(
+        ClusterConfig::new(4, 2),
+        rt.clone(),
+    ));
+    let rl = Ranklist::round_robin(4, 4);
+    cluster.arm_failure(FailurePlan::new(ITER_PROBE, 3, 0));
+    cluster.arm_failure(FailurePlan::new(ITER_PROBE, 3, 2));
+    let cfg = SktConfig::new(HplConfig::new(48, 4, 11), 2, 2);
+    let rep = run_with_daemon(cluster, &rl, &cfg, 5, Duration::from_secs(63)).unwrap();
+    assert!(rep.output.hpl.passed, "seed {seed}");
+    format!(
+        "launches={} failures={} resumed={} cycles={:?} steps={} clock={:?}",
+        rep.launches,
+        rep.failures,
+        rep.output.resumed_from_panel,
+        rep.cycles,
+        rt.steps(),
+        rt.now(),
+    )
+}
+
+/// Same `(config, seed)` twice → byte-identical recovery reports,
+/// durations included.
+#[test]
+fn recovery_report_is_byte_identical_for_fixed_config_and_seed() {
+    for seed in [1u64, 7, 1234] {
+        let a = cycle_report(SimRuntime::new(seed));
+        let b = cycle_report(SimRuntime::new(seed));
+        assert_eq!(a, b, "seed {seed}: reports must be byte-identical");
+        assert!(
+            a.contains("WorkspaceAndChecksum"),
+            "seed {seed}: a FlushB kill is the CASE 2 roll-forward: {a}"
+        );
+    }
+}
+
+/// Same seed twice → the same failure schedule, restart count, phase
+/// timings, scheduler step count, and final virtual-clock reading.
+#[test]
+fn daemon_cycle_timings_are_reproducible_on_the_virtual_clock() {
+    for seed in [0u64, 3] {
+        let a = daemon_report(seed);
+        let b = daemon_report(seed);
+        assert_eq!(a, b, "seed {seed}: daemon cycles must be reproducible");
+    }
+}
+
+/// The targeted explorer: kill the victim at every kill-capable yield
+/// point inside `Phase::FlushB` — the flush copy's entry probe and the
+/// trailing phase probe, for each of the five epochs — and check every
+/// outcome against the paper's case analysis: D@e is committed job-wide
+/// before any flush starts, so recovery always rolls FORWARD from
+/// `(work, D)` to the in-flight epoch, losing no progress.
+#[test]
+fn flush_b_kills_at_every_yield_point_roll_forward() {
+    const VICTIM: usize = 1;
+    let report = explore_yield_kills(42, VICTIM, Phase::FlushB.label(), |rt| {
+        let cluster = Arc::new(Cluster::new_with_runtime(ClusterConfig::new(N, 1), rt));
+        let mut rl = Ranklist::round_robin(N, N);
+        let first = run_on_cluster(Arc::clone(&cluster), &rl, writer);
+        if first.is_ok() {
+            return None; // the unarmed recording run completes
+        }
+        assert_eq!(cluster.dead_nodes(), vec![VICTIM], "only the victim dies");
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        let outs = run_on_cluster(cluster, &rl, |ctx| {
+            let (mut ck, _) = Checkpointer::init(
+                ctx.world(),
+                CkptConfig::new("sim-det", Method::SelfCkpt, A1, 16),
+            );
+            let rec = ck.recover().map_err(|e| match e {
+                RecoverError::Fault(f) => f,
+                other => panic!("unexpected recovery error: {other}"),
+            })?;
+            let data = {
+                let ws = ck.workspace();
+                let g = ws.read();
+                g.as_f64()[..A1].to_vec()
+            };
+            Ok((rec, data))
+        })
+        .unwrap();
+        let (epoch, source) = match &outs[0].0 {
+            Recovery::Restored { epoch, source, .. } => (*epoch, *source),
+            other => panic!("rank 0 got {other:?}"),
+        };
+        for (rank, (rec, data)) in outs.iter().enumerate() {
+            match rec {
+                Recovery::Restored {
+                    epoch: e,
+                    source: s,
+                    ..
+                } => {
+                    assert_eq!(*e, epoch, "rank {rank} disagrees on epoch");
+                    assert_eq!(*s, source, "rank {rank} disagrees on source");
+                }
+                other => panic!("rank {rank} got {other:?}"),
+            }
+            assert_eq!(data, &pattern(rank, epoch), "rank {rank} workspace");
+        }
+        Some((epoch, source))
+    });
+    assert_eq!(
+        report.yield_points,
+        2 * EPOCHS,
+        "two kill-capable yields per make: the copy probe and the phase probe"
+    );
+    assert!(report.baseline.is_none(), "recording run must complete");
+    assert_eq!(report.outcomes.len() as u64, report.yield_points);
+    for (nth, out) in &report.outcomes {
+        let (epoch, source) = out.expect("every armed kill must fire");
+        assert_eq!(
+            epoch,
+            nth.div_ceil(2),
+            "kill #{nth}: roll forward to the epoch whose flush was torn"
+        );
+        assert_eq!(
+            source,
+            RestoreSource::WorkspaceAndChecksum,
+            "kill #{nth}: CASE 2 restores from (work, D)"
+        );
+    }
+}
+
+/// The canonical determinism report for CI: recovery cycles over a seed
+/// sweep plus a daemon run. Two in-process evaluations must agree
+/// byte-for-byte; when `SKT_SIM_REPORT` is set the report is written
+/// there so the CI job can diff two independent *processes*.
+#[test]
+fn determinism_report_is_stable_and_exported() {
+    let build = || {
+        let mut s = String::new();
+        for seed in 0..4u64 {
+            writeln!(s, "cycle seed={seed}").unwrap();
+            s.push_str(&cycle_report(SimRuntime::new(seed)));
+        }
+        for seed in 0..2u64 {
+            writeln!(s, "daemon seed={seed}").unwrap();
+            writeln!(s, "{}", daemon_report(seed)).unwrap();
+        }
+        s
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a, b, "the report must be a pure function of the seeds");
+    if let Ok(path) = std::env::var("SKT_SIM_REPORT") {
+        std::fs::write(&path, &a).unwrap();
+    }
+}

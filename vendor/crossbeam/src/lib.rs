@@ -6,9 +6,10 @@
 //! Backed by `std::sync::mpsc`, whose `Sender` has been `Sync` (and thus a
 //! drop-in for crossbeam's multi-producer handle) since Rust 1.72.
 
-/// Multi-producer channels (std-backed subset of `crossbeam::channel`).
+/// Multi-producer channels (std-backed subset of `crossbeam::channel`,
+/// including the non-blocking `try_recv` error type).
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 
     /// Create an unbounded channel, crossbeam-style.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
