@@ -1,0 +1,120 @@
+//! Criterion benchmarks of the integrity layer: the CRC32C kernels
+//! (raw bytes, `f64` serial vs parallel, per-stripe localization) and a
+//! whole `scrub()` patrol pass over a live self-checkpoint group — the
+//! recurring cost of defending the in-memory checkpoint against silent
+//! corruption.
+//!
+//! `CRITERION_JSON_OUT=BENCH_scrub.json cargo bench --bench scrub`
+//! dumps the numbers (plus host parallelism) for the committed baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skt_cluster::{Cluster, ClusterConfig, Ranklist};
+use skt_core::{Checkpointer, CkptConfig, Method};
+use skt_encoding::{crc32c, crc32c_f64, kernels, stripe_crcs, KernelConfig};
+use skt_mps::run_on_cluster;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// CRC32C over raw bytes and over `f64` buffers, serial vs all-core
+/// parallel, at checkpoint-region sizes. The parallel variant stitches
+/// per-block CRCs with `crc32c_combine`, so its result is bit-identical
+/// to the serial walk; on a single-core host the variants collapse.
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32c");
+    g.sample_size(10);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallel = KernelConfig::new(host_threads, kernels::DEFAULT_CHUNK_LEN);
+    for mib in [1usize, 16, 64] {
+        let len = mib << 17; // MiB of f64
+        let data: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+        g.throughput(Throughput::Bytes((len * 8) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("f64-serial", format!("{mib}MiB")),
+            &data,
+            |b, d| b.iter(|| black_box(crc32c_f64(black_box(d), KernelConfig::serial()))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("f64-parallel", format!("{mib}MiB")),
+            &data,
+            |b, d| b.iter(|| black_box(crc32c_f64(black_box(d), parallel))),
+        );
+    }
+    let bytes: Vec<u8> = (0..1usize << 20).map(|i| i as u8).collect();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_with_input(BenchmarkId::new("bytes", "1MiB"), &bytes, |b, d| {
+        b.iter(|| black_box(crc32c(black_box(d))))
+    });
+    g.finish();
+}
+
+/// Per-stripe CRC tables — the unit of corruption localization. Fixed
+/// 8 MiB buffer, stripe count swept over realistic group sizes (the
+/// stripe is `len / (group - 1)` in the real layout).
+fn bench_stripes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stripe_crcs");
+    g.sample_size(10);
+    let len = 1 << 20; // 8 MiB of f64
+    let data: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+    g.throughput(Throughput::Bytes((len * 8) as u64));
+    for stripes in [1usize, 3, 7, 15] {
+        g.bench_with_input(BenchmarkId::new("stripes", stripes), &data, |b, d| {
+            let stripe_len = d.len().div_ceil(stripes);
+            b.iter(|| {
+                black_box(stripe_crcs(
+                    black_box(d),
+                    stripe_len,
+                    KernelConfig::serial(),
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+const A1: usize = 1 << 17; // 1 MiB per rank
+
+/// Time `iters` clean `scrub()` patrol passes across a fresh
+/// self-checkpoint group; returns rank 0's total duration (ranks are
+/// synchronized by the scrub's own collectives).
+fn time_scrubs(group: usize, iters: u64) -> Duration {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(group, 0)));
+    let rl = Ranklist::round_robin(group, group);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(
+            world,
+            CkptConfig::new("bench-scrub", Method::SelfCkpt, A1, 0),
+        );
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].fill(1.5);
+        }
+        ck.make(&[])?;
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(ck.scrub().expect("clean group scrubs clean"));
+        }
+        Ok(t.elapsed())
+    })
+    .unwrap();
+    outs[0]
+}
+
+/// A full patrol pass (recompute every region CRC, cross-check the
+/// header, agree job-wide that nothing needs repair) on an intact
+/// group — the steady-state cost an application pays per scrub.
+fn bench_scrub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scrub_patrol");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((A1 * 8) as u64));
+    for group in [2usize, 4, 8] {
+        g.bench_function(BenchmarkId::new("self", group), |b| {
+            b.iter_custom(|iters| time_scrubs(group, iters));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_crc, bench_stripes, bench_scrub);
+criterion_main!(benches);

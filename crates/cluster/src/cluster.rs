@@ -2,9 +2,9 @@
 //! MPI-style whole-job abort on node failure.
 
 use crate::events::{Event, EventBus, Observer};
-use crate::failure::{FailureInjector, FailurePlan, Fault};
+use crate::failure::{CorruptPlan, FailureInjector, FailurePlan, Fault, FaultAction, FaultPlan};
 use crate::net::NetModel;
-use crate::shm::ShmStore;
+use crate::shm::{SegmentData, ShmStore};
 use crate::storage::{Device, DeviceKind};
 use parking_lot::Mutex;
 use skt_sim::{RealRuntime, Runtime, Stopwatch};
@@ -252,20 +252,73 @@ impl Cluster {
         self.injector.arm(plan);
     }
 
-    /// Disarm all failure plans.
+    /// Arm any fault plan — a kill or a silent bit flip (see
+    /// [`FaultPlan`]).
+    pub fn arm_fault(&self, plan: impl Into<FaultPlan>) {
+        self.injector.arm_fault(plan.into());
+    }
+
+    /// Disarm all fault plans.
     pub fn clear_failures(&self) {
         self.injector.clear();
     }
 
+    /// Apply a corruption immediately: flip the planned bit in the first
+    /// (name-sorted) segment on `plan.node` whose name ends with the
+    /// region's suffix. Offsets wrap modulo the region size so every
+    /// `(offset, bit)` pair is a valid flip somewhere in the region.
+    /// Returns `false` when the node has no such segment or it is empty
+    /// (e.g. a wiped node) — a corruption of nothing is a no-op.
+    pub fn corrupt_now(&self, plan: &CorruptPlan) -> bool {
+        let suffix = format!("/{}", plan.region.suffix());
+        let store = &self.shm[plan.node];
+        let Some(name) = store.names().into_iter().find(|n| n.ends_with(&suffix)) else {
+            return false;
+        };
+        let Some(seg) = store.attach(&name) else {
+            return false;
+        };
+        let mut g = seg.write();
+        let flipped = match &mut *g {
+            SegmentData::F64(v) if !v.is_empty() => {
+                let byte = plan.offset % (v.len() * 8);
+                let bit_pos = (byte % 8) * 8 + usize::from(plan.bit % 8);
+                v[byte / 8] = f64::from_bits(v[byte / 8].to_bits() ^ (1u64 << bit_pos));
+                true
+            }
+            SegmentData::Bytes(v) if !v.is_empty() => {
+                let byte = plan.offset % v.len();
+                v[byte] ^= 1u8 << (plan.bit % 8);
+                true
+            }
+            _ => false,
+        };
+        drop(g);
+        if flipped {
+            self.events.emit(Event::CorruptionInjected {
+                node: plan.node,
+                region: plan.region.suffix(),
+            });
+        }
+        flipped
+    }
+
     /// Named probe point, called from rank code with the rank's own
-    /// 1-based occurrence count for `label`. If an armed plan matches,
-    /// the node is killed and `Err(Fault::NodeDead)` is returned to the
-    /// dying rank. Otherwise this doubles as an abort check so every rank
-    /// notices a failure promptly.
+    /// 1-based occurrence count for `label`. If an armed kill plan
+    /// matches, the node is killed and `Err(Fault::NodeDead)` is returned
+    /// to the dying rank; a matching corrupt plan flips its bit silently
+    /// and the rank continues. Otherwise this doubles as an abort check
+    /// so every rank notices a failure promptly.
     pub fn failpoint(&self, node: NodeId, label: &str, count: u64) -> Result<(), Fault> {
-        if self.injector.fires(node, label, count) {
-            self.kill_node(node);
-            return Err(Fault::NodeDead(node));
+        match self.injector.fires(node, label, count) {
+            Some(FaultAction::Kill) => {
+                self.kill_node(node);
+                return Err(Fault::NodeDead(node));
+            }
+            Some(FaultAction::Corrupt(plan)) => {
+                self.corrupt_now(&plan);
+            }
+            None => {}
         }
         self.check_abort()?;
         if !self.node_alive(node) {
@@ -485,6 +538,62 @@ mod tests {
         c.kill_node(0);
         c.reset_abort();
         assert_eq!(rl.repair(&c), Err(0));
+    }
+
+    #[test]
+    fn corrupt_now_flips_one_bit_and_emits() {
+        use crate::failure::Region;
+        let c = Cluster::new(ClusterConfig::new(1, 0));
+        let rec = Arc::new(crate::events::Recorder::new());
+        c.events()
+            .subscribe(Arc::clone(&rec) as Arc<dyn crate::events::Observer>);
+        c.shm(0)
+            .get_or_create("job/r0/b", || crate::shm::SegmentData::F64(vec![0.0; 4]));
+        let plan = crate::failure::CorruptPlan::new("p", 1, 0, Region::CopyB, 9, 2);
+        assert!(c.corrupt_now(&plan));
+        let seg = c.shm(0).attach("job/r0/b").unwrap();
+        // byte 9 lives in element 1; bit 2 of that byte is bit 10 of the word
+        assert_eq!(seg.read().as_f64()[1].to_bits(), 1u64 << 10);
+        assert_eq!(
+            rec.count(|e| matches!(
+                e,
+                Event::CorruptionInjected {
+                    node: 0,
+                    region: "b"
+                }
+            )),
+            1
+        );
+        // flipping again restores the original bits (xor involution)
+        assert!(c.corrupt_now(&plan));
+        assert_eq!(seg.read().as_f64()[1].to_bits(), 0);
+    }
+
+    #[test]
+    fn corrupt_now_on_missing_region_is_a_noop() {
+        use crate::failure::Region;
+        let c = Cluster::new(ClusterConfig::new(1, 0));
+        let plan = crate::failure::CorruptPlan::new("p", 1, 0, Region::Header, 0, 0);
+        assert!(!c.corrupt_now(&plan), "no segment to damage");
+    }
+
+    #[test]
+    fn armed_corrupt_plan_fires_at_failpoint_without_killing() {
+        use crate::failure::{CorruptPlan, Region};
+        let c = Cluster::new(ClusterConfig::new(1, 0));
+        c.shm(0).get_or_create("job/r0/header", || {
+            crate::shm::SegmentData::Bytes(vec![0; 8])
+        });
+        c.arm_fault(CorruptPlan::new("computing", 2, 0, Region::Header, 3, 5));
+        assert!(c.failpoint(0, "computing", 1).is_ok());
+        assert!(
+            c.failpoint(0, "computing", 2).is_ok(),
+            "corruption is silent"
+        );
+        assert!(c.node_alive(0));
+        assert!(!c.aborted());
+        let seg = c.shm(0).attach("job/r0/header").unwrap();
+        assert_eq!(seg.read().as_bytes()[3], 1 << 5);
     }
 
     #[test]

@@ -76,6 +76,14 @@ pub enum Event {
         /// Modeled transfer time (not wall clock).
         modeled: Duration,
     },
+    /// The fault injector flipped a bit in a node's SHM region (silent
+    /// corruption — nothing aborts; the CRC/scrub layer must catch it).
+    CorruptionInjected {
+        /// Node whose memory was damaged.
+        node: usize,
+        /// Region suffix, e.g. `"b"`, `"c"`, `"header"`.
+        region: &'static str,
+    },
     /// A recovery chose its restore source (one event per recovering rank).
     RecoveryDecision {
         /// Restore-source name, e.g. `"checkpoint+checksum"`.

@@ -1,12 +1,24 @@
-//! Deterministic failure injection.
+//! Deterministic fault injection.
 //!
 //! The paper validates SKT-HPL by powering off nodes during the run (§6.2,
 //! §6.3) and analyses recoverability by *when* the failure lands relative
 //! to the protocol (Figures 2–5: during computing, during checksum
 //! calculation, during checkpoint flush). Random power-offs can only sample
-//! those windows; the injector here kills a chosen node the *n-th time it
-//! passes a named probe point*, so every window is exercised exactly and
-//! reproducibly.
+//! those windows; the injector here fires a chosen fault the *n-th time a
+//! node passes a named probe point*, so every window is exercised exactly
+//! and reproducibly.
+//!
+//! Two fault species share the probe-count trigger ([`FaultPlan`]):
+//!
+//! * **Kill** ([`FailurePlan`]) — power the node off: memory wiped, job
+//!   aborted. Probe points exist on the forward protocol *and* on the
+//!   recovery path, so cascading failures (a second node dying mid-rebuild)
+//!   are as targetable as first failures.
+//! * **Corrupt** ([`CorruptPlan`]) — flip one bit in one SHM checkpoint
+//!   [`Region`] of the node, silently: nothing aborts, nothing is wiped.
+//!   This models the DRAM bit flips that diskless in-memory checkpoints
+//!   are exposed to for the whole job lifetime; the CRC/scrub layer in
+//!   `skt-core` is what's expected to catch it.
 
 use crate::cluster::NodeId;
 use parking_lot::Mutex;
@@ -63,10 +75,165 @@ impl FailurePlan {
     }
 }
 
+/// A per-rank SHM checkpoint region a [`CorruptPlan`] can target. The
+/// variants mirror the protocol's segment naming (`{job}/r{rank}/{part}`);
+/// the injector resolves a region to the matching segment on the victim
+/// node without the cluster layer knowing anything else about the
+/// protocol.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// The live workspace `A1‖B2` (the in-place checkpoint).
+    Work,
+    /// The checkpoint copy `B`.
+    CopyB,
+    /// The checksum copy `C` (parity of `B`).
+    ParityC,
+    /// The fresh checksum `D` (parity of the workspace).
+    ChecksumD,
+    /// The second checkpoint copy `B1` (double-checkpoint baseline).
+    CopyB1,
+    /// The second checksum copy `C1` (double-checkpoint baseline).
+    ParityC1,
+    /// The commit header (epoch words + header CRC).
+    Header,
+}
+
+impl Region {
+    /// Every region, for sweeps.
+    pub const ALL: [Region; 7] = [
+        Region::Work,
+        Region::CopyB,
+        Region::ParityC,
+        Region::ChecksumD,
+        Region::CopyB1,
+        Region::ParityC1,
+        Region::Header,
+    ];
+
+    /// The segment-name suffix this region corresponds to (the `{part}`
+    /// of `{job}/r{rank}/{part}`).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Region::Work => "work",
+            Region::CopyB => "b",
+            Region::ParityC => "c",
+            Region::ChecksumD => "d",
+            Region::CopyB1 => "b1",
+            Region::ParityC1 => "c1",
+            Region::Header => "header",
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// One-shot plan: the `nth` time (1-based) `node` passes the probe
+/// labeled `label`, flip bit `bit` of the byte at `offset` within the
+/// node's `region` segment — silently. Out-of-range offsets wrap modulo
+/// the region size, so sweeping arbitrary `(offset, bit)` pairs is always
+/// a valid single-bit corruption somewhere in the region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorruptPlan {
+    /// Probe label at which the flip lands.
+    pub label: String,
+    /// 1-based occurrence count at which to fire.
+    pub nth: u64,
+    /// Node whose SHM is corrupted (also the node whose probe triggers).
+    pub node: NodeId,
+    /// Which checkpoint region to damage.
+    pub region: Region,
+    /// Byte offset within the region (wrapped modulo its size).
+    pub offset: usize,
+    /// Bit within the byte (wrapped modulo 8).
+    pub bit: u8,
+}
+
+impl CorruptPlan {
+    /// Convenience constructor.
+    pub fn new(
+        label: impl Into<String>,
+        nth: u64,
+        node: NodeId,
+        region: Region,
+        offset: usize,
+        bit: u8,
+    ) -> Self {
+        CorruptPlan {
+            label: label.into(),
+            nth: nth.max(1),
+            node,
+            region,
+            offset,
+            bit,
+        }
+    }
+}
+
+/// A generalized one-shot fault: kill the node, or silently flip a bit in
+/// one of its checkpoint regions. Both fire on the same deterministic
+/// probe-count trigger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Power the node off at the trigger.
+    Kill(FailurePlan),
+    /// Flip one bit in one SHM region at the trigger.
+    Corrupt(CorruptPlan),
+}
+
+impl FaultPlan {
+    fn label(&self) -> &str {
+        match self {
+            FaultPlan::Kill(p) => &p.label,
+            FaultPlan::Corrupt(p) => &p.label,
+        }
+    }
+
+    fn nth(&self) -> u64 {
+        match self {
+            FaultPlan::Kill(p) => p.nth,
+            FaultPlan::Corrupt(p) => p.nth,
+        }
+    }
+
+    fn node(&self) -> NodeId {
+        match self {
+            FaultPlan::Kill(p) => p.node,
+            FaultPlan::Corrupt(p) => p.node,
+        }
+    }
+}
+
+impl From<FailurePlan> for FaultPlan {
+    fn from(p: FailurePlan) -> Self {
+        FaultPlan::Kill(p)
+    }
+}
+
+impl From<CorruptPlan> for FaultPlan {
+    fn from(p: CorruptPlan) -> Self {
+        FaultPlan::Corrupt(p)
+    }
+}
+
+/// What a fired plan asks [`crate::Cluster::failpoint`] to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill the probing node.
+    Kill,
+    /// Apply this bit flip and let the rank continue untroubled.
+    Corrupt(CorruptPlan),
+}
+
 /// Holds armed plans; consulted by [`crate::Cluster::failpoint`].
 #[derive(Default)]
 pub struct FailureInjector {
-    plans: Mutex<Vec<FailurePlan>>,
+    plans: Mutex<Vec<FaultPlan>>,
 }
 
 impl FailureInjector {
@@ -75,9 +242,14 @@ impl FailureInjector {
         Self::default()
     }
 
-    /// Arm a plan. Multiple plans may be armed at once (e.g. to kill two
-    /// nodes in different groups).
+    /// Arm a kill plan. Multiple plans may be armed at once (e.g. to kill
+    /// two nodes in different groups).
     pub fn arm(&self, plan: FailurePlan) {
+        self.arm_fault(plan.into());
+    }
+
+    /// Arm any fault plan (kill or corrupt).
+    pub fn arm_fault(&self, plan: FaultPlan) {
         self.plans.lock().push(plan);
     }
 
@@ -91,19 +263,18 @@ impl FailureInjector {
         self.plans.lock().len()
     }
 
-    /// Check whether a probe hit fires a plan. `count` is the caller's
-    /// 1-based per-rank occurrence count for `label`; per-rank counting
-    /// keeps multi-threaded runs deterministic. The fired plan is removed.
-    pub fn fires(&self, node: NodeId, label: &str, count: u64) -> bool {
+    /// Check whether a probe hit fires a plan, and which action it asks
+    /// for. `count` is the caller's 1-based per-rank occurrence count for
+    /// `label`; per-rank counting keeps multi-threaded runs deterministic.
+    /// The fired plan is removed.
+    pub fn fires(&self, node: NodeId, label: &str, count: u64) -> Option<FaultAction> {
         let mut plans = self.plans.lock();
-        if let Some(pos) = plans
+        let pos = plans
             .iter()
-            .position(|p| p.node == node && p.label == label && p.nth == count)
-        {
-            plans.remove(pos);
-            true
-        } else {
-            false
+            .position(|p| p.node() == node && p.label() == label && p.nth() == count)?;
+        match plans.remove(pos) {
+            FaultPlan::Kill(_) => Some(FaultAction::Kill),
+            FaultPlan::Corrupt(p) => Some(FaultAction::Corrupt(p)),
         }
     }
 }
@@ -116,10 +287,10 @@ mod tests {
     fn plan_fires_exactly_once_at_nth_hit() {
         let inj = FailureInjector::new();
         inj.arm(FailurePlan::new("encode", 3, 5));
-        assert!(!inj.fires(5, "encode", 1));
-        assert!(!inj.fires(5, "encode", 2));
-        assert!(inj.fires(5, "encode", 3));
-        assert!(!inj.fires(5, "encode", 3), "one-shot");
+        assert_eq!(inj.fires(5, "encode", 1), None);
+        assert_eq!(inj.fires(5, "encode", 2), None);
+        assert_eq!(inj.fires(5, "encode", 3), Some(FaultAction::Kill));
+        assert_eq!(inj.fires(5, "encode", 3), None, "one-shot");
         assert_eq!(inj.armed(), 0);
     }
 
@@ -127,15 +298,17 @@ mod tests {
     fn plan_only_matches_its_node_and_label() {
         let inj = FailureInjector::new();
         inj.arm(FailurePlan::new("flush", 1, 2));
-        assert!(!inj.fires(3, "flush", 1));
-        assert!(!inj.fires(2, "encode", 1));
-        assert!(inj.fires(2, "flush", 1));
+        assert_eq!(inj.fires(3, "flush", 1), None);
+        assert_eq!(inj.fires(2, "encode", 1), None);
+        assert_eq!(inj.fires(2, "flush", 1), Some(FaultAction::Kill));
     }
 
     #[test]
     fn nth_zero_clamps_to_one() {
         let p = FailurePlan::new("x", 0, 0);
         assert_eq!(p.nth, 1);
+        let c = CorruptPlan::new("x", 0, 0, Region::CopyB, 0, 0);
+        assert_eq!(c.nth, 1);
     }
 
     #[test]
@@ -143,6 +316,40 @@ mod tests {
         let inj = FailureInjector::new();
         inj.arm(FailurePlan::new("x", 1, 0));
         inj.clear();
-        assert!(!inj.fires(0, "x", 1));
+        assert_eq!(inj.fires(0, "x", 1), None);
+    }
+
+    #[test]
+    fn corrupt_plan_fires_with_its_payload() {
+        let inj = FailureInjector::new();
+        let plan = CorruptPlan::new("computing", 2, 1, Region::ParityC, 17, 3);
+        inj.arm_fault(plan.clone().into());
+        assert_eq!(inj.fires(1, "computing", 1), None);
+        assert_eq!(
+            inj.fires(1, "computing", 2),
+            Some(FaultAction::Corrupt(plan))
+        );
+        assert_eq!(inj.armed(), 0);
+    }
+
+    #[test]
+    fn kill_and_corrupt_plans_coexist() {
+        let inj = FailureInjector::new();
+        inj.arm_fault(FailurePlan::new("p", 1, 0).into());
+        inj.arm_fault(CorruptPlan::new("p", 1, 1, Region::Header, 0, 0).into());
+        assert_eq!(inj.armed(), 2);
+        assert_eq!(inj.fires(0, "p", 1), Some(FaultAction::Kill));
+        assert!(matches!(
+            inj.fires(1, "p", 1),
+            Some(FaultAction::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn region_suffixes_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in Region::ALL {
+            assert!(seen.insert(r.suffix()), "duplicate suffix {r}");
+        }
     }
 }

@@ -36,7 +36,9 @@ pub mod storage;
 
 pub use cluster::{Cluster, ClusterConfig, NodeId, Ranklist};
 pub use events::{Event, EventBus, Observer, Recorder};
-pub use failure::{FailureInjector, FailurePlan, Fault};
+pub use failure::{
+    CorruptPlan, FailureInjector, FailurePlan, Fault, FaultAction, FaultPlan, Region,
+};
 pub use net::NetModel;
 pub use shm::{SegmentData, ShmSegment, ShmStore};
 pub use storage::{Device, DeviceKind};

@@ -49,6 +49,7 @@ pub use incremental::DirtyTracker;
 pub use memory::{available_fraction, max_workspace_len, MemoryBreakdown, Method};
 pub use multilevel::{MlStats, MultiLevel};
 pub use protocol::{
-    Checkpointer, CkptConfig, CkptStats, Phase, RecoverError, Recovery, RecoveryReport,
-    RestoreSource, COPY_PROBE,
+    Checkpointer, CkptConfig, CkptStats, HeaderState, Phase, RecoverError, Recovery,
+    RecoveryReport, RestoreSource, ScrubReport, COPY_PROBE, RECOVER_COMMIT_PROBE,
+    RECOVER_PHASE_LABEL, RECOVER_PLAN_PROBE, RECOVER_REBUILD_PROBE, SCRUB_PROBE,
 };

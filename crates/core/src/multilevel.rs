@@ -123,14 +123,23 @@ impl<'c> MultiLevel<'c> {
         let t0 = ctx.stopwatch();
         let pfs = ctx.cluster().pfs();
         let sharers = ctx.node_sharers();
-        // newest epoch I hold on disk
-        let mut local: Vec<(u64, u64)> = Vec::new();
+        let ws_len = {
+            let ws = self.ck.workspace();
+            let g = ws.read();
+            g.try_as_f64()?.len()
+        };
+        // Every well-formed blob I hold on disk. A truncated or mis-sized
+        // blob is treated as absent, so recovery degrades to the older
+        // slot (or a clean restart) instead of panicking mid-retry.
+        let mut local: Vec<PfsBlob> = Vec::new();
         for slot in 0..2u64 {
             if let Some((blob, _)) = pfs.read(&self.blob_name(slot), sharers) {
-                local.push((u64::from_le_bytes(blob[..8].try_into().unwrap()), slot));
+                if let Some(parsed) = parse_blob(&blob, ws_len) {
+                    local.push(parsed);
+                }
             }
         }
-        let my_best = local.iter().map(|(e, _)| *e).max().unwrap_or(0) as i64;
+        let my_best = local.iter().map(|p| p.epoch).max().unwrap_or(0) as i64;
         // newest epoch EVERYONE holds (the disk level is job-wide: use
         // the group comm; with init_synced the sync comm is authoritative)
         let common = self.ck.agree_min(my_best).map_err(RecoverError::Fault)?;
@@ -139,24 +148,32 @@ impl<'c> MultiLevel<'c> {
             self.ck.comm().barrier().map_err(RecoverError::Fault)?;
             return Ok(Recovery::NoCheckpoint);
         }
-        let slot = local
-            .iter()
-            .find(|(e, _)| *e == common as u64)
-            .map(|(_, s)| *s)
-            .expect("two-slot discipline guarantees the common epoch is held");
-        let (blob, _t_io) = pfs
-            .read(&self.blob_name(slot), sharers)
-            .expect("slot just probed");
-        let a2_len = u64::from_le_bytes(blob[8..16].try_into().unwrap()) as usize;
-        let a2 = blob[16..16 + a2_len].to_vec();
-        let data: Vec<f64> = blob[16 + a2_len..]
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        // The two-slot discipline plus the collective flush barrier make
+        // the agreed epoch held by everyone; damage that still breaks the
+        // invariant must be *agreed on* before the error exit — a typed
+        // return from one rank alone would leave its siblings parked in
+        // the commit barrier below.
+        let held = local.iter().any(|p| p.epoch == common as u64);
+        let all_hold = self
+            .ck
+            .agree_min(held as i64)
+            .map_err(RecoverError::Fault)?;
+        if all_hold == 0 {
+            return Err(RecoverError::Unrecoverable(format!(
+                "multi-level: a rank is missing PFS epoch {common} that the job agreed on \
+                 (damaged blob inventory)"
+            )));
+        }
+        let PfsBlob { a2, data, .. } = local
+            .into_iter()
+            .find(|p| p.epoch == common as u64)
+            .expect("agreed held job-wide just above");
+        let rebuilt_bytes = (16 + a2.len() + ws_len * 8) as u64;
         {
             let ws = self.ck.workspace();
             let mut g = ws.write();
-            g.as_f64_mut().copy_from_slice(&data);
+            // length validated by parse_blob against this workspace
+            g.try_as_f64_mut()?.copy_from_slice(&data);
         }
         // the in-memory level restarts from this state; keep the epoch
         // counter monotonic so later PFS blobs never regress in freshness
@@ -169,7 +186,7 @@ impl<'c> MultiLevel<'c> {
             epoch: common as u64,
             lost_rank: None,
             epochs_seen: HeaderMaxima::default(),
-            rebuilt_bytes: blob.len() as u64,
+            rebuilt_bytes,
             elapsed: t0.elapsed(),
         });
         Ok(Recovery::Restored {
@@ -178,6 +195,41 @@ impl<'c> MultiLevel<'c> {
             source: RestoreSource::MultiLevelDisk,
         })
     }
+}
+
+/// A fully validated PFS blob: committed epoch, serialized `A2`, and the
+/// workspace contents.
+struct PfsBlob {
+    epoch: u64,
+    a2: Vec<u8>,
+    data: Vec<f64>,
+}
+
+/// Decode a PFS blob, validating every length against the workspace it
+/// would restore into. `None` for anything truncated, mis-sized, or
+/// never-committed — the caller treats such a blob as absent.
+fn parse_blob(blob: &[u8], ws_len: usize) -> Option<PfsBlob> {
+    if blob.len() < 16 {
+        return None;
+    }
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&blob[..8]);
+    let epoch = u64::from_le_bytes(w);
+    w.copy_from_slice(&blob[8..16]);
+    let a2_len = u64::from_le_bytes(w) as usize;
+    if epoch == 0 || blob.len() != 16usize.checked_add(a2_len)? + ws_len * 8 {
+        return None;
+    }
+    let a2 = blob[16..16 + a2_len].to_vec();
+    let data = blob[16 + a2_len..]
+        .chunks_exact(8)
+        .map(|c| {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            f64::from_le_bytes(w)
+        })
+        .collect();
+    Some(PfsBlob { epoch, a2, data })
 }
 
 #[cfg(test)]
@@ -280,6 +332,64 @@ mod tests {
             }
             // final state after finishing the remaining steps
             assert!(data.iter().all(|v| *v == rank as f64 * 100.0 + 6.0));
+        }
+    }
+
+    #[test]
+    fn a_truncated_pfs_blob_degrades_to_the_older_slot() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 2)));
+        let mut rl = Ranklist::round_robin(N, N);
+        // die before step 6's make: flushes landed at epochs 2 (slot 1)
+        // and 4 (slot 0)
+        cluster.arm_failure(skt_cluster::FailurePlan::new("ml-step", 6, 1));
+        assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| app(ctx, 2, 6)).is_err());
+        cluster.kill_node(2);
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        // Rank 0's newest blob (epoch 4) is cut short on disk: it must
+        // read as absent — not panic the parser — so rank 0's best drops
+        // to epoch 2 and the job-wide agreement restores what everyone
+        // still holds.
+        let (blob, _) = cluster.pfs().read("ml/ml/r0/slot0", 1).expect("flushed");
+        cluster
+            .pfs()
+            .write("ml/ml/r0/slot0", blob[..10].to_vec(), 1);
+        let outs = run_on_cluster(cluster, &rl, |ctx| app(ctx, 2, 6)).unwrap();
+        for (rank, (rec, data, _)) in outs.iter().enumerate() {
+            match rec {
+                Recovery::Restored { epoch, source, .. } => {
+                    assert_eq!(*source, RestoreSource::MultiLevelDisk, "rank {rank}");
+                    assert_eq!(*epoch, 2, "rank {rank}: older intact flush");
+                }
+                other => panic!("rank {rank}: {other:?}"),
+            }
+            assert!(data.iter().all(|v| *v == rank as f64 * 100.0 + 6.0));
+        }
+    }
+
+    #[test]
+    fn a_rank_with_no_intact_pfs_blob_forces_a_clean_restart() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 2)));
+        let mut rl = Ranklist::round_robin(N, N);
+        // die before step 4's make: only one flush (epoch 2, slot 1)
+        cluster.arm_failure(skt_cluster::FailurePlan::new("ml-step", 4, 1));
+        assert!(run_on_cluster(Arc::clone(&cluster), &rl, |ctx| app(ctx, 2, 6)).is_err());
+        cluster.kill_node(2);
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        // Rank 0's only blob is damaged: no epoch is held by every rank,
+        // so the disk level must degrade to a clean restart — not panic
+        // on the torn blob, not restore half a job.
+        let (blob, _) = cluster.pfs().read("ml/ml/r0/slot1", 1).expect("flushed");
+        cluster
+            .pfs()
+            .write("ml/ml/r0/slot1", blob[..10].to_vec(), 1);
+        let outs = run_on_cluster(cluster, &rl, |ctx| app(ctx, 2, 6)).unwrap();
+        for (rank, (rec, _, _)) in outs.iter().enumerate() {
+            assert!(
+                matches!(rec, Recovery::NoCheckpoint),
+                "rank {rank}: {rec:?}"
+            );
         }
     }
 

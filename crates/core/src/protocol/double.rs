@@ -4,9 +4,12 @@
 
 use super::header::{Header, HeaderWord};
 use super::planner::{choose_double_pair, HeaderMaxima, PairSlot};
-use super::{Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource};
+use super::{
+    Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource,
+    RECOVER_COMMIT_PROBE,
+};
 use crate::memory::Method;
-use skt_cluster::ShmSegment;
+use skt_cluster::{Region, ShmSegment};
 use skt_mps::Fault;
 
 pub(crate) struct Double;
@@ -22,18 +25,27 @@ impl Protocol for Double {
 
     fn make_phases<'c>(&self, ck: &mut Checkpointer<'c>, e: u64) -> Result<CkptStats, Fault> {
         // overwrite the *older* pair; the newer pair stays consistent.
-        let (b_t, c_t, h_t) = if e.is_multiple_of(2) {
+        let (b_t, c_t, h_t, b_r, c_r) = if e.is_multiple_of(2) {
             (
                 ck.b1.clone().expect("double method has pair 1"),
                 ck.c1.clone().expect("double method has pair 1"),
                 HeaderWord::Pair1,
+                Region::CopyB1,
+                Region::ParityC1,
             )
         } else {
-            (ck.b.clone(), ck.c.clone(), HeaderWord::BcEpoch)
+            (
+                ck.b.clone(),
+                ck.c.clone(),
+                HeaderWord::BcEpoch,
+                Region::CopyB,
+                Region::ParityC,
+            )
         };
         let t1 = ck.clock();
         let sp = ck.span(Phase::CopyB, e);
         ck.copy_seg(&b_t, &ck.work, Phase::CopyB.label())?;
+        ck.update_region_crcs(&[b_r])?;
         sp.end();
         ck.phase_point(Phase::CopyB)?;
         let flush = t1.elapsed();
@@ -41,6 +53,7 @@ impl Protocol for Double {
         let sp = ck.span(Phase::Encode, e);
         let parity = ck.encode_of(&b_t, Some(Phase::Encode.label()))?;
         ck.fill_seg(&c_t, &parity)?;
+        ck.update_region_crcs(&[c_r])?;
         ck.comm.barrier()?;
         sp.end();
         let encode = t0.elapsed();
@@ -59,22 +72,32 @@ impl Protocol for Double {
         // implies the group barrier passed, so every survivor's data for
         // that pair is complete; the other pair may hold a torn write and
         // is only ever trusted at its own committed epoch.
-        let (b_t, c_t, h_t) = match choose_double_pair(target, maxima) {
-            Some(PairSlot::Primary) => (ck.b.clone(), ck.c.clone(), HeaderWord::BcEpoch),
+        let (b_t, h_t, b_r, c_r) = match choose_double_pair(target, maxima) {
+            Some(PairSlot::Primary) => (
+                ck.b.clone(),
+                HeaderWord::BcEpoch,
+                Region::CopyB,
+                Region::ParityC,
+            ),
             Some(PairSlot::Secondary) => (
                 ck.b1.clone().expect("double method has pair 1"),
-                ck.c1.clone().expect("double method has pair 1"),
                 HeaderWord::Pair1,
+                Region::CopyB1,
+                Region::ParityC1,
             ),
             None => unreachable!(
                 "double-checkpoint: agreed epoch {target} not held by either pair ({}, {})",
                 maxima.bc, maxima.pair1
             ),
         };
+        // CRC-verify the chosen pair; a corrupt survivor becomes the
+        // erasure to rebuild.
+        let lost = ck.verify_sources(lost, &[b_r, c_r])?;
         if let Some(f) = lost {
-            ck.rebuild_pair(f, &b_t, &c_t)?;
+            ck.rebuild_regions(f, b_r, c_r)?;
         }
         ck.copy_seg(&ck.work, &b_t, "recover-restore")?;
+        ck.probe(RECOVER_COMMIT_PROBE)?;
         ck.comm.barrier()?;
         ck.commit(h_t, target)?;
         ck.finish_restore(target, RestoreSource::CheckpointAndChecksum)

@@ -24,7 +24,8 @@
 //! | `b`      | same as `work`    | checkpoint copy `B` (double method: `b0`,`b1`) |
 //! | `c`      | one stripe        | committed checksum `C` (double: `c0`,`c1`) |
 //! | `d`      | one stripe        | fresh checksum `D` (self method only) |
-//! | `header` | 32 bytes          | epochs + commit markers |
+//! | `header` | 40 bytes          | epochs + commit markers + header CRC |
+//! | `crc`    | `6·(N-1)` u32     | per-stripe CRC32C table over the data segments |
 //!
 //! ## Commit discipline (self-checkpoint, epoch `e`)
 //!
@@ -53,7 +54,7 @@ mod single;
 #[cfg(test)]
 mod tests;
 
-pub use header::{Header, HEADER_BYTES};
+pub use header::{Header, HeaderState, HEADER_BYTES};
 pub use phase::Phase;
 pub use planner::{
     choose_double_pair, choose_self_source, GroupPlan, HeaderMaxima, PairSlot, SurvivorView,
@@ -63,8 +64,8 @@ pub use report::RecoveryReport;
 use crate::engine::{encode_parity, reconstruct_lost};
 use crate::memory::Method;
 use header::HeaderWord;
-use skt_cluster::{Event, EventBus, SegmentData, ShmSegment, Stopwatch};
-use skt_encoding::{Code, GroupLayout, KernelConfig};
+use skt_cluster::{Event, EventBus, Region, SegmentData, ShmSegment, Stopwatch};
+use skt_encoding::{stripe_crcs, Code, GroupLayout, KernelConfig};
 use skt_mps::{Comm, Fault, Payload, ReduceOp};
 use std::time::Duration;
 
@@ -74,6 +75,53 @@ use std::time::Duration;
 /// copies), so the targeted explorer can take a node down mid-flush, not
 /// just at the phase-boundary probes.
 pub const COPY_PROBE: &str = "ckpt-copy";
+
+/// Phase-window label wrapped around the whole of [`Checkpointer::recover`]
+/// (emitted as [`Event::PhaseEnter`]/[`Event::PhaseExit`]). Under the sim
+/// runtime every yield inside recovery — the survivor allgather, the
+/// parity rebuild collectives, the restore copies, the commit barriers —
+/// is counted into this window, so `explore_yield_kills(.., "recover")`
+/// enumerates *cascading* failures: a second node dying at every
+/// recovery-phase interleaving point.
+pub const RECOVER_PHASE_LABEL: &str = "recover";
+
+/// Probe fired after the planner consensus, before the job-wide
+/// agreement — kills here land between "the group knows its plan" and
+/// "the job committed to it".
+pub const RECOVER_PLAN_PROBE: &str = "recover-plan";
+
+/// Probe fired on entry to (and exit from) every lost-rank parity
+/// rebuild, so a second failure can be injected exactly around the
+/// reconstruction collectives.
+pub const RECOVER_REBUILD_PROBE: &str = "recover-rebuild";
+
+/// Probe fired immediately before a restore path re-commits its header
+/// words — kills here leave a fully rebuilt group whose markers still
+/// describe the pre-failure state.
+pub const RECOVER_COMMIT_PROBE: &str = "recover-commit";
+
+/// Probe fired on entry to [`Checkpointer::scrub`].
+pub const SCRUB_PROBE: &str = "ckpt-scrub";
+
+/// Region order inside the per-rank CRC table segment. Each region owns
+/// `N-1` little-endian `u32` stripe-CRC slots; the one-stripe checksum
+/// regions (`c`, `d`, `c1`) use only the first slot. The header is absent
+/// on purpose — it carries its own embedded CRC — and the table itself is
+/// trusted metadata the injector's [`Region`] enum cannot target: a
+/// mismatch always means the *data* moved, never the witness.
+const CRC_REGIONS: [Region; 6] = [
+    Region::Work,
+    Region::CopyB,
+    Region::ParityC,
+    Region::ChecksumD,
+    Region::CopyB1,
+    Region::ParityC1,
+];
+
+/// Size of the per-rank CRC table segment for an `n`-member group.
+fn crc_table_bytes(n: usize) -> usize {
+    CRC_REGIONS.len() * (n - 1) * 4
+}
 
 /// Static configuration of a [`Checkpointer`].
 #[derive(Clone, Debug)]
@@ -187,6 +235,20 @@ impl RestoreSource {
             RestoreSource::MultiLevelDisk => "multilevel-disk",
         }
     }
+}
+
+/// What a [`Checkpointer::scrub`] pass found and fixed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Committed `(checkpoint, checksum)` pairs whose CRC tables were
+    /// checked group-wide.
+    pub pairs_checked: usize,
+    /// Group ranks whose pair was CRC-damaged and erasure-rebuilt from
+    /// the survivors' parity (at most one per pair).
+    pub repaired: Vec<usize>,
+    /// Whether this rank's commit header failed its CRC and was rebuilt
+    /// from the group consensus.
+    pub header_repaired: bool,
 }
 
 /// Recovery failure.
@@ -318,6 +380,7 @@ pub struct Checkpointer<'c> {
     b1: Option<ShmSegment>,
     c1: Option<ShmSegment>,
     header: ShmSegment,
+    crc: ShmSegment,
     attached: bool,
     epoch: u64,
     last_report: Option<RecoveryReport>,
@@ -365,10 +428,19 @@ impl<'c> Checkpointer<'c> {
         let c1 = matches!(cfg.method, Method::Double)
             .then(|| shm.get_or_create(&seg_name("c1"), zeros_f64(stripe)).0);
         let (header, _) = shm.get_or_create(&seg_name("header"), || {
-            SegmentData::Bytes(vec![0u8; HEADER_BYTES])
+            SegmentData::Bytes(header::fresh_bytes())
+        });
+        let (crc, _) = shm.get_or_create(&seg_name("crc"), || {
+            SegmentData::Bytes(vec![0u8; crc_table_bytes(n)])
         });
 
-        let h = Header::read(&header).expect("header segment just created");
+        // A header that fails its CRC on re-attach proves nothing; start
+        // from epoch 0 and let recovery fold this rank into the
+        // lost-member path rather than trusting forged commit words.
+        let h = match Header::classify(&header) {
+            HeaderState::Valid(h) => h,
+            HeaderState::Invalid(_) => Header::default(),
+        };
         let epoch = proto.initial_epoch(&h);
         (
             Checkpointer {
@@ -386,6 +458,7 @@ impl<'c> Checkpointer<'c> {
                 b1,
                 c1,
                 header,
+                crc,
                 attached,
                 epoch,
                 last_report: None,
@@ -468,6 +541,7 @@ impl<'c> Checkpointer<'c> {
             + self.b1.as_ref().map_or(0, seg_bytes)
             + self.c1.as_ref().map_or(0, seg_bytes)
             + seg_bytes(&self.header)
+            + seg_bytes(&self.crc)
     }
 
     // ---- shared mechanics used by the Protocol implementations ----
@@ -554,14 +628,29 @@ impl<'c> Checkpointer<'c> {
         )
     }
 
-    /// Rebuild the `lost` rank's `(data, parity)` pair from the
+    /// Fire a labeled failure-injection probe (recovery-path yield
+    /// point).
+    pub(crate) fn probe(&self, label: &str) -> Result<(), Fault> {
+        self.comm.ctx().failpoint(label)
+    }
+
+    /// Rebuild the `lost` rank's `(data, parity)` region pair from the
     /// survivors. Collective; only the lost rank's segments are written.
-    fn rebuild_pair(
-        &self,
-        lost: usize,
-        data_seg: &ShmSegment,
-        parity_seg: &ShmSegment,
-    ) -> Result<(), Fault> {
+    /// [`RECOVER_REBUILD_PROBE`] fires around the reconstruction
+    /// collectives so cascading failures can land mid-rebuild; the
+    /// rebuilt rank's stripe CRCs are refreshed in the same no-yield
+    /// block as the segment fills, so a kill at any yield point leaves
+    /// every rank's CRC table consistent with its data.
+    fn rebuild_regions(&self, lost: usize, data_r: Region, parity_r: Region) -> Result<(), Fault> {
+        let data_seg = self
+            .region_seg(data_r)
+            .cloned()
+            .ok_or(Fault::Protocol("rebuild: region not allocated by method"))?;
+        let parity_seg = self
+            .region_seg(parity_r)
+            .cloned()
+            .ok_or(Fault::Protocol("rebuild: region not allocated by method"))?;
+        self.probe(RECOVER_REBUILD_PROBE)?;
         let (bd, pc) = {
             let b = data_seg.read();
             let c = parity_seg.read();
@@ -570,10 +659,156 @@ impl<'c> Checkpointer<'c> {
         if let Some((data, parity)) =
             reconstruct_lost(&self.comm, &self.layout, self.cfg.code, lost, &bd, &pc)?
         {
-            self.fill_seg(data_seg, &data)?;
-            self.fill_seg(parity_seg, &parity)?;
+            self.fill_seg(&data_seg, &data)?;
+            self.fill_seg(&parity_seg, &parity)?;
+            self.update_region_crcs(&[data_r, parity_r])?;
+        }
+        self.probe(RECOVER_REBUILD_PROBE)?;
+        Ok(())
+    }
+
+    /// The SHM segment backing a corruptible [`Region`], when this
+    /// method allocates it (`None` for the header, which embeds its own
+    /// CRC, and for the other methods' absent segments).
+    fn region_seg(&self, r: Region) -> Option<&ShmSegment> {
+        match r {
+            Region::Work => Some(&self.work),
+            Region::CopyB => Some(&self.b),
+            Region::ParityC => Some(&self.c),
+            Region::ChecksumD => self.d.as_ref(),
+            Region::CopyB1 => self.b1.as_ref(),
+            Region::ParityC1 => self.c1.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Freshly computed per-stripe CRCs of a region (`None` when the
+    /// method doesn't allocate it).
+    fn region_crcs(&self, r: Region) -> Result<Option<Vec<u32>>, Fault> {
+        let Some(seg) = self.region_seg(r) else {
+            return Ok(None);
+        };
+        let g = seg.read();
+        Ok(Some(stripe_crcs(
+            g.try_as_f64()?,
+            self.layout.stripe_len(),
+            KernelConfig::global(),
+        )))
+    }
+
+    /// Byte range of a region's slots within the CRC table segment.
+    fn crc_slot_range(&self, r: Region) -> std::ops::Range<usize> {
+        let idx = CRC_REGIONS
+            .iter()
+            .position(|&x| x == r)
+            .expect("region has a CRC table slot");
+        let per = (self.comm.size() - 1) * 4;
+        idx * per..(idx + 1) * per
+    }
+
+    /// Recompute and store the stripe CRCs of the given regions. Pure
+    /// local compute — **no yield points** — so calling it right after a
+    /// commit keeps the forward protocol's interleaving space unchanged.
+    pub(crate) fn update_region_crcs(&self, regions: &[Region]) -> Result<(), Fault> {
+        for &r in regions {
+            let Some(crcs) = self.region_crcs(r)? else {
+                continue;
+            };
+            let range = self.crc_slot_range(r);
+            let mut g = self.crc.write();
+            let b = g.try_as_bytes_mut()?;
+            if b.len() < range.end {
+                return Err(Fault::Protocol("crc table segment wiped or truncated"));
+            }
+            let tbl = &mut b[range];
+            for (i, c) in crcs.iter().enumerate() {
+                tbl[i * 4..i * 4 + 4].copy_from_slice(&c.to_le_bytes());
+            }
         }
         Ok(())
+    }
+
+    /// Whether a region's current bytes still match its stored stripe
+    /// CRCs (local check; absent regions are vacuously clean).
+    pub(crate) fn region_crc_ok(&self, r: Region) -> Result<bool, Fault> {
+        let Some(crcs) = self.region_crcs(r)? else {
+            return Ok(true);
+        };
+        let range = self.crc_slot_range(r);
+        let g = self.crc.read();
+        let b = g.try_as_bytes()?;
+        if b.len() < range.end {
+            return Err(Fault::Protocol("crc table segment wiped or truncated"));
+        }
+        let tbl = &b[range];
+        Ok(crcs.iter().enumerate().all(|(i, c)| {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&tbl[i * 4..i * 4 + 4]);
+            u32::from_le_bytes(w) == *c
+        }))
+    }
+
+    /// Collective: allgather a per-rank ok flag and return the ranks
+    /// that reported damage.
+    fn gather_bad_ranks(&self, my_ok: bool) -> Result<Vec<usize>, Fault> {
+        Ok(self
+            .comm
+            .allgather(Payload::I64(vec![my_ok as i64]))?
+            .into_iter()
+            .map(Payload::into_i64)
+            .enumerate()
+            .filter(|(_, v)| v[0] == 0)
+            .map(|(r, _)| r)
+            .collect())
+    }
+
+    /// Collective CRC verification of the restore-source `regions`
+    /// before a restore trusts them. The already-lost rank (if any) is
+    /// counted as damaged by definition; a single CRC-damaged survivor is
+    /// *merged into the erasure* — returned as the effective lost rank
+    /// for the parity rebuild, which restores it bit-exactly. Two or more
+    /// damaged members exceed what single parity can rebuild.
+    pub(crate) fn verify_sources(
+        &self,
+        lost: Option<usize>,
+        regions: &[Region],
+    ) -> Result<Option<usize>, RecoverError> {
+        let me = self.comm.rank();
+        let my_ok = if lost == Some(me) {
+            false
+        } else {
+            let mut ok = true;
+            for &r in regions {
+                ok &= self.region_crc_ok(r)?;
+            }
+            ok
+        };
+        let bad = self.gather_bad_ranks(my_ok)?;
+        // Job-wide agreement on the worst group's damage count. An
+        // unrecoverable verdict kills no node, so if one group returned
+        // the error while its siblings proceeded into the restore
+        // collectives, the job would split between the two paths and
+        // hang. One reduce makes the verdict collective.
+        let worst = -self
+            .agree_min(-(bad.len().min(2) as i64))
+            .map_err(RecoverError::Fault)?;
+        if worst >= 2 {
+            return Err(RecoverError::Unrecoverable(if bad.len() >= 2 {
+                format!(
+                    "checkpoint integrity: ranks {bad:?} of a {}-member group hold damaged \
+                     restore sources ({regions:?}); single parity can rebuild only one",
+                    self.comm.size()
+                )
+            } else {
+                "checkpoint integrity: a sibling group's restore sources are damaged beyond \
+                 single-parity repair"
+                    .into()
+            }));
+        }
+        match bad.len() {
+            0 => Ok(None),
+            _ => Ok(Some(bad[0])),
+        }
     }
 
     fn write_b2(&self, a2: &[u8]) -> Result<(), Fault> {
@@ -698,15 +933,38 @@ impl<'c> Checkpointer<'c> {
     }
 
     /// Collective recovery after a restart. At most one group member may
-    /// have lost its segments (fresh node). On success the workspace
-    /// segment holds the restored data and [`Self::last_report`] the
-    /// decision trail.
+    /// have lost its segments (fresh node); one more may hold silently
+    /// corrupted data — the CRC verification folds it into the erasure.
+    /// On success the workspace segment holds the restored data and
+    /// [`Self::last_report`] the decision trail.
+    ///
+    /// The whole call runs inside the [`RECOVER_PHASE_LABEL`] phase
+    /// window, so under the sim runtime `explore_yield_kills` can arm a
+    /// second failure at every yield point of the recovery itself.
     pub fn recover(&mut self) -> Result<Recovery, RecoverError> {
         let t0 = self.clock();
+        self.bus.emit(Event::PhaseEnter {
+            label: RECOVER_PHASE_LABEL,
+            epoch: self.epoch,
+        });
+        let out = self.recover_inner(&t0);
+        self.bus.emit(Event::PhaseExit {
+            label: RECOVER_PHASE_LABEL,
+            epoch: self.epoch,
+            elapsed: t0.elapsed(),
+        });
+        out
+    }
+
+    fn recover_inner(&mut self, t0: &Stopwatch) -> Result<Recovery, RecoverError> {
         self.last_report = None;
-        // Exchange (fresh, header words) across the group.
-        let h = Header::read(&self.header)?;
-        let fresh = !self.attached;
+        // Exchange (fresh, header words) across the group. A header that
+        // fails its CRC proves nothing: advertise this rank as fresh so
+        // the planner rebuilds it instead of trusting forged epochs.
+        let (h, fresh) = match Header::classify(&self.header) {
+            HeaderState::Valid(h) => (h, !self.attached),
+            HeaderState::Invalid(_) => (Header::default(), true),
+        };
         let w = h.words();
         let mine = Payload::I64(vec![
             fresh as i64,
@@ -732,6 +990,7 @@ impl<'c> Checkpointer<'c> {
             .collect();
         let proto = self.proto;
         let plan = proto.plan_recovery(&views);
+        self.probe(RECOVER_PLAN_PROBE)?;
 
         // Job-wide agreement: any torn / doubly-failed group dooms the
         // whole job; otherwise every group restores the global MINIMUM of
@@ -809,5 +1068,125 @@ impl<'c> Checkpointer<'c> {
             .allreduce(ReduceOp::Min, Payload::I64(vec![ok as i64]))?
             .into_i64()[0];
         Ok(verdict == 1)
+    }
+
+    /// Collective integrity *scrub*: verify the commit header and every
+    /// **committed** `(checkpoint, checksum)` pair against their stored
+    /// CRCs, and repair what a single parity can repair.
+    ///
+    /// * A CRC-corrupt header adopts the group-consensus commit words
+    ///   (valid headers agree between makes — every word is written only
+    ///   after a group barrier).
+    /// * One CRC-damaged member per pair is downgraded to an erasure and
+    ///   rebuilt bit-exactly from the survivors' parity.
+    /// * Two or more damaged members of one pair exceed the code's
+    ///   correction power: reported as [`RecoverError::Unrecoverable`],
+    ///   never silently restored.
+    ///
+    /// The live workspace (and the self method's fresh checksum `D`
+    /// between commits) is deliberately out of scope: the application
+    /// mutates it at will, so its CRCs are only meaningful on the
+    /// recovery path, where [`Self::verify_sources`] checks them.
+    pub fn scrub(&mut self) -> Result<ScrubReport, RecoverError> {
+        self.probe(SCRUB_PROBE)?;
+
+        // 1. Headers: exchange (crc-valid, words) and take the group
+        // consensus (MAX per word over valid headers).
+        let (valid, words) = match Header::classify(&self.header) {
+            HeaderState::Valid(h) => (true, h.words()),
+            HeaderState::Invalid(_) => (false, [0u64; 4]),
+        };
+        let mine = Payload::I64(vec![
+            valid as i64,
+            words[0] as i64,
+            words[1] as i64,
+            words[2] as i64,
+            words[3] as i64,
+        ]);
+        let views: Vec<Vec<i64>> = self
+            .comm
+            .allgather(mine)?
+            .into_iter()
+            .map(Payload::into_i64)
+            .collect();
+        let mut consensus = [0u64; 4];
+        let mut any_valid = false;
+        for v in &views {
+            if v[0] != 0 {
+                any_valid = true;
+                for (c, w) in consensus.iter_mut().zip(&v[1..5]) {
+                    *c = (*c).max(*w as u64);
+                }
+            }
+        }
+        // A group with no valid header is beyond repair, but the error
+        // exit must stay collective across sibling groups (see the
+        // deferred verdict below): with all-zero consensus the pair list
+        // stays empty, so the group simply falls through to it.
+        let mut worst_local: i64 = 0;
+        let mut damage: Option<String> = None;
+        if !any_valid {
+            worst_local = 2;
+            damage = Some("scrub: every header in the group failed its CRC".into());
+        }
+        let header_repaired = any_valid && !valid;
+        if header_repaired {
+            for (word, val) in HeaderWord::ALL.into_iter().zip(consensus) {
+                header::write_word(&self.header, word, val)?;
+            }
+        }
+        let h = Header {
+            d_epoch: consensus[0],
+            bc_epoch: consensus[1],
+            pair1_epoch: consensus[2],
+            dirty_epoch: consensus[3],
+        };
+
+        // 2. Committed pairs. Never-committed pairs are skipped: their
+        // segments and CRC slots are both still zero-initialized, which
+        // is not a checkpoint and must not be "verified" as one.
+        let mut pairs: Vec<(Region, Region)> = Vec::new();
+        if h.bc_epoch > 0 {
+            pairs.push((Region::CopyB, Region::ParityC));
+        }
+        if self.cfg.method == Method::Double && h.pair1_epoch > 0 {
+            pairs.push((Region::CopyB1, Region::ParityC1));
+        }
+        let mut repaired = Vec::new();
+        for &(data_r, parity_r) in &pairs {
+            let my_ok = self.region_crc_ok(data_r)? && self.region_crc_ok(parity_r)?;
+            let bad = self.gather_bad_ranks(my_ok)?;
+            match bad.len() {
+                0 => {}
+                1 => {
+                    self.rebuild_regions(bad[0], data_r, parity_r)?;
+                    repaired.push(bad[0]);
+                }
+                _ => {
+                    worst_local = 2;
+                    damage.get_or_insert_with(|| {
+                        format!(
+                            "scrub: ranks {bad:?} of a {}-member group hold damaged copies of \
+                             the ({data_r}, {parity_r}) pair; single parity can rebuild only one",
+                            self.comm.size()
+                        )
+                    });
+                }
+            }
+        }
+        // Deferred job-wide verdict: every rank reduces once, so sibling
+        // groups that finished their own (possibly repairing) pass exit
+        // through the same path instead of hanging on a half-aborted job.
+        let worst = -self.agree_min(-worst_local).map_err(RecoverError::Fault)?;
+        if worst >= 2 {
+            return Err(RecoverError::Unrecoverable(damage.unwrap_or_else(|| {
+                "scrub: a sibling group is damaged beyond single-parity repair".into()
+            })));
+        }
+        Ok(ScrubReport {
+            pairs_checked: pairs.len(),
+            repaired,
+            header_repaired,
+        })
     }
 }

@@ -4,8 +4,12 @@
 
 use super::header::HeaderWord;
 use super::planner::{choose_self_source, HeaderMaxima};
-use super::{Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource};
+use super::{
+    Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource,
+    RECOVER_COMMIT_PROBE,
+};
 use crate::memory::Method;
+use skt_cluster::Region;
 use skt_mps::Fault;
 
 pub(crate) struct SelfCkpt;
@@ -23,6 +27,9 @@ impl Protocol for SelfCkpt {
         let sp = ck.span(Phase::Encode, e);
         let parity = ck.encode_of(&ck.work, Some(Phase::Encode.label()))?;
         ck.fill_seg(&d_seg, &parity)?;
+        // CRC the fresh (work, D) pair in the same no-yield block as the
+        // D fill: any rank past this line has matching data and witness.
+        ck.update_region_crcs(&[Region::Work, Region::ChecksumD])?;
         // (3) group-wide commit of D
         ck.comm.barrier()?;
         sp.end();
@@ -40,10 +47,12 @@ impl Protocol for SelfCkpt {
         let t1 = ck.clock();
         let sp = ck.span(Phase::FlushB, e);
         ck.copy_seg(&ck.b, &ck.work, Phase::FlushB.label())?;
+        ck.update_region_crcs(&[Region::CopyB])?;
         sp.end();
         ck.phase_point(Phase::FlushB)?;
         let sp = ck.span(Phase::FlushC, e);
         ck.copy_seg(&ck.c, &d_seg, Phase::FlushC.label())?;
+        ck.update_region_crcs(&[Region::ParityC])?;
         sp.end();
         ck.phase_point(Phase::FlushC)?;
         // (5) group-wide commit of (B, C)
@@ -66,13 +75,20 @@ impl Protocol for SelfCkpt {
                 // Normal rollback to the committed checkpoint (CASE 1) —
                 // also the cross-group case "another group proposed e-1":
                 // the pre-flush sync gate guarantees our (B, C)@e-1 is
-                // then still intact.
+                // then still intact. CRC-verify the source pair first: a
+                // silently corrupted survivor is downgraded to the
+                // erasure and rebuilt alongside (or instead of) the lost
+                // rank.
+                let lost = ck.verify_sources(lost, &[Region::CopyB, Region::ParityC])?;
                 if let Some(f) = lost {
-                    ck.rebuild_pair(f, &ck.b, &ck.c)?;
+                    ck.rebuild_regions(f, Region::CopyB, Region::ParityC)?;
                 }
                 ck.copy_seg(&ck.work, &ck.b, "recover-restore")?;
+                ck.update_region_crcs(&[Region::Work])?;
                 // restore the invariant: D mirrors C after a rollback
                 ck.copy_seg(&d_seg, &ck.c, "recover-restore")?;
+                ck.update_region_crcs(&[Region::ChecksumD])?;
+                ck.probe(RECOVER_COMMIT_PROBE)?;
                 ck.comm.barrier()?;
                 ck.commit(HeaderWord::DEpoch, target)?;
                 ck.commit(HeaderWord::BcEpoch, target)?;
@@ -81,14 +97,20 @@ impl Protocol for SelfCkpt {
             Some(RestoreSource::WorkspaceAndChecksum) => {
                 // Encode of the target epoch committed job-wide; the flush
                 // may be torn. The workspace itself is the checkpoint
-                // (CASE 2).
+                // (CASE 2). The app never regained control after the
+                // encode, so the (work, D) CRCs written there still
+                // witness the exact bytes being trusted.
+                let lost = ck.verify_sources(lost, &[Region::Work, Region::ChecksumD])?;
                 if let Some(f) = lost {
-                    ck.rebuild_pair(f, &ck.work, &d_seg)?;
+                    ck.rebuild_regions(f, Region::Work, Region::ChecksumD)?;
                 }
                 // complete the interrupted flush so (B, C) is consistent
                 // again
                 ck.copy_seg(&ck.b, &ck.work, "recover-flush")?;
+                ck.update_region_crcs(&[Region::CopyB])?;
                 ck.copy_seg(&ck.c, &d_seg, "recover-flush")?;
+                ck.update_region_crcs(&[Region::ParityC])?;
+                ck.probe(RECOVER_COMMIT_PROBE)?;
                 ck.comm.barrier()?;
                 ck.commit(HeaderWord::DEpoch, target)?;
                 ck.commit(HeaderWord::BcEpoch, target)?;

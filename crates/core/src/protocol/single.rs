@@ -5,8 +5,12 @@
 
 use super::header::HeaderWord;
 use super::planner::HeaderMaxima;
-use super::{Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource};
+use super::{
+    Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource,
+    RECOVER_COMMIT_PROBE,
+};
 use crate::memory::Method;
+use skt_cluster::Region;
 use skt_mps::Fault;
 
 pub(crate) struct Single;
@@ -30,6 +34,7 @@ impl Protocol for Single {
         let t1 = ck.clock();
         let sp = ck.span(Phase::CopyB, e);
         ck.copy_seg(&ck.b, &ck.work, Phase::CopyB.label())?;
+        ck.update_region_crcs(&[Region::CopyB])?;
         sp.end();
         ck.phase_point(Phase::CopyB)?;
         let flush = t1.elapsed();
@@ -37,6 +42,7 @@ impl Protocol for Single {
         let sp = ck.span(Phase::Encode, e);
         let parity = ck.encode_of(&ck.b, Some(Phase::Encode.label()))?;
         ck.fill_seg(&ck.c, &parity)?;
+        ck.update_region_crcs(&[Region::ParityC])?;
         ck.comm.barrier()?;
         sp.end();
         let encode = t0.elapsed();
@@ -51,10 +57,15 @@ impl Protocol for Single {
         target: u64,
         _maxima: &HeaderMaxima,
     ) -> Result<Recovery, RecoverError> {
+        // CRC-verify the only pair this method has before trusting it; a
+        // corrupt survivor joins (or replaces) the lost rank as the
+        // erasure to rebuild.
+        let lost = ck.verify_sources(lost, &[Region::CopyB, Region::ParityC])?;
         if let Some(f) = lost {
-            ck.rebuild_pair(f, &ck.b, &ck.c)?;
+            ck.rebuild_regions(f, Region::CopyB, Region::ParityC)?;
         }
         ck.copy_seg(&ck.work, &ck.b, "recover-restore")?;
+        ck.probe(RECOVER_COMMIT_PROBE)?;
         ck.comm.barrier()?;
         ck.commit(HeaderWord::BcEpoch, target)?;
         ck.commit(HeaderWord::Dirty, target)?;

@@ -1,5 +1,5 @@
 use super::*;
-use skt_cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist, Recorder};
+use skt_cluster::{Cluster, ClusterConfig, CorruptPlan, FailurePlan, Ranklist, Recorder, Region};
 use skt_mps::run_on_cluster;
 use std::sync::Arc;
 
@@ -265,6 +265,201 @@ fn checkpoint_integrity_verifies_after_make() {
 }
 
 #[test]
+fn scrub_repairs_a_single_corrupt_stripe() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), 4));
+        }
+        ck.make(b"four")?;
+        // Silent single-bit flip in rank 2's committed checkpoint copy.
+        if ctx.world_rank() == 0 {
+            assert!(ctx.cluster().corrupt_now(&CorruptPlan::new(
+                "now",
+                1,
+                2,
+                Region::CopyB,
+                13,
+                6
+            )));
+        }
+        ctx.world().barrier()?;
+        let report = ck.scrub().map_err(|e| match e {
+            RecoverError::Fault(f) => f,
+            RecoverError::Unrecoverable(m) => panic!("unrecoverable: {m}"),
+        })?;
+        let ok = ck.verify_integrity()?;
+        let name = format!("test/r{}/b", ctx.world_rank());
+        let b = ctx.shm().attach(&name).expect("checkpoint copy exists");
+        let data = b.read().as_f64()[..A1].to_vec();
+        Ok((report, ok, data))
+    })
+    .unwrap();
+    for (rank, (report, ok, data)) in outs.iter().enumerate() {
+        assert_eq!(report.pairs_checked, 1, "rank {rank}");
+        assert_eq!(report.repaired, vec![2], "rank {rank}");
+        assert!(!report.header_repaired, "rank {rank}");
+        assert!(ok, "rank {rank}: pair must verify after the repair");
+        // the erasure rebuild restores the damaged copy bit-exactly
+        assert_eq!(data, &pattern(rank, 4), "rank {rank} repaired copy");
+    }
+}
+
+#[test]
+fn scrub_reports_two_damaged_members_as_unrecoverable() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), 1));
+        }
+        ck.make(b"one")?;
+        // Two members of the same (B, C) pair damaged: beyond single parity.
+        if ctx.world_rank() == 0 {
+            let cl = ctx.cluster();
+            assert!(cl.corrupt_now(&CorruptPlan::new("now", 1, 1, Region::CopyB, 0, 0)));
+            assert!(cl.corrupt_now(&CorruptPlan::new("now", 1, 3, Region::ParityC, 21, 4)));
+        }
+        ctx.world().barrier()?;
+        match ck.scrub() {
+            Err(RecoverError::Unrecoverable(msg)) => Ok(msg),
+            other => panic!("expected unrecoverable, got {other:?}"),
+        }
+    })
+    .unwrap();
+    for msg in outs {
+        assert!(msg.contains("single parity can rebuild only one"), "{msg}");
+        assert!(msg.contains("[1, 3]"), "{msg}");
+    }
+}
+
+#[test]
+fn scrub_rebuilds_a_crc_corrupt_header_from_group_consensus() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        for e in 1..=2u64 {
+            {
+                let ws = ck.workspace();
+                ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), e));
+            }
+            ck.make(&e.to_le_bytes())?;
+        }
+        // All commits must be on disk before the flip: a rank's trailing
+        // header write inside `make` would otherwise re-seal the
+        // corrupted payload as valid.
+        ctx.world().barrier()?;
+        // Any flipped bit breaks the header's own CRC seal.
+        if ctx.world_rank() == 0 {
+            assert!(ctx.cluster().corrupt_now(&CorruptPlan::new(
+                "now",
+                1,
+                3,
+                Region::Header,
+                2,
+                5
+            )));
+        }
+        ctx.world().barrier()?;
+        let first = ck.scrub().map_err(|_| Fault::JobAborted)?;
+        let second = ck.scrub().map_err(|_| Fault::JobAborted)?;
+        Ok((first, second))
+    })
+    .unwrap();
+    for (rank, (first, second)) in outs.iter().enumerate() {
+        assert_eq!(
+            first.header_repaired,
+            rank == 3,
+            "rank {rank}: only the damaged header is rebuilt"
+        );
+        assert_eq!(first.repaired, Vec::<usize>::new(), "rank {rank}");
+        assert_eq!(first.pairs_checked, 1, "rank {rank}");
+        // the consensus repair persisted: a second pass finds nothing
+        assert!(!second.header_repaired, "rank {rank}");
+        assert_eq!(second.repaired, Vec::<usize>::new(), "rank {rank}");
+    }
+}
+
+#[test]
+fn restart_recovery_repairs_a_corrupted_survivor_bit_exactly() {
+    // No node dies: the job exits normally, a bit silently flips in one
+    // rank's checkpoint copy while the job is down, and the restart's
+    // recovery folds the CRC-damaged survivor into the erasure.
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    run_on_cluster(cluster.clone(), &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), 5));
+        }
+        ck.make(b"five")?;
+        Ok(())
+    })
+    .unwrap();
+    assert!(cluster.corrupt_now(&CorruptPlan::new("now", 1, 1, Region::CopyB, 77, 3)));
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        let rec = ck.recover().map_err(|e| match e {
+            RecoverError::Fault(f) => f,
+            RecoverError::Unrecoverable(msg) => panic!("unrecoverable: {msg}"),
+        })?;
+        let ws = ck.workspace();
+        let data = ws.read().as_f64()[..A1].to_vec();
+        Ok((rec, data))
+    })
+    .unwrap();
+    for (rank, (rec, data)) in outs.iter().enumerate() {
+        match rec {
+            Recovery::Restored { epoch: 1, a2, .. } => {
+                assert_eq!(a2.as_slice(), b"five", "rank {rank}");
+            }
+            other => panic!("rank {rank}: expected restore, got {other:?}"),
+        }
+        assert_eq!(data, &pattern(rank, 5), "rank {rank} data");
+    }
+}
+
+#[test]
+fn two_corrupted_sources_fail_recovery_with_the_group_named() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    run_on_cluster(cluster.clone(), &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        ck.make(b"x")?;
+        Ok(())
+    })
+    .unwrap();
+    assert!(cluster.corrupt_now(&CorruptPlan::new("now", 1, 1, Region::CopyB, 8, 0)));
+    assert!(cluster.corrupt_now(&CorruptPlan::new("now", 1, 2, Region::CopyB, 8, 0)));
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        match ck.recover() {
+            Err(RecoverError::Unrecoverable(msg)) => Ok(msg),
+            other => panic!("expected unrecoverable, got {other:?}"),
+        }
+    })
+    .unwrap();
+    for msg in outs {
+        assert!(msg.contains("single parity can rebuild only one"), "{msg}");
+        assert!(msg.contains("[1, 2]"), "{msg}");
+    }
+}
+
+#[test]
 fn shm_usage_matches_table1() {
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
     let rl = Ranklist::round_robin(N, N);
@@ -279,8 +474,8 @@ fn shm_usage_matches_table1() {
     })
     .unwrap();
     for (bytes, padded, stripe) in outs {
-        // work + B + C + D + 32-byte header
-        let expect = (2 * padded + 2 * stripe) * 8 + 32;
+        // work + B + C + D + CRC-sealed header + stripe-CRC table
+        let expect = (2 * padded + 2 * stripe) * 8 + HEADER_BYTES + crc_table_bytes(N);
         assert_eq!(bytes, expect);
         // Table 1 total 2MN/(N-1): with M = padded elements
         let table1 = 2 * padded * N / (N - 1);

@@ -23,14 +23,20 @@
 //! * [`kernels`] — the cache-blocked, multi-threaded accumulate / copy
 //!   engine under the codecs, the reduce operators, and the protocol's
 //!   flush copies, selected through [`kernels::KernelConfig`].
+//! * [`crc`] — CRC32C integrity checksums over checkpoint regions,
+//!   chunk-walked through the same kernel policy and reassembled with an
+//!   exact GF(2) combine, so detection of silent in-memory corruption is
+//!   parallel and bit-reproducible.
 
 pub mod code;
+pub mod crc;
 pub mod dualparity;
 pub mod gf256;
 pub mod kernels;
 pub mod layout;
 
 pub use code::Code;
+pub use crc::{crc32c, crc32c_combine, crc32c_f64, stripe_crcs};
 pub use dualparity::DualParity;
 pub use kernels::KernelConfig;
 pub use layout::GroupLayout;

@@ -12,10 +12,11 @@
 //! *restart*, *recover*, and *checkpoint* are measured on the virtual
 //! cluster.
 
-use skt_cluster::{Cluster, Fault, Ranklist};
-use skt_hpl::{run_skt, SktConfig, SktOutput};
+use skt_cluster::{Cluster, Fault, NodeId, Ranklist};
+use skt_core::RecoveryReport;
+use skt_hpl::{run_skt_observed, SktConfig, SktOutput};
 use skt_mps::run_on_cluster;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The phases of one work-fail-detect-restart cycle — the bars of
@@ -102,28 +103,132 @@ pub struct CycleReport {
     pub output: SktOutput,
     /// Phase timings for each failure cycle, in order.
     pub cycles: Vec<PhaseTimes>,
+    /// Everything the daemon learned across all attempts (faults, new
+    /// deaths, backoff, recovery reports) — the error-path history, kept
+    /// on success too.
+    pub history: DaemonHistory,
 }
 
-/// Why the daemon gave up.
+/// Record of one *failed* launch attempt, in order.
+#[derive(Clone, Debug)]
+pub struct AttemptRecord {
+    /// 1-based launch number that failed.
+    pub attempt: usize,
+    /// The fault that ended the attempt (rank order; with fault
+    /// attribution a node loss surfaces as `NodeDead(culprit)` on every
+    /// rank).
+    pub fault: Fault,
+    /// Nodes that died *during this attempt* (empty when the failure was
+    /// protocol-level, e.g. an unrecoverable checkpoint verdict —
+    /// replacement cannot fix those).
+    pub newly_dead: Vec<NodeId>,
+    /// Backoff charged to the runtime clock before the next attempt
+    /// (zero when the daemon gave up instead of retrying).
+    pub backoff: Duration,
+}
+
+/// The daemon's full account of a supervised run: one record per failed
+/// attempt plus every [`RecoveryReport`] harvested from relaunches —
+/// including relaunches that completed their recovery and *then* died,
+/// which is exactly the cascading-failure evidence a typed
+/// [`DaemonError`] must carry.
+#[derive(Clone, Debug, Default)]
+pub struct DaemonHistory {
+    /// One record per failed attempt.
+    pub attempts: Vec<AttemptRecord>,
+    /// Recovery reports of every attempt whose restore completed, in
+    /// attempt order (an attempt killed mid-rebuild leaves none).
+    pub recoveries: Vec<RecoveryReport>,
+}
+
+/// Why the daemon gave up. Every variant carries the full
+/// [`DaemonHistory`] so the caller sees what was tried, what died, and
+/// what recovery managed before the job was declared lost.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum DaemonError {
     /// No spare node left to replace a failure.
-    OutOfSpares,
+    OutOfSpares(DaemonHistory),
     /// More failures than the configured budget.
-    TooManyFailures(usize),
+    TooManyFailures(DaemonHistory),
+    /// The job failed without losing a node — a protocol-level verdict
+    /// (e.g. a checkpoint group damaged beyond single-parity repair).
+    /// Replacement and retry cannot fix it; jobs wanting to survive this
+    /// run the in-memory level under [`skt_core::MultiLevel`], whose PFS
+    /// level is the designed fallback.
+    Unrecoverable(DaemonHistory),
+}
+
+impl DaemonError {
+    /// The attempt history, whatever the variant.
+    pub fn history(&self) -> &DaemonHistory {
+        match self {
+            DaemonError::OutOfSpares(h)
+            | DaemonError::TooManyFailures(h)
+            | DaemonError::Unrecoverable(h) => h,
+        }
+    }
 }
 
 impl std::fmt::Display for DaemonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DaemonError::OutOfSpares => write!(f, "spare-node pool exhausted"),
-            DaemonError::TooManyFailures(n) => write!(f, "gave up after {n} failures"),
+            DaemonError::OutOfSpares(h) => write!(
+                f,
+                "spare-node pool exhausted after {} failed attempts",
+                h.attempts.len()
+            ),
+            DaemonError::TooManyFailures(h) => {
+                write!(f, "gave up after {} failures", h.attempts.len())
+            }
+            DaemonError::Unrecoverable(h) => write!(
+                f,
+                "unrecoverable after {} attempts: {:?} (no node died; retry is futile)",
+                h.attempts.len(),
+                h.attempts.last().map(|a| a.fault)
+            ),
         }
     }
 }
 
 impl std::error::Error for DaemonError {}
+
+/// Retry policy of the daemon's restart loop.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Node losses to survive before giving up.
+    pub max_failures: usize,
+    /// Modeled failure-detection latency (job-manager property).
+    pub detect: Duration,
+    /// Backoff before the first retry; doubles on each consecutive
+    /// failure. Charged to the cluster's [`Runtime`](skt_cluster::Runtime)
+    /// clock, so it is virtual under simulation and never sleeps a test.
+    pub backoff_base: Duration,
+    /// Upper bound on the doubling backoff.
+    pub backoff_cap: Duration,
+}
+
+impl RetryPolicy {
+    /// Policy with the defaults used by [`run_with_daemon`]: 1 s base
+    /// backoff capped at 60 s.
+    pub fn new(max_failures: usize, detect: Duration) -> Self {
+        RetryPolicy {
+            max_failures,
+            detect,
+            backoff_base: Duration::from_secs(1),
+            backoff_cap: Duration::from_secs(60),
+        }
+    }
+
+    /// Backoff before retrying after the `failures`-th consecutive
+    /// failure (1-based): `base * 2^(failures-1)`, capped.
+    pub fn backoff(&self, failures: usize) -> Duration {
+        let doubled = self
+            .backoff_base
+            .saturating_mul(1u32 << (failures - 1).min(31) as u32);
+        doubled.min(self.backoff_cap)
+    }
+}
 
 /// Supervise a fault-tolerant HPL run to completion, restarting through
 /// up to `max_failures` node losses. `detect_model` is the modeled
@@ -135,15 +240,57 @@ pub fn run_with_daemon(
     max_failures: usize,
     detect_model: Duration,
 ) -> Result<CycleReport, DaemonError> {
+    run_with_policy(
+        cluster,
+        ranklist,
+        cfg,
+        &RetryPolicy::new(max_failures, detect_model),
+    )
+}
+
+/// [`run_with_daemon`] with an explicit [`RetryPolicy`].
+///
+/// The loop is a bounded state machine — launch, and on failure:
+/// *detect* (modeled latency), *classify* (did a node die? give up with
+/// [`DaemonError::Unrecoverable`] if not — replacement cannot fix a
+/// protocol verdict), *replace* (ranklist repair from the spare pool),
+/// *back off* (doubling, on the runtime clock), relaunch. A relaunch
+/// whose recovery is itself interrupted by a second node loss simply
+/// fails the attempt; the next cycle re-runs detection and planning
+/// against the new survivor set. Never a panic or a hang: every exit is
+/// `Ok` or a typed [`DaemonError`] carrying the full history.
+pub fn run_with_policy(
+    cluster: Arc<Cluster>,
+    ranklist: &Ranklist,
+    cfg: &SktConfig,
+    policy: &RetryPolicy,
+) -> Result<CycleReport, DaemonError> {
     let mut rl = ranklist.clone();
     let mut cycles: Vec<PhaseTimes> = Vec::new();
+    let mut history = DaemonHistory::default();
+    let mut known_dead: Vec<NodeId> = cluster.dead_nodes();
     let mut launches = 0usize;
     loop {
         launches += 1;
         cluster.reset_abort();
         let t_launch = cluster.stopwatch();
+        // Harvest recovery reports out-of-band: a relaunch that restores
+        // and later dies still leaves its report in the history.
+        let harvest: Mutex<Vec<RecoveryReport>> = Mutex::new(Vec::new());
         let result: Result<Vec<SktOutput>, Fault> =
-            run_on_cluster(Arc::clone(&cluster), &rl, |ctx| run_skt(ctx, cfg));
+            run_on_cluster(Arc::clone(&cluster), &rl, |ctx| {
+                run_skt_observed(ctx, cfg, |r| harvest.lock().unwrap().push(*r))
+            });
+        // keep the most informative report of the attempt (the rebuilt
+        // rank's carries the rebuilt byte count)
+        if let Some(best) = harvest
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .max_by_key(|r| r.rebuilt_bytes)
+        {
+            history.recoveries.push(best);
+        }
         match result {
             Ok(outs) => {
                 let out = outs[0];
@@ -168,24 +315,49 @@ pub fn run_with_daemon(
                     failures: launches - 1,
                     output: out,
                     cycles,
+                    history,
                 });
             }
-            Err(_fault) => {
-                if launches > max_failures {
-                    return Err(DaemonError::TooManyFailures(launches));
+            Err(fault) => {
+                let dead_now = cluster.dead_nodes();
+                let newly_dead: Vec<NodeId> = dead_now
+                    .iter()
+                    .copied()
+                    .filter(|n| !known_dead.contains(n))
+                    .collect();
+                let mut record = AttemptRecord {
+                    attempt: launches,
+                    fault,
+                    newly_dead: newly_dead.clone(),
+                    backoff: Duration::ZERO,
+                };
+                if newly_dead.is_empty() {
+                    // nothing died, yet the job failed: a protocol-level
+                    // verdict (damaged checkpoint group). Replacing nodes
+                    // and retrying would reproduce it deterministically.
+                    history.attempts.push(record);
+                    return Err(DaemonError::Unrecoverable(history));
                 }
+                if launches > policy.max_failures {
+                    history.attempts.push(record);
+                    return Err(DaemonError::TooManyFailures(history));
+                }
+                known_dead = dead_now;
                 // detect: the daemon learns of the abort from the launcher.
                 // The modeled latency is charged to the virtual clock under
                 // simulation (a no-op in real time).
                 let mut phase = PhaseTimes::default();
-                phase.set(CyclePhase::Detect, detect_model);
-                cluster.runtime().advance(detect_model);
+                phase.set(CyclePhase::Detect, policy.detect);
+                cluster.runtime().advance(policy.detect);
                 // replace: node-health check + ranklist repair
                 let t_rep = cluster.stopwatch();
                 cluster.reset_abort();
                 match rl.repair(&cluster) {
                     Ok(_moved) => {}
-                    Err(_node) => return Err(DaemonError::OutOfSpares),
+                    Err(_node) => {
+                        history.attempts.push(record);
+                        return Err(DaemonError::OutOfSpares(history));
+                    }
                 }
                 phase.set(CyclePhase::Replace, t_rep.elapsed());
                 // restart: accounted as launcher overhead of this attempt
@@ -194,6 +366,11 @@ pub fn run_with_daemon(
                     t_launch.elapsed().min(Duration::from_secs(1)),
                 );
                 cycles.push(phase);
+                // back off before the relaunch — doubling per consecutive
+                // failure, on the runtime clock (virtual under simulation)
+                record.backoff = policy.backoff(launches);
+                cluster.runtime().advance(record.backoff);
+                history.attempts.push(record);
             }
         }
     }
@@ -202,8 +379,9 @@ pub fn run_with_daemon(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skt_cluster::{ClusterConfig, FailurePlan};
-    use skt_hpl::{HplConfig, ITER_PROBE};
+    use skt_cluster::{ClusterConfig, CorruptPlan, FailurePlan, Region};
+    use skt_core::RECOVER_COMMIT_PROBE;
+    use skt_hpl::{run_skt, HplConfig, ITER_PROBE};
 
     fn cfg() -> SktConfig {
         SktConfig::new(HplConfig::new(48, 4, 11), 2, 2)
@@ -251,7 +429,11 @@ mod tests {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 2)));
         let rl = Ranklist::round_robin(4, 4);
         cluster.arm_failure(FailurePlan::new(ITER_PROBE, 3, 0));
-        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 3, 2));
+        // node 2 cannot reach probe 5 in the first attempt: the global
+        // checkpoint barrier at panel 4 would need node 0, which dies at
+        // probe 3 — so the losses are strictly sequential, one per
+        // relaunch, never a simultaneous pair healed in one cycle.
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 5, 2));
         let rep = run_with_daemon(cluster, &rl, &cfg(), 5, Duration::from_secs(30)).unwrap();
         assert_eq!(rep.failures, 2);
         assert!(rep.output.hpl.passed);
@@ -263,6 +445,143 @@ mod tests {
         let rl = Ranklist::round_robin(4, 4);
         cluster.arm_failure(FailurePlan::new(ITER_PROBE, 2, 1));
         let err = run_with_daemon(cluster, &rl, &cfg(), 3, Duration::ZERO).unwrap_err();
-        assert!(matches!(err, DaemonError::OutOfSpares));
+        match err {
+            DaemonError::OutOfSpares(h) => {
+                assert_eq!(h.attempts.len(), 1);
+                assert_eq!(h.attempts[0].fault, Fault::NodeDead(1));
+                assert_eq!(h.attempts[0].newly_dead, vec![1]);
+            }
+            other => panic!("expected OutOfSpares, got {other}"),
+        }
+    }
+
+    #[test]
+    fn daemon_retries_through_a_second_death_during_recovery() {
+        // Cascading failure: node 2 dies mid-run; during the relaunch's
+        // *recovery* (at the pre-commit restore probe) node 1 dies too.
+        // The daemon must re-run detection + planning against the new
+        // survivor set and finish on the third launch.
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 2)));
+        let rl = Ranklist::round_robin(4, 4);
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 5, 2));
+        cluster.arm_failure(FailurePlan::new(RECOVER_COMMIT_PROBE, 1, 1));
+        let rep =
+            run_with_daemon(cluster.clone(), &rl, &cfg(), 5, Duration::from_secs(30)).unwrap();
+        assert_eq!(rep.launches, 3);
+        assert_eq!(rep.failures, 2);
+        assert!(
+            rep.output.hpl.passed,
+            "residual {}",
+            rep.output.hpl.residual
+        );
+        assert_eq!(rep.output.resumed_from_panel, 4);
+        assert_eq!(cluster.spares_left(), 0, "both spares spent");
+        assert_eq!(rep.history.attempts.len(), 2);
+        assert_eq!(rep.history.attempts[0].fault, Fault::NodeDead(2));
+        assert_eq!(rep.history.attempts[0].newly_dead, vec![2]);
+        assert_eq!(rep.history.attempts[1].fault, Fault::NodeDead(1));
+        assert_eq!(rep.history.attempts[1].newly_dead, vec![1]);
+        assert_eq!(
+            rep.history.attempts[0].backoff,
+            Duration::from_secs(1),
+            "base backoff before the first retry"
+        );
+        assert_eq!(
+            rep.history.attempts[1].backoff,
+            Duration::from_secs(2),
+            "backoff doubles on the consecutive failure"
+        );
+        // attempt 2 died before finishing its restore, so only the third
+        // launch's recovery made it into the history
+        assert_eq!(rep.history.recoveries.len(), 1);
+        assert_eq!(rep.history.recoveries[0].epoch, 2);
+    }
+
+    #[test]
+    fn daemon_out_of_spares_carries_the_recovery_history() {
+        // One spare: survive the first loss, recover, then lose another
+        // node later in the relaunch. The typed error must carry both
+        // attempt records and the completed recovery's report.
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
+        let rl = Ranklist::round_robin(4, 4);
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 5, 1));
+        // node 2 cannot reach probe 7 in the first attempt: the global
+        // checkpoint barrier at panel 6 would need node 1, which dies at
+        // probe 5 — so this fires only in the (recovered) second attempt.
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 7, 2));
+        let err = run_with_daemon(cluster, &rl, &cfg(), 5, Duration::from_secs(30)).unwrap_err();
+        match err {
+            DaemonError::OutOfSpares(h) => {
+                assert_eq!(h.attempts.len(), 2);
+                assert_eq!(h.attempts[0].fault, Fault::NodeDead(1));
+                assert_eq!(h.attempts[1].fault, Fault::NodeDead(2));
+                assert_eq!(
+                    h.recoveries.len(),
+                    1,
+                    "attempt 2 completed its restore before dying"
+                );
+                assert_eq!(h.recoveries[0].epoch, 2, "restored the panel-4 checkpoint");
+                assert_eq!(
+                    h.attempts[1].backoff,
+                    Duration::ZERO,
+                    "no retry after give-up"
+                );
+            }
+            other => panic!("expected OutOfSpares, got {other}"),
+        }
+    }
+
+    #[test]
+    fn daemon_flags_a_damaged_checkpoint_group_as_unrecoverable() {
+        // A node loss plus silent corruption of BOTH members of group
+        // {0, 1}: two damaged restore sources exceed single parity, no
+        // node died in the failing attempt, so retrying is futile — the
+        // daemon must return the typed verdict, not loop or hang.
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 1)));
+        let mut rl = Ranklist::round_robin(4, 4);
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 5, 2));
+        let c = cfg();
+        assert!(
+            run_on_cluster(Arc::clone(&cluster), &rl, |ctx| run_skt(ctx, &c)).is_err(),
+            "first run must abort on the node loss"
+        );
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        for node in [0, 1] {
+            assert!(cluster.corrupt_now(&CorruptPlan::new("now", 1, node, Region::CopyB, 9, 3)));
+        }
+        let err = run_with_daemon(cluster, &rl, &c, 3, Duration::ZERO).unwrap_err();
+        match err {
+            DaemonError::Unrecoverable(h) => {
+                assert_eq!(h.attempts.len(), 1);
+                assert!(h.attempts[0].newly_dead.is_empty(), "no node died");
+                assert!(matches!(
+                    h.attempts[0].fault,
+                    Fault::Protocol(m) if m.contains("single-parity")
+                ));
+                assert!(h.recoveries.is_empty(), "no restore completed");
+            }
+            other => panic!("expected Unrecoverable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_failures: 9,
+            detect: Duration::ZERO,
+            backoff_base: Duration::from_secs(1),
+            backoff_cap: Duration::from_secs(8),
+        };
+        assert_eq!(p.backoff(1), Duration::from_secs(1));
+        assert_eq!(p.backoff(2), Duration::from_secs(2));
+        assert_eq!(p.backoff(3), Duration::from_secs(4));
+        assert_eq!(p.backoff(4), Duration::from_secs(8));
+        assert_eq!(p.backoff(10), Duration::from_secs(8), "capped");
+        assert_eq!(
+            p.backoff(64),
+            Duration::from_secs(8),
+            "shift-safe far past the cap"
+        );
     }
 }

@@ -24,5 +24,8 @@ pub mod daemon;
 pub mod table3;
 
 pub use blcr::{run_blcr, BlcrConfig, BlcrStore};
-pub use daemon::{run_with_daemon, CyclePhase, CycleReport, DaemonError, PhaseTimes};
+pub use daemon::{
+    run_with_daemon, run_with_policy, AttemptRecord, CyclePhase, CycleReport, DaemonError,
+    DaemonHistory, PhaseTimes, RetryPolicy,
+};
 pub use table3::{run_table3, MethodRow, Table3Config};

@@ -83,6 +83,18 @@ pub struct SktOutput {
 /// solve completes; a node failure aborts with `Err`, after which the
 /// daemon repairs the ranklist and calls this again on the same cluster.
 pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
+    run_skt_observed(ctx, cfg, |_| {})
+}
+
+/// [`run_skt`] with a recovery observer: `on_recovery` is called by each
+/// rank as soon as its restore completes, *before* the elimination
+/// resumes. The daemon uses this to keep a [`RecoveryReport`] history
+/// that survives attempts which recover successfully and then lose a
+/// second node — the report would otherwise die with the job.
+pub fn run_skt_observed<F>(ctx: &Ctx, cfg: &SktConfig, on_recovery: F) -> Result<SktOutput, Fault>
+where
+    F: Fn(&RecoveryReport),
+{
     let world = ctx.world();
     let nranks = world.size();
     let me = world.rank();
@@ -112,7 +124,7 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
             let mut g = ws.write();
             generate(&dist, &gen, &mut g.as_f64_mut()[..dist.alloc_len()]);
         }
-        Err(RecoverError::Unrecoverable(_)) => {
+        Err(RecoverError::Unrecoverable(_)) if cfg.method == Method::Single => {
             // the single-checkpoint flaw: checkpoint torn mid-update.
             // Restart the whole computation from generated data.
             ck.reset();
@@ -121,12 +133,26 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
             let mut g = ws.write();
             generate(&dist, &gen, &mut g.as_f64_mut()[..dist.alloc_len()]);
         }
+        Err(RecoverError::Unrecoverable(_)) => {
+            // Methods that promise recoverability hit this only when a
+            // checkpoint group is damaged beyond single-parity repair
+            // (e.g. two corrupted members). Surface it instead of
+            // silently regenerating: the daemon classifies a failure
+            // with no node death as unrecoverable and stops retrying;
+            // jobs wanting to survive it use `MultiLevel`'s PFS level.
+            return Err(Fault::Protocol(
+                "checkpoint group damaged beyond single-parity repair",
+            ));
+        }
         Err(RecoverError::Fault(f)) => return Err(f),
         // `RecoverError` is non-exhaustive; future variants are protocol
         // outcomes this harness does not know how to continue from.
         Err(other) => panic!("unexpected recovery error: {other}"),
     }
     let recover_seconds = t_rec.elapsed().as_secs_f64();
+    if let Some(report) = ck.last_report() {
+        on_recovery(&report);
+    }
     world.barrier()?;
 
     // elimination with checkpoint hook
@@ -233,15 +259,35 @@ mod tests {
         cluster.reset_abort();
         rl.repair(&cluster).unwrap();
         let outs = run_on_cluster(cluster, &rl, |ctx| run_skt(ctx, &cfg)).unwrap();
-        for o in &outs {
+        for (rank, o) in outs.iter().enumerate() {
             assert!(o.hpl.passed, "residual {}", o.hpl.residual);
             assert_eq!(o.resumed_from_panel, 4, "epoch 2 covers panels 1..=4");
             let report = o.recovery.expect("restore must leave a report");
-            assert_eq!(
-                report.source,
-                skt_core::RestoreSource::WorkspaceAndChecksum,
-                "CASE 2 rolls forward from the workspace"
-            );
+            assert_eq!(report.epoch, 2, "rank {rank}");
+            if rank < 2 {
+                // The victim's group can never have committed (B, C)@2 —
+                // the victim died before its flush finished — so it must
+                // roll forward from the workspace (CASE 2).
+                assert_eq!(
+                    report.source,
+                    skt_core::RestoreSource::WorkspaceAndChecksum,
+                    "rank {rank}: CASE 2 rolls forward from the workspace"
+                );
+            } else {
+                // The sibling group {2, 3} doesn't contain the victim:
+                // whether its trailing commit beat the job abort is a
+                // scheduling race, and either side of it is a consistent
+                // epoch-2 source.
+                assert!(
+                    matches!(
+                        report.source,
+                        skt_core::RestoreSource::WorkspaceAndChecksum
+                            | skt_core::RestoreSource::CheckpointAndChecksum
+                    ),
+                    "rank {rank}: unexpected source {:?}",
+                    report.source
+                );
+            }
         }
     }
 

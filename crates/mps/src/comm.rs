@@ -295,10 +295,7 @@ impl<'c> Comm<'c> {
                 }
                 out[env.src] = Some(env.payload);
             }
-            out.into_iter()
-                .map(|p| p.ok_or(Fault::Protocol("gather: missing rank")))
-                .collect::<Result<Vec<_>, Fault>>()
-                .map(Some)
+            assemble_gather(out).map(Some)
         } else {
             self.send_tagged(root, tag, payload)?;
             Ok(None)
@@ -386,6 +383,19 @@ impl<'c> Comm<'c> {
             me,
         })
     }
+}
+
+/// Final assembly of a gather at the root: every slot must be filled.
+///
+/// The live receive loop cannot leave a hole (`size - 1` distinct,
+/// non-duplicate contributions fill every non-root slot by pigeonhole),
+/// but the invariant is kept as a typed fault so a refactor of the loop
+/// can never silently hand the caller a partial vector.
+fn assemble_gather(slots: Vec<Option<Payload>>) -> Result<Vec<Payload>, Fault> {
+    slots
+        .into_iter()
+        .map(|p| p.ok_or(Fault::Protocol("gather: missing rank")))
+        .collect()
 }
 
 impl Ctx {
@@ -645,6 +655,66 @@ mod tests {
             rec.events()
         );
         assert!(rec.count(|e| matches!(e, Event::Collective { op: "bcast", .. })) >= 1);
+    }
+
+    #[test]
+    fn gather_duplicate_contribution_is_a_typed_fault() {
+        let out = run_local(3, |ctx| {
+            let w = ctx.world();
+            // The first collective on the world comm draws internal tag
+            // `USER_TAG_LIMIT + 0`; rank 1 forges a second contribution
+            // on that tag while rank 2 stays silent, so the root sees
+            // rank 1 twice within its expected `size - 1` receives.
+            let tag = USER_TAG_LIMIT;
+            match ctx.world_rank() {
+                0 => match w.gather(0, Payload::Empty) {
+                    Err(Fault::Protocol(msg)) => Ok(msg.contains("duplicate contribution")),
+                    other => panic!("expected a duplicate-contribution fault, got {other:?}"),
+                },
+                1 => {
+                    w.send_tagged(0, tag, Payload::I64(vec![1]))?;
+                    w.send_tagged(0, tag, Payload::I64(vec![1]))?;
+                    Ok(true)
+                }
+                _ => Ok(true),
+            }
+        })
+        .unwrap();
+        assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn gather_assembly_reports_a_missing_rank() {
+        let slots = vec![Some(Payload::Empty), None, Some(Payload::Empty)];
+        match assemble_gather(slots) {
+            Err(Fault::Protocol(msg)) => assert!(msg.contains("missing rank")),
+            other => panic!("expected a missing-rank fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collectives_on_a_dead_peer_fail_fast_with_the_culprit_named() {
+        let t0 = std::time::Instant::now();
+        let out = run_local(3, |ctx| {
+            if ctx.world_rank() == 2 {
+                // die unannounced; the survivors are (or soon will be)
+                // parked inside the barrier waiting on this rank
+                ctx.cluster().kill_node(ctx.node());
+            }
+            Ok(ctx.world().barrier())
+        })
+        .unwrap();
+        for (rank, r) in out.iter().enumerate() {
+            assert_eq!(
+                *r,
+                Err(Fault::NodeDead(2)),
+                "rank {rank} must learn the culprit promptly, not park forever"
+            );
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "abort must propagate within the poll interval, not hang"
+        );
     }
 
     #[test]

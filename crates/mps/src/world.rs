@@ -102,14 +102,44 @@ impl Ctx {
             *c += 1;
             *c
         };
-        self.cluster.failpoint(self.node, label, count)
+        match self.cluster.failpoint(self.node, label, count) {
+            // The cluster sees only its abort flag; re-attribute the
+            // abort to the dead peer so a survivor's probe reports the
+            // same culprit as a survivor's blocked receive would.
+            Err(Fault::JobAborted) => match self.check_abort() {
+                Ok(()) => Err(Fault::JobAborted),
+                Err(e) => Err(e),
+            },
+            other => other,
+        }
     }
 
     /// Abort check without a probe (used inside blocking loops).
+    ///
+    /// Faults are attributed, not just raised: a rank whose own node died
+    /// gets `NodeDead(its node)`; a survivor unblocked by the job abort
+    /// gets `NodeDead(the failed peer)` when a node failure caused the
+    /// abort, and `JobAborted` only for node-less aborts (e.g. a rank
+    /// panic). A collective parked on a dead peer therefore returns
+    /// promptly with the culprit named instead of a generic abort —
+    /// what the recovery daemon keys its detection-and-replace loop on.
     pub fn check_abort(&self) -> Result<(), Fault> {
-        self.cluster.check_abort()?;
         if !self.cluster.node_alive(self.node) {
             return Err(Fault::NodeDead(self.node));
+        }
+        if self.cluster.check_abort().is_err() {
+            // The culprit is a dead node *currently hosting a rank*:
+            // nodes lost in earlier launches stay dead on the cluster but
+            // were already replaced out of this job's ranklist.
+            let culprit = self
+                .cluster
+                .dead_nodes()
+                .into_iter()
+                .find(|&n| (0..self.nranks).any(|r| self.ranklist.node_of(r) == n));
+            return Err(match culprit {
+                Some(n) => Fault::NodeDead(n),
+                None => Fault::JobAborted,
+            });
         }
         Ok(())
     }

@@ -22,9 +22,12 @@
 //! matrix verdicts are *seed-invariant* — the paper's case analysis is a
 //! property of the protocol, not of any particular interleaving.
 
-use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist, SimRuntime};
+use self_checkpoint::cluster::{
+    explore_yield_kills, Cluster, ClusterConfig, FailurePlan, Ranklist, SimRuntime,
+};
 use self_checkpoint::core::{
     Checkpointer, CkptConfig, Method, Phase, RecoverError, Recovery, RestoreSource,
+    RECOVER_PHASE_LABEL,
 };
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
 use std::sync::Arc;
@@ -371,6 +374,218 @@ fn check_seed_invariant(method: Method, victim: usize) {
                 ),
             }
         }
+    }
+}
+
+/// What one armed point of the recovery-phase kill sweep produced.
+#[derive(Debug)]
+enum CascadeOutcome {
+    /// The second death interrupted recovery; replacing the node and
+    /// retrying restored a consistent state at this epoch.
+    Retried(u64),
+    /// The second death left the group beyond repair; the retry refused
+    /// with this typed verdict instead of restoring wrong data.
+    TypedRefusal(String),
+}
+
+/// One collective recovery run; `Ok(per-rank results)` or the job-wide
+/// typed verdict.
+#[allow(clippy::type_complexity)]
+fn recover_once(
+    cluster: &Arc<Cluster>,
+    rl: &Ranklist,
+    method: Method,
+) -> Result<Result<Vec<(Recovery, Vec<f64>, bool)>, String>, Fault> {
+    let unrec = std::sync::Mutex::new(None);
+    let outs = run_on_cluster(Arc::clone(cluster), rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, CkptConfig::new("sweep", method, A1, 16));
+        match ck.recover() {
+            Ok(rec) => {
+                let ok = ck.verify_integrity()?;
+                let data = {
+                    let ws = ck.workspace();
+                    let g = ws.read();
+                    g.as_f64()[..A1].to_vec()
+                };
+                Ok(Some((rec, data, ok)))
+            }
+            Err(RecoverError::Unrecoverable(msg)) => {
+                *unrec.lock().unwrap() = Some(msg);
+                Ok(None)
+            }
+            Err(RecoverError::Fault(f)) => Err(f),
+            Err(other) => panic!("unexpected recovery error: {other}"),
+        }
+    })?;
+    Ok(match unrec.into_inner().unwrap() {
+        Some(msg) => Err(msg),
+        None => Ok(outs
+            .into_iter()
+            .map(|o| o.expect("all ranks agree"))
+            .collect()),
+    })
+}
+
+/// Cascading-failure sweep: after a first kill and repair, the explorer
+/// kills a *second* node at every kill-capable yield point inside the
+/// recovery window itself — mid-detection, mid-rebuild, mid-commit.
+/// Whatever the point, the daemon's move (replace the node, recover
+/// again) must either restore a consistent state at the first recovery's
+/// target epoch or refuse with a typed verdict; it must never panic,
+/// hang, or restore silently wrong data.
+///
+/// Returns a per-point outcome report — a pure function of
+/// `(method, seed)`, exported for the CI cross-process diff.
+fn recovery_phase_kill_sweep(method: Method, seed: u64) -> String {
+    const FIRST_VICTIM: usize = 1;
+    const SECOND_VICTIM: usize = 2;
+    // A first-kill phase that leaves every method recoverable, and the
+    // epoch its recovery restores (the case analysis above).
+    let (first_phase, epoch) = match method {
+        Method::SelfCkpt => (Phase::FlushB, 3),
+        Method::Double => (Phase::CopyB, 2),
+        Method::Single => (Phase::Serialize, 2),
+    };
+    let tag = format!("{method:?}/seed{seed}");
+    let report = explore_yield_kills(seed, SECOND_VICTIM, RECOVER_PHASE_LABEL, |rt| {
+        let cluster = Arc::new(Cluster::new_with_runtime(ClusterConfig::new(N, 2), rt));
+        let mut rl = Ranklist::round_robin(N, N);
+        cluster.arm_failure(FailurePlan::new(
+            first_phase,
+            nth_for(first_phase),
+            FIRST_VICTIM,
+        ));
+        let first = run_on_cluster(Arc::clone(&cluster), &rl, |ctx| writer(ctx, method));
+        assert!(first.is_err(), "the armed {first_phase} plan must fire");
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        // Recovery attempt #1: the explorer may kill SECOND_VICTIM at any
+        // yield point inside the "recover" window.
+        match recover_once(&cluster, &rl, method) {
+            Ok(Ok(outs)) => {
+                // The kill landed after this node's part was done (or this
+                // is the unarmed recording run): recovery came through.
+                assert_restored(&outs, &[epoch], None, "first attempt");
+                CascadeOutcome::Retried(epoch)
+            }
+            Ok(Err(msg)) => CascadeOutcome::TypedRefusal(msg),
+            Err(f) => {
+                // The second death aborted the recovery mid-flight. The
+                // survivors must name the culprit, not a generic abort.
+                assert_eq!(f, Fault::NodeDead(SECOND_VICTIM), "attributed fault");
+                assert_eq!(cluster.dead_nodes(), vec![FIRST_VICTIM, SECOND_VICTIM]);
+                cluster.reset_abort();
+                rl.repair(&cluster).unwrap();
+                // Attempt #2 runs with no armed plans left: it must reach
+                // a verdict — restore or typed refusal — cleanly.
+                match recover_once(&cluster, &rl, method).expect("no third fault exists") {
+                    Ok(outs) => {
+                        assert_restored(&outs, &[epoch], None, "retry");
+                        CascadeOutcome::Retried(epoch)
+                    }
+                    Err(msg) => CascadeOutcome::TypedRefusal(msg),
+                }
+            }
+        }
+    });
+    // Recording run: no second kill, recovery simply succeeds.
+    assert!(
+        matches!(report.baseline, CascadeOutcome::Retried(e) if e == epoch),
+        "{tag}: baseline was {:?}",
+        report.baseline
+    );
+    let mut retried = 0usize;
+    for (nth, out) in &report.outcomes {
+        match out {
+            CascadeOutcome::Retried(e) => {
+                assert_eq!(*e, epoch, "{tag}: kill #{nth} retried to the wrong epoch");
+                retried += 1;
+            }
+            CascadeOutcome::TypedRefusal(msg) => {
+                // A second loss before the first rebuild committed leaves
+                // two fresh members — beyond single parity, and said so.
+                assert!(
+                    msg.contains("more than one member")
+                        || msg.contains("single parity")
+                        || msg.contains("inconsistent"),
+                    "{tag}: kill #{nth}: unexpected verdict: {msg}"
+                );
+            }
+        }
+    }
+    // Late kill points (after the rebuilt state committed) must retry to
+    // success — a sweep where every point refuses would mean retrying
+    // never works at all.
+    assert!(
+        retried > 0,
+        "{tag}: no kill point survived a retry ({} points)",
+        report.yield_points
+    );
+    let mut s = format!("{tag}: points={}\n", report.yield_points);
+    for (nth, out) in &report.outcomes {
+        match out {
+            CascadeOutcome::Retried(e) => {
+                s.push_str(&format!("  kill@{nth}: retried epoch={e}\n"));
+            }
+            CascadeOutcome::TypedRefusal(msg) => {
+                s.push_str(&format!("  kill@{nth}: refused: {msg}\n"));
+            }
+        }
+    }
+    s
+}
+
+/// ISSUE criterion: a second node killed at every yield point of the
+/// recovery itself, for every method, across 8 scheduler seeds — each
+/// armed run must end in a retried recovery or a typed refusal, never a
+/// panic, hang, or silent corruption.
+const CASCADE_SEEDS: u64 = 8;
+
+#[test]
+fn self_recovery_survives_kills_at_every_recovery_yield_point() {
+    for seed in 0..CASCADE_SEEDS {
+        recovery_phase_kill_sweep(Method::SelfCkpt, seed);
+    }
+}
+
+#[test]
+fn single_recovery_survives_kills_at_every_recovery_yield_point() {
+    for seed in 0..CASCADE_SEEDS {
+        recovery_phase_kill_sweep(Method::Single, seed);
+    }
+}
+
+#[test]
+fn double_recovery_survives_kills_at_every_recovery_yield_point() {
+    for seed in 0..CASCADE_SEEDS {
+        recovery_phase_kill_sweep(Method::Double, seed);
+    }
+}
+
+/// The cascade sweep's point-by-point outcomes are a pure function of
+/// `(method, seed)`: two in-process evaluations must agree
+/// byte-for-byte, and `$SKT_RECOVERY_REPORT` exports the report so the
+/// CI `recovery-faults` job can diff two independent *processes*.
+#[test]
+fn cascade_report_is_stable_and_exported() {
+    let build = || {
+        let mut s = String::new();
+        for method in [Method::SelfCkpt, Method::Single, Method::Double] {
+            for seed in 0..2u64 {
+                s.push_str(&recovery_phase_kill_sweep(method, seed));
+            }
+        }
+        s
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(
+        a, b,
+        "cascade outcomes must be a pure function of (method, seed)"
+    );
+    if let Ok(path) = std::env::var("SKT_RECOVERY_REPORT") {
+        std::fs::write(&path, &a).unwrap();
     }
 }
 

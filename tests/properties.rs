@@ -4,7 +4,9 @@
 //! efficiency model.
 
 use proptest::prelude::*;
-use self_checkpoint::cluster::{Cluster, ClusterConfig, FailurePlan, Ranklist, SimRuntime};
+use self_checkpoint::cluster::{
+    Cluster, ClusterConfig, CorruptPlan, FailurePlan, Ranklist, Region, SimRuntime,
+};
 use self_checkpoint::core::{
     available_fraction, Checkpointer, CkptConfig, MemoryBreakdown, Method, Phase, RecoverError,
     Recovery, RestoreSource,
@@ -94,6 +96,74 @@ fn sim_cycle(seed: u64, n: usize, method: Method, phase: Phase, victim: usize) -
     }
     SimOutcome::Recovered(outs.into_iter().map(|o| o.unwrap()).collect())
 }
+
+/// Two clean checkpoint epochs, a normal exit, the given bit flips while
+/// the job is down, then a restart recovery. `Ok` carries per-rank
+/// `(recovery, workspace, parity-verified)`; `Err` the job-wide
+/// unrecoverable verdict. Pure in `(seed, n, plans)`.
+fn corrupted_restart(
+    seed: u64,
+    n: usize,
+    plans: &[CorruptPlan],
+) -> Result<Vec<(Recovery, Vec<f64>, bool)>, String> {
+    let cluster = Arc::new(Cluster::new_with_runtime(
+        ClusterConfig::new(n, 0),
+        SimRuntime::new(seed),
+    ));
+    let rl = Ranklist::round_robin(n, n);
+    let cfg = CkptConfig::new("prop-corrupt", Method::SelfCkpt, SIM_A1, 16);
+    run_on_cluster(Arc::clone(&cluster), &rl, |ctx| {
+        let (mut ck, _) = Checkpointer::init(ctx.world(), cfg.clone());
+        for e in 1..=2u64 {
+            {
+                let ws = ck.workspace();
+                ws.write().as_f64_mut()[..SIM_A1]
+                    .copy_from_slice(&sim_pattern(ctx.world_rank(), e));
+            }
+            ck.make(&e.to_le_bytes())?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    for p in plans {
+        assert!(cluster.corrupt_now(p), "corruption must land: {p:?}");
+    }
+    let failed = std::sync::Mutex::new(None);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let (mut ck, _) = Checkpointer::init(ctx.world(), cfg.clone());
+        match ck.recover() {
+            Ok(rec) => {
+                let ok = ck.verify_integrity()?;
+                let data = {
+                    let ws = ck.workspace();
+                    let g = ws.read();
+                    g.as_f64()[..SIM_A1].to_vec()
+                };
+                Ok(Some((rec, data, ok)))
+            }
+            Err(RecoverError::Unrecoverable(msg)) => {
+                *failed.lock().unwrap() = Some(msg);
+                Ok(None)
+            }
+            Err(RecoverError::Fault(f)) => Err(f),
+            Err(other) => panic!("unexpected recovery error: {other}"),
+        }
+    })
+    .unwrap();
+    match failed.into_inner().unwrap() {
+        Some(msg) => Err(msg),
+        None => Ok(outs.into_iter().map(|o| o.unwrap()).collect()),
+    }
+}
+
+/// The self method's corruptible regions (it has no second pair).
+const SELF_REGIONS: [Region; 5] = [
+    Region::Work,
+    Region::CopyB,
+    Region::ParityC,
+    Region::ChecksumD,
+    Region::Header,
+];
 
 proptest! {
     #[test]
@@ -426,6 +496,87 @@ proptest! {
                 };
                 panic!("{tag}: outcome {d} does not match the case analysis");
             }
+        }
+    }
+
+    #[test]
+    fn any_single_bit_corruption_is_repaired_bit_exactly(
+        seed in any::<u64>(),
+        n in 2usize..7,
+        victim in 0usize..8,
+        region_idx in 0usize..5,
+        offset in any::<usize>(),
+        bit in any::<u8>(),
+    ) {
+        // One silent bit flip anywhere in one rank's checkpoint state is
+        // within the code's correction power: either the CRCs catch it
+        // and the erasure rebuild repairs it, or the flip lands in state
+        // the restore overwrites anyway (workspace, checksum D, header
+        // padding). Both ways the restart must restore every rank's
+        // workspace bit-exactly and leave a parity-clean checkpoint.
+        let victim = victim % n;
+        let region = SELF_REGIONS[region_idx];
+        let plan = CorruptPlan::new("restart", 1, victim, region, offset, bit);
+        let tag = format!("n{n}/victim{victim}/{region:?}/off{offset}/bit{bit}/seed{seed}");
+        let outs = match corrupted_restart(seed, n, &[plan]) {
+            Ok(outs) => outs,
+            Err(msg) => panic!("{tag}: single flip must be repairable, got: {msg}"),
+        };
+        for (rank, (rec, data, intact)) in outs.iter().enumerate() {
+            match rec {
+                Recovery::Restored { epoch: 2, a2, source } => {
+                    prop_assert_eq!(a2.as_slice(), 2u64.to_le_bytes(), "{}: rank {}", &tag, rank);
+                    prop_assert_eq!(
+                        *source, RestoreSource::CheckpointAndChecksum,
+                        "{}: rank {}", &tag, rank
+                    );
+                }
+                other => panic!("{tag}: rank {rank} got {other:?}"),
+            }
+            prop_assert!(*intact, "{}: rank {} parity check", tag, rank);
+            let expect = sim_pattern(rank, 2);
+            for (i, (a, b)) in data.iter().zip(&expect).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{}: rank {} word {}", &tag, rank, i);
+            }
+        }
+    }
+
+    #[test]
+    fn double_corruption_of_one_pair_names_the_exact_ranks(
+        seed in any::<u64>(),
+        n in 3usize..7,
+        v1 in 0usize..8,
+        v2 in 0usize..8,
+        r1 in 0usize..2,
+        r2 in 0usize..2,
+        offset in any::<usize>(),
+        bit in any::<u8>(),
+    ) {
+        // Two damaged members of the same (B, C) pair exceed single
+        // parity: recovery must refuse with a verdict naming exactly the
+        // damaged ranks — never restore silently wrong data.
+        let (v1, v2) = (v1 % n, v2 % n);
+        prop_assume!(v1 != v2);
+        let pair = [Region::CopyB, Region::ParityC];
+        let plans = [
+            CorruptPlan::new("restart", 1, v1, pair[r1], offset, bit),
+            CorruptPlan::new("restart", 1, v2, pair[r2], offset.wrapping_add(3), bit ^ 1),
+        ];
+        let tag = format!("n{n}/v{v1}+v{v2}/seed{seed}");
+        match corrupted_restart(seed, n, &plans) {
+            Err(msg) => {
+                let mut bad = [v1, v2];
+                bad.sort_unstable();
+                prop_assert!(
+                    msg.contains("single parity can rebuild only one"),
+                    "{}: wrong reason: {}", tag, msg
+                );
+                prop_assert!(
+                    msg.contains(&format!("ranks [{}, {}]", bad[0], bad[1])),
+                    "{}: wrong ranks named: {}", tag, msg
+                );
+            }
+            Ok(outs) => panic!("{tag}: double damage restored silently: {:?}", outs[0].0),
         }
     }
 
