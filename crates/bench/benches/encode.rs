@@ -94,27 +94,37 @@ fn bench_reconstruct(c: &mut Criterion) {
 
 fn bench_dual_parity(c: &mut Criterion) {
     let mut g = c.benchmark_group("dual_parity");
-    let (k, len) = (8usize, 32_768usize);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let variants = [
+        ("serial", KernelConfig::serial()),
+        (
+            "parallel",
+            KernelConfig::new(host_threads, kernels::DEFAULT_CHUNK_LEN),
+        ),
+    ];
+    let (k, len) = (8usize, 262_144usize);
     let data: Vec<Vec<f64>> = (0..k)
         .map(|r| (0..len).map(|i| ((r + i) as f64).sqrt()).collect())
         .collect();
     let refs: Vec<&[f64]> = data.iter().map(|s| s.as_slice()).collect();
     let dp = DualParity::new(k, len);
-    g.throughput(Throughput::Bytes((k * len * 8) as u64));
-    g.bench_function("encode_p_q", |b| {
-        b.iter(|| black_box(dp.encode(black_box(&refs))))
-    });
     let (p, q) = dp.encode(&refs);
-    g.bench_function("recover_two", |b| {
-        b.iter(|| {
-            let stripes: Vec<Option<&[f64]>> = data
-                .iter()
-                .enumerate()
-                .map(|(i, s)| if i < 2 { None } else { Some(s.as_slice()) })
-                .collect();
-            black_box(dp.recover(&stripes, Some(&p), Some(&q)))
+    g.throughput(Throughput::Bytes((k * len * 8) as u64));
+    for (variant, cfg) in variants {
+        g.bench_function(BenchmarkId::new("encode_p_q", variant), |b| {
+            b.iter(|| black_box(dp.encode_with(black_box(&refs), cfg)))
         });
-    });
+        g.bench_function(BenchmarkId::new("recover_two", variant), |b| {
+            b.iter(|| {
+                let stripes: Vec<Option<&[f64]>> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| if i < 2 { None } else { Some(s.as_slice()) })
+                    .collect();
+                black_box(dp.recover_with(&stripes, Some(&p), Some(&q), cfg))
+            });
+        });
+    }
     g.finish();
 }
 

@@ -18,7 +18,7 @@ fn measured_encode(code: Code, group: usize, a1: usize) -> f64 {
     let outs = run_on_cluster(cluster, &rl, |ctx| {
         let world = ctx.world();
         let mut cfg = CkptConfig::new(format!("abl-{}", code.name()), Method::SelfCkpt, a1, 0);
-        cfg.code = code;
+        cfg = cfg.with_code(code);
         let (mut ck, _) = Checkpointer::init(world, cfg);
         ck.make(&[])?; // warm-up
         let mut best = f64::INFINITY;

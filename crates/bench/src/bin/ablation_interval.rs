@@ -19,7 +19,9 @@ fn main() {
 
     // baseline without checkpoints
     let base_cfg = SktConfig::new(HplConfig::new(n, nb, 77), group, 0);
-    let base = run_local(ranks, |ctx| run_skt(ctx, &base_cfg)).unwrap()[0];
+    let base = run_local(ranks, |ctx| run_skt(ctx, &base_cfg))
+        .unwrap()
+        .swap_remove(0);
     assert!(base.hpl.passed);
 
     let mut t = Table::new(vec![
@@ -40,7 +42,9 @@ fn main() {
     for every in [12usize, 8, 4, 2, 1] {
         let mut cfg = SktConfig::new(HplConfig::new(n, nb, 77), group, every);
         cfg.name = format!("abl-{every}");
-        let out = run_local(ranks, |ctx| run_skt(ctx, &cfg)).unwrap()[0];
+        let out = run_local(ranks, |ctx| run_skt(ctx, &cfg))
+            .unwrap()
+            .swap_remove(0);
         assert!(out.hpl.passed);
         let total = out.hpl.compute_seconds + out.hpl.ckpt_seconds;
         let overhead = total / base.hpl.compute_seconds - 1.0;

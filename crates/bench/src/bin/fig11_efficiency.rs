@@ -35,7 +35,9 @@ fn main() {
     .unwrap()[0];
     // SKT-HPL without writing checkpoints (ckpt_every = 0), as in Fig. 11
     let scfg = SktConfig::new(HplConfig::new(n_skt, nb, 7), group, 0);
-    let skt = run_on_cluster(cluster, &rl, |ctx| run_skt(ctx, &scfg)).unwrap()[0];
+    let skt = run_on_cluster(cluster, &rl, |ctx| run_skt(ctx, &scfg))
+        .unwrap()
+        .swap_remove(0);
     assert!(orig.passed && skt.hpl.passed);
 
     let peak = peak_gflops(256, 3) * ranks as f64;

@@ -1,3 +1,4 @@
+#![warn(unused)]
 //! # skt-bench
 //!
 //! Benchmark harness for the Self-Checkpoint / SKT-HPL reproduction: one

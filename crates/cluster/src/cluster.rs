@@ -177,7 +177,7 @@ impl Cluster {
     }
 
     /// The cluster-wide observation bus. Protocol layers emit into it;
-    /// harnesses subscribe [`Observer`](crate::events::Observer)s.
+    /// harnesses subscribe [`Observer`]s.
     pub fn events(&self) -> &EventBus {
         &self.events
     }

@@ -1,3 +1,4 @@
+#![warn(unused)]
 //! # skt-cluster
 //!
 //! The virtual cluster substrate underneath the Self-Checkpoint / SKT-HPL

@@ -10,7 +10,12 @@
 //!
 //! The paper settles on `N = 16` (47% available). Processes within one
 //! group **must sit on distinct nodes**, otherwise one node loss kills
-//! two stripes and the single-parity code cannot recover.
+//! two stripes at once — which exhausts the single-parity budget
+//! immediately, and burns both erasures of the dual P+Q codec on a
+//! single node. With an `m`-parity codec (`CodecSpec`, DESIGN.md §5e)
+//! the trade-off generalizes: availability becomes `(N-m)/2N` and a
+//! group survives any `m` node losses, so doubling `m` is an
+//! alternative to shrinking `N` when simultaneous-failure risk grows.
 
 use skt_cluster::Ranklist;
 

@@ -1,3 +1,4 @@
+#![warn(unused)]
 #![allow(clippy::needless_range_loop)] // index loops over coupled arrays are the clearest form for BLAS-style kernels
 //! # skt-core
 //!
@@ -31,8 +32,10 @@
 //! `A1‖B2` into the fresh checksum `D`; barrier; *commit D*; copy
 //! `A1‖B2 → B` and `D → C`; barrier; *commit BC*. At every instant at
 //! least one of `(A1‖B2, D)` and `(B, C)` is a committed, consistent
-//! pair, so one lost rank per group can always be rebuilt — the failed
-//! rank's stripes are recomputed from the survivors and the parity, the
+//! pair, so up to `m` lost ranks per group can always be rebuilt, where
+//! `m` is the configured erasure codec's parity count (`1` for the
+//! paper's XOR/SUM codes, `2` for the dual P+Q codec) — the failed
+//! ranks' stripes are recomputed from the survivors and the parity, the
 //! defining trick being that the application's own memory serves as the
 //! checkpoint while `B` is being overwritten.
 
@@ -43,10 +46,12 @@ pub mod memory;
 pub mod multilevel;
 pub mod protocol;
 
-pub use engine::{encode_parity, reconstruct_lost};
+pub use engine::{encode_parity, reconstruct_lost, reconstruct_multi};
 pub use group::{group_color, validate_node_distinct, GroupStrategy};
 pub use incremental::DirtyTracker;
-pub use memory::{available_fraction, max_workspace_len, MemoryBreakdown, Method};
+pub use memory::{
+    available_fraction, available_fraction_with_parity, max_workspace_len, MemoryBreakdown, Method,
+};
 pub use multilevel::{MlStats, MultiLevel};
 pub use protocol::{
     Checkpointer, CkptConfig, CkptStats, HeaderState, Phase, RecoverError, Recovery,

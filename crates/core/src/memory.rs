@@ -10,6 +10,12 @@
 //!
 //! Only the self-checkpoint is both fully fault tolerant *and* close to
 //! the 50% upper bound.
+//!
+//! With an erasure code carrying `m` parity stripes per group (e.g. the
+//! dual P+Q codec, `m = 2`), each checksum copy grows to `mM/(N-m)` and
+//! the fractions generalise to `(N-m)/(2N)` (self), `(N-m)/(2N-m)`
+//! (single) and `(N-m)/(3N-m)` (double); `m = 1` reproduces the table
+//! above exactly. See [`available_fraction_with_parity`].
 
 /// Checkpoint method selector, shared across the workspace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,12 +50,22 @@ impl Method {
 
 /// Fraction of total memory left for the application (Equations 2–4).
 pub fn available_fraction(method: Method, n: usize) -> f64 {
-    assert!(n >= 2, "group size must be >= 2");
-    let n = n as f64;
+    available_fraction_with_parity(method, n, 1)
+}
+
+/// [`available_fraction`] generalised to an erasure code with `parity`
+/// stripes per group: each checksum copy holds `parity` stripes of
+/// `ceil(M/(n-parity))` elements, so the paper's equations become
+/// `(n-m)/(2n)` (self), `(n-m)/(2n-m)` (single), `(n-m)/(3n-m)`
+/// (double) with `m = parity`. `parity = 1` is Equations 2–4 verbatim.
+pub fn available_fraction_with_parity(method: Method, n: usize, parity: usize) -> f64 {
+    assert!(parity >= 1, "need at least one parity stripe");
+    assert!(n > parity, "group needs at least one data stripe");
+    let (n, m) = (n as f64, parity as f64);
     match method {
-        Method::SelfCkpt => (n - 1.0) / (2.0 * n),
-        Method::Double => (n - 1.0) / (3.0 * n - 1.0),
-        Method::Single => (n - 1.0) / (2.0 * n - 1.0),
+        Method::SelfCkpt => (n - m) / (2.0 * n),
+        Method::Double => (n - m) / (3.0 * n - m),
+        Method::Single => (n - m) / (2.0 * n - m),
     }
 }
 
@@ -70,8 +86,16 @@ impl MemoryBreakdown {
     /// group size `n`. Checksums are `ceil(m/(n-1))` as in the stripe
     /// layout.
     pub fn new(method: Method, m: usize, n: usize) -> Self {
-        assert!(n >= 2);
-        let cs = m.div_ceil(n - 1);
+        Self::with_parity(method, m, n, 1)
+    }
+
+    /// [`MemoryBreakdown::new`] generalised to `parity` stripes per
+    /// group: each checksum copy holds `parity * ceil(m/(n-parity))`
+    /// elements, matching the erasure-codec stripe layout.
+    pub fn with_parity(method: Method, m: usize, n: usize, parity: usize) -> Self {
+        assert!(parity >= 1, "need at least one parity stripe");
+        assert!(n > parity, "group needs at least one data stripe");
+        let cs = parity * m.div_ceil(n - parity);
         match method {
             Method::Single => MemoryBreakdown {
                 a: m,
@@ -202,6 +226,51 @@ mod tests {
         let double = available_fraction(Method::Double, 16);
         let gain = selfc / double - 1.0;
         assert!(gain > 0.4 && gain < 0.55, "gain = {gain}");
+    }
+
+    #[test]
+    fn parity_one_reproduces_the_paper_equations() {
+        for method in [Method::Single, Method::Double, Method::SelfCkpt] {
+            for n in [2, 4, 16, 32] {
+                let base = available_fraction(method, n);
+                let gen = available_fraction_with_parity(method, n, 1);
+                assert!((base - gen).abs() < 1e-15, "{} n={n}", method.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dual_parity_fractions_match_closed_forms() {
+        // m = 2: self (n-2)/(2n), single (n-2)/(2n-2), double (n-2)/(3n-2).
+        let n = 16.0;
+        let f = available_fraction_with_parity(Method::SelfCkpt, 16, 2);
+        assert!((f - (n - 2.0) / (2.0 * n)).abs() < 1e-12);
+        let s = available_fraction_with_parity(Method::Single, 16, 2);
+        assert!((s - (n - 2.0) / (2.0 * n - 2.0)).abs() < 1e-12);
+        let d = available_fraction_with_parity(Method::Double, 16, 2);
+        assert!((d - (n - 2.0) / (3.0 * n - 2.0)).abs() < 1e-12);
+        // the second stripe costs a little memory, never more than 1/n extra
+        assert!(f < available_fraction(Method::SelfCkpt, 16));
+        assert!(f > available_fraction(Method::SelfCkpt, 16) - 1.0 / n);
+    }
+
+    #[test]
+    fn dual_parity_breakdown_matches_its_fraction() {
+        let (m, n) = (2800, 16); // divisible by n-2
+        for method in [Method::Single, Method::Double, Method::SelfCkpt] {
+            let b = MemoryBreakdown::with_parity(method, m, n, 2);
+            let expect = available_fraction_with_parity(method, n, 2);
+            assert!(
+                (b.available() - expect).abs() < 1e-12,
+                "{}: {} vs {}",
+                method.name(),
+                b.available(),
+                expect
+            );
+        }
+        // checksum copies each hold two stripes of ceil(m/(n-2)) elements
+        let b = MemoryBreakdown::with_parity(Method::SelfCkpt, m, n, 2);
+        assert_eq!(b.checksums, 2 * (2 * m / (n - 2)));
     }
 
     #[test]

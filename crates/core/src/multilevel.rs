@@ -184,7 +184,7 @@ impl<'c> MultiLevel<'c> {
             method: self.ck.method(),
             source: RestoreSource::MultiLevelDisk,
             epoch: common as u64,
-            lost_rank: None,
+            lost: Vec::new(),
             epochs_seen: HeaderMaxima::default(),
             rebuilt_bytes,
             elapsed: t0.elapsed(),

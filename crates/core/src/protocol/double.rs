@@ -64,7 +64,7 @@ impl Protocol for Double {
     fn restore<'c>(
         &self,
         ck: &mut Checkpointer<'c>,
-        lost: Option<usize>,
+        lost: &[usize],
         target: u64,
         maxima: &HeaderMaxima,
     ) -> Result<Recovery, RecoverError> {
@@ -90,11 +90,11 @@ impl Protocol for Double {
                 maxima.bc, maxima.pair1
             ),
         };
-        // CRC-verify the chosen pair; a corrupt survivor becomes the
-        // erasure to rebuild.
+        // CRC-verify the chosen pair; corrupt survivors become the
+        // erasures to rebuild.
         let lost = ck.verify_sources(lost, &[b_r, c_r])?;
-        if let Some(f) = lost {
-            ck.rebuild_regions(f, b_r, c_r)?;
+        if !lost.is_empty() {
+            ck.rebuild_regions(&lost, b_r, c_r)?;
         }
         ck.copy_seg(&ck.work, &b_t, "recover-restore")?;
         ck.probe(RECOVER_COMMIT_PROBE)?;

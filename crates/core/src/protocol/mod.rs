@@ -12,18 +12,25 @@
 //!   unit-testable functions of survivor headers.
 //! * [`report`] — the [`RecoveryReport`] a successful recovery leaves
 //!   behind.
+//! * `regions` — the segment copy/fill plumbing, the per-stripe CRC32C
+//!   witness table, restore-source verification, and parity rebuilds.
 //! * `self_ckpt` / `single` / `double` — one `Protocol` implementation
 //!   per method. The `Checkpointer` resolves its implementation **once at
 //!   init** and never branches on [`Method`] in `make`/`recover` again.
 //!
 //! ## Segments (all in node-persistent SHM, names scoped per rank)
 //!
+//! The erasure codec is pluggable ([`CodecSpec`]): the paper's
+//! single-parity codes (`m = 1` parity stripe, the default) or the dual
+//! P+Q code (`m = 2`, tolerating two lost members per group). Checksum
+//! segments hold `m` stripes.
+//!
 //! | segment  | size (f64)        | role |
 //! |----------|-------------------|------|
 //! | `work`   | padded `A1 + B2`  | application workspace `A1` plus the mirrored small-state area `B2`; *is itself a checkpoint* while `B` is overwritten |
 //! | `b`      | same as `work`    | checkpoint copy `B` (double method: `b0`,`b1`) |
-//! | `c`      | one stripe        | committed checksum `C` (double: `c0`,`c1`) |
-//! | `d`      | one stripe        | fresh checksum `D` (self method only) |
+//! | `c`      | `m` stripes       | committed checksum `C` (double: `c0`,`c1`) |
+//! | `d`      | `m` stripes       | fresh checksum `D` (self method only) |
 //! | `header` | 40 bytes          | epochs + commit markers + header CRC |
 //! | `crc`    | `6·(N-1)` u32     | per-stripe CRC32C table over the data segments |
 //!
@@ -38,10 +45,10 @@
 //! Recovery gathers every member's header, runs the pure
 //! [`planner::plan_recovery`] consensus, agrees job-wide on the minimum
 //! restorable epoch, and lets the method's `Protocol` implementation
-//! rebuild the lost rank from parity. The invariant — at least one of
-//! `(work, D)`, `(B, C)` is a committed consistent pair at every instant —
-//! is exercised by failure injection at every [`Phase`] in the
-//! integration tests.
+//! rebuild the lost ranks (up to the codec's parity count) from parity.
+//! The invariant — at least one of `(work, D)`, `(B, C)` is a committed
+//! consistent pair at every instant — is exercised by failure injection
+//! at every [`Phase`] in the integration tests.
 
 pub mod header;
 pub mod phase;
@@ -49,6 +56,7 @@ pub mod planner;
 pub mod report;
 
 mod double;
+mod regions;
 mod self_ckpt;
 mod single;
 #[cfg(test)]
@@ -59,22 +67,18 @@ pub use phase::Phase;
 pub use planner::{
     choose_double_pair, choose_self_source, GroupPlan, HeaderMaxima, PairSlot, SurvivorView,
 };
+pub use regions::COPY_PROBE;
 pub use report::RecoveryReport;
 
-use crate::engine::{encode_parity, reconstruct_lost};
+pub(crate) use regions::crc_table_bytes;
+
+use crate::engine::encode_parity;
 use crate::memory::Method;
 use header::HeaderWord;
 use skt_cluster::{Event, EventBus, Region, SegmentData, ShmSegment, Stopwatch};
-use skt_encoding::{stripe_crcs, Code, GroupLayout, KernelConfig};
+use skt_encoding::{Code, CodecSpec, ErasureCodec, GroupLayout};
 use skt_mps::{Comm, Fault, Payload, ReduceOp};
 use std::time::Duration;
-
-/// Probe label fired at the start of every protocol segment copy
-/// (`copy_seg`). Gives the simulation a kill-capable yield point *inside*
-/// each copy window (`FlushB`, `FlushC`, `CopyB`, and the restore
-/// copies), so the targeted explorer can take a node down mid-flush, not
-/// just at the phase-boundary probes.
-pub const COPY_PROBE: &str = "ckpt-copy";
 
 /// Phase-window label wrapped around the whole of [`Checkpointer::recover`]
 /// (emitted as [`Event::PhaseEnter`]/[`Event::PhaseExit`]). Under the sim
@@ -103,26 +107,6 @@ pub const RECOVER_COMMIT_PROBE: &str = "recover-commit";
 /// Probe fired on entry to [`Checkpointer::scrub`].
 pub const SCRUB_PROBE: &str = "ckpt-scrub";
 
-/// Region order inside the per-rank CRC table segment. Each region owns
-/// `N-1` little-endian `u32` stripe-CRC slots; the one-stripe checksum
-/// regions (`c`, `d`, `c1`) use only the first slot. The header is absent
-/// on purpose — it carries its own embedded CRC — and the table itself is
-/// trusted metadata the injector's [`Region`] enum cannot target: a
-/// mismatch always means the *data* moved, never the witness.
-const CRC_REGIONS: [Region; 6] = [
-    Region::Work,
-    Region::CopyB,
-    Region::ParityC,
-    Region::ChecksumD,
-    Region::CopyB1,
-    Region::ParityC1,
-];
-
-/// Size of the per-rank CRC table segment for an `n`-member group.
-fn crc_table_bytes(n: usize) -> usize {
-    CRC_REGIONS.len() * (n - 1) * 4
-}
-
 /// Static configuration of a [`Checkpointer`].
 #[derive(Clone, Debug)]
 pub struct CkptConfig {
@@ -130,8 +114,8 @@ pub struct CkptConfig {
     pub name: String,
     /// Which protocol to run.
     pub method: Method,
-    /// Parity code (paper default: XOR).
-    pub code: Code,
+    /// Erasure codec (paper default: single XOR parity).
+    pub codec: CodecSpec,
     /// Application workspace length in `f64` elements (`A1`).
     pub a1_len: usize,
     /// Capacity reserved for serialized small state (`A2`), bytes.
@@ -139,12 +123,12 @@ pub struct CkptConfig {
 }
 
 impl CkptConfig {
-    /// Convenience constructor with XOR code.
+    /// Convenience constructor with the single-parity XOR codec.
     pub fn new(name: impl Into<String>, method: Method, a1_len: usize, a2_capacity: usize) -> Self {
         CkptConfig {
             name: name.into(),
             method,
-            code: Code::Xor,
+            codec: CodecSpec::default(),
             a1_len,
             a2_capacity,
         }
@@ -157,10 +141,18 @@ impl CkptConfig {
         self
     }
 
-    /// Switch the parity code.
+    /// Switch the single-parity code (shorthand for
+    /// [`Self::with_codec`] with [`CodecSpec::Single`]).
     #[must_use]
     pub fn with_code(mut self, code: Code) -> Self {
-        self.code = code;
+        self.codec = CodecSpec::Single(code);
+        self
+    }
+
+    /// Switch the erasure codec (parity count follows the codec).
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecSpec) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -244,7 +236,7 @@ pub struct ScrubReport {
     /// checked group-wide.
     pub pairs_checked: usize,
     /// Group ranks whose pair was CRC-damaged and erasure-rebuilt from
-    /// the survivors' parity (at most one per pair).
+    /// the survivors' parity (at most the codec's parity count per pair).
     pub repaired: Vec<usize>,
     /// Whether this rank's commit header failed its CRC and was rebuilt
     /// from the group consensus.
@@ -257,8 +249,9 @@ pub struct ScrubReport {
 pub enum RecoverError {
     /// The runtime faulted (another node died during recovery).
     Fault(Fault),
-    /// The protocol cannot recover (e.g. two members of one group lost,
-    /// or the single-checkpoint method caught mid-update).
+    /// The protocol cannot recover (e.g. more members of one group lost
+    /// than the codec has parity stripes, or the single-checkpoint
+    /// method caught mid-update).
     Unrecoverable(String),
 }
 
@@ -304,18 +297,21 @@ pub(crate) trait Protocol: Sync {
     /// describing a consistent state on success.
     fn make_phases<'c>(&self, ck: &mut Checkpointer<'c>, e: u64) -> Result<CkptStats, Fault>;
 
-    /// Group-consensus restore planning over the gathered survivor views.
-    fn plan_recovery(&self, views: &[SurvivorView]) -> GroupPlan {
-        planner::plan_recovery(self.method(), views)
+    /// Group-consensus restore planning over the gathered survivor
+    /// views; `parity` is the codec's parity-stripe count (the maximum
+    /// number of lost members one group can rebuild).
+    fn plan_recovery(&self, views: &[SurvivorView], parity: usize) -> GroupPlan {
+        planner::plan_recovery(self.method(), views, parity)
     }
 
     /// Restore the workspace to the job-wide agreed `target` epoch,
-    /// rebuilding `lost`'s state from parity if needed. `maxima` are the
-    /// survivor-header maxima the planner derived the proposal from.
+    /// rebuilding the `lost` ranks' state from parity if needed. `maxima`
+    /// are the survivor-header maxima the planner derived the proposal
+    /// from.
     fn restore<'c>(
         &self,
         ck: &mut Checkpointer<'c>,
-        lost: Option<usize>,
+        lost: &[usize],
         target: u64,
         maxima: &HeaderMaxima,
     ) -> Result<Recovery, RecoverError>;
@@ -370,6 +366,7 @@ pub struct Checkpointer<'c> {
     sync: Option<Comm<'c>>,
     cfg: CkptConfig,
     proto: &'static dyn Protocol,
+    codec: &'static dyn ErasureCodec,
     bus: EventBus,
     layout: GroupLayout,
     b2_words: usize,
@@ -406,11 +403,12 @@ impl<'c> Checkpointer<'c> {
     fn init_inner(comm: Comm<'c>, sync: Option<Comm<'c>>, cfg: CkptConfig) -> (Self, bool) {
         assert!(cfg.a1_len > 0, "workspace must be non-empty");
         let proto = protocol_impl(cfg.method);
+        let codec = cfg.codec.resolve();
         let n = comm.size();
         let b2_words = 1 + cfg.a2_capacity.div_ceil(8);
-        let layout = GroupLayout::new(n, cfg.a1_len + b2_words);
+        let layout = GroupLayout::new_with_parity(n, codec.parity_count(), cfg.a1_len + b2_words);
         let padded = layout.padded_len();
-        let stripe = layout.stripe_len();
+        let parity = layout.parity_len();
         let ctx = comm.ctx();
         let bus = ctx.cluster().events().clone();
         let me = ctx.world_rank();
@@ -420,13 +418,13 @@ impl<'c> Checkpointer<'c> {
 
         let (work, attached) = shm.get_or_create(&seg_name("work"), zeros_f64(padded));
         let (b, _) = shm.get_or_create(&seg_name("b"), zeros_f64(padded));
-        let (c, _) = shm.get_or_create(&seg_name("c"), zeros_f64(stripe));
+        let (c, _) = shm.get_or_create(&seg_name("c"), zeros_f64(parity));
         let d = matches!(cfg.method, Method::SelfCkpt)
-            .then(|| shm.get_or_create(&seg_name("d"), zeros_f64(stripe)).0);
+            .then(|| shm.get_or_create(&seg_name("d"), zeros_f64(parity)).0);
         let b1 = matches!(cfg.method, Method::Double)
             .then(|| shm.get_or_create(&seg_name("b1"), zeros_f64(padded)).0);
         let c1 = matches!(cfg.method, Method::Double)
-            .then(|| shm.get_or_create(&seg_name("c1"), zeros_f64(stripe)).0);
+            .then(|| shm.get_or_create(&seg_name("c1"), zeros_f64(parity)).0);
         let (header, _) = shm.get_or_create(&seg_name("header"), || {
             SegmentData::Bytes(header::fresh_bytes())
         });
@@ -448,6 +446,7 @@ impl<'c> Checkpointer<'c> {
                 sync,
                 cfg,
                 proto,
+                codec,
                 bus,
                 layout,
                 b2_words,
@@ -527,7 +526,7 @@ impl<'c> Checkpointer<'c> {
     /// The report of the last successful [`Self::recover`] restore, if
     /// any ([`Recovery::NoCheckpoint`] leaves none).
     pub fn last_report(&self) -> Option<RecoveryReport> {
-        self.last_report
+        self.last_report.clone()
     }
 
     /// Total SHM bytes this rank's protocol state occupies (workspace
@@ -576,239 +575,18 @@ impl<'c> Checkpointer<'c> {
         header::write_word(&self.header, word, e)
     }
 
-    /// Whole-segment copy on the blocked multi-threaded kernel, with a
-    /// [`Event::BytesMoved`] record. A wiped or resized segment (stale
-    /// handle on a powered-off node) is a [`Fault`], not a panic.
-    fn copy_seg(
-        &self,
-        dst: &ShmSegment,
-        src: &ShmSegment,
-        label: &'static str,
-    ) -> Result<(), Fault> {
-        self.comm.ctx().failpoint(COPY_PROBE)?;
-        let s = src.read();
-        let mut d = dst.write();
-        let sv = s.try_as_f64()?;
-        let dv = d.try_as_f64_mut()?;
-        if sv.len() != dv.len() {
-            return Err(Fault::Protocol("checkpoint copy: segment length mismatch"));
-        }
-        skt_encoding::kernels::copy(dv, sv, KernelConfig::global());
-        self.bus.emit(Event::BytesMoved {
-            label,
-            bytes: (sv.len() * 8) as u64,
-        });
-        Ok(())
-    }
-
-    /// Overwrite a segment with `data` (same fault semantics as
-    /// [`Self::copy_seg`]).
-    fn fill_seg(&self, seg: &ShmSegment, data: &[f64]) -> Result<(), Fault> {
-        let mut g = seg.write();
-        let v = g.try_as_f64_mut()?;
-        if v.len() != data.len() {
-            return Err(Fault::Protocol(
-                "segment wiped or resized under the protocol",
-            ));
-        }
-        v.copy_from_slice(data);
-        Ok(())
-    }
-
-    /// This group's parity of `seg`'s contents (N stripe reduces). When
-    /// `probe` is set the failure probe fires between slot reduces.
+    /// This group's parity of `seg`'s contents (stripe reduces per slot
+    /// and parity role). When `probe` is set the failure probe fires
+    /// between slot reduces.
     fn encode_of(&self, seg: &ShmSegment, probe: Option<&str>) -> Result<Vec<f64>, Fault> {
         let g = seg.read();
-        encode_parity(
-            &self.comm,
-            &self.layout,
-            self.cfg.code,
-            g.try_as_f64()?,
-            probe,
-        )
+        encode_parity(&self.comm, &self.layout, self.codec, g.try_as_f64()?, probe)
     }
 
     /// Fire a labeled failure-injection probe (recovery-path yield
     /// point).
     pub(crate) fn probe(&self, label: &str) -> Result<(), Fault> {
         self.comm.ctx().failpoint(label)
-    }
-
-    /// Rebuild the `lost` rank's `(data, parity)` region pair from the
-    /// survivors. Collective; only the lost rank's segments are written.
-    /// [`RECOVER_REBUILD_PROBE`] fires around the reconstruction
-    /// collectives so cascading failures can land mid-rebuild; the
-    /// rebuilt rank's stripe CRCs are refreshed in the same no-yield
-    /// block as the segment fills, so a kill at any yield point leaves
-    /// every rank's CRC table consistent with its data.
-    fn rebuild_regions(&self, lost: usize, data_r: Region, parity_r: Region) -> Result<(), Fault> {
-        let data_seg = self
-            .region_seg(data_r)
-            .cloned()
-            .ok_or(Fault::Protocol("rebuild: region not allocated by method"))?;
-        let parity_seg = self
-            .region_seg(parity_r)
-            .cloned()
-            .ok_or(Fault::Protocol("rebuild: region not allocated by method"))?;
-        self.probe(RECOVER_REBUILD_PROBE)?;
-        let (bd, pc) = {
-            let b = data_seg.read();
-            let c = parity_seg.read();
-            (b.try_as_f64()?.to_vec(), c.try_as_f64()?.to_vec())
-        };
-        if let Some((data, parity)) =
-            reconstruct_lost(&self.comm, &self.layout, self.cfg.code, lost, &bd, &pc)?
-        {
-            self.fill_seg(&data_seg, &data)?;
-            self.fill_seg(&parity_seg, &parity)?;
-            self.update_region_crcs(&[data_r, parity_r])?;
-        }
-        self.probe(RECOVER_REBUILD_PROBE)?;
-        Ok(())
-    }
-
-    /// The SHM segment backing a corruptible [`Region`], when this
-    /// method allocates it (`None` for the header, which embeds its own
-    /// CRC, and for the other methods' absent segments).
-    fn region_seg(&self, r: Region) -> Option<&ShmSegment> {
-        match r {
-            Region::Work => Some(&self.work),
-            Region::CopyB => Some(&self.b),
-            Region::ParityC => Some(&self.c),
-            Region::ChecksumD => self.d.as_ref(),
-            Region::CopyB1 => self.b1.as_ref(),
-            Region::ParityC1 => self.c1.as_ref(),
-            _ => None,
-        }
-    }
-
-    /// Freshly computed per-stripe CRCs of a region (`None` when the
-    /// method doesn't allocate it).
-    fn region_crcs(&self, r: Region) -> Result<Option<Vec<u32>>, Fault> {
-        let Some(seg) = self.region_seg(r) else {
-            return Ok(None);
-        };
-        let g = seg.read();
-        Ok(Some(stripe_crcs(
-            g.try_as_f64()?,
-            self.layout.stripe_len(),
-            KernelConfig::global(),
-        )))
-    }
-
-    /// Byte range of a region's slots within the CRC table segment.
-    fn crc_slot_range(&self, r: Region) -> std::ops::Range<usize> {
-        let idx = CRC_REGIONS
-            .iter()
-            .position(|&x| x == r)
-            .expect("region has a CRC table slot");
-        let per = (self.comm.size() - 1) * 4;
-        idx * per..(idx + 1) * per
-    }
-
-    /// Recompute and store the stripe CRCs of the given regions. Pure
-    /// local compute — **no yield points** — so calling it right after a
-    /// commit keeps the forward protocol's interleaving space unchanged.
-    pub(crate) fn update_region_crcs(&self, regions: &[Region]) -> Result<(), Fault> {
-        for &r in regions {
-            let Some(crcs) = self.region_crcs(r)? else {
-                continue;
-            };
-            let range = self.crc_slot_range(r);
-            let mut g = self.crc.write();
-            let b = g.try_as_bytes_mut()?;
-            if b.len() < range.end {
-                return Err(Fault::Protocol("crc table segment wiped or truncated"));
-            }
-            let tbl = &mut b[range];
-            for (i, c) in crcs.iter().enumerate() {
-                tbl[i * 4..i * 4 + 4].copy_from_slice(&c.to_le_bytes());
-            }
-        }
-        Ok(())
-    }
-
-    /// Whether a region's current bytes still match its stored stripe
-    /// CRCs (local check; absent regions are vacuously clean).
-    pub(crate) fn region_crc_ok(&self, r: Region) -> Result<bool, Fault> {
-        let Some(crcs) = self.region_crcs(r)? else {
-            return Ok(true);
-        };
-        let range = self.crc_slot_range(r);
-        let g = self.crc.read();
-        let b = g.try_as_bytes()?;
-        if b.len() < range.end {
-            return Err(Fault::Protocol("crc table segment wiped or truncated"));
-        }
-        let tbl = &b[range];
-        Ok(crcs.iter().enumerate().all(|(i, c)| {
-            let mut w = [0u8; 4];
-            w.copy_from_slice(&tbl[i * 4..i * 4 + 4]);
-            u32::from_le_bytes(w) == *c
-        }))
-    }
-
-    /// Collective: allgather a per-rank ok flag and return the ranks
-    /// that reported damage.
-    fn gather_bad_ranks(&self, my_ok: bool) -> Result<Vec<usize>, Fault> {
-        Ok(self
-            .comm
-            .allgather(Payload::I64(vec![my_ok as i64]))?
-            .into_iter()
-            .map(Payload::into_i64)
-            .enumerate()
-            .filter(|(_, v)| v[0] == 0)
-            .map(|(r, _)| r)
-            .collect())
-    }
-
-    /// Collective CRC verification of the restore-source `regions`
-    /// before a restore trusts them. The already-lost rank (if any) is
-    /// counted as damaged by definition; a single CRC-damaged survivor is
-    /// *merged into the erasure* — returned as the effective lost rank
-    /// for the parity rebuild, which restores it bit-exactly. Two or more
-    /// damaged members exceed what single parity can rebuild.
-    pub(crate) fn verify_sources(
-        &self,
-        lost: Option<usize>,
-        regions: &[Region],
-    ) -> Result<Option<usize>, RecoverError> {
-        let me = self.comm.rank();
-        let my_ok = if lost == Some(me) {
-            false
-        } else {
-            let mut ok = true;
-            for &r in regions {
-                ok &= self.region_crc_ok(r)?;
-            }
-            ok
-        };
-        let bad = self.gather_bad_ranks(my_ok)?;
-        // Job-wide agreement on the worst group's damage count. An
-        // unrecoverable verdict kills no node, so if one group returned
-        // the error while its siblings proceeded into the restore
-        // collectives, the job would split between the two paths and
-        // hang. One reduce makes the verdict collective.
-        let worst = -self
-            .agree_min(-(bad.len().min(2) as i64))
-            .map_err(RecoverError::Fault)?;
-        if worst >= 2 {
-            return Err(RecoverError::Unrecoverable(if bad.len() >= 2 {
-                format!(
-                    "checkpoint integrity: ranks {bad:?} of a {}-member group hold damaged \
-                     restore sources ({regions:?}); single parity can rebuild only one",
-                    self.comm.size()
-                )
-            } else {
-                "checkpoint integrity: a sibling group's restore sources are damaged beyond \
-                 single-parity repair"
-                    .into()
-            }));
-        }
-        match bad.len() {
-            0 => Ok(None),
-            _ => Ok(Some(bad[0])),
-        }
     }
 
     fn write_b2(&self, a2: &[u8]) -> Result<(), Fault> {
@@ -854,7 +632,7 @@ impl<'c> Checkpointer<'c> {
             encode,
             flush,
             checkpoint_bytes: self.layout.padded_len() * 8,
-            checksum_bytes: self.layout.stripe_len() * 8,
+            checksum_bytes: self.layout.parity_len() * 8,
         }
     }
 
@@ -932,11 +710,12 @@ impl<'c> Checkpointer<'c> {
         Ok(stats)
     }
 
-    /// Collective recovery after a restart. At most one group member may
-    /// have lost its segments (fresh node); one more may hold silently
-    /// corrupted data — the CRC verification folds it into the erasure.
-    /// On success the workspace segment holds the restored data and
-    /// [`Self::last_report`] the decision trail.
+    /// Collective recovery after a restart. Up to the codec's parity
+    /// count of group members may have lost their segments (fresh nodes)
+    /// or hold silently corrupted data — the CRC verification folds
+    /// damaged survivors into the erasure set. On success the workspace
+    /// segment holds the restored data and [`Self::last_report`] the
+    /// decision trail.
     ///
     /// The whole call runs inside the [`RECOVER_PHASE_LABEL`] phase
     /// window, so under the sim runtime `explore_yield_kills` can arm a
@@ -989,10 +768,11 @@ impl<'c> Checkpointer<'c> {
             })
             .collect();
         let proto = self.proto;
-        let plan = proto.plan_recovery(&views);
+        let m = self.layout.parity_count();
+        let plan = proto.plan_recovery(&views, m);
         self.probe(RECOVER_PLAN_PROBE)?;
 
-        // Job-wide agreement: any torn / doubly-failed group dooms the
+        // Job-wide agreement: any torn / over-failed group dooms the
         // whole job; otherwise every group restores the global MINIMUM of
         // the proposals (the cross-group gate in `make` guarantees the
         // minimum is restorable by everyone — see init_synced docs).
@@ -1001,8 +781,10 @@ impl<'c> Checkpointer<'c> {
             return Err(RecoverError::Unrecoverable(if plan.torn {
                 "single-checkpoint: failure during checkpoint update left (B, C) inconsistent"
                     .into()
-            } else {
+            } else if m == 1 {
                 "a group lost more than one member (or a peer group is unrecoverable)".into()
+            } else {
+                format!("a group lost more than {m} members (or a peer group is unrecoverable)")
             }));
         }
         if target == 0 {
@@ -1013,20 +795,16 @@ impl<'c> Checkpointer<'c> {
             return Ok(Recovery::NoCheckpoint);
         }
 
-        let rec = proto.restore(self, plan.lost, target, &plan.maxima)?;
+        let rec = proto.restore(self, &plan.lost, target, &plan.maxima)?;
         if let Recovery::Restored { epoch, source, .. } = &rec {
-            let rebuilt_bytes = if plan.lost.is_some() {
-                ((self.layout.padded_len() + self.layout.stripe_len()) * 8) as u64
-            } else {
-                0
-            };
+            let per_rank = ((self.layout.padded_len() + self.layout.parity_len()) * 8) as u64;
             self.record_report(RecoveryReport {
                 method: self.cfg.method,
                 source: *source,
                 epoch: *epoch,
-                lost_rank: plan.lost,
+                lost: plan.lost.clone(),
                 epochs_seen: plan.maxima,
-                rebuilt_bytes,
+                rebuilt_bytes: plan.lost.len() as u64 * per_rank,
                 elapsed: t0.elapsed(),
             });
         }
@@ -1072,21 +850,22 @@ impl<'c> Checkpointer<'c> {
 
     /// Collective integrity *scrub*: verify the commit header and every
     /// **committed** `(checkpoint, checksum)` pair against their stored
-    /// CRCs, and repair what a single parity can repair.
+    /// CRCs, and repair what the erasure codec can repair.
     ///
     /// * A CRC-corrupt header adopts the group-consensus commit words
     ///   (valid headers agree between makes — every word is written only
     ///   after a group barrier).
-    /// * One CRC-damaged member per pair is downgraded to an erasure and
-    ///   rebuilt bit-exactly from the survivors' parity.
-    /// * Two or more damaged members of one pair exceed the code's
+    /// * Up to `m` (the codec's parity count) CRC-damaged members per
+    ///   pair are downgraded to erasures and rebuilt bit-exactly from the
+    ///   survivors' parity.
+    /// * More than `m` damaged members of one pair exceed the code's
     ///   correction power: reported as [`RecoverError::Unrecoverable`],
     ///   never silently restored.
     ///
     /// The live workspace (and the self method's fresh checksum `D`
     /// between commits) is deliberately out of scope: the application
     /// mutates it at will, so its CRCs are only meaningful on the
-    /// recovery path, where [`Self::verify_sources`] checks them.
+    /// recovery path, where `verify_sources` checks them.
     pub fn scrub(&mut self) -> Result<ScrubReport, RecoverError> {
         self.probe(SCRUB_PROBE)?;
 
@@ -1123,10 +902,11 @@ impl<'c> Checkpointer<'c> {
         // exit must stay collective across sibling groups (see the
         // deferred verdict below): with all-zero consensus the pair list
         // stays empty, so the group simply falls through to it.
+        let m = self.layout.parity_count();
         let mut worst_local: i64 = 0;
         let mut damage: Option<String> = None;
         if !any_valid {
-            worst_local = 2;
+            worst_local = (m + 1) as i64;
             damage = Some("scrub: every header in the group failed its CRC".into());
         }
         let header_repaired = any_valid && !valid;
@@ -1156,31 +936,43 @@ impl<'c> Checkpointer<'c> {
         for &(data_r, parity_r) in &pairs {
             let my_ok = self.region_crc_ok(data_r)? && self.region_crc_ok(parity_r)?;
             let bad = self.gather_bad_ranks(my_ok)?;
-            match bad.len() {
-                0 => {}
-                1 => {
-                    self.rebuild_regions(bad[0], data_r, parity_r)?;
-                    repaired.push(bad[0]);
-                }
-                _ => {
-                    worst_local = 2;
-                    damage.get_or_insert_with(|| {
+            if bad.is_empty() {
+                continue;
+            }
+            if bad.len() <= m {
+                self.rebuild_regions(&bad, data_r, parity_r)?;
+                repaired.extend_from_slice(&bad);
+            } else {
+                worst_local = (m + 1) as i64;
+                damage.get_or_insert_with(|| {
+                    if m == 1 {
                         format!(
                             "scrub: ranks {bad:?} of a {}-member group hold damaged copies of \
                              the ({data_r}, {parity_r}) pair; single parity can rebuild only one",
                             self.comm.size()
                         )
-                    });
-                }
+                    } else {
+                        format!(
+                            "scrub: ranks {bad:?} of a {}-member group hold damaged copies of \
+                             the ({data_r}, {parity_r}) pair; the {} code can rebuild at most {m}",
+                            self.comm.size(),
+                            self.codec.name()
+                        )
+                    }
+                });
             }
         }
         // Deferred job-wide verdict: every rank reduces once, so sibling
         // groups that finished their own (possibly repairing) pass exit
         // through the same path instead of hanging on a half-aborted job.
         let worst = -self.agree_min(-worst_local).map_err(RecoverError::Fault)?;
-        if worst >= 2 {
+        if worst > m as i64 {
             return Err(RecoverError::Unrecoverable(damage.unwrap_or_else(|| {
-                "scrub: a sibling group is damaged beyond single-parity repair".into()
+                if m == 1 {
+                    "scrub: a sibling group is damaged beyond single-parity repair".into()
+                } else {
+                    "scrub: a sibling group is damaged beyond the parity code's repair".into()
+                }
             })));
         }
         Ok(ScrubReport {

@@ -59,13 +59,15 @@ pub struct HeaderMaxima {
 }
 
 /// What one group concludes from its survivors' headers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GroupPlan {
-    /// The single lost rank, if any (group-comm rank index).
-    pub lost: Option<usize>,
+    /// The lost ranks, in ascending group-comm rank order (empty when
+    /// nothing was lost or everything was — see `all_fresh`).
+    pub lost: Vec<usize>,
     /// Every member is fresh — nothing to restore, start from scratch.
     pub all_fresh: bool,
-    /// More than one member lost: beyond a single parity's repair power.
+    /// More members lost than the codec has parity stripes: beyond the
+    /// code's repair power.
     pub multi_loss: bool,
     /// Single method only: an update attempt outran the last commit, so
     /// `(B, C)` may be torn (paper Figure 2, CASE 2).
@@ -77,8 +79,10 @@ pub struct GroupPlan {
     pub maxima: HeaderMaxima,
 }
 
-/// Derive a group's recovery plan from its members' views.
-pub fn plan_recovery(method: Method, views: &[SurvivorView]) -> GroupPlan {
+/// Derive a group's recovery plan from its members' views. `parity` is
+/// the erasure codec's parity-stripe count `m` — the most lost members
+/// one group can rebuild.
+pub fn plan_recovery(method: Method, views: &[SurvivorView], parity: usize) -> GroupPlan {
     let lost_list: Vec<usize> = views
         .iter()
         .enumerate()
@@ -86,12 +90,8 @@ pub fn plan_recovery(method: Method, views: &[SurvivorView]) -> GroupPlan {
         .map(|(i, _)| i)
         .collect();
     let all_fresh = lost_list.len() == views.len();
-    let multi_loss = !all_fresh && lost_list.len() > 1;
-    let lost = if all_fresh {
-        None
-    } else {
-        lost_list.first().copied()
-    };
+    let multi_loss = !all_fresh && lost_list.len() > parity;
+    let lost = if all_fresh { Vec::new() } else { lost_list };
     let max_of = |f: fn(&Header) -> u64| {
         views
             .iter()
@@ -190,8 +190,8 @@ mod tests {
     #[test]
     fn clean_commit_rolls_back_to_bc() {
         // everyone at (d=3, bc=3): plain CASE 1 rollback
-        let plan = plan_recovery(Method::SelfCkpt, &group(4, hdr(3, 3, 0, 0), Some(1)));
-        assert_eq!(plan.lost, Some(1));
+        let plan = plan_recovery(Method::SelfCkpt, &group(4, hdr(3, 3, 0, 0), Some(1)), 1);
+        assert_eq!(plan.lost, vec![1]);
         assert!(!plan.multi_loss && !plan.torn && !plan.all_fresh);
         assert_eq!(plan.proposal, 3);
         assert_eq!(
@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn committed_d_rolls_forward_from_workspace() {
         // D@3 committed group-wide, flush torn: recover from (work, D)
-        let plan = plan_recovery(Method::SelfCkpt, &group(4, hdr(3, 2, 0, 0), Some(2)));
+        let plan = plan_recovery(Method::SelfCkpt, &group(4, hdr(3, 2, 0, 0), Some(2)), 1);
         assert_eq!(plan.proposal, 3);
         assert_eq!(
             choose_self_source(plan.proposal, &plan.maxima),
@@ -217,7 +217,7 @@ mod tests {
         // only proposed 2 — the job-wide MIN forces target 2, which our
         // intact (B, C)@2 must serve (the pre-flush sync gate guarantees
         // it still exists).
-        let plan = plan_recovery(Method::SelfCkpt, &group(4, hdr(3, 2, 0, 0), None));
+        let plan = plan_recovery(Method::SelfCkpt, &group(4, hdr(3, 2, 0, 0), None), 1);
         assert_eq!(plan.proposal, 3);
         let cross_group_target = 2; // MIN with the slower peer group
         assert_eq!(
@@ -237,25 +237,25 @@ mod tests {
             SurvivorView::lost(),
             SurvivorView::survivor(hdr(3, 2, 0, 0)),
         ];
-        let plan = plan_recovery(Method::SelfCkpt, &views);
+        let plan = plan_recovery(Method::SelfCkpt, &views, 1);
         assert_eq!(plan.maxima.d, 3);
         assert_eq!(plan.maxima.bc, 2);
         assert_eq!(plan.proposal, 3);
-        assert_eq!(plan.lost, Some(2));
+        assert_eq!(plan.lost, vec![2]);
     }
 
     #[test]
     fn single_torn_update_is_flagged() {
         // dirty=3 but bc=2: the update attempt outran the commit, so the
         // only checkpoint may be torn (Figure 2 CASE 2)
-        let plan = plan_recovery(Method::Single, &group(4, hdr(0, 2, 0, 3), Some(0)));
+        let plan = plan_recovery(Method::Single, &group(4, hdr(0, 2, 0, 3), Some(0)), 1);
         assert!(plan.torn);
         assert_eq!(plan.proposal, 2);
     }
 
     #[test]
     fn single_clean_commit_is_not_torn() {
-        let plan = plan_recovery(Method::Single, &group(4, hdr(0, 3, 0, 3), Some(3)));
+        let plan = plan_recovery(Method::Single, &group(4, hdr(0, 3, 0, 3), Some(3)), 1);
         assert!(!plan.torn);
         assert_eq!(plan.proposal, 3);
     }
@@ -263,7 +263,7 @@ mod tests {
     #[test]
     fn double_restores_from_the_newer_pair() {
         // pair0@3, pair1@2: target 3 lives in the primary pair
-        let plan = plan_recovery(Method::Double, &group(4, hdr(0, 3, 2, 0), Some(1)));
+        let plan = plan_recovery(Method::Double, &group(4, hdr(0, 3, 2, 0), Some(1)), 1);
         assert_eq!(plan.proposal, 3);
         assert_eq!(
             choose_double_pair(plan.proposal, &plan.maxima),
@@ -280,18 +280,40 @@ mod tests {
     fn two_losses_are_beyond_repair() {
         let mut views = group(4, hdr(3, 3, 0, 0), Some(0));
         views[2] = SurvivorView::lost();
-        let plan = plan_recovery(Method::SelfCkpt, &views);
+        let plan = plan_recovery(Method::SelfCkpt, &views, 1);
         assert!(plan.multi_loss);
-        assert_eq!(plan.lost, Some(0), "first lost rank reported");
+        assert_eq!(plan.lost, vec![0, 2], "every lost rank reported");
+    }
+
+    #[test]
+    fn two_losses_fit_within_dual_parity() {
+        // The same double loss is repairable when the codec carries two
+        // parity stripes.
+        let mut views = group(4, hdr(3, 3, 0, 0), Some(0));
+        views[2] = SurvivorView::lost();
+        let plan = plan_recovery(Method::SelfCkpt, &views, 2);
+        assert!(!plan.multi_loss);
+        assert_eq!(plan.lost, vec![0, 2]);
+        assert_eq!(plan.proposal, 3);
+    }
+
+    #[test]
+    fn three_losses_exceed_dual_parity() {
+        let mut views = group(5, hdr(3, 3, 0, 0), Some(0));
+        views[2] = SurvivorView::lost();
+        views[4] = SurvivorView::lost();
+        let plan = plan_recovery(Method::SelfCkpt, &views, 2);
+        assert!(plan.multi_loss);
+        assert_eq!(plan.lost, vec![0, 2, 4]);
     }
 
     #[test]
     fn all_fresh_group_proposes_nothing() {
         let views: Vec<SurvivorView> = (0..4).map(|_| SurvivorView::lost()).collect();
-        let plan = plan_recovery(Method::SelfCkpt, &views);
+        let plan = plan_recovery(Method::SelfCkpt, &views, 1);
         assert!(plan.all_fresh);
         assert!(!plan.multi_loss, "all-fresh is a restart, not a repair");
-        assert_eq!(plan.lost, None);
+        assert!(plan.lost.is_empty());
         assert_eq!(plan.proposal, 0);
     }
 

@@ -1,0 +1,280 @@
+//! Region plumbing shared by every protocol implementation: segment
+//! copies/fills, the per-stripe CRC32C witness table, restore-source
+//! verification, and parity rebuilds of damaged or lost members.
+//!
+//! Everything here is `impl Checkpointer` mechanics below the protocol
+//! decisions in `mod.rs` — how bytes move and how damage is detected and
+//! repaired, never *which* pair a method trusts. Since the codec layer
+//! landed, repair capacity is the codec's parity count `m`: up to `m`
+//! CRC-damaged or lost members per group are folded into the erasure set
+//! and rebuilt from the survivors' parity.
+
+use super::{Checkpointer, RecoverError, RECOVER_REBUILD_PROBE};
+use crate::engine::reconstruct_multi;
+use skt_cluster::{Event, Region, ShmSegment};
+use skt_encoding::{kernels, stripe_crcs, KernelConfig};
+use skt_mps::{Fault, Payload};
+
+/// Probe label fired at the start of every protocol segment copy
+/// (`copy_seg`). Gives the simulation a kill-capable yield point *inside*
+/// each copy window (`FlushB`, `FlushC`, `CopyB`, and the restore
+/// copies), so the targeted explorer can take a node down mid-flush, not
+/// just at the phase-boundary probes.
+pub const COPY_PROBE: &str = "ckpt-copy";
+
+/// Region order inside the per-rank CRC table segment. Each region owns
+/// `N-1` little-endian `u32` stripe-CRC slots; the parity-segment regions
+/// (`c`, `d`, `c1`) use the first `m` slots and the data regions the
+/// first `N-m` — both fit because `N-1 >= max(N-m, m)` for any valid
+/// `m <= N-1`. The header is absent on purpose — it carries its own
+/// embedded CRC — and the table itself is trusted metadata the injector's
+/// [`Region`] enum cannot target: a mismatch always means the *data*
+/// moved, never the witness.
+const CRC_REGIONS: [Region; 6] = [
+    Region::Work,
+    Region::CopyB,
+    Region::ParityC,
+    Region::ChecksumD,
+    Region::CopyB1,
+    Region::ParityC1,
+];
+
+/// Size of the per-rank CRC table segment for an `n`-member group.
+pub(crate) fn crc_table_bytes(n: usize) -> usize {
+    CRC_REGIONS.len() * (n - 1) * 4
+}
+
+impl<'c> Checkpointer<'c> {
+    /// Whole-segment copy on the blocked multi-threaded kernel, with a
+    /// [`Event::BytesMoved`] record. A wiped or resized segment (stale
+    /// handle on a powered-off node) is a [`Fault`], not a panic.
+    pub(super) fn copy_seg(
+        &self,
+        dst: &ShmSegment,
+        src: &ShmSegment,
+        label: &'static str,
+    ) -> Result<(), Fault> {
+        self.comm.ctx().failpoint(COPY_PROBE)?;
+        let s = src.read();
+        let mut d = dst.write();
+        let sv = s.try_as_f64()?;
+        let dv = d.try_as_f64_mut()?;
+        if sv.len() != dv.len() {
+            return Err(Fault::Protocol("checkpoint copy: segment length mismatch"));
+        }
+        kernels::copy(dv, sv, KernelConfig::global());
+        self.bus.emit(Event::BytesMoved {
+            label,
+            bytes: (sv.len() * 8) as u64,
+        });
+        Ok(())
+    }
+
+    /// Overwrite a segment with `data` (same fault semantics as
+    /// [`Self::copy_seg`]).
+    pub(super) fn fill_seg(&self, seg: &ShmSegment, data: &[f64]) -> Result<(), Fault> {
+        let mut g = seg.write();
+        let v = g.try_as_f64_mut()?;
+        if v.len() != data.len() {
+            return Err(Fault::Protocol(
+                "segment wiped or resized under the protocol",
+            ));
+        }
+        v.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Rebuild the `lost` ranks' `(data, parity)` region pairs from the
+    /// survivors. Collective; only the lost ranks' segments are written.
+    /// [`RECOVER_REBUILD_PROBE`] fires around the reconstruction
+    /// collectives so cascading failures can land mid-rebuild; each
+    /// rebuilt rank's stripe CRCs are refreshed in the same no-yield
+    /// block as the segment fills, so a kill at any yield point leaves
+    /// every rank's CRC table consistent with its data.
+    pub(super) fn rebuild_regions(
+        &self,
+        lost: &[usize],
+        data_r: Region,
+        parity_r: Region,
+    ) -> Result<(), Fault> {
+        let data_seg = self
+            .region_seg(data_r)
+            .cloned()
+            .ok_or(Fault::Protocol("rebuild: region not allocated by method"))?;
+        let parity_seg = self
+            .region_seg(parity_r)
+            .cloned()
+            .ok_or(Fault::Protocol("rebuild: region not allocated by method"))?;
+        self.probe(RECOVER_REBUILD_PROBE)?;
+        let (bd, pc) = {
+            let b = data_seg.read();
+            let c = parity_seg.read();
+            (b.try_as_f64()?.to_vec(), c.try_as_f64()?.to_vec())
+        };
+        if let Some((data, parity)) =
+            reconstruct_multi(&self.comm, &self.layout, self.codec, lost, &bd, &pc)?
+        {
+            self.fill_seg(&data_seg, &data)?;
+            self.fill_seg(&parity_seg, &parity)?;
+            self.update_region_crcs(&[data_r, parity_r])?;
+        }
+        self.probe(RECOVER_REBUILD_PROBE)?;
+        Ok(())
+    }
+
+    /// The SHM segment backing a corruptible [`Region`], when this
+    /// method allocates it (`None` for the header, which embeds its own
+    /// CRC, and for the other methods' absent segments).
+    pub(super) fn region_seg(&self, r: Region) -> Option<&ShmSegment> {
+        match r {
+            Region::Work => Some(&self.work),
+            Region::CopyB => Some(&self.b),
+            Region::ParityC => Some(&self.c),
+            Region::ChecksumD => self.d.as_ref(),
+            Region::CopyB1 => self.b1.as_ref(),
+            Region::ParityC1 => self.c1.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Freshly computed per-stripe CRCs of a region (`None` when the
+    /// method doesn't allocate it). Data regions yield `N-m` stripe
+    /// entries, the `m`-stripe parity segments yield `m`.
+    fn region_crcs(&self, r: Region) -> Result<Option<Vec<u32>>, Fault> {
+        let Some(seg) = self.region_seg(r) else {
+            return Ok(None);
+        };
+        let g = seg.read();
+        Ok(Some(stripe_crcs(
+            g.try_as_f64()?,
+            self.layout.stripe_len(),
+            KernelConfig::global(),
+        )))
+    }
+
+    /// Byte range of a region's slots within the CRC table segment.
+    fn crc_slot_range(&self, r: Region) -> std::ops::Range<usize> {
+        let idx = CRC_REGIONS
+            .iter()
+            .position(|&x| x == r)
+            .expect("region has a CRC table slot");
+        let per = (self.comm.size() - 1) * 4;
+        idx * per..(idx + 1) * per
+    }
+
+    /// Recompute and store the stripe CRCs of the given regions. Pure
+    /// local compute — **no yield points** — so calling it right after a
+    /// commit keeps the forward protocol's interleaving space unchanged.
+    pub(crate) fn update_region_crcs(&self, regions: &[Region]) -> Result<(), Fault> {
+        for &r in regions {
+            let Some(crcs) = self.region_crcs(r)? else {
+                continue;
+            };
+            let range = self.crc_slot_range(r);
+            let mut g = self.crc.write();
+            let b = g.try_as_bytes_mut()?;
+            if b.len() < range.end {
+                return Err(Fault::Protocol("crc table segment wiped or truncated"));
+            }
+            let tbl = &mut b[range];
+            for (i, c) in crcs.iter().enumerate() {
+                tbl[i * 4..i * 4 + 4].copy_from_slice(&c.to_le_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a region's current bytes still match its stored stripe
+    /// CRCs (local check; absent regions are vacuously clean).
+    pub(crate) fn region_crc_ok(&self, r: Region) -> Result<bool, Fault> {
+        let Some(crcs) = self.region_crcs(r)? else {
+            return Ok(true);
+        };
+        let range = self.crc_slot_range(r);
+        let g = self.crc.read();
+        let b = g.try_as_bytes()?;
+        if b.len() < range.end {
+            return Err(Fault::Protocol("crc table segment wiped or truncated"));
+        }
+        let tbl = &b[range];
+        Ok(crcs.iter().enumerate().all(|(i, c)| {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&tbl[i * 4..i * 4 + 4]);
+            u32::from_le_bytes(w) == *c
+        }))
+    }
+
+    /// Collective: allgather a per-rank ok flag and return the ranks
+    /// that reported damage.
+    pub(super) fn gather_bad_ranks(&self, my_ok: bool) -> Result<Vec<usize>, Fault> {
+        Ok(self
+            .comm
+            .allgather(Payload::I64(vec![my_ok as i64]))?
+            .into_iter()
+            .map(Payload::into_i64)
+            .enumerate()
+            .filter(|(_, v)| v[0] == 0)
+            .map(|(r, _)| r)
+            .collect())
+    }
+
+    /// Collective CRC verification of the restore-source `regions`
+    /// before a restore trusts them. Already-lost ranks are counted as
+    /// damaged by definition; CRC-damaged survivors are *merged into the
+    /// erasure set* — the returned ranks are what the parity rebuild must
+    /// restore, which it does bit-exactly. More damaged members than the
+    /// codec's parity count `m` exceed its correction power.
+    pub(crate) fn verify_sources(
+        &self,
+        lost: &[usize],
+        regions: &[Region],
+    ) -> Result<Vec<usize>, RecoverError> {
+        let m = self.layout.parity_count();
+        let me = self.comm.rank();
+        let my_ok = if lost.contains(&me) {
+            false
+        } else {
+            let mut ok = true;
+            for &r in regions {
+                ok &= self.region_crc_ok(r)?;
+            }
+            ok
+        };
+        let bad = self.gather_bad_ranks(my_ok)?;
+        // Job-wide agreement on the worst group's damage count. An
+        // unrecoverable verdict kills no node, so if one group returned
+        // the error while its siblings proceeded into the restore
+        // collectives, the job would split between the two paths and
+        // hang. One reduce makes the verdict collective.
+        let worst = -self
+            .agree_min(-(bad.len().min(m + 1) as i64))
+            .map_err(RecoverError::Fault)?;
+        if worst as usize > m {
+            return Err(RecoverError::Unrecoverable(if bad.len() > m {
+                if m == 1 {
+                    format!(
+                        "checkpoint integrity: ranks {bad:?} of a {}-member group hold damaged \
+                         restore sources ({regions:?}); single parity can rebuild only one",
+                        self.comm.size()
+                    )
+                } else {
+                    format!(
+                        "checkpoint integrity: ranks {bad:?} of a {}-member group hold damaged \
+                         restore sources ({regions:?}); the {} code can rebuild at most {m}",
+                        self.comm.size(),
+                        self.codec.name()
+                    )
+                }
+            } else if m == 1 {
+                "checkpoint integrity: a sibling group's restore sources are damaged beyond \
+                 single-parity repair"
+                    .into()
+            } else {
+                "checkpoint integrity: a sibling group's restore sources are damaged beyond \
+                 the parity code's repair"
+                    .into()
+            }));
+        }
+        Ok(bad)
+    }
+}

@@ -10,7 +10,7 @@ use std::time::Duration;
 /// [`Checkpointer::last_report`](super::Checkpointer::last_report) after a
 /// successful restore; harnesses print it (the `fig10_cycle` bench) or
 /// attach it to their outputs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Protocol that performed the recovery.
     pub method: Method,
@@ -18,8 +18,9 @@ pub struct RecoveryReport {
     pub source: RestoreSource,
     /// Epoch the job resumed at.
     pub epoch: u64,
-    /// Group rank whose state was rebuilt from parity, if any.
-    pub lost_rank: Option<usize>,
+    /// Group ranks whose state was rebuilt from parity (ascending order;
+    /// empty when nothing was lost).
+    pub lost: Vec<usize>,
     /// The survivor-header maxima the restore-source decision was
     /// derived from (see [`super::planner::plan_recovery`]).
     pub epochs_seen: HeaderMaxima,
@@ -43,9 +44,14 @@ impl std::fmt::Display for RecoveryReport {
             self.epochs_seen.pair1,
             self.epochs_seen.attempt,
         )?;
-        match self.lost_rank {
-            Some(r) => write!(f, "rebuilt {} bytes for rank {r}; ", self.rebuilt_bytes)?,
-            None => write!(f, "no rank lost; ")?,
+        match self.lost.as_slice() {
+            [] => write!(f, "no rank lost; ")?,
+            [r] => write!(f, "rebuilt {} bytes for rank {r}; ", self.rebuilt_bytes)?,
+            ranks => write!(
+                f,
+                "rebuilt {} bytes for ranks {ranks:?}; ",
+                self.rebuilt_bytes
+            )?,
         }
         write!(f, "{:.1} ms)", self.elapsed.as_secs_f64() * 1e3)
     }
@@ -61,7 +67,7 @@ mod tests {
             method: Method::SelfCkpt,
             source: RestoreSource::WorkspaceAndChecksum,
             epoch: 3,
-            lost_rank: Some(1),
+            lost: vec![1],
             epochs_seen: HeaderMaxima {
                 d: 3,
                 bc: 2,
@@ -75,5 +81,20 @@ mod tests {
         assert!(s.contains("epoch 3"), "{s}");
         assert!(s.contains("workspace+checksum"), "{s}");
         assert!(s.contains("rebuilt 640 bytes for rank 1"), "{s}");
+    }
+
+    #[test]
+    fn display_lists_a_multi_rank_rebuild() {
+        let r = RecoveryReport {
+            method: Method::SelfCkpt,
+            source: RestoreSource::CheckpointAndChecksum,
+            epoch: 5,
+            lost: vec![0, 2],
+            epochs_seen: HeaderMaxima::default(),
+            rebuilt_bytes: 1280,
+            elapsed: Duration::from_millis(1),
+        };
+        let s = r.to_string();
+        assert!(s.contains("rebuilt 1280 bytes for ranks [0, 2]"), "{s}");
     }
 }

@@ -65,7 +65,7 @@ impl Protocol for SelfCkpt {
     fn restore<'c>(
         &self,
         ck: &mut Checkpointer<'c>,
-        lost: Option<usize>,
+        lost: &[usize],
         target: u64,
         maxima: &HeaderMaxima,
     ) -> Result<Recovery, RecoverError> {
@@ -75,13 +75,13 @@ impl Protocol for SelfCkpt {
                 // Normal rollback to the committed checkpoint (CASE 1) —
                 // also the cross-group case "another group proposed e-1":
                 // the pre-flush sync gate guarantees our (B, C)@e-1 is
-                // then still intact. CRC-verify the source pair first: a
-                // silently corrupted survivor is downgraded to the
-                // erasure and rebuilt alongside (or instead of) the lost
-                // rank.
+                // then still intact. CRC-verify the source pair first:
+                // silently corrupted survivors are downgraded to
+                // erasures and rebuilt alongside (or instead of) the
+                // lost ranks.
                 let lost = ck.verify_sources(lost, &[Region::CopyB, Region::ParityC])?;
-                if let Some(f) = lost {
-                    ck.rebuild_regions(f, Region::CopyB, Region::ParityC)?;
+                if !lost.is_empty() {
+                    ck.rebuild_regions(&lost, Region::CopyB, Region::ParityC)?;
                 }
                 ck.copy_seg(&ck.work, &ck.b, "recover-restore")?;
                 ck.update_region_crcs(&[Region::Work])?;
@@ -101,8 +101,8 @@ impl Protocol for SelfCkpt {
                 // encode, so the (work, D) CRCs written there still
                 // witness the exact bytes being trusted.
                 let lost = ck.verify_sources(lost, &[Region::Work, Region::ChecksumD])?;
-                if let Some(f) = lost {
-                    ck.rebuild_regions(f, Region::Work, Region::ChecksumD)?;
+                if !lost.is_empty() {
+                    ck.rebuild_regions(&lost, Region::Work, Region::ChecksumD)?;
                 }
                 // complete the interrupted flush so (B, C) is consistent
                 // again

@@ -53,16 +53,16 @@ impl Protocol for Single {
     fn restore<'c>(
         &self,
         ck: &mut Checkpointer<'c>,
-        lost: Option<usize>,
+        lost: &[usize],
         target: u64,
         _maxima: &HeaderMaxima,
     ) -> Result<Recovery, RecoverError> {
-        // CRC-verify the only pair this method has before trusting it; a
-        // corrupt survivor joins (or replaces) the lost rank as the
-        // erasure to rebuild.
+        // CRC-verify the only pair this method has before trusting it;
+        // corrupt survivors join (or replace) the lost ranks as the
+        // erasures to rebuild.
         let lost = ck.verify_sources(lost, &[Region::CopyB, Region::ParityC])?;
-        if let Some(f) = lost {
-            ck.rebuild_regions(f, Region::CopyB, Region::ParityC)?;
+        if !lost.is_empty() {
+            ck.rebuild_regions(&lost, Region::CopyB, Region::ParityC)?;
         }
         ck.copy_seg(&ck.work, &ck.b, "recover-restore")?;
         ck.probe(RECOVER_COMMIT_PROBE)?;

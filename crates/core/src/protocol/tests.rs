@@ -165,11 +165,11 @@ fn recovery_report_describes_the_roll_forward() {
     // header maxima that led there (d=3 outran bc=2).
     let outs = cycle(Method::SelfCkpt, Phase::FlushB, 3, 1, 2);
     for (rank, (_, _, report)) in outs.iter().enumerate() {
-        let r = report.expect("restore must leave a report");
+        let r = report.clone().expect("restore must leave a report");
         assert_eq!(r.epoch, 3, "rank {rank}");
         assert_eq!(r.source, RestoreSource::WorkspaceAndChecksum, "rank {rank}");
         assert_eq!(r.method, Method::SelfCkpt);
-        assert_eq!(r.lost_rank, Some(1), "rank {rank}");
+        assert_eq!(r.lost, vec![1], "rank {rank}");
         assert_eq!((r.epochs_seen.d, r.epochs_seen.bc), (3, 2), "rank {rank}");
         assert!(r.rebuilt_bytes > 0, "a lost rank was rebuilt");
         let shown = r.to_string();
@@ -508,10 +508,201 @@ fn config_builder_round_trips() {
         .with_a1_len(32)
         .with_a2_capacity(24);
     assert_eq!(c.method, Method::SelfCkpt);
-    assert_eq!(c.code, Code::Sum);
+    assert_eq!(c.codec, CodecSpec::Single(Code::Sum));
     assert_eq!(c.a1_len, 32);
     assert_eq!(c.a2_capacity, 24);
     assert_eq!(c.name, "b");
+}
+
+/// [`cycle`] under the dual P+Q codec with *two* nodes of the group
+/// lost: the armed plan kills the first victim at the chosen
+/// `(phase, nth)` yield point, and the second node is powered off while
+/// the job aborts — before any recovery step runs, so the relaunch
+/// faces two erasures against the survivor state frozen at that window.
+fn dual_cycle(
+    method: Method,
+    phase: Phase,
+    nth: u64,
+    victims: [usize; 2],
+    epochs_before_fail: u64,
+) -> Vec<(Recovery, Vec<f64>, Option<RecoveryReport>)> {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 2)));
+    let mut rl = Ranklist::round_robin(N, N);
+    cluster.arm_failure(FailurePlan::new(phase, nth, victims[0]));
+    let dual = cfg(method).with_codec(CodecSpec::Dual);
+    let c1 = dual.clone();
+    let res = run_on_cluster(cluster.clone(), &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, c1.clone());
+        for e in 1..=epochs_before_fail + 2 {
+            {
+                let ws = ck.workspace();
+                let mut g = ws.write();
+                g.as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), e));
+            }
+            ck.make(&e.to_le_bytes())?;
+        }
+        Ok(())
+    });
+    assert!(res.is_err(), "failure must abort the first run");
+    // ranks are placed round-robin on as many nodes, so rank r is node r
+    cluster.kill_node(victims[1]);
+    assert_eq!(cluster.dead_nodes().len(), 2, "both victims must die");
+
+    cluster.reset_abort();
+    rl.repair(&cluster).unwrap();
+    run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, dual.clone());
+        let rec = ck.recover().map_err(|e| match e {
+            RecoverError::Fault(f) => f,
+            RecoverError::Unrecoverable(msg) => panic!("unrecoverable: {msg}"),
+        })?;
+        let ws = ck.workspace();
+        let data = ws.read().as_f64()[..A1].to_vec();
+        Ok((rec, data, ck.last_report()))
+    })
+    .unwrap()
+}
+
+#[test]
+fn dual_codec_recovers_two_losses_during_computation() {
+    // Two members of the same group die in the same probe round after
+    // their 2nd committed checkpoint; the P+Q codec rebuilds both.
+    let outs = dual_cycle(Method::SelfCkpt, Phase::Done, 2, [1, 2], 2);
+    assert_restored_epoch(&outs, 2);
+    for (rank, (_, _, report)) in outs.iter().enumerate() {
+        let r = report.clone().expect("restore must leave a report");
+        assert_eq!(r.lost, vec![1, 2], "rank {rank}");
+        assert!(r.rebuilt_bytes > 0, "rank {rank}");
+    }
+}
+
+#[test]
+fn dual_codec_recovers_two_losses_during_flush() {
+    // CASE 2 with two erasures: D@3 committed, both victims die while
+    // B is being overwritten → roll forward from (work, D) at epoch 3.
+    let outs = dual_cycle(Method::SelfCkpt, Phase::FlushB, 3, [0, 3], 2);
+    assert_restored_epoch(&outs, 3);
+    assert!(matches!(
+        outs[1].0,
+        Recovery::Restored {
+            source: RestoreSource::WorkspaceAndChecksum,
+            ..
+        }
+    ));
+    let r = outs[1].2.clone().expect("report");
+    assert_eq!(r.lost, vec![0, 3]);
+}
+
+#[test]
+fn dual_codec_double_method_recovers_two_losses_during_update() {
+    let outs = dual_cycle(Method::Double, Phase::CopyB, 3, [1, 3], 2);
+    assert_restored_epoch(&outs, 2);
+}
+
+#[test]
+fn single_parity_refuses_two_simultaneous_losses_with_a_typed_error() {
+    // The same double kill under the default m = 1 codec must surface
+    // the typed refusal, not wrong data.
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 2)));
+    let mut rl = Ranklist::round_robin(N, N);
+    cluster.arm_failure(FailurePlan::new(Phase::Done, 2, 1));
+    let res = run_on_cluster(cluster.clone(), &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        for e in 1..=4u64 {
+            {
+                let ws = ck.workspace();
+                ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), e));
+            }
+            ck.make(&e.to_le_bytes())?;
+        }
+        Ok(())
+    });
+    assert!(res.is_err());
+    cluster.kill_node(2);
+    assert_eq!(cluster.dead_nodes().len(), 2);
+    cluster.reset_abort();
+    rl.repair(&cluster).unwrap();
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, cfg(Method::SelfCkpt));
+        match ck.recover() {
+            Err(RecoverError::Unrecoverable(msg)) => Ok(msg),
+            other => panic!("expected unrecoverable, got {other:?}"),
+        }
+    })
+    .unwrap();
+    for msg in outs {
+        assert!(msg.contains("more than one member"), "{msg}");
+    }
+}
+
+#[test]
+fn dual_codec_scrub_repairs_two_damaged_members() {
+    // Silent corruption in *two* members of the committed pair: beyond
+    // single parity, but exactly within the P+Q budget.
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    let dual = cfg(Method::SelfCkpt).with_codec(CodecSpec::Dual);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, dual.clone());
+        {
+            let ws = ck.workspace();
+            ws.write().as_f64_mut()[..A1].copy_from_slice(&pattern(ctx.world_rank(), 9));
+        }
+        ck.make(b"nine")?;
+        if ctx.world_rank() == 0 {
+            let cl = ctx.cluster();
+            assert!(cl.corrupt_now(&CorruptPlan::new("now", 1, 1, Region::CopyB, 0, 0)));
+            assert!(cl.corrupt_now(&CorruptPlan::new("now", 1, 3, Region::ParityC, 21, 4)));
+        }
+        ctx.world().barrier()?;
+        let report = ck.scrub().map_err(|e| match e {
+            RecoverError::Fault(f) => f,
+            RecoverError::Unrecoverable(m) => panic!("unrecoverable: {m}"),
+        })?;
+        let ok = ck.verify_integrity()?;
+        let name = format!("test/r{}/b", ctx.world_rank());
+        let b = ctx.shm().attach(&name).expect("checkpoint copy exists");
+        let data = b.read().as_f64()[..A1].to_vec();
+        Ok((report, ok, data))
+    })
+    .unwrap();
+    for (rank, (report, ok, data)) in outs.iter().enumerate() {
+        assert_eq!(report.repaired, vec![1, 3], "rank {rank}");
+        assert!(ok, "rank {rank}: pair must verify after the repair");
+        assert_eq!(data, &pattern(rank, 9), "rank {rank} repaired copy");
+    }
+}
+
+#[test]
+fn dual_codec_shm_usage_matches_the_generalised_table() {
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(N, 0)));
+    let rl = Ranklist::round_robin(N, N);
+    let dual = cfg(Method::SelfCkpt).with_codec(CodecSpec::Dual);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (ck, _) = Checkpointer::init(world, dual.clone());
+        Ok((
+            ck.shm_bytes(),
+            ck.layout().padded_len(),
+            ck.layout().parity_len(),
+            ck.layout().stripe_len(),
+        ))
+    })
+    .unwrap();
+    for (bytes, padded, parity, stripe) in outs {
+        // each checksum copy now holds m = 2 stripes
+        assert_eq!(parity, 2 * stripe);
+        assert_eq!(padded, (N - 2) * stripe);
+        let expect = (2 * padded + 2 * parity) * 8 + HEADER_BYTES + crc_table_bytes(N);
+        assert_eq!(bytes, expect);
+        // generalised Table 1 total: 2MN/(N-m) with M = padded elements
+        assert_eq!(2 * padded + 2 * parity, 2 * padded * N / (N - 2));
+    }
 }
 
 #[test]

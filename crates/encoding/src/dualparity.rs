@@ -8,9 +8,13 @@
 //! * `Q = g^0·D_0 ⊕ g^1·D_1 ⊕ … ⊕ g^{k-1}·D_{k-1}`
 //!
 //! Any two erasures among `{D_i} ∪ {P, Q}` are recoverable. Data here is
-//! `f64`, viewed as little-endian bytes — recovery is bit-exact.
+//! `f64`, viewed as little-endian bytes — recovery is bit-exact. All hot
+//! loops run on the chunked [`crate::kernels`] engine: the plain methods
+//! use the process-wide [`KernelConfig`], the `_with` variants take an
+//! explicit policy (the benchmarks A/B serial against parallel).
 
 use crate::gf256;
+use crate::kernels::{self, KernelConfig};
 
 /// Encoder/decoder for one group of `k` data stripes.
 #[derive(Clone, Copy, Debug)]
@@ -43,42 +47,30 @@ impl DualParity {
         self.k
     }
 
-    fn stripe_to_bytes(&self, s: &[f64]) -> Vec<u8> {
-        assert_eq!(s.len(), self.stripe_len, "stripe length mismatch");
-        let mut out = Vec::with_capacity(s.len() * 8);
-        for v in s {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        out
-    }
-
-    fn bytes_to_stripe(&self, b: &[u8]) -> Vec<f64> {
-        assert_eq!(b.len(), self.stripe_len * 8);
-        b.chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect()
-    }
-
-    /// Compute `(P, Q)` for the stripes.
+    /// Compute `(P, Q)` for the stripes under the process-wide
+    /// [`KernelConfig`].
     pub fn encode(&self, stripes: &[&[f64]]) -> (Vec<f64>, Vec<f64>) {
+        self.encode_with(stripes, KernelConfig::global())
+    }
+
+    /// Compute `(P, Q)` under an explicit kernel policy.
+    pub fn encode_with(&self, stripes: &[&[f64]], cfg: KernelConfig) -> (Vec<f64>, Vec<f64>) {
         assert_eq!(stripes.len(), self.k, "need exactly k stripes");
-        let nbytes = self.stripe_len * 8;
-        let mut p = vec![0u8; nbytes];
-        let mut q = vec![0u8; nbytes];
+        let mut p = vec![0.0f64; self.stripe_len];
+        let mut q = vec![0.0f64; self.stripe_len];
         for (i, s) in stripes.iter().enumerate() {
-            let b = self.stripe_to_bytes(s);
-            for (pp, bb) in p.iter_mut().zip(&b) {
-                *pp ^= *bb;
-            }
-            gf256::mac_slice(&mut q, &b, gf256::gpow(i));
+            assert_eq!(s.len(), self.stripe_len, "stripe length mismatch");
+            kernels::xor_accumulate(&mut p, s, cfg);
+            kernels::gf_mac(&mut q, s, gf256::gpow(i), cfg);
         }
-        (self.bytes_to_stripe(&p), self.bytes_to_stripe(&q))
+        (p, q)
     }
 
     /// Recover up to two erasures. `stripes[i]` is `None` when lost;
     /// `p`/`q` are `None` when the corresponding parity is lost. Returns
     /// the fully restored stripe set (parities are not returned — re-run
-    /// [`Self::encode`] if needed).
+    /// [`Self::encode`] if needed). Runs under the process-wide
+    /// [`KernelConfig`].
     ///
     /// Panics if more than two things are missing (beyond the code's
     /// correction capability) — callers detect that case from group
@@ -89,6 +81,17 @@ impl DualParity {
         p: Option<&[f64]>,
         q: Option<&[f64]>,
     ) -> Vec<Vec<f64>> {
+        self.recover_with(stripes, p, q, KernelConfig::global())
+    }
+
+    /// [`Self::recover`] under an explicit kernel policy.
+    pub fn recover_with(
+        &self,
+        stripes: &[Option<&[f64]>],
+        p: Option<&[f64]>,
+        q: Option<&[f64]>,
+        cfg: KernelConfig,
+    ) -> Vec<Vec<f64>> {
         assert_eq!(stripes.len(), self.k, "need exactly k stripe slots");
         let missing: Vec<usize> = (0..self.k).filter(|&i| stripes[i].is_none()).collect();
         let lost = missing.len() + usize::from(p.is_none()) + usize::from(q.is_none());
@@ -97,77 +100,60 @@ impl DualParity {
             "dual parity corrects at most two erasures, got {lost}"
         );
 
-        let nbytes = self.stripe_len * 8;
-        let byte_stripes: Vec<Option<Vec<u8>>> = stripes
-            .iter()
-            .map(|s| s.map(|v| self.stripe_to_bytes(v)))
-            .collect();
-
-        let restored: Vec<Vec<u8>> = match (missing.as_slice(), p, q) {
+        let restored: Vec<(usize, Vec<f64>)> = match (missing.as_slice(), p, q) {
             // Nothing lost among data.
-            ([], _, _) => byte_stripes.into_iter().map(|s| s.unwrap()).collect(),
+            ([], _, _) => return stripes.iter().map(|s| s.unwrap().to_vec()).collect(),
             // One data stripe lost, P available: XOR reconstruction.
             ([x], Some(p), _) => {
-                let mut d = self.stripe_to_bytes(p);
-                for (i, s) in byte_stripes.iter().enumerate() {
+                let mut d = p.to_vec();
+                for (i, s) in stripes.iter().enumerate() {
                     if i != *x {
-                        for (a, b) in d.iter_mut().zip(s.as_ref().unwrap()) {
-                            *a ^= *b;
-                        }
+                        kernels::xor_accumulate(&mut d, s.unwrap(), cfg);
                     }
                 }
-                self.place(byte_stripes, &[(*x, d)])
+                vec![(*x, d)]
             }
             // One data stripe lost, P lost too: solve with Q.
             ([x], None, Some(q)) => {
                 // q_partial = Q ⊕ Σ_{i≠x} g^i D_i ; D_x = q_partial / g^x
-                let mut qp = self.stripe_to_bytes(q);
-                for (i, s) in byte_stripes.iter().enumerate() {
+                let mut qp = q.to_vec();
+                for (i, s) in stripes.iter().enumerate() {
                     if i != *x {
-                        gf256::mac_slice(&mut qp, s.as_ref().unwrap(), gf256::gpow(i));
+                        kernels::gf_mac(&mut qp, s.unwrap(), gf256::gpow(i), cfg);
                     }
                 }
-                let c = gf256::inv(gf256::gpow(*x));
-                gf256::scale_slice(&mut qp, c);
-                self.place(byte_stripes, &[(*x, qp)])
+                kernels::gf_scale(&mut qp, gf256::inv(gf256::gpow(*x)), cfg);
+                vec![(*x, qp)]
             }
             // Two data stripes lost: solve the 2x2 system with P and Q.
             ([x, y], Some(p), Some(q)) => {
                 let (x, y) = (*x, *y);
-                let mut pp = self.stripe_to_bytes(p);
-                let mut qp = self.stripe_to_bytes(q);
-                for (i, s) in byte_stripes.iter().enumerate() {
+                let mut pp = p.to_vec();
+                let mut qp = q.to_vec();
+                for (i, s) in stripes.iter().enumerate() {
                     if i != x && i != y {
-                        let s = s.as_ref().unwrap();
-                        for (a, b) in pp.iter_mut().zip(s) {
-                            *a ^= *b;
-                        }
-                        gf256::mac_slice(&mut qp, s, gf256::gpow(i));
+                        let s = s.unwrap();
+                        kernels::xor_accumulate(&mut pp, s, cfg);
+                        kernels::gf_mac(&mut qp, s, gf256::gpow(i), cfg);
                     }
                 }
                 // pp = Dx ⊕ Dy ; qp = g^x Dx ⊕ g^y Dy
                 // => Dy = (qp ⊕ g^x·pp) / (g^x ⊕ g^y); Dx = pp ⊕ Dy
                 let gx = gf256::gpow(x);
                 let gy = gf256::gpow(y);
-                let denom_inv = gf256::inv(gx ^ gy);
                 let mut dy = qp;
-                gf256::mac_slice(&mut dy, &pp, gx);
-                gf256::scale_slice(&mut dy, denom_inv);
-                let mut dx = vec![0u8; nbytes];
-                for i in 0..nbytes {
-                    dx[i] = pp[i] ^ dy[i];
-                }
-                self.place(byte_stripes, &[(x, dx), (y, dy)])
+                kernels::gf_mac(&mut dy, &pp, gx, cfg);
+                kernels::gf_scale(&mut dy, gf256::inv(gx ^ gy), cfg);
+                let mut dx = pp;
+                kernels::xor_accumulate(&mut dx, &dy, cfg);
+                vec![(x, dx), (y, dy)]
             }
             _ => panic!("unrecoverable erasure pattern"),
         };
-        restored.iter().map(|b| self.bytes_to_stripe(b)).collect()
-    }
-
-    fn place(&self, stripes: Vec<Option<Vec<u8>>>, fills: &[(usize, Vec<u8>)]) -> Vec<Vec<u8>> {
-        let mut out: Vec<Option<Vec<u8>>> = stripes;
-        for (i, d) in fills {
-            out[*i] = Some(d.clone());
+        let mut out: Vec<Option<Vec<f64>>> =
+            stripes.iter().map(|s| s.map(<[f64]>::to_vec)).collect();
+        for (i, d) in restored {
+            out[i] = Some(d);
         }
         out.into_iter()
             .map(|s| s.expect("all stripes placed"))
@@ -288,5 +274,31 @@ mod tests {
         for (a, b) in rec[0].iter().zip(&data[0]) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn kernel_policies_agree_bit_exactly() {
+        // Parallel chunking must not change a single bit of P, Q, or any
+        // recovered stripe.
+        let data = sample(7, 1031);
+        let dp = DualParity::new(7, 1031);
+        let serial = KernelConfig::serial();
+        let par = KernelConfig::new(4, 128);
+        let (p0, q0) = dp.encode_with(&refs(&data), serial);
+        let (p1, q1) = dp.encode_with(&refs(&data), par);
+        assert!(p0.iter().zip(&p1).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(q0.iter().zip(&q1).all(|(a, b)| a.to_bits() == b.to_bits()));
+        let stripes: Vec<Option<&[f64]>> = data
+            .iter()
+            .enumerate()
+            .map(|(i, s)| if i < 2 { None } else { Some(s.as_slice()) })
+            .collect();
+        let r0 = dp.recover_with(&stripes, Some(&p0), Some(&q0), serial);
+        let r1 = dp.recover_with(&stripes, Some(&p0), Some(&q0), par);
+        for (a, b) in r0.iter().zip(&r1) {
+            assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+        assert_eq!(r0[0], data[0]);
+        assert_eq!(r0[1], data[1]);
     }
 }

@@ -73,6 +73,24 @@ pub fn gpow(i: usize) -> u8 {
     tables().exp[i % 255]
 }
 
+/// The full multiplication row of `c`: `table[b] = mul(c, b)` for every
+/// byte `b`. Hot loops that scale whole buffers by one scalar (the Q
+/// parity of the dual code) build this once and then index it, which
+/// beats a log/exp lookup pair per byte.
+#[must_use]
+pub fn mul_table(c: u8) -> [u8; 256] {
+    let mut row = [0u8; 256];
+    if c == 0 {
+        return row;
+    }
+    let t = tables();
+    let lc = t.log[c as usize] as usize;
+    for b in 1..=255usize {
+        row[b] = t.exp[t.log[b] as usize + lc];
+    }
+    row
+}
+
 /// Multiply every byte of `data` by the scalar `c`, in place.
 pub fn scale_slice(data: &mut [u8], c: u8) {
     if c == 1 {
@@ -174,5 +192,61 @@ mod tests {
     #[should_panic(expected = "no inverse")]
     fn zero_inverse_panics() {
         inv(0);
+    }
+
+    #[test]
+    fn mul_table_matches_mul_for_every_pair() {
+        for c in [0u8, 1, 2, 29, 143, 255] {
+            let row = mul_table(c);
+            for b in 0..=255u8 {
+                assert_eq!(row[b as usize], mul(c, b), "c={c} b={b}");
+            }
+        }
+    }
+
+    // Exhaustive field-axiom checks are infeasible over all 2^24 triples
+    // per axiom; proptest samples the triple space densely instead.
+    mod axioms {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn addition_forms_an_abelian_group(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+                prop_assert_eq!(add(a, b), add(b, a));
+                prop_assert_eq!(add(add(a, b), c), add(a, add(b, c)));
+                prop_assert_eq!(add(a, 0), a);
+                // characteristic 2: every element is its own additive inverse
+                prop_assert_eq!(add(a, a), 0);
+            }
+
+            #[test]
+            fn multiplication_is_associative_and_commutative(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+                prop_assert_eq!(mul(a, b), mul(b, a));
+                prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                prop_assert_eq!(mul(a, 1), a);
+                prop_assert_eq!(mul(a, 0), 0);
+            }
+
+            #[test]
+            fn multiplication_distributes_over_addition(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+                prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                prop_assert_eq!(mul(add(a, b), c), add(mul(a, c), mul(b, c)));
+            }
+
+            #[test]
+            fn every_nonzero_element_has_an_inverse(a in 0u8..255) {
+                let a = a + 1; // 1..=255: zero has no inverse
+                let ai = inv(a);
+                prop_assert_eq!(mul(a, ai), 1);
+                prop_assert_eq!(mul(ai, a), 1);
+                prop_assert_eq!(div(a, a), 1);
+            }
+
+            #[test]
+            fn no_zero_divisors(a in 0u8..255, b in 0u8..255) {
+                prop_assert_ne!(mul(a + 1, b + 1), 0);
+            }
+        }
     }
 }

@@ -24,6 +24,7 @@
 //! With the default chunk length, buffers of ≤ 512 KiB always run
 //! serial — thread spawn costs more than it saves there.
 
+use crate::gf256;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default cache block, in `f64` elements: 64 Ki elements = 512 KiB,
@@ -145,6 +146,33 @@ where
     });
 }
 
+/// In-place variant of [`par_zip`]: run `op` over `buf` alone in cache
+/// blocks, fanning block spans out to scoped threads when allowed.
+fn par_inplace<A, F>(cfg: KernelConfig, buf: &mut [A], op: F)
+where
+    A: Send,
+    F: Fn(&mut [A]) + Copy + Send + Sync,
+{
+    if !cfg.is_parallel_for(buf.len()) {
+        for b in buf.chunks_mut(cfg.chunk_len) {
+            op(b);
+        }
+        return;
+    }
+    let n_chunks = buf.len().div_ceil(cfg.chunk_len);
+    let workers = cfg.threads.min(n_chunks);
+    let span = n_chunks.div_ceil(workers) * cfg.chunk_len;
+    std::thread::scope(|scope| {
+        for d in buf.chunks_mut(span) {
+            scope.spawn(move || {
+                for b in d.chunks_mut(cfg.chunk_len) {
+                    op(b);
+                }
+            });
+        }
+    });
+}
+
 /// 8-wide unrolled XOR over `u64` words with a scalar tail.
 fn xor_block_u64(acc: &mut [u64], x: &[u64]) {
     let mut a8 = acc.chunks_exact_mut(8);
@@ -246,6 +274,51 @@ pub fn floats_of(src: &[u64], cfg: KernelConfig) -> Vec<f64> {
         }
     });
     out
+}
+
+/// Byte-wise GF(256) scale of the little-endian byte view of `buf` by
+/// the scalar `c`, in place (the `D := c·D` steps of the dual-parity
+/// solve). Operates per `f64` element, so it is element-wise and
+/// bit-identical under any chunk/thread partition.
+pub fn gf_scale(buf: &mut [f64], c: u8, cfg: KernelConfig) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        buf.fill(0.0);
+        return;
+    }
+    let row = gf256::mul_table(c);
+    let row = &row;
+    par_inplace(cfg, buf, move |b| {
+        for v in b.iter_mut() {
+            let mut bytes = v.to_le_bytes();
+            for x in &mut bytes {
+                *x = row[*x as usize];
+            }
+            *v = f64::from_le_bytes(bytes);
+        }
+    });
+}
+
+/// Byte-wise GF(256) multiply-accumulate over little-endian byte views:
+/// `acc ^= c·x` (the Q-parity accumulate of the dual code).
+pub fn gf_mac(acc: &mut [f64], x: &[f64], c: u8, cfg: KernelConfig) {
+    if c == 0 {
+        return;
+    }
+    let row = gf256::mul_table(c);
+    let row = &row;
+    par_zip(cfg, acc, x, move |a, b| {
+        for (p, q) in a.iter_mut().zip(b) {
+            let mut pb = p.to_le_bytes();
+            let qb = q.to_le_bytes();
+            for (i, x) in pb.iter_mut().enumerate() {
+                *x ^= row[qb[i] as usize];
+            }
+            *p = f64::from_le_bytes(pb);
+        }
+    });
 }
 
 /// Element-wise negation of `src` (the SUM code's cancel-by-reduce trick).
@@ -415,6 +488,45 @@ mod tests {
         .set_global();
         assert_eq!(KernelConfig::global(), KernelConfig::new(1, 1));
         prev.set_global();
+    }
+
+    #[test]
+    fn gf_kernels_match_byte_reference_for_every_policy() {
+        let len = 2049;
+        let base = data(len, 11);
+        let x = data(len, 12);
+        for c in [0u8, 1, 2, 29, 255] {
+            // byte-level reference via the scalar gf256 ops
+            let mut scale_ref: Vec<u8> = base.iter().flat_map(|v| v.to_le_bytes()).collect();
+            gf256::scale_slice(&mut scale_ref, c);
+            let mut mac_ref: Vec<u8> = base.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let xb: Vec<u8> = x.iter().flat_map(|v| v.to_le_bytes()).collect();
+            gf256::mac_slice(&mut mac_ref, &xb, c);
+            for cfg in configs() {
+                let mut acc = base.clone();
+                gf_scale(&mut acc, c, cfg);
+                let got: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
+                assert_eq!(got, scale_ref, "scale c={c} cfg {cfg:?}");
+
+                let mut acc = base.clone();
+                gf_mac(&mut acc, &x, c, cfg);
+                let got: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
+                assert_eq!(got, mac_ref, "mac c={c} cfg {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf_scale_is_invertible() {
+        let mut buf = data(513, 13);
+        let orig = buf.clone();
+        let cfg = KernelConfig::new(4, 64);
+        gf_scale(&mut buf, 37, cfg);
+        gf_scale(&mut buf, gf256::inv(37), cfg);
+        assert!(buf
+            .iter()
+            .zip(&orig)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![warn(unused)]
 #![allow(clippy::needless_range_loop)] // index loops over coupled arrays are the clearest form for BLAS-style kernels
 //! # skt-encoding
 //!
@@ -20,6 +21,9 @@
 //! * [`gf256`] + [`dualparity`] — a RAID-6-style P+Q code over GF(2^8)
 //!   tolerating **two** failures per group; the paper names RAID-6 /
 //!   Reed-Solomon as the extension path (§2.1), implemented here.
+//! * [`codec`] — the pluggable [`ErasureCodec`] abstraction the protocol
+//!   stack programs against, with the single-parity codes (`m = 1`) and
+//!   dual parity (`m = 2`) behind one [`CodecSpec`] selector.
 //! * [`kernels`] — the cache-blocked, multi-threaded accumulate / copy
 //!   engine under the codecs, the reduce operators, and the protocol's
 //!   flush copies, selected through [`kernels::KernelConfig`].
@@ -29,6 +33,7 @@
 //!   parallel and bit-reproducible.
 
 pub mod code;
+pub mod codec;
 pub mod crc;
 pub mod dualparity;
 pub mod gf256;
@@ -36,6 +41,7 @@ pub mod kernels;
 pub mod layout;
 
 pub use code::Code;
+pub use codec::{CodecSpec, ErasureCodec, Wire};
 pub use crc::{crc32c, crc32c_combine, crc32c_f64, stripe_crcs};
 pub use dualparity::DualParity;
 pub use kernels::KernelConfig;

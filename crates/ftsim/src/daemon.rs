@@ -268,6 +268,14 @@ pub fn run_with_policy(
     let mut rl = ranklist.clone();
     let mut cycles: Vec<PhaseTimes> = Vec::new();
     let mut history = DaemonHistory::default();
+    // Pre-launch health check: the job handed to the daemon may already
+    // have dead nodes in its ranklist (e.g. a pair of group members lost
+    // while the previous launch was aborting). Replace them all in one
+    // repair — the relaunch's recovery rebuilds every replaced shard
+    // from parity, up to the configured codec's tolerance.
+    if rl.repair(&cluster).is_err() {
+        return Err(DaemonError::OutOfSpares(history));
+    }
     let mut known_dead: Vec<NodeId> = cluster.dead_nodes();
     let mut launches = 0usize;
     loop {
@@ -279,7 +287,7 @@ pub fn run_with_policy(
         let harvest: Mutex<Vec<RecoveryReport>> = Mutex::new(Vec::new());
         let result: Result<Vec<SktOutput>, Fault> =
             run_on_cluster(Arc::clone(&cluster), &rl, |ctx| {
-                run_skt_observed(ctx, cfg, |r| harvest.lock().unwrap().push(*r))
+                run_skt_observed(ctx, cfg, |r| harvest.lock().unwrap().push(r.clone()))
             });
         // keep the most informative report of the attempt (the rebuilt
         // rank's carries the rebuilt byte count)
@@ -292,8 +300,8 @@ pub fn run_with_policy(
             history.recoveries.push(best);
         }
         match result {
-            Ok(outs) => {
-                let out = outs[0];
+            Ok(mut outs) => {
+                let out = outs.swap_remove(0);
                 // attribute restart/recover timings of a resumed run to
                 // the cycle that triggered it
                 if let Some(cycle) = cycles.last_mut() {
@@ -381,6 +389,7 @@ mod tests {
     use super::*;
     use skt_cluster::{ClusterConfig, CorruptPlan, FailurePlan, Region};
     use skt_core::RECOVER_COMMIT_PROBE;
+    use skt_encoding::CodecSpec;
     use skt_hpl::{run_skt, HplConfig, ITER_PROBE};
 
     fn cfg() -> SktConfig {
@@ -437,6 +446,37 @@ mod tests {
         let rep = run_with_daemon(cluster, &rl, &cfg(), 5, Duration::from_secs(30)).unwrap();
         assert_eq!(rep.failures, 2);
         assert!(rep.output.hpl.passed);
+    }
+
+    #[test]
+    fn daemon_heals_two_simultaneous_losses_in_one_cycle() {
+        // Two nodes of the same checkpoint group are down before the
+        // daemon can react: the armed plan kills node 1 at the 5th panel
+        // probe and node 2 is powered off while the job is still
+        // aborting. The daemon's health-check repair replaces both in
+        // one pass, and the single relaunch's dual-parity recovery
+        // rebuilds both shards — one cycle, not two.
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 2)));
+        let rl = Ranklist::round_robin(4, 4);
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 5, 1));
+        let mut c = SktConfig::new(HplConfig::new(48, 4, 11), 4, 2);
+        c.codec = CodecSpec::Dual;
+        assert!(
+            run_on_cluster(Arc::clone(&cluster), &rl, |ctx| run_skt(ctx, &c)).is_err(),
+            "first run must abort on the node loss"
+        );
+        cluster.kill_node(2);
+        let rep = run_with_daemon(cluster.clone(), &rl, &c, 3, Duration::from_secs(30)).unwrap();
+        assert_eq!(rep.launches, 1, "one relaunch heals both losses");
+        assert!(
+            rep.output.hpl.passed,
+            "residual {}",
+            rep.output.hpl.residual
+        );
+        assert_eq!(rep.output.resumed_from_panel, 4);
+        assert_eq!(cluster.spares_left(), 0, "both spares spent in one repair");
+        let rec = rep.history.recoveries.last().expect("recovery ran");
+        assert_eq!(rec.lost, vec![1, 2], "both replaced ranks rebuilt");
     }
 
     #[test]

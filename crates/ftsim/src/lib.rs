@@ -1,3 +1,4 @@
+#![warn(unused)]
 //! # skt-ftsim
 //!
 //! The fault-tolerance harness around SKT-HPL:

@@ -146,7 +146,9 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<MethodRow> {
         // clean performance run
         let (cl, rl) = fresh_cluster(cfg, 0);
         let store = BlcrStore::new(cfg.nranks, kind);
-        let perf = run_on_cluster(cl, &rl, |ctx| run_blcr(ctx, &bl_cfg, &store)).unwrap()[0];
+        let perf = run_on_cluster(cl, &rl, |ctx| run_blcr(ctx, &bl_cfg, &store))
+            .unwrap()
+            .swap_remove(0);
         // power-off + restart from disk
         let (cl, mut rl) = fresh_cluster(cfg, 1);
         let store = BlcrStore::new(cfg.nranks, kind);
@@ -185,7 +187,9 @@ pub fn run_table3(cfg: &Table3Config) -> Vec<MethodRow> {
         scfg.name = format!("t3-{label}");
         // clean performance run
         let (cl, rl) = fresh_cluster(cfg, 0);
-        let perf = run_on_cluster(cl, &rl, |ctx| run_skt(ctx, &scfg)).unwrap()[0];
+        let perf = run_on_cluster(cl, &rl, |ctx| run_skt(ctx, &scfg))
+            .unwrap()
+            .swap_remove(0);
         // power-off + in-memory recovery
         let (cl, mut rl) = fresh_cluster(cfg, 1);
         cl.arm_failure(FailurePlan::new(

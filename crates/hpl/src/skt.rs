@@ -18,7 +18,7 @@ use skt_core::{
     group_color, Checkpointer, CkptConfig, GroupStrategy, Method, RecoverError, Recovery,
     RecoveryReport,
 };
-use skt_encoding::Code;
+use skt_encoding::CodecSpec;
 use skt_linalg::MatGen;
 use skt_mps::{Ctx, Fault};
 
@@ -30,8 +30,9 @@ pub struct SktConfig {
     /// Checkpoint protocol (SKT-HPL proper uses [`Method::SelfCkpt`];
     /// `Double` reproduces the SCR-in-RAM baseline).
     pub method: Method,
-    /// Parity code.
-    pub code: Code,
+    /// Erasure codec (parity count follows the codec; the dual P+Q
+    /// codec tolerates two lost nodes per group).
+    pub codec: CodecSpec,
     /// Checkpoint group size (§3.3; the paper uses 16, or 8 on the local
     /// cluster).
     pub group_size: usize,
@@ -50,7 +51,7 @@ impl SktConfig {
         SktConfig {
             hpl,
             method: Method::SelfCkpt,
-            code: Code::Xor,
+            codec: CodecSpec::default(),
             group_size,
             strategy: GroupStrategy::Contiguous,
             ckpt_every,
@@ -60,7 +61,7 @@ impl SktConfig {
 }
 
 /// [`HplOutput`] plus restart bookkeeping.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SktOutput {
     /// The HPL result of this (possibly resumed) run.
     pub hpl: HplOutput,
@@ -105,7 +106,7 @@ where
     let color = group_color(cfg.strategy, me, nranks, cfg.group_size);
     let gcomm = world.split(color, me)?;
     let ck_cfg =
-        CkptConfig::new(cfg.name.clone(), cfg.method, dist.alloc_len(), 16).with_code(cfg.code);
+        CkptConfig::new(cfg.name.clone(), cfg.method, dist.alloc_len(), 16).with_codec(cfg.codec);
     // job-wide sync communicator: keeps every group's commits and the
     // recovery epoch globally consistent
     let (mut ck, _) = Checkpointer::init_synced(gcomm, world.clone(), ck_cfg);
@@ -135,13 +136,18 @@ where
         }
         Err(RecoverError::Unrecoverable(_)) => {
             // Methods that promise recoverability hit this only when a
-            // checkpoint group is damaged beyond single-parity repair
-            // (e.g. two corrupted members). Surface it instead of
-            // silently regenerating: the daemon classifies a failure
-            // with no node death as unrecoverable and stops retrying;
-            // jobs wanting to survive it use `MultiLevel`'s PFS level.
+            // checkpoint group is damaged beyond the codec's repair
+            // power (more damaged members than parity stripes). Surface
+            // it instead of silently regenerating: the daemon classifies
+            // a failure with no node death as unrecoverable and stops
+            // retrying; jobs wanting to survive it use `MultiLevel`'s
+            // PFS level.
             return Err(Fault::Protocol(
-                "checkpoint group damaged beyond single-parity repair",
+                if cfg.codec.resolve().parity_count() == 1 {
+                    "checkpoint group damaged beyond single-parity repair"
+                } else {
+                    "checkpoint group damaged beyond the parity code's repair"
+                },
             ));
         }
         Err(RecoverError::Fault(f)) => return Err(f),
@@ -262,7 +268,7 @@ mod tests {
         for (rank, o) in outs.iter().enumerate() {
             assert!(o.hpl.passed, "residual {}", o.hpl.residual);
             assert_eq!(o.resumed_from_panel, 4, "epoch 2 covers panels 1..=4");
-            let report = o.recovery.expect("restore must leave a report");
+            let report = o.recovery.clone().expect("restore must leave a report");
             assert_eq!(report.epoch, 2, "rank {rank}");
             if rank < 2 {
                 // The victim's group can never have committed (B, C)@2 —

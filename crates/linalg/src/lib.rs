@@ -1,3 +1,4 @@
+#![warn(unused)]
 #![allow(clippy::needless_range_loop)] // index loops over coupled arrays are the clearest form for BLAS-style kernels
 //! # skt-linalg
 //!

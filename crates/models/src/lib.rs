@@ -1,3 +1,4 @@
+#![warn(unused)]
 //! # skt-models
 //!
 //! Analytic models from the paper, separated from the executable system so

@@ -1,3 +1,4 @@
+#![warn(unused)]
 //! # skt-mps
 //!
 //! A thread-based message-passing substrate with MPI semantics — the

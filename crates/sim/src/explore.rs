@@ -48,7 +48,7 @@ pub struct YieldKillReport<T> {
 /// Kill `victim_node` at *every* kill-capable yield point inside
 /// `label`'s window (a phase label like `"flush-b"`, or a probe label),
 /// re-running `scenario` from scratch each time on a fresh
-/// [`SimRuntime::new(seed)`].
+/// [`SimRuntime::new`]`(seed)`.
 ///
 /// The unarmed recording run and the armed runs share the seed, and
 /// arming consumes no randomness, so every armed run replays the

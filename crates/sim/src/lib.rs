@@ -1,3 +1,4 @@
+#![warn(unused)]
 //! # skt-sim — deterministic simulation for the rank world
 //!
 //! The paper claims self-checkpoint survives a node failure at *any*

@@ -23,7 +23,7 @@ pub enum YieldOutcome {
     Continue,
     /// An armed simulation kill fired on this task: the caller must kill
     /// its own node and return `Fault::NodeDead`, exactly like an armed
-    /// [`FailurePlan`] firing at a probe.
+    /// `FailurePlan` firing at a probe.
     Killed,
 }
 
@@ -87,7 +87,7 @@ pub trait Runtime: Send + Sync {
     fn notify(&self) {}
 
     /// A protocol phase boundary crossed on the calling task (forwarded
-    /// from [`Event::PhaseEnter`]/`PhaseExit` by the cluster's bus
+    /// from `Event::PhaseEnter`/`PhaseExit` by the cluster's bus
     /// observer). Defines the phase *window* targeted kills aim into.
     fn phase_mark(&self, _label: &'static str, _enter: bool) {}
 }

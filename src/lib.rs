@@ -1,3 +1,4 @@
+#![warn(unused)]
 //! # self-checkpoint
 //!
 //! Facade crate for the Self-Checkpoint / SKT-HPL reproduction (PPoPP'17,

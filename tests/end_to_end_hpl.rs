@@ -5,7 +5,7 @@
 use self_checkpoint::cluster::{
     explore, Cluster, ClusterConfig, DeviceKind, FailurePlan, Ranklist,
 };
-use self_checkpoint::encoding::Code;
+use self_checkpoint::encoding::{Code, CodecSpec};
 use self_checkpoint::ftsim::{run_blcr, run_with_daemon, BlcrConfig, BlcrStore};
 use self_checkpoint::hpl::{run_plain, run_skt, HplConfig, SktConfig, ITER_PROBE};
 use self_checkpoint::mps::run_on_cluster;
@@ -69,7 +69,7 @@ fn recovery_preserves_the_exact_solution() {
 #[test]
 fn sum_code_variant_also_recovers() {
     let mut cfg = skt_cfg();
-    cfg.code = Code::Sum;
+    cfg.codec = CodecSpec::Single(Code::Sum);
     cfg.name = "e2e-sum".into();
     let cluster = Arc::new(Cluster::new(ClusterConfig::new(RANKS, 1)));
     let mut rl = Ranklist::round_robin(RANKS, RANKS);

@@ -29,6 +29,7 @@ use self_checkpoint::core::{
     Checkpointer, CkptConfig, Method, Phase, RecoverError, Recovery, RestoreSource,
     RECOVER_PHASE_LABEL,
 };
+use self_checkpoint::encoding::CodecSpec;
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
 use std::sync::Arc;
 
@@ -42,9 +43,17 @@ fn pattern(rank: usize, epoch: u64) -> Vec<f64> {
         .collect()
 }
 
+fn sweep_cfg(method: Method, codec: CodecSpec) -> CkptConfig {
+    CkptConfig::new("sweep", method, A1, 16).with_codec(codec)
+}
+
 fn writer(ctx: &Ctx, method: Method) -> Result<(), Fault> {
+    writer_with(ctx, sweep_cfg(method, CodecSpec::default()))
+}
+
+fn writer_with(ctx: &Ctx, cfg: CkptConfig) -> Result<(), Fault> {
     let world = ctx.world();
-    let (mut ck, _) = Checkpointer::init(world, CkptConfig::new("sweep", method, A1, 16));
+    let (mut ck, _) = Checkpointer::init(world, cfg);
     for e in 1..=TOTAL_EPOCHS {
         {
             let ws = ck.workspace();
@@ -121,6 +130,73 @@ fn sweep(method: Method, phase: Phase, nth: u64, victim: usize, seed: Option<u64
     let outs = run_on_cluster(cluster, &rl, |ctx| {
         let world = ctx.world();
         let (mut ck, _) = Checkpointer::init(world, CkptConfig::new("sweep", method, A1, 16));
+        match ck.recover() {
+            Ok(rec) => {
+                let ok = ck.verify_integrity()?;
+                let data = {
+                    let ws = ck.workspace();
+                    let g = ws.read();
+                    g.as_f64()[..A1].to_vec()
+                };
+                Ok(Some((rec, data, ok)))
+            }
+            Err(RecoverError::Unrecoverable(msg)) => {
+                *unrec.lock().unwrap() = Some(msg);
+                Ok(None)
+            }
+            Err(RecoverError::Fault(f)) => Err(f),
+            Err(other) => panic!("unexpected recovery error: {other}"),
+        }
+    })
+    .unwrap();
+    if let Some(msg) = unrec.into_inner().unwrap() {
+        return Outcome::Unrecoverable(msg);
+    }
+    Outcome::Recovered(
+        outs.into_iter()
+            .map(|o| o.expect("all ranks must agree"))
+            .collect(),
+    )
+}
+
+/// The double-kill dimension: arm `phase`/`nth` on the first victim,
+/// and once the job aborts power off a *second* node of the same group
+/// — before any recovery step runs, so the relaunch faces two erasures
+/// against the survivor state frozen at that window. The codec decides
+/// the verdict: dual parity must restore exactly where single parity
+/// restores one loss; the `m = 1` codes must refuse with the typed
+/// multi-loss message instead of rebuilding wrong data.
+fn sweep_double(
+    method: Method,
+    phase: Phase,
+    nth: u64,
+    codec: CodecSpec,
+    seed: Option<u64>,
+) -> Outcome {
+    const V1: usize = 1;
+    const V2: usize = 2;
+    let config = ClusterConfig::new(N, 2);
+    let cluster = Arc::new(match seed {
+        Some(s) => Cluster::new_with_runtime(config, SimRuntime::new(s)),
+        None => Cluster::new(config),
+    });
+    let mut rl = Ranklist::round_robin(N, N);
+    cluster.arm_failure(FailurePlan::new(phase, nth, V1));
+    let first = run_on_cluster(Arc::clone(&cluster), &rl, |ctx| {
+        writer_with(ctx, sweep_cfg(method, codec))
+    });
+    if first.is_ok() {
+        return Outcome::NeverFired;
+    }
+    assert_eq!(cluster.dead_nodes(), vec![V1], "only the armed victim dies");
+    cluster.kill_node(V2);
+    cluster.reset_abort();
+    rl.repair(&cluster).unwrap();
+
+    let unrec = std::sync::Mutex::new(None);
+    let outs = run_on_cluster(cluster, &rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, sweep_cfg(method, codec));
         match ck.recover() {
             Ok(rec) => {
                 let ok = ck.verify_integrity()?;
@@ -343,6 +419,104 @@ fn self_checkpoint_matrix_is_victim_independent() {
             check(Method::SelfCkpt, phase, victim);
         }
     }
+}
+
+/// One cell of the single-parity double-kill matrix: wherever the armed
+/// plan fires, losing two group members must end in the typed refusal —
+/// the multi-loss verdict, or the torn-update/consistency verdict on the
+/// windows where even one loss is already fatal.
+fn assert_single_parity_refusal(method: Method, phase: Phase, out: Outcome, tag: &str) {
+    match (expectation(method, phase), out) {
+        (Expect::NeverFires, Outcome::NeverFired) => {}
+        (_, Outcome::Unrecoverable(msg)) => {
+            assert!(
+                msg.contains("more than one member") || msg.contains("inconsistent"),
+                "{tag}: wrong refusal: {msg}"
+            );
+        }
+        (want, got) => panic!(
+            "{tag}: two losses under m=1 must refuse (case {want:?}), got {}",
+            got.describe()
+        ),
+    }
+}
+
+#[test]
+fn dual_codec_double_kill_matrix_matches_the_single_loss_case_analysis() {
+    // With m = 2 the two-loss matrix must reproduce the paper's one-loss
+    // case analysis cell for cell: same restore epochs, same sources,
+    // same torn-update refusals — the codec only widens the erasure
+    // budget, never the protocol's commit discipline.
+    for method in [Method::SelfCkpt, Method::Single, Method::Double] {
+        for phase in Phase::ALL {
+            let out = sweep_double(method, phase, nth_for(phase), CodecSpec::Dual, None);
+            let tag = format!("dual/{method:?}/{phase}");
+            assert_expected(method, phase, out, &tag);
+        }
+    }
+}
+
+#[test]
+fn single_parity_double_kill_matrix_refuses_with_the_typed_verdict() {
+    for method in [Method::SelfCkpt, Method::Single, Method::Double] {
+        for phase in Phase::ALL {
+            let out = sweep_double(method, phase, nth_for(phase), CodecSpec::default(), None);
+            let tag = format!("m1/{method:?}/{phase}");
+            assert_single_parity_refusal(method, phase, out, &tag);
+        }
+    }
+}
+
+/// Seeds per cell of the double-kill sim sweep: enough interleavings to
+/// catch a schedule-dependent verdict without dominating the suite.
+const DOUBLE_SEEDS: u64 = 8;
+
+/// Both double-kill verdicts must be seed-invariant under [`SimRuntime`]:
+/// dual parity restores the expected cell (same fingerprint off the
+/// commit edges), single parity refuses, at every scheduler seed.
+fn check_double_kill_seed_invariant(method: Method) {
+    for phase in Phase::ALL {
+        let mut first: Option<(u64, String)> = None;
+        for seed in 0..DOUBLE_SEEDS {
+            let out = sweep_double(method, phase, nth_for(phase), CodecSpec::Dual, Some(seed));
+            let tag = format!("dual/{method:?}/{phase}/seed{seed}");
+            let fp = out.fingerprint();
+            assert_expected(method, phase, out, &tag);
+            if !matches!(expectation(method, phase), Expect::Edge { .. }) {
+                match &first {
+                    None => first = Some((seed, fp)),
+                    Some((s0, fp0)) => assert_eq!(
+                        &fp, fp0,
+                        "{tag}: outcome differs from seed {s0} — not seed-invariant"
+                    ),
+                }
+            }
+            let out = sweep_double(
+                method,
+                phase,
+                nth_for(phase),
+                CodecSpec::default(),
+                Some(seed),
+            );
+            let tag = format!("m1/{method:?}/{phase}/seed{seed}");
+            assert_single_parity_refusal(method, phase, out, &tag);
+        }
+    }
+}
+
+#[test]
+fn self_double_kill_verdicts_are_seed_invariant_under_sim() {
+    check_double_kill_seed_invariant(Method::SelfCkpt);
+}
+
+#[test]
+fn single_double_kill_verdicts_are_seed_invariant_under_sim() {
+    check_double_kill_seed_invariant(Method::Single);
+}
+
+#[test]
+fn double_double_kill_verdicts_are_seed_invariant_under_sim() {
+    check_double_kill_seed_invariant(Method::Double);
 }
 
 /// Seeds per Method×Phase×victim cell of the sim sweep below.
