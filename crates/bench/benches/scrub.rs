@@ -10,7 +10,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use skt_cluster::{Cluster, ClusterConfig, Ranklist};
 use skt_core::{Checkpointer, CkptConfig, Method};
-use skt_encoding::{crc32c, crc32c_f64, kernels, stripe_crcs, KernelConfig};
+use skt_encoding::simd::crc32c_update;
+use skt_encoding::{crc32c, crc32c_f64, kernels, stripe_crcs, CrcBackend, KernelConfig, SimdMode};
 use skt_mps::run_on_cluster;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -45,6 +46,37 @@ fn bench_crc(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("bytes", "1MiB"), &bytes, |b, d| {
         b.iter(|| black_box(crc32c(black_box(d))))
     });
+    g.finish();
+}
+
+/// Every available CRC-32C backend (byte table, slice-by-8, hardware
+/// `crc32` instruction where present) over the same byte stream, plus
+/// the `f64` kernel with `SKT_KERNEL_SIMD` forced both ways — the rows
+/// behind the runtime dispatch choice.
+fn bench_crc_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32c_backend");
+    g.sample_size(10);
+    let bytes: Vec<u8> = (0..8usize << 20).map(|i| (i * 31) as u8).collect();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    for backend in CrcBackend::available() {
+        g.bench_with_input(
+            BenchmarkId::new("bytes-8MiB", format!("{backend:?}")),
+            &bytes,
+            |b, d| b.iter(|| black_box(crc32c_update(!0, black_box(d), backend))),
+        );
+    }
+    let len = 1usize << 20; // 8 MiB of f64
+    let data: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+    g.throughput(Throughput::Bytes((len * 8) as u64));
+    for (name, mode) in [
+        ("scalar", SimdMode::ForceScalar),
+        ("simd", SimdMode::ForceSimd),
+    ] {
+        let cfg = KernelConfig::serial().with_simd(mode);
+        g.bench_with_input(BenchmarkId::new("f64-8MiB", name), &data, |b, d| {
+            b.iter(|| black_box(crc32c_f64(black_box(d), cfg)))
+        });
+    }
     g.finish();
 }
 
@@ -116,5 +148,11 @@ fn bench_scrub(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_crc, bench_stripes, bench_scrub);
+criterion_group!(
+    benches,
+    bench_crc,
+    bench_crc_backends,
+    bench_stripes,
+    bench_scrub
+);
 criterion_main!(benches);

@@ -274,6 +274,74 @@ mod tests {
     }
 
     #[test]
+    fn general_parity_fractions_match_closed_forms_for_m_1_through_4() {
+        // Table-driven closed forms: for every m, self (n-m)/(2n),
+        // single (n-m)/(2n-m), double (n-m)/(3n-m); m = 1 is byte-exact
+        // against Table 1's equations (checked exhaustively above).
+        for parity in 1..=4usize {
+            for n in [parity + 1, 8, 16, 32] {
+                let (nf, mf) = (n as f64, parity as f64);
+                let cases = [
+                    (Method::SelfCkpt, (nf - mf) / (2.0 * nf)),
+                    (Method::Single, (nf - mf) / (2.0 * nf - mf)),
+                    (Method::Double, (nf - mf) / (3.0 * nf - mf)),
+                ];
+                for (method, want) in cases {
+                    let got = available_fraction_with_parity(method, n, parity);
+                    assert!(
+                        (got - want).abs() < 1e-12,
+                        "{} n={n} m={parity}: {got} vs {want}",
+                        method.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_parity_breakdowns_match_their_fractions_for_m_1_through_4() {
+        for parity in 1..=4usize {
+            // workspace divisible by (n - m) so ceil() is exact and the
+            // breakdown lands on the closed form to full precision
+            let n = 16;
+            let m = 27720 / (n - parity) * (n - parity);
+            for method in [Method::Single, Method::Double, Method::SelfCkpt] {
+                let b = MemoryBreakdown::with_parity(method, m, n, parity);
+                let expect = available_fraction_with_parity(method, n, parity);
+                assert!(
+                    (b.available() - expect).abs() < 1e-12,
+                    "{} m={parity}: {} vs {expect}",
+                    method.name(),
+                    b.available()
+                );
+            }
+            // each checksum copy holds `parity` stripes of m/(n-parity)
+            let b = MemoryBreakdown::with_parity(Method::SelfCkpt, m, n, parity);
+            assert_eq!(b.checksums, 2 * parity * (m / (n - parity)));
+            assert_eq!(b.checkpoints, m);
+        }
+    }
+
+    #[test]
+    fn more_parity_always_costs_memory_but_stays_bounded() {
+        // Within one group size the available fraction is strictly
+        // decreasing in m — each extra tolerated failure costs stripes —
+        // and self-checkpoint keeps (n-m)/(2n) ≥ (n-m)/(2n) exactly.
+        let n = 16;
+        for method in [Method::Single, Method::Double, Method::SelfCkpt] {
+            let mut prev = f64::INFINITY;
+            for parity in 1..=4 {
+                let f = available_fraction_with_parity(method, n, parity);
+                assert!(f < prev, "{} m={parity} not decreasing", method.name());
+                assert!(f > 0.0);
+                prev = f;
+            }
+        }
+        // m = 3 at n = 16 still leaves the self method > 40% available
+        assert!(available_fraction_with_parity(Method::SelfCkpt, 16, 3) > 0.40);
+    }
+
+    #[test]
     fn fault_tolerance_flags() {
         assert!(!Method::Single.fully_fault_tolerant());
         assert!(Method::Double.fully_fault_tolerant());

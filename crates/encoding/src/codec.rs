@@ -102,6 +102,13 @@ pub enum CodecSpec {
     /// RAID-6-style P+Q over GF(2^8) (`m = 2`). Tolerates any two
     /// losses per group; requires groups of at least 3.
     Dual,
+    /// Generalized Reed–Solomon over GF(2^8) with `m` parity roles
+    /// (Cauchy construction, see [`crate::rs`]). Tolerates any `m`
+    /// losses per group; requires groups of at least `m + 1`.
+    Rs {
+        /// Parity stripes per slot — the erasures tolerated per group.
+        m: usize,
+    },
 }
 
 impl Default for CodecSpec {
@@ -122,13 +129,19 @@ impl CodecSpec {
         CodecSpec::Dual
     }
 
+    /// Generalized Reed–Solomon spec with `m` parity roles.
+    pub fn rs(m: usize) -> Self {
+        CodecSpec::Rs { m }
+    }
+
     /// Parity stripes per slot, `m`.
     #[must_use]
     pub fn parity_count(self) -> usize {
         self.resolve().parity_count()
     }
 
-    /// The codec instance. Codecs are stateless, so one static each.
+    /// The codec instance. Codecs are stateless, so one static each;
+    /// the RS family is leak-allocated once per distinct `m` and cached.
     #[must_use]
     pub fn resolve(self) -> &'static dyn ErasureCodec {
         static XOR: SingleCodec = SingleCodec(Code::Xor);
@@ -138,6 +151,7 @@ impl CodecSpec {
             CodecSpec::Single(Code::Xor) => &XOR,
             CodecSpec::Single(Code::Sum) => &SUM,
             CodecSpec::Dual => &DUAL,
+            CodecSpec::Rs { m } => resolve_rs(m),
         }
     }
 
@@ -146,6 +160,23 @@ impl CodecSpec {
     pub fn name(self) -> &'static str {
         self.resolve().name()
     }
+}
+
+/// One leaked [`RsCodec`](crate::rs::RsCodec) per distinct `m`, cached
+/// so repeated resolves hand back the same `&'static` instance (specs
+/// are resolved once per checkpoint init, so the lock is cold).
+fn resolve_rs(m: usize) -> &'static dyn ErasureCodec {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static REGISTRY: OnceLock<Mutex<HashMap<usize, &'static crate::rs::RsCodec>>> = OnceLock::new();
+    let mut map = REGISTRY
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("RS codec registry poisoned");
+    let codec: &'static crate::rs::RsCodec = map
+        .entry(m)
+        .or_insert_with(|| Box::leak(Box::new(crate::rs::RsCodec::new(m))));
+    codec
 }
 
 /// `m = 1`: the paper's single-parity code over one reduce operator.

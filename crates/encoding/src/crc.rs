@@ -13,45 +13,22 @@
 //! The Castagnoli polynomial (`0x1EDC6F41`, reflected `0x82F63B78`) is
 //! the iSCSI / SCTP / SSE4.2 `crc32` polynomial — the conventional choice
 //! for storage integrity because of its better Hamming distance at these
-//! block sizes than CRC-32/ISO.
+//! block sizes than CRC-32/ISO. The byte walk itself dispatches through
+//! [`crate::simd::CrcBackend`] (table / slice-by-8 / hardware `crc32`),
+//! every variant of which computes the identical function.
 
 use crate::kernels::KernelConfig;
+use crate::simd::{self, CrcBackend};
 
 /// Reflected CRC32C (Castagnoli) polynomial.
-const POLY: u32 = 0x82F6_3B78;
+pub(crate) const POLY: u32 = 0x82F6_3B78;
 
-/// Byte-indexed lookup table for the reflected polynomial.
-const TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ POLY
-            } else {
-                crc >> 1
-            };
-            k += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-fn update(mut crc: u32, bytes: &[u8]) -> u32 {
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
-    }
-    crc
-}
-
-/// CRC32C of a byte slice (standard init `!0`, final xor `!0`).
+/// CRC32C of a byte slice (standard init `!0`, final xor `!0`), on the
+/// backend the process-wide [`KernelConfig::global`] policy selects.
 #[must_use]
 pub fn crc32c(bytes: &[u8]) -> u32 {
-    !update(!0, bytes)
+    let backend = CrcBackend::select(KernelConfig::global().simd);
+    !simd::crc32c_update(!0, bytes, backend)
 }
 
 fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
@@ -117,10 +94,16 @@ pub fn crc32c_combine(mut crc_a: u32, crc_b: u32, mut len_b: u64) -> u32 {
 }
 
 /// Serial CRC32C over the little-endian bytes of an `f64` span,
-/// continuing from an in-flight (pre-inverted) state.
-fn update_f64(mut crc: u32, span: &[f64]) -> u32 {
+/// continuing from an in-flight (pre-inverted) state. On little-endian
+/// targets the span is walked as one contiguous byte view (so the
+/// slice-by-8 / hardware backends see long runs); elsewhere each element
+/// is serialized to little-endian explicitly.
+fn update_f64(mut crc: u32, span: &[f64], backend: CrcBackend) -> u32 {
+    if cfg!(target_endian = "little") {
+        return simd::crc32c_update(crc, simd::f64_bytes(span), backend);
+    }
     for v in span {
-        crc = update(crc, &v.to_bits().to_le_bytes());
+        crc = simd::crc32c_update(crc, &v.to_bits().to_le_bytes(), backend);
     }
     crc
 }
@@ -131,18 +114,18 @@ fn update_f64(mut crc: u32, span: &[f64]) -> u32 {
 /// [`crc32c_combine`]; the result equals the serial walk bit-for-bit.
 #[must_use]
 pub fn crc32c_f64(data: &[f64], cfg: KernelConfig) -> u32 {
+    let backend = CrcBackend::select(cfg.simd);
     if !cfg.is_parallel_for(data.len()) {
-        return !update_f64(!0, data);
+        return !update_f64(!0, data, backend);
     }
+    let sub = KernelConfig::serial().with_simd(cfg.simd);
     let n_chunks = data.len().div_ceil(cfg.chunk_len);
     let workers = cfg.threads.min(n_chunks);
     let span = n_chunks.div_ceil(workers) * cfg.chunk_len;
     let parts: Vec<(u32, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = data
             .chunks(span)
-            .map(|s| {
-                scope.spawn(move || (crc32c_f64(s, KernelConfig::serial()), s.len() as u64 * 8))
-            })
+            .map(|s| scope.spawn(move || (crc32c_f64(s, sub), s.len() as u64 * 8)))
             .collect();
         handles
             .into_iter()
@@ -225,6 +208,19 @@ mod tests {
                 KernelConfig::new(3, 1 << 20),
             ] {
                 assert_eq!(crc32c_f64(&d, cfg), reference, "len {len} cfg {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_kernel_paths_agree() {
+        use crate::simd::SimdMode;
+        for len in [0usize, 1, 7, 100, 1023, 4096] {
+            let d = data(len, 6);
+            let reference = crc32c_f64(&d, KernelConfig::serial().with_simd(SimdMode::ForceScalar));
+            for mode in [SimdMode::Auto, SimdMode::ForceSimd] {
+                let cfg = KernelConfig::new(2, 64).with_simd(mode);
+                assert_eq!(crc32c_f64(&d, cfg), reference, "len {len} mode {mode:?}");
             }
         }
     }

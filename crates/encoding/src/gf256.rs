@@ -111,6 +111,54 @@ pub fn scale_slice(data: &mut [u8], c: u8) {
     }
 }
 
+/// Invert a square matrix over GF(2^8) by Gauss–Jordan elimination with
+/// partial pivoting (any nonzero pivot works — the field is exact).
+/// Returns `None` for a singular matrix. Used by the generalized RS
+/// codec to solve for erased codeword positions; the matrices there are
+/// Cauchy submatrices, which are provably nonsingular, so `None` would
+/// indicate a construction bug.
+#[must_use]
+pub fn invert_matrix(mat: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
+    let n = mat.len();
+    // Augmented [A | I] rows, eliminated in place.
+    let mut a: Vec<Vec<u8>> = mat
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            assert_eq!(row.len(), n, "invert_matrix: matrix must be square");
+            let mut r = row.clone();
+            r.resize(2 * n, 0);
+            r[n + i] = 1;
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n).find(|&r| a[r][col] != 0)?;
+        a.swap(col, pivot);
+        let p_inv = inv(a[col][col]);
+        for v in a[col].iter_mut() {
+            *v = mul(*v, p_inv);
+        }
+        for row in 0..n {
+            if row == col || a[row][col] == 0 {
+                continue;
+            }
+            let factor = a[row][col];
+            let (src, dst) = if row < col {
+                let (lo, hi) = a.split_at_mut(col);
+                (&hi[0], &mut lo[row])
+            } else {
+                let (lo, hi) = a.split_at_mut(row);
+                (&lo[col], &mut hi[0])
+            };
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d ^= mul(factor, *s);
+            }
+        }
+    }
+    Some(a.into_iter().map(|row| row[n..].to_vec()).collect())
+}
+
 /// `acc[i] ^= mul(c, x[i])` — the fused multiply-accumulate of RS coding.
 pub fn mac_slice(acc: &mut [u8], x: &[u8], c: u8) {
     assert_eq!(acc.len(), x.len(), "mac_slice: length mismatch");
@@ -192,6 +240,34 @@ mod tests {
     #[should_panic(expected = "no inverse")]
     fn zero_inverse_panics() {
         inv(0);
+    }
+
+    #[test]
+    fn invert_matrix_round_trips_and_detects_singularity() {
+        // A known-invertible Cauchy matrix: a[i][j] = 1/(x_i ^ y_j).
+        let n = 4;
+        let m: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| inv((i as u8) ^ (n as u8 + j as u8)))
+                    .collect()
+            })
+            .collect();
+        let mi = invert_matrix(&m).expect("Cauchy matrices are invertible");
+        for i in 0..n {
+            for j in 0..n {
+                let mut cell = 0u8;
+                for (k, mik) in m[i].iter().enumerate() {
+                    cell ^= mul(*mik, mi[k][j]);
+                }
+                assert_eq!(cell, u8::from(i == j), "identity cell ({i},{j})");
+            }
+        }
+        // Duplicate rows are singular.
+        let sing = vec![vec![1u8, 2], vec![1u8, 2]];
+        assert!(invert_matrix(&sing).is_none());
+        // Empty matrix inverts to the empty matrix.
+        assert_eq!(invert_matrix(&[]), Some(vec![]));
     }
 
     #[test]

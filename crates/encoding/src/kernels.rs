@@ -19,12 +19,14 @@
 //! and rounding-identical for SUM regardless of the partitioning.
 //!
 //! The process-wide default configuration comes from the environment:
-//! `SKT_KERNEL_THREADS` (default: `available_parallelism`) and
-//! `SKT_KERNEL_CHUNK_LEN` in elements (default [`DEFAULT_CHUNK_LEN`]).
-//! With the default chunk length, buffers of ≤ 512 KiB always run
-//! serial — thread spawn costs more than it saves there.
+//! `SKT_KERNEL_THREADS` (default: `available_parallelism`),
+//! `SKT_KERNEL_CHUNK_LEN` in elements (default [`DEFAULT_CHUNK_LEN`]),
+//! and `SKT_KERNEL_SIMD` (`0` forces the scalar reference kernels, `1`
+//! forces the accelerated ones, unset probes the CPU — see
+//! [`SimdMode`]). With the default chunk length, buffers of ≤ 512 KiB
+//! always run serial — thread spawn costs more than it saves there.
 
-use crate::gf256;
+use crate::simd::{self, GfBackend, SimdMode};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default cache block, in `f64` elements: 64 Ki elements = 512 KiB,
@@ -40,6 +42,8 @@ pub struct KernelConfig {
     /// Cache-block length in elements; also the granularity of the
     /// per-thread span split.
     pub chunk_len: usize,
+    /// How the byte-level GF(2^8)/CRC kernels pick their implementation.
+    pub simd: SimdMode,
 }
 
 impl Default for KernelConfig {
@@ -51,18 +55,39 @@ impl Default for KernelConfig {
 // 0 means "not initialised yet"; both values are always >= 1 once set.
 static G_THREADS: AtomicUsize = AtomicUsize::new(0);
 static G_CHUNK: AtomicUsize = AtomicUsize::new(0);
+// 0 = uninitialised, then 1 + the SimdMode discriminant.
+static G_SIMD: AtomicUsize = AtomicUsize::new(0);
+
+fn simd_to_raw(mode: SimdMode) -> usize {
+    match mode {
+        SimdMode::Auto => 1,
+        SimdMode::ForceScalar => 2,
+        SimdMode::ForceSimd => 3,
+    }
+}
+
+fn simd_from_raw(raw: usize) -> SimdMode {
+    match raw {
+        2 => SimdMode::ForceScalar,
+        3 => SimdMode::ForceSimd,
+        _ => SimdMode::Auto,
+    }
+}
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.trim().parse().ok()
 }
 
 impl KernelConfig {
-    /// Explicit policy; both parameters are clamped to at least 1.
+    /// Explicit policy; both parameters are clamped to at least 1. The
+    /// kernel dispatch defaults to [`SimdMode::Auto`]; use
+    /// [`KernelConfig::with_simd`] to force a path.
     #[must_use]
     pub fn new(threads: usize, chunk_len: usize) -> Self {
         KernelConfig {
             threads: threads.max(1),
             chunk_len: chunk_len.max(1),
+            simd: SimdMode::Auto,
         }
     }
 
@@ -72,12 +97,20 @@ impl KernelConfig {
         KernelConfig {
             threads: 1,
             chunk_len: DEFAULT_CHUNK_LEN,
+            simd: SimdMode::Auto,
         }
     }
 
+    /// The same policy with a forced/auto kernel dispatch mode.
+    #[must_use]
+    pub fn with_simd(self, simd: SimdMode) -> Self {
+        KernelConfig { simd, ..self }
+    }
+
     /// The process-wide policy: `SKT_KERNEL_THREADS` /
-    /// `SKT_KERNEL_CHUNK_LEN` when set, otherwise
-    /// `available_parallelism` and [`DEFAULT_CHUNK_LEN`].
+    /// `SKT_KERNEL_CHUNK_LEN` / `SKT_KERNEL_SIMD` when set, otherwise
+    /// `available_parallelism`, [`DEFAULT_CHUNK_LEN`] and
+    /// [`SimdMode::Auto`].
     #[must_use]
     pub fn global() -> Self {
         let mut threads = G_THREADS.load(Ordering::Relaxed);
@@ -94,7 +127,18 @@ impl KernelConfig {
                 .max(1);
             G_CHUNK.store(chunk_len, Ordering::Relaxed);
         }
-        KernelConfig { threads, chunk_len }
+        let mut simd_raw = G_SIMD.load(Ordering::Relaxed);
+        if simd_raw == 0 {
+            let mode = std::env::var("SKT_KERNEL_SIMD")
+                .map_or(SimdMode::Auto, |v| SimdMode::from_env_str(&v));
+            simd_raw = simd_to_raw(mode);
+            G_SIMD.store(simd_raw, Ordering::Relaxed);
+        }
+        KernelConfig {
+            threads,
+            chunk_len,
+            simd: simd_from_raw(simd_raw),
+        }
     }
 
     /// Install `self` as the process-wide policy returned by
@@ -102,6 +146,7 @@ impl KernelConfig {
     pub fn set_global(self) {
         G_THREADS.store(self.threads.max(1), Ordering::Relaxed);
         G_CHUNK.store(self.chunk_len.max(1), Ordering::Relaxed);
+        G_SIMD.store(simd_to_raw(self.simd), Ordering::Relaxed);
     }
 
     /// Whether a buffer of `len` elements runs multi-threaded under this
@@ -276,10 +321,11 @@ pub fn floats_of(src: &[u64], cfg: KernelConfig) -> Vec<f64> {
     out
 }
 
-/// Byte-wise GF(256) scale of the little-endian byte view of `buf` by
-/// the scalar `c`, in place (the `D := c·D` steps of the dual-parity
-/// solve). Operates per `f64` element, so it is element-wise and
-/// bit-identical under any chunk/thread partition.
+/// Byte-wise GF(256) scale of the byte view of `buf` by the scalar `c`,
+/// in place (the `D := c·D` steps of the parity solves). GF(2^8) acts on
+/// every byte independently, so the operation is element-wise,
+/// endian-agnostic, and bit-identical under any chunk/thread partition
+/// and any [`SimdMode`] backend.
 pub fn gf_scale(buf: &mut [f64], c: u8, cfg: KernelConfig) {
     if c == 1 {
         return;
@@ -288,36 +334,22 @@ pub fn gf_scale(buf: &mut [f64], c: u8, cfg: KernelConfig) {
         buf.fill(0.0);
         return;
     }
-    let row = gf256::mul_table(c);
-    let row = &row;
+    let backend = GfBackend::select(cfg.simd);
     par_inplace(cfg, buf, move |b| {
-        for v in b.iter_mut() {
-            let mut bytes = v.to_le_bytes();
-            for x in &mut bytes {
-                *x = row[*x as usize];
-            }
-            *v = f64::from_le_bytes(bytes);
-        }
+        simd::gf_scale_bytes(simd::f64_bytes_mut(b), c, backend);
     });
 }
 
-/// Byte-wise GF(256) multiply-accumulate over little-endian byte views:
-/// `acc ^= c·x` (the Q-parity accumulate of the dual code).
+/// Byte-wise GF(256) multiply-accumulate over byte views: `acc ^= c·x`
+/// (the parity accumulates of the RS/dual codes). Element-wise per byte,
+/// so bit-identical under any partition and backend (see [`gf_scale`]).
 pub fn gf_mac(acc: &mut [f64], x: &[f64], c: u8, cfg: KernelConfig) {
     if c == 0 {
         return;
     }
-    let row = gf256::mul_table(c);
-    let row = &row;
+    let backend = GfBackend::select(cfg.simd);
     par_zip(cfg, acc, x, move |a, b| {
-        for (p, q) in a.iter_mut().zip(b) {
-            let mut pb = p.to_le_bytes();
-            let qb = q.to_le_bytes();
-            for (i, x) in pb.iter_mut().enumerate() {
-                *x ^= row[qb[i] as usize];
-            }
-            *p = f64::from_le_bytes(pb);
-        }
+        simd::gf_mac_bytes(simd::f64_bytes_mut(a), simd::f64_bytes(b), c, backend);
     });
 }
 
@@ -336,6 +368,7 @@ pub fn negated(src: &[f64], cfg: KernelConfig) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gf256;
 
     fn data(len: usize, salt: u64) -> Vec<f64> {
         // Deterministic mixed-magnitude values incl. negatives and zeros.
@@ -357,6 +390,9 @@ mod tests {
             KernelConfig::new(4, 64),
             KernelConfig::new(8, 1),
             KernelConfig::new(3, 1 << 20), // chunk larger than any test buffer
+            KernelConfig::serial().with_simd(SimdMode::ForceScalar),
+            KernelConfig::serial().with_simd(SimdMode::ForceSimd),
+            KernelConfig::new(2, 13).with_simd(SimdMode::ForceSimd),
         ]
     }
 
@@ -484,9 +520,14 @@ mod tests {
         KernelConfig {
             threads: 0,
             chunk_len: 0,
+            simd: SimdMode::Auto,
         }
         .set_global();
         assert_eq!(KernelConfig::global(), KernelConfig::new(1, 1));
+        KernelConfig::serial()
+            .with_simd(SimdMode::ForceScalar)
+            .set_global();
+        assert_eq!(KernelConfig::global().simd, SimdMode::ForceScalar);
         prev.set_global();
     }
 

@@ -21,12 +21,21 @@
 //! * [`gf256`] + [`dualparity`] — a RAID-6-style P+Q code over GF(2^8)
 //!   tolerating **two** failures per group; the paper names RAID-6 /
 //!   Reed-Solomon as the extension path (§2.1), implemented here.
+//! * [`rs`] — the generalized Reed–Solomon codec (Cauchy construction)
+//!   with `m` parity roles per slot for arbitrary `m ≥ 1`, decoding by
+//!   Gauss–Jordan elimination over GF(2^8).
 //! * [`codec`] — the pluggable [`ErasureCodec`] abstraction the protocol
-//!   stack programs against, with the single-parity codes (`m = 1`) and
-//!   dual parity (`m = 2`) behind one [`CodecSpec`] selector.
+//!   stack programs against, with the single-parity codes (`m = 1`),
+//!   dual parity (`m = 2`) and the RS family (`Rs { m }`) behind one
+//!   [`CodecSpec`] selector.
 //! * [`kernels`] — the cache-blocked, multi-threaded accumulate / copy
 //!   engine under the codecs, the reduce operators, and the protocol's
 //!   flush copies, selected through [`kernels::KernelConfig`].
+//! * [`simd`] — the runtime-dispatched byte-level backends under the
+//!   GF(2^8)/CRC hot loops: portable split-table kernels plus
+//!   SSSE3/AVX2 `pshufb` and slice-by-8 / hardware CRC-32C variants,
+//!   forceable via [`simd::SimdMode`] / `SKT_KERNEL_SIMD` and
+//!   bit-for-bit equivalent to the scalar reference.
 //! * [`crc`] — CRC32C integrity checksums over checkpoint regions,
 //!   chunk-walked through the same kernel policy and reassembled with an
 //!   exact GF(2) combine, so detection of silent in-memory corruption is
@@ -39,6 +48,8 @@ pub mod dualparity;
 pub mod gf256;
 pub mod kernels;
 pub mod layout;
+pub mod rs;
+pub mod simd;
 
 pub use code::Code;
 pub use codec::{CodecSpec, ErasureCodec, Wire};
@@ -46,3 +57,5 @@ pub use crc::{crc32c, crc32c_combine, crc32c_f64, stripe_crcs};
 pub use dualparity::DualParity;
 pub use kernels::KernelConfig;
 pub use layout::GroupLayout;
+pub use rs::RsCodec;
+pub use simd::{CrcBackend, GfBackend, SimdMode};

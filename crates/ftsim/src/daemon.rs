@@ -480,6 +480,44 @@ mod tests {
     }
 
     #[test]
+    fn daemon_heals_three_simultaneous_losses_in_one_cycle() {
+        // The m = 3 acceptance case: the armed plan kills node 1 at the
+        // 5th panel probe, and nodes 2 and 3 are powered off while the
+        // job is still aborting — three of the group's four members are
+        // gone, leaving a single survivor. The daemon replaces all three
+        // in one health-check pass, and the single relaunch's RS(m=3)
+        // recovery rebuilds all three shards from the one survivor and
+        // the parity: one cycle, not three, with the HPL residual
+        // passing end-to-end.
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 3)));
+        let rl = Ranklist::round_robin(4, 4);
+        cluster.arm_failure(FailurePlan::new(ITER_PROBE, 5, 1));
+        let mut c = SktConfig::new(HplConfig::new(48, 4, 11), 4, 2);
+        c.codec = CodecSpec::rs(3);
+        assert!(
+            run_on_cluster(Arc::clone(&cluster), &rl, |ctx| run_skt(ctx, &c)).is_err(),
+            "first run must abort on the node loss"
+        );
+        cluster.kill_node(2);
+        cluster.kill_node(3);
+        let rep = run_with_daemon(cluster.clone(), &rl, &c, 3, Duration::from_secs(30)).unwrap();
+        assert_eq!(rep.launches, 1, "one relaunch heals all three losses");
+        assert!(
+            rep.output.hpl.passed,
+            "residual {}",
+            rep.output.hpl.residual
+        );
+        assert_eq!(rep.output.resumed_from_panel, 4);
+        assert_eq!(
+            cluster.spares_left(),
+            0,
+            "all three spares spent in one repair"
+        );
+        let rec = rep.history.recoveries.last().expect("recovery ran");
+        assert_eq!(rec.lost, vec![1, 2, 3], "all replaced ranks rebuilt");
+    }
+
+    #[test]
     fn daemon_gives_up_without_spares() {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(4, 0)));
         let rl = Ranklist::round_robin(4, 4);

@@ -159,23 +159,23 @@ fn sweep(method: Method, phase: Phase, nth: u64, victim: usize, seed: Option<u64
     )
 }
 
-/// The double-kill dimension: arm `phase`/`nth` on the first victim,
-/// and once the job aborts power off a *second* node of the same group
-/// — before any recovery step runs, so the relaunch faces two erasures
-/// against the survivor state frozen at that window. The codec decides
-/// the verdict: dual parity must restore exactly where single parity
-/// restores one loss; the `m = 1` codes must refuse with the typed
-/// multi-loss message instead of rebuilding wrong data.
-fn sweep_double(
+/// The multi-kill dimension: arm `phase`/`nth` on the first victim, and
+/// once the job aborts power off every node in `extra_victims` — before
+/// any recovery step runs, so the relaunch faces `1 + extra_victims`
+/// erasures against the survivor state frozen at that window. The codec
+/// decides the verdict: a codec with `m ≥` losses must restore exactly
+/// where single parity restores one loss; a smaller `m` must refuse with
+/// the typed multi-loss message instead of rebuilding wrong data.
+fn sweep_multi(
     method: Method,
     phase: Phase,
     nth: u64,
     codec: CodecSpec,
+    extra_victims: &[usize],
     seed: Option<u64>,
 ) -> Outcome {
     const V1: usize = 1;
-    const V2: usize = 2;
-    let config = ClusterConfig::new(N, 2);
+    let config = ClusterConfig::new(N, 1 + extra_victims.len());
     let cluster = Arc::new(match seed {
         Some(s) => Cluster::new_with_runtime(config, SimRuntime::new(s)),
         None => Cluster::new(config),
@@ -189,7 +189,9 @@ fn sweep_double(
         return Outcome::NeverFired;
     }
     assert_eq!(cluster.dead_nodes(), vec![V1], "only the armed victim dies");
-    cluster.kill_node(V2);
+    for &v in extra_victims {
+        cluster.kill_node(v);
+    }
     cluster.reset_abort();
     rl.repair(&cluster).unwrap();
 
@@ -224,6 +226,29 @@ fn sweep_double(
             .map(|o| o.expect("all ranks must agree"))
             .collect(),
     )
+}
+
+/// Two losses per group: the armed victim plus node 2.
+fn sweep_double(
+    method: Method,
+    phase: Phase,
+    nth: u64,
+    codec: CodecSpec,
+    seed: Option<u64>,
+) -> Outcome {
+    sweep_multi(method, phase, nth, codec, &[2], seed)
+}
+
+/// Three losses per group: the armed victim plus nodes 2 and 3 — only
+/// rank 0 of the group survives.
+fn sweep_triple(
+    method: Method,
+    phase: Phase,
+    nth: u64,
+    codec: CodecSpec,
+    seed: Option<u64>,
+) -> Outcome {
+    sweep_multi(method, phase, nth, codec, &[2, 3], seed)
 }
 
 #[derive(Debug)]
@@ -463,6 +488,94 @@ fn single_parity_double_kill_matrix_refuses_with_the_typed_verdict() {
             let out = sweep_double(method, phase, nth_for(phase), CodecSpec::default(), None);
             let tag = format!("m1/{method:?}/{phase}");
             assert_single_parity_refusal(method, phase, out, &tag);
+        }
+    }
+}
+
+/// One cell of the `m = 2` triple-kill matrix: wherever the armed plan
+/// fires, losing three group members must end in the typed refusal —
+/// the `m`-aware multi-loss verdict, or the torn-update/consistency
+/// verdict on the windows where even one loss is already fatal.
+fn assert_dual_parity_refusal(method: Method, phase: Phase, out: Outcome, tag: &str) {
+    match (expectation(method, phase), out) {
+        (Expect::NeverFires, Outcome::NeverFired) => {}
+        (_, Outcome::Unrecoverable(msg)) => {
+            assert!(
+                msg.contains("more than 2 members") || msg.contains("inconsistent"),
+                "{tag}: wrong refusal: {msg}"
+            );
+        }
+        (want, got) => panic!(
+            "{tag}: three losses under m=2 must refuse (case {want:?}), got {}",
+            got.describe()
+        ),
+    }
+}
+
+#[test]
+fn rs3_codec_triple_kill_matrix_matches_the_single_loss_case_analysis() {
+    // With m = 3, losing three of the four group members (only rank 0
+    // survives) must still reproduce the paper's one-loss case analysis
+    // cell for cell — the RS codec widens the erasure budget to the
+    // group's maximum while the protocol's commit discipline is
+    // untouched.
+    for method in [Method::SelfCkpt, Method::Single, Method::Double] {
+        for phase in Phase::ALL {
+            let out = sweep_triple(method, phase, nth_for(phase), CodecSpec::rs(3), None);
+            let tag = format!("rs3/{method:?}/{phase}");
+            assert_expected(method, phase, out, &tag);
+        }
+    }
+}
+
+#[test]
+fn dual_codec_triple_kill_matrix_refuses_with_the_typed_verdict() {
+    for method in [Method::SelfCkpt, Method::Single, Method::Double] {
+        for phase in Phase::ALL {
+            let out = sweep_triple(method, phase, nth_for(phase), CodecSpec::Dual, None);
+            let tag = format!("m2-triple/{method:?}/{phase}");
+            assert_dual_parity_refusal(method, phase, out, &tag);
+        }
+    }
+}
+
+/// Seeds per cell of the triple-kill sim sweep (kept small: the cells
+/// already run once without a seed in the matrix tests above).
+const TRIPLE_SEEDS: u64 = 4;
+
+#[test]
+fn rs3_triple_kill_verdicts_are_seed_invariant_under_sim() {
+    for phase in Phase::ALL {
+        let mut first: Option<(u64, String)> = None;
+        for seed in 0..TRIPLE_SEEDS {
+            let out = sweep_triple(
+                Method::SelfCkpt,
+                phase,
+                nth_for(phase),
+                CodecSpec::rs(3),
+                Some(seed),
+            );
+            let tag = format!("rs3/SelfCkpt/{phase}/seed{seed}");
+            let fp = out.fingerprint();
+            assert_expected(Method::SelfCkpt, phase, out, &tag);
+            if !matches!(expectation(Method::SelfCkpt, phase), Expect::Edge { .. }) {
+                match &first {
+                    None => first = Some((seed, fp)),
+                    Some((s0, fp0)) => assert_eq!(
+                        &fp, fp0,
+                        "{tag}: outcome differs from seed {s0} — not seed-invariant"
+                    ),
+                }
+            }
+            let out = sweep_triple(
+                Method::SelfCkpt,
+                phase,
+                nth_for(phase),
+                CodecSpec::Dual,
+                Some(seed),
+            );
+            let tag = format!("m2-triple/SelfCkpt/{phase}/seed{seed}");
+            assert_dual_parity_refusal(Method::SelfCkpt, phase, out, &tag);
         }
     }
 }
