@@ -54,7 +54,8 @@ pub use memory::{
 };
 pub use multilevel::{MlStats, MultiLevel};
 pub use protocol::{
-    Checkpointer, CkptConfig, CkptStats, HeaderState, Phase, RecoverError, Recovery,
-    RecoveryReport, RestoreSource, ScrubReport, COPY_PROBE, RECOVER_COMMIT_PROBE,
-    RECOVER_PHASE_LABEL, RECOVER_PLAN_PROBE, RECOVER_REBUILD_PROBE, SCRUB_PROBE,
+    Checkpointer, CkptConfig, CkptStats, HeaderState, OpAction, OpRecord, OpState, Phase,
+    RecoverError, Recovery, RecoveryReport, RestoreSource, ScrubReport, COPY_PROBE,
+    RECOVER_COMMIT_PROBE, RECOVER_PHASE_LABEL, RECOVER_PLAN_PROBE, RECOVER_REBUILD_PROBE,
+    SCRUB_PROBE,
 };

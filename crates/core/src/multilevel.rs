@@ -67,10 +67,10 @@ impl<'c> MultiLevel<'c> {
         )
     }
 
-    fn serialize(&self, a2: &[u8]) -> Vec<u8> {
+    fn serialize(&self, a2: &[u8]) -> Result<Vec<u8>, Fault> {
         let ws = self.ck.workspace();
         let g = ws.read();
-        let data = g.as_f64();
+        let data = g.try_as_f64()?;
         let mut out = Vec::with_capacity(16 + a2.len() + data.len() * 8);
         out.extend_from_slice(&self.ck.epoch().to_le_bytes());
         out.extend_from_slice(&(a2.len() as u64).to_le_bytes());
@@ -78,7 +78,7 @@ impl<'c> MultiLevel<'c> {
         for v in data {
             out.extend_from_slice(&v.to_le_bytes());
         }
-        out
+        Ok(out)
     }
 
     /// In-memory checkpoint, plus a PFS flush on schedule.
@@ -90,7 +90,7 @@ impl<'c> MultiLevel<'c> {
         if self.flush_every > 0 && self.mem_ckpts.is_multiple_of(self.flush_every) {
             let ctx = self.ck.comm().ctx();
             let t = ctx.stopwatch();
-            let blob = self.serialize(a2);
+            let blob = self.serialize(a2)?;
             let sharers = ctx.node_sharers();
             let slot = (self.mem_ckpts / self.flush_every) % 2;
             let t_io = ctx
@@ -144,7 +144,7 @@ impl<'c> MultiLevel<'c> {
         // the group comm; with init_synced the sync comm is authoritative)
         let common = self.ck.agree_min(my_best).map_err(RecoverError::Fault)?;
         if common == 0 {
-            self.ck.reset();
+            self.ck.reset()?;
             self.ck.comm().barrier().map_err(RecoverError::Fault)?;
             return Ok(Recovery::NoCheckpoint);
         }
@@ -164,10 +164,14 @@ impl<'c> MultiLevel<'c> {
                  (damaged blob inventory)"
             )));
         }
-        let PfsBlob { a2, data, .. } = local
-            .into_iter()
-            .find(|p| p.epoch == common as u64)
-            .expect("agreed held job-wide just above");
+        // `all_hold` certified this above, but the inventory is re-walked
+        // here: a typed verdict beats a panic if they ever disagree.
+        let Some(PfsBlob { a2, data, .. }) = local.into_iter().find(|p| p.epoch == common as u64)
+        else {
+            return Err(RecoverError::Unrecoverable(format!(
+                "multi-level: PFS blob inventory changed under recovery (epoch {common} vanished)"
+            )));
+        };
         let rebuilt_bytes = (16 + a2.len() + ws_len * 8) as u64;
         {
             let ws = self.ck.workspace();
@@ -177,7 +181,7 @@ impl<'c> MultiLevel<'c> {
         }
         // the in-memory level restarts from this state; keep the epoch
         // counter monotonic so later PFS blobs never regress in freshness
-        self.ck.reset();
+        self.ck.reset()?;
         self.ck.set_epoch(common as u64);
         self.ck.comm().barrier().map_err(RecoverError::Fault)?;
         self.ck.record_report(RecoveryReport {
@@ -188,6 +192,7 @@ impl<'c> MultiLevel<'c> {
             epochs_seen: HeaderMaxima::default(),
             rebuilt_bytes,
             elapsed: t0.elapsed(),
+            ops: Vec::new(),
         });
         Ok(Recovery::Restored {
             epoch: common as u64,

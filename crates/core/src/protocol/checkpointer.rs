@@ -1,0 +1,560 @@
+//! The [`Checkpointer`] front end: segment lifecycle, the collective
+//! `make`/`recover` entry points, and the shared mechanics the
+//! `Protocol` implementations build on. Durable state moves only
+//! through the sequenced-op tokens of [`super::ops`], sealed via
+//! [`Checkpointer::seal`] so every commit lands in the audit trail.
+
+use super::header::{self, Header, HeaderState};
+use super::ops::{self, OpRecord};
+use super::planner::SurvivorView;
+use super::proto::{protocol_impl, PhaseSpan, Protocol};
+use super::report::RecoveryReport;
+use super::{
+    crc_table_bytes, CkptConfig, CkptStats, Phase, RecoverError, Recovery, RestoreSource,
+    RECOVER_PHASE_LABEL, RECOVER_PLAN_PROBE,
+};
+use crate::memory::Method;
+use skt_cluster::{Event, EventBus, SegmentData, ShmSegment, Stopwatch};
+use skt_encoding::{ErasureCodec, GroupLayout};
+use skt_mps::{Comm, Fault, Payload, ReduceOp};
+use std::time::Duration;
+
+use crate::engine::encode_parity;
+
+/// One rank's checkpointer, bound to its group communicator.
+///
+/// When the application runs **multiple groups**, commits must be
+/// *globally* consistent: all groups checkpoint the same epoch, and after
+/// a failure every group must restore the *same* epoch. Pass the job-wide
+/// communicator via [`Checkpointer::init_synced`]; it adds a cross-group
+/// barrier between the checksum commit and the flush (so no group starts
+/// overwriting its old checkpoint while another could still force a
+/// rollback past it), and recovery agrees on the global minimum of the
+/// groups' restorable epochs.
+pub struct Checkpointer<'c> {
+    pub(super) comm: Comm<'c>,
+    pub(super) sync: Option<Comm<'c>>,
+    pub(super) cfg: CkptConfig,
+    pub(super) proto: &'static dyn Protocol,
+    pub(super) codec: &'static dyn ErasureCodec,
+    pub(super) bus: EventBus,
+    pub(super) layout: GroupLayout,
+    pub(super) b2_words: usize,
+    pub(super) work: ShmSegment,
+    pub(super) b: ShmSegment,
+    pub(super) c: ShmSegment,
+    pub(super) d: Option<ShmSegment>,
+    pub(super) b1: Option<ShmSegment>,
+    pub(super) c1: Option<ShmSegment>,
+    pub(super) header: ShmSegment,
+    pub(super) crc: ShmSegment,
+    pub(super) attached: bool,
+    pub(super) epoch: u64,
+    pub(super) last_report: Option<RecoveryReport>,
+    pub(super) op_trail: Vec<OpRecord>,
+}
+
+impl<'c> Checkpointer<'c> {
+    /// Create or re-attach this rank's segments. Returns the checkpointer
+    /// and whether existing segments were found (i.e. this is a restart
+    /// of a surviving rank). Single-group form; for multi-group jobs use
+    /// [`Self::init_synced`].
+    pub fn init(comm: Comm<'c>, cfg: CkptConfig) -> (Self, bool) {
+        Self::init_inner(comm, None, cfg)
+    }
+
+    /// Like [`Self::init`], with a job-wide communicator for cross-group
+    /// commit synchronization and recovery agreement. Every rank of the
+    /// job must use the same `sync` communicator and issue `make`/
+    /// `recover` collectively across the whole job.
+    pub fn init_synced(comm: Comm<'c>, sync: Comm<'c>, cfg: CkptConfig) -> (Self, bool) {
+        Self::init_inner(comm, Some(sync), cfg)
+    }
+
+    fn init_inner(comm: Comm<'c>, sync: Option<Comm<'c>>, cfg: CkptConfig) -> (Self, bool) {
+        assert!(cfg.a1_len > 0, "workspace must be non-empty");
+        let proto = protocol_impl(cfg.method);
+        let codec = cfg.codec.resolve();
+        let n = comm.size();
+        let b2_words = 1 + cfg.a2_capacity.div_ceil(8);
+        let layout = GroupLayout::new_with_parity(n, codec.parity_count(), cfg.a1_len + b2_words);
+        let padded = layout.padded_len();
+        let parity = layout.parity_len();
+        let ctx = comm.ctx();
+        let bus = ctx.cluster().events().clone();
+        let me = ctx.world_rank();
+        let shm = ctx.shm();
+        let seg_name = |part: &str| format!("{}/r{}/{}", cfg.name, me, part);
+        let zeros_f64 = |len: usize| move || SegmentData::F64(vec![0.0; len]);
+
+        let (work, attached) = shm.get_or_create(&seg_name("work"), zeros_f64(padded));
+        let (b, _) = shm.get_or_create(&seg_name("b"), zeros_f64(padded));
+        let (c, _) = shm.get_or_create(&seg_name("c"), zeros_f64(parity));
+        let d = matches!(cfg.method, Method::SelfCkpt)
+            .then(|| shm.get_or_create(&seg_name("d"), zeros_f64(parity)).0);
+        let b1 = matches!(cfg.method, Method::Double)
+            .then(|| shm.get_or_create(&seg_name("b1"), zeros_f64(padded)).0);
+        let c1 = matches!(cfg.method, Method::Double)
+            .then(|| shm.get_or_create(&seg_name("c1"), zeros_f64(parity)).0);
+        let (header, _) = shm.get_or_create(&seg_name("header"), || {
+            SegmentData::Bytes(header::fresh_bytes())
+        });
+        let (crc, _) = shm.get_or_create(&seg_name("crc"), || {
+            SegmentData::Bytes(vec![0u8; crc_table_bytes(n)])
+        });
+
+        // A header that fails its CRC on re-attach proves nothing; start
+        // from epoch 0 and let recovery fold this rank into the
+        // lost-member path rather than trusting forged commit words.
+        let h = match Header::classify(&header) {
+            HeaderState::Valid(h) => h,
+            HeaderState::Invalid(_) => Header::default(),
+        };
+        let epoch = proto.initial_epoch(&h);
+        (
+            Checkpointer {
+                comm,
+                sync,
+                cfg,
+                proto,
+                codec,
+                bus,
+                layout,
+                b2_words,
+                work,
+                b,
+                c,
+                d,
+                b1,
+                c1,
+                header,
+                crc,
+                attached,
+                epoch,
+                last_report: None,
+                op_trail: Vec::new(),
+            },
+            attached,
+        )
+    }
+
+    /// Handle to the workspace segment. The application reads/writes the
+    /// first [`Self::a1_len`] elements; the tail is protocol-owned (`B2`).
+    pub fn workspace(&self) -> ShmSegment {
+        ShmSegment::clone(&self.work)
+    }
+
+    /// Application-visible workspace length (elements).
+    pub fn a1_len(&self) -> usize {
+        self.cfg.a1_len
+    }
+
+    /// The stripe geometry in use.
+    pub fn layout(&self) -> &GroupLayout {
+        &self.layout
+    }
+
+    /// Group communicator.
+    pub fn comm(&self) -> &Comm<'c> {
+        &self.comm
+    }
+
+    /// Last committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// SHM namespace this checkpointer was configured with.
+    pub fn config_name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// The protocol method in use.
+    pub fn method(&self) -> Method {
+        self.cfg.method
+    }
+
+    /// Force the epoch counter (used by the multi-level layer after a
+    /// disk restore so epoch numbering stays monotonic across a reset).
+    pub fn set_epoch(&mut self, e: u64) {
+        self.epoch = e;
+    }
+
+    /// Job-wide minimum agreement (sync communicator when present,
+    /// group otherwise) — exposed for layered protocols like
+    /// [`crate::multilevel::MultiLevel`].
+    pub fn agree_min(&self, v: i64) -> Result<i64, Fault> {
+        let comm = self.sync.as_ref().unwrap_or(&self.comm);
+        Ok(comm
+            .allreduce(ReduceOp::Min, Payload::I64(vec![v]))?
+            .into_i64()[0])
+    }
+
+    /// Whether init re-attached to pre-existing segments.
+    pub fn attached(&self) -> bool {
+        self.attached
+    }
+
+    /// The report of the last successful [`Self::recover`] restore, if
+    /// any ([`Recovery::NoCheckpoint`] leaves none).
+    pub fn last_report(&self) -> Option<RecoveryReport> {
+        self.last_report.clone()
+    }
+
+    /// The sequenced-op audit trail of the last collective entry point
+    /// (`make`, `recover`, or `scrub`): which commit points were
+    /// applied, detected already-`Done` and skipped, or replayed.
+    pub fn op_trail(&self) -> &[OpRecord] {
+        &self.op_trail
+    }
+
+    /// Total SHM bytes this rank's protocol state occupies (workspace
+    /// included) — compared against Table 1 in tests.
+    pub fn shm_bytes(&self) -> usize {
+        let seg_bytes = |s: &ShmSegment| s.read().size_bytes();
+        seg_bytes(&self.work)
+            + seg_bytes(&self.b)
+            + seg_bytes(&self.c)
+            + self.d.as_ref().map_or(0, seg_bytes)
+            + self.b1.as_ref().map_or(0, seg_bytes)
+            + self.c1.as_ref().map_or(0, seg_bytes)
+            + seg_bytes(&self.header)
+            + seg_bytes(&self.crc)
+    }
+
+    // ---- shared mechanics used by the Protocol implementations ----
+
+    /// A [`Stopwatch`] on the cluster's clock — all protocol timing goes
+    /// through this so reports reproduce bit-for-bit under simulation.
+    pub(crate) fn clock(&self) -> Stopwatch {
+        self.comm.ctx().stopwatch()
+    }
+
+    /// Emit a phase-enter event and start its clock.
+    pub(super) fn span(&self, p: Phase, e: u64) -> PhaseSpan {
+        self.bus.emit(Event::PhaseEnter {
+            label: p.label(),
+            epoch: e,
+        });
+        PhaseSpan {
+            bus: self.bus.clone(),
+            label: p.label(),
+            epoch: e,
+            t0: self.clock(),
+        }
+    }
+
+    /// Fire the failure-injection probe of a phase.
+    pub(super) fn phase_point(&self, p: Phase) -> Result<(), Fault> {
+        self.comm.ctx().failpoint(p.label())
+    }
+
+    /// Commit a prepared op against this checkpointer and record it in
+    /// the audit trail. The one gate every durable protocol mutation
+    /// passes through.
+    pub(super) fn seal<Op>(&mut self, p: ops::Prepared<Op>) -> Result<ops::Committed<Op>, Fault>
+    where
+        Op: ops::SequencedOp<Self>,
+    {
+        let tok = p.commit(self)?;
+        self.op_trail.push(tok.record().clone());
+        Ok(tok)
+    }
+
+    /// Replay-path shorthand: detect, then commit-or-skip, then record.
+    pub(super) fn seal_replay<Op>(&mut self, op: Op) -> Result<ops::Committed<Op>, Fault>
+    where
+        Op: ops::SequencedOp<Self>,
+    {
+        let p = ops::prepare_replay(op, &*self)?;
+        self.seal(p)
+    }
+
+    /// This group's parity of `seg`'s contents (stripe reduces per slot
+    /// and parity role). When `probe` is set the failure probe fires
+    /// between slot reduces.
+    pub(super) fn encode_of(
+        &self,
+        seg: &ShmSegment,
+        probe: Option<&str>,
+    ) -> Result<Vec<f64>, Fault> {
+        let g = seg.read();
+        encode_parity(&self.comm, &self.layout, self.codec, g.try_as_f64()?, probe)
+    }
+
+    /// Fire a labeled failure-injection probe (recovery-path yield
+    /// point).
+    pub(crate) fn probe(&self, label: &str) -> Result<(), Fault> {
+        self.comm.ctx().failpoint(label)
+    }
+
+    pub(super) fn write_b2(&self, a2: &[u8]) -> Result<(), Fault> {
+        assert!(
+            a2.len() <= self.cfg.a2_capacity,
+            "a2 ({} bytes) exceeds capacity ({})",
+            a2.len(),
+            self.cfg.a2_capacity
+        );
+        debug_assert!(a2.len().div_ceil(8) < self.b2_words, "B2 region overflow");
+        let mut g = self.work.write();
+        let v = g.try_as_f64_mut()?;
+        if v.len() < self.cfg.a1_len + self.b2_words {
+            return Err(Fault::Protocol("workspace segment wiped or truncated"));
+        }
+        let base = self.cfg.a1_len;
+        v[base] = f64::from_bits(a2.len() as u64);
+        for (w, chunk) in a2.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            v[base + 1 + w] = f64::from_bits(u64::from_le_bytes(word));
+        }
+        Ok(())
+    }
+
+    pub(super) fn read_b2(data: &[f64], a1_len: usize, a2_capacity: usize) -> Vec<u8> {
+        let len = data[a1_len].to_bits() as usize;
+        assert!(len <= a2_capacity, "corrupt B2 length {len}");
+        let mut out = Vec::with_capacity(len);
+        let mut w = 0;
+        while out.len() < len {
+            let word = data[a1_len + 1 + w].to_bits().to_le_bytes();
+            let take = (len - out.len()).min(8);
+            out.extend_from_slice(&word[..take]);
+            w += 1;
+        }
+        out
+    }
+
+    pub(super) fn stats(&self, e: u64, encode: Duration, flush: Duration) -> CkptStats {
+        CkptStats {
+            epoch: e,
+            encode,
+            flush,
+            checkpoint_bytes: self.layout.padded_len() * 8,
+            checksum_bytes: self.layout.parity_len() * 8,
+        }
+    }
+
+    pub(super) fn sync_barrier(&self) -> Result<(), Fault> {
+        match &self.sync {
+            Some(s) => s.barrier(),
+            None => self.comm.barrier(),
+        }
+    }
+
+    /// One job-wide allreduce combining the unrecoverable flag (Min of
+    /// its negation) and the restore epoch (Min).
+    pub(super) fn global_agree(
+        &self,
+        unrec: bool,
+        proposal: u64,
+    ) -> Result<(bool, u64), RecoverError> {
+        match &self.sync {
+            None => Ok((unrec, proposal)),
+            Some(s) => {
+                let v = s
+                    .allreduce(
+                        ReduceOp::Min,
+                        Payload::I64(vec![-(unrec as i64), proposal as i64]),
+                    )?
+                    .into_i64();
+                Ok((v[0] < 0, v[1] as u64))
+            }
+        }
+    }
+
+    pub(super) fn finish_restore(
+        &mut self,
+        epoch: u64,
+        source: RestoreSource,
+    ) -> Result<Recovery, RecoverError> {
+        let a2 = {
+            let g = self.work.read();
+            Self::read_b2(g.try_as_f64()?, self.cfg.a1_len, self.cfg.a2_capacity)
+        };
+        self.epoch = epoch;
+        self.attached = true;
+        self.comm.barrier()?;
+        // keep all groups aligned before the application resumes
+        self.sync_barrier()?;
+        Ok(Recovery::Restored { epoch, a2, source })
+    }
+
+    /// Record the report of a restore performed by an outer layer (the
+    /// multi-level checkpointer's PFS fallback).
+    pub(crate) fn record_report(&mut self, report: RecoveryReport) {
+        self.bus.emit(Event::RecoveryDecision {
+            source: report.source.name(),
+            epoch: report.epoch,
+            rebuilt_bytes: report.rebuilt_bytes,
+        });
+        self.last_report = Some(report);
+    }
+
+    // ---- the collective protocol entry points ----
+
+    /// Make a checkpoint of the current workspace plus the serialized
+    /// small state `a2`. Collective over the group.
+    pub fn make(&mut self, a2: &[u8]) -> Result<CkptStats, Fault> {
+        let e = self.epoch + 1;
+        self.op_trail.clear();
+        // Entry barrier: no rank may start dirtying protocol state until
+        // the whole job reached the checkpoint. This pins the "failure
+        // during computation" case to a state where every rank's segments
+        // are quiescent, and keeps the epoch counter job-wide.
+        self.sync_barrier()?;
+        let sp = self.span(Phase::Serialize, e);
+        self.write_b2(a2)?;
+        sp.end();
+        self.phase_point(Phase::Serialize)?;
+        let proto = self.proto;
+        let stats = proto.make_phases(self, e)?;
+        self.epoch = e;
+        self.phase_point(Phase::Done)?;
+        Ok(stats)
+    }
+
+    /// Collective recovery after a restart. Up to the codec's parity
+    /// count of group members may have lost their segments (fresh nodes)
+    /// or hold silently corrupted data — the CRC verification folds
+    /// damaged survivors into the erasure set. On success the workspace
+    /// segment holds the restored data and [`Self::last_report`] the
+    /// decision trail.
+    ///
+    /// The whole call runs inside the [`RECOVER_PHASE_LABEL`] phase
+    /// window, so under the sim runtime `explore_yield_kills` can arm a
+    /// second failure at every yield point of the recovery itself. Every
+    /// durable step is a sequenced op ([`super::ops`]): a *re-entered*
+    /// recovery detects which steps already committed and skips them
+    /// instead of redoing their work, and the audit trail of that
+    /// detect/replay pass lands in [`RecoveryReport::ops`].
+    pub fn recover(&mut self) -> Result<Recovery, RecoverError> {
+        let t0 = self.clock();
+        self.bus.emit(Event::PhaseEnter {
+            label: RECOVER_PHASE_LABEL,
+            epoch: self.epoch,
+        });
+        let out = self.recover_inner(&t0);
+        self.bus.emit(Event::PhaseExit {
+            label: RECOVER_PHASE_LABEL,
+            epoch: self.epoch,
+            elapsed: t0.elapsed(),
+        });
+        out
+    }
+
+    fn recover_inner(&mut self, t0: &Stopwatch) -> Result<Recovery, RecoverError> {
+        self.last_report = None;
+        self.op_trail.clear();
+        // Exchange (fresh, header words) across the group. A header that
+        // fails its CRC proves nothing: advertise this rank as fresh so
+        // the planner rebuilds it instead of trusting forged epochs.
+        let (h, fresh) = match Header::classify(&self.header) {
+            HeaderState::Valid(h) => (h, !self.attached),
+            HeaderState::Invalid(_) => (Header::default(), true),
+        };
+        let w = h.words();
+        let mine = Payload::I64(vec![
+            fresh as i64,
+            w[0] as i64,
+            w[1] as i64,
+            w[2] as i64,
+            w[3] as i64,
+        ]);
+        let views: Vec<SurvivorView> = self
+            .comm
+            .allgather(mine)?
+            .into_iter()
+            .map(Payload::into_i64)
+            .map(|v| SurvivorView {
+                fresh: v[0] != 0,
+                header: Header {
+                    d_epoch: v[1] as u64,
+                    bc_epoch: v[2] as u64,
+                    pair1_epoch: v[3] as u64,
+                    dirty_epoch: v[4] as u64,
+                },
+            })
+            .collect();
+        let proto = self.proto;
+        let m = self.layout.parity_count();
+        let plan = proto.plan_recovery(&views, m);
+        self.probe(RECOVER_PLAN_PROBE)?;
+
+        // Job-wide agreement: any torn / over-failed group dooms the
+        // whole job; otherwise every group restores the global MINIMUM of
+        // the proposals (the cross-group gate in `make` guarantees the
+        // minimum is restorable by everyone — see init_synced docs).
+        let (unrec, target) = self.global_agree(plan.multi_loss || plan.torn, plan.proposal)?;
+        if unrec {
+            return Err(RecoverError::Unrecoverable(if plan.torn {
+                "single-checkpoint: failure during checkpoint update left (B, C) inconsistent"
+                    .into()
+            } else if m == 1 {
+                "a group lost more than one member (or a peer group is unrecoverable)".into()
+            } else {
+                format!("a group lost more than {m} members (or a peer group is unrecoverable)")
+            }));
+        }
+        if target == 0 {
+            // no epoch ever committed job-wide (or a whole group's state
+            // vanished): start over from scratch
+            self.reset()?;
+            self.sync_barrier().map_err(RecoverError::Fault)?;
+            return Ok(Recovery::NoCheckpoint);
+        }
+
+        let rec = proto.restore(self, &plan.lost, target, &plan.maxima)?;
+        if let Recovery::Restored { epoch, source, .. } = &rec {
+            let per_rank = ((self.layout.padded_len() + self.layout.parity_len()) * 8) as u64;
+            self.record_report(RecoveryReport {
+                method: self.cfg.method,
+                source: *source,
+                epoch: *epoch,
+                lost: plan.lost.clone(),
+                epochs_seen: plan.maxima,
+                rebuilt_bytes: plan.lost.len() as u64 * per_rank,
+                elapsed: t0.elapsed(),
+                ops: self.op_trail.clone(),
+            });
+        }
+        Ok(rec)
+    }
+
+    /// Abandon all checkpoint state: zero the commit markers so future
+    /// recoveries see "no checkpoint" and the application regenerates
+    /// from scratch. Used when recovery reports
+    /// [`RecoverError::Unrecoverable`] (e.g. the single-checkpoint
+    /// baseline torn mid-update) and the caller restarts the computation.
+    /// A wiped header segment is a [`Fault`], not a panic.
+    pub fn reset(&mut self) -> Result<(), Fault> {
+        let _zeroed = self.seal_replay(ops::MarkerReset)?;
+        self.epoch = 0;
+        self.attached = true;
+        Ok(())
+    }
+
+    /// Collective integrity check: recompute the parity of the committed
+    /// checkpoint copy and compare it with its checksum bit-exactly.
+    /// Returns the group-wide verdict.
+    ///
+    /// Which pair is checked is the method's call (`Protocol::verify_pair`):
+    /// for the double-checkpoint baseline the pairs alternate by epoch
+    /// parity and the *off* pair may legally hold a torn write.
+    pub fn verify_integrity(&self) -> Result<bool, Fault> {
+        let (b_t, c_t) = self.proto.verify_pair(self);
+        let parity = self.encode_of(b_t, None)?;
+        let ok = {
+            let c = c_t.read();
+            parity
+                .iter()
+                .zip(c.try_as_f64()?)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        };
+        let verdict = self
+            .comm
+            .allreduce(ReduceOp::Min, Payload::I64(vec![ok as i64]))?
+            .into_i64()[0];
+        Ok(verdict == 1)
+    }
+}

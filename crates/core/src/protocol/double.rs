@@ -3,10 +3,11 @@
 //! tolerant, at the cost of most of the node's memory.
 
 use super::header::{Header, HeaderWord};
+use super::ops::{self, FlushCommit, HeaderCommit, ParityCommit, RebuildOp};
 use super::planner::{choose_double_pair, HeaderMaxima, PairSlot};
+use super::proto::Protocol;
 use super::{
-    Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource,
-    RECOVER_COMMIT_PROBE,
+    Checkpointer, CkptStats, Phase, RecoverError, Recovery, RestoreSource, RECOVER_COMMIT_PROBE,
 };
 use crate::memory::Method;
 use skt_cluster::{Region, ShmSegment};
@@ -25,10 +26,9 @@ impl Protocol for Double {
 
     fn make_phases<'c>(&self, ck: &mut Checkpointer<'c>, e: u64) -> Result<CkptStats, Fault> {
         // overwrite the *older* pair; the newer pair stays consistent.
-        let (b_t, c_t, h_t, b_r, c_r) = if e.is_multiple_of(2) {
+        let (b_t, h_t, b_r, c_r) = if e.is_multiple_of(2) {
             (
                 ck.b1.clone().expect("double method has pair 1"),
-                ck.c1.clone().expect("double method has pair 1"),
                 HeaderWord::Pair1,
                 Region::CopyB1,
                 Region::ParityC1,
@@ -36,7 +36,6 @@ impl Protocol for Double {
         } else {
             (
                 ck.b.clone(),
-                ck.c.clone(),
                 HeaderWord::BcEpoch,
                 Region::CopyB,
                 Region::ParityC,
@@ -44,20 +43,24 @@ impl Protocol for Double {
         };
         let t1 = ck.clock();
         let sp = ck.span(Phase::CopyB, e);
-        ck.copy_seg(&b_t, &ck.work, Phase::CopyB.label())?;
-        ck.update_region_crcs(&[b_r])?;
+        let copy = ck.seal(ops::prepare(FlushCommit::new(
+            b_r,
+            Region::Work,
+            Phase::CopyB.label(),
+        )))?;
         sp.end();
         ck.phase_point(Phase::CopyB)?;
         let flush = t1.elapsed();
         let t0 = ck.clock();
         let sp = ck.span(Phase::Encode, e);
         let parity = ck.encode_of(&b_t, Some(Phase::Encode.label()))?;
-        ck.fill_seg(&c_t, &parity)?;
-        ck.update_region_crcs(&[c_r])?;
+        let encoded = ck.seal(ops::prepare(ParityCommit::new(c_r, parity, &[c_r])))?;
         ck.comm.barrier()?;
         sp.end();
         let encode = t0.elapsed();
-        ck.commit(h_t, e)?;
+        let _h = ck.seal(ops::prepare(
+            HeaderCommit::after(h_t, e, &copy).also_after(&encoded),
+        ))?;
         Ok(ck.stats(e, encode, flush))
     }
 
@@ -72,34 +75,23 @@ impl Protocol for Double {
         // implies the group barrier passed, so every survivor's data for
         // that pair is complete; the other pair may hold a torn write and
         // is only ever trusted at its own committed epoch.
-        let (b_t, h_t, b_r, c_r) = match choose_double_pair(target, maxima) {
-            Some(PairSlot::Primary) => (
-                ck.b.clone(),
-                HeaderWord::BcEpoch,
-                Region::CopyB,
-                Region::ParityC,
-            ),
-            Some(PairSlot::Secondary) => (
-                ck.b1.clone().expect("double method has pair 1"),
-                HeaderWord::Pair1,
-                Region::CopyB1,
-                Region::ParityC1,
-            ),
+        let (h_t, b_r, c_r) = match choose_double_pair(target, maxima) {
+            Some(PairSlot::Primary) => (HeaderWord::BcEpoch, Region::CopyB, Region::ParityC),
+            Some(PairSlot::Secondary) => (HeaderWord::Pair1, Region::CopyB1, Region::ParityC1),
             None => unreachable!(
                 "double-checkpoint: agreed epoch {target} not held by either pair ({}, {})",
                 maxima.bc, maxima.pair1
             ),
         };
         // CRC-verify the chosen pair; corrupt survivors become the
-        // erasures to rebuild.
+        // erasures to rebuild. Replay-sequenced: a re-entered restore
+        // skips the steps that already committed.
         let lost = ck.verify_sources(lost, &[b_r, c_r])?;
-        if !lost.is_empty() {
-            ck.rebuild_regions(&lost, b_r, c_r)?;
-        }
-        ck.copy_seg(&ck.work, &b_t, "recover-restore")?;
+        let rebuilt = ck.seal_replay(RebuildOp::new(lost, b_r, c_r))?;
+        let to_work = ck.seal_replay(FlushCommit::new(Region::Work, b_r, "recover-restore"))?;
         ck.probe(RECOVER_COMMIT_PROBE)?;
         ck.comm.barrier()?;
-        ck.commit(h_t, target)?;
+        let _h = ck.seal_replay(HeaderCommit::after(h_t, target, &to_work).also_after(&rebuilt))?;
         ck.finish_restore(target, RestoreSource::CheckpointAndChecksum)
     }
 

@@ -156,6 +156,9 @@ pub(crate) fn write_word(seg: &ShmSegment, word: HeaderWord, val: u64) -> Result
 }
 
 #[cfg(test)]
+// unit tests exercise the raw word-write primitive on purpose — the
+// sequenced-op wrappers are tested one layer up in `protocol::ops`
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use skt_cluster::{SegmentData, ShmStore};

@@ -8,12 +8,25 @@
 //!   identity for failure injection and observation events.
 //! * [`header`] — the 32-byte commit header every method stores its
 //!   commit markers in.
+//! * [`ops`] — the sequenced-op layer: every durable mutation (header
+//!   write, flush commit, parity fill, rebuild, scrub repair, daemon
+//!   spare accounting) is a detectable two-phase
+//!   [`ops::Prepared`]`→`[`ops::Committed`] operation with an
+//!   idempotent replay path.
+//! * `checkpointer` — the [`Checkpointer`] front end: segment
+//!   lifecycle, the collective `make`/`recover` entry points, shared
+//!   mechanics.
+//! * `proto` — the `Protocol` trait plumbing binding a [`Method`] to its
+//!   implementation.
 //! * [`planner`] — group-consensus restore-source selection as pure,
 //!   unit-testable functions of survivor headers.
 //! * [`report`] — the [`RecoveryReport`] a successful recovery leaves
-//!   behind.
+//!   behind (including the op-level audit trail).
 //! * `regions` — the segment copy/fill plumbing, the per-stripe CRC32C
-//!   witness table, restore-source verification, and parity rebuilds.
+//!   witness table, restore-source verification, and parity rebuilds —
+//!   mechanics reachable only through [`ops`] (lint-enforced via
+//!   clippy's `disallowed-methods`).
+//! * `scrub` — the collective CRC scrub-and-repair pass.
 //! * `self_ckpt` / `single` / `double` — one `Protocol` implementation
 //!   per method. The `Checkpointer` resolves its implementation **once at
 //!   init** and never branches on [`Method`] in `make`/`recover` again.
@@ -42,6 +55,9 @@
 //! 4. copy `work → B`, `D → C` ([`Phase::FlushB`], [`Phase::FlushC`]);
 //! 5. **barrier**, then mark `bc_epoch = e` ([`Phase::Done`]).
 //!
+//! Each commit point is a sequenced op: the marker write is only
+//! constructible from the [`ops::Committed`] token of the data op it
+//! certifies, so the discipline above is enforced by the type system.
 //! Recovery gathers every member's header, runs the pure
 //! [`planner::plan_recovery`] consensus, agrees job-wide on the minimum
 //! restorable epoch, and lets the method's `Protocol` implementation
@@ -51,18 +67,24 @@
 //! at every [`Phase`] in the integration tests.
 
 pub mod header;
+pub mod ops;
 pub mod phase;
 pub mod planner;
 pub mod report;
 
+mod checkpointer;
 mod double;
+mod proto;
 mod regions;
+mod scrub;
 mod self_ckpt;
 mod single;
 #[cfg(test)]
 mod tests;
 
+pub use checkpointer::Checkpointer;
 pub use header::{Header, HeaderState, HEADER_BYTES};
+pub use ops::{OpAction, OpRecord, OpState};
 pub use phase::Phase;
 pub use planner::{
     choose_double_pair, choose_self_source, GroupPlan, HeaderMaxima, PairSlot, SurvivorView,
@@ -72,16 +94,14 @@ pub use report::RecoveryReport;
 
 pub(crate) use regions::crc_table_bytes;
 
-use crate::engine::encode_parity;
-use crate::memory::Method;
-use header::HeaderWord;
-use skt_cluster::{Event, EventBus, Region, SegmentData, ShmSegment, Stopwatch};
-use skt_encoding::{Code, CodecSpec, ErasureCodec, GroupLayout};
-use skt_mps::{Comm, Fault, Payload, ReduceOp};
+use skt_encoding::{Code, CodecSpec};
+use skt_mps::Fault;
 use std::time::Duration;
 
+use crate::memory::Method;
+
 /// Phase-window label wrapped around the whole of [`Checkpointer::recover`]
-/// (emitted as [`Event::PhaseEnter`]/[`Event::PhaseExit`]). Under the sim
+/// (emitted as `Event::PhaseEnter`/`Event::PhaseExit`). Under the sim
 /// runtime every yield inside recovery — the survivor allgather, the
 /// parity rebuild collectives, the restore copies, the commit barriers —
 /// is counted into this window, so `explore_yield_kills(.., "recover")`
@@ -219,7 +239,7 @@ pub enum RestoreSource {
 }
 
 impl RestoreSource {
-    /// Stable name, used in [`Event::RecoveryDecision`] and reports.
+    /// Stable name, used in `Event::RecoveryDecision` and reports.
     pub fn name(self) -> &'static str {
         match self {
             RestoreSource::CheckpointAndChecksum => "checkpoint+checksum",
@@ -271,714 +291,3 @@ impl std::fmt::Display for RecoverError {
 }
 
 impl std::error::Error for RecoverError {}
-
-/// One checkpoint method's protocol logic.
-///
-/// Implementations are stateless unit structs (`SelfCkpt`, `Single`,
-/// `Double`); all state lives in the [`Checkpointer`] they receive. The
-/// `Checkpointer` resolves its implementation once in [`protocol_impl`]
-/// at init — `make`/`recover` never branch on [`Method`] again.
-///
-/// To add a method: implement this trait in a sibling module, add the
-/// [`Method`] variant, and register it in [`protocol_impl`]. The shared
-/// helpers on `Checkpointer` (`copy_seg`, `encode_of`, `rebuild_pair`,
-/// `commit`, `span`, `finish_restore`) cover the common mechanics.
-pub(crate) trait Protocol: Sync {
-    /// The [`Method`] this implements.
-    fn method(&self) -> Method;
-
-    /// Epoch to resume at when re-attaching to existing segments.
-    fn initial_epoch(&self, h: &Header) -> u64 {
-        h.bc_epoch
-    }
-
-    /// Run the method's protocol phases for epoch `e` (the shared
-    /// serialize step already happened). Must leave the commit markers
-    /// describing a consistent state on success.
-    fn make_phases<'c>(&self, ck: &mut Checkpointer<'c>, e: u64) -> Result<CkptStats, Fault>;
-
-    /// Group-consensus restore planning over the gathered survivor
-    /// views; `parity` is the codec's parity-stripe count (the maximum
-    /// number of lost members one group can rebuild).
-    fn plan_recovery(&self, views: &[SurvivorView], parity: usize) -> GroupPlan {
-        planner::plan_recovery(self.method(), views, parity)
-    }
-
-    /// Restore the workspace to the job-wide agreed `target` epoch,
-    /// rebuilding the `lost` ranks' state from parity if needed. `maxima`
-    /// are the survivor-header maxima the planner derived the proposal
-    /// from.
-    fn restore<'c>(
-        &self,
-        ck: &mut Checkpointer<'c>,
-        lost: &[usize],
-        target: u64,
-        maxima: &HeaderMaxima,
-    ) -> Result<Recovery, RecoverError>;
-
-    /// Which committed `(checkpoint, checksum)` pair an integrity check
-    /// must target (the double method alternates pairs by epoch parity).
-    fn verify_pair<'a>(&self, ck: &'a Checkpointer<'_>) -> (&'a ShmSegment, &'a ShmSegment) {
-        (&ck.b, &ck.c)
-    }
-}
-
-/// The one place a [`Method`] maps to its `Protocol` implementation.
-fn protocol_impl(method: Method) -> &'static dyn Protocol {
-    match method {
-        Method::SelfCkpt => &self_ckpt::SelfCkpt,
-        Method::Single => &single::Single,
-        Method::Double => &double::Double,
-    }
-}
-
-/// An in-flight phase observation; [`PhaseSpan::end`] emits the matching
-/// [`Event::PhaseExit`].
-pub(crate) struct PhaseSpan {
-    bus: EventBus,
-    label: &'static str,
-    epoch: u64,
-    t0: Stopwatch,
-}
-
-impl PhaseSpan {
-    pub(crate) fn end(self) {
-        self.bus.emit(Event::PhaseExit {
-            label: self.label,
-            epoch: self.epoch,
-            elapsed: self.t0.elapsed(),
-        });
-    }
-}
-
-/// One rank's checkpointer, bound to its group communicator.
-///
-/// When the application runs **multiple groups**, commits must be
-/// *globally* consistent: all groups checkpoint the same epoch, and after
-/// a failure every group must restore the *same* epoch. Pass the job-wide
-/// communicator via [`Checkpointer::init_synced`]; it adds a cross-group
-/// barrier between the checksum commit and the flush (so no group starts
-/// overwriting its old checkpoint while another could still force a
-/// rollback past it), and recovery agrees on the global minimum of the
-/// groups' restorable epochs.
-pub struct Checkpointer<'c> {
-    comm: Comm<'c>,
-    sync: Option<Comm<'c>>,
-    cfg: CkptConfig,
-    proto: &'static dyn Protocol,
-    codec: &'static dyn ErasureCodec,
-    bus: EventBus,
-    layout: GroupLayout,
-    b2_words: usize,
-    work: ShmSegment,
-    b: ShmSegment,
-    c: ShmSegment,
-    d: Option<ShmSegment>,
-    b1: Option<ShmSegment>,
-    c1: Option<ShmSegment>,
-    header: ShmSegment,
-    crc: ShmSegment,
-    attached: bool,
-    epoch: u64,
-    last_report: Option<RecoveryReport>,
-}
-
-impl<'c> Checkpointer<'c> {
-    /// Create or re-attach this rank's segments. Returns the checkpointer
-    /// and whether existing segments were found (i.e. this is a restart
-    /// of a surviving rank). Single-group form; for multi-group jobs use
-    /// [`Self::init_synced`].
-    pub fn init(comm: Comm<'c>, cfg: CkptConfig) -> (Self, bool) {
-        Self::init_inner(comm, None, cfg)
-    }
-
-    /// Like [`Self::init`], with a job-wide communicator for cross-group
-    /// commit synchronization and recovery agreement. Every rank of the
-    /// job must use the same `sync` communicator and issue `make`/
-    /// `recover` collectively across the whole job.
-    pub fn init_synced(comm: Comm<'c>, sync: Comm<'c>, cfg: CkptConfig) -> (Self, bool) {
-        Self::init_inner(comm, Some(sync), cfg)
-    }
-
-    fn init_inner(comm: Comm<'c>, sync: Option<Comm<'c>>, cfg: CkptConfig) -> (Self, bool) {
-        assert!(cfg.a1_len > 0, "workspace must be non-empty");
-        let proto = protocol_impl(cfg.method);
-        let codec = cfg.codec.resolve();
-        let n = comm.size();
-        let b2_words = 1 + cfg.a2_capacity.div_ceil(8);
-        let layout = GroupLayout::new_with_parity(n, codec.parity_count(), cfg.a1_len + b2_words);
-        let padded = layout.padded_len();
-        let parity = layout.parity_len();
-        let ctx = comm.ctx();
-        let bus = ctx.cluster().events().clone();
-        let me = ctx.world_rank();
-        let shm = ctx.shm();
-        let seg_name = |part: &str| format!("{}/r{}/{}", cfg.name, me, part);
-        let zeros_f64 = |len: usize| move || SegmentData::F64(vec![0.0; len]);
-
-        let (work, attached) = shm.get_or_create(&seg_name("work"), zeros_f64(padded));
-        let (b, _) = shm.get_or_create(&seg_name("b"), zeros_f64(padded));
-        let (c, _) = shm.get_or_create(&seg_name("c"), zeros_f64(parity));
-        let d = matches!(cfg.method, Method::SelfCkpt)
-            .then(|| shm.get_or_create(&seg_name("d"), zeros_f64(parity)).0);
-        let b1 = matches!(cfg.method, Method::Double)
-            .then(|| shm.get_or_create(&seg_name("b1"), zeros_f64(padded)).0);
-        let c1 = matches!(cfg.method, Method::Double)
-            .then(|| shm.get_or_create(&seg_name("c1"), zeros_f64(parity)).0);
-        let (header, _) = shm.get_or_create(&seg_name("header"), || {
-            SegmentData::Bytes(header::fresh_bytes())
-        });
-        let (crc, _) = shm.get_or_create(&seg_name("crc"), || {
-            SegmentData::Bytes(vec![0u8; crc_table_bytes(n)])
-        });
-
-        // A header that fails its CRC on re-attach proves nothing; start
-        // from epoch 0 and let recovery fold this rank into the
-        // lost-member path rather than trusting forged commit words.
-        let h = match Header::classify(&header) {
-            HeaderState::Valid(h) => h,
-            HeaderState::Invalid(_) => Header::default(),
-        };
-        let epoch = proto.initial_epoch(&h);
-        (
-            Checkpointer {
-                comm,
-                sync,
-                cfg,
-                proto,
-                codec,
-                bus,
-                layout,
-                b2_words,
-                work,
-                b,
-                c,
-                d,
-                b1,
-                c1,
-                header,
-                crc,
-                attached,
-                epoch,
-                last_report: None,
-            },
-            attached,
-        )
-    }
-
-    /// Handle to the workspace segment. The application reads/writes the
-    /// first [`Self::a1_len`] elements; the tail is protocol-owned (`B2`).
-    pub fn workspace(&self) -> ShmSegment {
-        ShmSegment::clone(&self.work)
-    }
-
-    /// Application-visible workspace length (elements).
-    pub fn a1_len(&self) -> usize {
-        self.cfg.a1_len
-    }
-
-    /// The stripe geometry in use.
-    pub fn layout(&self) -> &GroupLayout {
-        &self.layout
-    }
-
-    /// Group communicator.
-    pub fn comm(&self) -> &Comm<'c> {
-        &self.comm
-    }
-
-    /// Last committed epoch.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// SHM namespace this checkpointer was configured with.
-    pub fn config_name(&self) -> &str {
-        &self.cfg.name
-    }
-
-    /// The protocol method in use.
-    pub fn method(&self) -> Method {
-        self.cfg.method
-    }
-
-    /// Force the epoch counter (used by the multi-level layer after a
-    /// disk restore so epoch numbering stays monotonic across a reset).
-    pub fn set_epoch(&mut self, e: u64) {
-        self.epoch = e;
-    }
-
-    /// Job-wide minimum agreement (sync communicator when present,
-    /// group otherwise) — exposed for layered protocols like
-    /// [`crate::multilevel::MultiLevel`].
-    pub fn agree_min(&self, v: i64) -> Result<i64, Fault> {
-        let comm = self.sync.as_ref().unwrap_or(&self.comm);
-        Ok(comm
-            .allreduce(ReduceOp::Min, Payload::I64(vec![v]))?
-            .into_i64()[0])
-    }
-
-    /// Whether init re-attached to pre-existing segments.
-    pub fn attached(&self) -> bool {
-        self.attached
-    }
-
-    /// The report of the last successful [`Self::recover`] restore, if
-    /// any ([`Recovery::NoCheckpoint`] leaves none).
-    pub fn last_report(&self) -> Option<RecoveryReport> {
-        self.last_report.clone()
-    }
-
-    /// Total SHM bytes this rank's protocol state occupies (workspace
-    /// included) — compared against Table 1 in tests.
-    pub fn shm_bytes(&self) -> usize {
-        let seg_bytes = |s: &ShmSegment| s.read().size_bytes();
-        seg_bytes(&self.work)
-            + seg_bytes(&self.b)
-            + seg_bytes(&self.c)
-            + self.d.as_ref().map_or(0, seg_bytes)
-            + self.b1.as_ref().map_or(0, seg_bytes)
-            + self.c1.as_ref().map_or(0, seg_bytes)
-            + seg_bytes(&self.header)
-            + seg_bytes(&self.crc)
-    }
-
-    // ---- shared mechanics used by the Protocol implementations ----
-
-    /// A [`Stopwatch`] on the cluster's clock — all protocol timing goes
-    /// through this so reports reproduce bit-for-bit under simulation.
-    pub(crate) fn clock(&self) -> Stopwatch {
-        self.comm.ctx().stopwatch()
-    }
-
-    /// Emit a phase-enter event and start its clock.
-    fn span(&self, p: Phase, e: u64) -> PhaseSpan {
-        self.bus.emit(Event::PhaseEnter {
-            label: p.label(),
-            epoch: e,
-        });
-        PhaseSpan {
-            bus: self.bus.clone(),
-            label: p.label(),
-            epoch: e,
-            t0: self.clock(),
-        }
-    }
-
-    /// Fire the failure-injection probe of a phase.
-    fn phase_point(&self, p: Phase) -> Result<(), Fault> {
-        self.comm.ctx().failpoint(p.label())
-    }
-
-    /// Write one commit marker.
-    fn commit(&self, word: HeaderWord, e: u64) -> Result<(), Fault> {
-        header::write_word(&self.header, word, e)
-    }
-
-    /// This group's parity of `seg`'s contents (stripe reduces per slot
-    /// and parity role). When `probe` is set the failure probe fires
-    /// between slot reduces.
-    fn encode_of(&self, seg: &ShmSegment, probe: Option<&str>) -> Result<Vec<f64>, Fault> {
-        let g = seg.read();
-        encode_parity(&self.comm, &self.layout, self.codec, g.try_as_f64()?, probe)
-    }
-
-    /// Fire a labeled failure-injection probe (recovery-path yield
-    /// point).
-    pub(crate) fn probe(&self, label: &str) -> Result<(), Fault> {
-        self.comm.ctx().failpoint(label)
-    }
-
-    fn write_b2(&self, a2: &[u8]) -> Result<(), Fault> {
-        assert!(
-            a2.len() <= self.cfg.a2_capacity,
-            "a2 ({} bytes) exceeds capacity ({})",
-            a2.len(),
-            self.cfg.a2_capacity
-        );
-        debug_assert!(a2.len().div_ceil(8) < self.b2_words, "B2 region overflow");
-        let mut g = self.work.write();
-        let v = g.try_as_f64_mut()?;
-        if v.len() < self.cfg.a1_len + self.b2_words {
-            return Err(Fault::Protocol("workspace segment wiped or truncated"));
-        }
-        let base = self.cfg.a1_len;
-        v[base] = f64::from_bits(a2.len() as u64);
-        for (w, chunk) in a2.chunks(8).enumerate() {
-            let mut word = [0u8; 8];
-            word[..chunk.len()].copy_from_slice(chunk);
-            v[base + 1 + w] = f64::from_bits(u64::from_le_bytes(word));
-        }
-        Ok(())
-    }
-
-    fn read_b2(data: &[f64], a1_len: usize, a2_capacity: usize) -> Vec<u8> {
-        let len = data[a1_len].to_bits() as usize;
-        assert!(len <= a2_capacity, "corrupt B2 length {len}");
-        let mut out = Vec::with_capacity(len);
-        let mut w = 0;
-        while out.len() < len {
-            let word = data[a1_len + 1 + w].to_bits().to_le_bytes();
-            let take = (len - out.len()).min(8);
-            out.extend_from_slice(&word[..take]);
-            w += 1;
-        }
-        out
-    }
-
-    fn stats(&self, e: u64, encode: Duration, flush: Duration) -> CkptStats {
-        CkptStats {
-            epoch: e,
-            encode,
-            flush,
-            checkpoint_bytes: self.layout.padded_len() * 8,
-            checksum_bytes: self.layout.parity_len() * 8,
-        }
-    }
-
-    fn sync_barrier(&self) -> Result<(), Fault> {
-        match &self.sync {
-            Some(s) => s.barrier(),
-            None => self.comm.barrier(),
-        }
-    }
-
-    /// One job-wide allreduce combining the unrecoverable flag (Min of
-    /// its negation) and the restore epoch (Min).
-    fn global_agree(&self, unrec: bool, proposal: u64) -> Result<(bool, u64), RecoverError> {
-        match &self.sync {
-            None => Ok((unrec, proposal)),
-            Some(s) => {
-                let v = s
-                    .allreduce(
-                        ReduceOp::Min,
-                        Payload::I64(vec![-(unrec as i64), proposal as i64]),
-                    )?
-                    .into_i64();
-                Ok((v[0] < 0, v[1] as u64))
-            }
-        }
-    }
-
-    fn finish_restore(
-        &mut self,
-        epoch: u64,
-        source: RestoreSource,
-    ) -> Result<Recovery, RecoverError> {
-        let a2 = {
-            let g = self.work.read();
-            Self::read_b2(g.try_as_f64()?, self.cfg.a1_len, self.cfg.a2_capacity)
-        };
-        self.epoch = epoch;
-        self.attached = true;
-        self.comm.barrier()?;
-        // keep all groups aligned before the application resumes
-        self.sync_barrier()?;
-        Ok(Recovery::Restored { epoch, a2, source })
-    }
-
-    /// Record the report of a restore performed by an outer layer (the
-    /// multi-level checkpointer's PFS fallback).
-    pub(crate) fn record_report(&mut self, report: RecoveryReport) {
-        self.bus.emit(Event::RecoveryDecision {
-            source: report.source.name(),
-            epoch: report.epoch,
-            rebuilt_bytes: report.rebuilt_bytes,
-        });
-        self.last_report = Some(report);
-    }
-
-    // ---- the collective protocol entry points ----
-
-    /// Make a checkpoint of the current workspace plus the serialized
-    /// small state `a2`. Collective over the group.
-    pub fn make(&mut self, a2: &[u8]) -> Result<CkptStats, Fault> {
-        let e = self.epoch + 1;
-        // Entry barrier: no rank may start dirtying protocol state until
-        // the whole job reached the checkpoint. This pins the "failure
-        // during computation" case to a state where every rank's segments
-        // are quiescent, and keeps the epoch counter job-wide.
-        self.sync_barrier()?;
-        let sp = self.span(Phase::Serialize, e);
-        self.write_b2(a2)?;
-        sp.end();
-        self.phase_point(Phase::Serialize)?;
-        let proto = self.proto;
-        let stats = proto.make_phases(self, e)?;
-        self.epoch = e;
-        self.phase_point(Phase::Done)?;
-        Ok(stats)
-    }
-
-    /// Collective recovery after a restart. Up to the codec's parity
-    /// count of group members may have lost their segments (fresh nodes)
-    /// or hold silently corrupted data — the CRC verification folds
-    /// damaged survivors into the erasure set. On success the workspace
-    /// segment holds the restored data and [`Self::last_report`] the
-    /// decision trail.
-    ///
-    /// The whole call runs inside the [`RECOVER_PHASE_LABEL`] phase
-    /// window, so under the sim runtime `explore_yield_kills` can arm a
-    /// second failure at every yield point of the recovery itself.
-    pub fn recover(&mut self) -> Result<Recovery, RecoverError> {
-        let t0 = self.clock();
-        self.bus.emit(Event::PhaseEnter {
-            label: RECOVER_PHASE_LABEL,
-            epoch: self.epoch,
-        });
-        let out = self.recover_inner(&t0);
-        self.bus.emit(Event::PhaseExit {
-            label: RECOVER_PHASE_LABEL,
-            epoch: self.epoch,
-            elapsed: t0.elapsed(),
-        });
-        out
-    }
-
-    fn recover_inner(&mut self, t0: &Stopwatch) -> Result<Recovery, RecoverError> {
-        self.last_report = None;
-        // Exchange (fresh, header words) across the group. A header that
-        // fails its CRC proves nothing: advertise this rank as fresh so
-        // the planner rebuilds it instead of trusting forged epochs.
-        let (h, fresh) = match Header::classify(&self.header) {
-            HeaderState::Valid(h) => (h, !self.attached),
-            HeaderState::Invalid(_) => (Header::default(), true),
-        };
-        let w = h.words();
-        let mine = Payload::I64(vec![
-            fresh as i64,
-            w[0] as i64,
-            w[1] as i64,
-            w[2] as i64,
-            w[3] as i64,
-        ]);
-        let views: Vec<SurvivorView> = self
-            .comm
-            .allgather(mine)?
-            .into_iter()
-            .map(Payload::into_i64)
-            .map(|v| SurvivorView {
-                fresh: v[0] != 0,
-                header: Header {
-                    d_epoch: v[1] as u64,
-                    bc_epoch: v[2] as u64,
-                    pair1_epoch: v[3] as u64,
-                    dirty_epoch: v[4] as u64,
-                },
-            })
-            .collect();
-        let proto = self.proto;
-        let m = self.layout.parity_count();
-        let plan = proto.plan_recovery(&views, m);
-        self.probe(RECOVER_PLAN_PROBE)?;
-
-        // Job-wide agreement: any torn / over-failed group dooms the
-        // whole job; otherwise every group restores the global MINIMUM of
-        // the proposals (the cross-group gate in `make` guarantees the
-        // minimum is restorable by everyone — see init_synced docs).
-        let (unrec, target) = self.global_agree(plan.multi_loss || plan.torn, plan.proposal)?;
-        if unrec {
-            return Err(RecoverError::Unrecoverable(if plan.torn {
-                "single-checkpoint: failure during checkpoint update left (B, C) inconsistent"
-                    .into()
-            } else if m == 1 {
-                "a group lost more than one member (or a peer group is unrecoverable)".into()
-            } else {
-                format!("a group lost more than {m} members (or a peer group is unrecoverable)")
-            }));
-        }
-        if target == 0 {
-            // no epoch ever committed job-wide (or a whole group's state
-            // vanished): start over from scratch
-            self.reset();
-            self.sync_barrier().map_err(RecoverError::Fault)?;
-            return Ok(Recovery::NoCheckpoint);
-        }
-
-        let rec = proto.restore(self, &plan.lost, target, &plan.maxima)?;
-        if let Recovery::Restored { epoch, source, .. } = &rec {
-            let per_rank = ((self.layout.padded_len() + self.layout.parity_len()) * 8) as u64;
-            self.record_report(RecoveryReport {
-                method: self.cfg.method,
-                source: *source,
-                epoch: *epoch,
-                lost: plan.lost.clone(),
-                epochs_seen: plan.maxima,
-                rebuilt_bytes: plan.lost.len() as u64 * per_rank,
-                elapsed: t0.elapsed(),
-            });
-        }
-        Ok(rec)
-    }
-
-    /// Abandon all checkpoint state: zero the commit markers so future
-    /// recoveries see "no checkpoint" and the application regenerates
-    /// from scratch. Used when recovery reports
-    /// [`RecoverError::Unrecoverable`] (e.g. the single-checkpoint
-    /// baseline torn mid-update) and the caller restarts the computation.
-    pub fn reset(&mut self) {
-        for word in HeaderWord::ALL {
-            header::write_word(&self.header, word, 0).expect("header segment exists after init");
-        }
-        self.epoch = 0;
-        self.attached = true;
-    }
-
-    /// Collective integrity check: recompute the parity of the committed
-    /// checkpoint copy and compare it with its checksum bit-exactly.
-    /// Returns the group-wide verdict.
-    ///
-    /// Which pair is checked is the method's call (`Protocol::verify_pair`):
-    /// for the double-checkpoint baseline the pairs alternate by epoch
-    /// parity and the *off* pair may legally hold a torn write.
-    pub fn verify_integrity(&self) -> Result<bool, Fault> {
-        let (b_t, c_t) = self.proto.verify_pair(self);
-        let parity = self.encode_of(b_t, None)?;
-        let ok = {
-            let c = c_t.read();
-            parity
-                .iter()
-                .zip(c.try_as_f64()?)
-                .all(|(a, b)| a.to_bits() == b.to_bits())
-        };
-        let verdict = self
-            .comm
-            .allreduce(ReduceOp::Min, Payload::I64(vec![ok as i64]))?
-            .into_i64()[0];
-        Ok(verdict == 1)
-    }
-
-    /// Collective integrity *scrub*: verify the commit header and every
-    /// **committed** `(checkpoint, checksum)` pair against their stored
-    /// CRCs, and repair what the erasure codec can repair.
-    ///
-    /// * A CRC-corrupt header adopts the group-consensus commit words
-    ///   (valid headers agree between makes — every word is written only
-    ///   after a group barrier).
-    /// * Up to `m` (the codec's parity count) CRC-damaged members per
-    ///   pair are downgraded to erasures and rebuilt bit-exactly from the
-    ///   survivors' parity.
-    /// * More than `m` damaged members of one pair exceed the code's
-    ///   correction power: reported as [`RecoverError::Unrecoverable`],
-    ///   never silently restored.
-    ///
-    /// The live workspace (and the self method's fresh checksum `D`
-    /// between commits) is deliberately out of scope: the application
-    /// mutates it at will, so its CRCs are only meaningful on the
-    /// recovery path, where `verify_sources` checks them.
-    pub fn scrub(&mut self) -> Result<ScrubReport, RecoverError> {
-        self.probe(SCRUB_PROBE)?;
-
-        // 1. Headers: exchange (crc-valid, words) and take the group
-        // consensus (MAX per word over valid headers).
-        let (valid, words) = match Header::classify(&self.header) {
-            HeaderState::Valid(h) => (true, h.words()),
-            HeaderState::Invalid(_) => (false, [0u64; 4]),
-        };
-        let mine = Payload::I64(vec![
-            valid as i64,
-            words[0] as i64,
-            words[1] as i64,
-            words[2] as i64,
-            words[3] as i64,
-        ]);
-        let views: Vec<Vec<i64>> = self
-            .comm
-            .allgather(mine)?
-            .into_iter()
-            .map(Payload::into_i64)
-            .collect();
-        let mut consensus = [0u64; 4];
-        let mut any_valid = false;
-        for v in &views {
-            if v[0] != 0 {
-                any_valid = true;
-                for (c, w) in consensus.iter_mut().zip(&v[1..5]) {
-                    *c = (*c).max(*w as u64);
-                }
-            }
-        }
-        // A group with no valid header is beyond repair, but the error
-        // exit must stay collective across sibling groups (see the
-        // deferred verdict below): with all-zero consensus the pair list
-        // stays empty, so the group simply falls through to it.
-        let m = self.layout.parity_count();
-        let mut worst_local: i64 = 0;
-        let mut damage: Option<String> = None;
-        if !any_valid {
-            worst_local = (m + 1) as i64;
-            damage = Some("scrub: every header in the group failed its CRC".into());
-        }
-        let header_repaired = any_valid && !valid;
-        if header_repaired {
-            for (word, val) in HeaderWord::ALL.into_iter().zip(consensus) {
-                header::write_word(&self.header, word, val)?;
-            }
-        }
-        let h = Header {
-            d_epoch: consensus[0],
-            bc_epoch: consensus[1],
-            pair1_epoch: consensus[2],
-            dirty_epoch: consensus[3],
-        };
-
-        // 2. Committed pairs. Never-committed pairs are skipped: their
-        // segments and CRC slots are both still zero-initialized, which
-        // is not a checkpoint and must not be "verified" as one.
-        let mut pairs: Vec<(Region, Region)> = Vec::new();
-        if h.bc_epoch > 0 {
-            pairs.push((Region::CopyB, Region::ParityC));
-        }
-        if self.cfg.method == Method::Double && h.pair1_epoch > 0 {
-            pairs.push((Region::CopyB1, Region::ParityC1));
-        }
-        let mut repaired = Vec::new();
-        for &(data_r, parity_r) in &pairs {
-            let my_ok = self.region_crc_ok(data_r)? && self.region_crc_ok(parity_r)?;
-            let bad = self.gather_bad_ranks(my_ok)?;
-            if bad.is_empty() {
-                continue;
-            }
-            if bad.len() <= m {
-                self.rebuild_regions(&bad, data_r, parity_r)?;
-                repaired.extend_from_slice(&bad);
-            } else {
-                worst_local = (m + 1) as i64;
-                damage.get_or_insert_with(|| {
-                    if m == 1 {
-                        format!(
-                            "scrub: ranks {bad:?} of a {}-member group hold damaged copies of \
-                             the ({data_r}, {parity_r}) pair; single parity can rebuild only one",
-                            self.comm.size()
-                        )
-                    } else {
-                        format!(
-                            "scrub: ranks {bad:?} of a {}-member group hold damaged copies of \
-                             the ({data_r}, {parity_r}) pair; the {} code can rebuild at most {m}",
-                            self.comm.size(),
-                            self.codec.name()
-                        )
-                    }
-                });
-            }
-        }
-        // Deferred job-wide verdict: every rank reduces once, so sibling
-        // groups that finished their own (possibly repairing) pass exit
-        // through the same path instead of hanging on a half-aborted job.
-        let worst = -self.agree_min(-worst_local).map_err(RecoverError::Fault)?;
-        if worst > m as i64 {
-            return Err(RecoverError::Unrecoverable(damage.unwrap_or_else(|| {
-                if m == 1 {
-                    "scrub: a sibling group is damaged beyond single-parity repair".into()
-                } else {
-                    "scrub: a sibling group is damaged beyond the parity code's repair".into()
-                }
-            })));
-        }
-        Ok(ScrubReport {
-            pairs_checked: pairs.len(),
-            repaired,
-            header_repaired,
-        })
-    }
-}

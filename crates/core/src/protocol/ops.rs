@@ -1,0 +1,611 @@
+//! Typestate-sequenced commit points: every mutation of durable
+//! checkpoint state is a two-phase **detectable operation** in the
+//! Memento (PLDI 2023) sense.
+//!
+//! The protocol's crash consistency rests on a commit *order* (data
+//! flush before header write, roll-forward from the consistent pair).
+//! This module makes that order a property of the type system instead of
+//! a convention spread over `make`/`recover`/`scrub`:
+//!
+//! * [`prepare`] / [`prepare_replay`] yield a [`Prepared<Op>`] token —
+//!   `#[must_use]`, so an announced-but-never-committed mutation is a
+//!   compile-time warning, not a latent torn state.
+//! * [`Prepared::commit`] consumes the token, runs the op's `apply`
+//!   inside the existing no-yield data+CRC block, and yields a
+//!   [`Committed<Op>`] token carrying the [`OpRecord`] audit entry.
+//! * A `Committed` token is the *evidence* later ops demand:
+//!   `HeaderCommit::after` (crate-internal) will not construct a
+//!   header-commit op
+//!   without a committed predecessor, so "header write after data
+//!   flush" cannot be reordered by a refactor without failing to
+//!   compile.
+//!
+//! On replay paths (recovery of a recovery, scrub, daemon relaunch)
+//! [`prepare_replay`] first runs the op's [`SequencedOp::detect`], which
+//! classifies the post-crash state as [`OpState::NotStarted`] /
+//! [`OpState::InFlight`] / [`OpState::Done`]. A `Done` op is skipped —
+//! committing it is idempotent by construction — and the skip is
+//! recorded in the audit trail, so a re-entered recovery both converges
+//! and *explains itself* ([`crate::protocol::RecoveryReport::ops`]).
+//!
+//! The clippy `disallowed-methods` gate (see `clippy.toml`) forbids the
+//! raw mechanics (`header::write_word`, `copy_seg`, `fill_seg`,
+//! `rebuild_regions`, `update_region_crcs`) everywhere outside this
+//! module, so the sequenced-op API is the *only* door to durable state.
+#![allow(clippy::disallowed_methods)] // this module IS the allowed door
+
+use super::checkpointer::Checkpointer;
+use super::header::{self, Header, HeaderState, HeaderWord};
+use skt_cluster::{Cluster, Ranklist, Region};
+use skt_mps::Fault;
+
+/// What [`SequencedOp::detect`] found in post-crash state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpState {
+    /// No trace of the op: the previous attempt died before it, or this
+    /// is the forward path. Apply it.
+    NotStarted,
+    /// The op was cut mid-flight (torn data, stale CRC witness, invalid
+    /// header): its effects cannot be trusted. Re-apply — every op here
+    /// is idempotent, so replaying over a partial effect is safe.
+    InFlight,
+    /// The op's effect is fully present and witnessed. Skip it.
+    Done,
+}
+
+impl OpState {
+    /// Stable lowercase name for reports and exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpState::NotStarted => "not-started",
+            OpState::InFlight => "in-flight",
+            OpState::Done => "done",
+        }
+    }
+}
+
+/// What [`Prepared::commit`] did about the op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpAction {
+    /// Forward path: applied without a detect pass.
+    Applied,
+    /// Replay path: detect said the effect was missing or torn, so the
+    /// op ran (again).
+    Replayed,
+    /// Replay path: detect said [`OpState::Done`], so the op did not run.
+    Skipped,
+}
+
+impl OpAction {
+    /// Stable lowercase name for reports and exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpAction::Applied => "applied",
+            OpAction::Replayed => "replayed",
+            OpAction::Skipped => "skipped",
+        }
+    }
+}
+
+/// One audit-trail entry: which op, what detect saw, what commit did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The op's self-describing name (deterministic under simulation).
+    pub op: String,
+    /// Detect verdict ([`OpState::NotStarted`] on the forward path,
+    /// which skips detection).
+    pub detected: OpState,
+    /// What the commit did.
+    pub action: OpAction,
+}
+
+impl std::fmt::Display for OpRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}:{}",
+            self.op,
+            self.detected.name(),
+            self.action.name()
+        )
+    }
+}
+
+/// A detectable, idempotently replayable mutation of durable checkpoint
+/// state, generic over the context it mutates (the [`Checkpointer`] for
+/// protocol ops, a [`Ranklist`] for the daemon's spare accounting).
+pub trait SequencedOp<Ctx: ?Sized> {
+    /// Deterministic self-description for the audit trail.
+    fn name(&self) -> String;
+
+    /// Classify the op's effect in (post-crash) `ctx` without mutating
+    /// anything. Must be safe to call at any yield point.
+    fn detect(&self, ctx: &Ctx) -> Result<OpState, Fault>;
+
+    /// Perform the mutation. Must be idempotent: applying over a
+    /// partial ([`OpState::InFlight`]) effect of a previous attempt
+    /// yields the same final state as applying from scratch.
+    fn apply(&self, ctx: &mut Ctx) -> Result<(), Fault>;
+}
+
+/// A prepared-but-uncommitted op. Dropping it without committing is a
+/// protocol bug — hence `#[must_use]`.
+#[must_use = "a prepared op must be committed (or the mutation never becomes durable)"]
+pub struct Prepared<Op> {
+    op: Op,
+    detected: OpState,
+    replay: bool,
+}
+
+/// Proof that an op committed; carries the audit record and serves as
+/// the evidence token later ops in the sequence demand.
+#[must_use = "hold the committed token: it is the evidence the next op in the sequence requires"]
+pub struct Committed<Op> {
+    op: Op,
+    record: OpRecord,
+}
+
+/// Forward-path entry: no detect pass (the caller is executing the
+/// protocol in order, not replaying after a crash).
+pub fn prepare<Op>(op: Op) -> Prepared<Op> {
+    Prepared {
+        op,
+        detected: OpState::NotStarted,
+        replay: false,
+    }
+}
+
+/// Replay-path entry: run [`SequencedOp::detect`] against the post-crash
+/// state first, so [`Prepared::commit`] can skip an op that already
+/// completed ([`OpState::Done`]) instead of redoing its work.
+pub fn prepare_replay<Ctx: ?Sized, Op: SequencedOp<Ctx>>(
+    op: Op,
+    ctx: &Ctx,
+) -> Result<Prepared<Op>, Fault> {
+    let detected = op.detect(ctx)?;
+    Ok(Prepared {
+        op,
+        detected,
+        replay: true,
+    })
+}
+
+impl<Op> Prepared<Op> {
+    /// What the detect pass saw (always [`OpState::NotStarted`] on the
+    /// forward path).
+    pub fn detected(&self) -> OpState {
+        self.detected
+    }
+
+    /// Consume the prepare token: apply the op (unless a replay detect
+    /// proved it [`OpState::Done`]) and return the committed token.
+    pub fn commit<Ctx: ?Sized>(self, ctx: &mut Ctx) -> Result<Committed<Op>, Fault>
+    where
+        Op: SequencedOp<Ctx>,
+    {
+        let action = if self.replay && self.detected == OpState::Done {
+            OpAction::Skipped
+        } else {
+            self.op.apply(ctx)?;
+            if self.replay {
+                OpAction::Replayed
+            } else {
+                OpAction::Applied
+            }
+        };
+        let record = OpRecord {
+            op: self.op.name(),
+            detected: self.detected,
+            action,
+        };
+        Ok(Committed {
+            op: self.op,
+            record,
+        })
+    }
+}
+
+impl<Op> Committed<Op> {
+    /// The audit-trail entry this commit produced.
+    pub fn record(&self) -> &OpRecord {
+        &self.record
+    }
+
+    /// Unwrap into the audit-trail entry.
+    pub fn into_record(self) -> OpRecord {
+        self.record
+    }
+
+    /// The committed op (evidence-token inspection).
+    pub fn op(&self) -> &Op {
+        &self.op
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concrete protocol ops (Ctx = Checkpointer)
+// ---------------------------------------------------------------------
+
+/// Write one commit-marker word into the CRC-sealed header.
+///
+/// Constructible only with evidence: [`HeaderCommit::after`] demands the
+/// [`Committed`] token of the data op the marker certifies, so "header
+/// write before data flush" is unrepresentable. The evidence-free
+/// constructors ([`HeaderCommit::attempt`], [`HeaderCommit::clear`])
+/// exist for markers that deliberately certify nothing — the single
+/// method's dirty attempt word.
+pub(crate) struct HeaderCommit {
+    word: HeaderWord,
+    epoch: u64,
+}
+
+impl HeaderCommit {
+    /// A commit marker certifying `evidence`'s committed data.
+    pub(crate) fn after<T>(word: HeaderWord, epoch: u64, _evidence: &Committed<T>) -> Self {
+        HeaderCommit { word, epoch }
+    }
+
+    /// Chain further evidence (a marker certifying several flushes).
+    /// Purely a type-level obligation: the token proves order, the op
+    /// itself is unchanged.
+    pub(crate) fn also_after<T>(self, _evidence: &Committed<T>) -> Self {
+        self
+    }
+
+    /// The single method's dirty word: marks that an update *attempt*
+    /// started, before any data moves. Certifies nothing by design.
+    pub(crate) fn attempt(epoch: u64) -> Self {
+        HeaderCommit {
+            word: HeaderWord::Dirty,
+            epoch,
+        }
+    }
+}
+
+impl<'c> SequencedOp<Checkpointer<'c>> for HeaderCommit {
+    fn name(&self) -> String {
+        format!("header:{:?}={}", self.word, self.epoch)
+    }
+
+    fn detect(&self, ck: &Checkpointer<'c>) -> Result<OpState, Fault> {
+        Ok(match Header::classify(&ck.header) {
+            // A valid header either already carries the word (the
+            // previous attempt's write completed before the crash) or
+            // provably does not.
+            HeaderState::Valid(h) if h.words()[self.word as usize] == self.epoch => OpState::Done,
+            HeaderState::Valid(_) => OpState::NotStarted,
+            // A CRC-invalid header proves nothing — the write (or a
+            // neighboring one) was torn. Re-apply re-seals it.
+            HeaderState::Invalid(_) => OpState::InFlight,
+        })
+    }
+
+    fn apply(&self, ck: &mut Checkpointer<'c>) -> Result<(), Fault> {
+        header::write_word(&ck.header, self.word, self.epoch)
+    }
+}
+
+/// Adopt the group-consensus header words (scrub's header repair).
+pub(crate) struct HeaderAdopt {
+    words: [u64; 4],
+}
+
+impl HeaderAdopt {
+    pub(crate) fn new(words: [u64; 4]) -> Self {
+        HeaderAdopt { words }
+    }
+}
+
+impl<'c> SequencedOp<Checkpointer<'c>> for HeaderAdopt {
+    fn name(&self) -> String {
+        let w = self.words;
+        format!("header:adopt[{} {} {} {}]", w[0], w[1], w[2], w[3])
+    }
+
+    fn detect(&self, ck: &Checkpointer<'c>) -> Result<OpState, Fault> {
+        // Any CRC-valid header needs no adoption: commit words are only
+        // written after group barriers, so a valid header lagging the
+        // consensus MAX is legal mid-protocol state, not damage.
+        Ok(match Header::classify(&ck.header) {
+            HeaderState::Valid(_) => OpState::Done,
+            HeaderState::Invalid(_) => OpState::InFlight,
+        })
+    }
+
+    fn apply(&self, ck: &mut Checkpointer<'c>) -> Result<(), Fault> {
+        for (word, val) in HeaderWord::ALL.into_iter().zip(self.words) {
+            header::write_word(&ck.header, word, val)?;
+        }
+        Ok(())
+    }
+}
+
+/// Zero every commit marker (abandon all checkpoint state).
+pub(crate) struct MarkerReset;
+
+impl<'c> SequencedOp<Checkpointer<'c>> for MarkerReset {
+    fn name(&self) -> String {
+        "header:reset".into()
+    }
+
+    fn detect(&self, ck: &Checkpointer<'c>) -> Result<OpState, Fault> {
+        Ok(match Header::classify(&ck.header) {
+            HeaderState::Valid(h) if h.words() == [0; 4] => OpState::Done,
+            HeaderState::Valid(_) => OpState::NotStarted,
+            HeaderState::Invalid(_) => OpState::InFlight,
+        })
+    }
+
+    fn apply(&self, ck: &mut Checkpointer<'c>) -> Result<(), Fault> {
+        for word in HeaderWord::ALL {
+            header::write_word(&ck.header, word, 0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Commit a whole-segment copy `dst ← src` plus `dst`'s stripe-CRC
+/// witness refresh, in the existing no-yield data+CRC block.
+pub(crate) struct FlushCommit {
+    dst: Region,
+    src: Region,
+    label: &'static str,
+}
+
+impl FlushCommit {
+    pub(crate) fn new(dst: Region, src: Region, label: &'static str) -> Self {
+        FlushCommit { dst, src, label }
+    }
+}
+
+impl<'c> SequencedOp<Checkpointer<'c>> for FlushCommit {
+    fn name(&self) -> String {
+        format!("flush:{}<-{}", self.dst, self.src)
+    }
+
+    fn detect(&self, ck: &Checkpointer<'c>) -> Result<OpState, Fault> {
+        let (Some(dst), Some(src)) = (ck.region_seg(self.dst), ck.region_seg(self.src)) else {
+            return Err(Fault::Protocol("flush: region not allocated by method"));
+        };
+        let same = {
+            let d = dst.read();
+            let s = src.read();
+            let dv = d.try_as_f64()?;
+            let sv = s.try_as_f64()?;
+            dv.len() == sv.len() && dv.iter().zip(sv).all(|(a, b)| a.to_bits() == b.to_bits())
+        };
+        let witnessed = ck.region_crc_ok(self.dst)?;
+        Ok(match (same, witnessed) {
+            // Copy landed and the CRC witness agrees: fully committed.
+            (true, true) => OpState::Done,
+            // Witness agrees with *different* bytes: the old committed
+            // image — the copy never started.
+            (false, true) => OpState::NotStarted,
+            // Witness disagrees with the data: torn copy or stale CRC.
+            (_, false) => OpState::InFlight,
+        })
+    }
+
+    fn apply(&self, ck: &mut Checkpointer<'c>) -> Result<(), Fault> {
+        let (Some(dst), Some(src)) = (
+            ck.region_seg(self.dst).cloned(),
+            ck.region_seg(self.src).cloned(),
+        ) else {
+            return Err(Fault::Protocol("flush: region not allocated by method"));
+        };
+        ck.copy_seg(&dst, &src, self.label)?;
+        ck.update_region_crcs(&[self.dst])
+    }
+}
+
+/// Commit freshly encoded parity into a checksum segment plus the CRC
+/// witnesses of every region the encode certifies (the self method's D
+/// fill witnesses `(work, D)` as a pair).
+pub(crate) struct ParityCommit {
+    dst: Region,
+    data: Vec<f64>,
+    crc: Vec<Region>,
+}
+
+impl ParityCommit {
+    pub(crate) fn new(dst: Region, data: Vec<f64>, crc: &[Region]) -> Self {
+        ParityCommit {
+            dst,
+            data,
+            crc: crc.to_vec(),
+        }
+    }
+}
+
+impl<'c> SequencedOp<Checkpointer<'c>> for ParityCommit {
+    fn name(&self) -> String {
+        format!("parity:{}", self.dst)
+    }
+
+    fn detect(&self, ck: &Checkpointer<'c>) -> Result<OpState, Fault> {
+        let Some(dst) = ck.region_seg(self.dst) else {
+            return Err(Fault::Protocol("parity: region not allocated by method"));
+        };
+        let same = {
+            let d = dst.read();
+            let dv = d.try_as_f64()?;
+            dv.len() == self.data.len()
+                && dv
+                    .iter()
+                    .zip(&self.data)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        };
+        let mut witnessed = true;
+        for &r in &self.crc {
+            witnessed &= ck.region_crc_ok(r)?;
+        }
+        Ok(match (same, witnessed) {
+            (true, true) => OpState::Done,
+            (false, true) => OpState::NotStarted,
+            (_, false) => OpState::InFlight,
+        })
+    }
+
+    fn apply(&self, ck: &mut Checkpointer<'c>) -> Result<(), Fault> {
+        let Some(dst) = ck.region_seg(self.dst).cloned() else {
+            return Err(Fault::Protocol("parity: region not allocated by method"));
+        };
+        ck.fill_seg(&dst, &self.data)?;
+        ck.update_region_crcs(&self.crc)
+    }
+}
+
+/// Rebuild the lost/damaged ranks' `(data, parity)` pair from the
+/// survivors' parity. Detect is structural: an empty erasure set (the
+/// previous attempt's rebuild committed, so this attempt's
+/// `verify_sources` found nothing damaged) is [`OpState::Done`].
+pub(crate) struct RebuildOp {
+    lost: Vec<usize>,
+    data_r: Region,
+    parity_r: Region,
+}
+
+impl RebuildOp {
+    pub(crate) fn new(lost: Vec<usize>, data_r: Region, parity_r: Region) -> Self {
+        RebuildOp {
+            lost,
+            data_r,
+            parity_r,
+        }
+    }
+}
+
+impl<'c> SequencedOp<Checkpointer<'c>> for RebuildOp {
+    fn name(&self) -> String {
+        format!("rebuild:{}+{}{:?}", self.data_r, self.parity_r, self.lost)
+    }
+
+    fn detect(&self, _ck: &Checkpointer<'c>) -> Result<OpState, Fault> {
+        Ok(if self.lost.is_empty() {
+            OpState::Done
+        } else {
+            OpState::NotStarted
+        })
+    }
+
+    fn apply(&self, ck: &mut Checkpointer<'c>) -> Result<(), Fault> {
+        if self.lost.is_empty() {
+            return Ok(());
+        }
+        ck.rebuild_regions(&self.lost, self.data_r, self.parity_r)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Daemon op (Ctx = Ranklist)
+// ---------------------------------------------------------------------
+
+/// The daemon's spare-node accounting: replace every dead node in the
+/// ranklist with a spare. Detect is liveness-structural — a ranklist
+/// whose every node is alive proves the previous draw completed (or none
+/// was needed), so a daemon re-entering after a crash mid-bookkeeping
+/// skips instead of double-drawing spares.
+pub struct SpareDraw<'a> {
+    cluster: &'a Cluster,
+}
+
+impl<'a> SpareDraw<'a> {
+    /// A spare-draw op against `cluster`'s spare pool.
+    pub fn new(cluster: &'a Cluster) -> Self {
+        SpareDraw { cluster }
+    }
+}
+
+impl SequencedOp<Ranklist> for SpareDraw<'_> {
+    fn name(&self) -> String {
+        "daemon:spare-draw".into()
+    }
+
+    fn detect(&self, rl: &Ranklist) -> Result<OpState, Fault> {
+        let all_alive = (0..rl.len()).all(|r| self.cluster.node_alive(rl.node_of(r)));
+        Ok(if all_alive {
+            OpState::Done
+        } else {
+            OpState::NotStarted
+        })
+    }
+
+    fn apply(&self, rl: &mut Ranklist) -> Result<(), Fault> {
+        rl.repair(self.cluster)
+            .map(|_| ())
+            .map_err(|_| Fault::Protocol("daemon: spare-node pool exhausted during replacement"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        value: u64,
+        target: u64,
+    }
+
+    struct SetToTarget;
+
+    impl SequencedOp<Counter> for SetToTarget {
+        fn name(&self) -> String {
+            "test:set".into()
+        }
+        fn detect(&self, c: &Counter) -> Result<OpState, Fault> {
+            Ok(if c.value == c.target {
+                OpState::Done
+            } else {
+                OpState::NotStarted
+            })
+        }
+        fn apply(&self, c: &mut Counter) -> Result<(), Fault> {
+            c.value = c.target;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn forward_prepare_always_applies() {
+        let mut c = Counter {
+            value: 5,
+            target: 5,
+        };
+        let tok = prepare(SetToTarget).commit(&mut c).unwrap();
+        assert_eq!(tok.record().action, OpAction::Applied);
+        assert_eq!(tok.record().detected, OpState::NotStarted);
+    }
+
+    #[test]
+    fn replay_skips_a_done_op_and_replays_a_missing_one() {
+        let mut c = Counter {
+            value: 5,
+            target: 5,
+        };
+        let p = prepare_replay(SetToTarget, &c).unwrap();
+        assert_eq!(p.detected(), OpState::Done);
+        let tok = p.commit(&mut c).unwrap();
+        assert_eq!(tok.record().action, OpAction::Skipped);
+
+        let mut c = Counter {
+            value: 0,
+            target: 5,
+        };
+        let tok = prepare_replay(SetToTarget, &c)
+            .unwrap()
+            .commit(&mut c)
+            .unwrap();
+        assert_eq!(tok.record().action, OpAction::Replayed);
+        assert_eq!(c.value, 5);
+    }
+
+    #[test]
+    fn record_display_is_compact_and_stable() {
+        let r = OpRecord {
+            op: "header:DEpoch=3".into(),
+            detected: OpState::InFlight,
+            action: OpAction::Replayed,
+        };
+        assert_eq!(r.to_string(), "header:DEpoch=3 in-flight:replayed");
+    }
+}

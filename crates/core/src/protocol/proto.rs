@@ -1,0 +1,90 @@
+//! The `Protocol` trait and its method registry — the plumbing that
+//! binds a [`Method`] to its protocol implementation, plus the
+//! [`PhaseSpan`] observation guard the implementations time their
+//! phases with.
+
+use super::planner::{self, GroupPlan, HeaderMaxima, SurvivorView};
+use super::{double, self_ckpt, single, Checkpointer, CkptStats, Header, RecoverError, Recovery};
+use crate::memory::Method;
+use skt_cluster::{Event, EventBus, ShmSegment, Stopwatch};
+use skt_mps::Fault;
+
+/// One checkpoint method's protocol logic.
+///
+/// Implementations are stateless unit structs (`SelfCkpt`, `Single`,
+/// `Double`); all state lives in the [`Checkpointer`] they receive. The
+/// `Checkpointer` resolves its implementation once in [`protocol_impl`]
+/// at init — `make`/`recover` never branch on [`Method`] again.
+///
+/// To add a method: implement this trait in a sibling module, add the
+/// [`Method`] variant, and register it in [`protocol_impl`]. The shared
+/// helpers on `Checkpointer` (`encode_of`, `span`, `finish_restore`,
+/// `seal`) cover the common mechanics; every durable mutation routes
+/// through the sequenced-op tokens of [`super::ops`].
+pub(crate) trait Protocol: Sync {
+    /// The [`Method`] this implements.
+    fn method(&self) -> Method;
+
+    /// Epoch to resume at when re-attaching to existing segments.
+    fn initial_epoch(&self, h: &Header) -> u64 {
+        h.bc_epoch
+    }
+
+    /// Run the method's protocol phases for epoch `e` (the shared
+    /// serialize step already happened). Must leave the commit markers
+    /// describing a consistent state on success.
+    fn make_phases<'c>(&self, ck: &mut Checkpointer<'c>, e: u64) -> Result<CkptStats, Fault>;
+
+    /// Group-consensus restore planning over the gathered survivor
+    /// views; `parity` is the codec's parity-stripe count (the maximum
+    /// number of lost members one group can rebuild).
+    fn plan_recovery(&self, views: &[SurvivorView], parity: usize) -> GroupPlan {
+        planner::plan_recovery(self.method(), views, parity)
+    }
+
+    /// Restore the workspace to the job-wide agreed `target` epoch,
+    /// rebuilding the `lost` ranks' state from parity if needed. `maxima`
+    /// are the survivor-header maxima the planner derived the proposal
+    /// from.
+    fn restore<'c>(
+        &self,
+        ck: &mut Checkpointer<'c>,
+        lost: &[usize],
+        target: u64,
+        maxima: &HeaderMaxima,
+    ) -> Result<Recovery, RecoverError>;
+
+    /// Which committed `(checkpoint, checksum)` pair an integrity check
+    /// must target (the double method alternates pairs by epoch parity).
+    fn verify_pair<'a>(&self, ck: &'a Checkpointer<'_>) -> (&'a ShmSegment, &'a ShmSegment) {
+        (&ck.b, &ck.c)
+    }
+}
+
+/// The one place a [`Method`] maps to its `Protocol` implementation.
+pub(super) fn protocol_impl(method: Method) -> &'static dyn Protocol {
+    match method {
+        Method::SelfCkpt => &self_ckpt::SelfCkpt,
+        Method::Single => &single::Single,
+        Method::Double => &double::Double,
+    }
+}
+
+/// An in-flight phase observation; [`PhaseSpan::end`] emits the matching
+/// [`Event::PhaseExit`].
+pub(crate) struct PhaseSpan {
+    pub(super) bus: EventBus,
+    pub(super) label: &'static str,
+    pub(super) epoch: u64,
+    pub(super) t0: Stopwatch,
+}
+
+impl PhaseSpan {
+    pub(crate) fn end(self) {
+        self.bus.emit(Event::PhaseExit {
+            label: self.label,
+            epoch: self.epoch,
+            elapsed: self.t0.elapsed(),
+        });
+    }
+}

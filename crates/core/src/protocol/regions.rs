@@ -90,7 +90,11 @@ impl<'c> Checkpointer<'c> {
     /// collectives so cascading failures can land mid-rebuild; each
     /// rebuilt rank's stripe CRCs are refreshed in the same no-yield
     /// block as the segment fills, so a kill at any yield point leaves
-    /// every rank's CRC table consistent with its data.
+    /// every rank's CRC table consistent with its data. Surviving
+    /// contributions are CRC re-verified at the moment they are read, so
+    /// corruption landing between the lost-set agreement and the
+    /// reconstruction aborts with a typed fault instead of poisoning the
+    /// rebuilt stripes.
     pub(super) fn rebuild_regions(
         &self,
         lost: &[usize],
@@ -111,6 +115,24 @@ impl<'c> Checkpointer<'c> {
             let c = parity_seg.read();
             (b.try_as_f64()?.to_vec(), c.try_as_f64()?.to_vec())
         };
+        // TOCTOU guard: the lost set was agreed from CRCs checked *before*
+        // this read. Corruption landing in that window would poison every
+        // rebuilt stripe and then be handed a fresh CRC witness below,
+        // leaving damage the scrub can detect (parity mismatch) but never
+        // locate. Re-verify each surviving contribution at the moment of
+        // use and abort before anything is mutated: on retry the stale
+        // witness downgrades that rank to one more erasure.
+        let my_ok = lost.contains(&self.comm.rank())
+            || (self.region_crc_ok(data_r)? && self.region_crc_ok(parity_r)?);
+        if !self.gather_bad_ranks(my_ok)?.is_empty() {
+            return Err(Fault::Protocol(
+                "rebuild: a source region changed under reconstruction (stale CRC witness)",
+            ));
+        }
+        // The one internal composition of gated mutators: the rebuild is
+        // itself a sequenced op (`ops::RebuildOp`), and its fills + CRC
+        // refresh form that op's single apply step.
+        #[allow(clippy::disallowed_methods)]
         if let Some((data, parity)) =
             reconstruct_multi(&self.comm, &self.layout, self.codec, lost, &bd, &pc)?
         {

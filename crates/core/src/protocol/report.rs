@@ -1,5 +1,6 @@
 //! Structured account of what a recovery did.
 
+use super::ops::{OpAction, OpRecord};
 use super::planner::HeaderMaxima;
 use super::RestoreSource;
 use crate::memory::Method;
@@ -29,6 +30,18 @@ pub struct RecoveryReport {
     pub rebuilt_bytes: u64,
     /// Wall-clock time of the whole recovery collective.
     pub elapsed: Duration,
+    /// Sequenced-op audit trail of this rank's restore: which commit
+    /// points were applied, detected already-`Done` and skipped, or
+    /// replayed (see [`super::ops`]). Empty for restores performed by
+    /// an outer layer (the multi-level PFS fallback).
+    pub ops: Vec<OpRecord>,
+}
+
+impl RecoveryReport {
+    /// Count of trail entries with the given action.
+    fn action_count(&self, a: OpAction) -> usize {
+        self.ops.iter().filter(|r| r.action == a).count()
+    }
 }
 
 impl std::fmt::Display for RecoveryReport {
@@ -53,7 +66,17 @@ impl std::fmt::Display for RecoveryReport {
                 self.rebuilt_bytes
             )?,
         }
-        write!(f, "{:.1} ms)", self.elapsed.as_secs_f64() * 1e3)
+        write!(f, "{:.1} ms", self.elapsed.as_secs_f64() * 1e3)?;
+        if !self.ops.is_empty() {
+            write!(
+                f,
+                "; ops: {} applied, {} replayed, {} skipped",
+                self.action_count(OpAction::Applied),
+                self.action_count(OpAction::Replayed),
+                self.action_count(OpAction::Skipped),
+            )?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -76,6 +99,7 @@ mod tests {
             },
             rebuilt_bytes: 640,
             elapsed: Duration::from_millis(2),
+            ops: vec![],
         };
         let s = r.to_string();
         assert!(s.contains("epoch 3"), "{s}");
@@ -93,6 +117,7 @@ mod tests {
             epochs_seen: HeaderMaxima::default(),
             rebuilt_bytes: 1280,
             elapsed: Duration::from_millis(1),
+            ops: vec![],
         };
         let s = r.to_string();
         assert!(s.contains("rebuilt 1280 bytes for ranks [0, 2]"), "{s}");

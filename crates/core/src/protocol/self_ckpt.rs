@@ -3,10 +3,11 @@
 //! workspace itself doubling as a checkpoint while `B` is overwritten.
 
 use super::header::HeaderWord;
+use super::ops::{self, FlushCommit, HeaderCommit, ParityCommit, RebuildOp};
 use super::planner::{choose_self_source, HeaderMaxima};
+use super::proto::Protocol;
 use super::{
-    Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource,
-    RECOVER_COMMIT_PROBE,
+    Checkpointer, CkptStats, Phase, RecoverError, Recovery, RestoreSource, RECOVER_COMMIT_PROBE,
 };
 use crate::memory::Method;
 use skt_cluster::Region;
@@ -20,21 +21,26 @@ impl Protocol for SelfCkpt {
     }
 
     fn make_phases<'c>(&self, ck: &mut Checkpointer<'c>, e: u64) -> Result<CkptStats, Fault> {
-        let d_seg = ck.d.clone().expect("self method has D");
-
-        // (2) encode parity of `work` into D
+        // (2) encode parity of `work` into D. The parity fill CRCs the
+        // fresh (work, D) pair in the same no-yield block: any rank past
+        // the commit has matching data and witness.
         let t0 = ck.clock();
         let sp = ck.span(Phase::Encode, e);
         let parity = ck.encode_of(&ck.work, Some(Phase::Encode.label()))?;
-        ck.fill_seg(&d_seg, &parity)?;
-        // CRC the fresh (work, D) pair in the same no-yield block as the
-        // D fill: any rank past this line has matching data and witness.
-        ck.update_region_crcs(&[Region::Work, Region::ChecksumD])?;
+        let d_fill = ck.seal(ops::prepare(ParityCommit::new(
+            Region::ChecksumD,
+            parity,
+            &[Region::Work, Region::ChecksumD],
+        )))?;
         // (3) group-wide commit of D
         ck.comm.barrier()?;
         sp.end();
         let encode = t0.elapsed();
-        ck.commit(HeaderWord::DEpoch, e)?;
+        let _d = ck.seal(ops::prepare(HeaderCommit::after(
+            HeaderWord::DEpoch,
+            e,
+            &d_fill,
+        )))?;
         ck.phase_point(Phase::CommitD)?;
         // Cross-group gate: no group may start overwriting (B, C) until
         // *every* group has committed D@e — otherwise a failure could
@@ -46,19 +52,27 @@ impl Protocol for SelfCkpt {
         // stand in as the consistent pair.
         let t1 = ck.clock();
         let sp = ck.span(Phase::FlushB, e);
-        ck.copy_seg(&ck.b, &ck.work, Phase::FlushB.label())?;
-        ck.update_region_crcs(&[Region::CopyB])?;
+        let flush_b = ck.seal(ops::prepare(FlushCommit::new(
+            Region::CopyB,
+            Region::Work,
+            Phase::FlushB.label(),
+        )))?;
         sp.end();
         ck.phase_point(Phase::FlushB)?;
         let sp = ck.span(Phase::FlushC, e);
-        ck.copy_seg(&ck.c, &d_seg, Phase::FlushC.label())?;
-        ck.update_region_crcs(&[Region::ParityC])?;
+        let flush_c = ck.seal(ops::prepare(FlushCommit::new(
+            Region::ParityC,
+            Region::ChecksumD,
+            Phase::FlushC.label(),
+        )))?;
         sp.end();
         ck.phase_point(Phase::FlushC)?;
         // (5) group-wide commit of (B, C)
         ck.comm.barrier()?;
         let flush = t1.elapsed();
-        ck.commit(HeaderWord::BcEpoch, e)?;
+        let _bc = ck.seal(ops::prepare(
+            HeaderCommit::after(HeaderWord::BcEpoch, e, &flush_b).also_after(&flush_c),
+        ))?;
         Ok(ck.stats(e, encode, flush))
     }
 
@@ -69,7 +83,6 @@ impl Protocol for SelfCkpt {
         target: u64,
         maxima: &HeaderMaxima,
     ) -> Result<Recovery, RecoverError> {
-        let d_seg = ck.d.clone().expect("self method has D");
         match choose_self_source(target, maxima) {
             Some(RestoreSource::CheckpointAndChecksum) => {
                 // Normal rollback to the committed checkpoint (CASE 1) —
@@ -78,20 +91,30 @@ impl Protocol for SelfCkpt {
                 // then still intact. CRC-verify the source pair first:
                 // silently corrupted survivors are downgraded to
                 // erasures and rebuilt alongside (or instead of) the
-                // lost ranks.
+                // lost ranks. Every step is a replay-sequenced op, so a
+                // re-entered restore (recovery of a recovery) skips what
+                // already committed.
                 let lost = ck.verify_sources(lost, &[Region::CopyB, Region::ParityC])?;
-                if !lost.is_empty() {
-                    ck.rebuild_regions(&lost, Region::CopyB, Region::ParityC)?;
-                }
-                ck.copy_seg(&ck.work, &ck.b, "recover-restore")?;
-                ck.update_region_crcs(&[Region::Work])?;
+                let rebuilt =
+                    ck.seal_replay(RebuildOp::new(lost, Region::CopyB, Region::ParityC))?;
+                let to_work = ck.seal_replay(FlushCommit::new(
+                    Region::Work,
+                    Region::CopyB,
+                    "recover-restore",
+                ))?;
                 // restore the invariant: D mirrors C after a rollback
-                ck.copy_seg(&d_seg, &ck.c, "recover-restore")?;
-                ck.update_region_crcs(&[Region::ChecksumD])?;
+                let to_d = ck.seal_replay(FlushCommit::new(
+                    Region::ChecksumD,
+                    Region::ParityC,
+                    "recover-restore",
+                ))?;
                 ck.probe(RECOVER_COMMIT_PROBE)?;
                 ck.comm.barrier()?;
-                ck.commit(HeaderWord::DEpoch, target)?;
-                ck.commit(HeaderWord::BcEpoch, target)?;
+                let _d = ck.seal_replay(
+                    HeaderCommit::after(HeaderWord::DEpoch, target, &to_d).also_after(&rebuilt),
+                )?;
+                let _bc =
+                    ck.seal_replay(HeaderCommit::after(HeaderWord::BcEpoch, target, &to_work))?;
                 ck.finish_restore(target, RestoreSource::CheckpointAndChecksum)
             }
             Some(RestoreSource::WorkspaceAndChecksum) => {
@@ -101,19 +124,27 @@ impl Protocol for SelfCkpt {
                 // encode, so the (work, D) CRCs written there still
                 // witness the exact bytes being trusted.
                 let lost = ck.verify_sources(lost, &[Region::Work, Region::ChecksumD])?;
-                if !lost.is_empty() {
-                    ck.rebuild_regions(&lost, Region::Work, Region::ChecksumD)?;
-                }
+                let rebuilt =
+                    ck.seal_replay(RebuildOp::new(lost, Region::Work, Region::ChecksumD))?;
                 // complete the interrupted flush so (B, C) is consistent
                 // again
-                ck.copy_seg(&ck.b, &ck.work, "recover-flush")?;
-                ck.update_region_crcs(&[Region::CopyB])?;
-                ck.copy_seg(&ck.c, &d_seg, "recover-flush")?;
-                ck.update_region_crcs(&[Region::ParityC])?;
+                let to_b = ck.seal_replay(FlushCommit::new(
+                    Region::CopyB,
+                    Region::Work,
+                    "recover-flush",
+                ))?;
+                let to_c = ck.seal_replay(FlushCommit::new(
+                    Region::ParityC,
+                    Region::ChecksumD,
+                    "recover-flush",
+                ))?;
                 ck.probe(RECOVER_COMMIT_PROBE)?;
                 ck.comm.barrier()?;
-                ck.commit(HeaderWord::DEpoch, target)?;
-                ck.commit(HeaderWord::BcEpoch, target)?;
+                let _d =
+                    ck.seal_replay(HeaderCommit::after(HeaderWord::DEpoch, target, &rebuilt))?;
+                let _bc = ck.seal_replay(
+                    HeaderCommit::after(HeaderWord::BcEpoch, target, &to_b).also_after(&to_c),
+                )?;
                 ck.finish_restore(target, RestoreSource::WorkspaceAndChecksum)
             }
             _ => unreachable!(

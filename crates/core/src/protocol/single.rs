@@ -4,10 +4,11 @@
 //! flaw, flagged by the planner's torn-update detector).
 
 use super::header::HeaderWord;
+use super::ops::{self, FlushCommit, HeaderCommit, ParityCommit, RebuildOp};
 use super::planner::HeaderMaxima;
+use super::proto::Protocol;
 use super::{
-    Checkpointer, CkptStats, Phase, Protocol, RecoverError, Recovery, RestoreSource,
-    RECOVER_COMMIT_PROBE,
+    Checkpointer, CkptStats, Phase, RecoverError, Recovery, RestoreSource, RECOVER_COMMIT_PROBE,
 };
 use crate::memory::Method;
 use skt_cluster::Region;
@@ -29,24 +30,33 @@ impl Protocol for Single {
         ck.comm.barrier()?;
         // Mark the attempt: if epoch `e` never commits anywhere, (B, C)
         // may be torn and recovery must give up — the method's documented
-        // flaw (paper Figure 2, CASE 2).
-        ck.commit(HeaderWord::Dirty, e)?;
+        // flaw (paper Figure 2, CASE 2). An evidence-free op by design:
+        // the dirty word certifies nothing, it *announces*.
+        let _mark = ck.seal(ops::prepare(HeaderCommit::attempt(e)))?;
         let t1 = ck.clock();
         let sp = ck.span(Phase::CopyB, e);
-        ck.copy_seg(&ck.b, &ck.work, Phase::CopyB.label())?;
-        ck.update_region_crcs(&[Region::CopyB])?;
+        let copy = ck.seal(ops::prepare(FlushCommit::new(
+            Region::CopyB,
+            Region::Work,
+            Phase::CopyB.label(),
+        )))?;
         sp.end();
         ck.phase_point(Phase::CopyB)?;
         let flush = t1.elapsed();
         let t0 = ck.clock();
         let sp = ck.span(Phase::Encode, e);
         let parity = ck.encode_of(&ck.b, Some(Phase::Encode.label()))?;
-        ck.fill_seg(&ck.c, &parity)?;
-        ck.update_region_crcs(&[Region::ParityC])?;
+        let encoded = ck.seal(ops::prepare(ParityCommit::new(
+            Region::ParityC,
+            parity,
+            &[Region::ParityC],
+        )))?;
         ck.comm.barrier()?;
         sp.end();
         let encode = t0.elapsed();
-        ck.commit(HeaderWord::BcEpoch, e)?;
+        let _bc = ck.seal(ops::prepare(
+            HeaderCommit::after(HeaderWord::BcEpoch, e, &copy).also_after(&encoded),
+        ))?;
         Ok(ck.stats(e, encode, flush))
     }
 
@@ -59,16 +69,21 @@ impl Protocol for Single {
     ) -> Result<Recovery, RecoverError> {
         // CRC-verify the only pair this method has before trusting it;
         // corrupt survivors join (or replace) the lost ranks as the
-        // erasures to rebuild.
+        // erasures to rebuild. Replay-sequenced: a re-entered restore
+        // skips the steps that already committed.
         let lost = ck.verify_sources(lost, &[Region::CopyB, Region::ParityC])?;
-        if !lost.is_empty() {
-            ck.rebuild_regions(&lost, Region::CopyB, Region::ParityC)?;
-        }
-        ck.copy_seg(&ck.work, &ck.b, "recover-restore")?;
+        let rebuilt = ck.seal_replay(RebuildOp::new(lost, Region::CopyB, Region::ParityC))?;
+        let to_work = ck.seal_replay(FlushCommit::new(
+            Region::Work,
+            Region::CopyB,
+            "recover-restore",
+        ))?;
         ck.probe(RECOVER_COMMIT_PROBE)?;
         ck.comm.barrier()?;
-        ck.commit(HeaderWord::BcEpoch, target)?;
-        ck.commit(HeaderWord::Dirty, target)?;
+        let _bc = ck.seal_replay(
+            HeaderCommit::after(HeaderWord::BcEpoch, target, &to_work).also_after(&rebuilt),
+        )?;
+        let _mark = ck.seal_replay(HeaderCommit::attempt(target))?;
         ck.finish_restore(target, RestoreSource::CheckpointAndChecksum)
     }
 }

@@ -1,5 +1,8 @@
 use super::*;
-use skt_cluster::{Cluster, ClusterConfig, CorruptPlan, FailurePlan, Ranklist, Recorder, Region};
+use skt_cluster::{
+    Cluster, ClusterConfig, CorruptPlan, Event, FailurePlan, Ranklist, Recorder, Region,
+};
+use skt_encoding::GroupLayout;
 use skt_mps::run_on_cluster;
 use std::sync::Arc;
 

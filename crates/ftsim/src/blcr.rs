@@ -68,13 +68,21 @@ fn serialize(k: u64, storage: &[f64]) -> Vec<u8> {
     out
 }
 
-fn deserialize(blob: &[u8]) -> (u64, Vec<f64>) {
-    let k = u64::from_le_bytes(blob[..8].try_into().unwrap());
+/// Decode a checkpoint blob. `None` for anything shorter than its epoch
+/// header — a torn disk blob reads as absent, never as a panic.
+fn deserialize(blob: &[u8]) -> Option<(u64, Vec<f64>)> {
+    let head = blob.get(..8)?;
+    let mut w = [0u8; 8];
+    w.copy_from_slice(head);
+    let k = u64::from_le_bytes(w);
     let data = blob[8..]
         .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .map(|c| {
+            w.copy_from_slice(c);
+            f64::from_le_bytes(w)
+        })
         .collect();
-    (k, data)
+    Some((k, data))
 }
 
 /// Run HPL under BLCR-style disk checkpointing. The same `store` must be
@@ -93,7 +101,11 @@ pub fn run_blcr(ctx: &Ctx, cfg: &BlcrConfig, store: &BlcrStore) -> Result<SktOut
     let mut local: Vec<(u64, u64)> = Vec::new(); // (k, slot)
     for s in 0..2u64 {
         if let Some((blob, _)) = dev.read(&slot_name(s), sharers) {
-            local.push((u64::from_le_bytes(blob[..8].try_into().unwrap()), s));
+            if let Some(head) = blob.get(..8) {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(head);
+                local.push((u64::from_le_bytes(w), s));
+            }
         }
     }
     let my_best = local.iter().map(|(k, _)| *k).max().unwrap_or(0);
@@ -105,14 +117,23 @@ pub fn run_blcr(ctx: &Ctx, cfg: &BlcrConfig, store: &BlcrStore) -> Result<SktOut
     let start_panel;
     let mut recover_io = 0.0f64;
     if common > 0 {
+        // The two-slot discipline makes the agreed epoch held here, but
+        // every step stays fallible: a disagreeing inventory yields a
+        // typed fault, not a panic mid-collective.
         let slot = local
             .iter()
             .find(|(k, _)| *k == common)
             .map(|(_, s)| *s)
-            .expect("two-slot discipline guarantees the common epoch is held");
-        let (blob, t_io) = dev.read(&slot_name(slot), sharers).expect("slot just seen");
+            .ok_or(Fault::Protocol(
+                "blcr: agreed epoch not present in local slots",
+            ))?;
+        let (blob, t_io) = dev.read(&slot_name(slot), sharers).ok_or(Fault::Protocol(
+            "blcr: checkpoint slot vanished between inventory and read",
+        ))?;
         recover_io += t_io.as_secs_f64();
-        let (k, data) = deserialize(&blob);
+        let (k, data) = deserialize(&blob).ok_or(Fault::Protocol(
+            "blcr: checkpoint blob torn below its epoch header",
+        ))?;
         debug_assert_eq!(k, common);
         storage = data;
         start_panel = common as usize;

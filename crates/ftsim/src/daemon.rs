@@ -13,7 +13,8 @@
 //! cluster.
 
 use skt_cluster::{Cluster, Fault, NodeId, Ranklist};
-use skt_core::RecoveryReport;
+use skt_core::protocol::ops::{self, SpareDraw};
+use skt_core::{OpRecord, RecoveryReport};
 use skt_hpl::{run_skt_observed, SktConfig, SktOutput};
 use skt_mps::run_on_cluster;
 use std::sync::{Arc, Mutex};
@@ -139,6 +140,11 @@ pub struct DaemonHistory {
     /// Recovery reports of every attempt whose restore completed, in
     /// attempt order (an attempt killed mid-rebuild leaves none).
     pub recoveries: Vec<RecoveryReport>,
+    /// The daemon's own sequenced-op audit trail: one record per
+    /// spare-draw, telling whether the draw applied, was replayed, or
+    /// was detected already done and skipped (see
+    /// [`skt_core::protocol::ops`]).
+    pub ops: Vec<OpRecord>,
 }
 
 /// Why the daemon gave up. Every variant carries the full
@@ -273,7 +279,7 @@ pub fn run_with_policy(
     // while the previous launch was aborting). Replace them all in one
     // repair — the relaunch's recovery rebuilds every replaced shard
     // from parity, up to the configured codec's tolerance.
-    if rl.repair(&cluster).is_err() {
+    if draw_spares(&cluster, &mut rl, &mut history).is_err() {
         return Err(DaemonError::OutOfSpares(history));
     }
     let mut known_dead: Vec<NodeId> = cluster.dead_nodes();
@@ -360,12 +366,9 @@ pub fn run_with_policy(
                 // replace: node-health check + ranklist repair
                 let t_rep = cluster.stopwatch();
                 cluster.reset_abort();
-                match rl.repair(&cluster) {
-                    Ok(_moved) => {}
-                    Err(_node) => {
-                        history.attempts.push(record);
-                        return Err(DaemonError::OutOfSpares(history));
-                    }
+                if draw_spares(&cluster, &mut rl, &mut history).is_err() {
+                    history.attempts.push(record);
+                    return Err(DaemonError::OutOfSpares(history));
                 }
                 phase.set(CyclePhase::Replace, t_rep.elapsed());
                 // restart: accounted as launcher overhead of this attempt
@@ -382,6 +385,20 @@ pub fn run_with_policy(
             }
         }
     }
+}
+
+/// Replace every dead node in `rl` from the spare pool, routed through
+/// the sequenced [`SpareDraw`] op: a daemon re-entering bookkeeping
+/// against an already-healed ranklist detects the draw `Done` and skips
+/// it instead of drawing again. The op record lands in `history.ops`.
+fn draw_spares(
+    cluster: &Cluster,
+    rl: &mut Ranklist,
+    history: &mut DaemonHistory,
+) -> Result<(), Fault> {
+    let tok = ops::prepare_replay(SpareDraw::new(cluster), &*rl)?.commit(rl)?;
+    history.ops.push(tok.into_record());
+    Ok(())
 }
 
 #[cfg(test)]

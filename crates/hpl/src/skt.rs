@@ -128,7 +128,7 @@ where
         Err(RecoverError::Unrecoverable(_)) if cfg.method == Method::Single => {
             // the single-checkpoint flaw: checkpoint torn mid-update.
             // Restart the whole computation from generated data.
-            ck.reset();
+            ck.reset()?;
             from_scratch = true;
             let ws = ck.workspace();
             let mut g = ws.write();

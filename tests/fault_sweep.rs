@@ -23,11 +23,12 @@
 //! property of the protocol, not of any particular interleaving.
 
 use self_checkpoint::cluster::{
-    explore_yield_kills, Cluster, ClusterConfig, FailurePlan, Ranklist, SimRuntime,
+    explore_yield_kills, Cluster, ClusterConfig, CorruptPlan, FailurePlan, Ranklist, Region,
+    SimRuntime,
 };
 use self_checkpoint::core::{
     Checkpointer, CkptConfig, Method, Phase, RecoverError, Recovery, RestoreSource,
-    RECOVER_PHASE_LABEL,
+    RECOVER_COMMIT_PROBE, RECOVER_PHASE_LABEL, RECOVER_PLAN_PROBE, RECOVER_REBUILD_PROBE,
 };
 use self_checkpoint::encoding::CodecSpec;
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
@@ -889,4 +890,343 @@ fn single_checkpoint_sweep_is_seed_invariant_under_sim() {
 #[test]
 fn double_checkpoint_sweep_is_seed_invariant_under_sim() {
     check_seed_invariant(Method::Double, 1);
+}
+
+// ---------------------------------------------------------------------
+// Nested-fault dimension: recovery of a recovery
+// ---------------------------------------------------------------------
+
+/// The fault armed *inside* the recovery window, so the retry of the
+/// already-faulted recovery is what gets hit.
+#[derive(Clone, Copy, Debug)]
+enum NestedFault {
+    /// A second node dies at the armed recovery probe.
+    Kill,
+    /// One bit of the inner victim's checkpoint copy flips silently at
+    /// the armed recovery probe.
+    Flip,
+}
+
+/// What one armed point of the nested sweep produced. There is no third
+/// variant: a cell that neither heals nor refuses — a panic, a hang, or
+/// a silently wrong workspace — fails its assertion instead.
+#[derive(Debug)]
+enum NestedOutcome {
+    /// Healing converged: every rank restored epoch `epoch` bit-exact
+    /// with a passing parity check, after `attempts` collective heal
+    /// runs. `trail` is rank 0's op-level audit of the final restore.
+    Healed {
+        epoch: u64,
+        attempts: usize,
+        trail: String,
+    },
+    /// The group was beyond repair; the heal refused job-wide with this
+    /// typed verdict instead of restoring wrong data.
+    TypedRefusal(String),
+}
+
+/// One collective heal run: init, recover, parity-check; if the fresh
+/// parity check fails (silent corruption survived the restore), scrub
+/// the damaged pair and restore once more. The `verify_integrity`
+/// branch is collective-safe: it is an allreduce, so every rank takes
+/// the scrub path together. Per-rank results carry the op-record trail
+/// of the rank's last restore (the detect/replay audit).
+#[allow(clippy::type_complexity)]
+fn heal_once(
+    cluster: &Arc<Cluster>,
+    rl: &Ranklist,
+    method: Method,
+    codec: CodecSpec,
+) -> Result<Result<Vec<(Recovery, Vec<f64>, bool, Vec<String>)>, String>, Fault> {
+    let unrec = std::sync::Mutex::new(None);
+    let outs = run_on_cluster(Arc::clone(cluster), rl, |ctx| {
+        let world = ctx.world();
+        let (mut ck, _) = Checkpointer::init(world, sweep_cfg(method, codec));
+        let mut rec = None;
+        let mut trail = Vec::new();
+        let mut intact = false;
+        for pass in 0..2 {
+            rec = match ck.recover() {
+                Ok(r) => Some(r),
+                Err(RecoverError::Unrecoverable(msg)) => {
+                    *unrec.lock().unwrap() = Some(msg);
+                    return Ok(None);
+                }
+                Err(RecoverError::Fault(f)) => return Err(f),
+                Err(other) => panic!("unexpected recovery error: {other}"),
+            };
+            trail = ck
+                .last_report()
+                .map(|r| r.ops.iter().map(|o| o.to_string()).collect())
+                .unwrap_or_default();
+            intact = ck.verify_integrity()?;
+            if intact || pass == 1 {
+                break;
+            }
+            match ck.scrub() {
+                Ok(_) => {}
+                Err(RecoverError::Unrecoverable(msg)) => {
+                    *unrec.lock().unwrap() = Some(msg);
+                    return Ok(None);
+                }
+                Err(RecoverError::Fault(f)) => return Err(f),
+                Err(other) => panic!("unexpected scrub error: {other}"),
+            }
+        }
+        let data = {
+            let ws = ck.workspace();
+            let g = ws.read();
+            g.as_f64()[..A1].to_vec()
+        };
+        Ok(Some((rec.expect("loop ran"), data, intact, trail)))
+    })?;
+    Ok(match unrec.into_inner().unwrap() {
+        Some(msg) => Err(msg),
+        None => Ok(outs
+            .into_iter()
+            .map(|o| o.expect("all ranks agree"))
+            .collect()),
+    })
+}
+
+/// The recovery probes a nested fault can be armed at, in protocol
+/// order: after planning, around the parity rebuild, before the header
+/// re-commit.
+const NESTED_LABELS: [&str; 3] = [
+    RECOVER_PLAN_PROBE,
+    RECOVER_REBUILD_PROBE,
+    RECOVER_COMMIT_PROBE,
+];
+
+/// The recovery-of-recovery sweep. Layer the faults three deep:
+///
+/// 1. a first node loss at the method's armed checkpoint phase aborts
+///    the job (the cascade sweep's setup);
+/// 2. a nested fault — a second death or a silent bit flip, alternating
+///    by seed parity — is armed at recovery probe `label`, so the first
+///    recovery is itself faulted;
+/// 3. the explorer then kills a *third* node at every kill-capable
+///    yield point inside every recovery window of that scenario —
+///    including the windows of the retries healing fault #2.
+///
+/// Whatever the interleaving, the bounded heal loop must converge to a
+/// bit-exact restored state (the dual-parity codec covers two
+/// concurrent erasures) or refuse with the typed collective verdict
+/// (three members fresh at once exceeds `m = 2`). Healed cells are
+/// checked against `pattern(rank, epoch)` bit-for-bit — the healed
+/// fingerprint is the same whatever the seed — and every fault must be
+/// *attributed* (the culprit node named), never a generic abort.
+fn nested_recovery_sweep(method: Method, label: &'static str, seed: u64) -> String {
+    const FIRST_VICTIM: usize = 1;
+    const INNER_VICTIM: usize = 2;
+    const EXPLORE_VICTIM: usize = 3;
+    const MAX_HEALS: usize = 6;
+    // Alternating by seed parity sweeps both nested-fault kinds across
+    // the seed range without doubling the matrix.
+    let kind = if seed.is_multiple_of(2) {
+        NestedFault::Kill
+    } else {
+        NestedFault::Flip
+    };
+    let (first_phase, epoch) = match method {
+        Method::SelfCkpt => (Phase::FlushB, 3),
+        Method::Double => (Phase::CopyB, 2),
+        Method::Single => (Phase::Serialize, 2),
+    };
+    let codec = CodecSpec::Dual;
+    let tag = format!("{method:?}/{label}/{kind:?}/seed{seed}");
+    let report = explore_yield_kills(seed, EXPLORE_VICTIM, RECOVER_PHASE_LABEL, |rt| {
+        let cluster = Arc::new(Cluster::new_with_runtime(ClusterConfig::new(N, 3), rt));
+        let mut rl = Ranklist::round_robin(N, N);
+        cluster.arm_failure(FailurePlan::new(
+            first_phase,
+            nth_for(first_phase),
+            FIRST_VICTIM,
+        ));
+        match kind {
+            NestedFault::Kill => {
+                cluster.arm_failure(FailurePlan::new(label, 1, INNER_VICTIM));
+            }
+            NestedFault::Flip => {
+                cluster.arm_fault(CorruptPlan::new(
+                    label,
+                    1,
+                    INNER_VICTIM,
+                    Region::CopyB,
+                    21,
+                    5,
+                ));
+            }
+        }
+        let first = run_on_cluster(Arc::clone(&cluster), &rl, |ctx| {
+            writer_with(ctx, sweep_cfg(method, codec))
+        });
+        assert!(
+            first.is_err(),
+            "{tag}: the armed {first_phase} plan must fire"
+        );
+        cluster.reset_abort();
+        rl.repair(&cluster).unwrap();
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            assert!(
+                attempts <= MAX_HEALS,
+                "{tag}: no verdict after {MAX_HEALS} heal attempts"
+            );
+            match heal_once(&cluster, &rl, method, codec) {
+                Ok(Ok(outs)) => {
+                    for (rank, (rec, data, intact, _)) in outs.iter().enumerate() {
+                        match rec {
+                            Recovery::Restored { epoch: e, .. } => {
+                                assert_eq!(*e, epoch, "{tag} rank {rank}: wrong epoch");
+                            }
+                            other => panic!("{tag} rank {rank}: {other:?}"),
+                        }
+                        assert!(*intact, "{tag} rank {rank}: parity check failed after heal");
+                        assert_eq!(
+                            data,
+                            &pattern(rank, epoch),
+                            "{tag} rank {rank}: healed bits differ from the epoch pattern"
+                        );
+                    }
+                    return NestedOutcome::Healed {
+                        epoch,
+                        attempts,
+                        trail: outs[0].3.join(", "),
+                    };
+                }
+                Ok(Err(msg)) => {
+                    // Refusal is deterministic (no armed plan left can
+                    // change the survivor set): retrying is futile, the
+                    // verdict stands.
+                    assert!(
+                        msg.contains("more than")
+                            || msg.contains("inconsistent")
+                            || msg.contains("rebuild at most")
+                            || msg.contains("single parity"),
+                        "{tag}: unexpected refusal: {msg}"
+                    );
+                    return NestedOutcome::TypedRefusal(msg);
+                }
+                Err(f) => {
+                    // A bit flip landing between the lost-set agreement and
+                    // the reconstruction read is refused with a typed fault
+                    // (the TOCTOU guard in `rebuild_regions`); the retry's
+                    // source verification downgrades the stale rank to one
+                    // more erasure.
+                    let attributed = f == Fault::NodeDead(INNER_VICTIM)
+                        || f == Fault::NodeDead(EXPLORE_VICTIM)
+                        || matches!(f, Fault::Protocol(m) if m.contains("changed under reconstruction"));
+                    assert!(attributed, "{tag}: unattributed fault {f:?}");
+                    cluster.reset_abort();
+                    rl.repair(&cluster).unwrap();
+                }
+            }
+        }
+    });
+    // Recording run: the nested fault alone (no explorer kill) must heal.
+    match &report.baseline {
+        NestedOutcome::Healed { epoch: e, .. } => {
+            assert_eq!(*e, epoch, "{tag}: baseline healed the wrong epoch")
+        }
+        other => panic!("{tag}: baseline must heal without the explorer kill: {other:?}"),
+    }
+    let mut healed = 0usize;
+    for (nth, out) in &report.outcomes {
+        if let NestedOutcome::Healed { epoch: e, .. } = out {
+            assert_eq!(*e, epoch, "{tag}: kill #{nth} healed the wrong epoch");
+            healed += 1;
+        }
+    }
+    // A sweep where no point heals would mean the retry loop never works
+    // under a third fault at all.
+    assert!(
+        healed > 0,
+        "{tag}: no kill point healed ({} points)",
+        report.yield_points
+    );
+    let mut s = format!("{tag}: points={}\n", report.yield_points);
+    for (nth, out) in &report.outcomes {
+        match out {
+            NestedOutcome::Healed {
+                epoch,
+                attempts,
+                trail,
+            } => {
+                s.push_str(&format!(
+                    "  kill@{nth}: healed epoch={epoch} attempts={attempts} ops=[{trail}]\n"
+                ));
+            }
+            NestedOutcome::TypedRefusal(msg) => {
+                s.push_str(&format!("  kill@{nth}: refused: {msg}\n"));
+            }
+        }
+    }
+    s
+}
+
+/// ISSUE criterion: a fault injected inside the retry of an
+/// already-faulted recovery, at every recovery yield point, for every
+/// method × recovery probe label × 8 sim seeds — each cell must heal
+/// bit-exact or refuse with the typed collective verdict, with zero
+/// silent outcomes.
+const NESTED_SEEDS: u64 = 8;
+
+#[test]
+fn nested_fault_in_self_recovery_retry_heals_or_refuses() {
+    for label in NESTED_LABELS {
+        for seed in 0..NESTED_SEEDS {
+            nested_recovery_sweep(Method::SelfCkpt, label, seed);
+        }
+    }
+}
+
+#[test]
+fn nested_fault_in_single_recovery_retry_heals_or_refuses() {
+    for label in NESTED_LABELS {
+        for seed in 0..NESTED_SEEDS {
+            nested_recovery_sweep(Method::Single, label, seed);
+        }
+    }
+}
+
+#[test]
+fn nested_fault_in_double_recovery_retry_heals_or_refuses() {
+    for label in NESTED_LABELS {
+        for seed in 0..NESTED_SEEDS {
+            nested_recovery_sweep(Method::Double, label, seed);
+        }
+    }
+}
+
+/// The nested sweep's point-by-point outcomes — including the op-level
+/// detect/replay audit of every healed cell — are a pure function of
+/// `(method, label, seed)`: two in-process evaluations must agree
+/// byte-for-byte, and `$SKT_RECOVERY_REPORT.nested` exports the report
+/// so the CI `recovery-reentrancy` job can diff two independent
+/// *processes*. (The `.nested` suffix keeps it from clobbering the
+/// cascade sweep's export when both run in one process.)
+#[test]
+fn nested_report_is_stable_and_exported() {
+    let build = || {
+        let mut s = String::new();
+        for method in [Method::SelfCkpt, Method::Single, Method::Double] {
+            for label in NESTED_LABELS {
+                for seed in 0..2u64 {
+                    s.push_str(&nested_recovery_sweep(method, label, seed));
+                }
+            }
+        }
+        s
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(
+        a, b,
+        "nested outcomes must be a pure function of (method, label, seed)"
+    );
+    if let Ok(path) = std::env::var("SKT_RECOVERY_REPORT") {
+        std::fs::write(format!("{path}.nested"), &a).unwrap();
+    }
 }
