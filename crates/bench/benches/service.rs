@@ -1,0 +1,158 @@
+//! Criterion benchmarks of the multi-tenant checkpoint service: batch
+//! throughput vs tenant count, end-to-end recovery latency vs group size
+//! × codec (a kill mid-solve, healed through arbitration + the sequenced
+//! spare draw), and the batched vs pipelined flush-scheduling overhead.
+//!
+//! `CRITERION_JSON_OUT=BENCH_service.json cargo bench --bench service`
+//! dumps the numbers for the committed baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skt_cluster::{Cluster, ClusterConfig};
+use skt_encoding::CodecSpec;
+use skt_ftsim::{
+    CheckpointService, RetryPolicy, ServiceConfig, SlicePolicy, StormPlan, TenantOutcome,
+};
+use skt_hpl::{HplConfig, SktConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: usize = 48; // 12 panels per tenant
+const NB: usize = 4;
+
+/// One full service run: `tenants` jobs on `shard`-node shards (group
+/// size == shard) under `codec`, optionally losing tenant 0's first
+/// node at its second panel. Returns the wall time of `run()` alone.
+fn run_once(
+    tenants: usize,
+    shard: usize,
+    codec: CodecSpec,
+    slice_panels: usize,
+    schedule: SlicePolicy,
+    kill: bool,
+) -> Duration {
+    let spares = usize::from(kill);
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(tenants * shard, spares)));
+    let mut cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_millis(1)));
+    cfg.slice_panels = slice_panels;
+    cfg.schedule = schedule;
+    let mut svc = CheckpointService::new(cluster, cfg);
+    for i in 0..tenants {
+        let mut c = SktConfig::new(HplConfig::new(N, NB, 7 + i as u64), shard, 2);
+        c.name = format!("bench{i}");
+        c.codec = codec;
+        svc.register(c, shard, 0).unwrap();
+    }
+    let storm = if kill {
+        StormPlan::none().kill(0, 2)
+    } else {
+        StormPlan::none()
+    };
+    let t = Instant::now();
+    let rep = svc.run(&storm);
+    let elapsed = t.elapsed();
+    for tr in &rep.tenants {
+        assert!(
+            matches!(tr.outcome, TenantOutcome::Completed(_)),
+            "{}: bench runs must complete",
+            tr.name
+        );
+    }
+    elapsed
+}
+
+/// Batch throughput: fault-free tenants pushed through one daemon,
+/// tenants/second as the element throughput.
+fn bench_tenant_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_throughput");
+    g.sample_size(10);
+    for tenants in [1usize, 2, 4, 8] {
+        g.throughput(Throughput::Elements(tenants as u64));
+        g.bench_function(BenchmarkId::new("tenants", tenants), |b| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| {
+                        run_once(
+                            tenants,
+                            2,
+                            CodecSpec::default(),
+                            0,
+                            SlicePolicy::Batched,
+                            false,
+                        )
+                    })
+                    .sum()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Recovery latency: one tenant, one node lost mid-solve, healed and
+/// re-run to completion — swept over group size × codec (the dual P+Q
+/// codec needs groups of at least 3).
+fn bench_recovery_group_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_recovery");
+    g.sample_size(10);
+    for group in [2usize, 4, 8] {
+        let mut codecs = vec![("single", CodecSpec::default())];
+        if group >= 3 {
+            codecs.push(("dual", CodecSpec::Dual));
+        }
+        for (name, codec) in codecs {
+            g.bench_function(BenchmarkId::new(name, group), |b| {
+                b.iter_custom(|iters| {
+                    (0..iters)
+                        .map(|_| run_once(1, group, codec, 0, SlicePolicy::Batched, true))
+                        .sum()
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Flush-scheduling overhead: four tenants batched whole-job vs
+/// pipelined in panel slices (each slice parks in a boundary checkpoint,
+/// so finer slices buy interleaving with more checkpoint flushes).
+fn bench_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_schedule");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(4));
+    g.bench_function(BenchmarkId::new("batched", "whole-job"), |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| run_once(4, 2, CodecSpec::default(), 0, SlicePolicy::Batched, false))
+                .sum()
+        });
+    });
+    for slice in [2usize, 4] {
+        g.bench_function(
+            BenchmarkId::new("pipelined", format!("{slice}-panel")),
+            |b| {
+                b.iter_custom(|iters| {
+                    (0..iters)
+                        .map(|_| {
+                            run_once(
+                                4,
+                                2,
+                                CodecSpec::default(),
+                                slice,
+                                SlicePolicy::Pipelined,
+                                false,
+                            )
+                        })
+                        .sum()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tenant_scaling,
+    bench_recovery_group_codec,
+    bench_schedule
+);
+criterion_main!(benches);

@@ -27,11 +27,16 @@
 //! * **The cluster itself** ([`cluster`]): node inventory, spare pool,
 //!   rank-to-node mapping (the `ranklist` of §5.2), and MPI-style
 //!   whole-job abort on node failure.
+//! * **Multi-tenant service substrate** ([`service`]): disjoint shard
+//!   placement over a common node pool, admission control with a FIFO
+//!   wait queue, reservation-aware spare arbitration, and the
+//!   deterministic event queue the service daemon's loop pops from.
 
 pub mod cluster;
 pub mod events;
 pub mod failure;
 pub mod net;
+pub mod service;
 pub mod shm;
 pub mod storage;
 
@@ -41,11 +46,15 @@ pub use failure::{
     CorruptPlan, FailureInjector, FailurePlan, Fault, FaultAction, FaultPlan, Region,
 };
 pub use net::NetModel;
+pub use service::{
+    Admission, AdmitError, ArbitrationError, EventQueue, ServicePool, SpareGrant, TenantId,
+    TenantSpec,
+};
 pub use shm::{SegmentData, ShmSegment, ShmStore};
 pub use storage::{Device, DeviceKind};
 // The runtime seam lives in `skt-sim`; re-export it here so upper layers
 // (mps, core, ftsim) reach it through their existing cluster dependency.
 pub use skt_sim::{
-    explore, explore_yield_kills, RealRuntime, Runtime, SimRuntime, Stopwatch, YieldKillReport,
-    YieldOutcome,
+    explore, explore_yield_kills, RealRuntime, Runtime, SimRuntime, SplitMix64, Stopwatch,
+    YieldKillReport, YieldOutcome,
 };

@@ -1,0 +1,799 @@
+//! Multi-tenant service substrate: tenant identity, shard placement,
+//! admission control, spare-pool arbitration, and a deterministic event
+//! queue.
+//!
+//! One daemon serving many independent jobs needs exactly four things
+//! from the cluster layer, and they live here so the job-running engine
+//! (`skt-ftsim::service`) stays a pure state machine on top:
+//!
+//! * **Shard map** — each admitted tenant owns a *disjoint* set of
+//!   compute nodes, so no node ever hosts two tenants' ranks or SHM
+//!   checkpoints. Isolation is structural, not policed.
+//! * **Admission control** — a tenant whose node-count or per-node
+//!   memory demand cannot be met *right now* is queued (FIFO, no
+//!   overtaking); one whose demand can *never* be met is rejected with a
+//!   typed [`AdmitError`].
+//! * **Spare arbitration** — every tenant may reserve a spare-node
+//!   guarantee at admission. Draws come from the tenant's own reserve
+//!   first, then the unreserved float; a cascade that would have to dip
+//!   into *another* tenant's reserve is refused with the typed
+//!   [`ArbitrationError::WouldStarve`] instead of silently starving the
+//!   other tenant's recovery guarantee.
+//! * **Event queue** — a `(virtual time, sequence)`-ordered queue the
+//!   service loop pops deterministically, so a fixed `(config, seed)`
+//!   replays the same cross-tenant interleaving bit for bit.
+
+use crate::cluster::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::time::Duration;
+
+/// Tenant identifier, assigned at registration in order (`t0`, `t1`, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// What a tenant asks the service for.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Unique tenant name — also the tenant's SHM namespace prefix, so
+    /// duplicate names would alias checkpoint segments and are refused.
+    pub name: String,
+    /// Compute nodes demanded (the tenant's shard size).
+    pub nodes: usize,
+    /// Bytes of node memory the job will pin per node (workspace +
+    /// checkpoint + checksum regions).
+    pub mem_bytes_per_node: u64,
+    /// Spares this tenant wants *guaranteed* for its own recoveries.
+    /// Zero means best-effort: draw from the float only.
+    pub spare_guarantee: usize,
+}
+
+/// Outcome of [`ServicePool::admit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Admission {
+    /// Admitted now, on these nodes (disjoint from every other shard).
+    Admitted {
+        /// The new tenant's id.
+        tenant: TenantId,
+        /// Nodes assigned to the shard, ascending.
+        nodes: Vec<NodeId>,
+    },
+    /// Demand is satisfiable but not right now; the tenant waits in a
+    /// FIFO queue and is admitted when capacity frees (no overtaking).
+    Queued {
+        /// The new tenant's id (already assigned; stable across the wait).
+        tenant: TenantId,
+        /// Position in the wait queue at registration time (0 = next).
+        position: usize,
+    },
+}
+
+/// Why admission is refused outright (the demand can *never* be met on
+/// this pool, so queueing would be a silent hang).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdmitError {
+    /// A tenant with this name already exists (alive or queued).
+    DuplicateName(String),
+    /// The shard demand exceeds the pool's total compute-node count.
+    NeverFits {
+        /// Nodes demanded.
+        demanded: usize,
+        /// Compute nodes the pool has in total.
+        total: usize,
+    },
+    /// The per-node memory demand exceeds a node's capacity.
+    MemoryOversubscribed {
+        /// Bytes demanded per node.
+        demanded: u64,
+        /// Bytes a node can hold.
+        capacity: u64,
+    },
+    /// The spare guarantee exceeds the pool's total spare count.
+    GuaranteeUnmeetable {
+        /// Spares demanded as a guarantee.
+        demanded: usize,
+        /// Spares the pool has in total.
+        total: usize,
+    },
+    /// A zero-node shard is meaningless.
+    ZeroNodes(String),
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::DuplicateName(n) => write!(f, "tenant name '{n}' already registered"),
+            AdmitError::NeverFits { demanded, total } => {
+                write!(
+                    f,
+                    "shard of {demanded} nodes can never fit a {total}-node pool"
+                )
+            }
+            AdmitError::MemoryOversubscribed { demanded, capacity } => {
+                write!(f, "{demanded} B/node demanded, nodes hold {capacity} B")
+            }
+            AdmitError::GuaranteeUnmeetable { demanded, total } => {
+                write!(
+                    f,
+                    "guarantee of {demanded} spares exceeds the pool's {total}"
+                )
+            }
+            AdmitError::ZeroNodes(n) => write!(f, "tenant '{n}' demands zero nodes"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Why a spare draw is refused. Both variants are *collective verdicts*
+/// of the arbitration layer: the requesting tenant's cascade stops with
+/// a typed answer instead of silently consuming what another tenant was
+/// guaranteed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArbitrationError {
+    /// Granting the draw would dip into spares *reserved for other
+    /// tenants*: the pool still holds nodes, but they are someone else's
+    /// recovery guarantee.
+    WouldStarve {
+        /// The refused tenant.
+        tenant: TenantId,
+        /// Spares the cascade needs.
+        requested: usize,
+        /// What remains of the tenant's own reservation.
+        own_reserve: usize,
+        /// Unreserved spares available to anyone.
+        float: usize,
+        /// Spares currently reserved for *other* tenants — the quantity
+        /// this refusal protects.
+        reserved_elsewhere: usize,
+    },
+    /// The pool is simply dry: no reserve, no float, and nothing
+    /// reserved elsewhere either.
+    Exhausted {
+        /// The refused tenant.
+        tenant: TenantId,
+        /// Spares the cascade needs.
+        requested: usize,
+        /// Spares actually available to this tenant (reserve + float).
+        available: usize,
+    },
+    /// The tenant is not (or no longer) admitted.
+    UnknownTenant(TenantId),
+}
+
+impl std::fmt::Display for ArbitrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArbitrationError::WouldStarve {
+                tenant,
+                requested,
+                own_reserve,
+                float,
+                reserved_elsewhere,
+            } => write!(
+                f,
+                "{tenant}: drawing {requested} spare(s) would starve other tenants' \
+                 guarantees (own reserve {own_reserve}, float {float}, \
+                 {reserved_elsewhere} reserved elsewhere)"
+            ),
+            ArbitrationError::Exhausted {
+                tenant,
+                requested,
+                available,
+            } => write!(
+                f,
+                "{tenant}: {requested} spare(s) requested, {available} available, none \
+                 reserved elsewhere — pool exhausted"
+            ),
+            ArbitrationError::UnknownTenant(t) => write!(f, "{t}: not an admitted tenant"),
+        }
+    }
+}
+
+impl std::error::Error for ArbitrationError {}
+
+/// Receipt of a granted spare draw: where the spares were accounted
+/// from. Reserve is consumed before float, so a tenant's guarantee is
+/// the *last* thing its own cascade burns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpareGrant {
+    /// Spares taken from the tenant's own reservation.
+    pub from_reserve: usize,
+    /// Spares taken from the unreserved float.
+    pub from_float: usize,
+}
+
+struct Shard {
+    spec: TenantSpec,
+    nodes: Vec<NodeId>,
+    /// Remaining reserved spares of this tenant's guarantee.
+    reserve: usize,
+}
+
+/// The service's node and spare ledger: disjoint shards over a common
+/// compute pool, FIFO admission queue, and reservation-aware spare
+/// accounting. Purely bookkeeping — the caller moves the actual nodes
+/// (via `Ranklist::repair` / `Cluster::take_spare`) and reports back
+/// with [`ServicePool::reassign`].
+pub struct ServicePool {
+    capacity_per_node: u64,
+    total_nodes: usize,
+    free: Vec<NodeId>,
+    shards: BTreeMap<TenantId, Shard>,
+    names: BTreeMap<String, TenantId>,
+    queue: VecDeque<(TenantId, TenantSpec)>,
+    spares_total: usize,
+    float: usize,
+    next: u32,
+}
+
+impl ServicePool {
+    /// A pool over `compute` nodes (typically `0..nodes`) with `spares`
+    /// spare nodes and `capacity_per_node` bytes of memory per node
+    /// (`u64::MAX` for "don't model memory").
+    pub fn new(compute: Vec<NodeId>, spares: usize, capacity_per_node: u64) -> Self {
+        let mut free = compute;
+        free.sort_unstable();
+        free.dedup();
+        ServicePool {
+            capacity_per_node,
+            total_nodes: free.len(),
+            free,
+            shards: BTreeMap::new(),
+            names: BTreeMap::new(),
+            queue: VecDeque::new(),
+            spares_total: spares,
+            float: spares,
+            next: 0,
+        }
+    }
+
+    /// Register a tenant: admit immediately if the shard and guarantee
+    /// fit, queue FIFO if they fit in principle but not now, refuse with
+    /// a typed error if they can never fit.
+    pub fn admit(&mut self, spec: TenantSpec) -> Result<Admission, AdmitError> {
+        if spec.nodes == 0 {
+            return Err(AdmitError::ZeroNodes(spec.name));
+        }
+        if self.names.contains_key(&spec.name) {
+            return Err(AdmitError::DuplicateName(spec.name));
+        }
+        if spec.nodes > self.total_nodes {
+            return Err(AdmitError::NeverFits {
+                demanded: spec.nodes,
+                total: self.total_nodes,
+            });
+        }
+        if spec.mem_bytes_per_node > self.capacity_per_node {
+            return Err(AdmitError::MemoryOversubscribed {
+                demanded: spec.mem_bytes_per_node,
+                capacity: self.capacity_per_node,
+            });
+        }
+        if spec.spare_guarantee > self.spares_total {
+            return Err(AdmitError::GuaranteeUnmeetable {
+                demanded: spec.spare_guarantee,
+                total: self.spares_total,
+            });
+        }
+        let tenant = TenantId(self.next);
+        self.next += 1;
+        self.names.insert(spec.name.clone(), tenant);
+        // No overtaking: while anyone is queued, newcomers queue behind
+        // them even if their own (smaller) demand would fit right now.
+        if self.queue.is_empty() && self.fits_now(&spec) {
+            let nodes = self.place(tenant, spec);
+            Ok(Admission::Admitted { tenant, nodes })
+        } else {
+            self.queue.push_back((tenant, spec));
+            Ok(Admission::Queued {
+                tenant,
+                position: self.queue.len() - 1,
+            })
+        }
+    }
+
+    fn fits_now(&self, spec: &TenantSpec) -> bool {
+        spec.nodes <= self.free.len() && spec.spare_guarantee <= self.float
+    }
+
+    fn place(&mut self, tenant: TenantId, spec: TenantSpec) -> Vec<NodeId> {
+        let nodes: Vec<NodeId> = self.free.drain(..spec.nodes).collect();
+        self.float -= spec.spare_guarantee;
+        self.shards.insert(
+            tenant,
+            Shard {
+                reserve: spec.spare_guarantee,
+                nodes: nodes.clone(),
+                spec,
+            },
+        );
+        nodes
+    }
+
+    /// Release a finished (or refused) tenant: nodes for which `alive`
+    /// holds return to the free pool, the unspent reserve returns to the
+    /// float, and the wait queue is drained in FIFO order. Returns the
+    /// newly admitted tenants with their assigned nodes.
+    pub fn release(
+        &mut self,
+        tenant: TenantId,
+        alive: impl Fn(NodeId) -> bool,
+    ) -> Vec<(TenantId, Vec<NodeId>)> {
+        if let Some(shard) = self.shards.remove(&tenant) {
+            self.names.remove(&shard.spec.name);
+            self.float += shard.reserve;
+            for n in shard.nodes {
+                if alive(n) {
+                    self.free.push(n);
+                }
+            }
+            self.free.sort_unstable();
+        }
+        self.drain_queue()
+    }
+
+    /// Drop dead nodes from the free pool (a storm can kill an
+    /// unassigned node; it must not be handed to a future tenant).
+    pub fn purge_free(&mut self, alive: impl Fn(NodeId) -> bool) {
+        self.free.retain(|&n| alive(n));
+    }
+
+    fn drain_queue(&mut self) -> Vec<(TenantId, Vec<NodeId>)> {
+        let mut admitted = Vec::new();
+        while let Some((tenant, spec)) = self.queue.front() {
+            if !self.fits_now(spec) {
+                break; // FIFO: the head blocks; no overtaking
+            }
+            let (tenant, spec) = (*tenant, spec.clone());
+            self.queue.pop_front();
+            let nodes = self.place(tenant, spec);
+            admitted.push((tenant, nodes));
+        }
+        admitted
+    }
+
+    /// Arbitrated spare draw for `tenant`'s cascade: `k` spares, reserve
+    /// before float, typed refusal when the request would dip into other
+    /// tenants' guarantees (or the pool is plain dry).
+    pub fn draw_spares(
+        &mut self,
+        tenant: TenantId,
+        k: usize,
+    ) -> Result<SpareGrant, ArbitrationError> {
+        let reserved_elsewhere: usize = self
+            .shards
+            .iter()
+            .filter(|(t, _)| **t != tenant)
+            .map(|(_, s)| s.reserve)
+            .sum();
+        let Some(shard) = self.shards.get_mut(&tenant) else {
+            return Err(ArbitrationError::UnknownTenant(tenant));
+        };
+        let available = shard.reserve + self.float;
+        if k > available {
+            return Err(if reserved_elsewhere > 0 {
+                ArbitrationError::WouldStarve {
+                    tenant,
+                    requested: k,
+                    own_reserve: shard.reserve,
+                    float: self.float,
+                    reserved_elsewhere,
+                }
+            } else {
+                ArbitrationError::Exhausted {
+                    tenant,
+                    requested: k,
+                    available,
+                }
+            });
+        }
+        let from_reserve = k.min(shard.reserve);
+        let from_float = k - from_reserve;
+        shard.reserve -= from_reserve;
+        self.float -= from_float;
+        Ok(SpareGrant {
+            from_reserve,
+            from_float,
+        })
+    }
+
+    /// Rewrite `tenant`'s shard after the caller materialized a repair
+    /// (spares actually drawn, ranklist rewritten). `nodes` is the
+    /// shard's new node set.
+    pub fn reassign(&mut self, tenant: TenantId, mut nodes: Vec<NodeId>) {
+        if let Some(shard) = self.shards.get_mut(&tenant) {
+            nodes.sort_unstable();
+            nodes.dedup();
+            shard.nodes = nodes;
+        }
+    }
+
+    /// The tenant owning `node`, if any.
+    pub fn owner_of(&self, node: NodeId) -> Option<TenantId> {
+        self.shards
+            .iter()
+            .find(|(_, s)| s.nodes.contains(&node))
+            .map(|(t, _)| *t)
+    }
+
+    /// Nodes of `tenant`'s shard (ascending), if admitted.
+    pub fn nodes_of(&self, tenant: TenantId) -> Option<&[NodeId]> {
+        self.shards.get(&tenant).map(|s| s.nodes.as_slice())
+    }
+
+    /// The tenant registered under `name`, admitted or queued.
+    pub fn tenant_by_name(&self, name: &str) -> Option<TenantId> {
+        self.names.get(name).copied()
+    }
+
+    /// Spec of an *admitted* tenant.
+    pub fn spec_of(&self, tenant: TenantId) -> Option<&TenantSpec> {
+        self.shards.get(&tenant).map(|s| &s.spec)
+    }
+
+    /// Remaining reserved spares of an admitted tenant.
+    pub fn reserve_of(&self, tenant: TenantId) -> usize {
+        self.shards.get(&tenant).map_or(0, |s| s.reserve)
+    }
+
+    /// Unreserved spares available to any tenant's cascade.
+    pub fn float(&self) -> usize {
+        self.float
+    }
+
+    /// Compute nodes currently unassigned.
+    pub fn free_nodes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Tenants waiting for admission, FIFO.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admitted tenants, ascending by id.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        self.shards.keys().copied().collect()
+    }
+}
+
+struct Queued<K> {
+    at: Duration,
+    seq: u64,
+    kind: K,
+}
+
+// Ordered by (at, seq) only — `seq` is unique, so the order is total and
+// `kind` never needs comparing.
+impl<K> PartialEq for Queued<K> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<K> Eq for Queued<K> {}
+impl<K> PartialOrd for Queued<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K> Ord for Queued<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic time-ordered event queue: pops strictly by
+/// `(virtual time, insertion sequence)`, so two events at the same
+/// instant run in the order they were scheduled — never in allocator or
+/// hash order.
+pub struct EventQueue<K> {
+    heap: BinaryHeap<Reverse<Queued<K>>>,
+    seq: u64,
+}
+
+impl<K> Default for EventQueue<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> EventQueue<K> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `kind` at virtual time `at`.
+    pub fn push(&mut self, at: Duration, kind: K) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Queued { at, seq, kind }));
+    }
+
+    /// Pop the earliest event (ties broken by scheduling order).
+    pub fn pop(&mut self) -> Option<(Duration, K)> {
+        self.heap.pop().map(|Reverse(q)| (q.at, q.kind))
+    }
+
+    /// Events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, nodes: usize, guarantee: usize) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            nodes,
+            mem_bytes_per_node: 1 << 20,
+            spare_guarantee: guarantee,
+        }
+    }
+
+    fn pool(nodes: usize, spares: usize) -> ServicePool {
+        ServicePool::new((0..nodes).collect(), spares, 1 << 30)
+    }
+
+    #[test]
+    fn admits_disjoint_shards_in_order() {
+        let mut p = pool(8, 2);
+        let a = p.admit(spec("a", 3, 0)).unwrap();
+        let b = p.admit(spec("b", 3, 0)).unwrap();
+        assert_eq!(
+            a,
+            Admission::Admitted {
+                tenant: TenantId(0),
+                nodes: vec![0, 1, 2]
+            }
+        );
+        assert_eq!(
+            b,
+            Admission::Admitted {
+                tenant: TenantId(1),
+                nodes: vec![3, 4, 5]
+            }
+        );
+        assert_eq!(p.owner_of(4), Some(TenantId(1)));
+        assert_eq!(p.owner_of(7), None);
+        assert_eq!(p.free_nodes(), 2);
+    }
+
+    #[test]
+    fn admission_at_exact_capacity_succeeds() {
+        // Every node and every spare claimed in one admission: the
+        // boundary case must be admitted, not queued.
+        let mut p = pool(4, 2);
+        match p.admit(spec("edge", 4, 2)).unwrap() {
+            Admission::Admitted { nodes, .. } => assert_eq!(nodes, vec![0, 1, 2, 3]),
+            other => panic!("expected admission at exact capacity, got {other:?}"),
+        }
+        assert_eq!(p.free_nodes(), 0);
+        assert_eq!(p.float(), 0);
+        // the next tenant queues (fits in principle) …
+        assert!(matches!(
+            p.admit(spec("next", 1, 0)).unwrap(),
+            Admission::Queued { position: 0, .. }
+        ));
+        // … and is admitted the moment capacity frees
+        let drained = p.release(TenantId(0), |_| true);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, TenantId(1));
+        assert_eq!(drained[0].1, vec![0]);
+    }
+
+    #[test]
+    fn never_satisfiable_demands_are_rejected_not_queued() {
+        let mut p = pool(4, 1);
+        assert_eq!(
+            p.admit(spec("big", 5, 0)).unwrap_err(),
+            AdmitError::NeverFits {
+                demanded: 5,
+                total: 4
+            }
+        );
+        assert_eq!(
+            p.admit(spec("greedy", 2, 2)).unwrap_err(),
+            AdmitError::GuaranteeUnmeetable {
+                demanded: 2,
+                total: 1
+            }
+        );
+        let mut fat = spec("fat", 2, 0);
+        fat.mem_bytes_per_node = (1 << 30) + 1;
+        assert!(matches!(
+            p.admit(fat).unwrap_err(),
+            AdmitError::MemoryOversubscribed { .. }
+        ));
+        assert_eq!(
+            p.admit(spec("", 0, 0)).unwrap_err(),
+            AdmitError::ZeroNodes("".into())
+        );
+        assert_eq!(p.queued(), 0, "rejections never queue");
+    }
+
+    #[test]
+    fn duplicate_names_are_refused_even_while_queued() {
+        let mut p = pool(2, 0);
+        p.admit(spec("x", 2, 0)).unwrap();
+        assert!(matches!(
+            p.admit(spec("y", 2, 0)).unwrap(),
+            Admission::Queued { .. }
+        ));
+        assert_eq!(
+            p.admit(spec("x", 1, 0)).unwrap_err(),
+            AdmitError::DuplicateName("x".into())
+        );
+        assert_eq!(
+            p.admit(spec("y", 1, 0)).unwrap_err(),
+            AdmitError::DuplicateName("y".into())
+        );
+    }
+
+    #[test]
+    fn queue_is_fifo_with_no_overtaking() {
+        let mut p = pool(4, 0);
+        p.admit(spec("a", 4, 0)).unwrap();
+        let big = p.admit(spec("big", 3, 0)).unwrap(); // queued first
+        let small = p.admit(spec("small", 1, 0)).unwrap(); // would fit sooner, must wait
+        assert!(matches!(big, Admission::Queued { position: 0, .. }));
+        assert!(matches!(small, Admission::Queued { position: 1, .. }));
+        // freeing everything admits both, in FIFO order
+        let drained = p.release(TenantId(0), |_| true);
+        assert_eq!(
+            drained.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![TenantId(1), TenantId(2)]
+        );
+        assert_eq!(drained[0].1, vec![0, 1, 2]);
+        assert_eq!(drained[1].1, vec![3]);
+    }
+
+    #[test]
+    fn release_keeps_dead_nodes_out_of_the_free_pool() {
+        let mut p = pool(3, 0);
+        p.admit(spec("a", 3, 0)).unwrap();
+        let drained = p.release(TenantId(0), |n| n != 1);
+        assert!(drained.is_empty());
+        assert_eq!(p.free_nodes(), 2, "node 1 died and must not be re-issued");
+    }
+
+    #[test]
+    fn spare_draws_burn_own_reserve_before_float() {
+        let mut p = pool(4, 4);
+        p.admit(spec("a", 2, 2)).unwrap();
+        p.admit(spec("b", 2, 1)).unwrap();
+        assert_eq!(p.float(), 1);
+        let g = p.draw_spares(TenantId(0), 3).unwrap();
+        assert_eq!(
+            g,
+            SpareGrant {
+                from_reserve: 2,
+                from_float: 1
+            }
+        );
+        assert_eq!(p.reserve_of(TenantId(0)), 0);
+        assert_eq!(p.float(), 0);
+        // b's guarantee is untouched and still drawable
+        assert_eq!(
+            p.draw_spares(TenantId(1), 1).unwrap(),
+            SpareGrant {
+                from_reserve: 1,
+                from_float: 0
+            }
+        );
+    }
+
+    #[test]
+    fn oversubscribing_cascade_gets_the_typed_starvation_refusal() {
+        // Two tenants, two spares, both guaranteed one each: a cascade
+        // needing two spares would eat the other tenant's guarantee and
+        // must be refused with the arbitration verdict, naming exactly
+        // what the refusal protects.
+        let mut p = pool(4, 2);
+        p.admit(spec("a", 2, 1)).unwrap();
+        p.admit(spec("b", 2, 1)).unwrap();
+        assert_eq!(
+            p.draw_spares(TenantId(0), 2).unwrap_err(),
+            ArbitrationError::WouldStarve {
+                tenant: TenantId(0),
+                requested: 2,
+                own_reserve: 1,
+                float: 0,
+                reserved_elsewhere: 1,
+            }
+        );
+        // the refusal must not have consumed anything
+        assert_eq!(p.reserve_of(TenantId(0)), 1);
+        assert_eq!(p.reserve_of(TenantId(1)), 1);
+        // each tenant's single-loss cascade still succeeds
+        assert!(p.draw_spares(TenantId(0), 1).is_ok());
+        assert!(p.draw_spares(TenantId(1), 1).is_ok());
+    }
+
+    #[test]
+    fn exhaustion_ordering_first_cascade_wins_the_float() {
+        // No guarantees: the float is first-come-first-served, and the
+        // pool reports plain exhaustion (not starvation) once dry.
+        let mut p = pool(4, 2);
+        p.admit(spec("a", 2, 0)).unwrap();
+        p.admit(spec("b", 2, 0)).unwrap();
+        assert!(p.draw_spares(TenantId(0), 2).is_ok());
+        assert_eq!(
+            p.draw_spares(TenantId(1), 1).unwrap_err(),
+            ArbitrationError::Exhausted {
+                tenant: TenantId(1),
+                requested: 1,
+                available: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn released_reserve_returns_to_the_float() {
+        let mut p = pool(4, 2);
+        p.admit(spec("a", 2, 2)).unwrap();
+        p.admit(spec("b", 2, 0)).unwrap();
+        assert_eq!(p.float(), 0);
+        assert!(matches!(
+            p.draw_spares(TenantId(1), 1).unwrap_err(),
+            ArbitrationError::WouldStarve { .. }
+        ));
+        p.release(TenantId(0), |_| true);
+        assert_eq!(p.float(), 2);
+        assert!(p.draw_spares(TenantId(1), 1).is_ok());
+    }
+
+    #[test]
+    fn unknown_tenant_draw_is_typed() {
+        let mut p = pool(2, 1);
+        assert_eq!(
+            p.draw_spares(TenantId(9), 1).unwrap_err(),
+            ArbitrationError::UnknownTenant(TenantId(9))
+        );
+    }
+
+    #[test]
+    fn reassign_tracks_replacement_nodes() {
+        let mut p = pool(2, 1);
+        p.admit(spec("a", 2, 1)).unwrap();
+        p.draw_spares(TenantId(0), 1).unwrap();
+        p.reassign(TenantId(0), vec![0, 2]);
+        assert_eq!(p.nodes_of(TenantId(0)).unwrap(), &[0, 2]);
+        assert_eq!(p.owner_of(2), Some(TenantId(0)));
+        assert_eq!(p.owner_of(1), None);
+    }
+
+    #[test]
+    fn event_queue_pops_by_time_then_sequence() {
+        let mut q = EventQueue::new();
+        q.push(Duration::from_secs(5), "late");
+        q.push(Duration::from_secs(1), "tie-first");
+        q.push(Duration::from_secs(1), "tie-second");
+        q.push(Duration::ZERO, "early");
+        assert_eq!(q.len(), 4);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, k)| k)).collect();
+        assert_eq!(order, vec!["early", "tie-first", "tie-second", "late"]);
+        assert!(q.is_empty());
+    }
+}

@@ -13,11 +13,9 @@
 //! cluster.
 
 use skt_cluster::{Cluster, Fault, NodeId, Ranklist};
-use skt_core::protocol::ops::{self, SpareDraw};
 use skt_core::{OpRecord, RecoveryReport};
-use skt_hpl::{run_skt_observed, SktConfig, SktOutput};
-use skt_mps::run_on_cluster;
-use std::sync::{Arc, Mutex};
+use skt_hpl::{SktConfig, SktOutput};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The phases of one work-fail-detect-restart cycle — the bars of
@@ -256,149 +254,57 @@ pub fn run_with_daemon(
 
 /// [`run_with_daemon`] with an explicit [`RetryPolicy`].
 ///
-/// The loop is a bounded state machine — launch, and on failure:
-/// *detect* (modeled latency), *classify* (did a node die? give up with
+/// Since the multi-tenant service landed this is a thin wrapper over
+/// [`CheckpointService`](crate::service::CheckpointService): the job is
+/// registered as a single pre-placed tenant whose shard is the
+/// ranklist's node set and whose float is the whole spare pool, run in
+/// whole-job slices under the batched schedule — which reduces exactly
+/// to the old blocking cycle. On failure: *detect* (modeled latency),
+/// *classify* (did a node die? give up with
 /// [`DaemonError::Unrecoverable`] if not — replacement cannot fix a
-/// protocol verdict), *replace* (ranklist repair from the spare pool),
-/// *back off* (doubling, on the runtime clock), relaunch. A relaunch
-/// whose recovery is itself interrupted by a second node loss simply
-/// fails the attempt; the next cycle re-runs detection and planning
-/// against the new survivor set. Never a panic or a hang: every exit is
-/// `Ok` or a typed [`DaemonError`] carrying the full history.
+/// protocol verdict), *replace* (sequenced spare draw + ranklist
+/// repair), *back off* (doubling, on the runtime clock), relaunch.
+/// Never a panic or a hang: every exit is `Ok` or a typed
+/// [`DaemonError`] carrying the full history.
 pub fn run_with_policy(
     cluster: Arc<Cluster>,
     ranklist: &Ranklist,
     cfg: &SktConfig,
     policy: &RetryPolicy,
 ) -> Result<CycleReport, DaemonError> {
-    let mut rl = ranklist.clone();
-    let mut cycles: Vec<PhaseTimes> = Vec::new();
-    let mut history = DaemonHistory::default();
-    // Pre-launch health check: the job handed to the daemon may already
-    // have dead nodes in its ranklist (e.g. a pair of group members lost
-    // while the previous launch was aborting). Replace them all in one
-    // repair — the relaunch's recovery rebuilds every replaced shard
-    // from parity, up to the configured codec's tolerance.
-    if draw_spares(&cluster, &mut rl, &mut history).is_err() {
-        return Err(DaemonError::OutOfSpares(history));
+    use crate::service::{
+        CheckpointService, Refusal, ServiceConfig, SlicePolicy, StormPlan, TenantOutcome,
+    };
+    let mut svc_cfg = ServiceConfig::new(policy.clone());
+    svc_cfg.slice_panels = 0;
+    svc_cfg.schedule = SlicePolicy::Batched;
+    // the daemon's caller owns the cluster and may re-enter the same
+    // checkpoints after this run — never wipe them
+    svc_cfg.wipe_on_release = false;
+    let (svc, tenant) = CheckpointService::for_placed_job(cluster, svc_cfg, cfg, ranklist);
+    let mut report = svc.run(&StormPlan::none());
+    let pos = report
+        .tenants
+        .iter()
+        .position(|t| t.tenant == tenant)
+        .expect("the placed tenant must have a report");
+    let tr = report.tenants.swap_remove(pos);
+    match tr.outcome {
+        TenantOutcome::Completed(output) => Ok(CycleReport {
+            launches: tr.launches,
+            failures: tr.launches - 1,
+            output,
+            cycles: tr.cycles,
+            history: tr.history,
+        }),
+        TenantOutcome::Refused(refusal) => Err(match refusal {
+            Refusal::TooManyFailures => DaemonError::TooManyFailures(tr.history),
+            Refusal::Unrecoverable => DaemonError::Unrecoverable(tr.history),
+            // a single tenant owns every spare: any contention verdict
+            // collapses to plain exhaustion
+            _ => DaemonError::OutOfSpares(tr.history),
+        }),
     }
-    let mut known_dead: Vec<NodeId> = cluster.dead_nodes();
-    let mut launches = 0usize;
-    loop {
-        launches += 1;
-        cluster.reset_abort();
-        let t_launch = cluster.stopwatch();
-        // Harvest recovery reports out-of-band: a relaunch that restores
-        // and later dies still leaves its report in the history.
-        let harvest: Mutex<Vec<RecoveryReport>> = Mutex::new(Vec::new());
-        let result: Result<Vec<SktOutput>, Fault> =
-            run_on_cluster(Arc::clone(&cluster), &rl, |ctx| {
-                run_skt_observed(ctx, cfg, |r| harvest.lock().unwrap().push(r.clone()))
-            });
-        // keep the most informative report of the attempt (the rebuilt
-        // rank's carries the rebuilt byte count)
-        if let Some(best) = harvest
-            .into_inner()
-            .unwrap()
-            .into_iter()
-            .max_by_key(|r| r.rebuilt_bytes)
-        {
-            history.recoveries.push(best);
-        }
-        match result {
-            Ok(mut outs) => {
-                let out = outs.swap_remove(0);
-                // attribute restart/recover timings of a resumed run to
-                // the cycle that triggered it
-                if let Some(cycle) = cycles.last_mut() {
-                    cycle.set(
-                        CyclePhase::Recover,
-                        Duration::from_secs_f64(out.recover_seconds),
-                    );
-                    if out.hpl.checkpoints > 0 {
-                        cycle.set(
-                            CyclePhase::Checkpoint,
-                            Duration::from_secs_f64(
-                                out.hpl.ckpt_seconds / out.hpl.checkpoints as f64,
-                            ),
-                        );
-                    }
-                }
-                return Ok(CycleReport {
-                    launches,
-                    failures: launches - 1,
-                    output: out,
-                    cycles,
-                    history,
-                });
-            }
-            Err(fault) => {
-                let dead_now = cluster.dead_nodes();
-                let newly_dead: Vec<NodeId> = dead_now
-                    .iter()
-                    .copied()
-                    .filter(|n| !known_dead.contains(n))
-                    .collect();
-                let mut record = AttemptRecord {
-                    attempt: launches,
-                    fault,
-                    newly_dead: newly_dead.clone(),
-                    backoff: Duration::ZERO,
-                };
-                if newly_dead.is_empty() {
-                    // nothing died, yet the job failed: a protocol-level
-                    // verdict (damaged checkpoint group). Replacing nodes
-                    // and retrying would reproduce it deterministically.
-                    history.attempts.push(record);
-                    return Err(DaemonError::Unrecoverable(history));
-                }
-                if launches > policy.max_failures {
-                    history.attempts.push(record);
-                    return Err(DaemonError::TooManyFailures(history));
-                }
-                known_dead = dead_now;
-                // detect: the daemon learns of the abort from the launcher.
-                // The modeled latency is charged to the virtual clock under
-                // simulation (a no-op in real time).
-                let mut phase = PhaseTimes::default();
-                phase.set(CyclePhase::Detect, policy.detect);
-                cluster.runtime().advance(policy.detect);
-                // replace: node-health check + ranklist repair
-                let t_rep = cluster.stopwatch();
-                cluster.reset_abort();
-                if draw_spares(&cluster, &mut rl, &mut history).is_err() {
-                    history.attempts.push(record);
-                    return Err(DaemonError::OutOfSpares(history));
-                }
-                phase.set(CyclePhase::Replace, t_rep.elapsed());
-                // restart: accounted as launcher overhead of this attempt
-                phase.set(
-                    CyclePhase::Restart,
-                    t_launch.elapsed().min(Duration::from_secs(1)),
-                );
-                cycles.push(phase);
-                // back off before the relaunch — doubling per consecutive
-                // failure, on the runtime clock (virtual under simulation)
-                record.backoff = policy.backoff(launches);
-                cluster.runtime().advance(record.backoff);
-                history.attempts.push(record);
-            }
-        }
-    }
-}
-
-/// Replace every dead node in `rl` from the spare pool, routed through
-/// the sequenced [`SpareDraw`] op: a daemon re-entering bookkeeping
-/// against an already-healed ranklist detects the draw `Done` and skips
-/// it instead of drawing again. The op record lands in `history.ops`.
-fn draw_spares(
-    cluster: &Cluster,
-    rl: &mut Ranklist,
-    history: &mut DaemonHistory,
-) -> Result<(), Fault> {
-    let tok = ops::prepare_replay(SpareDraw::new(cluster), &*rl)?.commit(rl)?;
-    history.ops.push(tok.into_record());
-    Ok(())
 }
 
 #[cfg(test)]
@@ -408,6 +314,7 @@ mod tests {
     use skt_core::RECOVER_COMMIT_PROBE;
     use skt_encoding::CodecSpec;
     use skt_hpl::{run_skt, HplConfig, ITER_PROBE};
+    use skt_mps::run_on_cluster;
 
     fn cfg() -> SktConfig {
         SktConfig::new(HplConfig::new(48, 4, 11), 2, 2)

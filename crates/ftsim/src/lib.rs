@@ -7,6 +7,11 @@
 //!   failure (from the launcher's exit status), replace lost nodes with
 //!   spares, rewrite the ranklist, and relaunch — the
 //!   work-fail-detect-restart cycle of Figure 10, with per-phase timing.
+//!   Now a single-tenant wrapper over [`service`].
+//! * [`service`] — the multi-tenant checkpoint service: many
+//!   independent jobs sharded over one node pool, supervised by one
+//!   event-driven daemon loop with admission control and spare-pool
+//!   arbitration (the ReStore direction of the ROADMAP).
 //! * [`blcr`] — the BLCR baseline: transparent process-level
 //!   checkpointing of the whole rank state to a (bandwidth-modeled)
 //!   HDD/SSD block device, with restart from disk (Table 3's
@@ -22,11 +27,16 @@
 
 pub mod blcr;
 pub mod daemon;
+pub mod service;
 pub mod table3;
 
 pub use blcr::{run_blcr, BlcrConfig, BlcrStore};
 pub use daemon::{
     run_with_daemon, run_with_policy, AttemptRecord, CyclePhase, CycleReport, DaemonError,
     DaemonHistory, PhaseTimes, RetryPolicy,
+};
+pub use service::{
+    CheckpointService, Refusal, ServiceConfig, ServiceReport, SlicePolicy, StormPlan,
+    TenantOutcome, TenantReport, TimedFault, TimedKind,
 };
 pub use table3::{run_table3, MethodRow, Table3Config};

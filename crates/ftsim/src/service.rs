@@ -1,0 +1,1010 @@
+//! The multi-tenant checkpoint service: many independent SKT-HPL jobs
+//! (tenants) supervised by **one** daemon over a common node pool.
+//!
+//! This is the ReStore direction of the ROADMAP: the paper's protocol
+//! guards one application, but nothing in it is per-application — group
+//! parity, sequenced recovery ops, and the ranklist-repair cycle compose
+//! into a reusable service once three problems are solved, and this
+//! module solves them on top of the [`skt_cluster::service`] substrate:
+//!
+//! * **Sharding + admission** — each tenant gets a disjoint node shard
+//!   ([`ServicePool`]); demand that can't be met now queues FIFO, demand
+//!   that can never be met is rejected typed.
+//! * **Spare arbitration** — a tenant's recovery cascade draws spares
+//!   through the reservation ledger; a draw that would starve another
+//!   tenant's guarantee is refused with a typed collective verdict
+//!   ([`Refusal::SpareContention`]) instead of silently consuming it.
+//! * **Event-driven supervision** — the single blocking
+//!   work-fail-detect-restart cycle of [`crate::daemon`] becomes a
+//!   per-tenant state machine advanced from a deterministic
+//!   [`EventQueue`] on the cluster's [`Runtime`](skt_cluster::Runtime)
+//!   clock. Jobs time-share the runtime in *slices*
+//!   ([`skt_hpl::run_skt_sliced`]): a tenant runs alone for a bounded
+//!   number of panels, parks its state in SHM (the self-checkpoint
+//!   move), and yields.
+//!
+//! Every tenant mutation of cluster state (spare draws / ranklist
+//! repair) flows through the sequenced-op layer
+//! ([`skt_core::protocol::ops`]), so cross-tenant interleavings of
+//! recovery remain idempotent by type: a re-entered repair detects the
+//! draw already `Done` and skips it.
+//!
+//! The single-job daemon ([`crate::daemon::run_with_policy`]) is now a
+//! thin wrapper over this engine: one tenant, whole-job slices, and the
+//! entire spare pool as its float.
+
+use crate::daemon::{AttemptRecord, CyclePhase, DaemonHistory, PhaseTimes, RetryPolicy};
+use skt_cluster::SplitMix64;
+use skt_cluster::{
+    Admission, AdmitError, ArbitrationError, Cluster, CorruptPlan, EventQueue, FailurePlan, Fault,
+    FaultPlan, NodeId, Ranklist, ServicePool, TenantId, TenantSpec,
+};
+use skt_core::protocol::ops::{self, SpareDraw};
+use skt_core::{MemoryBreakdown, RecoveryReport};
+use skt_hpl::{run_skt_sliced, BlockCyclic1D, SktConfig, SktOutput, SktRun, ITER_PROBE};
+use skt_mps::run_on_cluster;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How the service schedules tenant slices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlicePolicy {
+    /// Run each tenant to completion before the next one starts (the
+    /// classic batch queue). With `slice_panels == 0` this is exactly
+    /// the single-job daemon applied per tenant.
+    Batched,
+    /// Round-robin: after each slice the tenant re-queues behind every
+    /// other runnable tenant, interleaving all jobs' progress (and their
+    /// recoveries) through the one daemon.
+    Pipelined,
+}
+
+/// Service-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Per-tenant retry policy (detect latency, failure budget, backoff).
+    pub policy: RetryPolicy,
+    /// Panels per scheduling slice (0 = run each launch to completion).
+    pub slice_panels: usize,
+    /// Modeled memory capacity of one node, for admission control
+    /// (`u64::MAX` = don't model memory).
+    pub node_mem_bytes: u64,
+    /// Slice scheduling policy.
+    pub schedule: SlicePolicy,
+    /// Wipe a tenant's SHM from its shard nodes when the shard is
+    /// released, so reassigned nodes hand no stale state to the next
+    /// tenant. The single-job daemon wrapper turns this off: its caller
+    /// owns the cluster and may re-enter the same checkpoints.
+    pub wipe_on_release: bool,
+}
+
+impl ServiceConfig {
+    /// Batched whole-job scheduling with unmodeled memory.
+    pub fn new(policy: RetryPolicy) -> Self {
+        ServiceConfig {
+            policy,
+            slice_panels: 0,
+            node_mem_bytes: u64::MAX,
+            schedule: SlicePolicy::Batched,
+            wipe_on_release: true,
+        }
+    }
+}
+
+/// Typed collective verdict when the service stops retrying a tenant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Refusal {
+    /// Replacement needed a spare and the pool (reserve + float) is
+    /// physically dry, with nothing reserved elsewhere either.
+    OutOfSpares,
+    /// The tenant exceeded its failure budget.
+    TooManyFailures,
+    /// The tenant failed without losing a node — a protocol verdict
+    /// (e.g. a checkpoint group damaged beyond the codec's repair);
+    /// replacement and retry cannot fix it.
+    Unrecoverable,
+    /// The arbitration layer refused the cascade: granting it would dip
+    /// into spares reserved for other tenants' guarantees.
+    SpareContention(ArbitrationError),
+    /// Still waiting for admission when the service ran out of events —
+    /// capacity never freed up.
+    AdmissionStarved,
+}
+
+impl Refusal {
+    /// Stable label for fingerprints and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Refusal::OutOfSpares => "out-of-spares",
+            Refusal::TooManyFailures => "too-many-failures",
+            Refusal::Unrecoverable => "unrecoverable",
+            Refusal::SpareContention(_) => "spare-contention",
+            Refusal::AdmissionStarved => "admission-starved",
+        }
+    }
+}
+
+/// How a tenant's run ended.
+#[derive(Clone, Debug)]
+pub enum TenantOutcome {
+    /// The solve completed (residual verified inside).
+    Completed(SktOutput),
+    /// The service stopped retrying, with the typed verdict.
+    Refused(Refusal),
+}
+
+/// The service's full account of one tenant.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Tenant id (registration order).
+    pub tenant: TenantId,
+    /// Tenant name (= its SHM namespace prefix).
+    pub name: String,
+    /// Job launches performed (slices + retries).
+    pub launches: usize,
+    /// Slices that ran (a launch that paused or completed).
+    pub slices: usize,
+    /// Failed attempts (== `history.attempts.len()`).
+    pub failures: usize,
+    /// Time spent waiting in the admission queue.
+    pub queued_for: Duration,
+    /// Cluster-clock time when the tenant finished or was refused.
+    pub finished_at: Duration,
+    /// Terminal outcome.
+    pub outcome: TenantOutcome,
+    /// Per-failure cycle phase timings (Figure 10 bars), in order.
+    pub cycles: Vec<PhaseTimes>,
+    /// Attempt records, recovery reports, and the sequenced-op audit
+    /// trail of every spare draw done on this tenant's behalf.
+    pub history: DaemonHistory,
+    /// SHM segment names found on the tenant's shard that do **not**
+    /// belong to it — must be empty (cross-tenant isolation).
+    pub foreign_on_shard: Vec<String>,
+    /// Nodes *outside* the shard holding segments with this tenant's
+    /// prefix — must be empty (no state leaked off-shard).
+    pub leaked_elsewhere: Vec<NodeId>,
+}
+
+impl TenantReport {
+    /// Canonical one-tenant fingerprint. With `timings` false it holds
+    /// only scheduler-independent facts (outcome, residual bits, resumed
+    /// panel, failure/recovery shape, isolation) and is invariant across
+    /// simulation seeds for probe-anchored storms; with `timings` true
+    /// it additionally pins every duration and is byte-identical only
+    /// for a fixed `(config, seed)`.
+    pub fn fingerprint(&self, timings: bool) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "tenant={} launches={} slices={} failures={}",
+            self.name, self.launches, self.slices, self.failures
+        );
+        match &self.outcome {
+            TenantOutcome::Completed(out) => {
+                let _ = writeln!(
+                    s,
+                    "  completed passed={} residual={:016x} resumed={} scratch={}",
+                    out.hpl.passed,
+                    out.hpl.residual.to_bits(),
+                    out.resumed_from_panel,
+                    out.restarted_from_scratch
+                );
+            }
+            TenantOutcome::Refused(r) => {
+                let detail = match r {
+                    Refusal::SpareContention(e) => format!(" {e}"),
+                    _ => String::new(),
+                };
+                let _ = writeln!(s, "  refused {}{detail}", r.label());
+            }
+        }
+        for (i, a) in self.history.attempts.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  attempt[{i}] fault={:?} dead={:?}",
+                a.fault, a.newly_dead
+            );
+        }
+        for (i, r) in self.history.recoveries.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  recovery[{i}] epoch={} source={:?} lost={:?} rebuilt={}",
+                r.epoch, r.source, r.lost, r.rebuilt_bytes
+            );
+        }
+        for (i, op) in self.history.ops.iter().enumerate() {
+            let _ = writeln!(s, "  op[{i}] {op}");
+        }
+        let _ = writeln!(
+            s,
+            "  isolation foreign={:?} leaked={:?}",
+            self.foreign_on_shard, self.leaked_elsewhere
+        );
+        if timings {
+            let _ = writeln!(
+                s,
+                "  t queued_for={}us finished_at={}us",
+                self.queued_for.as_micros(),
+                self.finished_at.as_micros()
+            );
+            for (i, c) in self.cycles.iter().enumerate() {
+                let _ = write!(s, "  cycle[{i}]");
+                for (p, d) in c.iter() {
+                    let _ = write!(s, " {}={}us", p.label(), d.as_micros());
+                }
+                let _ = writeln!(s);
+            }
+            for (i, a) in self.history.attempts.iter().enumerate() {
+                let _ = writeln!(s, "  backoff[{i}]={}us", a.backoff.as_micros());
+            }
+        }
+        s
+    }
+}
+
+/// Everything the service observed: one report per tenant, id order.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceReport {
+    /// Per-tenant reports, ascending by [`TenantId`].
+    pub tenants: Vec<TenantReport>,
+    /// Cluster-clock time consumed by the whole run.
+    pub elapsed: Duration,
+}
+
+impl ServiceReport {
+    /// Report of the tenant named `name`, if it ran.
+    pub fn tenant(&self, name: &str) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// Concatenated per-tenant fingerprints (id order).
+    pub fn fingerprint(&self, timings: bool) -> String {
+        self.tenants
+            .iter()
+            .map(|t| t.fingerprint(timings))
+            .collect()
+    }
+}
+
+/// A fault scheduled on the virtual clock rather than anchored to a
+/// probe. Timed faults land at seed-*dependent* points of a job's
+/// progress (the clock advance depends on scheduling), so determinism
+/// tests pin the seed; seed-invariance sweeps use armed probes instead.
+#[derive(Clone, Debug)]
+pub struct TimedFault {
+    /// Cluster-clock time to apply the fault at.
+    pub at: Duration,
+    /// What happens.
+    pub kind: TimedKind,
+}
+
+/// Payload of a [`TimedFault`].
+#[derive(Clone, Debug)]
+pub enum TimedKind {
+    /// Power the node off (wipes its SHM; aborts a running job).
+    Kill(NodeId),
+    /// Flip a bit in a checkpoint region right now.
+    Corrupt(CorruptPlan),
+}
+
+/// A storm: probe-anchored fault plans armed before the first launch,
+/// plus clock-scheduled faults dispatched from the event queue.
+#[derive(Clone, Debug, Default)]
+pub struct StormPlan {
+    /// Plans armed on the cluster's injector (fire at probe counts).
+    pub armed: Vec<FaultPlan>,
+    /// Faults dispatched at virtual times, between slices.
+    pub timed: Vec<TimedFault>,
+}
+
+impl StormPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        StormPlan::default()
+    }
+
+    /// Arm a kill of `node` at its `nth` completed elimination panel.
+    pub fn kill(mut self, node: NodeId, nth: u64) -> Self {
+        self.armed
+            .push(FaultPlan::Kill(FailurePlan::new(ITER_PROBE, nth, node)));
+        self
+    }
+
+    /// Arm a silent bit flip on `node` at its `nth` panel probe.
+    pub fn flip(mut self, plan: CorruptPlan) -> Self {
+        self.armed.push(FaultPlan::Corrupt(plan));
+        self
+    }
+
+    /// Schedule a node power-off at virtual time `at`.
+    pub fn kill_at(mut self, at: Duration, node: NodeId) -> Self {
+        self.timed.push(TimedFault {
+            at,
+            kind: TimedKind::Kill(node),
+        });
+        self
+    }
+
+    /// Seeded storm over tenant shards: the first `kills` shards of a
+    /// seeded shuffle each lose one node at a small panel probe, and
+    /// `flips` further shards each take one silent bit flip in a
+    /// checkpoint region. All faults are probe-anchored, so for a fixed
+    /// storm seed the *outcomes* are invariant across simulation
+    /// scheduler seeds.
+    pub fn seeded(seed: u64, shards: &[Vec<NodeId>], kills: usize, flips: usize) -> Self {
+        use skt_cluster::Region;
+        let mut rng = SplitMix64::new(seed);
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut storm = StormPlan::default();
+        let kills = kills.min(order.len());
+        for &s in order.iter().take(kills) {
+            let nodes = &shards[s];
+            let node = nodes[(rng.next_u64() as usize) % nodes.len()];
+            let nth = 1 + rng.next_u64() % 2;
+            storm = storm.kill(node, nth);
+        }
+        for &s in order.iter().skip(kills).take(flips) {
+            let nodes = &shards[s];
+            let node = nodes[(rng.next_u64() as usize) % nodes.len()];
+            let region = if rng.next_u64().is_multiple_of(2) {
+                Region::CopyB
+            } else {
+                Region::Header
+            };
+            let nth = 1 + rng.next_u64() % 2;
+            let offset = (rng.next_u64() % 4096) as usize;
+            let bit = (rng.next_u64() % 8) as u8;
+            storm = storm.flip(CorruptPlan::new(ITER_PROBE, nth, node, region, offset, bit));
+        }
+        storm
+    }
+}
+
+struct Tenant {
+    id: TenantId,
+    cfg: SktConfig,
+    rl: Ranklist,
+    launches: usize,
+    slices: usize,
+    cycles: Vec<PhaseTimes>,
+    /// The last pushed cycle still needs its Recover/Checkpoint bars
+    /// from the next successful launch.
+    pending_attr: bool,
+    history: DaemonHistory,
+    queued_at: Duration,
+    admitted_at: Duration,
+}
+
+enum ServiceEvent {
+    /// Run the tenant's next slice.
+    Slice(TenantId),
+    /// Apply the i-th timed storm fault.
+    Storm(usize),
+}
+
+enum SliceEnd {
+    /// Tenant still alive: paused (Pipelined) — next event already queued.
+    Parked,
+    /// Tenant reached a terminal state (boxed: an [`SktOutput`] dwarfs
+    /// the other variants).
+    Finished(Box<TenantOutcome>),
+    /// Batched/continue: run the next launch immediately.
+    Again,
+}
+
+/// The multi-tenant checkpoint service daemon.
+pub struct CheckpointService {
+    cluster: Arc<Cluster>,
+    cfg: ServiceConfig,
+    pool: ServicePool,
+    tenants: BTreeMap<TenantId, Tenant>,
+    waiting: BTreeMap<TenantId, (SktConfig, Duration)>,
+    queue: EventQueue<ServiceEvent>,
+    reports: Vec<TenantReport>,
+}
+
+impl CheckpointService {
+    /// A service over the whole cluster: compute nodes `0..nodes` are the
+    /// shardable pool, the cluster's remaining spares are the ledger's
+    /// spare supply.
+    pub fn new(cluster: Arc<Cluster>, cfg: ServiceConfig) -> Self {
+        let cc = cluster.config();
+        let compute: Vec<NodeId> = (0..cc.nodes).filter(|&n| cluster.node_alive(n)).collect();
+        let pool = ServicePool::new(compute, cluster.spares_left(), cfg.node_mem_bytes);
+        CheckpointService {
+            cluster,
+            cfg,
+            pool,
+            tenants: BTreeMap::new(),
+            waiting: BTreeMap::new(),
+            queue: EventQueue::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Service for one pre-placed job (the single-job daemon wrapper):
+    /// the shard is exactly the ranklist's node set — dead members
+    /// included, the first slice's health check repairs them — and the
+    /// whole spare pool is the tenant's float.
+    pub fn for_placed_job(
+        cluster: Arc<Cluster>,
+        cfg: ServiceConfig,
+        skt: &SktConfig,
+        ranklist: &Ranklist,
+    ) -> (Self, TenantId) {
+        let mut shard: Vec<NodeId> = (0..ranklist.len()).map(|r| ranklist.node_of(r)).collect();
+        shard.sort_unstable();
+        shard.dedup();
+        let nodes = shard.len();
+        let pool = ServicePool::new(shard, cluster.spares_left(), u64::MAX);
+        let mut svc = CheckpointService {
+            cluster,
+            cfg,
+            pool,
+            tenants: BTreeMap::new(),
+            waiting: BTreeMap::new(),
+            queue: EventQueue::new(),
+            reports: Vec::new(),
+        };
+        let spec = TenantSpec {
+            name: skt.name.clone(),
+            nodes,
+            mem_bytes_per_node: 0,
+            spare_guarantee: 0,
+        };
+        let tenant = match svc.pool.admit(spec) {
+            Ok(Admission::Admitted { tenant, .. }) => tenant,
+            other => unreachable!("placed job must admit immediately: {other:?}"),
+        };
+        let mut cfg_t = skt.clone();
+        cfg_t.panel_budget = svc.cfg.slice_panels;
+        // keep the caller's ranklist verbatim (it may map several ranks
+        // to one node)
+        svc.activate(tenant, cfg_t, ranklist.clone(), svc.cluster.now());
+        (svc, tenant)
+    }
+
+    /// Modeled per-node memory demand of a job on `nodes` ranks: the
+    /// rank-0 workspace under the configured method/codec, in bytes.
+    pub fn mem_demand(cfg: &SktConfig, nodes: usize) -> u64 {
+        let alloc = BlockCyclic1D::new(cfg.hpl.n, cfg.hpl.nb, nodes, 0).alloc_len();
+        let parity = cfg.codec.resolve().parity_count();
+        (MemoryBreakdown::with_parity(cfg.method, alloc, cfg.group_size, parity).total() * 8) as u64
+    }
+
+    /// Register a job as a tenant: `nodes` shard nodes (one rank per
+    /// node), `spare_guarantee` spares reserved for its own recoveries.
+    /// Admitted tenants are scheduled immediately; queued tenants start
+    /// when capacity frees. The job's memory demand is derived from its
+    /// HPL problem and checkpoint method.
+    pub fn register(
+        &mut self,
+        mut cfg: SktConfig,
+        nodes: usize,
+        spare_guarantee: usize,
+    ) -> Result<Admission, AdmitError> {
+        cfg.panel_budget = self.cfg.slice_panels;
+        let spec = TenantSpec {
+            name: cfg.name.clone(),
+            nodes,
+            mem_bytes_per_node: Self::mem_demand(&cfg, nodes),
+            spare_guarantee,
+        };
+        let adm = self.pool.admit(spec)?;
+        let now = self.cluster.now();
+        match &adm {
+            Admission::Admitted { tenant, nodes } => {
+                self.activate(*tenant, cfg, Ranklist::explicit(nodes.clone()), now);
+            }
+            Admission::Queued { tenant, .. } => {
+                self.waiting.insert(*tenant, (cfg, now));
+            }
+            other => unreachable!("unknown admission variant: {other:?}"),
+        }
+        Ok(adm)
+    }
+
+    fn activate(&mut self, id: TenantId, cfg: SktConfig, rl: Ranklist, queued_at: Duration) {
+        let now = self.cluster.now();
+        self.tenants.insert(
+            id,
+            Tenant {
+                id,
+                cfg,
+                rl,
+                launches: 0,
+                slices: 0,
+                cycles: Vec::new(),
+                pending_attr: false,
+                history: DaemonHistory::default(),
+                queued_at,
+                admitted_at: now,
+            },
+        );
+        self.queue.push(now, ServiceEvent::Slice(id));
+    }
+
+    /// Run every registered tenant to a terminal state under `storm`,
+    /// advancing per-tenant cycle state machines from the event queue on
+    /// the cluster clock. Tenants still waiting for admission when the
+    /// queue drains are reported [`Refusal::AdmissionStarved`].
+    pub fn run(mut self, storm: &StormPlan) -> ServiceReport {
+        let t0 = self.cluster.now();
+        for plan in &storm.armed {
+            self.cluster.arm_fault(plan.clone());
+        }
+        for (i, tf) in storm.timed.iter().enumerate() {
+            self.queue.push(tf.at, ServiceEvent::Storm(i));
+        }
+        while let Some((at, ev)) = self.queue.pop() {
+            let now = self.cluster.now();
+            if at > now {
+                self.cluster.runtime().advance(at - now);
+            }
+            match ev {
+                ServiceEvent::Storm(i) => self.apply_timed(&storm.timed[i]),
+                ServiceEvent::Slice(id) => self.step_tenant(id),
+            }
+        }
+        // capacity never freed for these — typed, not silent
+        let starved: Vec<(TenantId, (SktConfig, Duration))> =
+            std::mem::take(&mut self.waiting).into_iter().collect();
+        for (id, (cfg, queued_at)) in starved {
+            let now = self.cluster.now();
+            self.reports.push(TenantReport {
+                tenant: id,
+                name: cfg.name,
+                launches: 0,
+                slices: 0,
+                failures: 0,
+                queued_for: now - queued_at,
+                finished_at: now,
+                outcome: TenantOutcome::Refused(Refusal::AdmissionStarved),
+                cycles: Vec::new(),
+                history: DaemonHistory::default(),
+                foreign_on_shard: Vec::new(),
+                leaked_elsewhere: Vec::new(),
+            });
+        }
+        self.reports.sort_by_key(|r| r.tenant);
+        ServiceReport {
+            tenants: self.reports,
+            elapsed: self.cluster.now() - t0,
+        }
+    }
+
+    fn apply_timed(&mut self, tf: &TimedFault) {
+        match &tf.kind {
+            TimedKind::Kill(node) => {
+                self.cluster.kill_node(*node);
+                // a dead job is relaunched by its owner's next slice; a
+                // dead *free* node must never be handed to a tenant
+                self.cluster.reset_abort();
+                let cluster = Arc::clone(&self.cluster);
+                self.pool.purge_free(|n| cluster.node_alive(n));
+            }
+            TimedKind::Corrupt(plan) => {
+                self.cluster.corrupt_now(plan);
+            }
+        }
+    }
+
+    fn step_tenant(&mut self, id: TenantId) {
+        // a stale Slice event for a tenant already finished is a no-op
+        let Some(mut tenant) = self.tenants.remove(&id) else {
+            return;
+        };
+        loop {
+            // Slice-top health check: nodes may have died while this
+            // tenant was off the runtime (a timed storm kill, or deaths
+            // inherited at registration). Arbitrate + repair before the
+            // launch; this is the pre-launch repair of the single-job
+            // daemon, not a failure cycle — the job observed no fault.
+            if let Err(refusal) = self.heal_shard(&mut tenant) {
+                self.finish(tenant, TenantOutcome::Refused(refusal));
+                return;
+            }
+            match self.launch_slice(&mut tenant) {
+                SliceEnd::Finished(outcome) => {
+                    self.finish(tenant, *outcome);
+                    return;
+                }
+                SliceEnd::Parked => {
+                    self.tenants.insert(id, tenant);
+                    return;
+                }
+                SliceEnd::Again => continue,
+            }
+        }
+    }
+
+    /// Replace every dead node in the tenant's ranklist: ledger
+    /// arbitration first (typed refusal), then the physical sequenced
+    /// [`SpareDraw`]. `Ok` leaves the ranklist fully alive.
+    fn heal_shard(&mut self, tenant: &mut Tenant) -> Result<(), Refusal> {
+        let dead: usize = {
+            let mut nodes: Vec<NodeId> = (0..tenant.rl.len())
+                .map(|r| tenant.rl.node_of(r))
+                .filter(|&n| !self.cluster.node_alive(n))
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            nodes.len()
+        };
+        if dead == 0 {
+            return Ok(());
+        }
+        match self.pool.draw_spares(tenant.id, dead) {
+            Ok(_) => {}
+            Err(e @ ArbitrationError::WouldStarve { .. }) => {
+                return Err(Refusal::SpareContention(e));
+            }
+            Err(_) => return Err(Refusal::OutOfSpares),
+        }
+        // Physical draw through the sequenced op: replays detect a draw
+        // already `Done` and skip it; the record is audit evidence.
+        let drawn = ops::prepare_replay(SpareDraw::new(&self.cluster), &tenant.rl)
+            .and_then(|p| p.commit(&mut tenant.rl));
+        match drawn {
+            Ok(tok) => tenant.history.ops.push(tok.into_record()),
+            // ledger said yes but the pool is physically dry (spares can
+            // die too; the ledger learns it here)
+            Err(_) => return Err(Refusal::OutOfSpares),
+        }
+        let mut nodes: Vec<NodeId> = (0..tenant.rl.len()).map(|r| tenant.rl.node_of(r)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        self.pool.reassign(tenant.id, nodes);
+        Ok(())
+    }
+
+    /// One launch of the tenant's job, with the single-job daemon's
+    /// failure classification on the error path.
+    fn launch_slice(&mut self, tenant: &mut Tenant) -> SliceEnd {
+        let policy = self.cfg.policy.clone();
+        tenant.launches += 1;
+        let known_dead = self.cluster.dead_nodes();
+        self.cluster.reset_abort();
+        let t_launch = self.cluster.stopwatch();
+        let harvest: Mutex<Vec<RecoveryReport>> = Mutex::new(Vec::new());
+        let result: Result<Vec<SktRun>, Fault> =
+            run_on_cluster(Arc::clone(&self.cluster), &tenant.rl, |ctx| {
+                run_skt_sliced(ctx, &tenant.cfg, |r| {
+                    harvest.lock().unwrap().push(r.clone())
+                })
+            });
+        if let Some(best) = harvest
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .max_by_key(|r| r.rebuilt_bytes)
+        {
+            tenant.history.recoveries.push(best);
+        }
+        match result {
+            Ok(mut outs) => {
+                tenant.slices += 1;
+                match outs.swap_remove(0) {
+                    SktRun::Done(out) => {
+                        if tenant.pending_attr {
+                            Self::attribute(
+                                &mut tenant.cycles,
+                                out.recover_seconds,
+                                out.hpl.ckpt_seconds,
+                                out.hpl.checkpoints,
+                            );
+                            tenant.pending_attr = false;
+                        }
+                        SliceEnd::Finished(Box::new(TenantOutcome::Completed(out)))
+                    }
+                    SktRun::Paused(p) => {
+                        if tenant.pending_attr {
+                            Self::attribute(
+                                &mut tenant.cycles,
+                                p.recover_seconds,
+                                p.ckpt_seconds,
+                                p.checkpoints,
+                            );
+                            tenant.pending_attr = false;
+                        }
+                        match self.cfg.schedule {
+                            SlicePolicy::Batched => SliceEnd::Again,
+                            SlicePolicy::Pipelined => {
+                                self.queue
+                                    .push(self.cluster.now(), ServiceEvent::Slice(tenant.id));
+                                SliceEnd::Parked
+                            }
+                        }
+                    }
+                }
+            }
+            Err(fault) => {
+                let dead_now = self.cluster.dead_nodes();
+                let newly_dead: Vec<NodeId> = dead_now
+                    .iter()
+                    .copied()
+                    .filter(|n| !known_dead.contains(n))
+                    .collect();
+                let mut record = AttemptRecord {
+                    attempt: tenant.launches,
+                    fault,
+                    newly_dead: newly_dead.clone(),
+                    backoff: Duration::ZERO,
+                };
+                if newly_dead.is_empty() {
+                    tenant.history.attempts.push(record);
+                    return SliceEnd::Finished(Box::new(TenantOutcome::Refused(
+                        Refusal::Unrecoverable,
+                    )));
+                }
+                let failure_no = tenant.history.attempts.len() + 1;
+                if failure_no > policy.max_failures {
+                    tenant.history.attempts.push(record);
+                    return SliceEnd::Finished(Box::new(TenantOutcome::Refused(
+                        Refusal::TooManyFailures,
+                    )));
+                }
+                // detect: modeled job-manager latency on the virtual clock
+                let mut phase = PhaseTimes::default();
+                phase.set(CyclePhase::Detect, policy.detect);
+                self.cluster.runtime().advance(policy.detect);
+                // replace: arbitration + sequenced physical draw, timed
+                let t_rep = self.cluster.stopwatch();
+                self.cluster.reset_abort();
+                if let Err(refusal) = self.heal_shard(tenant) {
+                    tenant.history.attempts.push(record);
+                    return SliceEnd::Finished(Box::new(TenantOutcome::Refused(refusal)));
+                }
+                phase.set(CyclePhase::Replace, t_rep.elapsed());
+                phase.set(
+                    CyclePhase::Restart,
+                    t_launch.elapsed().min(Duration::from_secs(1)),
+                );
+                tenant.cycles.push(phase);
+                tenant.pending_attr = true;
+                record.backoff = policy.backoff(failure_no);
+                self.cluster.runtime().advance(record.backoff);
+                tenant.history.attempts.push(record);
+                match self.cfg.schedule {
+                    SlicePolicy::Batched => SliceEnd::Again,
+                    SlicePolicy::Pipelined => {
+                        self.queue
+                            .push(self.cluster.now(), ServiceEvent::Slice(tenant.id));
+                        SliceEnd::Parked
+                    }
+                }
+            }
+        }
+    }
+
+    fn attribute(cycles: &mut [PhaseTimes], recover_s: f64, ckpt_s: f64, checkpoints: usize) {
+        if let Some(cycle) = cycles.last_mut() {
+            cycle.set(CyclePhase::Recover, Duration::from_secs_f64(recover_s));
+            if checkpoints > 0 {
+                cycle.set(
+                    CyclePhase::Checkpoint,
+                    Duration::from_secs_f64(ckpt_s / checkpoints as f64),
+                );
+            }
+        }
+    }
+
+    /// Terminal bookkeeping: isolation audit, shard release (queue
+    /// drain), report.
+    fn finish(&mut self, tenant: Tenant, outcome: TenantOutcome) {
+        let now = self.cluster.now();
+        let prefix = format!("{}/", tenant.cfg.name);
+        let shard: Vec<NodeId> = self
+            .pool
+            .nodes_of(tenant.id)
+            .map(|s| s.to_vec())
+            .unwrap_or_else(|| {
+                let mut v: Vec<NodeId> =
+                    (0..tenant.rl.len()).map(|r| tenant.rl.node_of(r)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            });
+        let mut foreign: Vec<String> = shard
+            .iter()
+            .flat_map(|&n| self.cluster.shm(n).names())
+            .filter(|name| !name.starts_with(&prefix))
+            .collect();
+        foreign.sort_unstable();
+        let leaked: Vec<NodeId> = (0..self.cluster.total_nodes())
+            .filter(|n| !shard.contains(n))
+            .filter(|&n| self.cluster.shm(n).bytes_with_prefix(&prefix) > 0)
+            .collect();
+        if self.cfg.wipe_on_release {
+            for &n in &shard {
+                if self.cluster.node_alive(n) {
+                    self.cluster.shm(n).wipe();
+                }
+            }
+        }
+        let cluster = Arc::clone(&self.cluster);
+        let drained = self.pool.release(tenant.id, |n| cluster.node_alive(n));
+        for (id, nodes) in drained {
+            let (cfg, queued_at) = self
+                .waiting
+                .remove(&id)
+                .expect("queued tenant must have a pending config");
+            self.activate(id, cfg, Ranklist::explicit(nodes), queued_at);
+        }
+        self.reports.push(TenantReport {
+            tenant: tenant.id,
+            name: tenant.cfg.name,
+            launches: tenant.launches,
+            slices: tenant.slices,
+            failures: tenant.history.attempts.len(),
+            queued_for: tenant.admitted_at - tenant.queued_at,
+            finished_at: now,
+            outcome,
+            cycles: tenant.cycles,
+            history: tenant.history,
+            foreign_on_shard: foreign,
+            leaked_elsewhere: leaked,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skt_cluster::ClusterConfig;
+    use skt_hpl::HplConfig;
+
+    fn tenant_cfg(name: &str, n: usize) -> SktConfig {
+        let mut cfg = SktConfig::new(HplConfig::new(n, 4, 11), 2, 2);
+        cfg.name = name.to_string();
+        cfg
+    }
+
+    fn service(
+        nodes: usize,
+        spares: usize,
+        slice_panels: usize,
+        schedule: SlicePolicy,
+    ) -> CheckpointService {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(nodes, spares)));
+        let mut cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5)));
+        cfg.slice_panels = slice_panels;
+        cfg.schedule = schedule;
+        CheckpointService::new(cluster, cfg)
+    }
+
+    #[test]
+    fn two_tenants_complete_batched() {
+        let mut svc = service(4, 0, 0, SlicePolicy::Batched);
+        svc.register(tenant_cfg("a", 32), 2, 0).unwrap();
+        svc.register(tenant_cfg("b", 32), 2, 0).unwrap();
+        let rep = svc.run(&StormPlan::none());
+        assert_eq!(rep.tenants.len(), 2);
+        for t in &rep.tenants {
+            match &t.outcome {
+                TenantOutcome::Completed(out) => assert!(out.hpl.passed),
+                other => panic!("{}: expected completion, got {other:?}", t.name),
+            }
+            assert_eq!(t.launches, 1);
+            assert_eq!(t.failures, 0);
+            assert!(t.foreign_on_shard.is_empty(), "{:?}", t.foreign_on_shard);
+            assert!(t.leaked_elsewhere.is_empty(), "{:?}", t.leaked_elsewhere);
+        }
+    }
+
+    #[test]
+    fn pipelined_slices_interleave_tenants() {
+        let mut svc = service(4, 0, 3, SlicePolicy::Pipelined);
+        svc.register(tenant_cfg("a", 32), 2, 0).unwrap(); // 8 panels → 3 slices
+        svc.register(tenant_cfg("b", 32), 2, 0).unwrap();
+        let rep = svc.run(&StormPlan::none());
+        for t in &rep.tenants {
+            assert!(matches!(t.outcome, TenantOutcome::Completed(_)));
+            assert_eq!(t.slices, 3, "{}: 8 panels in 3-panel slices", t.name);
+            assert_eq!(t.launches, 3);
+        }
+        // pipelining interleaves: neither tenant finishes before the
+        // other has started, so completion times differ by < one job
+        let a = rep.tenant("a").unwrap().finished_at;
+        let b = rep.tenant("b").unwrap().finished_at;
+        assert!(b > a, "registration order round-robin: a finishes first");
+    }
+
+    #[test]
+    fn queued_tenant_runs_after_capacity_frees() {
+        let mut svc = service(2, 0, 0, SlicePolicy::Batched);
+        svc.register(tenant_cfg("first", 32), 2, 0).unwrap();
+        let adm = svc.register(tenant_cfg("second", 32), 2, 0).unwrap();
+        assert!(matches!(adm, Admission::Queued { .. }));
+        let rep = svc.run(&StormPlan::none());
+        let second = rep.tenant("second").unwrap();
+        assert!(matches!(second.outcome, TenantOutcome::Completed(_)));
+        assert!(
+            second.queued_for > Duration::ZERO,
+            "waited for the first tenant's shard"
+        );
+        assert!(second.foreign_on_shard.is_empty(), "released shard wiped");
+    }
+
+    #[test]
+    fn tenant_survives_armed_kill_and_neighbor_is_untouched() {
+        let mut svc = service(4, 1, 0, SlicePolicy::Batched);
+        svc.register(tenant_cfg("victim", 48), 2, 1).unwrap();
+        svc.register(tenant_cfg("bystander", 48), 2, 0).unwrap();
+        // victim's shard is nodes {0,1}; kill node 1 after its 5th panel
+        let storm = StormPlan::none().kill(1, 5);
+        let rep = svc.run(&storm);
+        let v = rep.tenant("victim").unwrap();
+        match &v.outcome {
+            TenantOutcome::Completed(out) => {
+                assert!(out.hpl.passed);
+                assert_eq!(out.resumed_from_panel, 4);
+            }
+            other => panic!("victim should heal, got {other:?}"),
+        }
+        assert_eq!(v.failures, 1);
+        assert_eq!(v.history.attempts[0].newly_dead, vec![1]);
+        let b = rep.tenant("bystander").unwrap();
+        assert!(matches!(b.outcome, TenantOutcome::Completed(_)));
+        assert_eq!(b.failures, 0, "the neighbor's fault is not ours");
+        assert!(b.foreign_on_shard.is_empty());
+    }
+
+    #[test]
+    fn cascade_into_anothers_guarantee_is_refused_typed() {
+        // one spare, reserved for "insured"; "gambler" has no guarantee.
+        // gambler's node loss must be refused with the arbitration
+        // verdict — not silently eat the insured tenant's spare.
+        let mut svc = service(4, 1, 0, SlicePolicy::Batched);
+        svc.register(tenant_cfg("gambler", 48), 2, 0).unwrap();
+        svc.register(tenant_cfg("insured", 48), 2, 1).unwrap();
+        let storm = StormPlan::none().kill(0, 5);
+        let rep = svc.run(&storm);
+        let g = rep.tenant("gambler").unwrap();
+        match &g.outcome {
+            TenantOutcome::Refused(Refusal::SpareContention(ArbitrationError::WouldStarve {
+                requested,
+                reserved_elsewhere,
+                ..
+            })) => {
+                assert_eq!(*requested, 1);
+                assert_eq!(*reserved_elsewhere, 1);
+            }
+            other => panic!("expected WouldStarve, got {other:?}"),
+        }
+        let i = rep.tenant("insured").unwrap();
+        assert!(
+            matches!(i.outcome, TenantOutcome::Completed(_)),
+            "the protected tenant completes untouched"
+        );
+    }
+
+    #[test]
+    fn timed_kill_between_slices_is_healed_at_slice_top() {
+        let mut svc = service(4, 1, 3, SlicePolicy::Pipelined);
+        svc.register(tenant_cfg("a", 48), 2, 1).unwrap();
+        svc.register(tenant_cfg("b", 48), 2, 0).unwrap();
+        // kill one of a's nodes 1 ms in: lands between slices, so a's
+        // next slice-top health check repairs it with no failure cycle
+        let storm = StormPlan::none().kill_at(Duration::from_millis(1), 0);
+        let rep = svc.run(&storm);
+        let a = rep.tenant("a").unwrap();
+        match &a.outcome {
+            TenantOutcome::Completed(out) => assert!(out.hpl.passed),
+            other => panic!("a should heal, got {other:?}"),
+        }
+        assert!(
+            !a.history.ops.is_empty(),
+            "the repair's sequenced spare-draw is on the audit trail"
+        );
+        let b = rep.tenant("b").unwrap();
+        assert!(matches!(b.outcome, TenantOutcome::Completed(_)));
+    }
+}

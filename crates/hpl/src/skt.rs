@@ -43,6 +43,12 @@ pub struct SktConfig {
     pub ckpt_every: usize,
     /// SHM namespace; reuse the same name across restarts of one run.
     pub name: String,
+    /// Panels per *slice* (0 = run to completion). A multi-tenant daemon
+    /// sets this to time-share one `SimRuntime` between jobs: the run
+    /// checkpoints at the slice boundary and returns
+    /// [`SktRun::Paused`], and the daemon relaunches later to continue
+    /// from the checkpoint.
+    pub panel_budget: usize,
 }
 
 impl SktConfig {
@@ -56,6 +62,7 @@ impl SktConfig {
             strategy: GroupStrategy::Contiguous,
             ckpt_every,
             name: "skt-hpl".to_string(),
+            panel_budget: 0,
         }
     }
 }
@@ -79,6 +86,37 @@ pub struct SktOutput {
     pub recovery: Option<RecoveryReport>,
 }
 
+/// Outcome of one [`run_skt_sliced`] launch: the solve either finished
+/// or consumed its panel budget and parked itself in a checkpoint.
+#[derive(Clone, Debug)]
+pub enum SktRun {
+    /// The solve completed (verified and assembled).
+    Done(SktOutput),
+    /// The panel budget ran out: a checkpoint was taken at the slice
+    /// boundary and the job can be relaunched later to continue.
+    Paused(SktPause),
+}
+
+/// Progress bookkeeping of a paused slice (see [`SktRun::Paused`]).
+#[derive(Clone, Debug)]
+pub struct SktPause {
+    /// First panel the *next* launch will execute (equals the panel
+    /// counter stored in the boundary checkpoint).
+    pub next_panel: usize,
+    /// Panels completed by this slice.
+    pub panels_done: usize,
+    /// Checkpoints taken by this slice (scheduled + the boundary one).
+    pub checkpoints: usize,
+    /// Seconds this slice spent checkpointing.
+    pub ckpt_seconds: f64,
+    /// Seconds this slice spent recovering before its first panel.
+    pub recover_seconds: f64,
+    /// The restore's account, when this slice began with a recovery.
+    pub recovery: Option<RecoveryReport>,
+    /// Panel index this slice started from.
+    pub resumed_from_panel: usize,
+}
+
 /// Run SKT-HPL (or a baseline protocol) once: recover if checkpoints
 /// exist, then eliminate / back-substitute / verify. Returns when the
 /// solve completes; a node failure aborts with `Err`, after which the
@@ -92,7 +130,29 @@ pub fn run_skt(ctx: &Ctx, cfg: &SktConfig) -> Result<SktOutput, Fault> {
 /// resumes. The daemon uses this to keep a [`RecoveryReport`] history
 /// that survives attempts which recover successfully and then lose a
 /// second node — the report would otherwise die with the job.
+///
+/// Requires `cfg.panel_budget == 0` (a whole-job run); slice-scheduled
+/// jobs go through [`run_skt_sliced`].
 pub fn run_skt_observed<F>(ctx: &Ctx, cfg: &SktConfig, on_recovery: F) -> Result<SktOutput, Fault>
+where
+    F: Fn(&RecoveryReport),
+{
+    match run_skt_sliced(ctx, cfg, on_recovery)? {
+        SktRun::Done(out) => Ok(out),
+        SktRun::Paused(p) => panic!(
+            "run_skt_observed called with panel_budget {} (paused at panel {})",
+            cfg.panel_budget, p.next_panel
+        ),
+    }
+}
+
+/// [`run_skt_observed`] under a panel budget: execute at most
+/// `cfg.panel_budget` panels (0 = unlimited), then checkpoint at the
+/// slice boundary and return [`SktRun::Paused`] instead of running to
+/// completion. This is how the multi-tenant service time-shares one
+/// deterministic runtime between jobs: each tenant's world runs alone
+/// for one slice, parks its state in SHM, and yields the runtime.
+pub fn run_skt_sliced<F>(ctx: &Ctx, cfg: &SktConfig, on_recovery: F) -> Result<SktRun, Fault>
 where
     F: Fn(&RecoveryReport),
 {
@@ -175,12 +235,28 @@ where
         }
         ctx.failpoint(ITER_PROBE)?;
         let done = k + 1;
-        if cfg.ckpt_every > 0 && done % cfg.ckpt_every == 0 && done < nba {
+        // Slice boundary: budget spent and work remains. Checkpoint here
+        // (even off the ckpt_every schedule — the next launch resumes
+        // from this exact panel) and yield the runtime to the service.
+        let pause = cfg.panel_budget > 0 && done - start_panel >= cfg.panel_budget && done < nba;
+        let scheduled = cfg.ckpt_every > 0 && done % cfg.ckpt_every == 0 && done < nba;
+        if scheduled || pause {
             let tc = ctx.stopwatch();
             let stats = ck.make(&(done as u64).to_le_bytes())?;
             ckpt_secs += tc.elapsed().as_secs_f64();
             encode_secs += stats.encode.as_secs_f64();
             checkpoints += 1;
+        }
+        if pause {
+            return Ok(SktRun::Paused(SktPause {
+                next_panel: done,
+                panels_done: done - start_panel,
+                checkpoints,
+                ckpt_seconds: ckpt_secs,
+                recover_seconds,
+                recovery: ck.last_report(),
+                resumed_from_panel: start_panel,
+            }));
         }
     }
     let x = {
@@ -201,13 +277,13 @@ where
         v.residual,
         v.passed,
     )?;
-    Ok(SktOutput {
+    Ok(SktRun::Done(SktOutput {
         hpl,
         resumed_from_panel: start_panel,
         restarted_from_scratch: from_scratch,
         recover_seconds,
         recovery: ck.last_report(),
-    })
+    }))
 }
 
 #[cfg(test)]

@@ -5,13 +5,17 @@
 
 use proptest::prelude::*;
 use self_checkpoint::cluster::{
-    Cluster, ClusterConfig, CorruptPlan, FailurePlan, Ranklist, Region, SimRuntime,
+    Admission, Cluster, ClusterConfig, CorruptPlan, FailurePlan, Ranklist, Region, SimRuntime,
 };
 use self_checkpoint::core::{
     available_fraction, Checkpointer, CkptConfig, MemoryBreakdown, Method, Phase, RecoverError,
     Recovery, RestoreSource,
 };
-use self_checkpoint::encoding::{kernels, Code, DualParity, GroupLayout, KernelConfig};
+use self_checkpoint::encoding::{kernels, Code, CodecSpec, DualParity, GroupLayout, KernelConfig};
+use self_checkpoint::ftsim::{
+    CheckpointService, RetryPolicy, ServiceConfig, StormPlan, TenantOutcome,
+};
+use self_checkpoint::hpl::{HplConfig, SktConfig};
 use self_checkpoint::linalg::{dgemm, solve_ref, MatGen, Matrix, Trans};
 use self_checkpoint::models::{fit_ab, hpl_efficiency, scaled_efficiency_bound};
 use self_checkpoint::mps::run_on_cluster;
@@ -611,6 +615,119 @@ proptest! {
         if let Ok(x) = solve_ref(&a, &b, 8) {
             let r = self_checkpoint::linalg::norms::hpl_residual(&a, &x, &b);
             prop_assert!(r < 16.0, "residual {}", r);
+        }
+    }
+}
+
+/// One tenant's shape in the multi-tenant service property: HPL size
+/// index (32 or 48) and parity count `m` (1 = XOR, 2 = P+Q; an `m = 2`
+/// tenant gets a 3-node shard so its groups are large enough).
+type TenantShape = (usize, usize);
+
+fn service_tenant_cfg(i: usize, &(n_idx, m): &TenantShape) -> (SktConfig, usize) {
+    let n = [32, 48][n_idx];
+    let shard = if m == 2 { 3 } else { 2 };
+    let mut cfg = SktConfig::new(HplConfig::new(n, 4, 23 + i as u64), shard, 2);
+    cfg.name = format!("prop{i}");
+    if m == 2 {
+        cfg.codec = CodecSpec::Dual;
+    }
+    (cfg, shard)
+}
+
+/// Run the service over `shapes` with an optional kill of the victim
+/// tenant's last shard node at panel probe `nth`; returns per-tenant
+/// `(name, outcome)` with the residual bits of completed solves.
+fn service_storm_run(
+    seed: u64,
+    shapes: &[TenantShape],
+    spares: usize,
+    kill: Option<(usize, u64)>,
+) -> Vec<(String, Result<u64, String>)> {
+    let compute: usize = shapes
+        .iter()
+        .map(|&(_, m)| if m == 2 { 3 } else { 2 })
+        .sum();
+    let cluster = Arc::new(Cluster::new_with_runtime(
+        ClusterConfig::new(compute, spares),
+        SimRuntime::new(seed),
+    ));
+    let cfg = ServiceConfig::new(RetryPolicy::new(3, std::time::Duration::from_secs(5)));
+    let mut svc = CheckpointService::new(cluster, cfg);
+    let mut shards = Vec::new();
+    for (i, shape) in shapes.iter().enumerate() {
+        let (cfg, shard) = service_tenant_cfg(i, shape);
+        match svc.register(cfg, shard, 0).unwrap() {
+            Admission::Admitted { nodes, .. } => shards.push(nodes),
+            other => panic!("disjoint shards always fit: {other:?}"),
+        }
+    }
+    let storm = match kill {
+        Some((victim, nth)) => StormPlan::none().kill(*shards[victim].last().unwrap(), nth),
+        None => StormPlan::none(),
+    };
+    svc.run(&storm)
+        .tenants
+        .into_iter()
+        .map(|t| {
+            let out = match t.outcome {
+                TenantOutcome::Completed(out) => {
+                    assert!(out.hpl.passed, "{} must verify", t.name);
+                    Ok(out.hpl.residual.to_bits())
+                }
+                TenantOutcome::Refused(r) => Err(r.label().to_string()),
+            };
+            assert!(t.foreign_on_shard.is_empty(), "{}: isolation", t.name);
+            assert!(t.leaked_elsewhere.is_empty(), "{}: isolation", t.name);
+            (t.name, out)
+        })
+        .collect()
+}
+
+proptest! {
+    /// For any mix of tenants (count, problem size, parity count), any
+    /// victim, any kill phase, and any spare supply: non-victim tenants
+    /// solve bit-identically to a storm-free control run, and the victim
+    /// either heals bit-exactly too or is refused with a typed verdict
+    /// (out of spares — nobody held a reservation to starve).
+    #[test]
+    fn service_kill_is_invisible_outside_the_victim_tenant(
+        seed in any::<u64>(),
+        shapes_seed in any::<u64>(),
+        count in 2usize..7,
+        victim in 0usize..6,
+        nth in 1u64..7,
+        spares in 0usize..3,
+    ) {
+        let mut rng = self_checkpoint::cluster::SplitMix64::new(shapes_seed);
+        let shapes: Vec<TenantShape> = (0..count)
+            .map(|_| ((rng.next_u64() % 2) as usize, 1 + (rng.next_u64() % 2) as usize))
+            .collect();
+        let victim = victim % shapes.len();
+        let control = service_storm_run(seed, &shapes, spares, None);
+        let stormed = service_storm_run(seed, &shapes, spares, Some((victim, nth)));
+        prop_assert_eq!(control.len(), shapes.len());
+        prop_assert_eq!(stormed.len(), shapes.len());
+        for (i, ((name_c, res_c), (name_s, res_s))) in
+            control.iter().zip(&stormed).enumerate()
+        {
+            prop_assert_eq!(name_c, name_s);
+            let tag = format!("{name_s}/seed{seed}/victim{victim}/nth{nth}/spares{spares}");
+            let bits_c = res_c.as_ref().expect("control run sees no faults");
+            if i == victim {
+                match res_s {
+                    // a healed victim replays the elimination from its
+                    // restored checkpoint: the residual is bit-identical
+                    Ok(bits_s) => prop_assert_eq!(bits_s, bits_c, "{}", tag),
+                    Err(label) => {
+                        prop_assert_eq!(label.as_str(), "out-of-spares", "{}", tag);
+                        prop_assert_eq!(spares, 0, "{}: refusal only when dry", tag);
+                    }
+                }
+            } else {
+                let bits_s = res_s.as_ref().expect(&tag);
+                prop_assert_eq!(bits_s, bits_c, "{}: foreign fault must be invisible", tag);
+            }
         }
     }
 }

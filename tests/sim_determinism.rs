@@ -16,7 +16,10 @@ use self_checkpoint::cluster::{
 use self_checkpoint::core::{
     Checkpointer, CkptConfig, Method, Phase, RecoverError, Recovery, RestoreSource,
 };
-use self_checkpoint::ftsim::run_with_daemon;
+use self_checkpoint::ftsim::{
+    run_with_daemon, CheckpointService, RetryPolicy, ServiceConfig, SlicePolicy, StormPlan,
+    TenantOutcome,
+};
 use self_checkpoint::hpl::{HplConfig, SktConfig, ITER_PROBE};
 use self_checkpoint::mps::{run_on_cluster, Ctx, Fault};
 use std::fmt::Write as _;
@@ -110,6 +113,39 @@ fn daemon_report(seed: u64) -> String {
         rt.steps(),
         rt.now(),
     )
+}
+
+/// Three tenants time-sharing one daemon through pipelined slices, with
+/// one probe-anchored kill (a failure cycle for `alpha`) and one timed
+/// kill (a slice-top heal for `gamma`) — the full timed per-tenant
+/// report set, every virtual duration included.
+fn service_report(seed: u64) -> String {
+    let cluster = Arc::new(Cluster::new_with_runtime(
+        ClusterConfig::new(6, 2),
+        SimRuntime::new(seed),
+    ));
+    let mut cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5)));
+    cfg.slice_panels = 3;
+    cfg.schedule = SlicePolicy::Pipelined;
+    let mut svc = CheckpointService::new(cluster, cfg);
+    for (i, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        let mut c = SktConfig::new(HplConfig::new(48, 4, 17 + i as u64), 2, 2);
+        c.name = name.to_string();
+        svc.register(c, 2, 0).unwrap();
+    }
+    let storm = StormPlan::none()
+        .kill(1, 5)
+        .kill_at(Duration::from_millis(1), 4);
+    let rep = svc.run(&storm);
+    for t in &rep.tenants {
+        assert!(
+            matches!(t.outcome, TenantOutcome::Completed(_)),
+            "seed {seed}: {} must heal from the float, got {:?}",
+            t.name,
+            t.outcome
+        );
+    }
+    rep.fingerprint(true)
 }
 
 /// Same `(config, seed)` twice → byte-identical recovery reports,
@@ -216,6 +252,21 @@ fn flush_b_kills_at_every_yield_point_roll_forward() {
     }
 }
 
+/// Three concurrent tenants interleaved through one daemon: a fixed
+/// `(config, seed)` reproduces the per-tenant reports byte-for-byte,
+/// timings and all.
+#[test]
+fn multi_tenant_interleaving_is_reproducible_for_fixed_seed() {
+    for seed in [2u64, 11] {
+        let a = service_report(seed);
+        let b = service_report(seed);
+        assert_eq!(a, b, "seed {seed}: tenant interleaving must replay exactly");
+        for name in ["alpha", "beta", "gamma"] {
+            assert!(a.contains(&format!("tenant={name}")), "seed {seed}: {name}");
+        }
+    }
+}
+
 /// The canonical determinism report for CI: recovery cycles over a seed
 /// sweep plus a daemon run. Two in-process evaluations must agree
 /// byte-for-byte; when `SKT_SIM_REPORT` is set the report is written
@@ -231,6 +282,10 @@ fn determinism_report_is_stable_and_exported() {
         for seed in 0..2u64 {
             writeln!(s, "daemon seed={seed}").unwrap();
             writeln!(s, "{}", daemon_report(seed)).unwrap();
+        }
+        for seed in 0..2u64 {
+            writeln!(s, "service seed={seed}").unwrap();
+            s.push_str(&service_report(seed));
         }
         s
     };
