@@ -1,0 +1,151 @@
+//! Criterion benchmarks of the gray-failure ladder: suspicion detection
+//! latency (virtual time from injection to declaration) swept over the
+//! heartbeat interval, and the end-to-end cost of a fence-and-migrate
+//! cycle swept over the parity codec.
+//!
+//! `CRITERION_JSON_OUT=BENCH_grayfault.json cargo bench --bench grayfault`
+//! dumps the numbers for the committed baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skt_cluster::{
+    Cluster, ClusterConfig, Event, FaultPlan, GrayPlan, HeartbeatConfig, Observer, Ranklist,
+    Runtime, SimRuntime,
+};
+use skt_encoding::CodecSpec;
+use skt_ftsim::run_with_daemon;
+use skt_hpl::{HplConfig, SktConfig, ITER_PROBE};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One 4-member group over four nodes plus one spare, so every codec
+/// (m = 1, 2, 3) is well-formed.
+const NODES: usize = 4;
+const VICTIM: usize = 1;
+
+fn skt_cfg(codec: CodecSpec) -> SktConfig {
+    let mut cfg = SktConfig::new(HplConfig::new(48, 4, 7), NODES, 2);
+    cfg.codec = codec;
+    cfg
+}
+
+/// Clock-reading observer: timestamps the gray injection and the first
+/// suspicion declaration on the cluster's own (virtual) clock.
+struct DetectionWatch {
+    clock: Arc<dyn Runtime>,
+    injected: Mutex<Option<Duration>>,
+    declared: Mutex<Option<Duration>>,
+}
+
+impl Observer for DetectionWatch {
+    fn on_event(&self, event: &Event) {
+        match event {
+            Event::GrayInjected { .. } => {
+                *self.injected.lock().unwrap() = Some(self.clock.now());
+            }
+            Event::SuspicionDeclared { .. } => {
+                let mut d = self.declared.lock().unwrap();
+                if d.is_none() {
+                    *d = Some(self.clock.now());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One hang injection under `interval`: virtual time from injection to
+/// the peers' declaration. The heartbeat model bounds it by roughly
+/// `(threshold + 1) × interval`, and the sweep shows exactly that knee.
+fn detection_latency(interval: Duration, seed: u64) -> Duration {
+    let cluster = Arc::new(Cluster::new_with_runtime(
+        ClusterConfig::new(NODES, 1),
+        SimRuntime::new(seed),
+    ));
+    cluster.monitor().set_config(HeartbeatConfig {
+        interval,
+        ..HeartbeatConfig::default()
+    });
+    let watch = Arc::new(DetectionWatch {
+        clock: Arc::clone(cluster.runtime()),
+        injected: Mutex::new(None),
+        declared: Mutex::new(None),
+    });
+    cluster.events().subscribe(Arc::clone(&watch) as _);
+    // arm after the config so the stall wake adopts the interval
+    cluster.arm_fault(FaultPlan::Gray(GrayPlan::hang(ITER_PROBE, 3, VICTIM)));
+    let rl = Ranklist::round_robin(NODES, NODES);
+    run_with_daemon(
+        cluster,
+        &rl,
+        &skt_cfg(CodecSpec::default()),
+        3,
+        Duration::from_millis(1),
+    )
+    .expect("a hung node is migrated, never fatal");
+    let injected = watch.injected.lock().unwrap().expect("fault injected");
+    let declared = watch.declared.lock().unwrap().expect("suspect declared");
+    declared.saturating_sub(injected)
+}
+
+/// Detection latency vs heartbeat interval. The measurement is the
+/// *modeled* (virtual-clock) latency, so the numbers are deterministic;
+/// criterion's statistics simply confirm the model's linearity.
+fn bench_detection_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grayfault_detection");
+    g.sample_size(10);
+    for micros in [50u64, 100, 200, 400, 800] {
+        g.bench_function(BenchmarkId::new("interval_us", micros), |b| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|i| detection_latency(Duration::from_micros(micros), i))
+                    .sum()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// One daemon run on the simulated clock, wall time of the whole ladder:
+/// with `gray` a non-healing 64× straggler is declared, probed, fenced,
+/// and its shard rebuilt onto the spare; without, the same solve runs
+/// fault-free (the baseline the migration cost is read against).
+fn migration_run(codec: CodecSpec, gray: bool, seed: u64) -> Duration {
+    let cluster = Arc::new(Cluster::new_with_runtime(
+        ClusterConfig::new(NODES, 1),
+        SimRuntime::new(seed),
+    ));
+    if gray {
+        cluster.arm_fault(FaultPlan::Gray(GrayPlan::slow(ITER_PROBE, 3, VICTIM, 64)));
+    }
+    let rl = Ranklist::round_robin(NODES, NODES);
+    let t = Instant::now();
+    let rep = run_with_daemon(cluster, &rl, &skt_cfg(codec), 3, Duration::from_millis(1))
+        .expect("bench runs must complete");
+    let elapsed = t.elapsed();
+    assert!(rep.output.hpl.passed, "residual must verify");
+    elapsed
+}
+
+/// Fence-and-migrate cost vs parity codec (m = 1 XOR, m = 2 P+Q,
+/// m = 3 Reed-Solomon): heavier codecs pay more in the shard rebuild but
+/// nothing on the detection side.
+fn bench_migration_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grayfault_migration");
+    g.sample_size(10);
+    for (name, codec) in [
+        ("single", CodecSpec::default()),
+        ("dual", CodecSpec::Dual),
+        ("rs3", CodecSpec::rs(3)),
+    ] {
+        g.bench_function(BenchmarkId::new(name, "fault-free"), |b| {
+            b.iter_custom(|iters| (0..iters).map(|i| migration_run(codec, false, i)).sum());
+        });
+        g.bench_function(BenchmarkId::new(name, "migrate"), |b| {
+            b.iter_custom(|iters| (0..iters).map(|i| migration_run(codec, true, i)).sum());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detection_interval, bench_migration_codec);
+criterion_main!(benches);

@@ -2,10 +2,13 @@
 //! MPI-style whole-job abort on node failure.
 
 use crate::events::{Event, EventBus, Observer};
-use crate::failure::{CorruptPlan, FailureInjector, FailurePlan, Fault, FaultAction, FaultPlan};
+use crate::failure::{
+    CorruptPlan, FailureInjector, FailurePlan, Fault, FaultAction, FaultPlan, GrayKind, GrayPlan,
+};
 use crate::net::NetModel;
 use crate::shm::{SegmentData, ShmStore};
 use crate::storage::{Device, DeviceKind};
+use crate::suspicion::{HeartbeatConfig, ProbeVerdict, Suspicion, SuspicionMonitor};
 use parking_lot::Mutex;
 use skt_sim::{RealRuntime, Runtime, Stopwatch};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,6 +39,15 @@ impl ClusterConfig {
     }
 }
 
+/// A node's current gray degradation (None = healthy).
+#[derive(Clone, Copy, Debug)]
+struct GrayState {
+    kind: GrayKind,
+    /// Virtual time at which the node spontaneously recovers; evaluated
+    /// lazily by [`Cluster::gray_kind`].
+    heal_at: Option<Duration>,
+}
+
 /// The virtual cluster. One instance outlives many job launches — that is
 /// the point: node SHM persists across job aborts.
 pub struct Cluster {
@@ -51,6 +63,25 @@ pub struct Cluster {
     net: NetModel,
     events: EventBus,
     runtime: Arc<dyn Runtime>,
+    /// Per-node gray degradation state (straggler / hang / bad link).
+    gray: Mutex<Vec<Option<GrayState>>>,
+    /// Per-node fencing generation. Bumped by [`Self::fence_node`]; work
+    /// launched under an older generation is a zombie and gets rejected.
+    generation: Mutex<Vec<u64>>,
+    /// Per-node fenced flag: fenced nodes are alive but quarantined —
+    /// unusable for placement, their SHM frozen.
+    fenced: Mutex<Vec<bool>>,
+    /// Heartbeat/suspicion monitor (consulted only when armed).
+    monitor: SuspicionMonitor,
+    /// Whether the suspicion layer is armed (a gray plan was armed or a
+    /// heartbeat config was set explicitly).
+    suspicion_on: AtomicBool,
+    /// Nodes the current job runs on — the suspicion evaluation set.
+    watched: Mutex<Vec<NodeId>>,
+    /// First declared suspicion verdict of the current launch (sticky
+    /// until [`Self::reset_abort`]); every rank echoes this one verdict
+    /// so outcomes are seed-invariant even though scores are not.
+    verdict: Mutex<Option<Suspicion>>,
 }
 
 /// Bus observer that forwards protocol phase boundaries to the runtime,
@@ -108,6 +139,13 @@ impl Cluster {
             net: NetModel::new(2e-6, 12.5e9, 2),
             events,
             runtime,
+            gray: Mutex::new(vec![None; total]),
+            generation: Mutex::new(vec![0; total]),
+            fenced: Mutex::new(vec![false; total]),
+            monitor: SuspicionMonitor::default(),
+            suspicion_on: AtomicBool::new(false),
+            watched: Mutex::new(Vec::new()),
+            verdict: Mutex::new(None),
         }
     }
 
@@ -137,6 +175,265 @@ impl Cluster {
         if self.runtime.is_sim() {
             self.runtime.advance(self.net.p2p(bytes));
         }
+    }
+
+    /// Like [`Self::charge_send`], but attributed to the sending node so
+    /// link degradation can inflate the cost: a gray
+    /// [`GrayKind::LinkDegrade`] sender pays `factor`× the α-β time, and
+    /// the *excess* over the healthy cost feeds its suspicion score.
+    /// Healthy senders feed a zero sample (their score decays).
+    pub fn charge_send_from(&self, node: NodeId, bytes: usize) {
+        let base = self.net.p2p(bytes);
+        let cost = match self.gray_kind(node) {
+            Some(GrayKind::LinkDegrade { factor }) => {
+                let degraded = base * factor;
+                self.monitor.sample(node, degraded.saturating_sub(base));
+                degraded
+            }
+            _ => {
+                if self.suspicion_enabled() {
+                    self.monitor.sample(node, Duration::ZERO);
+                }
+                base
+            }
+        };
+        if self.runtime.is_sim() {
+            self.runtime.advance(cost);
+        }
+    }
+
+    // ---- gray faults, suspicion, fencing -------------------------------
+
+    /// Arm the suspicion layer with explicit heartbeat parameters. Also
+    /// done implicitly when a gray [`FaultPlan`] is armed (with the
+    /// current — by default, default — parameters).
+    pub fn set_heartbeat(&self, cfg: HeartbeatConfig) {
+        self.monitor.set_config(cfg);
+        self.enable_suspicion();
+    }
+
+    /// Whether the suspicion layer is armed.
+    pub fn suspicion_enabled(&self) -> bool {
+        self.suspicion_on.load(Ordering::SeqCst)
+    }
+
+    /// The heartbeat/suspicion monitor.
+    pub fn monitor(&self) -> &SuspicionMonitor {
+        &self.monitor
+    }
+
+    fn enable_suspicion(&self) {
+        self.suspicion_on.store(true, Ordering::SeqCst);
+        // A hung node parks every live task sooner or later; the stall
+        // wake turns that from a sim deadlock into heartbeat-granular
+        // passage of time, which is what lets a peer's score cross the
+        // threshold.
+        self.runtime
+            .set_stall_wake(Some(self.monitor.config().interval));
+    }
+
+    /// Announce a job launch on `nodes`: they become the suspicion
+    /// evaluation set and their slowness EWMAs restart. No-op while the
+    /// suspicion layer is unarmed.
+    pub fn begin_job(&self, nodes: &[NodeId]) {
+        if !self.suspicion_enabled() {
+            return;
+        }
+        let mut set: Vec<NodeId> = nodes.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        self.monitor.reset(&set);
+        *self.watched.lock() = set;
+    }
+
+    /// Turn `plan.node` gray right now (normally reached via an armed
+    /// [`GrayPlan`] firing at its probe).
+    pub fn apply_gray(&self, plan: &GrayPlan) {
+        let now = self.runtime.now();
+        self.gray.lock()[plan.node] = Some(GrayState {
+            kind: plan.kind,
+            heal_at: plan.heal_after.map(|d| now + d),
+        });
+        self.enable_suspicion();
+        if matches!(plan.kind, GrayKind::Hang) {
+            self.monitor.hang(plan.node, now);
+        }
+        self.events.emit(Event::GrayInjected {
+            node: plan.node,
+            kind: plan.kind.label(),
+        });
+    }
+
+    /// The node's current gray degradation, evaluating self-healing
+    /// lazily: once the plan's `heal_after` deadline passes on the
+    /// virtual clock the state clears (and the hang flag with it), so an
+    /// expired gray can never be observed, declared, or probed late.
+    pub fn gray_kind(&self, node: NodeId) -> Option<GrayKind> {
+        let mut gray = self.gray.lock();
+        let state = gray[node]?;
+        if state.heal_at.is_some_and(|at| self.runtime.now() >= at) {
+            gray[node] = None;
+            drop(gray);
+            self.monitor.clear_hang(node);
+            return None;
+        }
+        Some(state.kind)
+    }
+
+    /// Is the node currently hard-hung? Rank code polls this to hold the
+    /// node's tasks at their next yield point.
+    pub fn node_hung(&self, node: NodeId) -> bool {
+        matches!(self.gray_kind(node), Some(GrayKind::Hang))
+    }
+
+    /// Management-plane probe of a node (the service's observe → probe
+    /// step). Dead and hung nodes don't answer; stragglers and degraded
+    /// links answer but self-report.
+    pub fn probe_node(&self, node: NodeId) -> ProbeVerdict {
+        if !self.node_alive(node) {
+            return ProbeVerdict::Unresponsive;
+        }
+        match self.gray_kind(node) {
+            None => ProbeVerdict::Responsive,
+            Some(GrayKind::Hang) => ProbeVerdict::Unresponsive,
+            Some(k) => ProbeVerdict::Degraded(k.label()),
+        }
+    }
+
+    /// One heartbeat step of `node` at a probe point: a straggler charges
+    /// its extra virtual time and self-reports it, a healthy node beats a
+    /// zero sample, and either way the node evaluates its *peers* for
+    /// declaration. No-op while the suspicion layer is unarmed.
+    fn heartbeat_step(&self, node: NodeId) {
+        if !self.suspicion_enabled() {
+            return;
+        }
+        match self.gray_kind(node) {
+            Some(GrayKind::Slow { factor }) => {
+                let extra = self.monitor.config().interval * factor;
+                self.runtime.advance(extra);
+                self.monitor.sample(node, extra);
+            }
+            // A hung node never reaches a probe (it is held at its yield
+            // point); its frozen heartbeat is what peers score.
+            Some(GrayKind::Hang) => {}
+            _ => self.monitor.sample(node, Duration::ZERO),
+        }
+        self.evaluate_suspicion(node);
+    }
+
+    /// Evaluate suspicion from `observer`'s point of view: score every
+    /// *other* live, unfenced watched node and declare the worst one
+    /// suspect if it exceeds the threshold. The first declaration wins
+    /// and aborts the job; later calls echo it. Returns the standing
+    /// verdict, if any.
+    pub fn evaluate_suspicion(&self, observer: NodeId) -> Option<Suspicion> {
+        if !self.suspicion_enabled() {
+            return None;
+        }
+        let peers: Vec<NodeId> = {
+            let alive = self.alive.lock();
+            let fenced = self.fenced.lock();
+            self.watched
+                .lock()
+                .iter()
+                .copied()
+                .filter(|&n| n != observer && alive[n] && !fenced[n])
+                .collect()
+        };
+        // lazy-heal pass first, so an expired gray is never declared late
+        for &n in &peers {
+            let _ = self.gray_kind(n);
+        }
+        let now = self.runtime.now();
+        if let Some(v) = self.monitor.worst(&peers, now) {
+            let mut verdict = self.verdict.lock();
+            if verdict.is_none() {
+                *verdict = Some(v);
+                drop(verdict);
+                self.events.emit(Event::SuspicionDeclared {
+                    node: v.node,
+                    score: v.score,
+                });
+                self.job_abort.store(true, Ordering::SeqCst);
+                self.runtime.notify();
+            }
+        }
+        self.suspected()
+    }
+
+    /// The standing suspicion verdict of the current launch, if one was
+    /// declared. Cleared by [`Self::reset_abort`].
+    pub fn suspected(&self) -> Option<Suspicion> {
+        *self.verdict.lock()
+    }
+
+    /// Abort-style check for gray failure: evaluate suspicion from
+    /// `observer`'s point of view and surface the standing verdict as a
+    /// typed fault. Rank code calls this in blocking-receive loops so a
+    /// collective returns [`Fault::Suspect`] instead of parking forever
+    /// on a gray peer.
+    pub fn check_gray(&self, observer: NodeId) -> Result<(), Fault> {
+        match self.evaluate_suspicion(observer) {
+            Some(v) => Err(Fault::Suspect {
+                node: v.node,
+                score: v.score,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Fence a node: bump its generation, freeze its SHM (stale writes
+    /// vanish into detached copies), and quarantine it from placement.
+    /// The node stays "alive" — that is the point: a fenced zombie may
+    /// keep running, but nothing it does is visible. Returns the new
+    /// generation.
+    pub fn fence_node(&self, node: NodeId) -> u64 {
+        let generation = {
+            let mut g = self.generation.lock();
+            g[node] += 1;
+            g[node]
+        };
+        self.fenced.lock()[node] = true;
+        self.shm[node].freeze();
+        self.events.emit(Event::NodeFenced { node, generation });
+        self.runtime.notify();
+        generation
+    }
+
+    /// Is the node fenced?
+    pub fn node_fenced(&self, node: NodeId) -> bool {
+        self.fenced.lock()[node]
+    }
+
+    /// The node's current fencing generation.
+    pub fn node_generation(&self, node: NodeId) -> u64 {
+        self.generation.lock()[node]
+    }
+
+    /// Alive *and* not fenced — the placement predicate. Repair, spare
+    /// draws and shard healing treat a fenced node exactly like a dead
+    /// one; only its quarantined memory distinguishes them.
+    pub fn node_usable(&self, node: NodeId) -> bool {
+        self.node_alive(node) && !self.node_fenced(node)
+    }
+
+    /// Return a fenced node to service as a spare: its quarantined SHM is
+    /// wiped (stale generations must never be read), its gray state and
+    /// suspicion history are dropped, and it re-enters the spare pool.
+    /// Its generation stays bumped, so anything still holding the old
+    /// generation remains rejected.
+    pub fn recommission_node(&self, node: NodeId) {
+        assert!(
+            self.node_fenced(node),
+            "recommission_node({node}): node is not fenced"
+        );
+        self.gray.lock()[node] = None;
+        self.monitor.forget(node);
+        self.shm[node].thaw();
+        self.shm[node].wipe();
+        self.fenced.lock()[node] = false;
+        self.spare_pool.lock().push(node);
     }
 
     /// Cluster shape.
@@ -221,10 +518,11 @@ impl Cluster {
     }
 
     /// Take a spare node from the pool (daemon replacing a lost node).
+    /// Dead and fenced spares are skipped.
     pub fn take_spare(&self) -> Option<NodeId> {
         let mut pool = self.spare_pool.lock();
         while let Some(n) = pool.pop() {
-            if self.alive.lock()[n] {
+            if self.node_usable(n) {
                 return Some(n);
             }
         }
@@ -241,10 +539,12 @@ impl Cluster {
         self.job_abort.load(Ordering::SeqCst)
     }
 
-    /// Clear the abort flag before relaunching a job. Dead nodes stay
-    /// dead; their SHM stays wiped.
+    /// Clear the abort flag (and any standing suspicion verdict) before
+    /// relaunching a job. Dead nodes stay dead, their SHM stays wiped;
+    /// gray nodes stay gray and fenced nodes stay fenced.
     pub fn reset_abort(&self) {
         self.job_abort.store(false, Ordering::SeqCst);
+        *self.verdict.lock() = None;
     }
 
     /// Arm a failure plan (see [`FailurePlan`]).
@@ -252,10 +552,15 @@ impl Cluster {
         self.injector.arm(plan);
     }
 
-    /// Arm any fault plan — a kill or a silent bit flip (see
-    /// [`FaultPlan`]).
+    /// Arm any fault plan — a kill, a silent bit flip, or a gray
+    /// degradation (see [`FaultPlan`]). Arming a gray plan arms the
+    /// suspicion layer as a side effect.
     pub fn arm_fault(&self, plan: impl Into<FaultPlan>) {
-        self.injector.arm_fault(plan.into());
+        let plan = plan.into();
+        if plan.is_gray() {
+            self.enable_suspicion();
+        }
+        self.injector.arm_fault(plan);
     }
 
     /// Disarm all fault plans.
@@ -318,7 +623,18 @@ impl Cluster {
             Some(FaultAction::Corrupt(plan)) => {
                 self.corrupt_now(&plan);
             }
+            Some(FaultAction::Gray(plan)) => {
+                self.apply_gray(&plan);
+            }
             None => {}
+        }
+        // heartbeat + peer evaluation ride on every probe pass
+        self.heartbeat_step(node);
+        if let Some(v) = self.suspected() {
+            return Err(Fault::Suspect {
+                node: v.node,
+                score: v.score,
+            });
         }
         self.check_abort()?;
         if !self.node_alive(node) {
@@ -409,16 +725,17 @@ impl Ranklist {
         self.node_of_rank.iter().filter(|n| **n == node).count()
     }
 
-    /// Replace every dead node with a spare, in place. Returns
-    /// `(rank, old_node, new_node)` for each migrated rank. Errors with
-    /// the unreplaceable node if the spare pool runs dry.
+    /// Replace every unusable (dead *or* fenced) node with a spare, in
+    /// place. Returns `(rank, old_node, new_node)` for each migrated
+    /// rank. Errors with the unreplaceable node if the spare pool runs
+    /// dry.
     pub fn repair(&mut self, cluster: &Cluster) -> Result<Vec<(usize, NodeId, NodeId)>, NodeId> {
         let mut moved = Vec::new();
         let dead: Vec<NodeId> = self
             .node_of_rank
             .iter()
             .copied()
-            .filter(|n| !cluster.node_alive(*n))
+            .filter(|n| !cluster.node_usable(*n))
             .collect::<std::collections::BTreeSet<_>>()
             .into_iter()
             .collect();
@@ -594,6 +911,114 @@ mod tests {
         assert!(!c.aborted());
         let seg = c.shm(0).attach("job/r0/header").unwrap();
         assert_eq!(seg.read().as_bytes()[3], 1 << 5);
+    }
+
+    #[test]
+    fn mild_straggler_is_tolerated() {
+        let c = Cluster::new(ClusterConfig::new(2, 0));
+        c.arm_fault(GrayPlan::slow("p", 1, 0, 4));
+        assert!(c.suspicion_enabled(), "gray plan arms the suspicion layer");
+        c.begin_job(&[0, 1]);
+        for i in 1..=20 {
+            assert!(c.failpoint(0, "p", i).is_ok());
+            assert!(c.failpoint(1, "p", i).is_ok());
+        }
+        assert_eq!(c.gray_kind(0), Some(GrayKind::Slow { factor: 4 }));
+        assert!(
+            c.node_alive(0) && !c.aborted(),
+            "factor ≤ threshold: job continues"
+        );
+    }
+
+    #[test]
+    fn heavy_straggler_is_declared_by_a_peer() {
+        let c = Cluster::new(ClusterConfig::new(2, 0));
+        c.arm_fault(GrayPlan::slow("p", 1, 0, 64));
+        c.begin_job(&[0, 1]);
+        // the straggler cannot declare itself…
+        assert!(c.failpoint(0, "p", 1).is_ok());
+        assert!(c.failpoint(0, "p", 2).is_ok());
+        // …but its peer's next probe sees the self-reported slowness
+        let err = c.failpoint(1, "p", 1).unwrap_err();
+        assert!(matches!(err, Fault::Suspect { node: 0, .. }), "{err:?}");
+        assert!(c.aborted());
+        // and the verdict is sticky — the straggler echoes it
+        assert!(matches!(
+            c.failpoint(0, "p", 3),
+            Err(Fault::Suspect { node: 0, .. })
+        ));
+        assert!(c.node_alive(0), "suspect, not dead: memory intact");
+        c.reset_abort();
+        assert_eq!(c.suspected(), None);
+    }
+
+    #[test]
+    fn hang_heals_lazily_on_the_virtual_clock() {
+        let rt = skt_sim::SimRuntime::new(7);
+        let c = Cluster::new_with_runtime(ClusterConfig::new(2, 0), rt.clone());
+        c.begin_job(&[0, 1]);
+        c.apply_gray(&GrayPlan::hang("p", 1, 1).heal_after(Duration::from_millis(1)));
+        assert!(c.node_hung(1));
+        assert_eq!(
+            c.probe_node(1),
+            crate::suspicion::ProbeVerdict::Unresponsive
+        );
+        rt.advance(Duration::from_millis(2));
+        assert!(!c.node_hung(1), "heal deadline passed");
+        assert_eq!(c.probe_node(1), crate::suspicion::ProbeVerdict::Responsive);
+        assert_eq!(c.evaluate_suspicion(0), None, "healed before declaration");
+    }
+
+    #[test]
+    fn degraded_link_inflates_cost_and_is_declared() {
+        let rt = skt_sim::SimRuntime::new(3);
+        let c = Cluster::new_with_runtime(ClusterConfig::new(2, 0), rt.clone());
+        c.arm_fault(GrayPlan::link_degrade("p", 1, 0, 1000));
+        c.begin_job(&[0, 1]);
+        assert!(c.failpoint(0, "p", 1).is_ok());
+        let healthy = c.net().p2p(1 << 20);
+        let t0 = rt.now();
+        c.charge_send_from(0, 1 << 20);
+        let cost = rt.now() - t0;
+        assert!(cost >= healthy * 900, "cost inflated ~1000×: {cost:?}");
+        // a couple of bulk sends push the excess EWMA over the threshold
+        c.charge_send_from(0, 1 << 20);
+        assert!(matches!(
+            c.check_gray(1),
+            Err(Fault::Suspect { node: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn fencing_quarantines_and_recommission_returns_a_clean_spare() {
+        let c = Cluster::new(ClusterConfig::new(2, 0));
+        c.shm(1)
+            .get_or_create("seg", || crate::shm::SegmentData::Bytes(vec![9; 8]));
+        let generation = c.fence_node(1);
+        assert_eq!(generation, 1);
+        assert_eq!(c.node_generation(1), 1);
+        assert!(c.node_alive(1), "fenced, not dead");
+        assert!(!c.node_usable(1));
+        // a zombie write after the fence vanishes
+        if let Some(seg) = c.shm(1).attach("seg") {
+            seg.write().as_bytes_mut()[0] = 42;
+        }
+        // repair treats the fenced node exactly like a dead one
+        let mut rl = Ranklist::round_robin(2, 2);
+        assert_eq!(rl.repair(&c), Err(1), "no spares to migrate onto");
+        c.recommission_node(1);
+        assert!(c.node_usable(1));
+        assert!(c.shm(1).is_empty(), "stale quarantined memory wiped");
+        assert_eq!(c.node_generation(1), 1, "generation stays bumped");
+        assert_eq!(c.take_spare(), Some(1), "recommissioned into the pool");
+    }
+
+    #[test]
+    fn take_spare_skips_fenced_nodes() {
+        let c = Cluster::new(ClusterConfig::new(1, 2));
+        c.fence_node(2);
+        assert_eq!(c.take_spare(), Some(1));
+        assert_eq!(c.take_spare(), None);
     }
 
     #[test]

@@ -84,6 +84,31 @@ pub enum Event {
         /// Region suffix, e.g. `"b"`, `"c"`, `"header"`.
         region: &'static str,
     },
+    /// The fault injector armed a gray fault on a node (it is now slow,
+    /// hung, or sending over a degraded link — but still "alive").
+    GrayInjected {
+        /// Node degraded.
+        node: usize,
+        /// Gray kind label: `"slow"`, `"hang"`, `"link-degrade"`.
+        kind: &'static str,
+    },
+    /// The suspicion monitor declared a node suspect (first declarer
+    /// only; the verdict is sticky for the rest of the launch).
+    SuspicionDeclared {
+        /// The suspect node.
+        node: usize,
+        /// Suspicion score (whole heartbeat intervals) at declaration.
+        score: u32,
+    },
+    /// A node was fenced: its generation was bumped and its SHM frozen,
+    /// so stale writes from the old generation can never be merged.
+    NodeFenced {
+        /// The fenced node.
+        node: usize,
+        /// The new (post-bump) generation; in-flight work launched under
+        /// an older generation is rejected.
+        generation: u64,
+    },
     /// A recovery chose its restore source (one event per recovering rank).
     RecoveryDecision {
         /// Restore-source name, e.g. `"checkpoint+checksum"`.

@@ -8,7 +8,7 @@
 //! node passes a named probe point*, so every window is exercised exactly
 //! and reproducibly.
 //!
-//! Two fault species share the probe-count trigger ([`FaultPlan`]):
+//! Three fault species share the probe-count trigger ([`FaultPlan`]):
 //!
 //! * **Kill** ([`FailurePlan`]) — power the node off: memory wiped, job
 //!   aborted. Probe points exist on the forward protocol *and* on the
@@ -19,9 +19,16 @@
 //!   This models the DRAM bit flips that diskless in-memory checkpoints
 //!   are exposed to for the whole job lifetime; the CRC/scrub layer in
 //!   `skt-core` is what's expected to catch it.
+//! * **Gray** ([`GrayPlan`]) — degrade the node without killing it: a
+//!   straggler ([`GrayKind::Slow`]), a hard hang ([`GrayKind::Hang`]), or
+//!   a degraded link ([`GrayKind::LinkDegrade`]). Nothing aborts and no
+//!   memory is lost; the suspicion layer (`crate::suspicion`) is what's
+//!   expected to notice. Gray faults optionally heal after a virtual
+//!   duration, which is what makes *false* suspicion testable.
 
 use crate::cluster::NodeId;
 use parking_lot::Mutex;
+use std::time::Duration;
 
 /// Error type threaded through the whole stack when the job dies.
 #[non_exhaustive]
@@ -37,6 +44,44 @@ pub enum Fault {
     /// description; the job-abort path treats it like any other fault
     /// instead of panicking the rank thread.
     Protocol(&'static str),
+    /// The suspicion layer declared `node` suspect: it stopped making
+    /// progress (or progressed far too slowly) but is not provably dead.
+    /// `score` is the whole-φ suspicion score at declaration time; the
+    /// service's suspicion ladder decides between exoneration and
+    /// proactive migration. Returned by collectives instead of parking
+    /// forever on a gray peer.
+    Suspect {
+        /// The suspect node.
+        node: NodeId,
+        /// Suspicion score (whole φ units) when the verdict was declared.
+        score: u32,
+    },
+    /// The rank's node was fenced (its generation number advanced) while
+    /// the job held an older generation: the node is an exonerated-too-
+    /// late zombie whose messages and SHM writes must never be merged.
+    Fenced {
+        /// The fenced node.
+        node: NodeId,
+        /// The node's current (post-fence) generation.
+        generation: u64,
+    },
+}
+
+impl Fault {
+    /// Canonical label with every timing-dependent detail stripped: the
+    /// [`Fault::Suspect`] score depends on *when* a peer sampled the
+    /// monitor, which varies with the scheduler seed even when the
+    /// verdict (which node, and why) does not. Fingerprints that must be
+    /// seed-invariant print this instead of the `Debug` form.
+    pub fn stable_label(&self) -> String {
+        match self {
+            Fault::JobAborted => "job-aborted".into(),
+            Fault::NodeDead(n) => format!("node-dead({n})"),
+            Fault::Protocol(msg) => format!("protocol({msg})"),
+            Fault::Suspect { node, .. } => format!("suspect({node})"),
+            Fault::Fenced { node, .. } => format!("fenced({node})"),
+        }
+    }
 }
 
 impl std::fmt::Display for Fault {
@@ -45,6 +90,12 @@ impl std::fmt::Display for Fault {
             Fault::JobAborted => write!(f, "job aborted after a node failure"),
             Fault::NodeDead(n) => write!(f, "node {n} failed (powered off)"),
             Fault::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            Fault::Suspect { node, score } => {
+                write!(f, "node {node} suspected gray-failed (score {score})")
+            }
+            Fault::Fenced { node, generation } => {
+                write!(f, "node {node} fenced at generation {generation}")
+            }
         }
     }
 }
@@ -175,15 +226,133 @@ impl CorruptPlan {
     }
 }
 
-/// A generalized one-shot fault: kill the node, or silently flip a bit in
-/// one of its checkpoint regions. Both fire on the same deterministic
-/// probe-count trigger.
+/// The species of a gray (degraded-but-not-dead) fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrayKind {
+    /// Straggler: every probe the node passes charges `factor` heartbeat
+    /// intervals of extra virtual time — the node still progresses and
+    /// still heartbeats, just `factor`× slower. Its steady-state
+    /// suspicion score converges to `factor`, so factors at or below the
+    /// suspicion threshold are *tolerated* (the job merely slows down)
+    /// while factors above it are declared suspect.
+    Slow {
+        /// Slowdown multiple (also the steady-state suspicion score).
+        factor: u32,
+    },
+    /// Hard hang: the node's ranks stop at their next yield point and
+    /// its heartbeats freeze, so its suspicion score grows without bound
+    /// until a peer declares it suspect (or the plan heals).
+    Hang,
+    /// Link degradation: every modeled send from the node costs
+    /// `factor`× the α-β time. The *excess* over the healthy cost feeds
+    /// the node's suspicion score, so small factors (or tiny messages)
+    /// are tolerated and heavy degradation during bulk phases (encode,
+    /// flush) is declared suspect.
+    LinkDegrade {
+        /// Multiple on the node's modeled send cost.
+        factor: u32,
+    },
+}
+
+impl GrayKind {
+    /// Short label for events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            GrayKind::Slow { .. } => "slow",
+            GrayKind::Hang => "hang",
+            GrayKind::LinkDegrade { .. } => "link-degrade",
+        }
+    }
+}
+
+impl std::fmt::Display for GrayKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One-shot plan: the `nth` time (1-based) `node` passes the probe
+/// labeled `label`, the node turns gray — degraded per `kind` but alive,
+/// with its memory intact. When `heal_after` is set the node recovers by
+/// itself that much virtual time later (the straggler-that-recovers
+/// scenario false suspicions come from); `None` means it stays gray until
+/// the service fences and migrates around it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GrayPlan {
+    /// Probe label at which the degradation starts.
+    pub label: String,
+    /// 1-based occurrence count at which to fire.
+    pub nth: u64,
+    /// The node that turns gray.
+    pub node: NodeId,
+    /// What kind of gray failure.
+    pub kind: GrayKind,
+    /// Virtual duration after which the node spontaneously recovers;
+    /// `None` = never.
+    pub heal_after: Option<Duration>,
+}
+
+impl GrayPlan {
+    /// A gray plan that never heals by itself.
+    pub fn new(label: impl Into<String>, nth: u64, node: NodeId, kind: GrayKind) -> Self {
+        GrayPlan {
+            label: label.into(),
+            nth: nth.max(1),
+            node,
+            kind,
+            heal_after: None,
+        }
+    }
+
+    /// Straggler plan: `factor`× slowdown.
+    pub fn slow(label: impl Into<String>, nth: u64, node: NodeId, factor: u32) -> Self {
+        Self::new(
+            label,
+            nth,
+            node,
+            GrayKind::Slow {
+                factor: factor.max(1),
+            },
+        )
+    }
+
+    /// Hard-hang plan.
+    pub fn hang(label: impl Into<String>, nth: u64, node: NodeId) -> Self {
+        Self::new(label, nth, node, GrayKind::Hang)
+    }
+
+    /// Link-degradation plan: `factor`× send cost.
+    pub fn link_degrade(label: impl Into<String>, nth: u64, node: NodeId, factor: u32) -> Self {
+        Self::new(
+            label,
+            nth,
+            node,
+            GrayKind::LinkDegrade {
+                factor: factor.max(1),
+            },
+        )
+    }
+
+    /// Builder: the node recovers by itself `d` of virtual time after
+    /// the fault fires.
+    #[must_use]
+    pub fn heal_after(mut self, d: Duration) -> Self {
+        self.heal_after = Some(d);
+        self
+    }
+}
+
+/// A generalized one-shot fault: kill the node, silently flip a bit in
+/// one of its checkpoint regions, or degrade it gray. All fire on the
+/// same deterministic probe-count trigger.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FaultPlan {
     /// Power the node off at the trigger.
     Kill(FailurePlan),
     /// Flip one bit in one SHM region at the trigger.
     Corrupt(CorruptPlan),
+    /// Degrade the node (straggler / hang / bad link) at the trigger.
+    Gray(GrayPlan),
 }
 
 impl FaultPlan {
@@ -191,6 +360,7 @@ impl FaultPlan {
         match self {
             FaultPlan::Kill(p) => &p.label,
             FaultPlan::Corrupt(p) => &p.label,
+            FaultPlan::Gray(p) => &p.label,
         }
     }
 
@@ -198,6 +368,7 @@ impl FaultPlan {
         match self {
             FaultPlan::Kill(p) => p.nth,
             FaultPlan::Corrupt(p) => p.nth,
+            FaultPlan::Gray(p) => p.nth,
         }
     }
 
@@ -205,7 +376,14 @@ impl FaultPlan {
         match self {
             FaultPlan::Kill(p) => p.node,
             FaultPlan::Corrupt(p) => p.node,
+            FaultPlan::Gray(p) => p.node,
         }
+    }
+
+    /// Whether this plan is a gray degradation (needs the suspicion
+    /// machinery armed).
+    pub fn is_gray(&self) -> bool {
+        matches!(self, FaultPlan::Gray(_))
     }
 }
 
@@ -221,6 +399,12 @@ impl From<CorruptPlan> for FaultPlan {
     }
 }
 
+impl From<GrayPlan> for FaultPlan {
+    fn from(p: GrayPlan) -> Self {
+        FaultPlan::Gray(p)
+    }
+}
+
 /// What a fired plan asks [`crate::Cluster::failpoint`] to do.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FaultAction {
@@ -228,6 +412,8 @@ pub enum FaultAction {
     Kill,
     /// Apply this bit flip and let the rank continue untroubled.
     Corrupt(CorruptPlan),
+    /// Turn the probing node gray (it keeps running — degraded).
+    Gray(GrayPlan),
 }
 
 /// Holds armed plans; consulted by [`crate::Cluster::failpoint`].
@@ -275,7 +461,14 @@ impl FailureInjector {
         match plans.remove(pos) {
             FaultPlan::Kill(_) => Some(FaultAction::Kill),
             FaultPlan::Corrupt(p) => Some(FaultAction::Corrupt(p)),
+            FaultPlan::Gray(p) => Some(FaultAction::Gray(p)),
         }
+    }
+
+    /// Whether any armed plan is gray (used to arm the suspicion layer
+    /// when plans are armed directly on the injector).
+    pub fn any_gray(&self) -> bool {
+        self.plans.lock().iter().any(FaultPlan::is_gray)
     }
 }
 
@@ -343,6 +536,44 @@ mod tests {
             inj.fires(1, "p", 1),
             Some(FaultAction::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn gray_plan_fires_with_its_payload() {
+        let inj = FailureInjector::new();
+        let plan = GrayPlan::hang("computing", 2, 3).heal_after(Duration::from_millis(1));
+        inj.arm_fault(plan.clone().into());
+        assert!(inj.any_gray());
+        assert_eq!(inj.fires(3, "computing", 1), None);
+        assert_eq!(inj.fires(3, "computing", 2), Some(FaultAction::Gray(plan)));
+        assert!(!inj.any_gray());
+    }
+
+    #[test]
+    fn gray_constructors_clamp_factors_and_nth() {
+        let s = GrayPlan::slow("p", 0, 1, 0);
+        assert_eq!(s.nth, 1);
+        assert_eq!(s.kind, GrayKind::Slow { factor: 1 });
+        let l = GrayPlan::link_degrade("p", 1, 1, 0);
+        assert_eq!(l.kind, GrayKind::LinkDegrade { factor: 1 });
+        assert_eq!(GrayKind::Hang.label(), "hang");
+    }
+
+    #[test]
+    fn stable_label_strips_the_suspicion_score() {
+        let a = Fault::Suspect { node: 4, score: 9 };
+        let b = Fault::Suspect { node: 4, score: 31 };
+        assert_eq!(a.stable_label(), b.stable_label());
+        assert_eq!(a.stable_label(), "suspect(4)");
+        assert_eq!(Fault::NodeDead(2).stable_label(), "node-dead(2)");
+        assert_eq!(
+            Fault::Fenced {
+                node: 1,
+                generation: 2
+            }
+            .stable_label(),
+            "fenced(1)"
+        );
     }
 
     #[test]

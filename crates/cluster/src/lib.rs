@@ -39,19 +39,22 @@ pub mod net;
 pub mod service;
 pub mod shm;
 pub mod storage;
+pub mod suspicion;
 
 pub use cluster::{Cluster, ClusterConfig, NodeId, Ranklist};
 pub use events::{Event, EventBus, Observer, Recorder};
 pub use failure::{
-    CorruptPlan, FailureInjector, FailurePlan, Fault, FaultAction, FaultPlan, Region,
+    CorruptPlan, FailureInjector, FailurePlan, Fault, FaultAction, FaultPlan, GrayKind, GrayPlan,
+    Region,
 };
-pub use net::NetModel;
+pub use net::{NetModel, NetModelError};
 pub use service::{
     Admission, AdmitError, ArbitrationError, EventQueue, ServicePool, SpareGrant, TenantId,
     TenantSpec,
 };
 pub use shm::{SegmentData, ShmSegment, ShmStore};
 pub use storage::{Device, DeviceKind};
+pub use suspicion::{HeartbeatConfig, ProbeVerdict, Suspicion, SuspicionMonitor};
 // The runtime seam lives in `skt-sim`; re-export it here so upper layers
 // (mps, core, ftsim) reach it through their existing cluster dependency.
 pub use skt_sim::{

@@ -10,6 +10,37 @@
 
 use std::time::Duration;
 
+/// Why a [`NetModel`] could not be built. Every transfer-time formula
+/// divides by `bandwidth / procs_per_port`, so a zero or negative (or
+/// NaN/infinite) parameter would silently turn every downstream modeled
+/// duration into `inf`/NaN — caught here once, at construction.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetModelError {
+    /// `alpha` was negative, NaN, or infinite.
+    BadAlpha,
+    /// `bandwidth` was non-positive, NaN, or infinite.
+    BadBandwidth,
+    /// `procs_per_port` was zero.
+    BadProcsPerPort,
+}
+
+impl std::fmt::Display for NetModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetModelError::BadAlpha => write!(f, "net model: alpha must be finite and >= 0"),
+            NetModelError::BadBandwidth => {
+                write!(f, "net model: bandwidth must be finite and > 0")
+            }
+            NetModelError::BadProcsPerPort => {
+                write!(f, "net model: procs_per_port must be >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetModelError {}
+
 /// Per-link α-β model with port sharing.
 #[derive(Clone, Copy, Debug)]
 pub struct NetModel {
@@ -23,14 +54,34 @@ pub struct NetModel {
 
 impl NetModel {
     /// Build a model; `bandwidth` is the node's P2P bandwidth as in the
-    /// paper's Table 2.
+    /// paper's Table 2. Panics on invalid parameters — use
+    /// [`Self::try_new`] to handle them as values.
     pub fn new(alpha: f64, bandwidth: f64, procs_per_port: usize) -> Self {
-        assert!(bandwidth > 0.0 && alpha >= 0.0 && procs_per_port >= 1);
-        NetModel {
+        Self::try_new(alpha, bandwidth, procs_per_port).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects non-finite or non-positive
+    /// parameters with a typed [`NetModelError`] instead of letting a
+    /// zero bandwidth produce infinite transfer times downstream.
+    pub fn try_new(
+        alpha: f64,
+        bandwidth: f64,
+        procs_per_port: usize,
+    ) -> Result<Self, NetModelError> {
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(NetModelError::BadAlpha);
+        }
+        if !bandwidth.is_finite() || bandwidth <= 0.0 {
+            return Err(NetModelError::BadBandwidth);
+        }
+        if procs_per_port < 1 {
+            return Err(NetModelError::BadProcsPerPort);
+        }
+        Ok(NetModel {
             alpha,
             bandwidth,
             procs_per_port,
-        }
+        })
     }
 
     /// Effective per-process bandwidth once every process on the node is
@@ -150,5 +201,41 @@ mod tests {
         assert_eq!(m.reduce_tree(1024, 1), Duration::ZERO);
         assert_eq!(m.stripe_encode(1024, 1), Duration::ZERO);
         assert_eq!(m.root_gather_encode(1024, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_parameters() {
+        assert_eq!(
+            NetModel::try_new(-1e-6, 1e9, 1).unwrap_err(),
+            NetModelError::BadAlpha
+        );
+        assert_eq!(
+            NetModel::try_new(f64::NAN, 1e9, 1).unwrap_err(),
+            NetModelError::BadAlpha
+        );
+        assert_eq!(
+            NetModel::try_new(1e-6, 0.0, 1).unwrap_err(),
+            NetModelError::BadBandwidth
+        );
+        assert_eq!(
+            NetModel::try_new(1e-6, -5.0, 1).unwrap_err(),
+            NetModelError::BadBandwidth
+        );
+        assert_eq!(
+            NetModel::try_new(1e-6, f64::INFINITY, 1).unwrap_err(),
+            NetModelError::BadBandwidth
+        );
+        assert_eq!(
+            NetModel::try_new(1e-6, 1e9, 0).unwrap_err(),
+            NetModelError::BadProcsPerPort
+        );
+        let ok = NetModel::try_new(0.0, 1e9, 2).unwrap();
+        assert!(ok.p2p(1 << 20).as_secs_f64().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be finite and > 0")]
+    fn new_panics_with_the_typed_message() {
+        NetModel::new(1e-6, 0.0, 1);
     }
 }

@@ -14,6 +14,7 @@
 use crate::failure::Fault;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Contents of one shared-memory segment.
@@ -103,9 +104,17 @@ pub type ShmSegment = Arc<RwLock<SegmentData>>;
 ///
 /// Thread-safe; the map lock is only held to look up / insert handles, the
 /// segment `RwLock` protects the payload.
+///
+/// A store can be *frozen* (fencing a suspect node): every subsequent
+/// attach or create hands out a **detached copy** of the segment instead
+/// of the shared handle, so a zombie's late writes land in private memory
+/// that nothing else can ever read, and removes become no-ops. The real
+/// table is preserved untouched as quarantined evidence until the node is
+/// either recommissioned (wiped) or powered off.
 #[derive(Default)]
 pub struct ShmStore {
     segments: Mutex<BTreeMap<String, ShmSegment>>,
+    frozen: AtomicBool,
 }
 
 impl ShmStore {
@@ -124,24 +133,56 @@ impl ShmStore {
     ) -> (ShmSegment, bool) {
         let mut map = self.segments.lock();
         if let Some(seg) = map.get(name) {
+            if self.is_frozen() {
+                // zombie re-attach: a private copy it can scribble on
+                return (Arc::new(RwLock::new(seg.read().clone())), true);
+            }
             (Arc::clone(seg), true)
         } else {
             let seg = Arc::new(RwLock::new(init()));
-            map.insert(name.to_string(), Arc::clone(&seg));
+            if !self.is_frozen() {
+                map.insert(name.to_string(), Arc::clone(&seg));
+            }
             (seg, false)
         }
     }
 
-    /// Attach to an existing segment, if present.
+    /// Attach to an existing segment, if present. On a frozen store the
+    /// handle is a detached copy — writes through it are invisible.
     pub fn attach(&self, name: &str) -> Option<ShmSegment> {
-        self.segments.lock().get(name).cloned()
+        let map = self.segments.lock();
+        let seg = map.get(name)?;
+        if self.is_frozen() {
+            return Some(Arc::new(RwLock::new(seg.read().clone())));
+        }
+        Some(Arc::clone(seg))
     }
 
     /// `shmctl(IPC_RMID)`: drop the segment from the table. Existing
     /// handles keep their data (like detached-but-mapped memory) but new
-    /// attaches fail.
+    /// attaches fail. No-op on a frozen store.
     pub fn remove(&self, name: &str) -> bool {
+        if self.is_frozen() {
+            return false;
+        }
         self.segments.lock().remove(name).is_some()
+    }
+
+    /// Fence this node's memory: from now on every attach/create returns
+    /// a detached private copy and removes are rejected, so no late write
+    /// can reach the real segments. Idempotent.
+    pub fn freeze(&self) {
+        self.frozen.store(true, Ordering::SeqCst);
+    }
+
+    /// Lift a freeze (recommissioning; the caller is expected to wipe).
+    pub fn thaw(&self) {
+        self.frozen.store(false, Ordering::SeqCst);
+    }
+
+    /// Is the store frozen?
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::SeqCst)
     }
 
     /// Number of segments currently in the table.
@@ -279,6 +320,34 @@ mod tests {
             f.try_as_bytes(),
             Err(Fault::Protocol("segment holds f64, not bytes"))
         );
+    }
+
+    #[test]
+    fn frozen_store_detaches_writes_and_rejects_removes() {
+        let store = ShmStore::new();
+        let (real, _) = store.get_or_create("s", || SegmentData::Bytes(vec![7; 4]));
+        store.freeze();
+        assert!(store.is_frozen());
+        // late attach sees the data but writes land in a private copy
+        let zombie = store.attach("s").unwrap();
+        zombie.write().as_bytes_mut()[0] = 99;
+        assert_eq!(real.read().as_bytes(), &[7; 4], "real segment untouched");
+        // late re-create likewise
+        let (z2, existed) = store.get_or_create("s", || unreachable!());
+        assert!(existed);
+        z2.write().as_bytes_mut()[1] = 1;
+        assert_eq!(real.read().as_bytes(), &[7; 4]);
+        // a brand-new segment is never published
+        store.get_or_create("new", || SegmentData::Bytes(vec![1]));
+        assert!(store.attach("new").is_none());
+        // and removes are refused
+        assert!(!store.remove("s"));
+        assert!(store.attach("s").is_some());
+        // thaw restores shared semantics
+        store.thaw();
+        let back = store.attach("s").unwrap();
+        back.write().as_bytes_mut()[0] = 5;
+        assert_eq!(real.read().as_bytes()[0], 5);
     }
 
     #[test]

@@ -500,11 +500,12 @@ impl<'c> SequencedOp<Checkpointer<'c>> for RebuildOp {
 // Daemon op (Ctx = Ranklist)
 // ---------------------------------------------------------------------
 
-/// The daemon's spare-node accounting: replace every dead node in the
-/// ranklist with a spare. Detect is liveness-structural — a ranklist
-/// whose every node is alive proves the previous draw completed (or none
-/// was needed), so a daemon re-entering after a crash mid-bookkeeping
-/// skips instead of double-drawing spares.
+/// The daemon's spare-node accounting: replace every unusable (dead or
+/// fenced) node in the ranklist with a spare. Detect is
+/// usability-structural — a ranklist whose every node is usable proves
+/// the previous draw completed (or none was needed), so a daemon
+/// re-entering after a crash mid-bookkeeping (including mid-*migration*
+/// away from a fenced suspect) skips instead of double-drawing spares.
 pub struct SpareDraw<'a> {
     cluster: &'a Cluster,
 }
@@ -522,8 +523,8 @@ impl SequencedOp<Ranklist> for SpareDraw<'_> {
     }
 
     fn detect(&self, rl: &Ranklist) -> Result<OpState, Fault> {
-        let all_alive = (0..rl.len()).all(|r| self.cluster.node_alive(rl.node_of(r)));
-        Ok(if all_alive {
+        let all_usable = (0..rl.len()).all(|r| self.cluster.node_usable(rl.node_of(r)));
+        Ok(if all_usable {
             OpState::Done
         } else {
             OpState::NotStarted

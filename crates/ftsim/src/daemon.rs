@@ -126,6 +126,52 @@ pub struct AttemptRecord {
     pub backoff: Duration,
 }
 
+/// How the daemon resolved one suspicion verdict (the last two rungs of
+/// the gray-failure ladder: observe → probe → *this*).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SuspicionOutcome {
+    /// The probe found the suspect responsive again (the gray fault
+    /// healed): the verdict is cleared and the job resumes on the same
+    /// ranklist with its checkpoints untouched — bit-exact with the
+    /// fault-free run.
+    Exonerated,
+    /// The probe confirmed degradation: the suspect was fenced at this
+    /// generation and its shard proactively migrated onto a spare
+    /// through the sequenced [`skt_core::protocol::ops::SpareDraw`].
+    Migrated {
+        /// The fence generation stamped on the zombie; stale messages
+        /// and SHM writes carrying an older generation are rejected.
+        generation: u64,
+    },
+}
+
+impl SuspicionOutcome {
+    /// Stable label for fingerprints (strips the generation number —
+    /// it can differ across re-fencing histories).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuspicionOutcome::Exonerated => "exonerated",
+            SuspicionOutcome::Migrated { .. } => "migrated",
+        }
+    }
+}
+
+/// One suspicion the daemon adjudicated: which node, the score the
+/// declaring peer saw, what the probe said, and how it ended.
+#[derive(Clone, Debug)]
+pub struct SuspicionRecord {
+    /// The suspected node.
+    pub node: NodeId,
+    /// Suspicion score at declaration (whole heartbeat intervals of
+    /// observed lag/slowness — seed-dependent; fingerprints drop it).
+    pub score: u32,
+    /// The probe verdict's stable label (`"responsive"`, or the gray
+    /// kind for degraded, or `"unresponsive"`).
+    pub probe: &'static str,
+    /// How the ladder resolved it.
+    pub outcome: SuspicionOutcome,
+}
+
 /// The daemon's full account of a supervised run: one record per failed
 /// attempt plus every [`RecoveryReport`] harvested from relaunches —
 /// including relaunches that completed their recovery and *then* died,
@@ -143,6 +189,8 @@ pub struct DaemonHistory {
     /// was detected already done and skipped (see
     /// [`skt_core::protocol::ops`]).
     pub ops: Vec<OpRecord>,
+    /// Suspicion verdicts adjudicated (gray-failure ladder), in order.
+    pub suspicions: Vec<SuspicionRecord>,
 }
 
 /// Why the daemon gave up. Every variant carries the full
@@ -565,6 +613,84 @@ mod tests {
             }
             other => panic!("expected Unrecoverable, got {other}"),
         }
+    }
+
+    #[test]
+    fn daemon_exonerates_a_straggler_that_heals() {
+        use skt_cluster::{FaultPlan, GrayPlan, SimRuntime};
+        // reference residual from a fault-free run of the same problem
+        let ref_cluster = Arc::new(Cluster::new_with_runtime(
+            ClusterConfig::new(4, 1),
+            SimRuntime::new(9),
+        ));
+        let rl = Ranklist::round_robin(4, 4);
+        let reference =
+            run_with_daemon(ref_cluster, &rl, &cfg(), 3, Duration::from_secs(5)).unwrap();
+
+        // node 1 straggles 64x from its 3rd panel but recovers by itself
+        let cluster = Arc::new(Cluster::new_with_runtime(
+            ClusterConfig::new(4, 1),
+            SimRuntime::new(9),
+        ));
+        cluster.arm_fault(FaultPlan::Gray(
+            GrayPlan::slow(ITER_PROBE, 3, 1, 64).heal_after(Duration::from_millis(50)),
+        ));
+        let rep = run_with_daemon(cluster.clone(), &rl, &cfg(), 3, Duration::from_secs(5)).unwrap();
+        assert!(rep.output.hpl.passed);
+        assert_eq!(
+            rep.output.hpl.residual.to_bits(),
+            reference.output.hpl.residual.to_bits(),
+            "an exonerated resume must be bit-exact with the fault-free run"
+        );
+        assert_eq!(rep.history.suspicions.len(), 1);
+        let s = &rep.history.suspicions[0];
+        assert_eq!(s.node, 1);
+        assert_eq!(s.probe, "responsive");
+        assert_eq!(s.outcome, SuspicionOutcome::Exonerated);
+        assert!(matches!(
+            rep.history.attempts[0].fault,
+            Fault::Suspect { node: 1, .. }
+        ));
+        assert!(!cluster.node_fenced(1), "exoneration never fences");
+        assert_eq!(cluster.spares_left(), 1, "no spare was spent");
+    }
+
+    #[test]
+    fn daemon_fences_and_migrates_a_hung_node() {
+        use skt_cluster::{FaultPlan, GrayPlan, SimRuntime};
+        let cluster = Arc::new(Cluster::new_with_runtime(
+            ClusterConfig::new(4, 1),
+            SimRuntime::new(11),
+        ));
+        let rl = Ranklist::round_robin(4, 4);
+        cluster.arm_fault(FaultPlan::Gray(GrayPlan::hang(ITER_PROBE, 3, 1)));
+        let rep = run_with_daemon(cluster.clone(), &rl, &cfg(), 3, Duration::from_secs(5)).unwrap();
+        assert!(rep.output.hpl.passed);
+        assert_eq!(rep.history.suspicions.len(), 1);
+        let s = &rep.history.suspicions[0];
+        assert_eq!(s.node, 1);
+        assert_eq!(s.probe, "unresponsive");
+        assert_eq!(s.outcome, SuspicionOutcome::Migrated { generation: 1 });
+        assert!(cluster.node_fenced(1), "the zombie is fenced");
+        assert!(
+            cluster.node_alive(1),
+            "fenced, not killed: it never powered off"
+        );
+        assert_eq!(
+            cluster.spares_left(),
+            0,
+            "its shard migrated onto the spare"
+        );
+        assert!(
+            !rep.history.ops.is_empty(),
+            "migration went through the sequenced spare draw"
+        );
+        let rec = rep.history.recoveries.last().expect("recovery ran");
+        assert_eq!(
+            rec.lost,
+            vec![1],
+            "the migrated rank was rebuilt from parity"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod table3;
 pub use blcr::{run_blcr, BlcrConfig, BlcrStore};
 pub use daemon::{
     run_with_daemon, run_with_policy, AttemptRecord, CyclePhase, CycleReport, DaemonError,
-    DaemonHistory, PhaseTimes, RetryPolicy,
+    DaemonHistory, PhaseTimes, RetryPolicy, SuspicionOutcome, SuspicionRecord,
 };
 pub use service::{
     CheckpointService, Refusal, ServiceConfig, ServiceReport, SlicePolicy, StormPlan,

@@ -33,11 +33,14 @@
 //! thin wrapper over this engine: one tenant, whole-job slices, and the
 //! entire spare pool as its float.
 
-use crate::daemon::{AttemptRecord, CyclePhase, DaemonHistory, PhaseTimes, RetryPolicy};
+use crate::daemon::{
+    AttemptRecord, CyclePhase, DaemonHistory, PhaseTimes, RetryPolicy, SuspicionOutcome,
+    SuspicionRecord,
+};
 use skt_cluster::SplitMix64;
 use skt_cluster::{
     Admission, AdmitError, ArbitrationError, Cluster, CorruptPlan, EventQueue, FailurePlan, Fault,
-    FaultPlan, NodeId, Ranklist, ServicePool, TenantId, TenantSpec,
+    FaultPlan, GrayPlan, NodeId, ProbeVerdict, Ranklist, ServicePool, TenantId, TenantSpec,
 };
 use skt_core::protocol::ops::{self, SpareDraw};
 use skt_core::{MemoryBreakdown, RecoveryReport};
@@ -165,6 +168,11 @@ pub struct TenantReport {
     /// Nodes *outside* the shard holding segments with this tenant's
     /// prefix — must be empty (no state leaked off-shard).
     pub leaked_elsewhere: Vec<NodeId>,
+    /// Fenced nodes still quarantining stale segments with this tenant's
+    /// prefix — a zombie's frozen leftovers, **not** a leak: fencing
+    /// guarantees nothing reads or merges them, and recommissioning
+    /// wipes them.
+    pub fenced_stale: Vec<NodeId>,
 }
 
 impl TenantReport {
@@ -204,8 +212,18 @@ impl TenantReport {
         for (i, a) in self.history.attempts.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "  attempt[{i}] fault={:?} dead={:?}",
-                a.fault, a.newly_dead
+                "  attempt[{i}] fault={} dead={:?}",
+                a.fault.stable_label(),
+                a.newly_dead
+            );
+        }
+        for (i, sr) in self.history.suspicions.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  suspicion[{i}] node={} probe={} outcome={}",
+                sr.node,
+                sr.probe,
+                sr.outcome.label()
             );
         }
         for (i, r) in self.history.recoveries.iter().enumerate() {
@@ -220,8 +238,8 @@ impl TenantReport {
         }
         let _ = writeln!(
             s,
-            "  isolation foreign={:?} leaked={:?}",
-            self.foreign_on_shard, self.leaked_elsewhere
+            "  isolation foreign={:?} leaked={:?} fenced_stale={:?}",
+            self.foreign_on_shard, self.leaked_elsewhere, self.fenced_stale
         );
         if timings {
             let _ = writeln!(
@@ -316,6 +334,16 @@ impl StormPlan {
     /// Arm a silent bit flip on `node` at its `nth` panel probe.
     pub fn flip(mut self, plan: CorruptPlan) -> Self {
         self.armed.push(FaultPlan::Corrupt(plan));
+        self
+    }
+
+    /// Arm a gray fault (straggler / hang / degraded link). Arming one
+    /// switches on the cluster's heartbeat suspicion layer, so the
+    /// victim is *declared* by its peers, probed by the daemon, and
+    /// either exonerated or fenced-and-migrated — never waited on
+    /// forever.
+    pub fn gray(mut self, plan: GrayPlan) -> Self {
+        self.armed.push(FaultPlan::Gray(plan));
         self
     }
 
@@ -416,7 +444,7 @@ impl CheckpointService {
     /// spare supply.
     pub fn new(cluster: Arc<Cluster>, cfg: ServiceConfig) -> Self {
         let cc = cluster.config();
-        let compute: Vec<NodeId> = (0..cc.nodes).filter(|&n| cluster.node_alive(n)).collect();
+        let compute: Vec<NodeId> = (0..cc.nodes).filter(|&n| cluster.node_usable(n)).collect();
         let pool = ServicePool::new(compute, cluster.spares_left(), cfg.node_mem_bytes);
         CheckpointService {
             cluster,
@@ -571,6 +599,7 @@ impl CheckpointService {
                 history: DaemonHistory::default(),
                 foreign_on_shard: Vec::new(),
                 leaked_elsewhere: Vec::new(),
+                fenced_stale: Vec::new(),
             });
         }
         self.reports.sort_by_key(|r| r.tenant);
@@ -588,7 +617,7 @@ impl CheckpointService {
                 // dead *free* node must never be handed to a tenant
                 self.cluster.reset_abort();
                 let cluster = Arc::clone(&self.cluster);
-                self.pool.purge_free(|n| cluster.node_alive(n));
+                self.pool.purge_free(|n| cluster.node_usable(n));
             }
             TimedKind::Corrupt(plan) => {
                 self.cluster.corrupt_now(plan);
@@ -625,14 +654,17 @@ impl CheckpointService {
         }
     }
 
-    /// Replace every dead node in the tenant's ranklist: ledger
-    /// arbitration first (typed refusal), then the physical sequenced
-    /// [`SpareDraw`]. `Ok` leaves the ranklist fully alive.
+    /// Replace every unusable (dead *or* fenced) node in the tenant's
+    /// ranklist: ledger arbitration first (typed refusal), then the
+    /// physical sequenced [`SpareDraw`]. `Ok` leaves the ranklist fully
+    /// usable. A fenced node's shard is rebuilt by the relaunch's group
+    /// recovery exactly like a dead one — its frozen checkpoints are
+    /// quarantined, never read.
     fn heal_shard(&mut self, tenant: &mut Tenant) -> Result<(), Refusal> {
         let dead: usize = {
             let mut nodes: Vec<NodeId> = (0..tenant.rl.len())
                 .map(|r| tenant.rl.node_of(r))
-                .filter(|&n| !self.cluster.node_alive(n))
+                .filter(|&n| !self.cluster.node_usable(n))
                 .collect();
             nodes.sort_unstable();
             nodes.dedup();
@@ -732,6 +764,17 @@ impl CheckpointService {
                     .copied()
                     .filter(|n| !known_dead.contains(n))
                     .collect();
+                if newly_dead.is_empty() {
+                    if let Fault::Suspect { node, score } = fault {
+                        return self.adjudicate_suspicion(
+                            tenant,
+                            node,
+                            score,
+                            &policy,
+                            t_launch.elapsed(),
+                        );
+                    }
+                }
                 let mut record = AttemptRecord {
                     attempt: tenant.launches,
                     fault,
@@ -784,6 +827,104 @@ impl CheckpointService {
         }
     }
 
+    /// The gray-failure ladder, entered when an attempt ends in
+    /// [`Fault::Suspect`] with no node actually dead: **observe**
+    /// (modeled detection latency on the virtual clock), **probe** the
+    /// suspect directly, then either **exonerate** — the gray fault
+    /// healed; clear the verdict and relaunch on the same ranklist, so
+    /// the resume is bit-exact with a fault-free run — or **fence and
+    /// migrate** — bump the suspect's generation (zombie messages and
+    /// SHM writes are rejected from here on), and let [`Self::heal_shard`]'s
+    /// sequenced [`SpareDraw`] move its ranks onto a spare; the
+    /// relaunch's group recovery rebuilds the shard from parity.
+    ///
+    /// Either way the suspicion spends one unit of the failure budget:
+    /// a flapping straggler cannot make the daemon livelock on free
+    /// exonerations.
+    fn adjudicate_suspicion(
+        &mut self,
+        tenant: &mut Tenant,
+        node: NodeId,
+        score: u32,
+        policy: &RetryPolicy,
+        restart_hint: Duration,
+    ) -> SliceEnd {
+        let mut record = AttemptRecord {
+            attempt: tenant.launches,
+            fault: Fault::Suspect { node, score },
+            newly_dead: Vec::new(),
+            backoff: Duration::ZERO,
+        };
+        let failure_no = tenant.history.attempts.len() + 1;
+        if failure_no > policy.max_failures {
+            tenant.history.attempts.push(record);
+            return SliceEnd::Finished(Box::new(TenantOutcome::Refused(Refusal::TooManyFailures)));
+        }
+        // observe: modeled job-manager latency, charged to the clock —
+        // which also gives a transient fault time to heal before the
+        // probe decides anything irreversible
+        let mut phase = PhaseTimes::default();
+        phase.set(CyclePhase::Detect, policy.detect);
+        self.cluster.runtime().advance(policy.detect);
+        let verdict = self.cluster.probe_node(node);
+        self.cluster.reset_abort();
+        let t_rep = self.cluster.stopwatch();
+        match verdict {
+            ProbeVerdict::Responsive => {
+                tenant.history.suspicions.push(SuspicionRecord {
+                    node,
+                    score,
+                    probe: "responsive",
+                    outcome: SuspicionOutcome::Exonerated,
+                });
+            }
+            ProbeVerdict::Degraded(label) => {
+                let generation = self.cluster.fence_node(node);
+                if let Err(refusal) = self.heal_shard(tenant) {
+                    tenant.history.attempts.push(record);
+                    return SliceEnd::Finished(Box::new(TenantOutcome::Refused(refusal)));
+                }
+                tenant.history.suspicions.push(SuspicionRecord {
+                    node,
+                    score,
+                    probe: label,
+                    outcome: SuspicionOutcome::Migrated { generation },
+                });
+            }
+            ProbeVerdict::Unresponsive => {
+                let generation = self.cluster.fence_node(node);
+                if let Err(refusal) = self.heal_shard(tenant) {
+                    tenant.history.attempts.push(record);
+                    return SliceEnd::Finished(Box::new(TenantOutcome::Refused(refusal)));
+                }
+                tenant.history.suspicions.push(SuspicionRecord {
+                    node,
+                    score,
+                    probe: "unresponsive",
+                    outcome: SuspicionOutcome::Migrated { generation },
+                });
+            }
+        }
+        phase.set(CyclePhase::Replace, t_rep.elapsed());
+        phase.set(
+            CyclePhase::Restart,
+            restart_hint.min(Duration::from_secs(1)),
+        );
+        tenant.cycles.push(phase);
+        tenant.pending_attr = true;
+        record.backoff = policy.backoff(failure_no);
+        self.cluster.runtime().advance(record.backoff);
+        tenant.history.attempts.push(record);
+        match self.cfg.schedule {
+            SlicePolicy::Batched => SliceEnd::Again,
+            SlicePolicy::Pipelined => {
+                self.queue
+                    .push(self.cluster.now(), ServiceEvent::Slice(tenant.id));
+                SliceEnd::Parked
+            }
+        }
+    }
+
     fn attribute(cycles: &mut [PhaseTimes], recover_s: f64, ckpt_s: f64, checkpoints: usize) {
         if let Some(cycle) = cycles.last_mut() {
             cycle.set(CyclePhase::Recover, Duration::from_secs_f64(recover_s));
@@ -818,19 +959,21 @@ impl CheckpointService {
             .filter(|name| !name.starts_with(&prefix))
             .collect();
         foreign.sort_unstable();
-        let leaked: Vec<NodeId> = (0..self.cluster.total_nodes())
+        // off-shard state on a *fenced* node is quarantine, not a leak:
+        // the zombie's frozen leftovers after a migration away from it
+        let (fenced_stale, leaked): (Vec<NodeId>, Vec<NodeId>) = (0..self.cluster.total_nodes())
             .filter(|n| !shard.contains(n))
             .filter(|&n| self.cluster.shm(n).bytes_with_prefix(&prefix) > 0)
-            .collect();
+            .partition(|&n| self.cluster.node_fenced(n));
         if self.cfg.wipe_on_release {
             for &n in &shard {
-                if self.cluster.node_alive(n) {
+                if self.cluster.node_usable(n) {
                     self.cluster.shm(n).wipe();
                 }
             }
         }
         let cluster = Arc::clone(&self.cluster);
-        let drained = self.pool.release(tenant.id, |n| cluster.node_alive(n));
+        let drained = self.pool.release(tenant.id, |n| cluster.node_usable(n));
         for (id, nodes) in drained {
             let (cfg, queued_at) = self
                 .waiting
@@ -851,6 +994,7 @@ impl CheckpointService {
             history: tenant.history,
             foreign_on_shard: foreign,
             leaked_elsewhere: leaked,
+            fenced_stale,
         });
     }
 }
@@ -984,6 +1128,41 @@ mod tests {
             matches!(i.outcome, TenantOutcome::Completed(_)),
             "the protected tenant completes untouched"
         );
+    }
+
+    #[test]
+    fn straggling_tenant_node_is_fenced_migrated_and_isolated() {
+        let mut svc = service(4, 1, 0, SlicePolicy::Batched);
+        svc.register(tenant_cfg("gray", 48), 2, 1).unwrap();
+        svc.register(tenant_cfg("bystander", 48), 2, 0).unwrap();
+        // gray's shard is nodes {0,1}; node 1 straggles 64x from its 3rd
+        // panel and never heals: probe says "slow", fence + migrate
+        let storm = StormPlan::none().gray(GrayPlan::slow(ITER_PROBE, 3, 1, 64));
+        let rep = svc.run(&storm);
+        let g = rep.tenant("gray").unwrap();
+        match &g.outcome {
+            TenantOutcome::Completed(out) => assert!(out.hpl.passed),
+            other => panic!("gray tenant should migrate and complete, got {other:?}"),
+        }
+        assert_eq!(g.failures, 1, "the suspicion spent one budget unit");
+        assert_eq!(g.history.suspicions.len(), 1);
+        let s = &g.history.suspicions[0];
+        assert_eq!((s.node, s.probe), (1, "slow"));
+        assert!(matches!(s.outcome, SuspicionOutcome::Migrated { .. }));
+        assert!(
+            g.leaked_elsewhere.is_empty(),
+            "quarantined zombie state is not a leak: {:?}",
+            g.leaked_elsewhere
+        );
+        assert_eq!(
+            g.fenced_stale,
+            vec![1],
+            "the zombie's frozen checkpoints stay quarantined on it"
+        );
+        let b = rep.tenant("bystander").unwrap();
+        assert!(matches!(b.outcome, TenantOutcome::Completed(_)));
+        assert_eq!(b.failures, 0, "the neighbor's gray fault is not ours");
+        assert!(b.foreign_on_shard.is_empty());
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct Ctx {
     world_rank: usize,
     nranks: usize,
     node: NodeId,
+    /// The node's fencing generation captured at launch. If the cluster's
+    /// generation for this node moves past it mid-job, this rank is a
+    /// zombie: every send and probe returns [`Fault::Fenced`].
+    generation: u64,
     cluster: Arc<Cluster>,
     ranklist: Ranklist,
     rx: Receiver<Envelope>,
@@ -93,9 +97,12 @@ impl Ctx {
     /// Named failure probe: increments this rank's counter for `label`
     /// and consults the cluster's armed plans. Returns `Err` if this node
     /// just died or the job is aborted. Doubles as a simulation yield
-    /// point, so every probe is also a schedulable (and killable) instant.
+    /// point, so every probe is also a schedulable (and killable) instant
+    /// — and, when a hang plan fired here, the point where the node's
+    /// ranks stop making progress.
     pub fn failpoint(&self, label: &str) -> Result<(), Fault> {
         self.sim_yield(label)?;
+        self.check_fence()?;
         let count = {
             let mut counts = self.fail_counts.borrow_mut();
             let c = counts.entry(label.to_string()).or_insert(0);
@@ -110,8 +117,42 @@ impl Ctx {
                 Ok(()) => Err(Fault::JobAborted),
                 Err(e) => Err(e),
             },
+            Ok(()) => self.hold_if_hung(),
             other => other,
         }
+    }
+
+    /// Reject a zombie: `Err(Fault::Fenced)` once this rank's node has
+    /// been fenced (or re-generationed) out from under the running job.
+    pub fn check_fence(&self) -> Result<(), Fault> {
+        let current = self.cluster.node_generation(self.node);
+        if current != self.generation || self.cluster.node_fenced(self.node) {
+            return Err(Fault::Fenced {
+                node: self.node,
+                generation: current,
+            });
+        }
+        Ok(())
+    }
+
+    /// While this rank's node is hard-hung, hold here: the rank makes no
+    /// progress and sends no heartbeats, but still exits promptly on a
+    /// job abort, a suspicion verdict against anyone, a fence, or a heal.
+    fn hold_if_hung(&self) -> Result<(), Fault> {
+        while self.cluster.node_hung(self.node) {
+            self.check_abort()?;
+            self.check_fence()?;
+            match self.cluster.runtime().park_blocked() {
+                Some(YieldOutcome::Continue) => {}
+                Some(YieldOutcome::Killed) => {
+                    self.cluster.kill_node(self.node);
+                    return Err(Fault::NodeDead(self.node));
+                }
+                // real time: the hang is wall-clock; sleep a poll tick
+                None => std::thread::sleep(POLL),
+            }
+        }
+        Ok(())
     }
 
     /// Abort check without a probe (used inside blocking loops).
@@ -126,6 +167,14 @@ impl Ctx {
     pub fn check_abort(&self) -> Result<(), Fault> {
         if !self.cluster.node_alive(self.node) {
             return Err(Fault::NodeDead(self.node));
+        }
+        // A suspicion abort names the suspect on every rank, the same way
+        // a node-death abort names the dead peer below.
+        if let Some(v) = self.cluster.suspected() {
+            return Err(Fault::Suspect {
+                node: v.node,
+                score: v.score,
+            });
         }
         if self.cluster.check_abort().is_err() {
             // The culprit is a dead node *currently hosting a rank*:
@@ -146,7 +195,11 @@ impl Ctx {
 
     pub(crate) fn raw_send(&self, dst_world: usize, env: Envelope) -> Result<(), Fault> {
         self.sim_yield("send")?;
+        self.hold_if_hung()?;
         self.check_abort()?;
+        // A fenced zombie's messages are rejected at the source: they
+        // must never reach a live rank's mailbox.
+        self.check_fence()?;
         let bytes = env.payload.size_bytes();
         // Sending to a dead node's mailbox is allowed (the message is
         // simply never consumed) — like a NIC buffering for a dead peer.
@@ -155,8 +208,9 @@ impl Ctx {
             .send(env)
             .map_err(|_| Fault::JobAborted)?;
         // Under simulation: charge the modeled transfer to the virtual
-        // clock and wake any peer parked in a receive.
-        self.cluster.charge_send(bytes);
+        // clock (inflated when this node's link is degraded, feeding the
+        // sender's suspicion score) and wake any peer parked in a receive.
+        self.cluster.charge_send_from(self.node, bytes);
         self.cluster.runtime().notify();
         Ok(())
     }
@@ -174,7 +228,12 @@ impl Ctx {
             }
         }
         loop {
+            self.hold_if_hung()?;
             self.check_abort()?;
+            // A blocked receiver is the watchdog for gray peers: evaluate
+            // suspicion here so a collective parked on a hung or straggling
+            // node returns `Fault::Suspect` instead of waiting forever.
+            self.cluster.check_gray(self.node)?;
             // Drain everything already delivered without blocking.
             loop {
                 match self.rx.try_recv() {
@@ -196,6 +255,16 @@ impl Ctx {
                 Some(YieldOutcome::Killed) => {
                     self.cluster.kill_node(self.node);
                     return Err(Fault::NodeDead(self.node));
+                }
+                None if self.cluster.runtime().is_sim() => {
+                    // A sim-world thread that is not a registered task
+                    // (service plumbing driving a rank body directly):
+                    // waiting out the poll on the wall clock would leave
+                    // the virtual clock frozen, making "timeouts" depend
+                    // on host speed. Charge the poll to the virtual clock
+                    // instead and re-check.
+                    self.cluster.runtime().advance(POLL);
+                    continue;
                 }
                 None => match self.rx.recv_timeout(POLL) {
                     Ok(env) => {
@@ -236,12 +305,20 @@ where
             "rank {r} placed on dead node {}; repair the ranklist first",
             ranklist.node_of(r)
         );
+        assert!(
+            !cluster.node_fenced(ranklist.node_of(r)),
+            "rank {r} placed on fenced node {}; repair the ranklist first",
+            ranklist.node_of(r)
+        );
     }
     let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Envelope>()).unzip();
     let txs = Arc::new(txs);
     let mut results: Vec<Option<Result<T, Fault>>> = (0..n).map(|_| None).collect();
+    let nodes: Vec<NodeId> = (0..n).map(|r| ranklist.node_of(r)).collect();
+    // fresh suspicion window for this launch (no-op when unarmed)
+    cluster.begin_job(&nodes);
     let rt = Arc::clone(cluster.runtime());
-    rt.begin_world(&(0..n).map(|r| ranklist.node_of(r)).collect::<Vec<_>>());
+    rt.begin_world(&nodes);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
@@ -250,6 +327,7 @@ where
                 world_rank: rank,
                 nranks: n,
                 node: ranklist.node_of(rank),
+                generation: cluster.node_generation(ranklist.node_of(rank)),
                 cluster: Arc::clone(&cluster),
                 ranklist: ranklist.clone(),
                 rx,
@@ -431,6 +509,95 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn hung_node_is_declared_suspect_not_deadlocked() {
+        use skt_cluster::{GrayPlan, SimRuntime};
+        let cluster = Arc::new(Cluster::new_with_runtime(
+            ClusterConfig::new(2, 0),
+            SimRuntime::new(11),
+        ));
+        cluster.arm_fault(GrayPlan::hang("step", 2, 1));
+        let ranklist = Ranklist::round_robin(2, 2);
+        let res: Result<Vec<()>, Fault> = run_on_cluster(cluster.clone(), &ranklist, |ctx| loop {
+            ctx.failpoint("step")?;
+            let w = ctx.world();
+            let peer = ctx.world_rank() ^ 1;
+            w.send(peer, 0, Payload::Empty)?;
+            w.recv(peer, 0)?;
+        });
+        assert!(
+            matches!(res, Err(Fault::Suspect { node: 1, .. })),
+            "peer must declare the hung node, got {res:?}"
+        );
+        assert!(cluster.node_alive(1), "suspect, not dead");
+        assert!(cluster.node_hung(1), "still actually hung");
+    }
+
+    #[test]
+    fn hang_that_heals_fast_completes_without_suspicion() {
+        use skt_cluster::{GrayPlan, SimRuntime};
+        let cluster = Arc::new(Cluster::new_with_runtime(
+            ClusterConfig::new(2, 0),
+            SimRuntime::new(5),
+        ));
+        // heals after 3 heartbeat intervals — under the default threshold
+        // of 8 no peer can accumulate enough lag to declare
+        cluster.arm_fault(GrayPlan::hang("step", 2, 1).heal_after(Duration::from_micros(600)));
+        let ranklist = Ranklist::round_robin(2, 2);
+        let res = run_on_cluster(cluster.clone(), &ranklist, |ctx| {
+            for i in 0..5 {
+                ctx.failpoint("step")?;
+                let w = ctx.world();
+                let peer = ctx.world_rank() ^ 1;
+                w.send(peer, 0, Payload::I64(vec![i]))?;
+                w.recv(peer, 0)?;
+            }
+            Ok(ctx.world_rank())
+        });
+        assert_eq!(res.unwrap(), vec![0, 1], "healed before declaration");
+        assert_eq!(cluster.suspected(), None);
+        assert!(!cluster.node_hung(1));
+    }
+
+    #[test]
+    fn fenced_mid_job_rank_gets_zombie_fault() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(2, 0)));
+        let ranklist = Ranklist::round_robin(2, 2);
+        let res: Result<Vec<()>, Fault> = run_on_cluster(cluster.clone(), &ranklist, |ctx| {
+            let w = ctx.world();
+            if ctx.world_rank() == 0 {
+                // fence the peer's node out from under it (what the
+                // service does when it gives up on a suspect)
+                ctx.cluster().fence_node(1);
+                w.send(1, 0, Payload::Empty)?;
+                Ok(())
+            } else {
+                w.recv(0, 0)?;
+                // the zombie's own send must be rejected at the source
+                w.send(0, 1, Payload::Empty)
+            }
+        });
+        assert!(
+            matches!(
+                res,
+                Err(Fault::Fenced {
+                    node: 1,
+                    generation: 1
+                })
+            ),
+            "zombie send must be fenced, got {res:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fenced node")]
+    fn launching_on_fenced_node_is_rejected() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(2, 0)));
+        cluster.fence_node(1);
+        let ranklist = Ranklist::round_robin(2, 2);
+        let _ = run_on_cluster(cluster, &ranklist, |_| Ok(()));
     }
 
     #[test]

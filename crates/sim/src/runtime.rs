@@ -86,6 +86,15 @@ pub trait Runtime: Send + Sync {
     /// aborted). Cheap no-op in real time.
     fn notify(&self) {}
 
+    /// Configure the stall policy for gray faults: when every live task
+    /// is parked and `Some(step)` is set, the simulation scheduler
+    /// advances the virtual clock by `step` and wakes the parked tasks —
+    /// modeling the passage of time a hung node imposes on its waiting
+    /// peers — instead of declaring deadlock. `None` (the default)
+    /// restores the strict deadlock panic. No-op in real time, where the
+    /// OS clock never stalls.
+    fn set_stall_wake(&self, _step: Option<Duration>) {}
+
     /// A protocol phase boundary crossed on the calling task (forwarded
     /// from `Event::PhaseEnter`/`PhaseExit` by the cluster's bus
     /// observer). Defines the phase *window* targeted kills aim into.
@@ -159,6 +168,7 @@ mod tests {
         assert_eq!(rt.yield_now("x"), YieldOutcome::Continue);
         assert_eq!(rt.park_blocked(), None);
         rt.notify();
+        rt.set_stall_wake(Some(Duration::from_micros(100)));
         rt.advance(Duration::from_secs(5));
         rt.task_exit(0);
         rt.drive();

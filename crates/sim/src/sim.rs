@@ -85,7 +85,20 @@ struct Sched {
     /// Set when the scheduler panics (deadlock): parked tasks must wake
     /// and bail out instead of waiting forever.
     poisoned: bool,
+    /// Gray-fault stall policy: when every live task is parked, advance
+    /// the clock by this step and wake them (bounded by
+    /// [`STALL_WAKE_LIMIT`]) instead of panicking. `None` keeps the
+    /// strict deadlock panic.
+    stall_wake: Option<Duration>,
+    /// Stall-wakes taken in the current world (reset by `begin_world`).
+    stalls: u64,
 }
+
+/// Upper bound on stall-wakes per world. A hung node's peers resolve the
+/// stall via suspicion within a handful of heartbeat intervals; a genuine
+/// deadlock that nothing can resolve hits this bound and still panics
+/// with the task dump instead of spinning the virtual clock forever.
+const STALL_WAKE_LIMIT: u64 = 100_000;
 
 /// The deterministic cooperative scheduler. Construct with
 /// [`SimRuntime::new`], hand to
@@ -110,6 +123,8 @@ impl SimRuntime {
                 yields: HashMap::new(),
                 steps: 0,
                 poisoned: false,
+                stall_wake: None,
+                stalls: 0,
             }),
             cv: Condvar::new(),
             clock_ns: AtomicU64::new(0),
@@ -273,6 +288,7 @@ impl Runtime for SimRuntime {
                 last_yield: String::new(),
             })
             .collect();
+        s.stalls = 0;
     }
 
     fn task_enter(&self, rank: usize) {
@@ -314,7 +330,22 @@ impl Runtime for SimRuntime {
                 .map(|(r, _)| r)
                 .collect();
             if ready.is_empty() {
-                // every live task is parked and nothing can wake them
+                // Every live task is parked. Under a gray-fault stall
+                // policy this is the hung-node case: let virtual time
+                // pass and wake the waiters so they can poll suspicion.
+                if let Some(step) = s.stall_wake {
+                    if s.stalls < STALL_WAKE_LIMIT {
+                        s.stalls += 1;
+                        self.advance(step);
+                        for t in &mut s.tasks {
+                            if t.state == TaskState::Parked {
+                                t.state = TaskState::Ready;
+                            }
+                        }
+                        continue;
+                    }
+                }
+                // nothing can wake them: a genuine deadlock
                 s.poisoned = true;
                 self.cv.notify_all();
                 panic!(
@@ -359,6 +390,10 @@ impl Runtime for SimRuntime {
         s.tasks[rank].last_yield.push_str("recv-park");
         let _s = self.wait_for_token(s, rank);
         Some(YieldOutcome::Continue)
+    }
+
+    fn set_stall_wake(&self, step: Option<Duration>) {
+        self.lock().stall_wake = step;
     }
 
     fn notify(&self) {
@@ -547,5 +582,35 @@ mod tests {
             .cloned()
             .unwrap_or_else(|| "?".into());
         assert!(msg.contains("sim deadlock"), "{msg}");
+    }
+
+    #[test]
+    fn stall_wake_advances_clock_instead_of_deadlocking() {
+        let rt = SimRuntime::new(0);
+        let step = Duration::from_micros(200);
+        rt.set_stall_wake(Some(step));
+        let woke = Mutex::new(0u32);
+        std::thread::scope(|scope| {
+            rt.begin_world(&[0]);
+            let r = Arc::clone(&rt);
+            let woke = &woke;
+            scope.spawn(move || {
+                r.task_enter(0);
+                // park repeatedly with nobody to notify: each wake must
+                // be a stall-wake that advanced the virtual clock
+                for _ in 0..3 {
+                    assert_eq!(r.park_blocked(), Some(YieldOutcome::Continue));
+                    *woke.lock().unwrap() += 1;
+                }
+                r.task_exit(0);
+            });
+            rt.drive();
+        });
+        assert_eq!(woke.into_inner().unwrap(), 3);
+        assert!(
+            rt.now() >= 3 * step,
+            "stall-wakes advance time: {:?}",
+            rt.now()
+        );
     }
 }

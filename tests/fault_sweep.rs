@@ -23,8 +23,8 @@
 //! property of the protocol, not of any particular interleaving.
 
 use self_checkpoint::cluster::{
-    explore_yield_kills, Cluster, ClusterConfig, CorruptPlan, FailurePlan, Ranklist, Region,
-    SimRuntime,
+    explore_yield_kills, Cluster, ClusterConfig, CorruptPlan, FailurePlan, FaultPlan, GrayPlan,
+    Ranklist, Region, SimRuntime,
 };
 use self_checkpoint::core::{
     Checkpointer, CkptConfig, Method, Phase, RecoverError, Recovery, RestoreSource,
@@ -1197,6 +1197,323 @@ fn nested_fault_in_double_recovery_retry_heals_or_refuses() {
         for seed in 0..NESTED_SEEDS {
             nested_recovery_sweep(Method::Double, label, seed);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gray-failure dimension: stragglers, hangs, degraded links
+// ---------------------------------------------------------------------
+
+use self_checkpoint::ftsim::{run_with_daemon, DaemonError, SuspicionOutcome};
+use self_checkpoint::hpl::{HplConfig, SktConfig, ITER_PROBE};
+use std::time::Duration;
+
+/// The node the gray plans degrade.
+const GRAY_VICTIM: usize = 1;
+
+/// The three gray-fault shapes of the taxonomy.
+#[derive(Clone, Copy, Debug)]
+enum GrayCase {
+    /// Straggler: every probe costs 64× the heartbeat interval.
+    Slow,
+    /// Hard hang: the node parks indefinitely at the probe.
+    Hang,
+    /// Degraded link: every send from the node costs 1000× the model.
+    Link,
+}
+
+impl GrayCase {
+    const ALL: [GrayCase; 3] = [GrayCase::Slow, GrayCase::Hang, GrayCase::Link];
+
+    /// The probe-anchored plan: injected at the victim's 3rd panel; with
+    /// `heal` the fault clears itself later (virtual time) — after the
+    /// peers' declaration but well inside the daemon's 5 s detect
+    /// latency, so the ladder must exonerate instead of migrating. The
+    /// link case heals slower: its suspicion score builds only from send
+    /// excess (decaying under ordinary probes), so declaration takes
+    /// more virtual time than a straggler's.
+    fn plan(self, heal: bool) -> GrayPlan {
+        let (p, heal_after) = match self {
+            GrayCase::Slow => (
+                GrayPlan::slow(ITER_PROBE, 3, GRAY_VICTIM, 64),
+                Duration::from_millis(50),
+            ),
+            GrayCase::Hang => (
+                GrayPlan::hang(ITER_PROBE, 3, GRAY_VICTIM),
+                Duration::from_millis(50),
+            ),
+            GrayCase::Link => (
+                GrayPlan::link_degrade(ITER_PROBE, 3, GRAY_VICTIM, 1000),
+                Duration::from_secs(1),
+            ),
+        };
+        if heal {
+            p.heal_after(heal_after)
+        } else {
+            p
+        }
+    }
+
+    /// The probe verdict an unhealed fault of this shape produces.
+    fn probe_label(self) -> &'static str {
+        match self {
+            GrayCase::Slow => "slow",
+            GrayCase::Hang => "unresponsive",
+            GrayCase::Link => "link-degrade",
+        }
+    }
+}
+
+fn gray_skt_cfg(method: Method, codec: CodecSpec) -> SktConfig {
+    // one 4-member group so every codec (m = 1, 2, 3) is well-formed
+    let mut cfg = SktConfig::new(HplConfig::new(48, 4, 11), 4, 2);
+    cfg.method = method;
+    cfg.codec = codec;
+    cfg
+}
+
+/// Residual bits of a fault-free daemon run — the bit-exactness anchor
+/// for exonerated cells.
+fn gray_reference_residual(method: Method, codec: CodecSpec) -> u64 {
+    let cluster = Arc::new(Cluster::new_with_runtime(
+        ClusterConfig::new(N, 1),
+        SimRuntime::new(0),
+    ));
+    let rl = Ranklist::round_robin(N, N);
+    let rep = run_with_daemon(
+        cluster,
+        &rl,
+        &gray_skt_cfg(method, codec),
+        3,
+        Duration::from_secs(5),
+    )
+    .expect("fault-free reference must complete");
+    assert!(rep.output.hpl.passed);
+    rep.output.hpl.residual.to_bits()
+}
+
+/// One cell of the gray matrix, through the full daemon ladder: inject,
+/// let the peers declare the suspect, probe, then exonerate (healed
+/// plans — residual must be bit-exact with the fault-free reference) or
+/// fence-and-migrate (unhealed plans — the zombie stays fenced, its
+/// shard lands on the spare). Returns the cell's stable fingerprint —
+/// the matrix asserts it is invariant across scheduler seeds.
+fn gray_cell(
+    case: GrayCase,
+    heal: bool,
+    method: Method,
+    codec: CodecSpec,
+    reference: u64,
+    seed: u64,
+) -> String {
+    let tag = format!("{case:?}/heal={heal}/{method:?}/seed{seed}");
+    let cluster = Arc::new(Cluster::new_with_runtime(
+        ClusterConfig::new(N, 1),
+        SimRuntime::new(seed),
+    ));
+    let rl = Ranklist::round_robin(N, N);
+    cluster.arm_fault(FaultPlan::Gray(case.plan(heal)));
+    let mut s = String::new();
+    match run_with_daemon(
+        Arc::clone(&cluster),
+        &rl,
+        &gray_skt_cfg(method, codec),
+        3,
+        Duration::from_secs(5),
+    ) {
+        Ok(rep) => {
+            assert!(rep.output.hpl.passed, "{tag}: residual failed");
+            assert_eq!(
+                rep.history.suspicions.len(),
+                1,
+                "{tag}: exactly one suspicion adjudicated: {:?}",
+                rep.history.suspicions
+            );
+            let sr = &rep.history.suspicions[0];
+            assert_eq!(sr.node, GRAY_VICTIM, "{tag}: wrong suspect");
+            if heal {
+                assert_eq!(sr.outcome, SuspicionOutcome::Exonerated, "{tag}");
+                assert_eq!(sr.probe, "responsive", "{tag}");
+                assert!(
+                    !cluster.node_fenced(GRAY_VICTIM),
+                    "{tag}: exoneration never fences"
+                );
+                assert_eq!(cluster.spares_left(), 1, "{tag}: no spare spent");
+                assert_eq!(
+                    rep.output.hpl.residual.to_bits(),
+                    reference,
+                    "{tag}: exonerated resume must be bit-exact with the fault-free run"
+                );
+            } else {
+                assert!(
+                    matches!(sr.outcome, SuspicionOutcome::Migrated { .. }),
+                    "{tag}: unhealed fault must migrate, got {:?}",
+                    sr.outcome
+                );
+                assert_eq!(sr.probe, case.probe_label(), "{tag}");
+                assert!(
+                    cluster.node_fenced(GRAY_VICTIM),
+                    "{tag}: zombie must be fenced"
+                );
+                assert!(
+                    cluster.node_alive(GRAY_VICTIM),
+                    "{tag}: fenced, not killed — the node never powered off"
+                );
+                assert_eq!(
+                    cluster.spares_left(),
+                    0,
+                    "{tag}: shard migrated to the spare"
+                );
+            }
+            s.push_str(&format!(
+                "{case:?}/heal={heal}/{method:?}: completed residual={:016x}\n",
+                rep.output.hpl.residual.to_bits()
+            ));
+            for sr in &rep.history.suspicions {
+                s.push_str(&format!(
+                    "  suspicion node={} probe={} outcome={}\n",
+                    sr.node,
+                    sr.probe,
+                    sr.outcome.label()
+                ));
+            }
+            for a in &rep.history.attempts {
+                s.push_str(&format!(
+                    "  attempt fault={} dead={:?}\n",
+                    a.fault.stable_label(),
+                    a.newly_dead
+                ));
+            }
+        }
+        Err(e @ DaemonError::Unrecoverable(_)) => {
+            // The suspicion abort can land inside a *baseline* method's
+            // torn update window; with the victim's copy then quarantined
+            // the group is beyond that method's repair — the documented
+            // flaw, refused typed, never silent. Self-checkpoint has no
+            // such window.
+            assert!(
+                method != Method::SelfCkpt,
+                "{tag}: self-checkpoint must never refuse: {e}"
+            );
+            s.push_str(&format!(
+                "{case:?}/heal={heal}/{method:?}: refused unrecoverable\n"
+            ));
+            for sr in &e.history().suspicions {
+                s.push_str(&format!(
+                    "  suspicion node={} probe={} outcome={}\n",
+                    sr.node,
+                    sr.probe,
+                    sr.outcome.label()
+                ));
+            }
+        }
+        Err(other) => panic!("{tag}: daemon gave up: {other}"),
+    }
+    s.push_str(&format!(
+        "  victim fenced={} alive={} spares_left={}\n",
+        cluster.node_fenced(GRAY_VICTIM),
+        cluster.node_alive(GRAY_VICTIM),
+        cluster.spares_left()
+    ));
+    s
+}
+
+/// Seeds per gray cell (ISSUE criterion: 8).
+const GRAY_SEEDS: u64 = 8;
+
+/// Every gray shape × heal × seed for one method: each cell ends in
+/// exoneration or migration (or, for a baseline method, the typed
+/// torn-window refusal) — never a hang, never silent corruption — and
+/// the cell fingerprint is seed-invariant.
+fn gray_matrix(method: Method, codec: CodecSpec) -> String {
+    let reference = gray_reference_residual(method, codec);
+    let mut all = String::new();
+    for case in GrayCase::ALL {
+        for heal in [false, true] {
+            let mut first: Option<(u64, String)> = None;
+            for seed in 0..GRAY_SEEDS {
+                let fp = gray_cell(case, heal, method, codec, reference, seed);
+                match &first {
+                    None => {
+                        all.push_str(&fp);
+                        first = Some((seed, fp));
+                    }
+                    Some((s0, fp0)) => assert_eq!(
+                        &fp, fp0,
+                        "{case:?}/heal={heal}/{method:?}/seed{seed}: differs from seed {s0} — not seed-invariant"
+                    ),
+                }
+            }
+        }
+    }
+    all
+}
+
+#[test]
+fn gray_faults_exonerate_or_migrate_self_checkpoint() {
+    gray_matrix(Method::SelfCkpt, CodecSpec::default());
+}
+
+#[test]
+fn gray_faults_exonerate_or_migrate_single_checkpoint() {
+    gray_matrix(Method::Single, CodecSpec::default());
+}
+
+#[test]
+fn gray_faults_exonerate_or_migrate_double_checkpoint() {
+    gray_matrix(Method::Double, CodecSpec::default());
+}
+
+/// Migration only ever loses *one* member (the fenced zombie), so the
+/// verdict is codec-independent: every codec rebuilds the migrated
+/// shard and lands on the same fingerprint shape.
+#[test]
+fn gray_migration_verdicts_are_codec_independent() {
+    for codec in [CodecSpec::default(), CodecSpec::Dual, CodecSpec::rs(3)] {
+        let reference = gray_reference_residual(Method::SelfCkpt, codec);
+        for case in GrayCase::ALL {
+            for seed in 0..2u64 {
+                gray_cell(case, false, Method::SelfCkpt, codec, reference, seed);
+            }
+        }
+    }
+}
+
+/// The gray matrix is a pure function of `(case, heal, method, seed)`:
+/// two in-process evaluations must agree byte-for-byte, and
+/// `$SKT_GRAYFAULT_REPORT` exports the report so the CI `gray-faults`
+/// job can diff two independent *processes*.
+#[test]
+fn gray_report_is_stable_and_exported() {
+    let build = || {
+        let mut s = String::new();
+        for method in [Method::SelfCkpt, Method::Single, Method::Double] {
+            let reference = gray_reference_residual(method, CodecSpec::default());
+            for case in GrayCase::ALL {
+                for heal in [false, true] {
+                    for seed in 0..2u64 {
+                        s.push_str(&gray_cell(
+                            case,
+                            heal,
+                            method,
+                            CodecSpec::default(),
+                            reference,
+                            seed,
+                        ));
+                    }
+                }
+            }
+        }
+        s
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(
+        a, b,
+        "gray outcomes must be a pure function of (case, heal, method, seed)"
+    );
+    if let Ok(path) = std::env::var("SKT_GRAYFAULT_REPORT") {
+        std::fs::write(&path, &a).unwrap();
     }
 }
 

@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 use self_checkpoint::cluster::{
-    Admission, Cluster, ClusterConfig, CorruptPlan, FailurePlan, Ranklist, Region, SimRuntime,
+    Admission, Cluster, ClusterConfig, CorruptPlan, FailurePlan, FaultPlan, GrayPlan, Ranklist,
+    Region, SimRuntime,
 };
 use self_checkpoint::core::{
     available_fraction, Checkpointer, CkptConfig, MemoryBreakdown, Method, Phase, RecoverError,
@@ -13,13 +14,15 @@ use self_checkpoint::core::{
 };
 use self_checkpoint::encoding::{kernels, Code, CodecSpec, DualParity, GroupLayout, KernelConfig};
 use self_checkpoint::ftsim::{
-    CheckpointService, RetryPolicy, ServiceConfig, StormPlan, TenantOutcome,
+    run_with_daemon, CheckpointService, RetryPolicy, ServiceConfig, StormPlan, SuspicionOutcome,
+    TenantOutcome, TenantReport,
 };
-use self_checkpoint::hpl::{HplConfig, SktConfig};
+use self_checkpoint::hpl::{HplConfig, SktConfig, ITER_PROBE};
 use self_checkpoint::linalg::{dgemm, solve_ref, MatGen, Matrix, Trans};
 use self_checkpoint::models::{fit_ab, hpl_efficiency, scaled_efficiency_bound};
 use self_checkpoint::mps::run_on_cluster;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Workspace length for the simulated checkpoint cycles below.
 const SIM_A1: usize = 64;
@@ -727,6 +730,197 @@ proptest! {
             } else {
                 let bits_s = res_s.as_ref().expect(&tag);
                 prop_assert_eq!(bits_s, bits_c, "{}: foreign fault must be invisible", tag);
+            }
+        }
+    }
+}
+
+/// Daemon shape for the gray-failure properties: one 4-member group over
+/// four nodes plus one spare, a small HPL so the case sweep stays fast.
+fn gray_prop_cfg() -> SktConfig {
+    SktConfig::new(HplConfig::new(32, 4, 7), 4, 2)
+}
+
+/// Residual bits of a fault-free daemon run of [`gray_prop_cfg`] — the
+/// bit-exactness anchor for exonerated runs. Computed once: the residual
+/// is a property of the problem, not of the scheduler seed.
+fn gray_prop_reference() -> u64 {
+    static BITS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *BITS.get_or_init(|| {
+        let cluster = Arc::new(Cluster::new_with_runtime(
+            ClusterConfig::new(4, 1),
+            SimRuntime::new(0),
+        ));
+        let rl = Ranklist::round_robin(4, 4);
+        let rep = run_with_daemon(cluster, &rl, &gray_prop_cfg(), 3, Duration::from_secs(5))
+            .expect("fault-free reference must complete");
+        assert!(rep.output.hpl.passed);
+        rep.output.hpl.residual.to_bits()
+    })
+}
+
+/// Run the service over `shapes` with a non-healing 64× straggler on the
+/// victim tenant's last shard node. Returns the tenant reports (in
+/// registration order), the straggling node, and the cluster so the
+/// caller can inspect fencing.
+fn service_gray_run(
+    seed: u64,
+    shapes: &[TenantShape],
+    spares: usize,
+    victim: usize,
+    nth: u64,
+) -> (Vec<TenantReport>, usize, Arc<Cluster>) {
+    let compute: usize = shapes
+        .iter()
+        .map(|&(_, m)| if m == 2 { 3 } else { 2 })
+        .sum();
+    let cluster = Arc::new(Cluster::new_with_runtime(
+        ClusterConfig::new(compute, spares),
+        SimRuntime::new(seed),
+    ));
+    let cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5)));
+    let mut svc = CheckpointService::new(Arc::clone(&cluster), cfg);
+    let mut shards = Vec::new();
+    for (i, shape) in shapes.iter().enumerate() {
+        let (cfg, shard) = service_tenant_cfg(i, shape);
+        match svc.register(cfg, shard, 0).unwrap() {
+            Admission::Admitted { nodes, .. } => shards.push(nodes),
+            other => panic!("disjoint shards always fit: {other:?}"),
+        }
+    }
+    let zombie = *shards[victim].last().unwrap();
+    let storm = StormPlan::none().gray(GrayPlan::slow(ITER_PROBE, nth, zombie, 64));
+    (svc.run(&storm).tenants, zombie, cluster)
+}
+
+proptest! {
+    /// A straggler that heals before the daemon's probe is a FALSE
+    /// suspicion: for any scheduler seed, victim, injection point, and
+    /// slowdown factor, the suspicion ladder must exonerate — verdict
+    /// cleared, nobody fenced, no spare spent — and the resumed solve
+    /// must be bit-exact with the fault-free reference.
+    #[test]
+    fn false_suspicion_exonerates_bit_exactly(
+        seed in any::<u64>(),
+        victim in 0usize..4,
+        nth in 1u64..6,
+        factor in 48u32..200,
+    ) {
+        let reference = gray_prop_reference();
+        let tag = format!("seed{seed}/victim{victim}/nth{nth}/x{factor}");
+        let cluster = Arc::new(Cluster::new_with_runtime(
+            ClusterConfig::new(4, 1),
+            SimRuntime::new(seed),
+        ));
+        let rl = Ranklist::round_robin(4, 4);
+        // declaration needs one slow sample (factor/4 > 8); the heal
+        // lands after it but well inside the daemon's 5 s detect latency
+        cluster.arm_fault(FaultPlan::Gray(
+            GrayPlan::slow(ITER_PROBE, nth, victim, factor)
+                .heal_after(Duration::from_millis(50)),
+        ));
+        let rep = run_with_daemon(
+            Arc::clone(&cluster),
+            &rl,
+            &gray_prop_cfg(),
+            3,
+            Duration::from_secs(5),
+        )
+        .unwrap_or_else(|e| panic!("{tag}: daemon gave up: {e}"));
+        prop_assert!(rep.output.hpl.passed, "{}: residual failed", tag);
+        prop_assert_eq!(
+            rep.history.suspicions.len(), 1,
+            "{}: exactly one suspicion adjudicated: {:?}", tag, rep.history.suspicions
+        );
+        let sr = &rep.history.suspicions[0];
+        prop_assert_eq!(sr.node, victim, "{}: wrong suspect", tag);
+        prop_assert_eq!(sr.probe, "responsive", "{}: probe must see the heal", tag);
+        prop_assert_eq!(sr.outcome, SuspicionOutcome::Exonerated, "{}", tag);
+        prop_assert!(!cluster.node_fenced(victim), "{}: exoneration never fences", tag);
+        prop_assert_eq!(cluster.spares_left(), 1, "{}: no spare spent", tag);
+        prop_assert_eq!(
+            rep.output.hpl.residual.to_bits(), reference,
+            "{}: exonerated resume must be bit-exact with the fault-free run", tag
+        );
+    }
+
+    /// A non-healing straggler inside one tenant's shard is fenced and
+    /// the shard migrated to a spare; the zombie stays alive but every
+    /// write it makes lands in its frozen store. For any tenant mix,
+    /// victim, injection point, and spare supply: no tenant sees foreign
+    /// segments, nothing leaks off-shard, the quarantined leftovers are
+    /// confined to the zombie node, and every tenant — the victim
+    /// included — solves bit-identically to a storm-free control run.
+    #[test]
+    fn fenced_zombie_writes_are_invisible_to_every_tenant(
+        seed in any::<u64>(),
+        shapes_seed in any::<u64>(),
+        count in 2usize..6,
+        victim in 0usize..6,
+        nth in 1u64..6,
+        spares in 1usize..3,
+    ) {
+        let mut rng = self_checkpoint::cluster::SplitMix64::new(shapes_seed);
+        let shapes: Vec<TenantShape> = (0..count)
+            .map(|_| ((rng.next_u64() % 2) as usize, 1 + (rng.next_u64() % 2) as usize))
+            .collect();
+        let victim = victim % shapes.len();
+        let control = service_storm_run(seed, &shapes, spares, None);
+        let (reports, zombie, cluster) = service_gray_run(seed, &shapes, spares, victim, nth);
+        prop_assert_eq!(reports.len(), shapes.len());
+        prop_assert!(cluster.node_fenced(zombie), "the straggler must be fenced");
+        prop_assert!(cluster.node_alive(zombie), "fenced, not killed");
+        for (i, (t, (name_c, res_c))) in reports.iter().zip(&control).enumerate() {
+            prop_assert_eq!(&t.name, name_c);
+            let tag = format!("{}/seed{seed}/victim{victim}/nth{nth}/spares{spares}", t.name);
+            let bits_c = *res_c.as_ref().expect("control run sees no faults");
+            let out = match &t.outcome {
+                TenantOutcome::Completed(out) => out,
+                TenantOutcome::Refused(r) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "{tag}: one spare always covers one migration, got refused {}",
+                        r.label()
+                    )));
+                }
+            };
+            prop_assert!(out.hpl.passed, "{}: residual failed", tag);
+            prop_assert_eq!(
+                out.hpl.residual.to_bits(), bits_c,
+                "{}: must be bit-exact with the storm-free control", tag
+            );
+            prop_assert!(
+                t.foreign_on_shard.is_empty(),
+                "{}: foreign segments {:?}", tag, t.foreign_on_shard
+            );
+            prop_assert!(
+                t.leaked_elsewhere.is_empty(),
+                "{}: leaked {:?}", tag, t.leaked_elsewhere
+            );
+            if i == victim {
+                prop_assert_eq!(
+                    t.history.suspicions.len(), 1,
+                    "{}: exactly one suspicion: {:?}", tag, t.history.suspicions
+                );
+                let sr = &t.history.suspicions[0];
+                prop_assert_eq!(sr.node, zombie, "{}: wrong suspect", tag);
+                prop_assert_eq!(sr.probe, "slow", "{}: probe verdict", tag);
+                prop_assert!(
+                    matches!(sr.outcome, SuspicionOutcome::Migrated { .. }),
+                    "{}: unhealed straggler must migrate, got {:?}", tag, sr.outcome
+                );
+                prop_assert!(
+                    t.fenced_stale.iter().all(|&n| n == zombie),
+                    "{}: quarantine confined to the zombie: {:?}", tag, t.fenced_stale
+                );
+            } else {
+                prop_assert!(
+                    t.history.suspicions.is_empty(),
+                    "{}: bystander suspected nobody: {:?}", tag, t.history.suspicions
+                );
+                prop_assert!(
+                    t.fenced_stale.is_empty(),
+                    "{}: bystander has no quarantine: {:?}", tag, t.fenced_stale
+                );
             }
         }
     }
