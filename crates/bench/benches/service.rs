@@ -1,7 +1,9 @@
 //! Criterion benchmarks of the multi-tenant checkpoint service: batch
 //! throughput vs tenant count, end-to-end recovery latency vs group size
 //! × codec (a kill mid-solve, healed through arbitration + the sequenced
-//! spare draw), and the batched vs pipelined flush-scheduling overhead.
+//! spare draw), the batched vs round-robin flush-scheduling overhead,
+//! and the cost of a shrink+grow resize cycle vs the codec's parity
+//! count (the boundary-image re-encode is the dominant term).
 //!
 //! `CRITERION_JSON_OUT=BENCH_service.json cargo bench --bench service`
 //! dumps the numbers for the committed baseline.
@@ -10,7 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use skt_cluster::{Cluster, ClusterConfig};
 use skt_encoding::CodecSpec;
 use skt_ftsim::{
-    CheckpointService, RetryPolicy, ServiceConfig, SlicePolicy, StormPlan, TenantOutcome,
+    CheckpointService, PolicySpec, RetryPolicy, ServiceConfig, StormPlan, TenantOutcome,
 };
 use skt_hpl::{HplConfig, SktConfig};
 use std::sync::Arc;
@@ -27,7 +29,7 @@ fn run_once(
     shard: usize,
     codec: CodecSpec,
     slice_panels: usize,
-    schedule: SlicePolicy,
+    schedule: PolicySpec,
     kill: bool,
 ) -> Duration {
     let spares = usize::from(kill);
@@ -76,7 +78,7 @@ fn bench_tenant_scaling(c: &mut Criterion) {
                             2,
                             CodecSpec::default(),
                             0,
-                            SlicePolicy::Batched,
+                            PolicySpec::Batched,
                             false,
                         )
                     })
@@ -102,7 +104,7 @@ fn bench_recovery_group_codec(c: &mut Criterion) {
             g.bench_function(BenchmarkId::new(name, group), |b| {
                 b.iter_custom(|iters| {
                     (0..iters)
-                        .map(|_| run_once(1, group, codec, 0, SlicePolicy::Batched, true))
+                        .map(|_| run_once(1, group, codec, 0, PolicySpec::Batched, true))
                         .sum()
                 });
             });
@@ -121,7 +123,7 @@ fn bench_schedule(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("batched", "whole-job"), |b| {
         b.iter_custom(|iters| {
             (0..iters)
-                .map(|_| run_once(4, 2, CodecSpec::default(), 0, SlicePolicy::Batched, false))
+                .map(|_| run_once(4, 2, CodecSpec::default(), 0, PolicySpec::Batched, false))
                 .sum()
         });
     });
@@ -137,7 +139,7 @@ fn bench_schedule(c: &mut Criterion) {
                                 2,
                                 CodecSpec::default(),
                                 slice,
-                                SlicePolicy::Pipelined,
+                                PolicySpec::RoundRobin,
                                 false,
                             )
                         })
@@ -149,10 +151,59 @@ fn bench_schedule(c: &mut Criterion) {
     g.finish();
 }
 
+/// Elasticity cost: one 6-rank tenant shrunk to 4 and grown back
+/// through boundary checkpoints, swept over the codec (the re-encode at
+/// install dominates, so parity count is the knob), against a no-resize
+/// control of the same solve.
+fn bench_resize_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_resize");
+    g.sample_size(10);
+    let run_resized = |codec: CodecSpec, resize: bool| {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(8, 0)));
+        let mut cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_millis(1)));
+        cfg.slice_panels = 3;
+        cfg.schedule = PolicySpec::RoundRobin;
+        let mut svc = CheckpointService::new(cluster, cfg);
+        let mut c = SktConfig::new(HplConfig::new(N, NB, 7), 6, 2);
+        c.name = "elastic".into();
+        c.codec = codec;
+        svc.register(c, 6, 0).unwrap();
+        if resize {
+            svc.schedule_resize("elastic", Duration::from_micros(1), 4);
+            svc.schedule_resize("elastic", Duration::from_micros(2), 6);
+        }
+        let t = Instant::now();
+        let rep = svc.run(&StormPlan::none());
+        let elapsed = t.elapsed();
+        let tr = rep.tenant("elastic").unwrap();
+        assert!(
+            matches!(tr.outcome, TenantOutcome::Completed(_)),
+            "bench runs must complete"
+        );
+        assert_eq!(tr.resizes.len(), if resize { 2 } else { 0 });
+        elapsed
+    };
+    for (name, codec) in [
+        ("single", CodecSpec::default()),
+        ("dual", CodecSpec::Dual),
+        ("rs-m2", CodecSpec::Rs { m: 2 }),
+        ("rs-m3", CodecSpec::Rs { m: 3 }),
+    ] {
+        g.bench_function(BenchmarkId::new("shrink-grow", name), |b| {
+            b.iter_custom(|iters| (0..iters).map(|_| run_resized(codec, true)).sum());
+        });
+        g.bench_function(BenchmarkId::new("control", name), |b| {
+            b.iter_custom(|iters| (0..iters).map(|_| run_resized(codec, false)).sum());
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_tenant_scaling,
     bench_recovery_group_codec,
-    bench_schedule
+    bench_schedule,
+    bench_resize_codec
 );
 criterion_main!(benches);

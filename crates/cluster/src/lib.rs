@@ -49,8 +49,8 @@ pub use failure::{
 };
 pub use net::{NetModel, NetModelError};
 pub use service::{
-    Admission, AdmitError, ArbitrationError, EventQueue, ServicePool, SpareGrant, TenantId,
-    TenantSpec,
+    Admission, AdmitError, ArbitrationError, EventQueue, ReleaseAudit, ReshapeError, ResizePlan,
+    ServicePool, SpareGrant, TenantId, TenantSpec,
 };
 pub use shm::{SegmentData, ShmSegment, ShmStore};
 pub use storage::{Device, DeviceKind};

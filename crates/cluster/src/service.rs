@@ -219,6 +219,109 @@ struct Shard {
     reserve: usize,
 }
 
+/// How a shard's node set would change under a resize or relocation.
+/// Computed by [`ServicePool::plan_resize`] / [`ServicePool::plan_relocate`]
+/// *without consuming anything*, so a refusal downstream is free; the
+/// caller materializes the move and then [`ServicePool::commit_resize`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResizePlan {
+    /// Shard nodes retained across the resize (ascending).
+    pub keep: Vec<NodeId>,
+    /// Nodes staged from the free pool (ascending draw, not yet drawn).
+    pub add: Vec<NodeId>,
+    /// Shard nodes vacated back to the free pool (ascending).
+    pub vacate: Vec<NodeId>,
+}
+
+impl ResizePlan {
+    /// The shard's node set after this plan commits (ascending).
+    pub fn new_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.keep.iter().chain(&self.add).copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// True when the plan changes nothing.
+    pub fn is_noop(&self) -> bool {
+        self.add.is_empty() && self.vacate.is_empty()
+    }
+}
+
+/// Why the pool refuses to plan a resize. Mirrors admission's typed
+/// refusals: a demand that can *never* fit is distinguished from one the
+/// pool cannot satisfy *right now* without starving the free pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReshapeError {
+    /// The tenant is not (or no longer) admitted.
+    UnknownTenant(TenantId),
+    /// The target shard exceeds the pool's total compute-node count.
+    NeverFits {
+        /// Nodes demanded.
+        demanded: usize,
+        /// Compute nodes the pool has in total.
+        total: usize,
+    },
+    /// The grow needs more free nodes than the pool holds right now.
+    WouldStarve {
+        /// The refused tenant.
+        tenant: TenantId,
+        /// Extra nodes the grow needs.
+        requested: usize,
+        /// Free nodes actually available.
+        free: usize,
+    },
+    /// The post-resize per-node memory demand exceeds node capacity.
+    Oversubscribed {
+        /// Bytes demanded per node after the resize.
+        demanded: u64,
+        /// Bytes a node can hold.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for ReshapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReshapeError::UnknownTenant(t) => write!(f, "{t}: not an admitted tenant"),
+            ReshapeError::NeverFits { demanded, total } => {
+                write!(
+                    f,
+                    "resize to {demanded} nodes can never fit a {total}-node pool"
+                )
+            }
+            ReshapeError::WouldStarve {
+                tenant,
+                requested,
+                free,
+            } => write!(
+                f,
+                "{tenant}: grow needs {requested} free node(s), pool has {free}"
+            ),
+            ReshapeError::Oversubscribed { demanded, capacity } => {
+                write!(f, "{demanded} B/node demanded, nodes hold {capacity} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReshapeError {}
+
+/// Audit of a [`ServicePool::release`]: which nodes actually returned to
+/// the free pool, which were lost (dead at release time), and which
+/// queued tenants the freed capacity admitted. The caller folds `freed`
+/// into the tenant's isolation report so vacated nodes show as wiped,
+/// not leaked.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReleaseAudit {
+    /// Vacated nodes returned to the free pool (ascending).
+    pub freed: Vec<NodeId>,
+    /// Vacated nodes that were dead and thus dropped (ascending).
+    pub lost: Vec<NodeId>,
+    /// Queued tenants admitted by the freed capacity, FIFO.
+    pub drained: Vec<(TenantId, Vec<NodeId>)>,
+}
+
 /// The service's node and spare ledger: disjoint shards over a common
 /// compute pool, FIFO admission queue, and reservation-aware spare
 /// accounting. Purely bookkeeping — the caller moves the actual nodes
@@ -322,30 +425,167 @@ impl ServicePool {
 
     /// Release a finished (or refused) tenant: nodes for which `alive`
     /// holds return to the free pool, the unspent reserve returns to the
-    /// float, and the wait queue is drained in FIFO order. Returns the
-    /// newly admitted tenants with their assigned nodes.
-    pub fn release(
-        &mut self,
-        tenant: TenantId,
-        alive: impl Fn(NodeId) -> bool,
-    ) -> Vec<(TenantId, Vec<NodeId>)> {
+    /// float, and the wait queue is drained in FIFO order. The audit
+    /// names every vacated node — freed or lost — so the caller can wipe
+    /// and report them instead of flagging them as leaks.
+    pub fn release(&mut self, tenant: TenantId, alive: impl Fn(NodeId) -> bool) -> ReleaseAudit {
+        let mut audit = ReleaseAudit::default();
         if let Some(shard) = self.shards.remove(&tenant) {
             self.names.remove(&shard.spec.name);
             self.float += shard.reserve;
             for n in shard.nodes {
                 if alive(n) {
                     self.free.push(n);
+                    audit.freed.push(n);
+                } else {
+                    audit.lost.push(n);
                 }
             }
             self.free.sort_unstable();
+            audit.freed.sort_unstable();
+            audit.lost.sort_unstable();
         }
-        self.drain_queue()
+        audit.drained = self.drain_queue();
+        audit
     }
 
     /// Drop dead nodes from the free pool (a storm can kill an
     /// unassigned node; it must not be handed to a future tenant).
-    pub fn purge_free(&mut self, alive: impl Fn(NodeId) -> bool) {
+    /// Returns the nodes dropped, ascending.
+    pub fn purge_free(&mut self, alive: impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+        let mut dropped: Vec<NodeId> = self.free.iter().copied().filter(|&n| !alive(n)).collect();
         self.free.retain(|&n| alive(n));
+        dropped.sort_unstable();
+        dropped
+    }
+
+    /// Plan a resize of `tenant`'s shard to `target` nodes with
+    /// `mem_bytes_per_node` demanded after the resize. Pure preview:
+    /// nothing is drawn or vacated until [`ServicePool::commit_resize`].
+    ///
+    /// Grows stage the lowest free nodes (same ascending draw as
+    /// admission); shrinks vacate the highest shard nodes, so repeated
+    /// resizes keep every shard packed toward low node ids.
+    pub fn plan_resize(
+        &self,
+        tenant: TenantId,
+        target: usize,
+        mem_bytes_per_node: u64,
+    ) -> Result<ResizePlan, ReshapeError> {
+        let Some(shard) = self.shards.get(&tenant) else {
+            return Err(ReshapeError::UnknownTenant(tenant));
+        };
+        if target > self.total_nodes {
+            return Err(ReshapeError::NeverFits {
+                demanded: target,
+                total: self.total_nodes,
+            });
+        }
+        if mem_bytes_per_node > self.capacity_per_node {
+            return Err(ReshapeError::Oversubscribed {
+                demanded: mem_bytes_per_node,
+                capacity: self.capacity_per_node,
+            });
+        }
+        let cur = shard.nodes.len();
+        if target >= cur {
+            let extra = target - cur;
+            if extra > self.free.len() {
+                return Err(ReshapeError::WouldStarve {
+                    tenant,
+                    requested: extra,
+                    free: self.free.len(),
+                });
+            }
+            Ok(ResizePlan {
+                keep: shard.nodes.clone(),
+                add: self.free[..extra].to_vec(),
+                vacate: Vec::new(),
+            })
+        } else {
+            // Shrink: vacate the highest shard nodes.
+            let mut nodes = shard.nodes.clone();
+            nodes.sort_unstable();
+            let vacate = nodes.split_off(target);
+            Ok(ResizePlan {
+                keep: nodes,
+                add: Vec::new(),
+                vacate,
+            })
+        }
+    }
+
+    /// Plan a same-size relocation that packs `tenant`'s shard onto the
+    /// lowest node ids reachable from its current set plus the free
+    /// pool — the defragmenter's move. Returns `None` when the shard is
+    /// already as low as it can get (no strict improvement).
+    pub fn plan_relocate(&self, tenant: TenantId) -> Option<ResizePlan> {
+        let shard = self.shards.get(&tenant)?;
+        let mut candidates: Vec<NodeId> = shard.nodes.iter().chain(&self.free).copied().collect();
+        candidates.sort_unstable();
+        candidates.truncate(shard.nodes.len());
+        let keep: Vec<NodeId> = shard
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| candidates.contains(n))
+            .collect();
+        let add: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|n| !shard.nodes.contains(n))
+            .collect();
+        let vacate: Vec<NodeId> = shard
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| !candidates.contains(n))
+            .collect();
+        if add.is_empty() {
+            return None; // already packed as low as possible
+        }
+        Some(ResizePlan { keep, add, vacate })
+    }
+
+    /// Commit a previously planned resize: draw the staged nodes from
+    /// the free pool, return the vacated *alive* nodes to it, rewrite
+    /// the shard and its spec, and drain the FIFO queue (a shrink can
+    /// admit a waiting tenant). Returns the audit of what moved.
+    ///
+    /// The plan must still be consistent with the pool (the staged nodes
+    /// free, the tenant admitted) — callers re-plan after any pool
+    /// mutation rather than committing a stale plan.
+    pub fn commit_resize(
+        &mut self,
+        tenant: TenantId,
+        plan: &ResizePlan,
+        mem_bytes_per_node: u64,
+        alive: impl Fn(NodeId) -> bool,
+    ) -> ReleaseAudit {
+        let mut audit = ReleaseAudit::default();
+        if let Some(shard) = self.shards.get_mut(&tenant) {
+            debug_assert!(
+                plan.add.iter().all(|n| self.free.contains(n)),
+                "stale resize plan: staged node no longer free"
+            );
+            self.free.retain(|n| !plan.add.contains(n));
+            for &n in &plan.vacate {
+                if alive(n) {
+                    self.free.push(n);
+                    audit.freed.push(n);
+                } else {
+                    audit.lost.push(n);
+                }
+            }
+            self.free.sort_unstable();
+            audit.freed.sort_unstable();
+            audit.lost.sort_unstable();
+            shard.nodes = plan.new_nodes();
+            shard.spec.nodes = shard.nodes.len();
+            shard.spec.mem_bytes_per_node = mem_bytes_per_node;
+        }
+        audit.drained = self.drain_queue();
+        audit
     }
 
     fn drain_queue(&mut self) -> Vec<(TenantId, Vec<NodeId>)> {
@@ -528,6 +768,11 @@ impl<K> EventQueue<K> {
         self.heap.pop().map(|Reverse(q)| (q.at, q.kind))
     }
 
+    /// Virtual time of the earliest queued event, if any.
+    pub fn next_at(&self) -> Option<Duration> {
+        self.heap.peek().map(|Reverse(q)| q.at)
+    }
+
     /// Events still queued.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -597,10 +842,12 @@ mod tests {
             Admission::Queued { position: 0, .. }
         ));
         // … and is admitted the moment capacity frees
-        let drained = p.release(TenantId(0), |_| true);
-        assert_eq!(drained.len(), 1);
-        assert_eq!(drained[0].0, TenantId(1));
-        assert_eq!(drained[0].1, vec![0]);
+        let audit = p.release(TenantId(0), |_| true);
+        assert_eq!(audit.freed, vec![0, 1, 2, 3]);
+        assert!(audit.lost.is_empty());
+        assert_eq!(audit.drained.len(), 1);
+        assert_eq!(audit.drained[0].0, TenantId(1));
+        assert_eq!(audit.drained[0].1, vec![0]);
     }
 
     #[test]
@@ -660,22 +907,137 @@ mod tests {
         assert!(matches!(big, Admission::Queued { position: 0, .. }));
         assert!(matches!(small, Admission::Queued { position: 1, .. }));
         // freeing everything admits both, in FIFO order
-        let drained = p.release(TenantId(0), |_| true);
+        let audit = p.release(TenantId(0), |_| true);
         assert_eq!(
-            drained.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            audit.drained.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
             vec![TenantId(1), TenantId(2)]
         );
-        assert_eq!(drained[0].1, vec![0, 1, 2]);
-        assert_eq!(drained[1].1, vec![3]);
+        assert_eq!(audit.drained[0].1, vec![0, 1, 2]);
+        assert_eq!(audit.drained[1].1, vec![3]);
     }
 
     #[test]
     fn release_keeps_dead_nodes_out_of_the_free_pool() {
         let mut p = pool(3, 0);
         p.admit(spec("a", 3, 0)).unwrap();
-        let drained = p.release(TenantId(0), |n| n != 1);
-        assert!(drained.is_empty());
+        let audit = p.release(TenantId(0), |n| n != 1);
+        assert!(audit.drained.is_empty());
+        assert_eq!(audit.freed, vec![0, 2], "audit names what came back");
+        assert_eq!(audit.lost, vec![1], "audit names what the storm ate");
         assert_eq!(p.free_nodes(), 2, "node 1 died and must not be re-issued");
+    }
+
+    #[test]
+    fn purge_free_reports_what_it_dropped() {
+        let mut p = pool(4, 0);
+        p.admit(spec("a", 2, 0)).unwrap();
+        assert_eq!(p.purge_free(|n| n != 3), vec![3]);
+        assert_eq!(p.purge_free(|_| true), Vec::<NodeId>::new());
+        assert_eq!(p.free_nodes(), 1);
+    }
+
+    #[test]
+    fn resize_plans_stage_low_and_vacate_high() {
+        let mut p = pool(8, 0);
+        p.admit(spec("a", 4, 0)).unwrap(); // nodes 0..4
+                                           // grow 4 -> 6 stages the two lowest free nodes, consumes nothing yet
+        let grow = p.plan_resize(TenantId(0), 6, 1).unwrap();
+        assert_eq!(grow.keep, vec![0, 1, 2, 3]);
+        assert_eq!(grow.add, vec![4, 5]);
+        assert!(grow.vacate.is_empty());
+        assert_eq!(p.free_nodes(), 4, "planning consumes nothing");
+        // shrink 4 -> 2 vacates the two highest shard nodes
+        let shrink = p.plan_resize(TenantId(0), 2, 1).unwrap();
+        assert_eq!(shrink.keep, vec![0, 1]);
+        assert!(shrink.add.is_empty());
+        assert_eq!(shrink.vacate, vec![2, 3]);
+        // typed refusals, nothing consumed
+        assert_eq!(
+            p.plan_resize(TenantId(0), 9, 1).unwrap_err(),
+            ReshapeError::NeverFits {
+                demanded: 9,
+                total: 8
+            }
+        );
+        assert_eq!(
+            p.plan_resize(TenantId(0), 4, (1 << 30) + 1).unwrap_err(),
+            ReshapeError::Oversubscribed {
+                demanded: (1 << 30) + 1,
+                capacity: 1 << 30
+            }
+        );
+        assert_eq!(
+            p.plan_resize(TenantId(9), 2, 1).unwrap_err(),
+            ReshapeError::UnknownTenant(TenantId(9))
+        );
+        assert_eq!(p.free_nodes(), 4);
+    }
+
+    #[test]
+    fn grow_beyond_free_pool_is_would_starve() {
+        let mut p = pool(6, 0);
+        p.admit(spec("a", 3, 0)).unwrap();
+        p.admit(spec("b", 2, 0)).unwrap();
+        assert_eq!(
+            p.plan_resize(TenantId(0), 5, 1).unwrap_err(),
+            ReshapeError::WouldStarve {
+                tenant: TenantId(0),
+                requested: 2,
+                free: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn commit_resize_moves_nodes_and_drains_the_queue() {
+        let mut p = pool(5, 0);
+        p.admit(spec("a", 5, 0)).unwrap(); // 0..5
+        assert!(matches!(
+            p.admit(spec("w", 2, 0)).unwrap(),
+            Admission::Queued { .. }
+        ));
+        // shrink 5 -> 3 frees nodes 3,4 — enough to admit the waiter
+        let plan = p.plan_resize(TenantId(0), 3, 1).unwrap();
+        let audit = p.commit_resize(TenantId(0), &plan, 1, |_| true);
+        assert_eq!(audit.freed, vec![3, 4]);
+        assert_eq!(audit.drained.len(), 1);
+        assert_eq!(audit.drained[0].0, TenantId(1));
+        assert_eq!(audit.drained[0].1, vec![3, 4]);
+        assert_eq!(p.nodes_of(TenantId(0)).unwrap(), &[0, 1, 2]);
+        assert_eq!(p.spec_of(TenantId(0)).unwrap().nodes, 3);
+        // a vacated node that died is lost, not re-issued
+        let plan = p.plan_resize(TenantId(0), 2, 1).unwrap();
+        let audit = p.commit_resize(TenantId(0), &plan, 1, |n| n != 2);
+        assert!(audit.freed.is_empty());
+        assert_eq!(audit.lost, vec![2]);
+        assert_eq!(p.free_nodes(), 0);
+    }
+
+    #[test]
+    fn relocate_packs_the_shard_toward_low_ids() {
+        let mut p = pool(8, 0);
+        p.admit(spec("a", 2, 0)).unwrap(); // 0,1
+        p.admit(spec("b", 3, 0)).unwrap(); // 2,3,4
+                                           // release a: b now sits above a free hole at 0,1
+        p.release(TenantId(0), |_| true);
+        let plan = p.plan_relocate(TenantId(1)).unwrap();
+        assert_eq!(plan.keep, vec![2]);
+        assert_eq!(plan.add, vec![0, 1]);
+        assert_eq!(plan.vacate, vec![3, 4]);
+        p.commit_resize(TenantId(1), &plan, 1, |_| true);
+        assert_eq!(p.nodes_of(TenantId(1)).unwrap(), &[0, 1, 2]);
+        // already packed: no further move
+        assert_eq!(p.plan_relocate(TenantId(1)), None);
+    }
+
+    #[test]
+    fn event_queue_next_at_peeks_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_at(), None);
+        q.push(Duration::from_secs(5), "late");
+        q.push(Duration::from_secs(1), "early");
+        assert_eq!(q.next_at(), Some(Duration::from_secs(1)));
+        assert_eq!(q.len(), 2, "peeking pops nothing");
     }
 
     #[test]

@@ -44,6 +44,30 @@ pub fn group_color(strategy: GroupStrategy, rank: usize, nranks: usize, gsize: u
     }
 }
 
+/// Group size for a *resized* world of `new_nranks` ranks, given the
+/// old world's `(old_nranks, old_gsize)` and the codec's parity count
+/// `m`. Keeps the old group size when it still divides the new rank
+/// count; a world that ran as one whole group stays one whole group; a
+/// rank count the old size no longer divides falls back to a single
+/// whole-world group. Returns `None` when no legal size exists — a
+/// group needs strictly more members than parity stripes (`n > m`) and
+/// at least two, so shrinking below `max(2, m + 1)` ranks is refused
+/// here, typed, before any node moves.
+pub fn resize_group_size(
+    old_nranks: usize,
+    old_gsize: usize,
+    new_nranks: usize,
+    m: usize,
+) -> Option<usize> {
+    let min = (m + 1).max(2);
+    let g = if old_gsize != old_nranks && new_nranks.is_multiple_of(old_gsize) {
+        old_gsize
+    } else {
+        new_nranks
+    };
+    (g >= min).then_some(g)
+}
+
 /// Verify that no two members of any group share a node — the §3.3
 /// requirement for tolerating a permanent node loss. Returns the first
 /// violating `(group, node)` pair as an error.

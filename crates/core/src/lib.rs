@@ -47,7 +47,7 @@ pub mod multilevel;
 pub mod protocol;
 
 pub use engine::{encode_parity, reconstruct_lost, reconstruct_multi};
-pub use group::{group_color, validate_node_distinct, GroupStrategy};
+pub use group::{group_color, resize_group_size, validate_node_distinct, GroupStrategy};
 pub use incremental::DirtyTracker;
 pub use memory::{
     available_fraction, available_fraction_with_parity, max_workspace_len, MemoryBreakdown, Method,

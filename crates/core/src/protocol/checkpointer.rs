@@ -311,6 +311,26 @@ impl<'c> Checkpointer<'c> {
         Ok(())
     }
 
+    /// Read the small-state area (`A2`) parked in a raw workspace image
+    /// without constructing a checkpointer: `data` is a segment's f64
+    /// view, `a1_len` the application region length, `a2_capacity` the
+    /// capacity the writer was configured with. Returns `None` when the
+    /// image is truncated or its length word is out of range (a torn or
+    /// never-written boundary) — the service's resize harvest uses this
+    /// to learn which panel a tenant's boundary checkpoint parked at,
+    /// and a `None` is a typed refusal, never a panic.
+    pub fn peek_a2(data: &[f64], a1_len: usize, a2_capacity: usize) -> Option<Vec<u8>> {
+        let b2_words = 1 + a2_capacity.div_ceil(8);
+        if data.len() < a1_len + b2_words {
+            return None;
+        }
+        let len = data[a1_len].to_bits() as usize;
+        if len > a2_capacity {
+            return None;
+        }
+        Some(Self::read_b2(data, a1_len, a2_capacity))
+    }
+
     pub(super) fn read_b2(data: &[f64], a1_len: usize, a2_capacity: usize) -> Vec<u8> {
         let len = data[a1_len].to_bits() as usize;
         assert!(len <= a2_capacity, "corrupt B2 length {len}");

@@ -320,12 +320,11 @@ pub fn run_with_policy(
     cfg: &SktConfig,
     policy: &RetryPolicy,
 ) -> Result<CycleReport, DaemonError> {
-    use crate::service::{
-        CheckpointService, Refusal, ServiceConfig, SlicePolicy, StormPlan, TenantOutcome,
-    };
+    use crate::policy::PolicySpec;
+    use crate::service::{CheckpointService, Refusal, ServiceConfig, StormPlan, TenantOutcome};
     let mut svc_cfg = ServiceConfig::new(policy.clone());
     svc_cfg.slice_panels = 0;
-    svc_cfg.schedule = SlicePolicy::Batched;
+    svc_cfg.schedule = PolicySpec::Batched;
     // the daemon's caller owns the cluster and may re-enter the same
     // checkpoints after this run — never wipe them
     svc_cfg.wipe_on_release = false;

@@ -12,6 +12,12 @@
 //!   independent jobs sharded over one node pool, supervised by one
 //!   event-driven daemon loop with admission control and spare-pool
 //!   arbitration (the ReStore direction of the ROADMAP).
+//! * [`policy`] — pluggable slice-scheduling policies behind the
+//!   [`policy::SlicePolicy`] trait, resolved from a
+//!   [`policy::PolicySpec`] the same way codecs resolve.
+//! * [`resize`] — tenant elasticity between slices: harvest the
+//!   boundary checkpoint, re-install it under the new layout via a
+//!   sequenced op, then (and only then) move the node accounting.
 //! * [`blcr`] — the BLCR baseline: transparent process-level
 //!   checkpointing of the whole rank state to a (bandwidth-modeled)
 //!   HDD/SSD block device, with restart from disk (Table 3's
@@ -27,6 +33,8 @@
 
 pub mod blcr;
 pub mod daemon;
+pub mod policy;
+pub mod resize;
 pub mod service;
 pub mod table3;
 
@@ -35,8 +43,10 @@ pub use daemon::{
     run_with_daemon, run_with_policy, AttemptRecord, CyclePhase, CycleReport, DaemonError,
     DaemonHistory, PhaseTimes, RetryPolicy, SuspicionOutcome, SuspicionRecord,
 };
+pub use policy::{Decision, PolicySpec, SchedState, SlicePolicy, TenantProfile, TenantSched};
+pub use resize::{PendingResize, ResizeAudit, ResizeError};
 pub use service::{
-    CheckpointService, Refusal, ServiceConfig, ServiceReport, SlicePolicy, StormPlan,
-    TenantOutcome, TenantReport, TimedFault, TimedKind,
+    CheckpointService, Refusal, ServiceConfig, ServiceReport, StormPlan, TenantOutcome,
+    TenantReport, TimedFault, TimedKind,
 };
 pub use table3::{run_table3, MethodRow, Table3Config};

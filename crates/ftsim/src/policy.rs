@@ -1,0 +1,441 @@
+//! Pluggable slice-scheduling policies for the multi-tenant service.
+//!
+//! PR 8 hard-coded two schedules (run-to-completion and round-robin)
+//! into the service's event loop. This module extracts the decision
+//! into a [`SlicePolicy`] trait behind a [`PolicySpec`] spec enum with
+//! a leak-once registry — the same shape as `CodecSpec` — so the
+//! service dispatch loop stays policy-agnostic: it maintains a *ready
+//! set* of runnable tenants, hands the policy a typed snapshot
+//! ([`SchedState`]) of queue ages, failure debt, and measured slice
+//! timings, and runs whatever `(tenant, panel_budget)` the policy
+//! returns. Policies are pure functions of that snapshot, and the
+//! snapshot is derived from the deterministic event queue on the
+//! virtual clock — so every schedule remains a pure function of
+//! `(config, seed)`.
+//!
+//! Four policies ship:
+//!
+//! * [`PolicySpec::Batched`] — sticky: keep running the tenant that ran
+//!   last while it stays ready; run-to-completion emerges from
+//!   stickiness without the dispatch loop special-casing it.
+//! * [`PolicySpec::RoundRobin`] — FIFO by ready time: after each slice
+//!   the tenant re-queues behind every other runnable tenant (PR 8's
+//!   "Pipelined").
+//! * [`PolicySpec::Priority`] — highest scheduling class first, with
+//!   integer aging so a starved low class eventually outranks a busy
+//!   high one.
+//! * [`PolicySpec::Deadline`] — earliest deadline first over per-tenant
+//!   deadlines ([`TenantProfile`]), with a default slack for tenants
+//!   that declared none.
+
+use skt_cluster::TenantId;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Per-tenant scheduling hints, given at registration. The profile is
+/// inert under policies that don't read it — a `class` means nothing to
+/// `RoundRobin`, a `deadline` nothing to `Priority`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantProfile {
+    /// Scheduling class: higher runs first under [`PolicySpec::Priority`].
+    pub class: u8,
+    /// Absolute virtual-clock deadline under [`PolicySpec::Deadline`].
+    pub deadline: Option<Duration>,
+}
+
+/// What the scheduler knows about one *runnable* tenant when a policy
+/// is consulted.
+#[derive(Clone, Debug)]
+pub struct TenantSched {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Scheduling class from its [`TenantProfile`].
+    pub class: u8,
+    /// Deadline from its [`TenantProfile`], if declared.
+    pub deadline: Option<Duration>,
+    /// Virtual time this tenant (re-)entered the ready set.
+    pub enqueued_at: Duration,
+    /// Monotonic readiness sequence — breaks `enqueued_at` ties in
+    /// arrival order, so the schedule stays total and deterministic.
+    pub ready_seq: u64,
+    /// Slices this tenant has run so far.
+    pub slices: usize,
+    /// Failure debt: failed attempts charged to the tenant's budget.
+    pub failures: usize,
+    /// Measured wall time of the tenant's last slice (its EventBus
+    /// phase total), `ZERO` before the first slice.
+    pub last_slice: Duration,
+}
+
+impl TenantSched {
+    /// FIFO ordering key: ready time, arrival order.
+    fn fifo_key(&self) -> (Duration, u64) {
+        (self.enqueued_at, self.ready_seq)
+    }
+}
+
+/// Typed scheduler snapshot handed to a policy. Everything in it is
+/// derived from the deterministic event queue and the virtual clock.
+#[derive(Clone, Debug)]
+pub struct SchedState<'a> {
+    /// Current virtual time.
+    pub now: Duration,
+    /// The service's configured panels-per-slice (0 = to completion).
+    pub default_budget: usize,
+    /// Tenant that ran the most recent slice, if still admitted.
+    pub last: Option<TenantId>,
+    /// Runnable tenants. Never empty when a policy is consulted.
+    pub ready: &'a [TenantSched],
+}
+
+/// A policy's verdict: which tenant runs next, for how many panels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Tenant to dispatch (must be in the ready set).
+    pub tenant: TenantId,
+    /// Panel budget for this slice (0 = run to completion).
+    pub panel_budget: usize,
+}
+
+/// A slice-scheduling policy: a pure function from scheduler state to
+/// the next dispatch. Implementations must be deterministic — no clocks
+/// or randomness beyond what [`SchedState`] carries.
+pub trait SlicePolicy: Send + Sync {
+    /// Stable label for fingerprints and reports.
+    fn name(&self) -> &'static str;
+    /// Decide the next slice. `None` yields (only meaningful for future
+    /// policies that can idle; the built-ins always pick).
+    fn next(&self, state: &SchedState<'_>) -> Option<Decision>;
+}
+
+/// Spec of a slice-scheduling policy: plain data (`Copy`, comparable,
+/// storable in configs) resolved to a `'static` implementation via
+/// [`PolicySpec::resolve`] — the `CodecSpec` registry idiom.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolicySpec {
+    /// Sticky run-to-completion (the classic batch queue).
+    #[default]
+    Batched,
+    /// FIFO round-robin over ready tenants.
+    RoundRobin,
+    /// Highest class first; a ready tenant gains one effective class
+    /// per `aging_us` microseconds waited (0 disables aging).
+    Priority {
+        /// Microseconds of ready-queue age per effective-class boost.
+        aging_us: u64,
+    },
+    /// Earliest deadline first; tenants without a declared deadline get
+    /// `enqueued_at + default_slack_us`.
+    Deadline {
+        /// Implied slack, in microseconds, for deadline-less tenants.
+        default_slack_us: u64,
+    },
+}
+
+impl PolicySpec {
+    /// Resolve to the policy implementation. Fixed variants are
+    /// statics; parameterized variants are leaked once per parameter
+    /// value and cached in a registry.
+    pub fn resolve(&self) -> &'static dyn SlicePolicy {
+        static BATCHED: Batched = Batched;
+        static ROUND_ROBIN: RoundRobin = RoundRobin;
+        match self {
+            PolicySpec::Batched => &BATCHED,
+            PolicySpec::RoundRobin => &ROUND_ROBIN,
+            PolicySpec::Priority { aging_us } => resolve_priority(*aging_us),
+            PolicySpec::Deadline { default_slack_us } => resolve_deadline(*default_slack_us),
+        }
+    }
+}
+
+struct Batched;
+
+impl SlicePolicy for Batched {
+    fn name(&self) -> &'static str {
+        "batched"
+    }
+
+    fn next(&self, state: &SchedState<'_>) -> Option<Decision> {
+        // Sticky: the tenant that ran last keeps the runtime while it
+        // stays ready; otherwise the oldest waiter starts.
+        state
+            .last
+            .and_then(|id| state.ready.iter().find(|t| t.tenant == id))
+            .or_else(|| state.ready.iter().min_by_key(|t| t.fifo_key()))
+            .map(|t| Decision {
+                tenant: t.tenant,
+                panel_budget: state.default_budget,
+            })
+    }
+}
+
+struct RoundRobin;
+
+impl SlicePolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn next(&self, state: &SchedState<'_>) -> Option<Decision> {
+        state
+            .ready
+            .iter()
+            .min_by_key(|t| t.fifo_key())
+            .map(|t| Decision {
+                tenant: t.tenant,
+                panel_budget: state.default_budget,
+            })
+    }
+}
+
+struct Priority {
+    aging_us: u64,
+    label: &'static str,
+}
+
+impl Priority {
+    fn effective(&self, t: &TenantSched, now: Duration) -> u64 {
+        let age_us = now.saturating_sub(t.enqueued_at).as_micros() as u64;
+        let boost = age_us.checked_div(self.aging_us).unwrap_or(0);
+        t.class as u64 + boost
+    }
+}
+
+impl SlicePolicy for Priority {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn next(&self, state: &SchedState<'_>) -> Option<Decision> {
+        state
+            .ready
+            .iter()
+            .min_by_key(|t| {
+                (
+                    std::cmp::Reverse(self.effective(t, state.now)),
+                    t.fifo_key(),
+                )
+            })
+            .map(|t| Decision {
+                tenant: t.tenant,
+                panel_budget: state.default_budget,
+            })
+    }
+}
+
+struct Deadline {
+    default_slack_us: u64,
+    label: &'static str,
+}
+
+impl Deadline {
+    fn due(&self, t: &TenantSched) -> Duration {
+        t.deadline
+            .unwrap_or_else(|| t.enqueued_at + Duration::from_micros(self.default_slack_us))
+    }
+}
+
+impl SlicePolicy for Deadline {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn next(&self, state: &SchedState<'_>) -> Option<Decision> {
+        state
+            .ready
+            .iter()
+            .min_by_key(|t| (self.due(t), t.fifo_key()))
+            .map(|t| Decision {
+                tenant: t.tenant,
+                panel_budget: state.default_budget,
+            })
+    }
+}
+
+fn resolve_priority(aging_us: u64) -> &'static dyn SlicePolicy {
+    static REGISTRY: OnceLock<Mutex<HashMap<u64, &'static Priority>>> = OnceLock::new();
+    let reg = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut g = reg.lock().expect("policy registry poisoned");
+    *g.entry(aging_us).or_insert_with(|| {
+        Box::leak(Box::new(Priority {
+            aging_us,
+            label: Box::leak(format!("priority(aging={aging_us}us)").into_boxed_str()),
+        }))
+    })
+}
+
+fn resolve_deadline(default_slack_us: u64) -> &'static dyn SlicePolicy {
+    static REGISTRY: OnceLock<Mutex<HashMap<u64, &'static Deadline>>> = OnceLock::new();
+    let reg = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut g = reg.lock().expect("policy registry poisoned");
+    *g.entry(default_slack_us).or_insert_with(|| {
+        Box::leak(Box::new(Deadline {
+            default_slack_us,
+            label: Box::leak(format!("deadline(slack={default_slack_us}us)").into_boxed_str()),
+        }))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(id: u32, class: u8, enq_us: u64, seq: u64) -> TenantSched {
+        TenantSched {
+            tenant: TenantId(id),
+            class,
+            deadline: None,
+            enqueued_at: Duration::from_micros(enq_us),
+            ready_seq: seq,
+            slices: 0,
+            failures: 0,
+            last_slice: Duration::ZERO,
+        }
+    }
+
+    fn pick(spec: PolicySpec, now_us: u64, last: Option<u32>, ready: &[TenantSched]) -> u32 {
+        let state = SchedState {
+            now: Duration::from_micros(now_us),
+            default_budget: 3,
+            last: last.map(TenantId),
+            ready,
+        };
+        spec.resolve()
+            .next(&state)
+            .expect("built-ins always pick")
+            .tenant
+            .0
+    }
+
+    #[test]
+    fn registry_leaks_one_instance_per_parameter() {
+        let a = PolicySpec::Priority { aging_us: 100 }.resolve();
+        let b = PolicySpec::Priority { aging_us: 100 }.resolve();
+        let c = PolicySpec::Priority { aging_us: 200 }.resolve();
+        assert!(std::ptr::eq(a, b), "same parameter, same instance");
+        assert!(!std::ptr::eq(a, c));
+        assert_eq!(a.name(), "priority(aging=100us)");
+        assert_eq!(
+            PolicySpec::Deadline {
+                default_slack_us: 7
+            }
+            .resolve()
+            .name(),
+            "deadline(slack=7us)"
+        );
+    }
+
+    #[test]
+    fn batched_is_sticky_and_starts_the_oldest_waiter() {
+        let ready = [sched(0, 0, 5, 1), sched(1, 0, 0, 0)];
+        // no history: oldest waiter (t1) starts
+        assert_eq!(pick(PolicySpec::Batched, 10, None, &ready), 1);
+        // t0 ran last and is still ready: it keeps the runtime
+        assert_eq!(pick(PolicySpec::Batched, 10, Some(0), &ready), 0);
+        // last tenant finished (not in the ready set): fall back to FIFO
+        assert_eq!(pick(PolicySpec::Batched, 10, Some(9), &ready), 1);
+    }
+
+    #[test]
+    fn round_robin_is_fifo_by_ready_time_then_arrival() {
+        let table: &[(&[TenantSched], u32)] = &[
+            (&[sched(0, 0, 5, 1), sched(1, 0, 3, 0)], 1),
+            // enqueued_at tie: arrival sequence breaks it
+            (&[sched(0, 0, 3, 7), sched(1, 0, 3, 2)], 1),
+            (&[sched(2, 0, 0, 0)], 2),
+        ];
+        for (ready, want) in table {
+            assert_eq!(pick(PolicySpec::RoundRobin, 10, Some(1), ready), *want);
+        }
+    }
+
+    #[test]
+    fn priority_runs_the_highest_class_first() {
+        // the low-class tenant has waited longer — without aging, class
+        // wins (this is the inversion the aging knob exists to bound)
+        let ready = [sched(0, 1, 0, 0), sched(1, 5, 8, 1)];
+        assert_eq!(
+            pick(PolicySpec::Priority { aging_us: 0 }, 10, None, &ready),
+            1
+        );
+        // class tie: FIFO
+        let tie = [sched(0, 5, 8, 1), sched(1, 5, 3, 0)];
+        assert_eq!(
+            pick(PolicySpec::Priority { aging_us: 0 }, 10, None, &tie),
+            1
+        );
+    }
+
+    #[test]
+    fn priority_aging_bounds_the_inversion() {
+        // class 0 waits from t=0; class 5 re-arrives fresh every check.
+        // With one effective class per 10us of age, the starved tenant
+        // ties class 5 at 50us and the FIFO tie-break hands it the
+        // runtime — starvation-free under churn, bounded by
+        // `class_gap * aging_us`.
+        let spec = PolicySpec::Priority { aging_us: 10 };
+        let mut starved_won_at = None;
+        for now in (0u64..100).step_by(10) {
+            let ready = [sched(0, 0, 0, 0), sched(1, 5, now, 1)];
+            if pick(spec, now, None, &ready) == 0 {
+                starved_won_at = Some(now);
+                break;
+            }
+        }
+        assert_eq!(starved_won_at, Some(50), "0 + 50/10 = 5 ties, FIFO wins");
+        // aging disabled: the same churn starves tenant 0 forever
+        for now in (0u64..100).step_by(10) {
+            let ready = [sched(0, 0, 0, 0), sched(1, 5, now, 1)];
+            assert_eq!(
+                pick(PolicySpec::Priority { aging_us: 0 }, now, None, &ready),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_orders_by_due_time_with_default_slack() {
+        let spec = PolicySpec::Deadline {
+            default_slack_us: 100,
+        };
+        let mut urgent = sched(0, 0, 50, 1); // implied due = 150
+        let mut relaxed = sched(1, 0, 0, 0); // implied due = 100
+                                             // both implied: earlier implied deadline (older waiter) first
+        assert_eq!(pick(spec, 60, None, &[urgent.clone(), relaxed.clone()]), 1);
+        // a declared deadline overrides the implied one
+        urgent.deadline = Some(Duration::from_micros(70));
+        assert_eq!(pick(spec, 60, None, &[urgent.clone(), relaxed.clone()]), 0);
+        // deadline tie: FIFO arrival
+        relaxed.deadline = Some(Duration::from_micros(70));
+        assert_eq!(pick(spec, 60, None, &[urgent, relaxed]), 1);
+    }
+
+    #[test]
+    fn decisions_carry_the_default_budget() {
+        let ready = [sched(0, 0, 0, 0)];
+        let state = SchedState {
+            now: Duration::ZERO,
+            default_budget: 7,
+            last: None,
+            ready: &ready,
+        };
+        for spec in [
+            PolicySpec::Batched,
+            PolicySpec::RoundRobin,
+            PolicySpec::Priority { aging_us: 50 },
+            PolicySpec::Deadline {
+                default_slack_us: 50,
+            },
+        ] {
+            let d = spec.resolve().next(&state).unwrap();
+            assert_eq!(
+                (d.tenant, d.panel_budget),
+                (TenantId(0), 7),
+                "{}",
+                spec.resolve().name()
+            );
+        }
+    }
+}

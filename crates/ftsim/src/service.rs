@@ -21,13 +21,25 @@
 //!   clock. Jobs time-share the runtime in *slices*
 //!   ([`skt_hpl::run_skt_sliced`]): a tenant runs alone for a bounded
 //!   number of panels, parks its state in SHM (the self-checkpoint
-//!   move), and yields.
+//!   move), and yields. *Which* tenant runs next is decided by a
+//!   pluggable [`SlicePolicy`](crate::policy::SlicePolicy) resolved
+//!   from [`PolicySpec`] — the dispatch loop only maintains the ready
+//!   set and executes decisions.
+//! * **Elasticity** — a tenant can grow, shrink, or be relocated
+//!   *between* slices, through the boundary checkpoint
+//!   ([`crate::resize`]): the service harvests the parked matrix from
+//!   the old layout, installs it under the new block-cyclic layout via
+//!   a sequenced [`ResizeOp`](crate::resize), and only then moves the
+//!   node accounting. With [`ServiceConfig::defrag`] on, the same
+//!   machinery compacts the free pool by relocating the smallest shard
+//!   toward low node ids between slices.
 //!
 //! Every tenant mutation of cluster state (spare draws / ranklist
-//! repair) flows through the sequenced-op layer
+//! repair / resize installs) flows through the sequenced-op layer
 //! ([`skt_core::protocol::ops`]), so cross-tenant interleavings of
 //! recovery remain idempotent by type: a re-entered repair detects the
-//! draw already `Done` and skips it.
+//! draw already `Done` and skips it, and a resize replay after a kill
+//! inside the install window wipes the partials and re-installs.
 //!
 //! The single-job daemon ([`crate::daemon::run_with_policy`]) is now a
 //! thin wrapper over this engine: one tenant, whole-job slices, and the
@@ -37,31 +49,23 @@ use crate::daemon::{
     AttemptRecord, CyclePhase, DaemonHistory, PhaseTimes, RetryPolicy, SuspicionOutcome,
     SuspicionRecord,
 };
+use crate::policy::{PolicySpec, SchedState, TenantProfile, TenantSched};
+use crate::resize::{
+    epoch_name, harvest, Harvest, PendingResize, ResizeAudit, ResizeCtx, ResizeError, ResizeOp,
+};
 use skt_cluster::SplitMix64;
 use skt_cluster::{
     Admission, AdmitError, ArbitrationError, Cluster, CorruptPlan, EventQueue, FailurePlan, Fault,
-    FaultPlan, GrayPlan, NodeId, ProbeVerdict, Ranklist, ServicePool, TenantId, TenantSpec,
+    FaultPlan, GrayPlan, NodeId, ProbeVerdict, Ranklist, ReshapeError, ServicePool, TenantId,
+    TenantSpec,
 };
 use skt_core::protocol::ops::{self, SpareDraw};
-use skt_core::{MemoryBreakdown, RecoveryReport};
+use skt_core::{resize_group_size, MemoryBreakdown, RecoveryReport};
 use skt_hpl::{run_skt_sliced, BlockCyclic1D, SktConfig, SktOutput, SktRun, ITER_PROBE};
 use skt_mps::run_on_cluster;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
-
-/// How the service schedules tenant slices.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SlicePolicy {
-    /// Run each tenant to completion before the next one starts (the
-    /// classic batch queue). With `slice_panels == 0` this is exactly
-    /// the single-job daemon applied per tenant.
-    Batched,
-    /// Round-robin: after each slice the tenant re-queues behind every
-    /// other runnable tenant, interleaving all jobs' progress (and their
-    /// recoveries) through the one daemon.
-    Pipelined,
-}
 
 /// Service-wide configuration.
 #[derive(Clone, Debug)]
@@ -73,8 +77,14 @@ pub struct ServiceConfig {
     /// Modeled memory capacity of one node, for admission control
     /// (`u64::MAX` = don't model memory).
     pub node_mem_bytes: u64,
-    /// Slice scheduling policy.
-    pub schedule: SlicePolicy,
+    /// Slice scheduling policy, resolved through the
+    /// [`PolicySpec`] registry at each dispatch.
+    pub schedule: PolicySpec,
+    /// Between slices, compact the free pool: relocate the smallest
+    /// shard with a better (lower-id) placement through the resize
+    /// machinery, so freed mid-pool nodes migrate to the high end where
+    /// grows and admissions draw contiguously.
+    pub defrag: bool,
     /// Wipe a tenant's SHM from its shard nodes when the shard is
     /// released, so reassigned nodes hand no stale state to the next
     /// tenant. The single-job daemon wrapper turns this off: its caller
@@ -89,7 +99,8 @@ impl ServiceConfig {
             policy,
             slice_panels: 0,
             node_mem_bytes: u64::MAX,
-            schedule: SlicePolicy::Batched,
+            schedule: PolicySpec::Batched,
+            defrag: false,
             wipe_on_release: true,
         }
     }
@@ -143,7 +154,8 @@ pub enum TenantOutcome {
 pub struct TenantReport {
     /// Tenant id (registration order).
     pub tenant: TenantId,
-    /// Tenant name (= its SHM namespace prefix).
+    /// Tenant base name (= its SHM namespace prefix; resize epochs nest
+    /// under it as `{name}@e{k}`).
     pub name: String,
     /// Job launches performed (slices + retries).
     pub launches: usize,
@@ -162,6 +174,14 @@ pub struct TenantReport {
     /// Attempt records, recovery reports, and the sequenced-op audit
     /// trail of every spare draw done on this tenant's behalf.
     pub history: DaemonHistory,
+    /// Every resize attempt on this tenant, in order: grows, shrinks,
+    /// defrag relocations, and their typed refusals.
+    pub resizes: Vec<ResizeAudit>,
+    /// Nodes whose SHM the service wiped on this tenant's behalf:
+    /// vacated at resize commits, plus the released shard itself when
+    /// [`ServiceConfig::wipe_on_release`] is set. A shrunk tenant's old
+    /// nodes land here — wiped, not leaked.
+    pub wiped: Vec<NodeId>,
     /// SHM segment names found on the tenant's shard that do **not**
     /// belong to it — must be empty (cross-tenant isolation).
     pub foreign_on_shard: Vec<String>,
@@ -178,10 +198,11 @@ pub struct TenantReport {
 impl TenantReport {
     /// Canonical one-tenant fingerprint. With `timings` false it holds
     /// only scheduler-independent facts (outcome, residual bits, resumed
-    /// panel, failure/recovery shape, isolation) and is invariant across
-    /// simulation seeds for probe-anchored storms; with `timings` true
-    /// it additionally pins every duration and is byte-identical only
-    /// for a fixed `(config, seed)`.
+    /// panel, failure/recovery shape, resize audits, isolation) and is
+    /// invariant across simulation seeds for probe-anchored storms; with
+    /// `timings` true it additionally pins every duration and the
+    /// replay-race detail of resize op records, and is byte-identical
+    /// only for a fixed `(config, seed)`.
     pub fn fingerprint(&self, timings: bool) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
@@ -236,10 +257,13 @@ impl TenantReport {
         for (i, op) in self.history.ops.iter().enumerate() {
             let _ = writeln!(s, "  op[{i}] {op}");
         }
+        for (i, r) in self.resizes.iter().enumerate() {
+            let _ = writeln!(s, "  resize[{i}] {}", r.line());
+        }
         let _ = writeln!(
             s,
-            "  isolation foreign={:?} leaked={:?} fenced_stale={:?}",
-            self.foreign_on_shard, self.leaked_elsewhere, self.fenced_stale
+            "  wiped={:?} isolation foreign={:?} leaked={:?} fenced_stale={:?}",
+            self.wiped, self.foreign_on_shard, self.leaked_elsewhere, self.fenced_stale
         );
         if timings {
             let _ = writeln!(
@@ -257,6 +281,14 @@ impl TenantReport {
             }
             for (i, a) in self.history.attempts.iter().enumerate() {
                 let _ = writeln!(s, "  backoff[{i}]={}us", a.backoff.as_micros());
+            }
+            for (i, r) in self.resizes.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "  resize_t[{i}]={}us record={:?}",
+                    r.at.as_micros(),
+                    r.op_record
+                );
             }
         }
         s
@@ -331,6 +363,15 @@ impl StormPlan {
         self
     }
 
+    /// Arm a kill of `node` at its `nth` pass of `probe` — e.g.
+    /// [`skt_hpl::RESIZE_PROBE`] to land a kill *inside* a resize
+    /// window and exercise the sequenced install's replay.
+    pub fn kill_at_probe(mut self, probe: &'static str, node: NodeId, nth: u64) -> Self {
+        self.armed
+            .push(FaultPlan::Kill(FailurePlan::new(probe, nth, node)));
+        self
+    }
+
     /// Arm a silent bit flip on `node` at its `nth` panel probe.
     pub fn flip(mut self, plan: CorruptPlan) -> Self {
         self.armed.push(FaultPlan::Corrupt(plan));
@@ -397,8 +438,13 @@ impl StormPlan {
 
 struct Tenant {
     id: TenantId,
+    /// Registration name: SHM prefix owner; resize epochs nest under it.
+    base: String,
+    /// Live config; `cfg.name` carries the current resize epoch's
+    /// namespace (`base` for epoch 0, `base@e{k}` after).
     cfg: SktConfig,
     rl: Ranklist,
+    profile: TenantProfile,
     launches: usize,
     slices: usize,
     cycles: Vec<PhaseTimes>,
@@ -408,23 +454,52 @@ struct Tenant {
     history: DaemonHistory,
     queued_at: Duration,
     admitted_at: Duration,
+    /// Resize requests not yet resolved, attempted FIFO at clean
+    /// boundaries.
+    pending_resize: VecDeque<PendingResize>,
+    /// True when the tenant's parked state is a committed boundary
+    /// checkpoint (initially, and after every clean park); false after
+    /// a launch died mid-slice. Resizes only move boundary images.
+    clean_boundary: bool,
+    resize_epoch: u32,
+    resizes: Vec<ResizeAudit>,
+    wiped: Vec<NodeId>,
+    /// Virtual time this tenant (re-)entered the ready set.
+    enqueued_at: Duration,
+    ready_seq: u64,
+    last_slice: Duration,
 }
 
 enum ServiceEvent {
-    /// Run the tenant's next slice.
-    Slice(TenantId),
+    /// The tenant is runnable again: enter the ready set.
+    Ready(TenantId),
     /// Apply the i-th timed storm fault.
     Storm(usize),
+    /// Deliver the i-th scheduled resize request to its tenant.
+    Resize(usize),
 }
 
 enum SliceEnd {
-    /// Tenant still alive: paused (Pipelined) — next event already queued.
-    Parked,
+    /// Tenant still alive: re-enter the ready set and let the policy
+    /// decide who runs next.
+    Yield,
     /// Tenant reached a terminal state (boxed: an [`SktOutput`] dwarfs
     /// the other variants).
     Finished(Box<TenantOutcome>),
-    /// Batched/continue: run the next launch immediately.
-    Again,
+}
+
+/// Outcome of one resize attempt at a clean boundary.
+enum ResizeAttempt {
+    /// Done (committed, cold, or a no-op): drop the request.
+    Committed,
+    /// Typed refusal recorded in the audit: drop the request, run on.
+    Refused,
+    /// Can't act at this boundary (image incomplete / boundary dirty):
+    /// keep the request, run a slice, try again at the next boundary.
+    Retry,
+    /// A fault landed inside the resize window: budget charged, request
+    /// kept — the next attempt replays the sequenced install.
+    Faulted,
 }
 
 /// The multi-tenant checkpoint service daemon.
@@ -433,8 +508,15 @@ pub struct CheckpointService {
     cfg: ServiceConfig,
     pool: ServicePool,
     tenants: BTreeMap<TenantId, Tenant>,
-    waiting: BTreeMap<TenantId, (SktConfig, Duration)>,
+    waiting: BTreeMap<TenantId, (SktConfig, Duration, TenantProfile)>,
     queue: EventQueue<ServiceEvent>,
+    /// Runnable tenants, in ready order; the policy picks from here.
+    ready: Vec<TenantId>,
+    ready_seq: u64,
+    /// Tenant that ran the most recent slice (policy stickiness).
+    last: Option<TenantId>,
+    /// Scheduled resize requests, referenced by `ServiceEvent::Resize`.
+    resize_reqs: Vec<(String, usize)>,
     reports: Vec<TenantReport>,
 }
 
@@ -453,6 +535,10 @@ impl CheckpointService {
             tenants: BTreeMap::new(),
             waiting: BTreeMap::new(),
             queue: EventQueue::new(),
+            ready: Vec::new(),
+            ready_seq: 0,
+            last: None,
+            resize_reqs: Vec::new(),
             reports: Vec::new(),
         }
     }
@@ -479,6 +565,10 @@ impl CheckpointService {
             tenants: BTreeMap::new(),
             waiting: BTreeMap::new(),
             queue: EventQueue::new(),
+            ready: Vec::new(),
+            ready_seq: 0,
+            last: None,
+            resize_reqs: Vec::new(),
             reports: Vec::new(),
         };
         let spec = TenantSpec {
@@ -495,7 +585,13 @@ impl CheckpointService {
         cfg_t.panel_budget = svc.cfg.slice_panels;
         // keep the caller's ranklist verbatim (it may map several ranks
         // to one node)
-        svc.activate(tenant, cfg_t, ranklist.clone(), svc.cluster.now());
+        svc.activate(
+            tenant,
+            cfg_t,
+            ranklist.clone(),
+            svc.cluster.now(),
+            TenantProfile::default(),
+        );
         (svc, tenant)
     }
 
@@ -514,9 +610,21 @@ impl CheckpointService {
     /// HPL problem and checkpoint method.
     pub fn register(
         &mut self,
+        cfg: SktConfig,
+        nodes: usize,
+        spare_guarantee: usize,
+    ) -> Result<Admission, AdmitError> {
+        self.register_profiled(cfg, nodes, spare_guarantee, TenantProfile::default())
+    }
+
+    /// [`Self::register`] with an explicit scheduling profile (class /
+    /// deadline hints for the configured [`PolicySpec`]).
+    pub fn register_profiled(
+        &mut self,
         mut cfg: SktConfig,
         nodes: usize,
         spare_guarantee: usize,
+        profile: TenantProfile,
     ) -> Result<Admission, AdmitError> {
         cfg.panel_budget = self.cfg.slice_panels;
         let spec = TenantSpec {
@@ -529,24 +637,50 @@ impl CheckpointService {
         let now = self.cluster.now();
         match &adm {
             Admission::Admitted { tenant, nodes } => {
-                self.activate(*tenant, cfg, Ranklist::explicit(nodes.clone()), now);
+                self.activate(
+                    *tenant,
+                    cfg,
+                    Ranklist::explicit(nodes.clone()),
+                    now,
+                    profile,
+                );
             }
             Admission::Queued { tenant, .. } => {
-                self.waiting.insert(*tenant, (cfg, now));
+                self.waiting.insert(*tenant, (cfg, now, profile));
             }
             other => unreachable!("unknown admission variant: {other:?}"),
         }
         Ok(adm)
     }
 
-    fn activate(&mut self, id: TenantId, cfg: SktConfig, rl: Ranklist, queued_at: Duration) {
+    /// Ask the service to resize the tenant named `name` (base name) to
+    /// `target` ranks, delivered at virtual time `at`. The resize is
+    /// applied at the tenant's next *clean boundary* after delivery;
+    /// requests stack FIFO. A request for a tenant that already finished
+    /// (or never activated) is dropped.
+    pub fn schedule_resize(&mut self, name: &str, at: Duration, target: usize) {
+        let i = self.resize_reqs.len();
+        self.resize_reqs.push((name.to_string(), target));
+        self.queue.push(at, ServiceEvent::Resize(i));
+    }
+
+    fn activate(
+        &mut self,
+        id: TenantId,
+        cfg: SktConfig,
+        rl: Ranklist,
+        queued_at: Duration,
+        profile: TenantProfile,
+    ) {
         let now = self.cluster.now();
         self.tenants.insert(
             id,
             Tenant {
                 id,
+                base: cfg.name.clone(),
                 cfg,
                 rl,
+                profile,
                 launches: 0,
                 slices: 0,
                 cycles: Vec::new(),
@@ -554,15 +688,26 @@ impl CheckpointService {
                 history: DaemonHistory::default(),
                 queued_at,
                 admitted_at: now,
+                pending_resize: VecDeque::new(),
+                clean_boundary: true,
+                resize_epoch: 0,
+                resizes: Vec::new(),
+                wiped: Vec::new(),
+                enqueued_at: now,
+                ready_seq: 0,
+                last_slice: Duration::ZERO,
             },
         );
-        self.queue.push(now, ServiceEvent::Slice(id));
+        self.queue.push(now, ServiceEvent::Ready(id));
     }
 
     /// Run every registered tenant to a terminal state under `storm`,
     /// advancing per-tenant cycle state machines from the event queue on
-    /// the cluster clock. Tenants still waiting for admission when the
-    /// queue drains are reported [`Refusal::AdmissionStarved`].
+    /// the cluster clock. Each dispatch round drains every due event
+    /// into the ready set, then executes the configured policy's
+    /// decision; the schedule stays a pure function of `(config, seed)`.
+    /// Tenants still waiting for admission when the queue drains are
+    /// reported [`Refusal::AdmissionStarved`].
     pub fn run(mut self, storm: &StormPlan) -> ServiceReport {
         let t0 = self.cluster.now();
         for plan in &storm.armed {
@@ -571,20 +716,58 @@ impl CheckpointService {
         for (i, tf) in storm.timed.iter().enumerate() {
             self.queue.push(tf.at, ServiceEvent::Storm(i));
         }
-        while let Some((at, ev)) = self.queue.pop() {
-            let now = self.cluster.now();
-            if at > now {
-                self.cluster.runtime().advance(at - now);
+        loop {
+            // deliver everything already due
+            while self
+                .queue
+                .next_at()
+                .is_some_and(|at| at <= self.cluster.now())
+            {
+                let (at, ev) = self.queue.pop().expect("peeked non-empty");
+                self.dispatch(at, ev, storm);
             }
-            match ev {
-                ServiceEvent::Storm(i) => self.apply_timed(&storm.timed[i]),
-                ServiceEvent::Slice(id) => self.step_tenant(id),
+            if self.ready.is_empty() {
+                // idle: advance the clock to the next event, or stop
+                let Some((at, ev)) = self.queue.pop() else {
+                    break;
+                };
+                let now = self.cluster.now();
+                if at > now {
+                    self.cluster.runtime().advance(at - now);
+                }
+                self.dispatch(at, ev, storm);
+                continue;
             }
+            if self.cfg.defrag {
+                self.maybe_defrag();
+            }
+            let decision = {
+                let scheds: Vec<TenantSched> =
+                    self.ready.iter().map(|&id| self.sched_of(id)).collect();
+                let state = SchedState {
+                    now: self.cluster.now(),
+                    default_budget: self.cfg.slice_panels,
+                    last: self.last.filter(|id| self.tenants.contains_key(id)),
+                    ready: &scheds,
+                };
+                self.cfg.schedule.resolve().next(&state)
+            };
+            // a policy that idles or picks outside the ready set cannot
+            // stall the service: fall back to the head of the ready set
+            let pick = decision
+                .filter(|d| self.ready.contains(&d.tenant))
+                .unwrap_or(crate::policy::Decision {
+                    tenant: self.ready[0],
+                    panel_budget: self.cfg.slice_panels,
+                });
+            self.ready.retain(|&t| t != pick.tenant);
+            self.last = Some(pick.tenant);
+            self.step_tenant(pick.tenant, pick.panel_budget);
         }
         // capacity never freed for these — typed, not silent
-        let starved: Vec<(TenantId, (SktConfig, Duration))> =
+        let starved: Vec<(TenantId, (SktConfig, Duration, TenantProfile))> =
             std::mem::take(&mut self.waiting).into_iter().collect();
-        for (id, (cfg, queued_at)) in starved {
+        for (id, (cfg, queued_at, _)) in starved {
             let now = self.cluster.now();
             self.reports.push(TenantReport {
                 tenant: id,
@@ -597,6 +780,8 @@ impl CheckpointService {
                 outcome: TenantOutcome::Refused(Refusal::AdmissionStarved),
                 cycles: Vec::new(),
                 history: DaemonHistory::default(),
+                resizes: Vec::new(),
+                wiped: Vec::new(),
                 foreign_on_shard: Vec::new(),
                 leaked_elsewhere: Vec::new(),
                 fenced_stale: Vec::new(),
@@ -606,6 +791,70 @@ impl CheckpointService {
         ServiceReport {
             tenants: self.reports,
             elapsed: self.cluster.now() - t0,
+        }
+    }
+
+    fn dispatch(&mut self, at: Duration, ev: ServiceEvent, storm: &StormPlan) {
+        match ev {
+            ServiceEvent::Storm(i) => self.apply_timed(&storm.timed[i]),
+            ServiceEvent::Ready(id) => {
+                if let Some(t) = self.tenants.get_mut(&id) {
+                    if !self.ready.contains(&id) {
+                        t.enqueued_at = at;
+                        t.ready_seq = self.ready_seq;
+                        self.ready_seq += 1;
+                        self.ready.push(id);
+                    }
+                }
+            }
+            ServiceEvent::Resize(i) => {
+                let (name, target) = &self.resize_reqs[i];
+                if let Some(t) = self.tenants.values_mut().find(|t| &t.base == name) {
+                    t.pending_resize.push_back(PendingResize::Target(*target));
+                }
+            }
+        }
+    }
+
+    fn sched_of(&self, id: TenantId) -> TenantSched {
+        let t = &self.tenants[&id];
+        TenantSched {
+            tenant: id,
+            class: t.profile.class,
+            deadline: t.profile.deadline,
+            enqueued_at: t.enqueued_at,
+            ready_seq: t.ready_seq,
+            slices: t.slices,
+            failures: t.history.attempts.len(),
+            last_slice: t.last_slice,
+        }
+    }
+
+    /// Preemptive defragmentation: when no resize is in flight anywhere,
+    /// nominate the *smallest* shard that has a strictly better (lower
+    /// node-id) placement for relocation through the resize machinery.
+    /// One nomination at a time; convergence is guaranteed because every
+    /// committed relocation strictly lowers the nominee's node-id sum
+    /// and a packed shard yields no plan.
+    fn maybe_defrag(&mut self) {
+        if self.tenants.values().any(|t| !t.pending_resize.is_empty()) {
+            return;
+        }
+        let mut order: Vec<(usize, TenantId)> = self
+            .tenants
+            .keys()
+            .filter_map(|&id| self.pool.nodes_of(id).map(|s| (s.len(), id)))
+            .collect();
+        order.sort_unstable();
+        for (_, id) in order {
+            if self.pool.plan_relocate(id).is_some() {
+                self.tenants
+                    .get_mut(&id)
+                    .expect("nominee is active")
+                    .pending_resize
+                    .push_back(PendingResize::Relocate);
+                return;
+            }
         }
     }
 
@@ -625,32 +874,295 @@ impl CheckpointService {
         }
     }
 
-    fn step_tenant(&mut self, id: TenantId) {
-        // a stale Slice event for a tenant already finished is a no-op
+    fn step_tenant(&mut self, id: TenantId, budget: usize) {
+        // a stale pick for a tenant already finished is a no-op
         let Some(mut tenant) = self.tenants.remove(&id) else {
             return;
         };
-        loop {
-            // Slice-top health check: nodes may have died while this
-            // tenant was off the runtime (a timed storm kill, or deaths
-            // inherited at registration). Arbitrate + repair before the
-            // launch; this is the pre-launch repair of the single-job
-            // daemon, not a failure cycle — the job observed no fault.
-            if let Err(refusal) = self.heal_shard(&mut tenant) {
-                self.finish(tenant, TenantOutcome::Refused(refusal));
-                return;
-            }
-            match self.launch_slice(&mut tenant) {
-                SliceEnd::Finished(outcome) => {
-                    self.finish(tenant, *outcome);
-                    return;
+        // Slice-top health check: nodes may have died while this
+        // tenant was off the runtime (a timed storm kill, deaths
+        // inherited at registration, or a kill inside a resize
+        // window). Arbitrate + repair before anything else.
+        if let Err(refusal) = self.heal_shard(&mut tenant) {
+            self.finish(tenant, TenantOutcome::Refused(refusal));
+            return;
+        }
+        if tenant.clean_boundary {
+            if let Some(req) = tenant.pending_resize.front().cloned() {
+                match self.attempt_resize(&mut tenant, req) {
+                    Ok(ResizeAttempt::Committed | ResizeAttempt::Refused) => {
+                        tenant.pending_resize.pop_front();
+                    }
+                    Ok(ResizeAttempt::Retry) => {}
+                    Ok(ResizeAttempt::Faulted) => {
+                        // the shard (or staged nodes) took a hit inside
+                        // the window: yield so the next pick re-heals
+                        // before the replay
+                        self.queue.push(self.cluster.now(), ServiceEvent::Ready(id));
+                        self.tenants.insert(id, tenant);
+                        return;
+                    }
+                    Err(refusal) => {
+                        self.finish(tenant, TenantOutcome::Refused(refusal));
+                        return;
+                    }
                 }
-                SliceEnd::Parked => {
-                    self.tenants.insert(id, tenant);
-                    return;
-                }
-                SliceEnd::Again => continue,
             }
+        }
+        tenant.cfg.panel_budget = budget;
+        match self.launch_slice(&mut tenant) {
+            SliceEnd::Finished(outcome) => self.finish(tenant, *outcome),
+            SliceEnd::Yield => {
+                self.queue.push(self.cluster.now(), ServiceEvent::Ready(id));
+                self.tenants.insert(id, tenant);
+            }
+        }
+    }
+
+    /// One resize attempt at a clean boundary. Refusals are total and
+    /// consume nothing: planning is pure, and the pool commit happens
+    /// only after the new layout's image is installed (or the resize is
+    /// cold). See `crate::resize` for the commit-point map.
+    fn attempt_resize(
+        &mut self,
+        tenant: &mut Tenant,
+        req: PendingResize,
+    ) -> Result<ResizeAttempt, Refusal> {
+        let now = self.cluster.now();
+        let cur = tenant.rl.len();
+        let m = tenant.cfg.codec.resolve().parity_count();
+        let (plan, target, kind) = match req {
+            PendingResize::Relocate => match self.pool.plan_relocate(tenant.id) {
+                None => {
+                    // already packed (or the free pool moved on): no-op
+                    tenant.resizes.push(ResizeAudit {
+                        at: now,
+                        from: cur,
+                        to: cur,
+                        kind: "noop",
+                        outcome: "committed",
+                        refusal: None,
+                        op: None,
+                        op_record: None,
+                        wiped: Vec::new(),
+                    });
+                    return Ok(ResizeAttempt::Committed);
+                }
+                Some(p) => (p, cur, "relocate"),
+            },
+            PendingResize::Target(t) if t == cur => {
+                tenant.resizes.push(ResizeAudit {
+                    at: now,
+                    from: cur,
+                    to: cur,
+                    kind: "noop",
+                    outcome: "committed",
+                    refusal: None,
+                    op: None,
+                    op_record: None,
+                    wiped: Vec::new(),
+                });
+                return Ok(ResizeAttempt::Committed);
+            }
+            PendingResize::Target(t) => {
+                let kind = if t > cur { "grow" } else { "shrink" };
+                if resize_group_size(cur, tenant.cfg.group_size, t, m).is_none() {
+                    tenant.resizes.push(ResizeAudit {
+                        at: now,
+                        from: cur,
+                        to: cur,
+                        kind,
+                        outcome: "refused",
+                        refusal: Some(ResizeError::ShrinkBelowMinGroup {
+                            requested: t,
+                            min: (m + 1).max(2),
+                        }),
+                        op: None,
+                        op_record: None,
+                        wiped: Vec::new(),
+                    });
+                    return Ok(ResizeAttempt::Refused);
+                }
+                match self
+                    .pool
+                    .plan_resize(tenant.id, t, Self::mem_demand(&tenant.cfg, t))
+                {
+                    Ok(p) => (p, t, kind),
+                    Err(e) => {
+                        let err = match e {
+                            ReshapeError::WouldStarve {
+                                requested, free, ..
+                            } => ResizeError::GrowWouldStarve { requested, free },
+                            ReshapeError::NeverFits { demanded, total } => {
+                                ResizeError::NeverFits { demanded, total }
+                            }
+                            ReshapeError::Oversubscribed { demanded, capacity } => {
+                                ResizeError::Oversubscribed { demanded, capacity }
+                            }
+                            // an active tenant is always known to the pool
+                            _ => unreachable!("unexpected reshape refusal: {e}"),
+                        };
+                        tenant.resizes.push(ResizeAudit {
+                            at: now,
+                            from: cur,
+                            to: cur,
+                            kind,
+                            outcome: "refused",
+                            refusal: Some(err),
+                            op: None,
+                            op_record: None,
+                            wiped: Vec::new(),
+                        });
+                        return Ok(ResizeAttempt::Refused);
+                    }
+                }
+            }
+        };
+        let new_g = resize_group_size(cur, tenant.cfg.group_size, target, m)
+            .expect("legal group size checked above (relocations keep the rank count)");
+        match harvest(&self.cluster, &tenant.cfg.name, &tenant.cfg, &tenant.rl) {
+            // a node died and was replaced since the park: the next
+            // slice's group recovery rebuilds the missing workspaces;
+            // resize at the boundary after that
+            Harvest::Incomplete => Ok(ResizeAttempt::Retry),
+            Harvest::Torn => {
+                tenant.resizes.push(ResizeAudit {
+                    at: now,
+                    from: cur,
+                    to: cur,
+                    kind,
+                    outcome: "refused",
+                    refusal: Some(ResizeError::TornBoundary),
+                    op: None,
+                    op_record: None,
+                    wiped: Vec::new(),
+                });
+                Ok(ResizeAttempt::Refused)
+            }
+            Harvest::AllMissing => {
+                // the tenant never ran: pure node accounting, no image
+                let mem = Self::mem_demand(&tenant.cfg, target);
+                let cluster = Arc::clone(&self.cluster);
+                let audit = self
+                    .pool
+                    .commit_resize(tenant.id, &plan, mem, |n| cluster.node_usable(n));
+                self.admit_drained(audit.drained);
+                tenant.rl = Ranklist::explicit(plan.new_nodes());
+                tenant.cfg.group_size = new_g;
+                tenant.resizes.push(ResizeAudit {
+                    at: now,
+                    from: cur,
+                    to: target,
+                    kind,
+                    outcome: "cold",
+                    refusal: None,
+                    op: None,
+                    op_record: None,
+                    wiped: Vec::new(),
+                });
+                Ok(ResizeAttempt::Committed)
+            }
+            Harvest::Complete { columns, panel } => {
+                let epoch = tenant.resize_epoch + 1;
+                let mut new_cfg = tenant.cfg.clone();
+                new_cfg.name = epoch_name(&tenant.base, epoch);
+                new_cfg.group_size = new_g;
+                let new_rl = Ranklist::explicit(plan.new_nodes());
+                let mut ctx = ResizeCtx {
+                    cluster: Arc::clone(&self.cluster),
+                    new_cfg: new_cfg.clone(),
+                    new_rl: new_rl.clone(),
+                };
+                let known_dead = self.cluster.dead_nodes();
+                self.cluster.reset_abort();
+                let committed = ops::prepare_replay(ResizeOp { columns, panel }, &ctx)
+                    .and_then(|p| p.commit(&mut ctx));
+                match committed {
+                    Ok(tok) => {
+                        let rec = tok.into_record();
+                        let mem = Self::mem_demand(&new_cfg, target);
+                        let cluster = Arc::clone(&self.cluster);
+                        let pool_audit = self
+                            .pool
+                            .commit_resize(tenant.id, &plan, mem, |n| cluster.node_usable(n));
+                        // wipe the vacated (still-usable) nodes, and drop
+                        // the old epoch's segments from the nodes we keep
+                        let mut wiped = pool_audit.freed.clone();
+                        for &n in &wiped {
+                            self.cluster.shm(n).wipe();
+                        }
+                        wiped.sort_unstable();
+                        let old_prefix = format!("{}/", tenant.cfg.name);
+                        for r in 0..new_rl.len() {
+                            let shm = self.cluster.shm(new_rl.node_of(r));
+                            for seg in shm.names() {
+                                if seg.starts_with(&old_prefix) {
+                                    shm.remove(&seg);
+                                }
+                            }
+                        }
+                        self.admit_drained(pool_audit.drained);
+                        tenant.wiped.extend(wiped.iter().copied());
+                        tenant.resizes.push(ResizeAudit {
+                            at: now,
+                            from: cur,
+                            to: target,
+                            kind,
+                            outcome: "committed",
+                            refusal: None,
+                            op: Some(rec.op.clone()),
+                            op_record: Some(rec.to_string()),
+                            wiped,
+                        });
+                        tenant.cfg = new_cfg;
+                        tenant.rl = new_rl;
+                        tenant.resize_epoch = epoch;
+                        Ok(ResizeAttempt::Committed)
+                    }
+                    Err(fault) => {
+                        // a fault landed inside the resize window. The
+                        // old layout is untouched (the pool commit never
+                        // ran); charge the failure budget and keep the
+                        // request — the next attempt's sequenced replay
+                        // detects the partial install and redoes it.
+                        let dead_now = self.cluster.dead_nodes();
+                        let newly_dead: Vec<NodeId> = dead_now
+                            .iter()
+                            .copied()
+                            .filter(|n| !known_dead.contains(n))
+                            .collect();
+                        self.cluster.reset_abort();
+                        let cluster = Arc::clone(&self.cluster);
+                        self.pool.purge_free(|n| cluster.node_usable(n));
+                        let mut record = AttemptRecord {
+                            attempt: tenant.launches,
+                            fault,
+                            newly_dead,
+                            backoff: Duration::ZERO,
+                        };
+                        let failure_no = tenant.history.attempts.len() + 1;
+                        if failure_no > self.cfg.policy.max_failures {
+                            tenant.history.attempts.push(record);
+                            return Err(Refusal::TooManyFailures);
+                        }
+                        self.cluster.runtime().advance(self.cfg.policy.detect);
+                        record.backoff = self.cfg.policy.backoff(failure_no);
+                        self.cluster.runtime().advance(record.backoff);
+                        tenant.history.attempts.push(record);
+                        Ok(ResizeAttempt::Faulted)
+                    }
+                }
+            }
+        }
+    }
+
+    fn admit_drained(&mut self, drained: Vec<(TenantId, Vec<NodeId>)>) {
+        for (id, nodes) in drained {
+            let (cfg, queued_at, profile) = self
+                .waiting
+                .remove(&id)
+                .expect("queued tenant must have a pending config");
+            self.activate(id, cfg, Ranklist::explicit(nodes), queued_at, profile);
         }
     }
 
@@ -712,6 +1224,7 @@ impl CheckpointService {
                     harvest.lock().unwrap().push(r.clone())
                 })
             });
+        tenant.last_slice = t_launch.elapsed();
         if let Some(best) = harvest
             .into_inner()
             .unwrap()
@@ -723,6 +1236,7 @@ impl CheckpointService {
         match result {
             Ok(mut outs) => {
                 tenant.slices += 1;
+                tenant.clean_boundary = true;
                 match outs.swap_remove(0) {
                     SktRun::Done(out) => {
                         if tenant.pending_attr {
@@ -746,18 +1260,14 @@ impl CheckpointService {
                             );
                             tenant.pending_attr = false;
                         }
-                        match self.cfg.schedule {
-                            SlicePolicy::Batched => SliceEnd::Again,
-                            SlicePolicy::Pipelined => {
-                                self.queue
-                                    .push(self.cluster.now(), ServiceEvent::Slice(tenant.id));
-                                SliceEnd::Parked
-                            }
-                        }
+                        SliceEnd::Yield
                     }
                 }
             }
             Err(fault) => {
+                // the park is gone: workspaces may hold mid-panel state,
+                // so no resize until the next clean boundary
+                tenant.clean_boundary = false;
                 let dead_now = self.cluster.dead_nodes();
                 let newly_dead: Vec<NodeId> = dead_now
                     .iter()
@@ -815,14 +1325,7 @@ impl CheckpointService {
                 record.backoff = policy.backoff(failure_no);
                 self.cluster.runtime().advance(record.backoff);
                 tenant.history.attempts.push(record);
-                match self.cfg.schedule {
-                    SlicePolicy::Batched => SliceEnd::Again,
-                    SlicePolicy::Pipelined => {
-                        self.queue
-                            .push(self.cluster.now(), ServiceEvent::Slice(tenant.id));
-                        SliceEnd::Parked
-                    }
-                }
+                SliceEnd::Yield
             }
         }
     }
@@ -915,14 +1418,7 @@ impl CheckpointService {
         record.backoff = policy.backoff(failure_no);
         self.cluster.runtime().advance(record.backoff);
         tenant.history.attempts.push(record);
-        match self.cfg.schedule {
-            SlicePolicy::Batched => SliceEnd::Again,
-            SlicePolicy::Pipelined => {
-                self.queue
-                    .push(self.cluster.now(), ServiceEvent::Slice(tenant.id));
-                SliceEnd::Parked
-            }
-        }
+        SliceEnd::Yield
     }
 
     fn attribute(cycles: &mut [PhaseTimes], recover_s: f64, ckpt_s: f64, checkpoints: usize) {
@@ -938,10 +1434,13 @@ impl CheckpointService {
     }
 
     /// Terminal bookkeeping: isolation audit, shard release (queue
-    /// drain), report.
+    /// drain), report. The tenant's namespace is the *base* prefix plus
+    /// every resize epoch under `{base}@`, so a resized tenant's
+    /// old-epoch leftovers are audited exactly like live ones.
     fn finish(&mut self, tenant: Tenant, outcome: TenantOutcome) {
         let now = self.cluster.now();
-        let prefix = format!("{}/", tenant.cfg.name);
+        let prefix_slash = format!("{}/", tenant.base);
+        let prefix_epoch = format!("{}@", tenant.base);
         let shard: Vec<NodeId> = self
             .pool
             .nodes_of(tenant.id)
@@ -956,14 +1455,17 @@ impl CheckpointService {
         let mut foreign: Vec<String> = shard
             .iter()
             .flat_map(|&n| self.cluster.shm(n).names())
-            .filter(|name| !name.starts_with(&prefix))
+            .filter(|name| !name.starts_with(&prefix_slash) && !name.starts_with(&prefix_epoch))
             .collect();
         foreign.sort_unstable();
         // off-shard state on a *fenced* node is quarantine, not a leak:
         // the zombie's frozen leftovers after a migration away from it
         let (fenced_stale, leaked): (Vec<NodeId>, Vec<NodeId>) = (0..self.cluster.total_nodes())
             .filter(|n| !shard.contains(n))
-            .filter(|&n| self.cluster.shm(n).bytes_with_prefix(&prefix) > 0)
+            .filter(|&n| {
+                let shm = self.cluster.shm(n);
+                shm.bytes_with_prefix(&prefix_slash) + shm.bytes_with_prefix(&prefix_epoch) > 0
+            })
             .partition(|&n| self.cluster.node_fenced(n));
         if self.cfg.wipe_on_release {
             for &n in &shard {
@@ -973,17 +1475,17 @@ impl CheckpointService {
             }
         }
         let cluster = Arc::clone(&self.cluster);
-        let drained = self.pool.release(tenant.id, |n| cluster.node_usable(n));
-        for (id, nodes) in drained {
-            let (cfg, queued_at) = self
-                .waiting
-                .remove(&id)
-                .expect("queued tenant must have a pending config");
-            self.activate(id, cfg, Ranklist::explicit(nodes), queued_at);
+        let release = self.pool.release(tenant.id, |n| cluster.node_usable(n));
+        self.admit_drained(release.drained);
+        let mut wiped = tenant.wiped;
+        if self.cfg.wipe_on_release {
+            wiped.extend(release.freed.iter().copied());
         }
+        wiped.sort_unstable();
+        wiped.dedup();
         self.reports.push(TenantReport {
             tenant: tenant.id,
-            name: tenant.cfg.name,
+            name: tenant.base,
             launches: tenant.launches,
             slices: tenant.slices,
             failures: tenant.history.attempts.len(),
@@ -992,6 +1494,8 @@ impl CheckpointService {
             outcome,
             cycles: tenant.cycles,
             history: tenant.history,
+            resizes: tenant.resizes,
+            wiped,
             foreign_on_shard: foreign,
             leaked_elsewhere: leaked,
             fenced_stale,
@@ -1003,7 +1507,8 @@ impl CheckpointService {
 mod tests {
     use super::*;
     use skt_cluster::ClusterConfig;
-    use skt_hpl::HplConfig;
+    use skt_encoding::CodecSpec;
+    use skt_hpl::{HplConfig, RESIZE_PROBE};
 
     fn tenant_cfg(name: &str, n: usize) -> SktConfig {
         let mut cfg = SktConfig::new(HplConfig::new(n, 4, 11), 2, 2);
@@ -1015,7 +1520,7 @@ mod tests {
         nodes: usize,
         spares: usize,
         slice_panels: usize,
-        schedule: SlicePolicy,
+        schedule: PolicySpec,
     ) -> CheckpointService {
         let cluster = Arc::new(Cluster::new(ClusterConfig::new(nodes, spares)));
         let mut cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5)));
@@ -1026,7 +1531,7 @@ mod tests {
 
     #[test]
     fn two_tenants_complete_batched() {
-        let mut svc = service(4, 0, 0, SlicePolicy::Batched);
+        let mut svc = service(4, 0, 0, PolicySpec::Batched);
         svc.register(tenant_cfg("a", 32), 2, 0).unwrap();
         svc.register(tenant_cfg("b", 32), 2, 0).unwrap();
         let rep = svc.run(&StormPlan::none());
@@ -1044,8 +1549,8 @@ mod tests {
     }
 
     #[test]
-    fn pipelined_slices_interleave_tenants() {
-        let mut svc = service(4, 0, 3, SlicePolicy::Pipelined);
+    fn round_robin_slices_interleave_tenants() {
+        let mut svc = service(4, 0, 3, PolicySpec::RoundRobin);
         svc.register(tenant_cfg("a", 32), 2, 0).unwrap(); // 8 panels → 3 slices
         svc.register(tenant_cfg("b", 32), 2, 0).unwrap();
         let rep = svc.run(&StormPlan::none());
@@ -1054,7 +1559,7 @@ mod tests {
             assert_eq!(t.slices, 3, "{}: 8 panels in 3-panel slices", t.name);
             assert_eq!(t.launches, 3);
         }
-        // pipelining interleaves: neither tenant finishes before the
+        // round-robin interleaves: neither tenant finishes before the
         // other has started, so completion times differ by < one job
         let a = rep.tenant("a").unwrap().finished_at;
         let b = rep.tenant("b").unwrap().finished_at;
@@ -1062,8 +1567,42 @@ mod tests {
     }
 
     #[test]
+    fn priority_policy_runs_the_higher_class_to_completion_first() {
+        let mut svc = service(4, 0, 3, PolicySpec::Priority { aging_us: 0 });
+        svc.register_profiled(
+            tenant_cfg("low", 32),
+            2,
+            0,
+            TenantProfile {
+                class: 0,
+                deadline: None,
+            },
+        )
+        .unwrap();
+        svc.register_profiled(
+            tenant_cfg("high", 32),
+            2,
+            0,
+            TenantProfile {
+                class: 5,
+                deadline: None,
+            },
+        )
+        .unwrap();
+        let rep = svc.run(&StormPlan::none());
+        let low = rep.tenant("low").unwrap();
+        let high = rep.tenant("high").unwrap();
+        assert!(matches!(low.outcome, TenantOutcome::Completed(_)));
+        assert!(matches!(high.outcome, TenantOutcome::Completed(_)));
+        assert!(
+            high.finished_at < low.finished_at,
+            "class 5 preempts class 0 even though it registered second"
+        );
+    }
+
+    #[test]
     fn queued_tenant_runs_after_capacity_frees() {
-        let mut svc = service(2, 0, 0, SlicePolicy::Batched);
+        let mut svc = service(2, 0, 0, PolicySpec::Batched);
         svc.register(tenant_cfg("first", 32), 2, 0).unwrap();
         let adm = svc.register(tenant_cfg("second", 32), 2, 0).unwrap();
         assert!(matches!(adm, Admission::Queued { .. }));
@@ -1079,7 +1618,7 @@ mod tests {
 
     #[test]
     fn tenant_survives_armed_kill_and_neighbor_is_untouched() {
-        let mut svc = service(4, 1, 0, SlicePolicy::Batched);
+        let mut svc = service(4, 1, 0, PolicySpec::Batched);
         svc.register(tenant_cfg("victim", 48), 2, 1).unwrap();
         svc.register(tenant_cfg("bystander", 48), 2, 0).unwrap();
         // victim's shard is nodes {0,1}; kill node 1 after its 5th panel
@@ -1106,7 +1645,7 @@ mod tests {
         // one spare, reserved for "insured"; "gambler" has no guarantee.
         // gambler's node loss must be refused with the arbitration
         // verdict — not silently eat the insured tenant's spare.
-        let mut svc = service(4, 1, 0, SlicePolicy::Batched);
+        let mut svc = service(4, 1, 0, PolicySpec::Batched);
         svc.register(tenant_cfg("gambler", 48), 2, 0).unwrap();
         svc.register(tenant_cfg("insured", 48), 2, 1).unwrap();
         let storm = StormPlan::none().kill(0, 5);
@@ -1132,7 +1671,7 @@ mod tests {
 
     #[test]
     fn straggling_tenant_node_is_fenced_migrated_and_isolated() {
-        let mut svc = service(4, 1, 0, SlicePolicy::Batched);
+        let mut svc = service(4, 1, 0, PolicySpec::Batched);
         svc.register(tenant_cfg("gray", 48), 2, 1).unwrap();
         svc.register(tenant_cfg("bystander", 48), 2, 0).unwrap();
         // gray's shard is nodes {0,1}; node 1 straggles 64x from its 3rd
@@ -1167,7 +1706,7 @@ mod tests {
 
     #[test]
     fn timed_kill_between_slices_is_healed_at_slice_top() {
-        let mut svc = service(4, 1, 3, SlicePolicy::Pipelined);
+        let mut svc = service(4, 1, 3, PolicySpec::RoundRobin);
         svc.register(tenant_cfg("a", 48), 2, 1).unwrap();
         svc.register(tenant_cfg("b", 48), 2, 0).unwrap();
         // kill one of a's nodes 1 ms in: lands between slices, so a's
@@ -1185,5 +1724,190 @@ mod tests {
         );
         let b = rep.tenant("b").unwrap();
         assert!(matches!(b.outcome, TenantOutcome::Completed(_)));
+    }
+
+    // ---- elasticity ----
+
+    /// A 6-rank Rs{2} tenant sized so resizes stay legal down to 4
+    /// ranks (group min = m + 1 = 3).
+    fn elastic_cfg(name: &str) -> SktConfig {
+        let mut cfg = tenant_cfg(name, 48); // 12 panels at nb=4
+        cfg.codec = CodecSpec::Rs { m: 2 };
+        cfg.group_size = 6;
+        cfg
+    }
+
+    fn residual_bits(rep: &ServiceReport, name: &str) -> u64 {
+        match &rep.tenant(name).unwrap().outcome {
+            TenantOutcome::Completed(out) => {
+                assert!(out.hpl.passed, "{name}: residual check failed");
+                out.hpl.residual.to_bits()
+            }
+            other => panic!("{name}: expected completion, got {other:?}"),
+        }
+    }
+
+    /// The acceptance scenario: shrink 6→4 at the first boundary, grow
+    /// back 4→6 at the next, with an armed kill landing on a staged
+    /// node *inside* the grow's install window. The sequenced ResizeOp
+    /// replays idempotently, and the final residual is bit-exact with
+    /// the unresized fault-free control — across 8 scheduler seeds.
+    #[test]
+    fn shrink_then_grow_with_kill_in_resize_window_matches_control() {
+        let control = {
+            let mut svc = service(6, 0, 0, PolicySpec::Batched);
+            svc.register(elastic_cfg("elastic"), 6, 0).unwrap();
+            let rep = svc.run(&StormPlan::none());
+            residual_bits(&rep, "elastic")
+        };
+        for seed in 0..8u64 {
+            let cluster = Arc::new(Cluster::new_with_runtime(
+                ClusterConfig::new(9, 0),
+                skt_cluster::SimRuntime::new(seed),
+            ));
+            let mut cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5)));
+            cfg.slice_panels = 3;
+            cfg.schedule = PolicySpec::RoundRobin;
+            let mut svc = CheckpointService::new(cluster, cfg);
+            svc.register(elastic_cfg("elastic"), 6, 0).unwrap();
+            svc.schedule_resize("elastic", Duration::from_micros(1), 4);
+            svc.schedule_resize("elastic", Duration::from_micros(2), 6);
+            // the grow stages nodes {4,5}; node 4's first resize-window
+            // probe pass is the grow install → the kill lands inside it
+            let storm = StormPlan::none().kill_at_probe(RESIZE_PROBE, 4, 1);
+            let rep = svc.run(&storm);
+            let got = residual_bits(&rep, "elastic");
+            assert_eq!(
+                got, control,
+                "seed {seed}: resized run must be bit-exact with the control"
+            );
+            let t = rep.tenant("elastic").unwrap();
+            assert_eq!(t.failures, 1, "seed {seed}: the kill charged one failure");
+            let kinds: Vec<(&str, &str, usize, usize)> = t
+                .resizes
+                .iter()
+                .map(|r| (r.kind, r.outcome, r.from, r.to))
+                .collect();
+            assert_eq!(
+                kinds,
+                vec![("shrink", "committed", 6, 4), ("grow", "committed", 4, 6)],
+                "seed {seed}"
+            );
+            assert_eq!(
+                t.resizes[0].wiped,
+                vec![4, 5],
+                "seed {seed}: the shrink's vacated nodes are wiped, not leaked"
+            );
+            assert!(
+                t.wiped.contains(&5),
+                "seed {seed}: wipe audit reaches the report"
+            );
+            assert!(
+                t.leaked_elsewhere.is_empty(),
+                "seed {seed}: {:?}",
+                t.leaked_elsewhere
+            );
+            assert!(t.foreign_on_shard.is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shrink_below_min_group_is_refused_typed_and_consumes_nothing() {
+        let mut svc = service(4, 0, 3, PolicySpec::RoundRobin);
+        svc.register(elastic_cfg("job"), 6, 0).unwrap_err(); // 6 > 4 nodes: NeverFits at admission
+        let mut svc = service(8, 0, 3, PolicySpec::RoundRobin);
+        svc.register(elastic_cfg("job"), 6, 0).unwrap();
+        // Rs{2} needs groups of ≥ 3: shrinking to 2 ranks is refused
+        svc.schedule_resize("job", Duration::from_micros(1), 2);
+        let rep = svc.run(&StormPlan::none());
+        let t = rep.tenant("job").unwrap();
+        assert!(matches!(t.outcome, TenantOutcome::Completed(_)));
+        assert_eq!(t.resizes.len(), 1);
+        let r = &t.resizes[0];
+        assert_eq!((r.kind, r.outcome), ("shrink", "refused"));
+        assert_eq!(
+            r.refusal,
+            Some(ResizeError::ShrinkBelowMinGroup {
+                requested: 2,
+                min: 3
+            })
+        );
+        assert_eq!((r.from, r.to), (6, 6), "a refusal changes nothing");
+        assert_eq!(t.failures, 0, "refusals are free: no budget charged");
+    }
+
+    #[test]
+    fn grow_beyond_free_pool_is_refused_typed() {
+        let mut svc = service(4, 0, 3, PolicySpec::RoundRobin);
+        svc.register(tenant_cfg("a", 32), 2, 0).unwrap();
+        svc.register(tenant_cfg("b", 32), 2, 0).unwrap();
+        // the pool is fully sharded: a's grow to 4 would starve
+        svc.schedule_resize("a", Duration::from_micros(1), 4);
+        let rep = svc.run(&StormPlan::none());
+        let a = rep.tenant("a").unwrap();
+        assert!(matches!(a.outcome, TenantOutcome::Completed(_)));
+        let r = &a.resizes[0];
+        assert_eq!((r.kind, r.outcome), ("grow", "refused"));
+        assert_eq!(
+            r.refusal,
+            Some(ResizeError::GrowWouldStarve {
+                requested: 2,
+                free: 0
+            })
+        );
+        let b = rep.tenant("b").unwrap();
+        assert!(matches!(b.outcome, TenantOutcome::Completed(_)));
+        assert_eq!(b.failures, 0, "the refused grow never touched b's shard");
+    }
+
+    #[test]
+    fn resize_before_first_slice_is_cold_accounting() {
+        let mut svc = service(4, 0, 3, PolicySpec::RoundRobin);
+        svc.register(tenant_cfg("cold", 32), 2, 0).unwrap();
+        // delivered before the tenant ever runs: no image exists, so the
+        // resize is pure node accounting ("cold") and the job simply
+        // starts at 3 ranks
+        svc.schedule_resize("cold", Duration::ZERO, 3);
+        let rep = svc.run(&StormPlan::none());
+        let t = rep.tenant("cold").unwrap();
+        assert!(matches!(t.outcome, TenantOutcome::Completed(_)));
+        let r = &t.resizes[0];
+        assert_eq!((r.kind, r.outcome, r.from, r.to), ("grow", "cold", 2, 3));
+        assert!(r.op.is_none(), "no image, no sequenced install");
+    }
+
+    #[test]
+    fn defrag_relocates_the_smallest_parked_shard_toward_low_ids() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(6, 0)));
+        let mut cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5)));
+        cfg.slice_panels = 3;
+        cfg.schedule = PolicySpec::RoundRobin;
+        cfg.defrag = true;
+        let mut svc = CheckpointService::new(cluster, cfg);
+        svc.register(tenant_cfg("early", 32), 2, 0).unwrap(); // nodes {0,1}, 8 panels → finishes first
+        svc.register(tenant_cfg("late", 48), 2, 0).unwrap(); // nodes {2,3}, 12 panels
+        let rep = svc.run(&StormPlan::none());
+        let late = rep.tenant("late").unwrap();
+        match &late.outcome {
+            TenantOutcome::Completed(out) => assert!(out.hpl.passed),
+            other => panic!("late should complete after relocating, got {other:?}"),
+        }
+        let reloc: Vec<&ResizeAudit> = late
+            .resizes
+            .iter()
+            .filter(|r| r.kind == "relocate")
+            .collect();
+        assert_eq!(reloc.len(), 1, "one defrag move: {:?}", late.resizes);
+        assert_eq!(reloc[0].outcome, "committed", "a parked image migrates");
+        assert_eq!(
+            reloc[0].wiped,
+            vec![2, 3],
+            "the vacated mid-pool nodes are wiped for the free list"
+        );
+        assert!(
+            late.leaked_elsewhere.is_empty(),
+            "{:?}",
+            late.leaked_elsewhere
+        );
     }
 }

@@ -40,4 +40,7 @@ pub use calibrate::{efficiency, peak_gflops};
 pub use dist::BlockCyclic1D;
 pub use elim::{back_substitute, eliminate, generate, panel_step, verify, Verification};
 pub use plain::{run_plain, HplConfig, HplOutput};
-pub use skt::{run_skt, run_skt_observed, run_skt_sliced, SktConfig, SktOutput, SktPause, SktRun};
+pub use skt::{
+    install_relayout, run_skt, run_skt_observed, run_skt_sliced, SktConfig, SktOutput, SktPause,
+    SktRun, A2_CAPACITY, RESIZE_PROBE,
+};

@@ -22,6 +22,20 @@ use skt_encoding::CodecSpec;
 use skt_linalg::MatGen;
 use skt_mps::{Ctx, Fault};
 
+/// Failure-injection probe inside [`install_relayout`]'s window: fires
+/// once before the new-layout checkpointer is created (partial segments
+/// may exist on some ranks) and once after the workspace fill, before
+/// the boundary checkpoint commits. A kill here lands *inside* the
+/// resize window, which is exactly what the sequenced `ResizeOp` replay
+/// must survive.
+pub const RESIZE_PROBE: &str = "skt-resize";
+
+/// Bytes of small state (`A2`) SKT-HPL parks in every checkpoint: the
+/// panel counter, with headroom. Kept as a named constant so the
+/// service-side boundary harvest reads `B2` with the same capacity the
+/// job wrote it with.
+pub const A2_CAPACITY: usize = 16;
+
 /// Configuration of a fault-tolerant HPL run.
 #[derive(Clone, Debug)]
 pub struct SktConfig {
@@ -165,8 +179,8 @@ where
     // checkpoint group
     let color = group_color(cfg.strategy, me, nranks, cfg.group_size);
     let gcomm = world.split(color, me)?;
-    let ck_cfg =
-        CkptConfig::new(cfg.name.clone(), cfg.method, dist.alloc_len(), 16).with_codec(cfg.codec);
+    let ck_cfg = CkptConfig::new(cfg.name.clone(), cfg.method, dist.alloc_len(), A2_CAPACITY)
+        .with_codec(cfg.codec);
     // job-wide sync communicator: keeps every group's commits and the
     // recovery epoch globally consistent
     let (mut ck, _) = Checkpointer::init_synced(gcomm, world.clone(), ck_cfg);
@@ -284,6 +298,70 @@ where
         recover_seconds,
         recovery: ck.last_report(),
     }))
+}
+
+/// Install a harvested matrix under a **new** block-cyclic layout and
+/// commit it as a boundary checkpoint — the job-side half of a tenant
+/// resize. Runs once per rank of the *new* world: re-derives the
+/// distribution and checkpoint group for the new rank count, writes the
+/// owned columns of `columns` (global column index → full column,
+/// `n + 1` of them with `b` last) into the workspace, and takes the
+/// checkpoint with `panel` as its `A2` counter, so the next
+/// [`run_skt_sliced`] launch resumes from exactly the boundary the old
+/// layout parked at.
+///
+/// Idempotent by construction: a replay that finds the new layout's
+/// checkpoint already committed at `panel` returns `Ok` without writing
+/// anything; a commit at a *different* panel is a torn boundary and
+/// errs. [`RESIZE_PROBE`] fires before segment creation and again
+/// before the commit, so armed kills can land inside the window.
+pub fn install_relayout(
+    ctx: &Ctx,
+    cfg: &SktConfig,
+    columns: &[Vec<f64>],
+    panel: u64,
+) -> Result<(), Fault> {
+    let world = ctx.world();
+    let nranks = world.size();
+    let me = world.rank();
+    let n = cfg.hpl.n;
+    let dist = BlockCyclic1D::new(n, cfg.hpl.nb, nranks, me);
+    debug_assert_eq!(columns.len(), n + 1, "need every global column incl. b");
+    let color = group_color(cfg.strategy, me, nranks, cfg.group_size);
+    let gcomm = world.split(color, me)?;
+    ctx.failpoint(RESIZE_PROBE)?;
+    let ck_cfg = CkptConfig::new(cfg.name.clone(), cfg.method, dist.alloc_len(), A2_CAPACITY)
+        .with_codec(cfg.codec);
+    let (mut ck, _) = Checkpointer::init_synced(gcomm, world.clone(), ck_cfg);
+    match ck.recover() {
+        Ok(Recovery::Restored { a2, .. }) => {
+            let got = u64::from_le_bytes(a2.as_slice().try_into().expect("panel counter"));
+            return if got == panel {
+                Ok(()) // a previous attempt committed this boundary: replay skips
+            } else {
+                Err(Fault::Protocol(
+                    "resize target committed a different boundary",
+                ))
+            };
+        }
+        Ok(Recovery::NoCheckpoint) => {}
+        Err(RecoverError::Fault(f)) => return Err(f),
+        // partial segments survived the pre-apply wipe (e.g. on a node
+        // that died and came back): unrecoverable here means re-stage
+        Err(_) => return Err(Fault::Protocol("resize target holds torn segments")),
+    }
+    {
+        let ws = ck.workspace();
+        let mut g = ws.write();
+        let v = &mut g.as_f64_mut()[..dist.alloc_len()];
+        for (lc, gc) in dist.owned_cols() {
+            v[lc * n..lc * n + n].copy_from_slice(&columns[gc]);
+        }
+    }
+    world.barrier()?;
+    ctx.failpoint(RESIZE_PROBE)?;
+    ck.make(&panel.to_le_bytes())?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -14,8 +14,8 @@ use self_checkpoint::core::{
 };
 use self_checkpoint::encoding::{kernels, Code, CodecSpec, DualParity, GroupLayout, KernelConfig};
 use self_checkpoint::ftsim::{
-    run_with_daemon, CheckpointService, RetryPolicy, ServiceConfig, StormPlan, SuspicionOutcome,
-    TenantOutcome, TenantReport,
+    run_with_daemon, CheckpointService, PolicySpec, RetryPolicy, ServiceConfig, StormPlan,
+    SuspicionOutcome, TenantOutcome, TenantReport,
 };
 use self_checkpoint::hpl::{HplConfig, SktConfig, ITER_PROBE};
 use self_checkpoint::linalg::{dgemm, solve_ref, MatGen, Matrix, Trans};
@@ -923,5 +923,140 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+/// Fault-free, unresized control at `nranks` ranks for the elasticity
+/// property: the residual anchor. Per-column elimination is
+/// rank-count-invariant but the final verify's reductions are not, so a
+/// resized run must be compared against a control at its *final* rank
+/// count. Cached per count — the residual is a property of the problem,
+/// not of the scheduler seed.
+fn resize_prop_cfg(nranks: usize) -> SktConfig {
+    // 12 panels at nb=4; whole-world grouping, so under XOR parity any
+    // resize target >= 2 keeps a legal group size
+    let mut cfg = SktConfig::new(HplConfig::new(48, 4, 31), nranks, 2);
+    cfg.name = "elastic".into();
+    cfg
+}
+
+fn resize_prop_control(nranks: usize) -> u64 {
+    use std::collections::HashMap;
+    static BITS: std::sync::OnceLock<std::sync::Mutex<HashMap<usize, u64>>> =
+        std::sync::OnceLock::new();
+    let cache = BITS.get_or_init(|| std::sync::Mutex::new(HashMap::new()));
+    let mut g = cache.lock().unwrap();
+    *g.entry(nranks).or_insert_with(|| {
+        let cluster = Arc::new(Cluster::new_with_runtime(
+            ClusterConfig::new(nranks, 0),
+            SimRuntime::new(0),
+        ));
+        let cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5)));
+        let mut svc = CheckpointService::new(cluster, cfg);
+        svc.register(resize_prop_cfg(nranks), nranks, 0).unwrap();
+        match &svc
+            .run(&StormPlan::none())
+            .tenant("elastic")
+            .unwrap()
+            .outcome
+        {
+            TenantOutcome::Completed(out) => {
+                assert!(out.hpl.passed, "control must verify");
+                out.hpl.residual.to_bits()
+            }
+            other => panic!("fault-free control must complete, got {other:?}"),
+        }
+    })
+}
+
+proptest! {
+    /// For any scheduler seed, any grow/shrink sequence, any scheduling
+    /// policy, and any (optional) node kill inside the first slice: the
+    /// elastic tenant ends at the last requested rank count with every
+    /// resize committed through boundary checkpoints, and its residual
+    /// is bit-exact with a fault-free, *unresized* control run at that
+    /// final rank count.
+    #[test]
+    fn resized_tenant_is_bit_exact_with_unresized_control(
+        seed in any::<u64>(),
+        shape_seed in any::<u64>(),
+        nsteps in 1usize..4,
+        policy_idx in 0usize..4,
+        kill_code in 0u64..7,
+    ) {
+        let mut rng = self_checkpoint::cluster::SplitMix64::new(shape_seed);
+        // grow/shrink sequence over 2..=6 ranks (XOR parity keeps every
+        // whole-world group size >= 2 legal)
+        let targets: Vec<usize> =
+            (0..nsteps).map(|_| 2 + (rng.next_u64() % 5) as usize).collect();
+        let policy = match policy_idx {
+            0 => PolicySpec::Batched,
+            1 => PolicySpec::RoundRobin,
+            2 => PolicySpec::Priority { aging_us: 1 + rng.next_u64() % 500 },
+            _ => PolicySpec::Deadline { default_slack_us: 1 + rng.next_u64() % 500 },
+        };
+        // 0 = fault-free; else victim node in {0,1}, panel nth in 1..=3
+        let kill = (kill_code != 0)
+            .then(|| (((kill_code - 1) % 2) as usize, 1 + (kill_code - 1) / 2));
+        let cluster = Arc::new(Cluster::new_with_runtime(
+            ClusterConfig::new(6, 1),
+            SimRuntime::new(seed),
+        ));
+        let mut cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5)));
+        cfg.slice_panels = 3;
+        cfg.schedule = policy;
+        let mut svc = CheckpointService::new(cluster, cfg);
+        // 4 ranks on nodes {0..3}; one reserved spare covers the kill
+        svc.register(resize_prop_cfg(4), 4, 1).unwrap();
+        for (i, &t) in targets.iter().enumerate() {
+            // delivered before the first boundary, applied FIFO at
+            // successive clean boundaries (panels 3, 6, 9)
+            svc.schedule_resize("elastic", Duration::from_micros(1 + i as u64), t);
+        }
+        let storm = match kill {
+            // nodes 0 and 1 are in the shard at every size; probe
+            // counts are per launch, so nth <= 3 fires inside slice 1
+            Some((victim, nth)) => StormPlan::none().kill(victim, nth),
+            None => StormPlan::none(),
+        };
+        let rep = svc.run(&storm);
+        let t = rep.tenant("elastic").unwrap();
+        let tag = format!("seed{seed}/targets{targets:?}/{}/kill{kill:?}",
+            policy.resolve().name());
+        let out = match &t.outcome {
+            TenantOutcome::Completed(out) => out,
+            TenantOutcome::Refused(r) => {
+                return Err(TestCaseError::Fail(format!(
+                    "{tag}: elastic run must complete, refused {}", r.label()
+                )));
+            }
+        };
+        prop_assert!(out.hpl.passed, "{}: residual failed", tag);
+        let finale = *targets.last().unwrap();
+        prop_assert_eq!(
+            out.hpl.residual.to_bits(),
+            resize_prop_control(finale),
+            "{}: must be bit-exact with the unresized control at {} ranks",
+            tag, finale
+        );
+        // every request resolved through a boundary image: committed or
+        // an explicit no-op, never refused, never lost
+        prop_assert_eq!(t.resizes.len(), targets.len(), "{}: {:?}", tag, t.resizes);
+        let mut at = 4usize;
+        for (r, &want) in t.resizes.iter().zip(&targets) {
+            prop_assert_eq!(r.from, at, "{}: {:?}", tag, t.resizes);
+            prop_assert_eq!(r.to, want, "{}: {:?}", tag, t.resizes);
+            prop_assert!(
+                r.outcome == "committed" || r.outcome == "cold",
+                "{}: unexpected outcome {:?}", tag, r
+            );
+            at = want;
+        }
+        match kill {
+            Some(_) => prop_assert!(t.failures >= 1, "{}: the kill must be charged", tag),
+            None => prop_assert_eq!(t.failures, 0, "{}: fault-free run", tag),
+        }
+        prop_assert!(t.foreign_on_shard.is_empty(), "{}: {:?}", tag, t.foreign_on_shard);
+        prop_assert!(t.leaked_elsewhere.is_empty(), "{}: {:?}", tag, t.leaked_elsewhere);
     }
 }

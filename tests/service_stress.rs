@@ -15,10 +15,10 @@ use self_checkpoint::cluster::{
 };
 use self_checkpoint::encoding::CodecSpec;
 use self_checkpoint::ftsim::{
-    CheckpointService, Refusal, RetryPolicy, ServiceConfig, ServiceReport, SlicePolicy, StormPlan,
+    CheckpointService, PolicySpec, Refusal, RetryPolicy, ServiceConfig, ServiceReport, StormPlan,
     TenantOutcome,
 };
-use self_checkpoint::hpl::{HplConfig, SktConfig};
+use self_checkpoint::hpl::{HplConfig, SktConfig, RESIZE_PROBE};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -196,7 +196,7 @@ fn simultaneous_cross_tenant_losses_contend_for_spares() {
         ));
         let mut cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5)));
         cfg.slice_panels = 3;
-        cfg.schedule = SlicePolicy::Pipelined;
+        cfg.schedule = PolicySpec::RoundRobin;
         let mut svc = CheckpointService::new(cluster, cfg);
         let mut a = SktConfig::new(HplConfig::new(48, 4, 11), 2, 2);
         a.name = "insured".into();
@@ -238,4 +238,144 @@ fn simultaneous_cross_tenant_losses_contend_for_spares() {
         run(7).fingerprint(true),
         "the interleaved contention run reproduces byte-for-byte"
     );
+}
+
+/// The elasticity storm: one tenant shrinks and grows back across
+/// boundary checkpoints (with a node kill landing *inside* the grow's
+/// install window), a bystander loses a node at a panel probe and heals
+/// from its reserve, a third tenant is defrag-relocated into the shard a
+/// finished neighbor vacated — all interleaved under round-robin slicing.
+/// The resized tenant's residual must be bit-exact with an unresized
+/// fault-free control, and the whole outcome fingerprint invariant
+/// across 8 scheduler seeds. With `SKT_SERVICE_REPORT` set, the elastic
+/// report is written to `$SKT_SERVICE_REPORT.elastic` for the CI
+/// double-run diff.
+#[test]
+fn resize_churn_storm_is_seed_invariant_and_bit_exact() {
+    fn elastic_cfg() -> SktConfig {
+        // 12 panels at nb=4; Rs{2} so shrinking to 4 ranks stays legal
+        let mut cfg = SktConfig::new(HplConfig::new(48, 4, 211), 6, 2);
+        cfg.name = "elastic".into();
+        cfg.codec = CodecSpec::Rs { m: 2 };
+        cfg
+    }
+    fn small_cfg(name: &str, n: usize, seed: u64) -> SktConfig {
+        let mut cfg = SktConfig::new(HplConfig::new(n, 4, seed), 2, 2);
+        cfg.name = name.into();
+        cfg
+    }
+    let control = {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::new(6, 0)));
+        let mut svc = CheckpointService::new(
+            cluster,
+            ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5))),
+        );
+        svc.register(elastic_cfg(), 6, 0).unwrap();
+        let rep = svc.run(&StormPlan::none());
+        match &rep.tenant("elastic").unwrap().outcome {
+            TenantOutcome::Completed(out) => {
+                assert!(out.hpl.passed);
+                out.hpl.residual.to_bits()
+            }
+            other => panic!("control must complete, got {other:?}"),
+        }
+    };
+    let run = |seed: u64| {
+        let cluster = Arc::new(Cluster::new_with_runtime(
+            ClusterConfig::new(14, 1),
+            SimRuntime::new(seed),
+        ));
+        let mut cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5)));
+        cfg.slice_panels = 3;
+        cfg.schedule = PolicySpec::RoundRobin;
+        cfg.defrag = true;
+        let mut svc = CheckpointService::new(cluster, cfg);
+        svc.register(elastic_cfg(), 6, 0).unwrap(); // nodes {0..5}
+        svc.register(small_cfg("early", 32, 223), 2, 0).unwrap(); // {6,7}, finishes first
+        svc.register(small_cfg("late", 48, 227), 2, 0).unwrap(); // {8,9}, defrag candidate
+        svc.register(small_cfg("victim", 48, 229), 2, 1).unwrap(); // {10,11}, loses a node
+                                                                   // shrink 6→4 at the first clean boundary, grow back at the next
+        svc.schedule_resize("elastic", Duration::from_micros(1), 4);
+        svc.schedule_resize("elastic", Duration::from_micros(2), 6);
+        // the shrink vacates {4,5}; the grow re-stages node 4, whose
+        // first resize-probe pass is the install — the kill lands inside
+        // the resize window and the sequenced op must replay
+        // probe counts are per launch, so the panel kill must land
+        // inside one 3-panel slice: victim's node dies at its 2nd panel
+        let storm = StormPlan::none()
+            .kill_at_probe(RESIZE_PROBE, 4, 1)
+            .kill(10, 2);
+        svc.run(&storm)
+    };
+    let base = run(0);
+    for t in &base.tenants {
+        match &t.outcome {
+            TenantOutcome::Completed(out) => {
+                assert!(out.hpl.passed, "{}: must verify bit-exact", t.name)
+            }
+            other => panic!("{}: churn must not refuse anyone, got {other:?}", t.name),
+        }
+        assert!(t.foreign_on_shard.is_empty(), "{}: isolation", t.name);
+        assert!(
+            t.leaked_elsewhere.is_empty(),
+            "{}: leaked to {:?}",
+            t.name,
+            t.leaked_elsewhere
+        );
+    }
+    let e = base.tenant("elastic").unwrap();
+    match &e.outcome {
+        TenantOutcome::Completed(out) => assert_eq!(
+            out.hpl.residual.to_bits(),
+            control,
+            "resized run must be bit-exact with the unresized control"
+        ),
+        other => panic!("elastic must complete, got {other:?}"),
+    }
+    assert_eq!(e.failures, 1, "the in-window kill charged one failure");
+    let kinds: Vec<(&str, &str)> = e
+        .resizes
+        .iter()
+        .filter(|r| r.kind != "noop" && r.kind != "relocate")
+        .map(|r| (r.kind, r.outcome))
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![("shrink", "committed"), ("grow", "committed")],
+        "full audit: {:?}",
+        e.resizes
+    );
+    assert_eq!(
+        e.resizes[0].wiped,
+        vec![4, 5],
+        "the shrink's vacated nodes are wiped, not leaked"
+    );
+    let v = base.tenant("victim").unwrap();
+    assert_eq!(v.failures, 1, "the panel-probe kill healed from reserve");
+    let relocated: usize = base
+        .tenants
+        .iter()
+        .flat_map(|t| &t.resizes)
+        .filter(|r| r.kind == "relocate" && r.outcome == "committed")
+        .count();
+    assert!(relocated >= 1, "defrag moved at least one parked shard");
+    let stable = base.fingerprint(false);
+    for seed in 1..8u64 {
+        assert_eq!(
+            run(seed).fingerprint(false),
+            stable,
+            "sim seed {seed}: resize churn outcomes must not depend on the scheduler"
+        );
+    }
+    let timed = base.fingerprint(true);
+    assert_eq!(
+        run(0).fingerprint(true),
+        timed,
+        "same (config, seed): the elastic run reproduces byte-for-byte"
+    );
+    if let Ok(path) = std::env::var("SKT_SERVICE_REPORT") {
+        let report =
+            format!("== stable (8-seed invariant) ==\n{stable}== timed seed=0 ==\n{timed}");
+        std::fs::write(format!("{path}.elastic"), report).unwrap();
+    }
 }

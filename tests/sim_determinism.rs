@@ -17,7 +17,7 @@ use self_checkpoint::core::{
     Checkpointer, CkptConfig, Method, Phase, RecoverError, Recovery, RestoreSource,
 };
 use self_checkpoint::ftsim::{
-    run_with_daemon, CheckpointService, RetryPolicy, ServiceConfig, SlicePolicy, StormPlan,
+    run_with_daemon, CheckpointService, PolicySpec, RetryPolicy, ServiceConfig, StormPlan,
     TenantOutcome,
 };
 use self_checkpoint::hpl::{HplConfig, SktConfig, ITER_PROBE};
@@ -126,7 +126,7 @@ fn service_report(seed: u64) -> String {
     ));
     let mut cfg = ServiceConfig::new(RetryPolicy::new(3, Duration::from_secs(5)));
     cfg.slice_panels = 3;
-    cfg.schedule = SlicePolicy::Pipelined;
+    cfg.schedule = PolicySpec::RoundRobin;
     let mut svc = CheckpointService::new(cluster, cfg);
     for (i, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
         let mut c = SktConfig::new(HplConfig::new(48, 4, 17 + i as u64), 2, 2);
